@@ -1,0 +1,147 @@
+//! Materialised relations: the tabular values flowing between operators.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// One table row. Cells are positionally aligned with the owning relation's
+/// [`Schema`].
+pub type Row = Vec<Value>;
+
+/// A materialised relation: a schema plus a bag of rows.
+///
+/// The engine is a bulk-at-a-time executor, so operators consume and
+/// produce whole `Rel`s. Row order *is* observable — the Ferry encoding of
+/// list order relies on `pos` columns, and the final `Serialize` operator
+/// sorts — but no operator other than `Serialize` promises a particular
+/// physical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rel {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Rel {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Rel {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == schema.len()),
+            "row width does not match schema {schema}"
+        );
+        Rel { schema, rows }
+    }
+
+    pub fn empty(schema: Schema) -> Rel {
+        Rel {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column accessor by name; panics if the column does not exist (plans
+    /// are schema-validated before execution).
+    pub fn col_index(&self, name: &str) -> usize {
+        self.schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("column {name} not in schema {}", self.schema))
+    }
+
+    /// Iterate over the values of one column.
+    pub fn column<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Value> + 'a {
+        let idx = self.col_index(name);
+        self.rows.iter().map(move |r| &r[idx])
+    }
+
+    /// Sort rows by the given column indices ascending (stable). Used by
+    /// tests and by `Serialize`.
+    pub fn sort_by_cols(&mut self, idxs: &[usize]) {
+        self.rows.sort_by(|a, b| {
+            for &i in idxs {
+                match a[i].cmp(&b[i]) {
+                    std::cmp::Ordering::Equal => continue,
+                    o => return o,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    /// Multiset equality: equal schema and equal rows up to order. Handy in
+    /// tests for operators that do not promise physical order.
+    pub fn same_bag(&self, other: &Rel) -> bool {
+        if self.schema != other.schema || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  [{}]", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Ty;
+
+    fn sample() -> Rel {
+        Rel::new(
+            Schema::of(&[("pos", Ty::Nat), ("item", Ty::Int)]),
+            vec![
+                vec![Value::Nat(2), Value::Int(20)],
+                vec![Value::Nat(1), Value::Int(10)],
+            ],
+        )
+    }
+
+    #[test]
+    fn column_iteration() {
+        let r = sample();
+        let items: Vec<i64> = r.column("item").map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(items, vec![20, 10]);
+    }
+
+    #[test]
+    fn sort_by_cols_orders_rows() {
+        let mut r = sample();
+        r.sort_by_cols(&[0]);
+        let pos: Vec<u64> = r.column("pos").map(|v| v.as_nat().unwrap()).collect();
+        assert_eq!(pos, vec![1, 2]);
+    }
+
+    #[test]
+    fn same_bag_ignores_order() {
+        let a = sample();
+        let mut b = sample();
+        b.rows.reverse();
+        assert!(a.same_bag(&b));
+        b.rows.pop();
+        assert!(!a.same_bag(&b));
+    }
+
+    #[test]
+    fn empty_rel() {
+        let r = Rel::empty(Schema::of(&[("x", Ty::Int)]));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

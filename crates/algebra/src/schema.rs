@@ -1,0 +1,166 @@
+//! Relation schemas: ordered lists of named, typed columns.
+
+use crate::value::Ty;
+use std::fmt;
+use std::sync::Arc;
+
+/// A column name. Cheap to clone; compiler-generated names are interned via
+/// `Arc<str>` so schema plumbing does not allocate per operator.
+pub type ColName = Arc<str>;
+
+/// An ordered list of named, typed columns. Column names within one schema
+/// are unique (enforced by [`Schema::new`] in debug builds and by plan
+/// validation in all builds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    cols: Vec<(ColName, Ty)>,
+}
+
+impl Schema {
+    pub fn new(cols: Vec<(ColName, Ty)>) -> Schema {
+        debug_assert!(
+            {
+                let mut names: Vec<&str> = cols.iter().map(|(n, _)| n.as_ref()).collect();
+                names.sort_unstable();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate column names in schema: {cols:?}"
+        );
+        Schema { cols }
+    }
+
+    pub fn empty() -> Schema {
+        Schema { cols: Vec::new() }
+    }
+
+    /// Convenience constructor from `(&str, Ty)` pairs.
+    pub fn of(cols: &[(&str, Ty)]) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| (Arc::from(*n), *t)).collect())
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    pub fn cols(&self) -> &[(ColName, Ty)] {
+        &self.cols
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &ColName> {
+        self.cols.iter().map(|(n, _)| n)
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|(n, _)| n.as_ref() == name)
+    }
+
+    /// Type of the column with the given name.
+    pub fn ty_of(&self, name: &str) -> Option<Ty> {
+        self.cols
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, t)| *t)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Schemas are union-compatible when their column types match
+    /// positionally (names may differ; the left operand's names win, as in
+    /// SQL `UNION ALL`).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .cols
+                .iter()
+                .zip(other.cols.iter())
+                .all(|((_, a), (_, b))| a == b)
+    }
+
+    /// True when `other` shares no column name with `self` (join
+    /// precondition).
+    pub fn disjoint(&self, other: &Schema) -> bool {
+        self.cols.iter().all(|(n, _)| !other.contains(n))
+    }
+
+    /// Concatenation of two schemas (cross/equi join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Schema::new(cols)
+    }
+
+    pub fn push(&mut self, name: ColName, ty: Ty) {
+        debug_assert!(!self.contains(&name), "duplicate column {name}");
+        self.cols.push((name, ty));
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (n, t)) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}:{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_type_lookup() {
+        let s = Schema::of(&[("iter", Ty::Nat), ("pos", Ty::Nat), ("item1", Ty::Str)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("pos"), Some(1));
+        assert_eq!(s.ty_of("item1"), Some(Ty::Str));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.contains("iter"));
+    }
+
+    #[test]
+    fn union_compatibility_is_positional_on_types() {
+        let a = Schema::of(&[("x", Ty::Int), ("y", Ty::Str)]);
+        let b = Schema::of(&[("p", Ty::Int), ("q", Ty::Str)]);
+        let c = Schema::of(&[("p", Ty::Str), ("q", Ty::Int)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+        assert!(!a.union_compatible(&Schema::of(&[("x", Ty::Int)])));
+    }
+
+    #[test]
+    fn disjoint_and_concat() {
+        let a = Schema::of(&[("x", Ty::Int)]);
+        let b = Schema::of(&[("y", Ty::Str)]);
+        let c = Schema::of(&[("x", Ty::Str)]);
+        assert!(a.disjoint(&b));
+        assert!(!a.disjoint(&c));
+        let ab = a.concat(&b);
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.index_of("y"), Some(1));
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::of(&[("pos", Ty::Nat), ("item1", Ty::Int)]);
+        assert_eq!(s.to_string(), "(pos:nat, item1:int)");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn duplicate_names_rejected() {
+        let _ = Schema::of(&[("x", Ty::Int), ("x", Ty::Str)]);
+    }
+}

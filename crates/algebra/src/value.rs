@@ -1,0 +1,285 @@
+//! Atomic values and their types.
+//!
+//! The paper (§3.2): "DSH values of atomic types are directly mapped into
+//! values of a corresponding table column type." Our column types are the
+//! basic Ferry types plus `Nat`, the unsigned integer domain used for the
+//! compiler-generated `iter`, `pos` and surrogate columns of the relational
+//! encoding (Fig. 3).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Column (atomic) types of the table algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// The unit type; encoded as a single distinguished value.
+    Unit,
+    Bool,
+    /// 64-bit signed integers (the DSL's `Integer`).
+    Int,
+    /// 64-bit floats (the DSL's `Double`). Totally ordered (see [`Value`]).
+    Dbl,
+    /// Text.
+    Str,
+    /// Unsigned surrogate/order domain (`iter`, `pos`, `nest` columns).
+    Nat,
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Unit => "unit",
+            Ty::Bool => "bool",
+            Ty::Int => "int",
+            Ty::Dbl => "dbl",
+            Ty::Str => "str",
+            Ty::Nat => "nat",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An atomic value held in a table cell.
+///
+/// `Value` is totally ordered so relations can always be sorted, ranked and
+/// grouped: doubles compare via [`f64::total_cmp`] (the engine never
+/// produces NaN, but the ordering must still be lawful for the sort/rank
+/// operators), and values of distinct types order by type tag. Strings are
+/// reference-counted (`Arc<str>`) because rows are copied freely between
+/// operators.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Unit,
+    Bool(bool),
+    Int(i64),
+    Dbl(f64),
+    Str(Arc<str>),
+    Nat(u64),
+}
+
+impl Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The column type of this value.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Unit => Ty::Unit,
+            Value::Bool(_) => Ty::Bool,
+            Value::Int(_) => Ty::Int,
+            Value::Dbl(_) => Ty::Dbl,
+            Value::Str(_) => Ty::Str,
+            Value::Nat(_) => Ty::Nat,
+        }
+    }
+
+    /// Rank of the type tag, used to order values of distinct types.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Unit => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Dbl(_) => 3,
+            Value::Str(_) => 4,
+            Value::Nat(_) => 5,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_dbl(&self) -> Option<f64> {
+        match self {
+            Value::Dbl(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_nat(&self) -> Option<u64> {
+        match self {
+            Value::Nat(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Unit, Unit) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Dbl(a), Dbl(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Nat(a), Nat(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tag().hash(state);
+        match self {
+            Value::Unit => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Dbl(d) => d.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Nat(n) => n.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Dbl(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Nat(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Dbl(d)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Nat(n)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int(3).ty(), Ty::Int);
+        assert_eq!(Value::str("x").ty(), Ty::Str);
+        assert_eq!(Value::Nat(0).ty(), Ty::Nat);
+        assert_eq!(Value::Unit.ty(), Ty::Unit);
+        assert_eq!(Value::Bool(true).ty(), Ty::Bool);
+        assert_eq!(Value::Dbl(1.5).ty(), Ty::Dbl);
+    }
+
+    #[test]
+    fn total_order_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Dbl(-1.0) < Value::Dbl(0.0));
+        assert!(Value::Bool(false) < Value::Bool(true));
+        assert!(Value::Nat(7) < Value::Nat(8));
+    }
+
+    #[test]
+    fn doubles_are_totally_ordered() {
+        // total_cmp: -0.0 < +0.0, and NaN is ordered (not that we produce it).
+        assert!(Value::Dbl(-0.0) < Value::Dbl(0.0));
+        let nan = Value::Dbl(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn cross_type_order_is_by_tag() {
+        assert!(Value::Unit < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::Dbl(f64::NEG_INFINITY));
+        assert!(Value::Str(Arc::from("zzz")) < Value::Nat(0));
+    }
+
+    #[test]
+    fn eq_is_consistent_with_hash() {
+        let a = Value::str("hello");
+        let b = Value::str(String::from("hello"));
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+        assert_ne!(Value::Int(1), Value::Nat(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Nat(3).to_string(), "@3");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::Unit.to_string(), "()");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Int(4).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Nat(9).as_nat(), Some(9));
+        assert_eq!(Value::str("q").as_str(), Some("q"));
+        assert_eq!(Value::Dbl(2.5).as_dbl(), Some(2.5));
+    }
+}

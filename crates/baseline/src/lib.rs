@@ -1,0 +1,319 @@
+//! # `ferry-baseline` — the HaskellDB-style comparator
+//!
+//! A faithful Rust transliteration of the embedding style of HaskellDB
+//! \[17\] as used in the paper's Figure 4: queries are built with a
+//! relational-monad-flavoured combinator API (`table`, `restrict`,
+//! `project`, `unique`) and **each `Query` value compiles to exactly one
+//! SQL statement**. There is no nested-result support and no avalanche
+//! safety: a program computing `[(cat, [meaning])]` *must* run one query
+//! to enumerate the categories and then loop **in the client**, issuing
+//! one further query per category —
+//!
+//! ```haskell
+//! cs <- doQuery getCats
+//! sequence $ map (\c -> do m <- doQuery $ getCatFeatures $ c ! cat
+//!                          return (c, m)) cs
+//! ```
+//!
+//! — the query avalanche whose cost Table 1 measures. The generated SQL
+//! runs through the same `ferry-sql` front-end and the same engine as the
+//! Ferry bundles, so Table 1 compares compilation strategies, not engines.
+
+use ferry_algebra::Rel;
+use ferry_engine::Database;
+use ferry_sql::{execute_sql, SqlError};
+use std::fmt::Write;
+
+/// A scalar expression over query columns (the fragment Fig. 4 needs).
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Col { alias: String, name: String },
+    Str(String),
+    Int(i64),
+    Eq(Box<Expr>, Box<Expr>),
+    Ne(Box<Expr>, Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `a .==. b`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    /// `a ./=. b`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Ne(Box::new(self), Box::new(other))
+    }
+
+    /// `a .<. b`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(other))
+    }
+
+    /// `a .&&. b`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Expr::Col { alias, name } => {
+                let _ = write!(out, "{alias}.{name}");
+            }
+            Expr::Str(s) => {
+                let _ = write!(out, "'{}'", s.replace('\'', "''"));
+            }
+            Expr::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Expr::Eq(l, r) | Expr::Ne(l, r) | Expr::Lt(l, r) | Expr::And(l, r) => {
+                let op = match self {
+                    Expr::Eq(..) => "=",
+                    Expr::Ne(..) => "<>",
+                    Expr::Lt(..) => "<",
+                    _ => "AND",
+                };
+                out.push('(');
+                l.render(out);
+                let _ = write!(out, " {op} ");
+                r.render(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// `constant v` for strings.
+pub fn constant(v: &str) -> Expr {
+    Expr::Str(v.to_string())
+}
+
+/// `constant v` for integers.
+pub fn constant_int(v: i64) -> Expr {
+    Expr::Int(v)
+}
+
+/// A handle to one `table …` generator inside a query (HaskellDB's `Rel`).
+#[derive(Debug, Clone)]
+pub struct RelHandle {
+    alias: String,
+}
+
+impl RelHandle {
+    /// `rel ! field`.
+    pub fn col(&self, name: &str) -> Expr {
+        Expr::Col {
+            alias: self.alias.clone(),
+            name: name.to_string(),
+        }
+    }
+}
+
+/// One HaskellDB-style query: compiles to exactly one SQL statement.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    froms: Vec<(String, String)>,
+    restricts: Vec<Expr>,
+    projection: Vec<(String, Expr)>,
+    unique: bool,
+    order_by: Vec<(String, bool)>,
+}
+
+impl Query {
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// `t <- table name`.
+    pub fn table(&mut self, name: &str) -> RelHandle {
+        let alias = format!("a{:04}", self.froms.len());
+        self.froms.push((name.to_string(), alias.clone()));
+        RelHandle { alias }
+    }
+
+    /// `restrict expr`.
+    pub fn restrict(&mut self, e: Expr) {
+        self.restricts.push(e);
+    }
+
+    /// `project (field << expr)` — appends one output column.
+    pub fn project(&mut self, name: &str, e: Expr) {
+        self.projection.push((name.to_string(), e));
+    }
+
+    /// `unique` — duplicate elimination.
+    pub fn unique(&mut self) {
+        self.unique = true;
+    }
+
+    /// deterministic output order (HaskellDB exposes `order`; we use it to
+    /// keep measurements reproducible).
+    pub fn order(&mut self, col: &str, desc: bool) {
+        self.order_by.push((col.to_string(), desc));
+    }
+
+    /// Render the single SQL statement this query denotes.
+    pub fn sql(&self) -> String {
+        let mut sql = String::from("SELECT ");
+        if self.unique {
+            sql.push_str("DISTINCT ");
+        }
+        let items: Vec<String> = self
+            .projection
+            .iter()
+            .map(|(name, e)| {
+                let mut s = String::new();
+                e.render(&mut s);
+                format!("{s} AS {name}")
+            })
+            .collect();
+        sql.push_str(&items.join(", "));
+        if !self.froms.is_empty() {
+            sql.push_str(" FROM ");
+            let fs: Vec<String> = self
+                .froms
+                .iter()
+                .map(|(t, a)| format!("{t} AS {a}"))
+                .collect();
+            sql.push_str(&fs.join(", "));
+        }
+        if !self.restricts.is_empty() {
+            sql.push_str(" WHERE ");
+            let ps: Vec<String> = self
+                .restricts
+                .iter()
+                .map(|e| {
+                    let mut s = String::new();
+                    e.render(&mut s);
+                    s
+                })
+                .collect();
+            sql.push_str(&ps.join(" AND "));
+        }
+        if !self.order_by.is_empty() {
+            sql.push_str(" ORDER BY ");
+            let os: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|(c, d)| format!("{c} {}", if *d { "DESC" } else { "ASC" }))
+                .collect();
+            sql.push_str(&os.join(", "));
+        }
+        sql.push(';');
+        sql
+    }
+}
+
+/// `doQuery` — dispatch the query's single SQL statement to the database.
+pub fn do_query(db: &Database, q: &Query) -> Result<Rel, SqlError> {
+    execute_sql(db, &q.sql())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferry_algebra::{Schema, Ty, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "facilities",
+            Schema::of(&[("fac", Ty::Str), ("cat", Ty::Str)]),
+            vec!["fac"],
+        )
+        .unwrap();
+        db.insert(
+            "facilities",
+            vec![
+                vec![Value::str("SQL"), Value::str("QLA")],
+                vec![Value::str("LINQ"), Value::str("LIN")],
+                vec![Value::str("Links"), Value::str("LIN")],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn renders_fig4_style_sql() {
+        let mut q = Query::new();
+        let facs = q.table("facilities");
+        q.restrict(facs.col("cat").eq(constant("LIN")));
+        q.project("fac", facs.col("fac"));
+        q.unique();
+        q.order("fac", false);
+        assert_eq!(
+            q.sql(),
+            "SELECT DISTINCT a0000.fac AS fac FROM facilities AS a0000 \
+             WHERE (a0000.cat = 'LIN') ORDER BY fac ASC;"
+        );
+    }
+
+    #[test]
+    fn one_query_value_is_one_statement() {
+        let db = db();
+        let mut q = Query::new();
+        let facs = q.table("facilities");
+        q.project("cat", facs.col("cat"));
+        q.unique();
+        q.order("cat", false);
+        db.reset_stats();
+        let r = do_query(&db, &q).unwrap();
+        assert_eq!(db.stats().queries, 1);
+        let cats: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(cats, vec!["LIN", "QLA"]);
+    }
+
+    #[test]
+    fn client_side_loop_is_an_avalanche() {
+        // the Fig. 4 program shape: one query per category
+        let db = db();
+        db.reset_stats();
+        let mut outer = Query::new();
+        let facs = outer.table("facilities");
+        outer.project("cat", facs.col("cat"));
+        outer.unique();
+        outer.order("cat", false);
+        let cats = do_query(&db, &outer).unwrap();
+        let mut result = Vec::new();
+        for row in &cats.rows {
+            let cat = row[0].as_str().unwrap().to_string();
+            let mut inner = Query::new();
+            let f = inner.table("facilities");
+            inner.restrict(f.col("cat").eq(constant(&cat)));
+            inner.project("fac", f.col("fac"));
+            inner.order("fac", false);
+            let rows = do_query(&db, &inner).unwrap();
+            result.push((cat, rows.len()));
+        }
+        // 1 outer + 2 inner queries — N+1 by construction
+        assert_eq!(db.stats().queries, 3);
+        assert_eq!(result, vec![("LIN".to_string(), 2), ("QLA".to_string(), 1)]);
+    }
+
+    #[test]
+    fn joins_and_int_predicates() {
+        let mut db = db();
+        db.create_table("sizes", Schema::of(&[("cat", Ty::Str), ("n", Ty::Int)]), vec!["cat"])
+            .unwrap();
+        db.insert(
+            "sizes",
+            vec![
+                vec![Value::str("LIN"), Value::Int(2)],
+                vec![Value::str("QLA"), Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let mut q = Query::new();
+        let f = q.table("facilities");
+        let s = q.table("sizes");
+        q.restrict(f.col("cat").eq(s.col("cat")).and(constant_int(1).lt(s.col("n"))));
+        q.project("fac", f.col("fac"));
+        q.order("fac", false);
+        let r = do_query(&db, &q).unwrap();
+        let facs: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(facs, vec!["LINQ", "Links"]);
+    }
+}

@@ -1,0 +1,67 @@
+//! **Experiment X1 — optimizer ablation.** Loop-lifting is deliberately
+//! compositional; the Pathfinder-role rewriter (`ferry-optimizer`) exists
+//! to make the emitted plans executable at reasonable cost (§3, \[10, 11\]).
+//! This bench quantifies the design choice: execution time of the running
+//! example and of `dotp` with the optimizer on vs. off, plus the
+//! plan-size/width reductions (printed once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferry::prelude::*;
+use ferry_bench::dotp::{dotp_data, dotp_database, dotp_query};
+use ferry_bench::table1::dsh_query;
+use ferry_bench::workload::scaled_dataset;
+use ferry_optimizer::{optimize_with_stats, reachable_width};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_optimizer");
+    group.sample_size(10);
+
+    // Workload sizes are chosen so the *unoptimized* plans stay runnable:
+    // without join recovery, loop-lifted plans materialise loop × table
+    // crosses, so the raw variants are quadratic in the data — which is
+    // precisely the effect this ablation quantifies.
+
+    // workload 1: the running example at 60 categories
+    let conn = Connection::new(scaled_dataset(60, 2));
+    let bundle = conn.compile(&dsh_query()).expect("compile");
+    let roots = bundle.roots();
+    let (opt_plan, opt_roots, stats) = optimize_with_stats(&bundle.plan, &roots);
+    eprintln!(
+        "running example: {} → {} operators, width {} → {}",
+        stats.nodes_before,
+        stats.nodes_after,
+        reachable_width(&bundle.plan, &roots),
+        reachable_width(&opt_plan, &opt_roots)
+    );
+    group.bench_function(BenchmarkId::new("running_example", "raw"), |b| {
+        b.iter(|| conn.database().execute_bundle(&bundle.plan, &roots).expect("run"))
+    });
+    group.bench_function(BenchmarkId::new("running_example", "optimized"), |b| {
+        b.iter(|| conn.database().execute_bundle(&opt_plan, &opt_roots).expect("run"))
+    });
+
+    // workload 2: dotp at 2k/200
+    let (sv, v) = dotp_data(2_000, 200, 9);
+    let conn2 = Connection::new(dotp_database(&sv, &v));
+    let bundle2 = conn2.compile(&dotp_query()).expect("compile");
+    let roots2 = bundle2.roots();
+    let (opt_plan2, opt_roots2, stats2) = optimize_with_stats(&bundle2.plan, &roots2);
+    eprintln!(
+        "dotp: {} → {} operators, width {} → {}",
+        stats2.nodes_before,
+        stats2.nodes_after,
+        reachable_width(&bundle2.plan, &roots2),
+        reachable_width(&opt_plan2, &opt_roots2)
+    );
+    group.bench_function(BenchmarkId::new("dotp", "raw"), |b| {
+        b.iter(|| conn2.database().execute_bundle(&bundle2.plan, &roots2).expect("run"))
+    });
+    group.bench_function(BenchmarkId::new("dotp", "optimized"), |b| {
+        b.iter(|| conn2.database().execute_bundle(&opt_plan2, &opt_roots2).expect("run"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **Experiment X2 — compile-time scaling.** Loop-lifting is syntax-
+//! directed and type-directed: compilation must take time proportional to
+//! the *program*, never to the *database*. Two measurements:
+//!
+//! * the same program compiled against a 10-row and a 100 000-row
+//!   database — times must coincide (data-independence),
+//! * programs of growing nesting depth — times must grow smoothly with
+//!   program size (no blow-up from the compositional translation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferry::prelude::*;
+use ferry_bench::table1::dsh_query;
+use ferry_bench::workload::scaled_dataset;
+
+/// A pipeline of `depth` stacked map/filter stages over `facilities`.
+fn deep_pipeline(depth: usize) -> Q<Vec<i64>> {
+    let base = table::<(String, String)>("facilities");
+    let mut out: Q<Vec<i64>> = map(|_t: Q<(String, String)>| toq(&1i64), base);
+    for i in 0..depth {
+        let k = i as i64;
+        out = map(
+            move |x: Q<i64>| x + toq(&k),
+            filter(|x: Q<i64>| x.ge(&toq(&0i64)), out),
+        );
+    }
+    out
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+
+    // data-independence: same program, databases of very different size
+    for &categories in &[5usize, 50_000] {
+        let conn = Connection::new(scaled_dataset(categories, 2));
+        group.bench_with_input(
+            BenchmarkId::new("running_example_dbsize", categories),
+            &categories,
+            |b, _| b.iter(|| conn.compile(&dsh_query()).expect("compile")),
+        );
+    }
+
+    // program-size scaling
+    let conn = Connection::new(scaled_dataset(5, 2));
+    for &depth in &[1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("pipeline_depth", depth), &depth, |b, _| {
+            b.iter(|| conn.compile(&deep_pipeline(depth)).expect("compile"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

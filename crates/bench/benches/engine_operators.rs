@@ -1,0 +1,74 @@
+//! Engine micro-benchmarks: the bulk operators loop-lifted plans lean on
+//! hardest (hash join, row numbering, grouping, duplicate elimination).
+//! Not a paper artefact — a regression guard for the substrate that all
+//! measured experiments run on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferry_algebra::{plan::cn, plan::Aggregate, AggFun, Dir, JoinCols, Plan, Schema, Ty, Value};
+use ferry_engine::Database;
+
+fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
+    (0..rows)
+        .map(|i| vec![Value::Int(i as i64), Value::Int(i as i64 % modulus)])
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let db = Database::new();
+    const N: usize = 50_000;
+
+    // hash join N × N on a key with ~N/10 duplicates
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 10));
+        let r = plan.lit(Schema::of(&[("b", Ty::Int), ("j", Ty::Int)]), int_table(N, 50_000));
+        let j = plan.equi_join(l, r, JoinCols::single("a", "b"));
+        group.bench_with_input(BenchmarkId::new("equi_join", N), &N, |bch, _| {
+            bch.iter(|| db.execute(&plan, j).expect("join"))
+        });
+    }
+
+    // ROW_NUMBER over a 10-partition table
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 10));
+        let rn = plan.rownum(l, "pos", vec![cn("k")], vec![(cn("a"), Dir::Asc)]);
+        group.bench_with_input(BenchmarkId::new("rownum", N), &N, |bch, _| {
+            bch.iter(|| db.execute(&plan, rn).expect("rownum"))
+        });
+    }
+
+    // grouped aggregation, 10 groups
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 10));
+        let g = plan.group_by(
+            l,
+            vec![cn("k")],
+            vec![
+                Aggregate { fun: AggFun::CountAll, input: None, output: cn("n") },
+                Aggregate { fun: AggFun::Sum, input: Some(cn("a")), output: cn("s") },
+            ],
+        );
+        group.bench_with_input(BenchmarkId::new("group_by", N), &N, |bch, _| {
+            bch.iter(|| db.execute(&plan, g).expect("group"))
+        });
+    }
+
+    // duplicate elimination with heavy duplication
+    {
+        let mut plan = Plan::new();
+        let l0 = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 100));
+        let l = plan.project(l0, vec![(cn("k"), cn("k"))]);
+        let d = plan.distinct(l);
+        group.bench_with_input(BenchmarkId::new("distinct", N), &N, |bch, _| {
+            bch.iter(|| db.execute(&plan, d).expect("distinct"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **Experiment F5/F6 — sparse-vector multiplication.** The DPH comparison
+//! of §4.2: the same `dotp` program evaluated (a) by the database
+//! coprocessor via loop-lifting (Fig. 6 right — `bpermuteP` becomes an
+//! equi-join over `pos`), (b) by DPH-style vectorised bulk array
+//! operations (Fig. 6 left), and (c) by a plain sequential loop.
+//!
+//! The figure in the paper is a *structural* comparison of intermediate
+//! code (no timings); the structural correspondence is asserted in
+//! `ferry-bench`'s unit tests and in `tests/dotp_plan.rs`. This bench adds
+//! the runtime dimension: the relational evaluation pays constant
+//! per-query overhead but scales in bulk like the vectorised code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferry::prelude::*;
+use ferry_bench::dotp::{dotp_data, dotp_database, dotp_query, dotp_scalar, dotp_vectorised};
+
+fn bench_dotp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dotp");
+    for &(n, nnz) in &[(1_000usize, 100usize), (10_000, 1_000), (100_000, 10_000)] {
+        let (sv, v) = dotp_data(n, nnz, 42);
+        let conn = Connection::new(dotp_database(&sv, &v))
+            .with_optimizer(ferry_optimizer::rewriter());
+        let expected = dotp_scalar(&sv, &v);
+        let bundle = conn.compile(&dotp_query()).expect("compile");
+
+        group.bench_with_input(BenchmarkId::new("ferry_db", n), &n, |b, _| {
+            b.iter(|| {
+                let rels = conn.execute_bundle(&bundle).expect("execute");
+                let val = ferry::stitch::stitch(&rels, &bundle.queries).expect("stitch");
+                let got = f64::from_val(&val).expect("decode");
+                assert!((got - expected).abs() < 1e-6);
+                got
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dph_vectorised", n), &n, |b, _| {
+            b.iter(|| {
+                let got = dotp_vectorised(&sv, &v);
+                assert!((got - expected).abs() < 1e-9);
+                got
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| dotp_scalar(&sv, &v))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dotp);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # `ferry-bench` — workloads and experiment drivers
+//!
+//! The data generators and measured programs behind every table and figure
+//! of the paper's evaluation (see `EXPERIMENTS.md` at the workspace root):
+//!
+//! * [`workload::paper_dataset`] — the verbatim Figure 1 database
+//!   (`facilities` / `features` / `meanings`),
+//! * [`workload::scaled_dataset`] — the Table 1 generator: `facilities`
+//!   with *K* distinct categories,
+//! * [`table1`] — the two measured implementations of the running example:
+//!   the HaskellDB-style avalanche (Fig. 4) and the Ferry/DSH two-query
+//!   bundle, both returning the same nested value,
+//! * [`dotp`] — the sparse-vector-multiplication example of Fig. 5/6, as a
+//!   Ferry program and as the in-heap vectorised (DPH-style) reference.
+
+#![allow(clippy::type_complexity, clippy::items_after_test_module)]
+
+pub mod dotp;
+pub mod table1;
+pub mod workload;

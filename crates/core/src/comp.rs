@@ -1,0 +1,231 @@
+//! The `comp!` comprehension macro — Rust's stand-in for the `[qc| … |]`
+//! quasiquoter.
+//!
+//! The paper's quasiquoter desugars list comprehensions into the
+//! list-processing combinators "using the well-known desugaring approach
+//! \[16\]". `comp!` performs the same desugaring at Rust macro-expansion
+//! time:
+//!
+//! ```text
+//! [ e | x <- xs, Q ]        ⇒  concat_map(|x| [ e | Q ], xs)
+//! [ e | p, Q ]  (guard)     ⇒  if p then [ e | Q ] else []
+//! [ e | let y = v, Q ]      ⇒  let y = v in [ e | Q ]
+//! [ e | ]                   ⇒  [e]
+//! ```
+//!
+//! plus the SQL-inspired `then group by` extension of \[16\] for pair
+//! generators (`group by fst` / `group by snd`), which regroups the bound
+//! variables as lists — exactly what the paper's running example uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use ferry::prelude::*;
+//! use ferry::comp;
+//!
+//! // [ x * x | x <- xs, x > 1 ]
+//! let q: Q<Vec<i64>> = comp!((x.clone() * x) for x in toq(&vec![1i64, 2, 3]),
+//!                            if x.gt(&toq(&1i64)));
+//! ```
+//!
+//! Variables bound by outer generators are moved into the inner closures;
+//! since `Q` values are cheap reference-counted handles, clone them at use
+//! sites (`x.clone() * x`) exactly as you would for any capturing closure
+//! chain in Rust.
+
+/// List-comprehension notation for Ferry queries. See the module docs.
+#[macro_export]
+macro_rules! comp {
+    // terminal: no more qualifiers — singleton list
+    (($e:expr)) => {
+        $crate::ops::list([$e])
+    };
+
+    // pair generator with `group by` — the comprehensive-comprehensions
+    // extension: rebinds both variables as lists over each group.
+    (($e:expr) for ($a:ident, $b:ident) in $xs:expr, group by $proj:ident $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__group| {
+                let $a = $crate::ops::map(|__t| __t.fst(), ::std::clone::Clone::clone(&__group));
+                let $b = $crate::ops::map(|__t| __t.snd(), __group);
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $crate::ops::group_with(|__t| __t.$proj(), $xs),
+        )
+    };
+
+    // generator, tuple-2 pattern
+    (($e:expr) for ($a:ident, $b:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
+    // generator, tuple-3 pattern
+    (($e:expr) for ($a:ident, $b:ident, $c:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b, $c) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
+    // generator, tuple-4 pattern
+    (($e:expr) for ($a:ident, $b:ident, $c:ident, $d:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b, $c, $d) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
+    // generator, simple variable
+    (($e:expr) for $x:ident in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |$x| $crate::comp!(($e) $(for_or_rest $($rest)+)?),
+            $xs,
+        )
+    };
+
+    // guard
+    (($e:expr) if $p:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::cond(
+            $p,
+            $crate::comp!(($e) $(for_or_rest $($rest)+)?),
+            $crate::ops::empty(),
+        )
+    };
+
+    // local binding
+    (($e:expr) let $x:ident = $v:expr $(, $($rest:tt)+)?) => {{
+        let $x = $v;
+        $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+    }};
+
+    // ---- internal dispatch: re-enter with the right head keyword ----
+    (($e:expr) for_or_rest for $($rest:tt)+) => {
+        $crate::comp!(($e) for $($rest)+)
+    };
+    (($e:expr) for_or_rest if $($rest:tt)+) => {
+        $crate::comp!(($e) if $($rest)+)
+    };
+    (($e:expr) for_or_rest let $($rest:tt)+) => {
+        $crate::comp!(($e) let $($rest)+)
+    };
+    (($e:expr) for_or_rest group by $($rest:tt)+) => {
+        compile_error!("`group by` must directly follow a pair generator")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::{interpret, Tables};
+    use crate::ops::*;
+    use crate::qa::{toq, Q, QA};
+
+    fn run<T: QA>(q: &Q<T>) -> T {
+        T::from_val(&interpret(q.exp(), &Tables::new()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn plain_map() {
+        let q: Q<Vec<i64>> = comp!((x.clone() * x) for x in toq(&vec![1i64, 2, 3]));
+        assert_eq!(run(&q), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn guard_filters() {
+        let q: Q<Vec<i64>> =
+            comp!((x.clone()) for x in toq(&vec![1i64, 2, 3, 4]), if x.gt(&toq(&2i64)));
+        assert_eq!(run(&q), vec![3, 4]);
+    }
+
+    #[test]
+    fn nested_generators_cross() {
+        let q: Q<Vec<(i64, i64)>> = comp!(
+            (pair(x.clone(), y))
+            for x in toq(&vec![1i64, 2]),
+            for y in toq(&vec![10i64, 20])
+        );
+        assert_eq!(run(&q), vec![(1, 10), (1, 20), (2, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn tuple_pattern_generator() {
+        let q: Q<Vec<i64>> = comp!(
+            (a + b)
+            for (a, b) in toq(&vec![(1i64, 10i64), (2, 20)])
+        );
+        assert_eq!(run(&q), vec![11, 22]);
+    }
+
+    #[test]
+    fn join_with_guard() {
+        // [ (x, y) | x <- xs, y <- ys, x == y ]
+        let q: Q<Vec<(i64, i64)>> = comp!(
+            (pair(x.clone(), y.clone()))
+            for x in toq(&vec![1i64, 2, 3]),
+            for y in toq(&vec![2i64, 3, 4]),
+            if x.eq(&y)
+        );
+        assert_eq!(run(&q), vec![(2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn let_binding() {
+        let q: Q<Vec<i64>> = comp!(
+            (y.clone() + y)
+            for x in toq(&vec![1i64, 2]),
+            let y = x + toq(&10i64)
+        );
+        assert_eq!(run(&q), vec![22, 24]);
+    }
+
+    #[test]
+    fn group_by_regroups_variables() {
+        // the running example's shape: group facilities by category
+        let rows: Vec<(String, String)> = vec![
+            ("SQL".into(), "QLA".into()),
+            ("LINQ".into(), "LIN".into()),
+            ("Links".into(), "LIN".into()),
+        ];
+        let q: Q<Vec<(String, Vec<String>)>> = comp!(
+            (pair(the(cat), fac))
+            for (fac, cat) in toq(&rows),
+            group by snd
+        );
+        assert_eq!(
+            run(&q),
+            vec![
+                ("LIN".to_string(), vec!["LINQ".to_string(), "Links".to_string()]),
+                ("QLA".to_string(), vec!["SQL".to_string()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn quad_pattern() {
+        let q: Q<Vec<i64>> = comp!(
+            (a + b + c + d)
+            for (a, b, c, d) in toq(&vec![(1i64, 2i64, 3i64, 4i64)])
+        );
+        assert_eq!(run(&q), vec![10]);
+    }
+
+    #[test]
+    fn triple_pattern() {
+        let q: Q<Vec<i64>> = comp!(
+            (a + b + c)
+            for (a, b, c) in toq(&vec![(1i64, 2i64, 3i64)])
+        );
+        assert_eq!(run(&q), vec![6]);
+    }
+}

@@ -1,0 +1,1142 @@
+//! The loop-lifting compilation rules, one per kernel construct.
+
+use super::rep::{FlatRep, Layout, ListRep, Loop, Rep};
+use super::unions::Tab;
+use super::{Compiler, Env};
+use crate::error::FerryError;
+use crate::exp::{Exp, Fun1, Fun2, Prim1, Prim2};
+use crate::types::Ty;
+use ferry_algebra::{
+    AggFun, BinOp, ColName, Dir, Expr, JoinCols, NodeId, UnOp, Value,
+};
+use std::rc::Rc;
+
+/// The inner-loop context a lifted lambda body is compiled in.
+struct MapCtx {
+    /// The map relation: `xs`'s element table, whose rows are the inner
+    /// iterations.
+    m: NodeId,
+    outer_iter: Vec<ColName>,
+    outer_pos: ColName,
+    /// The *composite* inner iteration key: `outer_iter ++ [pos]` already
+    /// identifies every element uniquely, so no fresh `ROW_NUMBER` is
+    /// needed — which both saves a global sort over the (potentially
+    /// loop × table sized) element relation and, crucially, leaves no
+    /// order-defining operator between later selections and the cross
+    /// join they must be pushed into (join recovery, `ferry-optimizer`).
+    inner_iter: Vec<ColName>,
+    elem_layout: Layout,
+    inner_loop: Loop,
+}
+
+impl<'a> Compiler<'a> {
+    /// Compile `exp` in environment `env` relative to loop `lp`.
+    pub fn compile(&mut self, exp: &Exp, env: &Env, lp: &Loop) -> Result<Rep, FerryError> {
+        match exp {
+            Exp::Const(v, t) => self.compile_const(v, t, lp),
+            Exp::Var(x, _) => env
+                .iter()
+                .rev()
+                .find(|(y, _)| y == x)
+                .map(|(_, r)| r.clone())
+                .ok_or_else(|| FerryError::IllTyped(format!("unbound variable x{x}"))),
+            Exp::Tuple(es, _) => {
+                let mut reps = Vec::with_capacity(es.len());
+                for e in es {
+                    reps.push(self.compile(e, env, lp)?);
+                }
+                Ok(Rep::Flat(self.tuple_of_reps(reps, lp)))
+            }
+            Exp::ListE(es, t) => self.compile_list_lit(es, t, env, lp),
+            Exp::Table(name, t) => self.compile_table(name, t, lp),
+            Exp::Lam(..) => Err(FerryError::Unsupported(
+                "first-class functions (lambda outside a combinator argument)".into(),
+            )),
+            Exp::Prim2(op, a, b, t) => self.compile_prim2(*op, a, b, t, env, lp),
+            Exp::Prim1(op, e, _) => self.compile_prim1(*op, e, env, lp),
+            Exp::If(c, th, el, _) => self.compile_if(c, th, el, env, lp),
+            Exp::Proj(i, e, _) => self.compile_proj(*i, e, env, lp),
+            Exp::App1(f, e, t) => self.compile_app1(*f, e, t, env, lp),
+            Exp::App2(f, a, b, t) => self.compile_app2(*f, a, b, t, env, lp),
+        }
+    }
+
+    // ------------------------------------------------------------ tables
+
+    fn compile_table(&mut self, name: &str, ty: &Ty, lp: &Loop) -> Result<Rep, FerryError> {
+        let info = self
+            .provider
+            .table_info(name)
+            .ok_or_else(|| FerryError::Table(format!("no such table: {name}")))?;
+        // the DSL row tuple corresponds to the columns in alphabetical
+        // order (§2: "ordered alphabetically by column name")
+        let mut alpha: Vec<usize> = (0..info.cols.len()).collect();
+        alpha.sort_by(|&i, &j| info.cols[i].0.cmp(&info.cols[j].0));
+        let row_ty = ty
+            .elem()
+            .ok_or_else(|| FerryError::IllTyped(format!("table {name} at type {ty}")))?;
+        let expected: Vec<Ty> = match row_ty {
+            Ty::Tuple(ts) => ts.clone(),
+            t => vec![t.clone()],
+        };
+        if expected.len() != info.cols.len() {
+            return Err(FerryError::Table(format!(
+                "table {name} has {} columns, row type {row_ty} expects {}",
+                info.cols.len(),
+                expected.len()
+            )));
+        }
+        for (dsl_ty, &ci) in expected.iter().zip(&alpha) {
+            let want = dsl_ty.col_ty().ok_or_else(|| {
+                FerryError::Table(format!("table {name}: non-atomic row component {dsl_ty}"))
+            })?;
+            if want != info.cols[ci].1 {
+                return Err(FerryError::Table(format!(
+                    "table {name}: column {} is {}, row type expects {}",
+                    info.cols[ci].0, info.cols[ci].1, want
+                )));
+            }
+        }
+        // plan-local fresh names, positionally matching the catalog order
+        let plan_cols: Vec<(ColName, ferry_algebra::Ty)> = info
+            .cols
+            .iter()
+            .map(|(_, t)| (self.fresh("t"), *t))
+            .collect();
+        let name_of = |ci: usize| plan_cols[ci].0.clone();
+        let keys: Vec<ColName> = if info.keys.is_empty() {
+            plan_cols.iter().map(|(c, _)| c.clone()).collect()
+        } else {
+            info.keys
+                .iter()
+                .map(|k| {
+                    let ci = info.cols.iter().position(|(n, _)| n == k).expect("key col");
+                    name_of(ci)
+                })
+                .collect()
+        };
+        let t_node = self.plan.table(name, plan_cols.clone(), keys.clone());
+        // canonical row order: the key columns ascending (Fig. 3a's pos)
+        let pos = self.fresh("pos");
+        let order: Vec<(ColName, Dir)> = keys.iter().map(|k| (k.clone(), Dir::Asc)).collect();
+        let numbered = self.plan.rownum(t_node, pos.clone(), vec![], order);
+        // replicate for every live iteration
+        let (lpp, lmap) = self.reproject(lp.plan, &lp.iter);
+        let iter: Vec<ColName> = lp.iter.iter().map(|c| lmap[c].clone()).collect();
+        let plan = self.plan.cross(lpp, numbered);
+        let comps: Vec<Layout> = alpha.iter().map(|&ci| Layout::Atom(name_of(ci))).collect();
+        let layout = if comps.len() == 1 {
+            comps.into_iter().next().unwrap()
+        } else {
+            Layout::Tuple(comps)
+        };
+        Ok(Rep::List(ListRep {
+            plan,
+            iter,
+            pos,
+            layout,
+        }))
+    }
+
+    // ----------------------------------------------------- list literals
+
+    fn compile_list_lit(
+        &mut self,
+        es: &[Rc<Exp>],
+        ty: &Ty,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        let elem_ty = ty
+            .elem()
+            .ok_or_else(|| FerryError::IllTyped(format!("list literal at {ty}")))?;
+        if es.is_empty() {
+            return Ok(Rep::List(self.empty_list(elem_ty, lp)?));
+        }
+        // each element: a one-row-per-iteration table with its constant pos
+        let mut acc: Option<Tab> = None;
+        for (i, e) in es.iter().enumerate() {
+            let rep = self.compile(e, env, lp)?;
+            let flat = self.as_flat(rep, lp);
+            let pos = self.fresh("pos");
+            let plan = self
+                .plan
+                .attach(flat.plan, pos.clone(), Value::Nat(i as u64 + 1));
+            let mut prefix = flat.iter.clone();
+            prefix.push(pos);
+            let tab = Tab {
+                plan,
+                prefix,
+                layout: flat.layout,
+            };
+            acc = Some(match acc {
+                None => tab,
+                Some(prev) => self.union_tabs(prev, tab).0,
+            });
+        }
+        Ok(Rep::List(acc.expect("non-empty").into_list()))
+    }
+
+    // ---------------------------------------------------------- scalars
+
+    fn compile_prim2(
+        &mut self,
+        op: Prim2,
+        a: &Exp,
+        b: &Exp,
+        ty: &Ty,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        if !a.ty().is_flat() {
+            return Err(FerryError::Unsupported(format!(
+                "{op:?} on non-flat operands of type {} (deep comparison of nested \
+                 lists is not database-executable)",
+                a.ty()
+            )));
+        }
+        let ra = self.compile(a, env, lp)?.expect_flat();
+        let rb = self.compile(b, env, lp)?.expect_flat();
+        // operands over the same relation need no join at all
+        let (jp, lb) = if ra.plan == rb.plan && ra.iter == rb.iter {
+            (ra.plan, rb.layout.clone())
+        } else {
+            let keep = Self::flat_cols_of(&rb);
+            let (jp, rmap) =
+                self.join_on_iter(ra.plan, &ra.iter, rb.plan, &rb.iter, &keep);
+            (jp, rb.layout.rename(&rmap))
+        };
+        let expr = prim2_expr(op, &ra.layout, &lb)?;
+        let col = self.fresh("o");
+        let plan = self.plan.compute(jp, col.clone(), expr);
+        debug_assert!(ty.is_atom());
+        Ok(Rep::Flat(FlatRep {
+            plan,
+            iter: ra.iter,
+            layout: Layout::Atom(col),
+        }))
+    }
+
+    fn compile_prim1(
+        &mut self,
+        op: Prim1,
+        e: &Exp,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        let r = self.compile(e, env, lp)?.expect_flat();
+        let src = r.layout.atom().clone();
+        let expr = match op {
+            Prim1::Not => Expr::not(Expr::Col(src)),
+            Prim1::Neg => Expr::Un(UnOp::Neg, std::sync::Arc::new(Expr::Col(src))),
+            Prim1::IntToDbl => Expr::cast(ferry_algebra::Ty::Dbl, Expr::Col(src)),
+        };
+        let col = self.fresh("o");
+        let plan = self.plan.compute(r.plan, col.clone(), expr);
+        Ok(Rep::Flat(FlatRep {
+            plan,
+            iter: r.iter,
+            layout: Layout::Atom(col),
+        }))
+    }
+
+    // ------------------------------------------------------ conditionals
+
+    fn compile_if(
+        &mut self,
+        c: &Exp,
+        th: &Exp,
+        el: &Exp,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        let rc = self.compile(c, env, lp)?.expect_flat();
+        let ccol = rc.layout.atom().clone();
+        // Guard fast path: `if p then e else []` (the desugaring of a
+        // comprehension guard) needs no branch union at all — for a
+        // list-typed result, an absent iteration already *is* the empty
+        // list, so the kept branch restricted to the iterations where the
+        // condition holds is the whole answer.
+        let is_empty_lit = |e: &Exp| matches!(e, Exp::ListE(es, _) if es.is_empty());
+        if matches!(th.ty(), Ty::List(_)) && (is_empty_lit(el) || is_empty_lit(th)) {
+            let keep_then = is_empty_lit(el);
+            let pred = if keep_then {
+                Expr::Col(ccol.clone())
+            } else {
+                Expr::not(Expr::Col(ccol.clone()))
+            };
+            let sel = self.plan.select(rc.plan, pred);
+            let (plan, map) = self.reproject(sel, &rc.iter);
+            let sub = Loop {
+                plan,
+                iter: rc.iter.iter().map(|c| map[c].clone()).collect(),
+            };
+            let env2: Env = env
+                .iter()
+                .map(|(x, r)| (*x, self.restrict_rep(r, &sub)))
+                .collect();
+            let kept = if keep_then { th } else { el };
+            return self.compile(kept, &env2, &sub);
+        }
+        // split the loop into the iterations where c holds / fails
+        let sub = |want: bool, comp: &mut Compiler| -> Loop {
+            let pred = if want {
+                Expr::Col(ccol.clone())
+            } else {
+                Expr::not(Expr::Col(ccol.clone()))
+            };
+            let sel = comp.plan.select(rc.plan, pred);
+            let (plan, map) = comp.reproject(sel, &rc.iter);
+            Loop {
+                plan,
+                iter: rc.iter.iter().map(|c| map[c].clone()).collect(),
+            }
+        };
+        let loop_t = sub(true, self);
+        let loop_e = sub(false, self);
+        let restrict = |comp: &mut Compiler, sub: &Loop, env: &Env| -> Env {
+            env.iter()
+                .map(|(x, r)| (*x, comp.restrict_rep(r, sub)))
+                .collect()
+        };
+        let env_t = restrict(self, &loop_t, env);
+        let env_e = restrict(self, &loop_e, env);
+        let rt = self.compile(th, &env_t, &loop_t)?;
+        let re = self.compile(el, &env_e, &loop_e)?;
+        match (rt, re) {
+            (Rep::Flat(ft), Rep::Flat(fe)) => {
+                let (tab, _tag) = self.union_tabs(
+                    Tab {
+                        plan: ft.plan,
+                        prefix: ft.iter,
+                        layout: ft.layout,
+                    },
+                    Tab {
+                        plan: fe.plan,
+                        prefix: fe.iter,
+                        layout: fe.layout,
+                    },
+                );
+                Ok(Rep::Flat(FlatRep {
+                    plan: tab.plan,
+                    iter: tab.prefix,
+                    layout: tab.layout,
+                }))
+            }
+            (Rep::List(lt), Rep::List(le)) => {
+                let (tab, _tag) = self.union_tabs(Tab::of_list(&lt), Tab::of_list(&le));
+                Ok(Rep::List(tab.into_list()))
+            }
+            _ => Err(FerryError::IllTyped("if branches of different kinds".into())),
+        }
+    }
+
+    // ------------------------------------------------------- projections
+
+    fn compile_proj(
+        &mut self,
+        i: usize,
+        e: &Exp,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        let r = self.compile(e, env, lp)?.expect_flat();
+        let comp = r.layout.tuple().get(i).cloned().ok_or_else(|| {
+            FerryError::IllTyped(format!("projection {i} out of bounds"))
+        })?;
+        match comp {
+            Layout::Nested { surr, inner } => {
+                Ok(Rep::List(self.unbox(r.plan, &r.iter, &surr, &inner)))
+            }
+            layout => Ok(Rep::Flat(FlatRep {
+                plan: r.plan,
+                iter: r.iter,
+                layout,
+            })),
+        }
+    }
+
+    // ------------------------------------------------------- map family
+
+    /// Prepare the inner loop of a lifted lambda over the elements of `xs`:
+    /// give every element a fresh iteration id in one `ROW_NUMBER`.
+    fn map_begin(&mut self, xs: &ListRep) -> MapCtx {
+        let mut inner_iter = xs.iter.clone();
+        inner_iter.push(xs.pos.clone());
+        let m = xs.plan;
+        let loop_plan = self.plan.project_keep(m, &inner_iter);
+        MapCtx {
+            m,
+            outer_iter: xs.iter.clone(),
+            outer_pos: xs.pos.clone(),
+            inner_iter: inner_iter.clone(),
+            elem_layout: xs.layout.clone(),
+            inner_loop: Loop {
+                plan: loop_plan,
+                iter: inner_iter,
+            },
+        }
+    }
+
+    /// The lambda argument's representation inside the inner loop.
+    fn elem_rep(&mut self, ctx: &MapCtx, elem_ty: &Ty) -> Rep {
+        match (&ctx.elem_layout, elem_ty) {
+            (Layout::Nested { surr, inner }, Ty::List(_)) => Rep::List(self.unbox(
+                ctx.m,
+                &ctx.inner_iter,
+                surr,
+                inner,
+            )),
+            (layout, _) => Rep::Flat(FlatRep {
+                plan: ctx.m,
+                iter: ctx.inner_iter.clone(),
+                layout: layout.clone(),
+            }),
+        }
+    }
+
+    /// Lift every environment entry into the inner loop: replicate each
+    /// binding per element via a join through the map relation.
+    fn lift_env(&mut self, env: &Env, ctx: &MapCtx) -> Env {
+        env.iter()
+            .map(|(x, rep)| {
+                // join against the map relation itself (not a narrowed
+                // projection): the lifted binding keeps the full element
+                // row on its left spine, which lets `filter` select in
+                // place and lets the optimizer's join recovery see through
+                // to the generators
+                let lifted = match rep {
+                    Rep::Flat(f) => {
+                        let keep = Self::flat_cols_of(f);
+                        let (jp, rmap) = self.join_on_iter(
+                            ctx.m,
+                            &ctx.outer_iter,
+                            f.plan,
+                            &f.iter,
+                            &keep,
+                        );
+                        Rep::Flat(FlatRep {
+                            plan: jp,
+                            iter: ctx.inner_iter.clone(),
+                            layout: f.layout.rename(&rmap),
+                        })
+                    }
+                    Rep::List(l) => {
+                        let keep = Self::list_cols(l);
+                        let (jp, rmap) = self.join_on_iter(
+                            ctx.m,
+                            &ctx.outer_iter,
+                            l.plan,
+                            &l.iter,
+                            &keep,
+                        );
+                        Rep::List(ListRep {
+                            plan: jp,
+                            iter: ctx.inner_iter.clone(),
+                            pos: rmap[&l.pos].clone(),
+                            layout: l.layout.rename(&rmap),
+                        })
+                    }
+                };
+                (*x, lifted)
+            })
+            .collect()
+    }
+
+    /// Compile a lifted lambda body over the elements of `xs`; returns the
+    /// map context and the body's representation (keyed by the inner
+    /// iteration id).
+    fn lift_lambda(
+        &mut self,
+        lam: &Exp,
+        xs: &ListRep,
+        env: &Env,
+    ) -> Result<(MapCtx, Rep), FerryError> {
+        let Exp::Lam(x, body, lam_ty) = lam else {
+            return Err(FerryError::IllTyped(format!(
+                "combinator expects a lambda, got {lam}"
+            )));
+        };
+        let Ty::Fun(arg_ty, _) = lam_ty else {
+            return Err(FerryError::IllTyped("lambda with non-function type".into()));
+        };
+        let ctx = self.map_begin(xs);
+        let arg = self.elem_rep(&ctx, arg_ty);
+        let mut env2 = self.lift_env(env, &ctx);
+        env2.push((*x, arg));
+        let inner_loop = ctx.inner_loop.clone();
+        let rb = self.compile(body, &env2, &inner_loop)?;
+        Ok((ctx, rb))
+    }
+
+    /// Join a flat body result back through the map relation, recovering
+    /// the outer (iter, pos) of each element.
+    fn map_join_back(&mut self, ctx: &MapCtx, body: FlatRep) -> ListRep {
+        let keep = Self::flat_cols_of(&body);
+        let (jp, rmap) = self.join_on_iter(
+            ctx.m,
+            &ctx.inner_iter,
+            body.plan,
+            &body.iter,
+            &keep,
+        );
+        ListRep {
+            plan: jp,
+            iter: ctx.outer_iter.clone(),
+            pos: ctx.outer_pos.clone(),
+            layout: body.layout.rename(&rmap),
+        }
+    }
+
+    fn compile_map(&mut self, lam: &Exp, xs: ListRep, env: &Env) -> Result<ListRep, FerryError> {
+        let (ctx, rb) = self.lift_lambda(lam, &xs, env)?;
+        Ok(match rb {
+            Rep::Flat(f) => self.map_join_back(&ctx, f),
+            Rep::List(inner) => ListRep {
+                // each element's value is itself a list: box it behind the
+                // inner iteration key — no join needed (§3.2, surrogates)
+                plan: ctx.m,
+                iter: ctx.outer_iter.clone(),
+                pos: ctx.outer_pos.clone(),
+                layout: Layout::Nested {
+                    surr: ctx.inner_iter.clone(),
+                    inner: Box::new(inner),
+                },
+            },
+        })
+    }
+
+    /// `concat`: splice inner lists in outer-pos-major order.
+    fn compile_concat(&mut self, xss: ListRep) -> Result<ListRep, FerryError> {
+        let Layout::Nested { surr, inner } = &xss.layout else {
+            return Err(FerryError::IllTyped("concat on non-nested layout".into()));
+        };
+        let inner2 = self.reproject_list(inner);
+        let on = JoinCols::new(surr.clone(), inner2.iter.clone());
+        let plan = self.plan.equi_join(xss.plan, inner2.plan, on);
+        let joined = ListRep {
+            plan,
+            iter: xss.iter.clone(),
+            pos: inner2.pos.clone(),
+            layout: inner2.layout,
+        };
+        Ok(self.rerank(
+            joined,
+            vec![(xss.pos.clone(), Dir::Asc), (inner2.pos, Dir::Asc)],
+        ))
+    }
+
+    // --------------------------------------------------------- App1 / App2
+
+    fn compile_app1(
+        &mut self,
+        f: Fun1,
+        e: &Exp,
+        _ty: &Ty,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        use Fun1::*;
+        let xs = self.compile(e, env, lp)?.expect_list();
+        match f {
+            Concat => Ok(Rep::List(self.compile_concat(xs)?)),
+            Head | The => {
+                let plan = self.plan.select(
+                    xs.plan,
+                    Expr::eq(Expr::Col(xs.pos.clone()), Expr::lit(Value::Nat(1))),
+                );
+                Ok(Rep::Flat(FlatRep {
+                    plan,
+                    iter: xs.iter,
+                    layout: xs.layout,
+                }))
+            }
+            Last => {
+                let fr = self.at_extreme_pos(&xs, AggFun::Max)?;
+                Ok(Rep::Flat(fr))
+            }
+            Tail => Ok(Rep::List(self.compile_tail(xs))),
+            Init => {
+                // keep pos < max(pos); density is preserved (1..n-1)
+                let mx = self.fresh("mx");
+                let g = self.plan.group_by(
+                    xs.plan,
+                    xs.iter.clone(),
+                    vec![ferry_algebra::plan::Aggregate {
+                        fun: AggFun::Max,
+                        input: Some(xs.pos.clone()),
+                        output: mx.clone(),
+                    }],
+                );
+                let (jp, rmap) =
+                    self.join_on_iter(xs.plan, &xs.iter, g, &xs.iter, std::slice::from_ref(&mx));
+                let plan = self.plan.select(
+                    jp,
+                    Expr::bin(
+                        BinOp::Lt,
+                        Expr::Col(xs.pos.clone()),
+                        Expr::Col(rmap[&mx].clone()),
+                    ),
+                );
+                Ok(Rep::List(ListRep { plan, ..xs }))
+            }
+            Reverse => {
+                let order = vec![(xs.pos.clone(), Dir::Desc)];
+                Ok(Rep::List(self.rerank(xs, order)))
+            }
+            Length => Ok(Rep::Flat(self.agg_with_default(
+                &xs,
+                lp,
+                AggFun::CountAll,
+                None,
+                Some(Value::Int(0)),
+            ))),
+            Null => {
+                let len = self.agg_with_default(&xs, lp, AggFun::CountAll, None, Some(Value::Int(0)));
+                let col = self.fresh("o");
+                let plan = self.plan.compute(
+                    len.plan,
+                    col.clone(),
+                    Expr::eq(Expr::Col(len.layout.atom().clone()), Expr::lit(0i64)),
+                );
+                Ok(Rep::Flat(FlatRep {
+                    plan,
+                    iter: len.iter,
+                    layout: Layout::Atom(col),
+                }))
+            }
+            Sum => {
+                let item = xs.layout.atom().clone();
+                let zero = match e.ty().elem() {
+                    Some(Ty::Dbl) => Value::Dbl(0.0),
+                    _ => Value::Int(0),
+                };
+                Ok(Rep::Flat(self.agg_with_default(
+                    &xs,
+                    lp,
+                    AggFun::Sum,
+                    Some(item),
+                    Some(zero),
+                )))
+            }
+            Avg => {
+                let item = xs.layout.atom().clone();
+                Ok(Rep::Flat(self.agg_with_default(&xs, lp, AggFun::Avg, Some(item), None)))
+            }
+            Maximum => {
+                let item = xs.layout.atom().clone();
+                Ok(Rep::Flat(self.agg_with_default(&xs, lp, AggFun::Max, Some(item), None)))
+            }
+            Minimum => {
+                let item = xs.layout.atom().clone();
+                Ok(Rep::Flat(self.agg_with_default(&xs, lp, AggFun::Min, Some(item), None)))
+            }
+            And => {
+                let item = xs.layout.atom().clone();
+                Ok(Rep::Flat(self.agg_with_default(
+                    &xs,
+                    lp,
+                    AggFun::All,
+                    Some(item),
+                    Some(Value::Bool(true)),
+                )))
+            }
+            Or => {
+                let item = xs.layout.atom().clone();
+                Ok(Rep::Flat(self.agg_with_default(
+                    &xs,
+                    lp,
+                    AggFun::Any,
+                    Some(item),
+                    Some(Value::Bool(false)),
+                )))
+            }
+            Nub => {
+                if !xs.layout.is_flat() {
+                    return Err(FerryError::Unsupported(
+                        "nub over non-flat element types".into(),
+                    ));
+                }
+                let mut keys = xs.iter.clone();
+                keys.extend(xs.layout.flat_cols());
+                let p0 = self.fresh("p0");
+                let g = self.plan.group_by(
+                    xs.plan,
+                    keys,
+                    vec![ferry_algebra::plan::Aggregate {
+                        fun: AggFun::Min,
+                        input: Some(xs.pos.clone()),
+                        output: p0.clone(),
+                    }],
+                );
+                let lr = ListRep {
+                    plan: g,
+                    iter: xs.iter,
+                    pos: p0.clone(),
+                    layout: xs.layout,
+                };
+                let order = vec![(p0, Dir::Asc)];
+                Ok(Rep::List(self.rerank(lr, order)))
+            }
+            Unzip => {
+                let comps = xs.layout.tuple().to_vec();
+                if comps.len() != 2 {
+                    return Err(FerryError::IllTyped("unzip on non-pair".into()));
+                }
+                let (plan, map) = self.reproject(lp.plan, &lp.iter);
+                let iter: Vec<ColName> = lp.iter.iter().map(|c| map[c].clone()).collect();
+                let nested = |layout: Layout, xs: &ListRep, iter: &[ColName]| Layout::Nested {
+                    surr: iter.to_vec(),
+                    inner: Box::new(ListRep {
+                        plan: xs.plan,
+                        iter: xs.iter.clone(),
+                        pos: xs.pos.clone(),
+                        layout,
+                    }),
+                };
+                let l0 = nested(comps[0].clone(), &xs, &iter);
+                let l1 = nested(comps[1].clone(), &xs, &iter);
+                Ok(Rep::Flat(FlatRep {
+                    plan,
+                    iter,
+                    layout: Layout::Tuple(vec![l0, l1]),
+                }))
+            }
+            Number => {
+                let idx = self.fresh("ix");
+                let plan = self.plan.compute(
+                    xs.plan,
+                    idx.clone(),
+                    Expr::cast(ferry_algebra::Ty::Int, Expr::Col(xs.pos.clone())),
+                );
+                Ok(Rep::List(ListRep {
+                    plan,
+                    iter: xs.iter,
+                    pos: xs.pos,
+                    layout: Layout::Tuple(vec![xs.layout, Layout::Atom(idx)]),
+                }))
+            }
+        }
+    }
+
+    /// The element at the extreme position (MIN/MAX of `pos`) of each list.
+    fn at_extreme_pos(&mut self, xs: &ListRep, agg: AggFun) -> Result<FlatRep, FerryError> {
+        let mx = self.fresh("mx");
+        let g = self.plan.group_by(
+            xs.plan,
+            xs.iter.clone(),
+            vec![ferry_algebra::plan::Aggregate {
+                fun: agg,
+                input: Some(xs.pos.clone()),
+                output: mx.clone(),
+            }],
+        );
+        let (jp, rmap) = self.join_on_iter(xs.plan, &xs.iter, g, &xs.iter, std::slice::from_ref(&mx));
+        let plan = self.plan.select(
+            jp,
+            Expr::eq(Expr::Col(xs.pos.clone()), Expr::Col(rmap[&mx].clone())),
+        );
+        Ok(FlatRep {
+            plan,
+            iter: xs.iter.clone(),
+            layout: xs.layout.clone(),
+        })
+    }
+
+    fn compile_app2(
+        &mut self,
+        f: Fun2,
+        a: &Rc<Exp>,
+        b: &Rc<Exp>,
+        _ty: &Ty,
+        env: &Env,
+        lp: &Loop,
+    ) -> Result<Rep, FerryError> {
+        use Fun2::*;
+        match f {
+            Map => {
+                let xs = self.compile(b, env, lp)?.expect_list();
+                Ok(Rep::List(self.compile_map(a, xs, env)?))
+            }
+            ConcatMap => {
+                let xs = self.compile(b, env, lp)?.expect_list();
+                let mapped = self.compile_map(a, xs, env)?;
+                Ok(Rep::List(self.compile_concat(mapped)?))
+            }
+            Filter => {
+                let xs = self.compile(b, env, lp)?.expect_list();
+                let (ctx, rb) = self.lift_lambda(a, &xs, env)?;
+                let pb = rb.expect_flat();
+                // when the predicate's plan still carries the element row
+                // (the common case with left-spine lifting), select in
+                // place — no join back through the map relation
+                let plan = if self.plan_has_cols(pb.plan, &ctx, &pb.iter) {
+                    self.plan
+                        .select(pb.plan, Expr::Col(pb.layout.atom().clone()))
+                } else {
+                    let keep = Self::flat_cols_of(&pb);
+                    let (jp, rmap) = self.join_on_iter(
+                        ctx.m,
+                        &ctx.inner_iter,
+                        pb.plan,
+                        &pb.iter,
+                        &keep,
+                    );
+                    self.plan
+                        .select(jp, Expr::Col(rmap[pb.layout.atom()].clone()))
+                };
+                let lr = ListRep {
+                    plan,
+                    iter: ctx.outer_iter.clone(),
+                    pos: ctx.outer_pos.clone(),
+                    layout: ctx.elem_layout.clone(),
+                };
+                let order = vec![(ctx.outer_pos.clone(), Dir::Asc)];
+                Ok(Rep::List(self.rerank(lr, order)))
+            }
+            GroupWith | SortWith => {
+                let xs = self.compile(b, env, lp)?.expect_list();
+                let (ctx, rb) = self.lift_lambda(a, &xs, env)?;
+                let kb = rb.expect_flat();
+                if !kb.layout.is_flat() {
+                    return Err(FerryError::Unsupported(
+                        "group/sort key must be a flat type".into(),
+                    ));
+                }
+                let keep = Self::flat_cols_of(&kb);
+                let (jp, rmap) = self.join_on_iter(
+                    ctx.m,
+                    &ctx.inner_iter,
+                    kb.plan,
+                    &kb.iter,
+                    &keep,
+                );
+                let kcols: Vec<ColName> = kb
+                    .layout
+                    .flat_cols()
+                    .iter()
+                    .map(|c| rmap[c].clone())
+                    .collect();
+                if f == SortWith {
+                    let mut order: Vec<(ColName, Dir)> =
+                        kcols.iter().map(|c| (c.clone(), Dir::Asc)).collect();
+                    order.push((ctx.outer_pos.clone(), Dir::Asc));
+                    let lr = ListRep {
+                        plan: jp,
+                        iter: ctx.outer_iter.clone(),
+                        pos: ctx.outer_pos.clone(),
+                        layout: ctx.elem_layout.clone(),
+                    };
+                    return Ok(Rep::List(self.rerank(lr, order)));
+                }
+                // group_with: surrogates per (iter, key) via DENSE_RANK
+                let surr = self.fresh("grp");
+                let mut order: Vec<(ColName, Dir)> = ctx
+                    .outer_iter
+                    .iter()
+                    .map(|c| (c.clone(), Dir::Asc))
+                    .collect();
+                order.extend(kcols.iter().map(|c| (c.clone(), Dir::Asc)));
+                let ranked = self.plan.dense_rank(jp, surr.clone(), vec![], order);
+                // outer list: one row per group, ordered by key
+                let mut outer_cols = ctx.outer_iter.clone();
+                outer_cols.extend(kcols.iter().cloned());
+                outer_cols.push(surr.clone());
+                let outer_proj = self.plan.project_keep(ranked, &outer_cols);
+                let outer_dist = self.plan.distinct(outer_proj);
+                let opos = self.fresh("pos");
+                let outer = self.plan.rownum(
+                    outer_dist,
+                    opos.clone(),
+                    ctx.outer_iter.clone(),
+                    kcols.iter().map(|c| (c.clone(), Dir::Asc)).collect(),
+                );
+                // inner lists: elements keyed by their group surrogate, in
+                // original order
+                let ipos = self.fresh("pos");
+                let inner_plan = self.plan.rownum(
+                    ranked,
+                    ipos.clone(),
+                    vec![surr.clone()],
+                    vec![(ctx.outer_pos.clone(), Dir::Asc)],
+                );
+                let inner = ListRep {
+                    plan: inner_plan,
+                    iter: vec![surr.clone()],
+                    pos: ipos,
+                    layout: ctx.elem_layout.clone(),
+                };
+                Ok(Rep::List(ListRep {
+                    plan: outer,
+                    iter: ctx.outer_iter.clone(),
+                    pos: opos,
+                    layout: Layout::Nested {
+                        surr: vec![surr],
+                        inner: Box::new(inner),
+                    },
+                }))
+            }
+            Append => {
+                let xs = self.compile(a, env, lp)?.expect_list();
+                let ys = self.compile(b, env, lp)?.expect_list();
+                let (tab, tag) = self.union_tabs(Tab::of_list(&xs), Tab::of_list(&ys));
+                let lr = tab.into_list();
+                let order = vec![(tag, Dir::Asc), (lr.pos.clone(), Dir::Asc)];
+                Ok(Rep::List(self.rerank(lr, order)))
+            }
+            Cons => {
+                let x = self.compile(a, env, lp)?;
+                let xf = self.as_flat(x, lp);
+                let pos = self.fresh("pos");
+                let xplan = self.plan.attach(xf.plan, pos.clone(), Value::Nat(1));
+                let mut prefix = xf.iter.clone();
+                prefix.push(pos);
+                let head_tab = Tab {
+                    plan: xplan,
+                    prefix,
+                    layout: xf.layout,
+                };
+                let ys = self.compile(b, env, lp)?.expect_list();
+                let (tab, tag) = self.union_tabs(head_tab, Tab::of_list(&ys));
+                let lr = tab.into_list();
+                let order = vec![(tag, Dir::Asc), (lr.pos.clone(), Dir::Asc)];
+                Ok(Rep::List(self.rerank(lr, order)))
+            }
+            Index => {
+                let xs = self.compile(a, env, lp)?.expect_list();
+                let n = self.compile(b, env, lp)?.expect_flat();
+                let (jp, rmap) = self.join_on_iter(
+                    xs.plan,
+                    &xs.iter,
+                    n.plan,
+                    &n.iter,
+                    &Self::flat_cols_of(&n),
+                );
+                let ncol = rmap[n.layout.atom()].clone();
+                let plan = self.plan.select(
+                    jp,
+                    Expr::eq(
+                        Expr::cast(ferry_algebra::Ty::Int, Expr::Col(xs.pos.clone())),
+                        Expr::bin(BinOp::Add, Expr::Col(ncol), Expr::lit(1i64)),
+                    ),
+                );
+                Ok(Rep::Flat(FlatRep {
+                    plan,
+                    iter: xs.iter,
+                    layout: xs.layout,
+                }))
+            }
+            Take | Drop => {
+                let n = self.compile(a, env, lp)?.expect_flat();
+                let xs = self.compile(b, env, lp)?.expect_list();
+                let (jp, rmap) = self.join_on_iter(
+                    xs.plan,
+                    &xs.iter,
+                    n.plan,
+                    &n.iter,
+                    &Self::flat_cols_of(&n),
+                );
+                let ncol = Expr::Col(rmap[n.layout.atom()].clone());
+                let posi = Expr::cast(ferry_algebra::Ty::Int, Expr::Col(xs.pos.clone()));
+                if f == Take {
+                    // pos <= n keeps density — no re-rank needed
+                    let plan = self.plan.select(jp, Expr::bin(BinOp::Le, posi, ncol));
+                    Ok(Rep::List(ListRep { plan, ..xs }))
+                } else {
+                    let plan = self.plan.select(jp, Expr::bin(BinOp::Gt, posi, ncol));
+                    let lr = ListRep { plan, ..xs };
+                    let order = vec![(lr.pos.clone(), Dir::Asc)];
+                    Ok(Rep::List(self.rerank(lr, order)))
+                }
+            }
+            TakeWhile | DropWhile => {
+                let xs = self.compile(b, env, lp)?.expect_list();
+                let (ctx, rb) = self.lift_lambda(a, &xs, env)?;
+                let pb = rb.expect_flat();
+                // a plan carrying both the element row and the predicate
+                let (jp, pred_col) = if self.plan_has_cols(pb.plan, &ctx, &pb.iter) {
+                    (pb.plan, pb.layout.atom().clone())
+                } else {
+                    let keep = Self::flat_cols_of(&pb);
+                    let (jp, rmap) = self.join_on_iter(
+                        ctx.m,
+                        &ctx.inner_iter,
+                        pb.plan,
+                        &pb.iter,
+                        &keep,
+                    );
+                    (jp, rmap[pb.layout.atom()].clone())
+                };
+                // the boundary: the first position where the predicate
+                // fails, per outer iteration
+                let failing = self
+                    .plan
+                    .select(jp, Expr::not(Expr::Col(pred_col.clone())));
+                let bcol = self.fresh("b");
+                let fb = self.plan.group_by(
+                    failing,
+                    ctx.outer_iter.clone(),
+                    vec![ferry_algebra::plan::Aggregate {
+                        fun: AggFun::Min,
+                        input: Some(ctx.outer_pos.clone()),
+                        output: bcol.clone(),
+                    }],
+                );
+                // list columns of the result
+                let mut cols: Vec<ColName> = ctx.outer_iter.clone();
+                if !cols.contains(&ctx.outer_pos) {
+                    cols.push(ctx.outer_pos.clone());
+                }
+                ctx.elem_layout.local_cols(&mut cols);
+                let (withb, rmap) = self.join_on_iter(
+                    jp,
+                    &ctx.outer_iter,
+                    fb,
+                    &ctx.outer_iter,
+                    std::slice::from_ref(&bcol),
+                );
+                let b_ref = Expr::Col(rmap[&bcol].clone());
+                let pos_ref = Expr::Col(ctx.outer_pos.clone());
+                if f == TakeWhile {
+                    // prefix strictly before the boundary — plus, whole
+                    // iterations that never fail
+                    let sel = self
+                        .plan
+                        .select(withb, Expr::bin(BinOp::Lt, pos_ref, b_ref));
+                    let part1 = self.plan.project_keep(sel, &cols);
+                    let all_ok = self.plan.anti_join(
+                        jp,
+                        fb,
+                        JoinCols::new(ctx.outer_iter.clone(), ctx.outer_iter.clone()),
+                    );
+                    let part2 = self.plan.project_keep(all_ok, &cols);
+                    let plan = self.plan.union_all(part1, part2);
+                    // positions are a prefix — still dense
+                    Ok(Rep::List(ListRep {
+                        plan,
+                        iter: ctx.outer_iter.clone(),
+                        pos: ctx.outer_pos.clone(),
+                        layout: ctx.elem_layout.clone(),
+                    }))
+                } else {
+                    // from the boundary onward; iterations that never fail
+                    // drop everything
+                    let sel = self
+                        .plan
+                        .select(withb, Expr::bin(BinOp::Ge, pos_ref, b_ref));
+                    let plan = self.plan.project_keep(sel, &cols);
+                    let lr = ListRep {
+                        plan,
+                        iter: ctx.outer_iter.clone(),
+                        pos: ctx.outer_pos.clone(),
+                        layout: ctx.elem_layout.clone(),
+                    };
+                    let order = vec![(ctx.outer_pos.clone(), Dir::Asc)];
+                    Ok(Rep::List(self.rerank(lr, order)))
+                }
+            }
+            Zip => {
+                let xs = self.compile(a, env, lp)?.expect_list();
+                let ys = self.compile(b, env, lp)?.expect_list();
+                let ys2 = self.reproject_list(&ys);
+                let mut lcols = xs.iter.clone();
+                lcols.push(xs.pos.clone());
+                let mut rcols = ys2.iter.clone();
+                rcols.push(ys2.pos.clone());
+                let plan = self
+                    .plan
+                    .equi_join(xs.plan, ys2.plan, JoinCols::new(lcols, rcols));
+                Ok(Rep::List(ListRep {
+                    plan,
+                    iter: xs.iter,
+                    pos: xs.pos,
+                    layout: Layout::Tuple(vec![xs.layout, ys2.layout]),
+                }))
+            }
+        }
+    }
+
+    /// Does the plan's schema still expose the map context's element row
+    /// (iteration key, position, item columns) under its original names?
+    /// Column names are globally unique per compilation, so presence by
+    /// name implies provenance from the map relation.
+    fn plan_has_cols(&self, plan: NodeId, ctx: &MapCtx, rep_iter: &[ColName]) -> bool {
+        if rep_iter != ctx.inner_iter.as_slice() {
+            return false;
+        }
+        let Ok(schemas) = ferry_algebra::infer_schema(&self.plan) else {
+            return false;
+        };
+        let s = &schemas[plan.index()];
+        let mut need: Vec<ColName> = ctx.inner_iter.clone();
+        if !need.contains(&ctx.outer_pos) {
+            need.push(ctx.outer_pos.clone());
+        }
+        ctx.elem_layout.local_cols(&mut need);
+        need.iter().all(|c| s.contains(c))
+    }
+
+    /// `tail`: drop the first element and re-rank.
+    pub fn compile_tail(&mut self, xs: ListRep) -> ListRep {
+        let plan = self.plan.select(
+            xs.plan,
+            Expr::bin(
+                BinOp::Gt,
+                Expr::Col(xs.pos.clone()),
+                Expr::lit(Value::Nat(1)),
+            ),
+        );
+        let lr = ListRep { plan, ..xs };
+        let order = vec![(lr.pos.clone(), Dir::Asc)];
+        self.rerank(lr, order)
+    }
+}
+
+/// Build the scalar expression for a primitive over two flat layouts
+/// (columns of the same joined plan). Tuple comparison is lexicographic.
+fn prim2_expr(op: Prim2, la: &Layout, lb: &Layout) -> Result<Expr, FerryError> {
+    use Prim2::*;
+    let bop = |o: BinOp| Expr::bin(o, Expr::Col(la.atom().clone()), Expr::Col(lb.atom().clone()));
+    match op {
+        Add => Ok(bop(BinOp::Add)),
+        Sub => Ok(bop(BinOp::Sub)),
+        Mul => Ok(bop(BinOp::Mul)),
+        Div => Ok(bop(BinOp::Div)),
+        Mod => Ok(bop(BinOp::Mod)),
+        And => Ok(bop(BinOp::And)),
+        Or => Ok(bop(BinOp::Or)),
+        Conc => Ok(bop(BinOp::Concat)),
+        Eq => Ok(eq_expr(la, lb)),
+        Ne => Ok(Expr::not(eq_expr(la, lb))),
+        Lt => Ok(lex_lt(la, lb)),
+        Gt => Ok(lex_lt(lb, la)),
+        Le => Ok(Expr::not(lex_lt(lb, la))),
+        Ge => Ok(Expr::not(lex_lt(la, lb))),
+    }
+}
+
+/// Pairwise conjunction of component equalities.
+fn eq_expr(la: &Layout, lb: &Layout) -> Expr {
+    let (ca, cb) = (la.flat_cols(), lb.flat_cols());
+    ca.iter()
+        .zip(cb.iter())
+        .map(|(a, b)| Expr::eq(Expr::Col(a.clone()), Expr::Col(b.clone())))
+        .reduce(Expr::and)
+        .unwrap_or(Expr::lit(true))
+}
+
+/// Lexicographic `<` over flattened components.
+fn lex_lt(la: &Layout, lb: &Layout) -> Expr {
+    let (ca, cb) = (la.flat_cols(), lb.flat_cols());
+    // (a1<b1) ∨ (a1=b1 ∧ ((a2<b2) ∨ …))
+    let mut expr: Option<Expr> = None;
+    for (a, b) in ca.iter().zip(cb.iter()).rev() {
+        let lt = Expr::bin(BinOp::Lt, Expr::Col(a.clone()), Expr::Col(b.clone()));
+        let eq = Expr::eq(Expr::Col(a.clone()), Expr::Col(b.clone()));
+        expr = Some(match expr {
+            None => lt,
+            Some(rest) => Expr::bin(BinOp::Or, lt, Expr::and(eq, rest)),
+        });
+    }
+    expr.unwrap_or(Expr::lit(false))
+}

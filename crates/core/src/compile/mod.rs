@@ -1,0 +1,397 @@
+//! Loop-lifting: compiling the kernel AST into table algebra.
+//!
+//! "With a translation technique coined loop-lifting, these list-processing
+//! combinators are compiled into an intermediate representation called
+//! table algebra" (§3, Fig. 2, step 2). The scheme follows \[13\]:
+//!
+//! * Every subexpression is compiled relative to a [`rep::Loop`] relation
+//!   holding one row per live iteration. A `map (λx → e) xs` does **not**
+//!   iterate: it manufactures a *new* loop with one iteration per element
+//!   of `xs` (a single `ROW_NUMBER`), lifts the environment into that loop,
+//!   and compiles `e` *once* — the relational engine then evaluates all
+//!   iterations in one data-parallel bulk operation ("loop-lifting thus
+//!   fully realises the independence of the iterated evaluations").
+//! * List order is encoded in dense 1-based `pos` columns; nesting is
+//!   encoded by surrogate keys ([`rep::Layout::Nested`]).
+//! * Aggregates over possibly-empty lists re-attach defaults for the
+//!   iterations that vanished from the aggregate's input (`loop − iters`).
+//!
+//! The compiler only ever generates fresh column names, so the algebra's
+//! join/union name disciplines hold by construction; every emitted plan is
+//! nevertheless re-validated by `ferry_algebra::validate` before execution.
+
+pub mod cases;
+pub mod consts;
+pub mod rep;
+pub mod unions;
+
+use crate::error::FerryError;
+use crate::exp::Exp;
+use crate::types::Ty;
+use ferry_algebra::{ColName, Dir, Expr, JoinCols, NodeId, Plan, Schema, Value};
+use rep::{FlatRep, Layout, ListRep, Loop, Rep};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Catalog information the compiler needs about a base table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Columns in catalog order.
+    pub cols: Vec<(String, ferry_algebra::Ty)>,
+    /// Names of the key columns defining canonical row order.
+    pub keys: Vec<String>,
+}
+
+/// Source of table schemas at compile time (implemented by
+/// [`crate::runtime::Connection`]).
+pub trait SchemaProvider {
+    fn table_info(&self, name: &str) -> Option<TableInfo>;
+}
+
+/// Environment: variable → lifted representation.
+pub type Env = Vec<(u32, Rep)>;
+
+/// The loop-lifting compiler. One instance per compiled program; owns the
+/// growing plan DAG and the fresh-name supply.
+pub struct Compiler<'a> {
+    pub plan: Plan,
+    next_name: u32,
+    pub(crate) provider: &'a dyn SchemaProvider,
+}
+
+/// Compile a closed kernel term, returning the live compiler (so shredding
+/// can keep allocating fresh names), the result representation and the
+/// (single-iteration) top-level loop.
+pub(crate) fn compile_to_rep<'a>(
+    exp: &Exp,
+    provider: &'a dyn SchemaProvider,
+) -> Result<(Compiler<'a>, Rep, Loop), FerryError> {
+    if contains_fun(exp.ty()) {
+        return Err(FerryError::Unsupported(format!(
+            "result type {} contains a function type",
+            exp.ty()
+        )));
+    }
+    let mut c = Compiler {
+        plan: Plan::new(),
+        next_name: 0,
+        provider,
+    };
+    let lp = c.top_loop();
+    let rep = c.compile(exp, &Vec::new(), &lp)?;
+    Ok((c, rep, lp))
+}
+
+/// Compile a closed kernel term. Returns the plan DAG, the representation
+/// of the result, and the (single-iteration) top-level loop.
+pub fn compile_rep(
+    exp: &Exp,
+    provider: &dyn SchemaProvider,
+) -> Result<(Plan, Rep, Loop), FerryError> {
+    let (c, rep, lp) = compile_to_rep(exp, provider)?;
+    Ok((c.plan, rep, lp))
+}
+
+fn contains_fun(ty: &Ty) -> bool {
+    match ty {
+        Ty::Fun(..) => true,
+        Ty::Tuple(ts) => ts.iter().any(contains_fun),
+        Ty::List(e) => contains_fun(e),
+        _ => false,
+    }
+}
+
+impl<'a> Compiler<'a> {
+    /// A fresh column name. Prefixes make plans readable in dumps; the
+    /// counter guarantees global uniqueness within a compilation.
+    pub fn fresh(&mut self, base: &str) -> ColName {
+        let n = self.next_name;
+        self.next_name += 1;
+        Arc::from(format!("{base}{n}"))
+    }
+
+    /// The single-iteration top-level loop: `Lit [(iter = 1)]`.
+    pub fn top_loop(&mut self) -> Loop {
+        let iter = self.fresh("iter");
+        let plan = self.plan.lit(
+            Schema::new(vec![(iter.clone(), ferry_algebra::Ty::Nat)]),
+            vec![vec![Value::Nat(1)]],
+        );
+        Loop {
+            plan,
+            iter: vec![iter],
+        }
+    }
+
+    // ------------------------------------------------------- projections
+
+    /// Project `plan` to the given columns under fresh names. Duplicates in
+    /// `cols` are projected once; the rename map covers every input column.
+    pub fn reproject(
+        &mut self,
+        plan: NodeId,
+        cols: &[ColName],
+    ) -> (NodeId, HashMap<ColName, ColName>) {
+        let mut map: HashMap<ColName, ColName> = HashMap::new();
+        let mut proj: Vec<(ColName, ColName)> = Vec::new();
+        for c in cols {
+            if !map.contains_key(c) {
+                let fresh = self.fresh("c");
+                map.insert(c.clone(), fresh.clone());
+                proj.push((fresh, c.clone()));
+            }
+        }
+        let node = self.plan.project(plan, proj);
+        (node, map)
+    }
+
+    /// All host-table columns of a list representation.
+    pub fn list_cols(lr: &ListRep) -> Vec<ColName> {
+        let mut cols: Vec<ColName> = Vec::new();
+        for c in &lr.iter {
+            if !cols.contains(c) {
+                cols.push(c.clone());
+            }
+        }
+        if !cols.contains(&lr.pos) {
+            cols.push(lr.pos.clone());
+        }
+        lr.layout.local_cols(&mut cols);
+        cols
+    }
+
+    /// All host-table columns of a flat representation.
+    pub fn flat_cols_of(fr: &FlatRep) -> Vec<ColName> {
+        let mut cols: Vec<ColName> = Vec::new();
+        for c in &fr.iter {
+            if !cols.contains(c) {
+                cols.push(c.clone());
+            }
+        }
+        fr.layout.local_cols(&mut cols);
+        cols
+    }
+
+    /// Copy a list representation behind a fresh projection (used before
+    /// joins to guarantee column-name disjointness even under DAG sharing).
+    pub fn reproject_list(&mut self, lr: &ListRep) -> ListRep {
+        let cols = Self::list_cols(lr);
+        let (node, map) = self.reproject(lr.plan, &cols);
+        ListRep {
+            plan: node,
+            iter: lr.iter.iter().map(|c| map[c].clone()).collect(),
+            pos: map[&lr.pos].clone(),
+            layout: lr.layout.rename(&map),
+        }
+    }
+
+    /// Equi-join `l` with a freshly renamed copy of `r` on their iteration
+    /// keys. `r_keep` lists additional columns of `r` to carry. Returns the
+    /// join node and the rename map for `r`'s columns.
+    pub fn join_on_iter(
+        &mut self,
+        l_plan: NodeId,
+        l_iter: &[ColName],
+        r_plan: NodeId,
+        r_iter: &[ColName],
+        r_keep: &[ColName],
+    ) -> (NodeId, HashMap<ColName, ColName>) {
+        debug_assert_eq!(l_iter.len(), r_iter.len(), "iteration key widths differ");
+        let mut keep: Vec<ColName> = r_iter.to_vec();
+        for c in r_keep {
+            if !keep.contains(c) {
+                keep.push(c.clone());
+            }
+        }
+        let (rp, map) = self.reproject(r_plan, &keep);
+        let on = JoinCols::new(
+            l_iter.to_vec(),
+            r_iter.iter().map(|c| map[c].clone()).collect(),
+        );
+        let node = self.plan.equi_join(l_plan, rp, on);
+        (node, map)
+    }
+
+    // ------------------------------------------------------ (un)boxing
+
+    /// Unbox a nested component: join the inner element table back through
+    /// its surrogate, re-keying it by `host_key` (the paper's *unboxing*
+    /// analysis in action, §3.2).
+    pub fn unbox(
+        &mut self,
+        host_plan: NodeId,
+        host_key: &[ColName],
+        surr: &[ColName],
+        inner: &ListRep,
+    ) -> ListRep {
+        let inner2 = self.reproject_list(inner);
+        debug_assert_eq!(surr.len(), inner2.iter.len(), "surrogate width mismatch");
+        let on = JoinCols::new(surr.to_vec(), inner2.iter.clone());
+        let plan = self.plan.equi_join(host_plan, inner2.plan, on);
+        ListRep {
+            plan,
+            iter: host_key.to_vec(),
+            pos: inner2.pos,
+            layout: inner2.layout,
+        }
+    }
+
+    /// Box a list value as a one-row-per-iteration flat value whose layout
+    /// is a surrogate link (tuple components of list type, list literals of
+    /// list element type).
+    pub fn box_list(&mut self, lr: ListRep, lp: &Loop) -> FlatRep {
+        let (plan, map) = self.reproject(lp.plan, &lp.iter);
+        let iter: Vec<ColName> = lp.iter.iter().map(|c| map[c].clone()).collect();
+        FlatRep {
+            plan,
+            iter: iter.clone(),
+            layout: Layout::Nested {
+                surr: iter,
+                inner: Box::new(lr),
+            },
+        }
+    }
+
+    /// Coerce any representation into a flat one under `lp` (lists get
+    /// boxed).
+    pub fn as_flat(&mut self, rep: Rep, lp: &Loop) -> FlatRep {
+        match rep {
+            Rep::Flat(f) => f,
+            Rep::List(l) => self.box_list(l, lp),
+        }
+    }
+
+    /// Assemble a tuple value from component representations (all keyed by
+    /// `lp`).
+    pub fn tuple_of_reps(&mut self, reps: Vec<Rep>, lp: &Loop) -> FlatRep {
+        let (mut plan, map) = self.reproject(lp.plan, &lp.iter);
+        let iter: Vec<ColName> = lp.iter.iter().map(|c| map[c].clone()).collect();
+        let mut layouts = Vec::with_capacity(reps.len());
+        for rep in reps {
+            match rep {
+                Rep::Flat(f) => {
+                    let keep = Self::flat_cols_of(&f);
+                    let (jp, rmap) = self.join_on_iter(plan, &iter, f.plan, &f.iter, &keep);
+                    plan = jp;
+                    layouts.push(f.layout.rename(&rmap));
+                }
+                Rep::List(l) => {
+                    layouts.push(Layout::Nested {
+                        surr: iter.clone(),
+                        inner: Box::new(l),
+                    });
+                }
+            }
+        }
+        FlatRep {
+            plan,
+            iter,
+            layout: Layout::Tuple(layouts),
+        }
+    }
+
+    // ----------------------------------------------------- restriction
+
+    /// Restrict a representation to the iterations of a sub-loop (the
+    /// then/else environments of a conditional).
+    pub fn restrict_rep(&mut self, rep: &Rep, sub: &Loop) -> Rep {
+        let on = |iter: &[ColName]| JoinCols::new(iter.to_vec(), sub.iter.clone());
+        match rep {
+            Rep::Flat(f) => {
+                let plan = self.plan.semi_join(f.plan, sub.plan, on(&f.iter));
+                Rep::Flat(FlatRep {
+                    plan,
+                    iter: f.iter.clone(),
+                    layout: f.layout.clone(),
+                })
+            }
+            Rep::List(l) => {
+                let plan = self.plan.semi_join(l.plan, sub.plan, on(&l.iter));
+                Rep::List(ListRep {
+                    plan,
+                    iter: l.iter.clone(),
+                    pos: l.pos.clone(),
+                    layout: l.layout.clone(),
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------- aggregates
+
+    /// Grouped aggregation over the elements of `xs`, one output row per
+    /// iteration. When `default` is given, iterations whose list is empty
+    /// (absent from `xs`) are re-attached with the default — the empty-list
+    /// cases of `length`/`sum`/`and`/`or`. Without a default the operation
+    /// is partial (absent iterations stay absent: `maximum`, `avg`).
+    pub fn agg_with_default(
+        &mut self,
+        xs: &ListRep,
+        lp: &Loop,
+        fun: ferry_algebra::AggFun,
+        input: Option<ColName>,
+        default: Option<Value>,
+    ) -> FlatRep {
+        let out = self.fresh("agg");
+        let g = self.plan.group_by(
+            xs.plan,
+            xs.iter.clone(),
+            vec![ferry_algebra::plan::Aggregate {
+                fun,
+                input,
+                output: out.clone(),
+            }],
+        );
+        let Some(d) = default else {
+            return FlatRep {
+                plan: g,
+                iter: xs.iter.clone(),
+                layout: Layout::Atom(out),
+            };
+        };
+        // iterations with no elements: loop − π_iter(g)
+        let present = self.plan.project_keep(g, &xs.iter);
+        let (loop_proj, lmap) = self.reproject(lp.plan, &lp.iter);
+        let missing = self.plan.difference(loop_proj, present);
+        let filled = self.plan.attach(missing, out.clone(), d);
+        // align column names with g's output (iter cols ++ out)
+        let mut align: Vec<(ColName, ColName)> = xs
+            .iter
+            .iter()
+            .zip(lp.iter.iter())
+            .map(|(g_iter, l_iter)| (g_iter.clone(), lmap[l_iter].clone()))
+            .collect();
+        align.push((out.clone(), out.clone()));
+        let filled = self.plan.project(filled, align);
+        let plan = self.plan.union_all(g, filled);
+        FlatRep {
+            plan,
+            iter: xs.iter.clone(),
+            layout: Layout::Atom(out),
+        }
+    }
+
+    // ------------------------------------------------------------- misc
+
+    /// Re-rank positions: a fresh dense 1-based `pos` per iteration,
+    /// ordered by the given columns (ascending).
+    pub fn rerank(&mut self, lr: ListRep, order: Vec<(ColName, Dir)>) -> ListRep {
+        let pos2 = self.fresh("pos");
+        let plan = self
+            .plan
+            .rownum(lr.plan, pos2.clone(), lr.iter.clone(), order);
+        ListRep {
+            plan,
+            iter: lr.iter,
+            pos: pos2,
+            layout: lr.layout,
+        }
+    }
+
+    /// `Select` on a list representation, preserving its shape (positions
+    /// are *not* re-ranked — callers decide).
+    pub fn select_list(&mut self, lr: ListRep, pred: Expr) -> ListRep {
+        let plan = self.plan.select(lr.plan, pred);
+        ListRep { plan, ..lr }
+    }
+}

@@ -1,0 +1,175 @@
+//! Lifted representations: how compiled values live in table form.
+//!
+//! Following §3.2 of the paper, a value computed in an iteration context is
+//! represented by tables whose rows carry:
+//! * `iter` column(s) — which iteration of the enclosing `loop` the row
+//!   belongs to,
+//! * a `pos` column for list-typed values — the relational encoding of
+//!   list order (Fig. 3a),
+//! * item columns — atoms in-line, nested lists *boxed* behind surrogate
+//!   key columns that link to a separate inner table (Fig. 3b). This is
+//!   the "non-parametric representation for list elements" the paper
+//!   borrows from \[15\]/\[27\].
+//!
+//! Surrogates are *composite* (`Vec<ColName>`) during compilation: the
+//! union-producing operators (`if`, `++`, list literals) disambiguate the
+//! two sides with a tag column, widening the key. Shredding canonicalises
+//! every surrogate back to a single dense `Nat` before results leave the
+//! database, recovering the single-column `nest`/`@i` encoding of Fig. 3b.
+
+use ferry_algebra::{ColName, NodeId};
+use std::collections::HashMap;
+
+/// The iteration context: a relation with one row per live iteration,
+/// identified by the `iter` columns.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    pub plan: NodeId,
+    pub iter: Vec<ColName>,
+}
+
+/// Shape of the item columns of a compiled value.
+#[derive(Debug, Clone)]
+pub enum Layout {
+    /// A single atomic column.
+    Atom(ColName),
+    /// Components side by side — "the fields of a tuple live in adjacent
+    /// columns of the same table".
+    Tuple(Vec<Layout>),
+    /// A boxed inner list: `surr` columns in *this* table link to the
+    /// `iter` columns of the inner table.
+    Nested { surr: Vec<ColName>, inner: Box<ListRep> },
+}
+
+impl Layout {
+    /// All columns of this layout that live in the host table (surrogate
+    /// columns included, inner tables excluded), with duplicates removed
+    /// (aliasing is legal: a surrogate may reuse an `iter` column).
+    pub fn local_cols(&self, out: &mut Vec<ColName>) {
+        match self {
+            Layout::Atom(c) => push_unique(out, c),
+            Layout::Tuple(ls) => ls.iter().for_each(|l| l.local_cols(out)),
+            Layout::Nested { surr, .. } => surr.iter().for_each(|c| push_unique(out, c)),
+        }
+    }
+
+    /// Rename local columns through `map` (inner tables untouched).
+    pub fn rename(&self, map: &HashMap<ColName, ColName>) -> Layout {
+        let r = |c: &ColName| map.get(c).cloned().unwrap_or_else(|| c.clone());
+        match self {
+            Layout::Atom(c) => Layout::Atom(r(c)),
+            Layout::Tuple(ls) => Layout::Tuple(ls.iter().map(|l| l.rename(map)).collect()),
+            Layout::Nested { surr, inner } => Layout::Nested {
+                surr: surr.iter().map(r).collect(),
+                inner: inner.clone(),
+            },
+        }
+    }
+
+    /// The single atom column (layouts of atomic type).
+    pub fn atom(&self) -> &ColName {
+        match self {
+            Layout::Atom(c) => c,
+            l => panic!("expected an atomic layout, got {l:?}"),
+        }
+    }
+
+    /// The components of a tuple layout.
+    pub fn tuple(&self) -> &[Layout] {
+        match self {
+            Layout::Tuple(ls) => ls,
+            l => panic!("expected a tuple layout, got {l:?}"),
+        }
+    }
+
+    /// Flat layouts (atoms / tuples of atoms) flattened to their columns,
+    /// in canonical component order. Panics on `Nested`.
+    pub fn flat_cols(&self) -> Vec<ColName> {
+        let mut out = Vec::new();
+        fn go(l: &Layout, out: &mut Vec<ColName>) {
+            match l {
+                Layout::Atom(c) => out.push(c.clone()),
+                Layout::Tuple(ls) => ls.iter().for_each(|l| go(l, out)),
+                Layout::Nested { .. } => panic!("flat_cols on a nested layout"),
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    pub fn is_flat(&self) -> bool {
+        match self {
+            Layout::Atom(_) => true,
+            Layout::Tuple(ls) => ls.iter().all(Layout::is_flat),
+            Layout::Nested { .. } => false,
+        }
+    }
+}
+
+fn push_unique(out: &mut Vec<ColName>, c: &ColName) {
+    if !out.iter().any(|o| o == c) {
+        out.push(c.clone());
+    }
+}
+
+/// A compiled value of **list type**: the element table. One row per list
+/// element of every live iteration.
+#[derive(Debug, Clone)]
+pub struct ListRep {
+    pub plan: NodeId,
+    /// Which iteration (or which surrogate, for inner tables) each element
+    /// belongs to. Width always equals the width of the key it joins
+    /// against (the loop's `iter` or the outer table's surrogate).
+    pub iter: Vec<ColName>,
+    /// Dense 1-based position within its list — the order encoding. Every
+    /// combinator maintains density (re-ranking after selections), which
+    /// is what makes `zip`/`take`/`(!!)` pure column arithmetic.
+    pub pos: ColName,
+    pub layout: Layout,
+}
+
+/// A compiled value of **non-list type** (atom or tuple): one row per live
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct FlatRep {
+    pub plan: NodeId,
+    pub iter: Vec<ColName>,
+    pub layout: Layout,
+}
+
+/// A compiled value.
+#[derive(Debug, Clone)]
+pub enum Rep {
+    Flat(FlatRep),
+    List(ListRep),
+}
+
+impl Rep {
+    pub fn iter_cols(&self) -> &[ColName] {
+        match self {
+            Rep::Flat(r) => &r.iter,
+            Rep::List(r) => &r.iter,
+        }
+    }
+
+    pub fn plan(&self) -> NodeId {
+        match self {
+            Rep::Flat(r) => r.plan,
+            Rep::List(r) => r.plan,
+        }
+    }
+
+    pub fn expect_flat(self) -> FlatRep {
+        match self {
+            Rep::Flat(r) => r,
+            Rep::List(_) => panic!("expected a flat (non-list) representation"),
+        }
+    }
+
+    pub fn expect_list(self) -> ListRep {
+        match self {
+            Rep::List(r) => r,
+            Rep::Flat(_) => panic!("expected a list representation"),
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Unioning two compiled tables of equal type — the machinery behind
+//! `if`/`++`/`:`/list literals.
+//!
+//! The subtlety is nesting: the two sides carry their own surrogate keys,
+//! which may collide numerically. A constant *tag* column (1 = left,
+//! 2 = right) is attached on both sides and becomes part of every
+//! surrogate link and of the inner tables' iteration keys, so the merged
+//! surrogate space stays injective. Shredding later collapses the widened
+//! composite keys back to single dense surrogates.
+
+use super::rep::{Layout, ListRep};
+use super::Compiler;
+use ferry_algebra::{ColName, NodeId, Value};
+
+/// A table together with its prefix columns (iteration key, and position
+/// for element tables) and its item layout.
+pub struct Tab {
+    pub plan: NodeId,
+    pub prefix: Vec<ColName>,
+    pub layout: Layout,
+}
+
+impl Tab {
+    pub fn of_list(lr: &ListRep) -> Tab {
+        let mut prefix = lr.iter.clone();
+        prefix.push(lr.pos.clone());
+        Tab {
+            plan: lr.plan,
+            prefix,
+            layout: lr.layout.clone(),
+        }
+    }
+
+    /// Rebuild a list representation from a unioned element table whose
+    /// prefix is `iter ++ [pos]`.
+    pub fn into_list(self) -> ListRep {
+        let mut iter = self.prefix;
+        let pos = iter.pop().expect("prefix contains pos");
+        ListRep {
+            plan: self.plan,
+            iter,
+            pos,
+            layout: self.layout,
+        }
+    }
+}
+
+impl<'a> Compiler<'a> {
+    /// Union two tables of identical type/layout shape. Returns the merged
+    /// table (fresh prefix/item columns) and the name of the tag column
+    /// (1 = rows from `a`, 2 = rows from `b`) for callers that need to
+    /// order across the two sides (`++`).
+    pub fn union_tabs(&mut self, a: Tab, b: Tab) -> (Tab, ColName) {
+        assert_eq!(a.prefix.len(), b.prefix.len(), "prefix widths differ");
+
+        // 1. attach the side tags
+        let tag_a = self.fresh("tag");
+        let pa = self.plan.attach(a.plan, tag_a.clone(), Value::Nat(1));
+        let tag_b = self.fresh("tag");
+        let pb = self.plan.attach(b.plan, tag_b.clone(), Value::Nat(2));
+
+        // 2. walk both layouts in lockstep, assigning shared output names
+        //    and unioning inner tables recursively
+        let out_tag = self.fresh("tag");
+        let mut cols_a: Vec<(ColName, ColName)> = Vec::new(); // (out, src in a)
+        let mut cols_b: Vec<(ColName, ColName)> = Vec::new();
+        let out_prefix: Vec<ColName> = a
+            .prefix
+            .iter()
+            .zip(b.prefix.iter())
+            .map(|(ca, cb)| {
+                let o = self.fresh("p");
+                cols_a.push((o.clone(), ca.clone()));
+                cols_b.push((o.clone(), cb.clone()));
+                o
+            })
+            .collect();
+        cols_a.push((out_tag.clone(), tag_a));
+        cols_b.push((out_tag.clone(), tag_b));
+
+        let (pa, pb, layout) = self.union_layouts(
+            pa,
+            pb,
+            &a.layout,
+            &b.layout,
+            &out_tag,
+            &mut cols_a,
+            &mut cols_b,
+        );
+
+        // 3. project both sides to the common column set and union
+        let la = self.plan.project(pa, cols_a);
+        let lb = self.plan.project(pb, cols_b);
+        let plan = self.plan.union_all(la, lb);
+        (
+            Tab {
+                plan,
+                prefix: out_prefix,
+                layout,
+            },
+            out_tag,
+        )
+    }
+
+    /// Recursive layout merge. Extends the projection lists, pads
+    /// mismatched surrogate widths with zero columns, and unions the inner
+    /// tables of `Nested` components (prepending the side tag to their
+    /// iteration keys so they match the tagged outer surrogates).
+    #[allow(clippy::too_many_arguments)]
+    fn union_layouts(
+        &mut self,
+        mut pa: NodeId,
+        mut pb: NodeId,
+        la: &Layout,
+        lb: &Layout,
+        out_tag: &ColName,
+        cols_a: &mut Vec<(ColName, ColName)>,
+        cols_b: &mut Vec<(ColName, ColName)>,
+    ) -> (NodeId, NodeId, Layout) {
+        match (la, lb) {
+            (Layout::Atom(ca), Layout::Atom(cb)) => {
+                let o = self.fresh("i");
+                cols_a.push((o.clone(), ca.clone()));
+                cols_b.push((o.clone(), cb.clone()));
+                (pa, pb, Layout::Atom(o))
+            }
+            (Layout::Tuple(xs), Layout::Tuple(ys)) => {
+                let mut out = Vec::with_capacity(xs.len());
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    let (na, nb, l) =
+                        self.union_layouts(pa, pb, x, y, out_tag, cols_a, cols_b);
+                    pa = na;
+                    pb = nb;
+                    out.push(l);
+                }
+                (pa, pb, Layout::Tuple(out))
+            }
+            (
+                Layout::Nested { surr: sa, inner: ia },
+                Layout::Nested { surr: sb, inner: ib },
+            ) => {
+                let w = sa.len().max(sb.len());
+                // pad outer surrogates to common width
+                let (sa, na) = self.pad_nat(pa, sa.clone(), w);
+                pa = na;
+                let (sb, nb) = self.pad_nat(pb, sb.clone(), w);
+                pb = nb;
+                // shared output names: tag ++ padded surrogate columns
+                let mut out_surr = vec![out_tag.clone()];
+                for (ca, cb) in sa.iter().zip(sb.iter()) {
+                    let o = self.fresh("s");
+                    cols_a.push((o.clone(), ca.clone()));
+                    cols_b.push((o.clone(), cb.clone()));
+                    out_surr.push(o);
+                }
+                // union the inner tables with padded iteration keys; the
+                // recursive union attaches its own tag, matching the outer
+                // side tags by construction (left side of both unions is
+                // the `a` side).
+                let (ia_iter, ia_plan) = {
+                    let (it, p) = self.pad_nat(ia.plan, ia.iter.clone(), w);
+                    (it, p)
+                };
+                let (ib_iter, ib_plan) = {
+                    let (it, p) = self.pad_nat(ib.plan, ib.iter.clone(), w);
+                    (it, p)
+                };
+                let mut pref_a = ia_iter;
+                pref_a.push(ia.pos.clone());
+                let mut pref_b = ib_iter;
+                pref_b.push(ib.pos.clone());
+                let (inner_tab, inner_tag) = self.union_tabs(
+                    Tab {
+                        plan: ia_plan,
+                        prefix: pref_a,
+                        layout: ia.layout.clone(),
+                    },
+                    Tab {
+                        plan: ib_plan,
+                        prefix: pref_b,
+                        layout: ib.layout.clone(),
+                    },
+                );
+                let mut inner = inner_tab.into_list();
+                // the inner tag leads the iteration key, mirroring the
+                // outer surrogate's leading tag
+                let mut iter = vec![inner_tag];
+                iter.extend(inner.iter);
+                inner.iter = iter;
+                (
+                    pa,
+                    pb,
+                    Layout::Nested {
+                        surr: out_surr,
+                        inner: Box::new(inner),
+                    },
+                )
+            }
+            (a, b) => panic!("layout shapes differ in union: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Append zero-valued `Nat` columns until `cols` has width `w`.
+    fn pad_nat(
+        &mut self,
+        mut plan: NodeId,
+        mut cols: Vec<ColName>,
+        w: usize,
+    ) -> (Vec<ColName>, NodeId) {
+        while cols.len() < w {
+            let z = self.fresh("z");
+            plan = self.plan.attach(plan, z.clone(), Value::Nat(0));
+            cols.push(z);
+        }
+        (cols, plan)
+    }
+}

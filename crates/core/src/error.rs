@@ -1,0 +1,47 @@
+//! Error type for the Ferry front-end, compiler and runtime.
+
+use std::fmt;
+
+/// Anything that can go wrong between building a query and decoding its
+/// result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FerryError {
+    /// A combinator was applied outside its domain (e.g. `nub` over
+    /// elements that are not flat, `table` with a non-flat row type).
+    Unsupported(String),
+    /// The kernel AST is ill-typed — an internal invariant violation, since
+    /// the phantom-typed surface cannot build such terms.
+    IllTyped(String),
+    /// The referenced base table is missing or its row type does not match
+    /// the catalog (the paper: "it is the user's responsibility … otherwise
+    /// an error is thrown at runtime").
+    Table(String),
+    /// A partial operation was applied to an empty list (`head`, `the`,
+    /// `maximum`, out-of-range index, …).
+    Partial(String),
+    /// Error reported by the database engine.
+    Engine(String),
+    /// The tabular results could not be decoded into the result type.
+    Decode(String),
+}
+
+impl fmt::Display for FerryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FerryError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            FerryError::IllTyped(m) => write!(f, "ill-typed kernel term: {m}"),
+            FerryError::Table(m) => write!(f, "table error: {m}"),
+            FerryError::Partial(m) => write!(f, "partial operation: {m}"),
+            FerryError::Engine(m) => write!(f, "engine error: {m}"),
+            FerryError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FerryError {}
+
+impl From<ferry_engine::EngineError> for FerryError {
+    fn from(e: ferry_engine::EngineError) -> Self {
+        FerryError::Engine(e.to_string())
+    }
+}

@@ -1,0 +1,510 @@
+//! The kernel AST.
+//!
+//! This is the paper's internal `Exp` datatype (§3.1): a type-annotated,
+//! untyped-at-the-Rust-level representation of embedded programs. It "is
+//! not exposed to the user of the library and extra care has been taken to
+//! make sure that the combinators map to a consistent underlying
+//! representation" — in this implementation the phantom-typed [`crate::Q`]
+//! surface plays the role of the Haskell type checker, and a defensive
+//! [`check`] pass re-verifies annotations (used in debug assertions and
+//! property tests).
+
+use crate::types::{Ty, Val};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Fresh variable supply for HOAS lambda construction.
+static NEXT_VAR: AtomicU32 = AtomicU32::new(0);
+
+pub fn fresh_var() -> u32 {
+    NEXT_VAR.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Scalar primitives (binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prim2 {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    /// Text concatenation.
+    Conc,
+}
+
+impl Prim2 {
+    pub fn is_cmp(self) -> bool {
+        matches!(self, Prim2::Eq | Prim2::Ne | Prim2::Lt | Prim2::Le | Prim2::Gt | Prim2::Ge)
+    }
+
+    pub fn is_arith(self) -> bool {
+        matches!(self, Prim2::Add | Prim2::Sub | Prim2::Mul | Prim2::Div | Prim2::Mod)
+    }
+}
+
+/// Scalar primitives (unary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prim1 {
+    Not,
+    Neg,
+    /// `integerToDouble`.
+    IntToDbl,
+}
+
+/// Unary list combinators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fun1 {
+    Concat,
+    Head,
+    Last,
+    Tail,
+    Init,
+    Reverse,
+    Length,
+    Null,
+    Sum,
+    Avg,
+    Maximum,
+    Minimum,
+    And,
+    Or,
+    Nub,
+    The,
+    Unzip,
+    /// `the`-like first projection over a non-empty group is spelled via
+    /// `The`; `Number` pairs every element with its 1-based position
+    /// (DSH's `number`), giving positional access for free.
+    Number,
+}
+
+/// Binary list combinators. Higher-order arguments are `Exp::Lam` terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fun2 {
+    Map,
+    Filter,
+    ConcatMap,
+    GroupWith,
+    SortWith,
+    Append,
+    Cons,
+    Index,
+    Zip,
+    Take,
+    Drop,
+    TakeWhile,
+    DropWhile,
+}
+
+/// The kernel term language. Every node carries its full DSL type.
+#[derive(Debug, Clone)]
+pub enum Exp {
+    /// An embedded constant of arbitrary (non-function) type — `toQ`.
+    Const(Val, Ty),
+    Var(u32, Ty),
+    Tuple(Vec<Rc<Exp>>, Ty),
+    /// A list literal with computed elements.
+    ListE(Vec<Rc<Exp>>, Ty),
+    /// Reference to a database-resident table (`table "name"`); `Ty` is the
+    /// list-of-row type. "Use of the table combinator does not result in
+    /// I/O … it just references the database-resident table by its unique
+    /// name."
+    Table(String, Ty),
+    Lam(u32, Rc<Exp>, Ty),
+    Prim2(Prim2, Rc<Exp>, Rc<Exp>, Ty),
+    Prim1(Prim1, Rc<Exp>, Ty),
+    If(Rc<Exp>, Rc<Exp>, Rc<Exp>, Ty),
+    /// Tuple projection (0-based).
+    Proj(usize, Rc<Exp>, Ty),
+    App1(Fun1, Rc<Exp>, Ty),
+    App2(Fun2, Rc<Exp>, Rc<Exp>, Ty),
+}
+
+impl Exp {
+    /// The annotated type of this term.
+    pub fn ty(&self) -> &Ty {
+        match self {
+            Exp::Const(_, t)
+            | Exp::Var(_, t)
+            | Exp::Tuple(_, t)
+            | Exp::ListE(_, t)
+            | Exp::Table(_, t)
+            | Exp::Lam(_, _, t)
+            | Exp::Prim2(_, _, _, t)
+            | Exp::Prim1(_, _, t)
+            | Exp::If(_, _, _, t)
+            | Exp::Proj(_, _, t)
+            | Exp::App1(_, _, t)
+            | Exp::App2(_, _, _, t) => t,
+        }
+    }
+
+    /// Count of AST nodes (compile-time scaling experiment X2).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Exp::Const(..) | Exp::Var(..) | Exp::Table(..) => 0,
+            Exp::Tuple(es, _) | Exp::ListE(es, _) => es.iter().map(|e| e.size()).sum(),
+            Exp::Lam(_, b, _) => b.size(),
+            Exp::Prim1(_, e, _) | Exp::Proj(_, e, _) | Exp::App1(_, e, _) => e.size(),
+            Exp::Prim2(_, a, b, _) | Exp::App2(_, a, b, _) => a.size() + b.size(),
+            Exp::If(c, t, e, _) => c.size() + t.size() + e.size(),
+        }
+    }
+}
+
+/// Expected argument/result typing of a `Fun1` application: given the
+/// argument type, the result type — `None` when inapplicable.
+pub fn fun1_result_ty(f: Fun1, arg: &Ty) -> Option<Ty> {
+    use Fun1::*;
+    let elem = arg.elem();
+    match f {
+        Concat => match elem {
+            Some(Ty::List(inner)) => Some(Ty::List(inner.clone())),
+            _ => None,
+        },
+        Head | Last | The => elem.cloned(),
+        Tail | Init | Reverse => elem.map(|_| arg.clone()),
+        Nub => elem.filter(|e| e.is_flat()).map(|_| arg.clone()),
+        Length => elem.map(|_| Ty::Int),
+        Null => elem.map(|_| Ty::Bool),
+        Sum => match elem {
+            Some(Ty::Int) => Some(Ty::Int),
+            Some(Ty::Dbl) => Some(Ty::Dbl),
+            _ => None,
+        },
+        Avg => match elem {
+            Some(Ty::Int) | Some(Ty::Dbl) => Some(Ty::Dbl),
+            _ => None,
+        },
+        Maximum | Minimum => elem.filter(|e| e.is_atom()).cloned(),
+        And | Or => match elem {
+            Some(Ty::Bool) => Some(Ty::Bool),
+            _ => None,
+        },
+        Unzip => match elem {
+            Some(Ty::Tuple(ts)) if ts.len() == 2 => Some(Ty::Tuple(vec![
+                Ty::list(ts[0].clone()),
+                Ty::list(ts[1].clone()),
+            ])),
+            _ => None,
+        },
+        Number => elem.map(|e| Ty::list(Ty::Tuple(vec![e.clone(), Ty::Int]))),
+    }
+}
+
+/// Expected typing of a `Fun2` application.
+pub fn fun2_result_ty(f: Fun2, a: &Ty, b: &Ty) -> Option<Ty> {
+    use Fun2::*;
+    match f {
+        Map => match (a, b) {
+            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e => {
+                Some(Ty::list((**res).clone()))
+            }
+            _ => None,
+        },
+        ConcatMap => match (a, b) {
+            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e => match &**res {
+                Ty::List(_) => Some((**res).clone()),
+                _ => None,
+            },
+            _ => None,
+        },
+        Filter | TakeWhile | DropWhile => match (a, b) {
+            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e && **res == Ty::Bool => {
+                Some(b.clone())
+            }
+            _ => None,
+        },
+        GroupWith => match (a, b) {
+            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e && res.is_flat() => {
+                Some(Ty::list(b.clone()))
+            }
+            _ => None,
+        },
+        SortWith => match (a, b) {
+            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e && res.is_flat() => Some(b.clone()),
+            _ => None,
+        },
+        Append => (a == b && matches!(a, Ty::List(_))).then(|| a.clone()),
+        Cons => match b {
+            Ty::List(e) if **e == *a => Some(b.clone()),
+            _ => None,
+        },
+        Index => match (a, b) {
+            (Ty::List(e), Ty::Int) => Some((**e).clone()),
+            _ => None,
+        },
+        Zip => match (a, b) {
+            (Ty::List(x), Ty::List(y)) => {
+                Some(Ty::list(Ty::Tuple(vec![(**x).clone(), (**y).clone()])))
+            }
+            _ => None,
+        },
+        Take | Drop => match (a, b) {
+            (Ty::Int, Ty::List(_)) => Some(b.clone()),
+            _ => None,
+        },
+    }
+}
+
+/// Defensive type check of a kernel term (property tests / debug builds).
+/// Returns the type or a description of the first inconsistency.
+pub fn check(exp: &Exp, env: &mut Vec<(u32, Ty)>) -> Result<Ty, String> {
+    let t = match exp {
+        Exp::Const(v, t) => {
+            if matches!(t, Ty::Fun(..)) || !v.has_ty(t) {
+                return Err(format!("constant {v:?} is not of type {t}"));
+            }
+            t.clone()
+        }
+        Exp::Var(x, t) => {
+            match env.iter().rev().find(|(y, _)| y == x) {
+                Some((_, bound)) if bound == t => t.clone(),
+                Some((_, bound)) => return Err(format!("var {x}: {t} bound at {bound}")),
+                None => return Err(format!("unbound var {x}")),
+            }
+        }
+        Exp::Tuple(es, t) => {
+            let ts: Result<Vec<Ty>, String> = es.iter().map(|e| check(e, env)).collect();
+            let actual = Ty::Tuple(ts?);
+            if actual != *t {
+                return Err(format!("tuple annotated {t}, actual {actual}"));
+            }
+            actual
+        }
+        Exp::ListE(es, t) => {
+            let elem = t.elem().ok_or_else(|| format!("list annotated {t}"))?;
+            for e in es {
+                let et = check(e, env)?;
+                if et != *elem {
+                    return Err(format!("list element {et} in {t}"));
+                }
+            }
+            t.clone()
+        }
+        Exp::Table(name, t) => match t.elem() {
+            Some(row) if row.is_flat() => t.clone(),
+            _ => return Err(format!("table {name} has non-flat row type {t}")),
+        },
+        Exp::Lam(x, body, t) => match t {
+            Ty::Fun(arg, res) => {
+                env.push((*x, (**arg).clone()));
+                let bt = check(body, env)?;
+                env.pop();
+                if bt != **res {
+                    return Err(format!("lambda body {bt}, annotated {res}"));
+                }
+                t.clone()
+            }
+            _ => return Err(format!("lambda annotated non-function {t}")),
+        },
+        Exp::Prim2(op, a, b, t) => {
+            let at = check(a, env)?;
+            let bt = check(b, env)?;
+            let res = prim2_result_ty(*op, &at, &bt)
+                .ok_or_else(|| format!("{op:?} on {at} and {bt}"))?;
+            if res != *t {
+                return Err(format!("{op:?} annotated {t}, actual {res}"));
+            }
+            res
+        }
+        Exp::Prim1(op, e, t) => {
+            let et = check(e, env)?;
+            let res = match (op, &et) {
+                (Prim1::Not, Ty::Bool) => Ty::Bool,
+                (Prim1::Neg, Ty::Int) => Ty::Int,
+                (Prim1::Neg, Ty::Dbl) => Ty::Dbl,
+                (Prim1::IntToDbl, Ty::Int) => Ty::Dbl,
+                _ => return Err(format!("{op:?} on {et}")),
+            };
+            if res != *t {
+                return Err(format!("{op:?} annotated {t}, actual {res}"));
+            }
+            res
+        }
+        Exp::If(c, th, el, t) => {
+            if check(c, env)? != Ty::Bool {
+                return Err("if condition is not Bool".into());
+            }
+            let tt = check(th, env)?;
+            let et = check(el, env)?;
+            if tt != et || tt != *t {
+                return Err(format!("if branches {tt} / {et}, annotated {t}"));
+            }
+            tt
+        }
+        Exp::Proj(i, e, t) => {
+            let et = check(e, env)?;
+            match et {
+                Ty::Tuple(ts) if *i < ts.len() => {
+                    if ts[*i] != *t {
+                        return Err(format!("proj {i} annotated {t}, actual {}", ts[*i]));
+                    }
+                    ts[*i].clone()
+                }
+                _ => return Err(format!("proj {i} on {et}")),
+            }
+        }
+        Exp::App1(f, e, t) => {
+            let et = check(e, env)?;
+            let res = fun1_result_ty(*f, &et).ok_or_else(|| format!("{f:?} on {et}"))?;
+            if res != *t {
+                return Err(format!("{f:?} annotated {t}, actual {res}"));
+            }
+            res
+        }
+        Exp::App2(f, a, b, t) => {
+            let at = check(a, env)?;
+            let bt = check(b, env)?;
+            let res =
+                fun2_result_ty(*f, &at, &bt).ok_or_else(|| format!("{f:?} on {at} and {bt}"))?;
+            if res != *t {
+                return Err(format!("{f:?} annotated {t}, actual {res}"));
+            }
+            res
+        }
+    };
+    Ok(t)
+}
+
+/// Result type of a scalar binary primitive.
+pub fn prim2_result_ty(op: Prim2, a: &Ty, b: &Ty) -> Option<Ty> {
+    if op.is_cmp() {
+        // Eq/Ord are available at any non-function type (Haskell's derived
+        // instances); the compiler restricts comparison of nested data to
+        // flat types, checked there.
+        return (a == b && !matches!(a, Ty::Fun(..))).then_some(Ty::Bool);
+    }
+    match op {
+        Prim2::And | Prim2::Or => (a == &Ty::Bool && b == &Ty::Bool).then_some(Ty::Bool),
+        Prim2::Conc => (a == &Ty::Text && b == &Ty::Text).then_some(Ty::Text),
+        _ => (a == b && matches!(a, Ty::Int | Ty::Dbl)).then(|| a.clone()),
+    }
+}
+
+impl fmt::Display for Exp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exp::Const(v, _) => write!(f, "{v}"),
+            Exp::Var(x, _) => write!(f, "x{x}"),
+            Exp::Tuple(es, _) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Exp::ListE(es, _) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            Exp::Table(n, _) => write!(f, "table {n:?}"),
+            Exp::Lam(x, b, _) => write!(f, "(\\x{x} -> {b})"),
+            Exp::Prim2(op, a, b, _) => write!(f, "({a} {op:?} {b})"),
+            Exp::Prim1(op, e, _) => write!(f, "({op:?} {e})"),
+            Exp::If(c, t, e, _) => write!(f, "(if {c} then {t} else {e})"),
+            Exp::Proj(i, e, _) => write!(f, "{e}.{i}"),
+            Exp::App1(fun, e, _) => write!(f, "({fun:?} {e})"),
+            Exp::App2(fun, a, b, _) => write!(f, "({fun:?} {a} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(i: i64) -> Rc<Exp> {
+        Rc::new(Exp::Const(Val::Int(i), Ty::Int))
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        assert_ne!(fresh_var(), fresh_var());
+    }
+
+    #[test]
+    fn check_accepts_well_typed_terms() {
+        let e = Exp::Prim2(Prim2::Add, int(1), int(2), Ty::Int);
+        assert_eq!(check(&e, &mut vec![]).unwrap(), Ty::Int);
+        let l = Exp::ListE(vec![int(1), int(2)], Ty::list(Ty::Int));
+        assert_eq!(check(&l, &mut vec![]).unwrap(), Ty::list(Ty::Int));
+    }
+
+    #[test]
+    fn check_rejects_ill_typed_terms() {
+        let bad = Exp::Prim2(
+            Prim2::Add,
+            int(1),
+            Rc::new(Exp::Const(Val::Bool(true), Ty::Bool)),
+            Ty::Int,
+        );
+        assert!(check(&bad, &mut vec![]).is_err());
+        let bad_anno = Exp::Prim2(Prim2::Add, int(1), int(2), Ty::Bool);
+        assert!(check(&bad_anno, &mut vec![]).is_err());
+        let unbound = Exp::Var(999_999, Ty::Int);
+        assert!(check(&unbound, &mut vec![]).is_err());
+    }
+
+    #[test]
+    fn check_scopes_lambdas() {
+        let x = fresh_var();
+        let lam = Exp::Lam(
+            x,
+            Rc::new(Exp::Var(x, Ty::Int)),
+            Ty::fun(Ty::Int, Ty::Int),
+        );
+        assert!(check(&lam, &mut vec![]).is_ok());
+        let map = Exp::App2(
+            Fun2::Map,
+            Rc::new(lam),
+            Rc::new(Exp::ListE(vec![int(1)], Ty::list(Ty::Int))),
+            Ty::list(Ty::Int),
+        );
+        assert_eq!(check(&map, &mut vec![]).unwrap(), Ty::list(Ty::Int));
+    }
+
+    #[test]
+    fn fun_typing_tables() {
+        let li = Ty::list(Ty::Int);
+        assert_eq!(fun1_result_ty(Fun1::Length, &li), Some(Ty::Int));
+        assert_eq!(fun1_result_ty(Fun1::Sum, &li), Some(Ty::Int));
+        assert_eq!(fun1_result_ty(Fun1::Sum, &Ty::list(Ty::Text)), None);
+        assert_eq!(
+            fun1_result_ty(Fun1::Concat, &Ty::list(li.clone())),
+            Some(li.clone())
+        );
+        assert_eq!(fun1_result_ty(Fun1::Concat, &li), None);
+        assert_eq!(
+            fun2_result_ty(Fun2::Zip, &li, &Ty::list(Ty::Text)),
+            Some(Ty::list(Ty::Tuple(vec![Ty::Int, Ty::Text])))
+        );
+        assert_eq!(fun2_result_ty(Fun2::Take, &Ty::Int, &li), Some(li.clone()));
+        assert_eq!(fun2_result_ty(Fun2::Take, &Ty::Text, &li), None);
+        // nub over nested lists is out of domain
+        assert_eq!(fun1_result_ty(Fun1::Nub, &Ty::list(li.clone())), None);
+    }
+
+    #[test]
+    fn exp_size_counts_nodes() {
+        let e = Exp::Prim2(Prim2::Add, int(1), int(2), Ty::Int);
+        assert_eq!(e.size(), 3);
+    }
+}

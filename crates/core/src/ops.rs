@@ -1,0 +1,690 @@
+//! The list-prelude combinator surface.
+//!
+//! "Data-intensive and data-parallel computations are expressed using
+//! familiar combinators from the standard list prelude" (§1). Each function
+//! here is the `Q`-typed twin of its Haskell namesake, derived mechanically
+//! the way the paper prescribes (§3.1): apply `Q` to every type except
+//! function types, and bound every type variable by `QA`.
+//!
+//! Higher-order arguments are ordinary Rust closures (HOAS): `map(|x| …,
+//! xs)` builds the kernel `Lam` by applying the closure to a fresh
+//! variable. General folds (`foldr`/`foldl`) and user recursion are
+//! intentionally absent — the very gap the paper documents (§3.1) — while
+//! all *special folds* (`sum`, `length`, `and`, `maximum`, …) are present.
+
+use crate::exp::{fresh_var, Exp, Fun1, Fun2, Prim1, Prim2};
+use crate::qa::{BasicQA, Q, QA, TA};
+use crate::types::Ty;
+use std::rc::Rc;
+
+/// Build a kernel lambda from a Rust closure (HOAS).
+fn lam<A: QA, B: QA>(f: impl FnOnce(Q<A>) -> Q<B>) -> Rc<Exp> {
+    let x = fresh_var();
+    let body = f(Q::wrap(Exp::Var(x, A::ty())));
+    Rc::new(Exp::Lam(x, body.exp, Ty::fun(A::ty(), B::ty())))
+}
+
+fn app1<T: QA>(f: Fun1, e: Rc<Exp>, ty: Ty) -> Q<T> {
+    Q::wrap(Exp::App1(f, e, ty))
+}
+
+fn app2<T: QA>(f: Fun2, a: Rc<Exp>, b: Rc<Exp>, ty: Ty) -> Q<T> {
+    Q::wrap(Exp::App2(f, a, b, ty))
+}
+
+// ---------------------------------------------------------------- tables
+
+/// Reference a database-resident table by name: `table "facilities"`.
+///
+/// No I/O happens here. The row type `R` must match the table's columns
+/// *in alphabetical column order* — "these columns are gathered in a flat
+/// tuple whose components are ordered alphabetically by column name". A
+/// mismatch surfaces as a runtime error from `from_q`, exactly as in the
+/// paper.
+pub fn table<R: TA>(name: &str) -> Q<Vec<R>> {
+    Q::wrap(Exp::Table(name.to_string(), Ty::list(R::ty())))
+}
+
+// ------------------------------------------------------- core combinators
+
+/// `map :: (Q a -> Q b) -> Q [a] -> Q [b]`
+pub fn map<A: QA, B: QA>(f: impl FnOnce(Q<A>) -> Q<B>, xs: Q<Vec<A>>) -> Q<Vec<B>> {
+    app2(Fun2::Map, lam(f), xs.exp, Ty::list(B::ty()))
+}
+
+/// `filter :: (Q a -> Q Bool) -> Q [a] -> Q [a]`
+pub fn filter<A: QA>(f: impl FnOnce(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::Filter, lam(f), xs.exp, Ty::list(A::ty()))
+}
+
+/// `concat :: Q [[a]] -> Q [a]`
+pub fn concat<A: QA>(xss: Q<Vec<Vec<A>>>) -> Q<Vec<A>> {
+    app1(Fun1::Concat, xss.exp, Ty::list(A::ty()))
+}
+
+/// `concatMap :: (Q a -> Q [b]) -> Q [a] -> Q [b]`
+pub fn concat_map<A: QA, B: QA>(
+    f: impl FnOnce(Q<A>) -> Q<Vec<B>>,
+    xs: Q<Vec<A>>,
+) -> Q<Vec<B>> {
+    app2(Fun2::ConcatMap, lam(f), xs.exp, Ty::list(B::ty()))
+}
+
+/// `groupWith :: Ord b => (Q a -> Q b) -> Q [a] -> Q [[a]]` — groups are
+/// sorted by key; element order within each group is preserved.
+pub fn group_with<A: QA, K: TA>(
+    f: impl FnOnce(Q<A>) -> Q<K>,
+    xs: Q<Vec<A>>,
+) -> Q<Vec<Vec<A>>> {
+    app2(Fun2::GroupWith, lam(f), xs.exp, Ty::list(Ty::list(A::ty())))
+}
+
+/// `sortWith :: Ord b => (Q a -> Q b) -> Q [a] -> Q [a]` — stable.
+pub fn sort_with<A: QA, K: TA>(f: impl FnOnce(Q<A>) -> Q<K>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::SortWith, lam(f), xs.exp, Ty::list(A::ty()))
+}
+
+/// `the :: Eq a => Q [a] -> Q a` — the single (repeated) element of a
+/// non-empty list; partial.
+pub fn the<A: QA>(xs: Q<Vec<A>>) -> Q<A> {
+    app1(Fun1::The, xs.exp, A::ty())
+}
+
+/// `nub :: Eq a => Q [a] -> Q [a]` — first occurrences survive. Restricted
+/// to flat element types (deep `Eq` on nested lists is unsupported).
+pub fn nub<A: TA>(xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app1(Fun1::Nub, xs.exp, Ty::list(A::ty()))
+}
+
+// -------------------------------------------------------- list surgery
+
+/// `head` (partial).
+pub fn head<A: QA>(xs: Q<Vec<A>>) -> Q<A> {
+    app1(Fun1::Head, xs.exp, A::ty())
+}
+
+/// `last` (partial).
+pub fn last<A: QA>(xs: Q<Vec<A>>) -> Q<A> {
+    app1(Fun1::Last, xs.exp, A::ty())
+}
+
+/// `tail` (partial).
+pub fn tail<A: QA>(xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app1(Fun1::Tail, xs.exp, Ty::list(A::ty()))
+}
+
+/// `init` (partial).
+pub fn init<A: QA>(xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app1(Fun1::Init, xs.exp, Ty::list(A::ty()))
+}
+
+/// `reverse`.
+pub fn reverse<A: QA>(xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app1(Fun1::Reverse, xs.exp, Ty::list(A::ty()))
+}
+
+/// `(++)`.
+pub fn append<A: QA>(xs: Q<Vec<A>>, ys: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::Append, xs.exp, ys.exp, Ty::list(A::ty()))
+}
+
+/// `(:)`.
+pub fn cons<A: QA>(x: Q<A>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::Cons, x.exp, xs.exp, Ty::list(A::ty()))
+}
+
+/// `(!!)` with a 0-based index (partial).
+pub fn index<A: QA>(xs: Q<Vec<A>>, i: Q<i64>) -> Q<A> {
+    app2(Fun2::Index, xs.exp, i.exp, A::ty())
+}
+
+/// `take`.
+pub fn take<A: QA>(n: Q<i64>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::Take, n.exp, xs.exp, Ty::list(A::ty()))
+}
+
+/// `drop`.
+pub fn drop<A: QA>(n: Q<i64>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::Drop, n.exp, xs.exp, Ty::list(A::ty()))
+}
+
+/// `takeWhile` — the longest prefix satisfying the predicate.
+pub fn take_while<A: QA>(f: impl FnOnce(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::TakeWhile, lam(f), xs.exp, Ty::list(A::ty()))
+}
+
+/// `dropWhile` — everything after that prefix.
+pub fn drop_while<A: QA>(f: impl FnOnce(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<Vec<A>> {
+    app2(Fun2::DropWhile, lam(f), xs.exp, Ty::list(A::ty()))
+}
+
+/// `span p xs = (takeWhile p xs, dropWhile p xs)`.
+pub fn span<A: QA>(
+    f: impl Fn(Q<A>) -> Q<bool>,
+    xs: Q<Vec<A>>,
+) -> Q<(Vec<A>, Vec<A>)> {
+    pair(take_while(&f, xs.clone()), drop_while(&f, xs))
+}
+
+/// `break p = span (not . p)`.
+pub fn break_<A: QA>(
+    f: impl Fn(Q<A>) -> Q<bool>,
+    xs: Q<Vec<A>>,
+) -> Q<(Vec<A>, Vec<A>)> {
+    span(move |x| f(x).not(), xs)
+}
+
+/// `splitAt n xs = (take n xs, drop n xs)`.
+pub fn split_at<A: QA>(n: Q<i64>, xs: Q<Vec<A>>) -> Q<(Vec<A>, Vec<A>)> {
+    pair(take(n.clone(), xs.clone()), drop(n, xs))
+}
+
+/// `zip` — truncates to the shorter list.
+pub fn zip<A: QA, B: QA>(xs: Q<Vec<A>>, ys: Q<Vec<B>>) -> Q<Vec<(A, B)>> {
+    app2(Fun2::Zip, xs.exp, ys.exp, Ty::list(Ty::Tuple(vec![A::ty(), B::ty()])))
+}
+
+/// `unzip`.
+pub fn unzip<A: QA, B: QA>(xs: Q<Vec<(A, B)>>) -> Q<(Vec<A>, Vec<B>)> {
+    app1(
+        Fun1::Unzip,
+        xs.exp,
+        Ty::Tuple(vec![Ty::list(A::ty()), Ty::list(B::ty())]),
+    )
+}
+
+/// `number` (DSH): pair each element with its 1-based position.
+pub fn number<A: QA>(xs: Q<Vec<A>>) -> Q<Vec<(A, i64)>> {
+    app1(Fun1::Number, xs.exp, Ty::list(Ty::Tuple(vec![A::ty(), Ty::Int])))
+}
+
+// ------------------------------------------------------ special folds
+
+/// `length`.
+pub fn length<A: QA>(xs: Q<Vec<A>>) -> Q<i64> {
+    app1(Fun1::Length, xs.exp, Ty::Int)
+}
+
+/// `null`.
+pub fn null<A: QA>(xs: Q<Vec<A>>) -> Q<bool> {
+    app1(Fun1::Null, xs.exp, Ty::Bool)
+}
+
+/// Numeric element types for `sum`/`avg`.
+pub trait QNum: BasicQA {}
+impl QNum for i64 {}
+impl QNum for f64 {}
+
+/// `sum` — 0 for the empty list.
+pub fn sum<A: QNum>(xs: Q<Vec<A>>) -> Q<A> {
+    app1(Fun1::Sum, xs.exp, A::ty())
+}
+
+/// Average (partial: empty input errors).
+pub fn avg<A: QNum>(xs: Q<Vec<A>>) -> Q<f64> {
+    app1(Fun1::Avg, xs.exp, Ty::Dbl)
+}
+
+/// `maximum` (partial).
+pub fn maximum<A: BasicQA>(xs: Q<Vec<A>>) -> Q<A> {
+    app1(Fun1::Maximum, xs.exp, A::ty())
+}
+
+/// `minimum` (partial).
+pub fn minimum<A: BasicQA>(xs: Q<Vec<A>>) -> Q<A> {
+    app1(Fun1::Minimum, xs.exp, A::ty())
+}
+
+/// `and` — `true` for the empty list.
+pub fn and(xs: Q<Vec<bool>>) -> Q<bool> {
+    app1(Fun1::And, xs.exp, Ty::Bool)
+}
+
+/// `or` — `false` for the empty list.
+pub fn or(xs: Q<Vec<bool>>) -> Q<bool> {
+    app1(Fun1::Or, xs.exp, Ty::Bool)
+}
+
+/// `any p = or . map p`.
+pub fn any<A: QA>(p: impl FnOnce(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<bool> {
+    or(map(p, xs))
+}
+
+/// `all p = and . map p`.
+pub fn all<A: QA>(p: impl FnOnce(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<bool> {
+    and(map(p, xs))
+}
+
+/// `elem` over flat element types.
+pub fn elem<A: TA>(x: Q<A>, xs: Q<Vec<A>>) -> Q<bool> {
+    any(move |y: Q<A>| y.eq(&x), xs)
+}
+
+// ----------------------------------------------------- scalars & control
+
+/// `if c then t else e` at the query level.
+pub fn cond<T: QA>(c: Q<bool>, t: Q<T>, e: Q<T>) -> Q<T> {
+    Q::wrap(Exp::If(c.exp, t.exp, e.exp, T::ty()))
+}
+
+/// A list literal with computed elements: `list![a, b, c]` equivalent.
+pub fn list<T: QA, const N: usize>(items: [Q<T>; N]) -> Q<Vec<T>> {
+    Q::wrap(Exp::ListE(
+        items.into_iter().map(|q| q.exp).collect(),
+        Ty::list(T::ty()),
+    ))
+}
+
+/// The empty list at type `T`.
+pub fn empty<T: QA>() -> Q<Vec<T>> {
+    Q::wrap(Exp::ListE(vec![], Ty::list(T::ty())))
+}
+
+/// Pair constructor.
+pub fn pair<A: QA, B: QA>(a: Q<A>, b: Q<B>) -> Q<(A, B)> {
+    Q::wrap(Exp::Tuple(vec![a.exp, b.exp], <(A, B)>::ty()))
+}
+
+/// Triple constructor.
+pub fn tuple3<A: QA, B: QA, C: QA>(a: Q<A>, b: Q<B>, c: Q<C>) -> Q<(A, B, C)> {
+    Q::wrap(Exp::Tuple(vec![a.exp, b.exp, c.exp], <(A, B, C)>::ty()))
+}
+
+/// 4-tuple constructor.
+pub fn tuple4<A: QA, B: QA, C: QA, D: QA>(
+    a: Q<A>,
+    b: Q<B>,
+    c: Q<C>,
+    d: Q<D>,
+) -> Q<(A, B, C, D)> {
+    Q::wrap(Exp::Tuple(
+        vec![a.exp, b.exp, c.exp, d.exp],
+        <(A, B, C, D)>::ty(),
+    ))
+}
+
+/// Convert an integer query to a double (`integerToDouble`).
+pub fn int_to_dbl(x: Q<i64>) -> Q<f64> {
+    Q::wrap(Exp::Prim1(Prim1::IntToDbl, x.exp, Ty::Dbl))
+}
+
+impl<T: QA> Q<T> {
+    fn cmp2(&self, other: &Q<T>, op: Prim2) -> Q<bool> {
+        Q::wrap(Exp::Prim2(op, self.exp.clone(), other.exp.clone(), Ty::Bool))
+    }
+
+    /// `==` at the query level. For nested types this is only supported by
+    /// the interpreter; the compiler restricts deep equality to flat types.
+    pub fn eq(&self, other: &Q<T>) -> Q<bool> {
+        self.cmp2(other, Prim2::Eq)
+    }
+
+    /// `/=`.
+    pub fn ne(&self, other: &Q<T>) -> Q<bool> {
+        self.cmp2(other, Prim2::Ne)
+    }
+
+    /// `<`.
+    pub fn lt(&self, other: &Q<T>) -> Q<bool> {
+        self.cmp2(other, Prim2::Lt)
+    }
+
+    /// `<=`.
+    pub fn le(&self, other: &Q<T>) -> Q<bool> {
+        self.cmp2(other, Prim2::Le)
+    }
+
+    /// `>`.
+    pub fn gt(&self, other: &Q<T>) -> Q<bool> {
+        self.cmp2(other, Prim2::Gt)
+    }
+
+    /// `>=`.
+    pub fn ge(&self, other: &Q<T>) -> Q<bool> {
+        self.cmp2(other, Prim2::Ge)
+    }
+}
+
+impl Q<bool> {
+    /// Logical conjunction (short-circuiting).
+    pub fn and(&self, other: &Q<bool>) -> Q<bool> {
+        Q::wrap(Exp::Prim2(
+            Prim2::And,
+            self.exp.clone(),
+            other.exp.clone(),
+            Ty::Bool,
+        ))
+    }
+
+    /// Logical disjunction (short-circuiting).
+    pub fn or(&self, other: &Q<bool>) -> Q<bool> {
+        Q::wrap(Exp::Prim2(
+            Prim2::Or,
+            self.exp.clone(),
+            other.exp.clone(),
+            Ty::Bool,
+        ))
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(&self) -> Q<bool> {
+        Q::wrap(Exp::Prim1(Prim1::Not, self.exp.clone(), Ty::Bool))
+    }
+}
+
+impl Q<String> {
+    /// Text concatenation.
+    pub fn concat(&self, other: &Q<String>) -> Q<String> {
+        Q::wrap(Exp::Prim2(
+            Prim2::Conc,
+            self.exp.clone(),
+            other.exp.clone(),
+            Ty::Text,
+        ))
+    }
+}
+
+macro_rules! impl_arith {
+    ($t:ty) => {
+        impl std::ops::Add for Q<$t> {
+            type Output = Q<$t>;
+            fn add(self, rhs: Q<$t>) -> Q<$t> {
+                Q::wrap(Exp::Prim2(Prim2::Add, self.exp, rhs.exp, <$t as QA>::ty()))
+            }
+        }
+        impl std::ops::Sub for Q<$t> {
+            type Output = Q<$t>;
+            fn sub(self, rhs: Q<$t>) -> Q<$t> {
+                Q::wrap(Exp::Prim2(Prim2::Sub, self.exp, rhs.exp, <$t as QA>::ty()))
+            }
+        }
+        impl std::ops::Mul for Q<$t> {
+            type Output = Q<$t>;
+            fn mul(self, rhs: Q<$t>) -> Q<$t> {
+                Q::wrap(Exp::Prim2(Prim2::Mul, self.exp, rhs.exp, <$t as QA>::ty()))
+            }
+        }
+        impl std::ops::Div for Q<$t> {
+            type Output = Q<$t>;
+            fn div(self, rhs: Q<$t>) -> Q<$t> {
+                Q::wrap(Exp::Prim2(Prim2::Div, self.exp, rhs.exp, <$t as QA>::ty()))
+            }
+        }
+        impl std::ops::Rem for Q<$t> {
+            type Output = Q<$t>;
+            fn rem(self, rhs: Q<$t>) -> Q<$t> {
+                Q::wrap(Exp::Prim2(Prim2::Mod, self.exp, rhs.exp, <$t as QA>::ty()))
+            }
+        }
+        impl std::ops::Neg for Q<$t> {
+            type Output = Q<$t>;
+            fn neg(self) -> Q<$t> {
+                Q::wrap(Exp::Prim1(Prim1::Neg, self.exp, <$t as QA>::ty()))
+            }
+        }
+    };
+}
+impl_arith!(i64);
+impl_arith!(f64);
+
+// ------------------------------------------------- tuple views (patterns)
+
+macro_rules! impl_proj {
+    ($( [$($name:ident),+] => [$($idx:tt : $m:ident),+] );+ $(;)?) => {
+        $(
+            impl<$($name: QA),+> Q<($($name,)+)> {
+                $(
+                    /// Tuple projection.
+                    pub fn $m(&self) -> Q<$name> {
+                        Q::wrap(Exp::Proj($idx, self.exp.clone(), $name::ty()))
+                    }
+                )+
+                /// The `View` instance: open the tuple into component
+                /// queries (the paper's view-pattern support, §3.1).
+                pub fn view(&self) -> ($(Q<$name>,)+) {
+                    ($(self.$m(),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_proj! {
+    [A, B] => [0: fst, 1: snd];
+    [A, B, C] => [0: proj3_0, 1: proj3_1, 2: proj3_2];
+    [A, B, C, D] => [0: proj4_0, 1: proj4_1, 2: proj4_2, 3: proj4_3];
+    [A, B, C, D, E] => [0: proj5_0, 1: proj5_1, 2: proj5_2, 3: proj5_3, 4: proj5_4];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::check;
+    use crate::interp::{interpret, Tables};
+    use crate::qa::toq;
+    use crate::types::Val;
+
+    fn run<T: QA>(q: &Q<T>) -> T {
+        let v = interpret(q.exp(), &Tables::new()).unwrap();
+        T::from_val(&v).unwrap()
+    }
+
+    fn well_typed<T: QA>(q: &Q<T>) {
+        if let Err(e) = check(q.exp(), &mut vec![]) {
+            panic!("surface built ill-typed kernel term: {e}");
+        }
+    }
+
+    #[test]
+    fn map_filter_pipeline() {
+        let q = map(
+            |x: Q<i64>| x.clone() * x,
+            filter(|x: Q<i64>| x.gt(&toq(&1i64)), toq(&vec![1i64, 2, 3])),
+        );
+        well_typed(&q);
+        assert_eq!(run(&q), vec![4, 9]);
+    }
+
+    #[test]
+    fn comprehension_equivalent_nesting() {
+        // [(x, y) | x <- [1,2], y <- [10,20]]
+        let q = concat_map(
+            |x: Q<i64>| map(move |y: Q<i64>| pair(x.clone(), y), toq(&vec![10i64, 20])),
+            toq(&vec![1i64, 2]),
+        );
+        well_typed(&q);
+        assert_eq!(run(&q), vec![(1, 10), (1, 20), (2, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn group_sort_the() {
+        let q = map(
+            |g: Q<Vec<i64>>| pair(the(map(|x: Q<i64>| x % toq(&2i64), g.clone())), g),
+            group_with(|x: Q<i64>| x % toq(&2i64), toq(&vec![3i64, 1, 4, 1, 5])),
+        );
+        well_typed(&q);
+        assert_eq!(run(&q), vec![(0, vec![4]), (1, vec![3, 1, 1, 5])]);
+    }
+
+    #[test]
+    fn folds_and_predicates() {
+        let xs = toq(&vec![1i64, 2, 3, 4]);
+        assert_eq!(run(&sum(xs.clone())), 10);
+        assert_eq!(run(&length(xs.clone())), 4);
+        assert_eq!(run(&maximum(xs.clone())), 4);
+        assert!(run(&any(|x: Q<i64>| x.gt(&toq(&3i64)), xs.clone())));
+        assert!(!run(&all(|x: Q<i64>| x.gt(&toq(&3i64)), xs.clone())));
+        assert!(run(&elem(toq(&3i64), xs.clone())));
+        assert!(!run(&elem(toq(&9i64), xs)));
+    }
+
+    #[test]
+    fn tuple_views() {
+        let p = pair(toq(&1i64), toq(&"x".to_string()));
+        well_typed(&p);
+        let (a, b) = p.view();
+        assert_eq!(run(&a), 1);
+        assert_eq!(run(&b), "x");
+        let t = tuple3(toq(&1i64), toq(&2i64), toq(&3i64));
+        assert_eq!(run(&t.proj3_2()), 3);
+    }
+
+    #[test]
+    fn cond_and_bool_algebra() {
+        let c = toq(&true).and(&toq(&false)).not();
+        let q = cond(c, toq(&1i64), toq(&2i64));
+        well_typed(&q);
+        assert_eq!(run(&q), 1);
+    }
+
+    #[test]
+    fn list_literals_and_append() {
+        let q = append(list([toq(&1i64), toq(&2i64)]), empty());
+        well_typed(&q);
+        assert_eq!(run(&q), vec![1, 2]);
+        let c = cons(toq(&0i64), toq(&vec![1i64]));
+        assert_eq!(run(&c), vec![0, 1]);
+    }
+
+    #[test]
+    fn zip_unzip_number() {
+        let q = zip(toq(&vec![1i64, 2]), toq(&vec!["a".to_string(), "b".to_string()]));
+        well_typed(&q);
+        assert_eq!(run(&q), vec![(1, "a".to_string()), (2, "b".to_string())]);
+        let u = unzip(toq(&vec![(1i64, 2i64), (3, 4)]));
+        assert_eq!(run(&u), (vec![1, 3], vec![2, 4]));
+        let n = number(toq(&vec!["x".to_string()]));
+        assert_eq!(run(&n), vec![("x".to_string(), 1)]);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let q = (toq(&10i64) - toq(&4i64)) / toq(&2i64);
+        well_typed(&q);
+        assert_eq!(run(&q), 3);
+        let d = toq(&1.5f64) * toq(&2.0f64);
+        assert_eq!(run(&d), 3.0);
+        let neg = -toq(&5i64);
+        assert_eq!(run(&neg), -5);
+        let m = toq(&7i64) % toq(&4i64);
+        assert_eq!(run(&m), 3);
+    }
+
+    #[test]
+    fn text_concat() {
+        let q = toq(&"foo".to_string()).concat(&toq(&"bar".to_string()));
+        assert_eq!(run(&q), "foobar");
+    }
+
+    #[test]
+    fn everything_is_well_typed() {
+        // a deliberately gnarly composite
+        let q = map(
+            |p: Q<(i64, Vec<i64>)>| {
+                let (k, vs) = p.view();
+                pair(k, sum(vs))
+            },
+            map(
+                |g: Q<Vec<i64>>| pair(the(g.clone()), g),
+                group_with(|x: Q<i64>| x, toq(&vec![2i64, 1, 2])),
+            ),
+        );
+        well_typed(&q);
+        assert_eq!(run(&q), vec![(1, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn interpreter_val_shapes() {
+        let q = group_with(|x: Q<i64>| x, toq(&vec![2i64, 1]));
+        let v = interpret(q.exp(), &Tables::new()).unwrap();
+        assert_eq!(
+            v,
+            Val::List(vec![
+                Val::List(vec![Val::Int(1)]),
+                Val::List(vec![Val::Int(2)])
+            ])
+        );
+    }
+}
+
+// -------------------------------------------------- Option<T> (extension)
+
+use crate::qa::OptPayload;
+
+/// `Just x` under the `(present, payload)` encoding.
+pub fn some<T: OptPayload>(x: Q<T>) -> Q<Option<T>> {
+    Q::wrap(Exp::Tuple(
+        vec![toq_exp(true), x.exp],
+        <Option<T> as QA>::ty(),
+    ))
+}
+
+/// `Nothing` at payload type `T`.
+pub fn none<T: OptPayload>() -> Q<Option<T>> {
+    Q::wrap(Exp::Const(
+        <Option<T> as QA>::to_val(&None),
+        <Option<T> as QA>::ty(),
+    ))
+}
+
+fn toq_exp(b: bool) -> Rc<Exp> {
+    Rc::new(Exp::Const(crate::types::Val::Bool(b), Ty::Bool))
+}
+
+impl<T: OptPayload> Q<Option<T>> {
+    /// `isJust`.
+    pub fn is_some(&self) -> Q<bool> {
+        Q::<(bool, T)>::wrap_same(self.exp.clone()).fst()
+    }
+
+    /// `fromMaybe d m`.
+    pub fn unwrap_or(&self, d: &Q<T>) -> Q<T> {
+        let p = Q::<(bool, T)>::wrap_same(self.exp.clone());
+        cond(p.fst(), p.snd(), d.clone())
+    }
+
+    /// `maybe d f m`.
+    pub fn map_or(&self, d: Q<T>, f: impl FnOnce(Q<T>) -> Q<T>) -> Q<T> {
+        let p = Q::<(bool, T)>::wrap_same(self.exp.clone());
+        cond(p.fst(), f(p.snd()), d)
+    }
+}
+
+impl<T: QA> Q<T> {
+    pub(crate) fn wrap_same(exp: Rc<Exp>) -> Q<T> {
+        Q::wrap_rc(exp)
+    }
+}
+
+/// `catMaybes` — the payloads of the present entries, in order.
+pub fn cat_maybes<T: OptPayload>(xs: Q<Vec<Option<T>>>) -> Q<Vec<T>> {
+    map(
+        |m: Q<(bool, T)>| m.snd(),
+        filter(|m: Q<(bool, T)>| m.fst(), retag(xs)),
+    )
+}
+
+/// `mapMaybe f = catMaybes . map f`.
+pub fn map_maybe<A: QA, T: OptPayload>(
+    f: impl FnOnce(Q<A>) -> Q<Option<T>>,
+    xs: Q<Vec<A>>,
+) -> Q<Vec<T>> {
+    cat_maybes(map(f, xs))
+}
+
+/// `lookup :: Eq k => k -> [(k, v)] -> Maybe v` over flat keys.
+pub fn lookup<K: TA, V: OptPayload>(k: Q<K>, xs: Q<Vec<(K, V)>>) -> Q<Option<V>> {
+    let hits = filter(move |p: Q<(K, V)>| p.fst().eq(&k), xs);
+    cond(
+        null(hits.clone()),
+        none(),
+        some(head(map(|p: Q<(K, V)>| p.snd(), hits))),
+    )
+}
+
+/// The `(present, payload)` pair and `Option` share one relational
+/// encoding; this recasts the phantom type between the two views.
+fn retag<T: OptPayload>(xs: Q<Vec<Option<T>>>) -> Q<Vec<(bool, T)>> {
+    Q::wrap_rc(xs.exp)
+}

@@ -1,0 +1,48 @@
+//! Stage-by-stage artefacts of the execution model (Fig. 2).
+//!
+//! The paper's pipeline: 1 comprehensions → combinators (compile time,
+//! `comp!`), 2 combinators → table algebra (loop-lifting), 3 algebra →
+//! SQL (`ferry-sql`, outside this crate), 4 execution, 5 tabular
+//! results, 6 stitched values. [`trace`] materialises the artefacts this
+//! crate owns so examples and tests can display the full journey.
+
+use crate::error::FerryError;
+use crate::qa::{Q, QA};
+use crate::runtime::Connection;
+use crate::shred::CompiledBundle;
+use crate::types::Val;
+use ferry_algebra::Rel;
+
+/// Everything a query turns into on its way through the pipeline.
+pub struct Trace {
+    /// Stage 1: the combinator term (kernel AST rendering).
+    pub combinators: String,
+    /// Stage 2: the table-algebra bundle.
+    pub bundle: CompiledBundle,
+    /// Stage 2 (rendered): one plan rendering per bundle member.
+    pub plans: Vec<String>,
+    /// Stage 4/5: the tabular results, one per bundle member.
+    pub tables: Vec<Rel>,
+    /// Stage 6: the stitched nested value.
+    pub value: Val,
+}
+
+/// Run a query while keeping every intermediate artefact.
+pub fn trace<T: QA>(conn: &Connection, q: &Q<T>) -> Result<Trace, FerryError> {
+    let combinators = q.exp().to_string();
+    let bundle = conn.compile(q)?;
+    let plans = bundle
+        .queries
+        .iter()
+        .map(|qd| ferry_algebra::pretty::render(&bundle.plan, qd.root))
+        .collect();
+    let tables = conn.execute_bundle(&bundle)?;
+    let value = crate::stitch::stitch(&tables, &bundle.queries)?;
+    Ok(Trace {
+        combinators,
+        bundle,
+        plans,
+        tables,
+        value,
+    })
+}

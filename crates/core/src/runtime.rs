@@ -1,0 +1,178 @@
+//! The runtime: `Connection` and `from_q`.
+//!
+//! `from_q`, "when provided with a connection parameter, executes its query
+//! argument on the database and returns the result as a regular Haskell
+//! value" (§2) — here, a regular Rust value. The full pipeline of Fig. 2
+//! runs inside: compile (loop-lifting) → optional plan optimisation →
+//! dispatch the bundle (one engine round-trip per member) → stitch → decode.
+
+use crate::compile::{SchemaProvider, TableInfo};
+use crate::error::FerryError;
+use crate::qa::{Q, QA};
+use crate::shred::{compile_program, CompiledBundle};
+use crate::stitch::stitch;
+use crate::types::Val;
+use ferry_algebra::{NodeId, Plan, Rel};
+use ferry_engine::Database;
+use std::collections::HashMap;
+
+/// A plan rewriter slot (wired to `ferry_optimizer::optimize` by callers;
+/// kept abstract here so the core crate does not depend on the optimizer).
+pub type PlanRewriter = Box<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync>;
+
+/// A connection to the database coprocessor.
+pub struct Connection {
+    db: Database,
+    rewriter: Option<PlanRewriter>,
+}
+
+impl Connection {
+    pub fn new(db: Database) -> Connection {
+        Connection { db, rewriter: None }
+    }
+
+    /// Install a plan rewriter (e.g. `ferry_optimizer::optimize`) applied
+    /// to every compiled bundle before dispatch.
+    pub fn with_optimizer(mut self, rewriter: PlanRewriter) -> Connection {
+        self.rewriter = Some(rewriter);
+        self
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Compile a query to its relational bundle (no execution) — the
+    /// artefact whose size the avalanche-safety guarantee speaks about.
+    pub fn compile<T: QA>(&self, q: &Q<T>) -> Result<CompiledBundle, FerryError> {
+        let mut bundle = compile_program(q.exp(), self)?;
+        if let Some(rw) = &self.rewriter {
+            let roots = bundle.roots();
+            let (plan, new_roots) = rw(&bundle.plan, &roots);
+            bundle.plan = plan;
+            for (q, r) in bundle.queries.iter_mut().zip(new_roots) {
+                q.root = r;
+            }
+        }
+        Ok(bundle)
+    }
+
+    /// Execute a compiled bundle and return the raw relations (one per
+    /// bundle member).
+    pub fn execute_bundle(&self, bundle: &CompiledBundle) -> Result<Vec<Rel>, FerryError> {
+        Ok(self.db.execute_bundle(&bundle.plan, &bundle.roots())?)
+    }
+
+    /// Execute the query on the database and decode the result — `fromQ`.
+    pub fn from_q<T: QA>(&self, q: &Q<T>) -> Result<T, FerryError> {
+        let val = self.from_q_val(q)?;
+        T::from_val(&val)
+    }
+
+    /// Like [`Connection::from_q`] but stopping at the untyped nested
+    /// value (useful for oracle comparisons).
+    pub fn from_q_val<T: QA>(&self, q: &Q<T>) -> Result<Val, FerryError> {
+        let bundle = self.compile(q)?;
+        let rels = self.execute_bundle(&bundle)?;
+        stitch(&rels, &bundle.queries)
+    }
+
+    /// Export the catalog as in-heap tables for the reference interpreter:
+    /// rows in canonical key order, columns in alphabetical order —
+    /// exactly the view `table "name"` denotes.
+    pub fn interpreter_tables(&self) -> crate::interp::Tables {
+        let mut out = HashMap::new();
+        for name in self.db.table_names() {
+            let t = self.db.table(name).expect("listed table exists");
+            let cols = t.schema.cols();
+            let mut alpha: Vec<usize> = (0..cols.len()).collect();
+            alpha.sort_by(|&i, &j| cols[i].0.cmp(&cols[j].0));
+            let key_idx: Vec<usize> = if t.keys.is_empty() {
+                (0..cols.len()).collect()
+            } else {
+                t.keys
+                    .iter()
+                    .map(|k| t.schema.index_of(k).expect("key column"))
+                    .collect()
+            };
+            let mut rows = t.rows.clone();
+            rows.sort_by(|a, b| {
+                key_idx
+                    .iter()
+                    .map(|&i| a[i].cmp(&b[i]))
+                    .find(|o| !o.is_eq())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let vals: Vec<Val> = rows
+                .iter()
+                .map(|row| {
+                    let cells: Vec<Val> = alpha
+                        .iter()
+                        .map(|&i| Val::from_cell(&row[i]).expect("atomic cell"))
+                        .collect();
+                    if cells.len() == 1 {
+                        cells.into_iter().next().unwrap()
+                    } else {
+                        Val::Tuple(cells)
+                    }
+                })
+                .collect();
+            out.insert(name.to_string(), Val::List(vals));
+        }
+        out
+    }
+
+    /// Run the query through the reference interpreter instead of the
+    /// database (same table view) — the semantics `from_q` must reproduce.
+    pub fn interpret<T: QA>(&self, q: &Q<T>) -> Result<T, FerryError> {
+        let tables = self.interpreter_tables();
+        let val = crate::interp::interpret(q.exp(), &tables)?;
+        T::from_val(&val)
+    }
+
+    /// Human-readable account of what `from_q` would do: the kernel term,
+    /// the bundle size, and each member's (optimized) plan rendering. No
+    /// query is executed.
+    pub fn explain<T: QA>(&self, q: &Q<T>) -> Result<String, FerryError> {
+        use std::fmt::Write;
+        let bundle = self.compile(q)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "combinators: {}", q.exp());
+        let _ = writeln!(out, "result type: {}", bundle.ty);
+        let _ = writeln!(
+            out,
+            "bundle: {} quer{} ({} operators)",
+            bundle.queries.len(),
+            if bundle.queries.len() == 1 { "y" } else { "ies" },
+            bundle.plan_size()
+        );
+        for (i, qd) in bundle.queries.iter().enumerate() {
+            let _ = writeln!(out, "-- query {} --", i + 1);
+            let _ = write!(
+                out,
+                "{}",
+                ferry_algebra::pretty::render(&bundle.plan, qd.root)
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl SchemaProvider for Connection {
+    fn table_info(&self, name: &str) -> Option<TableInfo> {
+        let t = self.db.table(name)?;
+        Some(TableInfo {
+            cols: t
+                .schema
+                .cols()
+                .iter()
+                .map(|(n, ty)| (n.to_string(), *ty))
+                .collect(),
+            keys: t.keys.clone(),
+        })
+    }
+}

@@ -1,0 +1,231 @@
+//! Shredding: emitting the query bundle.
+//!
+//! A compiled program of type `t` becomes a bundle of `t.bundle_size()`
+//! queries — "it is exclusively the number of list constructors [·] in the
+//! program's result type that determines the number of queries contained
+//! in the emitted relational query bundle. We refer to this crucial
+//! property as **avalanche safety**" (§3.2).
+//!
+//! The guarantee is *structural* here: [`compile_program`] walks the
+//! result's layout, emitting exactly one `Serialize` root per nesting
+//! level. Before a level is serialized, its (possibly composite, possibly
+//! tagged) surrogate keys are canonicalised to single dense `Nat`
+//! surrogates via `DENSE_RANK` over the distinct composite keys —
+//! recovering the `@i` encoding of Fig. 3(b) on the wire.
+
+use crate::compile::rep::{Layout, ListRep, Rep};
+use crate::compile::{compile_to_rep, Compiler, SchemaProvider};
+use crate::error::FerryError;
+use crate::exp::Exp;
+use crate::types::Ty;
+use ferry_algebra::{ColName, Dir, NodeId, Plan};
+
+/// Decoding shape of one serialized query's item columns. Column indices
+/// refer to positions in the serialized schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VLayout {
+    /// An atomic item column.
+    Atom(usize),
+    Tuple(Vec<VLayout>),
+    /// A surrogate column linking to the rows of the inner query whose
+    /// `nest` column carries matching values.
+    Nested { col: usize, query: usize },
+}
+
+/// One member of the emitted bundle.
+#[derive(Debug, Clone)]
+pub struct QueryDesc {
+    /// The `Serialize` root of this query.
+    pub root: NodeId,
+    /// List queries have schema `[nest, pos, items…]`; the (single) scalar
+    /// root query has schema `[nest, items…]`.
+    pub is_list: bool,
+    pub layout: VLayout,
+}
+
+/// A fully compiled program: one plan DAG, `ty.bundle_size()` serialized
+/// roots, and the decoding descriptors.
+#[derive(Debug, Clone)]
+pub struct CompiledBundle {
+    pub plan: Plan,
+    /// `queries\[0\]` is the root query; inner lists follow in DFS order.
+    pub queries: Vec<QueryDesc>,
+    pub ty: Ty,
+}
+
+impl CompiledBundle {
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.queries.iter().map(|q| q.root).collect()
+    }
+
+    /// Total number of distinct operators across all queries.
+    pub fn plan_size(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for q in &self.queries {
+            seen.extend(self.plan.reachable(q.root));
+        }
+        seen.len()
+    }
+}
+
+/// Compile a closed kernel term all the way to a serialized query bundle.
+pub fn compile_program(
+    exp: &Exp,
+    provider: &dyn SchemaProvider,
+) -> Result<CompiledBundle, FerryError> {
+    let (mut c, rep, _lp) = compile_to_rep(exp, provider)?;
+    let mut queries = Vec::new();
+    match rep {
+        Rep::List(lr) => {
+            shred_list(&mut c, lr, &mut queries);
+        }
+        Rep::Flat(fr) => {
+            let my = reserve(&mut queries);
+            let mut plan_node = fr.plan;
+            let (cooked, item_cols) =
+                cook_layout(&mut c, &mut plan_node, fr.layout, &mut queries);
+            let mut cols: Vec<ColName> = fr.iter.clone();
+            cols.extend(item_cols);
+            let order: Vec<(ColName, Dir)> =
+                fr.iter.iter().map(|c| (c.clone(), Dir::Asc)).collect();
+            let root = c.plan.serialize(plan_node, order, cols.clone());
+            queries[my] = QueryDesc {
+                root,
+                is_list: false,
+                layout: index_layout(&cooked, &cols),
+            };
+        }
+    }
+    let ty = exp.ty().clone();
+    assert_eq!(
+        queries.len(),
+        ty.bundle_size(),
+        "avalanche-safety violation: bundle size diverged from the result type"
+    );
+    Ok(CompiledBundle {
+        plan: c.plan,
+        queries,
+        ty,
+    })
+}
+
+fn reserve(queries: &mut Vec<QueryDesc>) -> usize {
+    let i = queries.len();
+    queries.push(QueryDesc {
+        root: NodeId(0),
+        is_list: false,
+        layout: VLayout::Atom(0),
+    });
+    i
+}
+
+/// Layout after surrogate canonicalisation: `Nested` carries the canonical
+/// surrogate column name plus the inner query's bundle index.
+enum Cooked {
+    Atom(ColName),
+    Tuple(Vec<Cooked>),
+    Nested { col: ColName, query: usize },
+}
+
+/// Serialize one list level; returns its query index within the bundle.
+fn shred_list(c: &mut Compiler, lr: ListRep, queries: &mut Vec<QueryDesc>) -> usize {
+    let my = reserve(queries);
+    debug_assert_eq!(lr.iter.len(), 1, "serialized levels are single-keyed");
+    let mut plan_node = lr.plan;
+    let (cooked, item_cols) = cook_layout(c, &mut plan_node, lr.layout, queries);
+    let mut cols: Vec<ColName> = lr.iter.clone();
+    cols.push(lr.pos.clone());
+    cols.extend(item_cols);
+    let order = vec![(lr.iter[0].clone(), Dir::Asc), (lr.pos.clone(), Dir::Asc)];
+    let root = c.plan.serialize(plan_node, order, cols.clone());
+    queries[my] = QueryDesc {
+        root,
+        is_list: true,
+        layout: index_layout(&cooked, &cols),
+    };
+    my
+}
+
+/// Canonicalise every nested component of `layout` (joining canonical
+/// surrogates into `plan_node`) and serialize the inner levels. Returns
+/// the cooked layout plus the item columns in traversal order.
+fn cook_layout(
+    c: &mut Compiler,
+    plan_node: &mut NodeId,
+    layout: Layout,
+    queries: &mut Vec<QueryDesc>,
+) -> (Cooked, Vec<ColName>) {
+    fn go(
+        c: &mut Compiler,
+        plan_node: &mut NodeId,
+        layout: Layout,
+        queries: &mut Vec<QueryDesc>,
+        item_cols: &mut Vec<ColName>,
+    ) -> Cooked {
+        match layout {
+            Layout::Atom(col) => {
+                item_cols.push(col.clone());
+                Cooked::Atom(col)
+            }
+            Layout::Tuple(ls) => Cooked::Tuple(
+                ls.into_iter()
+                    .map(|l| go(c, plan_node, l, queries, item_cols))
+                    .collect(),
+            ),
+            Layout::Nested { surr, inner } => {
+                // canonical ids: DENSE_RANK over the distinct composite keys
+                let key_map0 = c.plan.project_keep(*plan_node, &surr);
+                let key_map1 = c.plan.distinct(key_map0);
+                let cid = c.fresh("cid");
+                let order: Vec<(ColName, Dir)> =
+                    surr.iter().map(|s| (s.clone(), Dir::Asc)).collect();
+                let key_map = c.plan.dense_rank(key_map1, cid.clone(), vec![], order);
+                // outer side: attach the canonical id
+                let (jp, rmap) =
+                    c.join_on_iter(*plan_node, &surr, key_map, &surr, std::slice::from_ref(&cid));
+                *plan_node = jp;
+                let out_col = rmap[&cid].clone();
+                item_cols.push(out_col.clone());
+                // inner side: re-key the element table by the canonical id
+                let inner_lr = *inner;
+                let (ij, imap) = c.join_on_iter(
+                    inner_lr.plan,
+                    &inner_lr.iter,
+                    key_map,
+                    &surr,
+                    std::slice::from_ref(&cid),
+                );
+                let rekeyed = ListRep {
+                    plan: ij,
+                    iter: vec![imap[&cid].clone()],
+                    pos: inner_lr.pos,
+                    layout: inner_lr.layout,
+                };
+                let query = shred_list(c, rekeyed, queries);
+                Cooked::Nested { col: out_col, query }
+            }
+        }
+    }
+    let mut item_cols = Vec::new();
+    let cooked = go(c, plan_node, layout, queries, &mut item_cols);
+    (cooked, item_cols)
+}
+
+/// Resolve cooked column names to serialized column indices.
+fn index_layout(cooked: &Cooked, cols: &[ColName]) -> VLayout {
+    let idx = |name: &ColName| {
+        cols.iter()
+            .position(|c| c == name)
+            .expect("serialized column present")
+    };
+    match cooked {
+        Cooked::Atom(c) => VLayout::Atom(idx(c)),
+        Cooked::Tuple(ls) => {
+            VLayout::Tuple(ls.iter().map(|l| index_layout(l, cols)).collect())
+        }
+        Cooked::Nested { col, query } => VLayout::Nested {
+            col: idx(col),
+            query: *query,
+        },
+    }
+}

@@ -1,0 +1,179 @@
+//! Stitching: tabular query results back into nested values.
+//!
+//! The inverse of shredding (Fig. 2, steps 5 – 6 ): the bundle's
+//! relations arrive sorted by `(nest, pos)`; inner queries are indexed by
+//! their `nest` surrogates, then the levels are reassembled outside-in.
+//! An inner surrogate with no matching rows denotes an empty inner list —
+//! "if the i-th inner list is empty, its surrogate @i will not appear in
+//! the nest column of this second table" (Fig. 3b).
+
+use crate::error::FerryError;
+use crate::shred::{QueryDesc, VLayout};
+use crate::types::Val;
+use ferry_algebra::{Rel, Row, Value};
+use std::collections::HashMap;
+
+/// Reassemble the bundle's relations into a single nested value.
+///
+/// `results[i]` must be the relation produced by `queries[i]`'s root.
+pub fn stitch(results: &[Rel], queries: &[QueryDesc]) -> Result<Val, FerryError> {
+    if results.len() != queries.len() {
+        return Err(FerryError::Decode(format!(
+            "bundle has {} queries but {} results",
+            queries.len(),
+            results.len()
+        )));
+    }
+    // inner queries are built innermost-first (they only reference higher
+    // indices, never lower ones)
+    let mut maps: Vec<HashMap<u64, Vec<Val>>> = vec![HashMap::new(); queries.len()];
+    for i in (1..queries.len()).rev() {
+        let mut map: HashMap<u64, Vec<Val>> = HashMap::new();
+        for row in &results[i].rows {
+            let nest = nest_of(row)?;
+            let item = build_item(row, &queries[i].layout, &mut maps)?;
+            map.entry(nest).or_default().push(item);
+        }
+        maps[i] = map;
+    }
+    let root = &queries[0];
+    if root.is_list {
+        let mut out = Vec::with_capacity(results[0].len());
+        for row in &results[0].rows {
+            out.push(build_item(row, &root.layout, &mut maps)?);
+        }
+        Ok(Val::List(out))
+    } else {
+        match results[0].rows.len() {
+            1 => build_item(&results[0].rows[0], &root.layout, &mut maps),
+            0 => Err(FerryError::Partial(
+                "no result row — a partial operation (head/the/maximum/!!) was \
+                 applied to an empty list"
+                    .into(),
+            )),
+            n => Err(FerryError::Decode(format!(
+                "scalar result query returned {n} rows"
+            ))),
+        }
+    }
+}
+
+fn nest_of(row: &Row) -> Result<u64, FerryError> {
+    row.first()
+        .and_then(Value::as_nat)
+        .ok_or_else(|| FerryError::Decode("nest column is not a surrogate".into()))
+}
+
+fn build_item(
+    row: &Row,
+    layout: &VLayout,
+    maps: &mut [HashMap<u64, Vec<Val>>],
+) -> Result<Val, FerryError> {
+    match layout {
+        VLayout::Atom(i) => Val::from_cell(&row[*i]).ok_or_else(|| {
+            FerryError::Decode(format!("column {i} holds a surrogate, expected data"))
+        }),
+        VLayout::Tuple(ls) => {
+            let mut vs = Vec::with_capacity(ls.len());
+            for l in ls {
+                vs.push(build_item(row, l, maps)?);
+            }
+            Ok(Val::Tuple(vs))
+        }
+        VLayout::Nested { col, query } => {
+            let surr = row[*col]
+                .as_nat()
+                .ok_or_else(|| FerryError::Decode("surrogate column is not Nat".into()))?;
+            // each surrogate is referenced exactly once, so take ownership;
+            // a missing entry is an empty inner list
+            let items = maps[*query].remove(&surr).unwrap_or_default();
+            Ok(Val::List(items))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferry_algebra::{Schema, Ty};
+
+    fn nat(n: u64) -> Value {
+        Value::Nat(n)
+    }
+
+    #[test]
+    fn stitches_the_fig3_encoding() {
+        // Q1: outer list [( @1 ), ( @2 )]; Q2: inner lists for @1 = [10],
+        // @2 = [] (surrogate 2 absent from Q2)
+        let q1 = Rel::new(
+            Schema::of(&[("nest", Ty::Nat), ("pos", Ty::Nat), ("s", Ty::Nat)]),
+            vec![
+                vec![nat(1), nat(1), nat(1)],
+                vec![nat(1), nat(2), nat(2)],
+            ],
+        );
+        let q2 = Rel::new(
+            Schema::of(&[("nest", Ty::Nat), ("pos", Ty::Nat), ("item", Ty::Int)]),
+            vec![vec![nat(1), nat(1), Value::Int(10)]],
+        );
+        let queries = vec![
+            QueryDesc {
+                root: ferry_algebra::NodeId(0),
+                is_list: true,
+                layout: VLayout::Nested { col: 2, query: 1 },
+            },
+            QueryDesc {
+                root: ferry_algebra::NodeId(0),
+                is_list: true,
+                layout: VLayout::Atom(2),
+            },
+        ];
+        let v = stitch(&[q1, q2], &queries).unwrap();
+        assert_eq!(
+            v,
+            Val::List(vec![
+                Val::List(vec![Val::Int(10)]),
+                Val::List(vec![]),
+            ])
+        );
+    }
+
+    #[test]
+    fn scalar_roots() {
+        let q = Rel::new(
+            Schema::of(&[("nest", Ty::Nat), ("a", Ty::Int), ("b", Ty::Str)]),
+            vec![vec![nat(1), Value::Int(7), Value::str("x")]],
+        );
+        let queries = vec![QueryDesc {
+            root: ferry_algebra::NodeId(0),
+            is_list: false,
+            layout: VLayout::Tuple(vec![VLayout::Atom(1), VLayout::Atom(2)]),
+        }];
+        let v = stitch(&[q], &queries).unwrap();
+        assert_eq!(v, Val::Tuple(vec![Val::Int(7), Val::Text("x".into())]));
+    }
+
+    #[test]
+    fn empty_scalar_is_partial() {
+        let q = Rel::new(Schema::of(&[("nest", Ty::Nat), ("a", Ty::Int)]), vec![]);
+        let queries = vec![QueryDesc {
+            root: ferry_algebra::NodeId(0),
+            is_list: false,
+            layout: VLayout::Atom(1),
+        }];
+        assert!(matches!(
+            stitch(&[q], &queries),
+            Err(FerryError::Partial(_))
+        ));
+    }
+
+    #[test]
+    fn result_count_mismatch_is_reported() {
+        let queries = vec![QueryDesc {
+            root: ferry_algebra::NodeId(0),
+            is_list: true,
+            layout: VLayout::Atom(2),
+        }];
+        assert!(matches!(stitch(&[], &queries), Err(FerryError::Decode(_))));
+    }
+}

@@ -1,0 +1,217 @@
+//! The database: a catalog of base tables plus the query entry point.
+
+use crate::error::EngineError;
+use crate::exec;
+use crate::stats::QueryStats;
+use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, Schema};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A database-resident base table: schema, key columns (defining the
+/// canonical order the `table` combinator exposes) and rows.
+#[derive(Debug, Clone)]
+pub struct BaseTable {
+    pub schema: Schema,
+    /// Names of key columns (must be part of the schema). The key orders
+    /// the table: the Ferry front-end materialises `pos` by row-numbering
+    /// over these columns.
+    pub keys: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+/// The in-memory database acting as the coprocessor.
+///
+/// `execute` is the client/server boundary: each call is **one query**
+/// dispatched to the database, counted in [`QueryStats`] and charged
+/// `dispatch_cost` of fixed latency (default zero; set it to model a
+/// networked DBMS round-trip).
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, BaseTable>,
+    dispatch_cost: Duration,
+    stats: Mutex<QueryStats>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create (or replace) a base table.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        keys: Vec<&str>,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        for k in &keys {
+            if !schema.contains(k) {
+                return Err(EngineError::TableMismatch {
+                    table: name,
+                    detail: format!("key column {k} not in schema {schema}"),
+                });
+            }
+        }
+        self.tables.insert(
+            name,
+            BaseTable {
+                schema,
+                keys: keys.into_iter().map(String::from).collect(),
+                rows: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Append rows to a base table (types are checked).
+    pub fn insert(&mut self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))?;
+        for row in &rows {
+            if row.len() != table.schema.len() {
+                return Err(EngineError::TableMismatch {
+                    table: name.to_string(),
+                    detail: format!("row width {} != schema width {}", row.len(), table.schema.len()),
+                });
+            }
+            for (v, (c, t)) in row.iter().zip(table.schema.cols()) {
+                if v.ty() != *t {
+                    return Err(EngineError::TableMismatch {
+                        table: name.to_string(),
+                        detail: format!("column {c}: value {v} is not {t}"),
+                    });
+                }
+            }
+        }
+        table.rows.extend(rows);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Option<&BaseTable> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Fixed latency charged per dispatched query (models network
+    /// round-trip and parse/plan overhead of a real client/server DBMS).
+    pub fn set_dispatch_cost(&mut self, cost: Duration) {
+        self.dispatch_cost = cost;
+    }
+
+    pub fn stats(&self) -> QueryStats {
+        *self.stats.lock().unwrap()
+    }
+
+    pub fn reset_stats(&self) {
+        self.stats.lock().unwrap().reset();
+    }
+
+    /// Dispatch **one query** — validate the plan, evaluate the DAG bottom-
+    /// up (shared nodes once), return the root relation.
+    pub fn execute(&self, plan: &Plan, root: NodeId) -> Result<Rel, EngineError> {
+        if !self.dispatch_cost.is_zero() {
+            spin_for(self.dispatch_cost);
+        }
+        let schemas = infer_schema(plan)?;
+        let mut local = QueryStats::default();
+        let result = exec::run(self, plan, root, &schemas, &mut local)?;
+        let mut stats = self.stats.lock().unwrap();
+        stats.queries += 1;
+        stats.rows_out += result.len() as u64;
+        stats.nodes_evaluated += local.nodes_evaluated;
+        stats.rows_produced += local.rows_produced;
+        Ok(result)
+    }
+
+    /// Dispatch a bundle of queries (one `execute` each) and collect the
+    /// results in order.
+    pub fn execute_bundle(
+        &self,
+        plan: &Plan,
+        roots: &[NodeId],
+    ) -> Result<Vec<Rel>, EngineError> {
+        roots.iter().map(|&r| self.execute(plan, r)).collect()
+    }
+}
+
+/// Busy-wait for `d`. `thread::sleep` has millisecond-class granularity on
+/// some platforms; the dispatch costs we model are tens of microseconds.
+fn spin_for(d: Duration) {
+    let start = std::time::Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferry_algebra::{Ty, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "t",
+            Schema::of(&[("a", Ty::Int), ("b", Ty::Str)]),
+            vec!["a"],
+        )
+        .unwrap();
+        db.insert(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::str("x")],
+                vec![Value::Int(2), Value::str("y")],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_lookup() {
+        let db = db();
+        let t = db.table("t").unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.keys, vec!["a"]);
+        assert!(db.table("nope").is_none());
+    }
+
+    #[test]
+    fn insert_type_checked() {
+        let mut db = db();
+        let bad = db.insert("t", vec![vec![Value::str("no"), Value::str("x")]]);
+        assert!(matches!(bad, Err(EngineError::TableMismatch { .. })));
+        let bad_width = db.insert("t", vec![vec![Value::Int(1)]]);
+        assert!(bad_width.is_err());
+        let no_table = db.insert("zzz", vec![]);
+        assert!(matches!(no_table, Err(EngineError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn key_must_be_in_schema() {
+        let mut db = Database::new();
+        let r = db.create_table("t", Schema::of(&[("a", Ty::Int)]), vec!["zzz"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn execute_counts_queries() {
+        let db = db();
+        let mut plan = Plan::new();
+        let l = plan.lit(Schema::of(&[("x", Ty::Int)]), vec![vec![Value::Int(5)]]);
+        db.execute(&plan, l).unwrap();
+        db.execute(&plan, l).unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.rows_out, 2);
+        db.reset_stats();
+        assert_eq!(db.stats().queries, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Engine error type.
+
+use ferry_algebra::InferError;
+use std::fmt;
+
+/// Anything that can go wrong while executing a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The plan failed schema validation.
+    Schema(InferError),
+    /// A referenced base table does not exist in the catalog.
+    NoSuchTable(String),
+    /// A `TableRef` disagrees with the catalog (arity or column types).
+    TableMismatch { table: String, detail: String },
+    /// A runtime evaluation error (division by zero, numeric overflow, …).
+    Eval(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Schema(e) => write!(f, "schema error: {e}"),
+            EngineError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            EngineError::TableMismatch { table, detail } => {
+                write!(f, "table {table} mismatch: {detail}")
+            }
+            EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<InferError> for EngineError {
+    fn from(e: InferError) -> Self {
+        EngineError::Schema(e)
+    }
+}

@@ -1,0 +1,483 @@
+//! Physical operators: bulk-at-a-time evaluation of a plan DAG.
+//!
+//! Nodes are evaluated in arena order (which is a topological order by
+//! construction), each reachable node exactly once; results of shared
+//! nodes are reused, mirroring how a real engine evaluates a DAG-shaped
+//! query with common subexpressions.
+
+use crate::catalog::Database;
+use crate::error::EngineError;
+use crate::eval::{bind, eval};
+use crate::stats::QueryStats;
+use ferry_algebra::{
+    AggFun, Dir, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value,
+};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Evaluate the DAG under `root` and return its relation.
+pub fn run(
+    db: &Database,
+    plan: &Plan,
+    root: NodeId,
+    schemas: &[Schema],
+    stats: &mut QueryStats,
+) -> Result<Rel, EngineError> {
+    let reachable = plan.reachable(root);
+    let mut results: Vec<Option<Rel>> = vec![None; plan.len()];
+    for id in reachable {
+        let rel = eval_node(db, plan, id, schemas, &results)?;
+        stats.nodes_evaluated += 1;
+        stats.rows_produced += rel.len() as u64;
+        results[id.index()] = Some(rel);
+    }
+    Ok(results[root.index()].take().expect("root evaluated"))
+}
+
+fn child(results: &[Option<Rel>], id: NodeId) -> &Rel {
+    results[id.index()].as_ref().expect("child evaluated before parent")
+}
+
+/// Compare two rows on the given `(index, direction)` spec.
+fn cmp_rows(a: &Row, b: &Row, spec: &[(usize, Dir)]) -> Ordering {
+    for &(i, d) in spec {
+        let o = a[i].cmp(&b[i]);
+        let o = match d {
+            Dir::Asc => o,
+            Dir::Desc => o.reverse(),
+        };
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+fn resolve_sort(schema: &Schema, order: &[SortSpec]) -> Vec<(usize, Dir)> {
+    order
+        .iter()
+        .map(|(c, d)| (schema.index_of(c).expect("validated"), *d))
+        .collect()
+}
+
+fn resolve_cols(schema: &Schema, cols: &[ferry_algebra::ColName]) -> Vec<usize> {
+    cols.iter()
+        .map(|c| schema.index_of(c).expect("validated"))
+        .collect()
+}
+
+fn key_of(row: &Row, idxs: &[usize]) -> Vec<Value> {
+    idxs.iter().map(|&i| row[i].clone()).collect()
+}
+
+fn eval_node(
+    db: &Database,
+    plan: &Plan,
+    id: NodeId,
+    schemas: &[Schema],
+    results: &[Option<Rel>],
+) -> Result<Rel, EngineError> {
+    let out_schema = schemas[id.index()].clone();
+    match plan.node(id) {
+        Node::TableRef { name, cols, .. } => {
+            let table = db
+                .table(name)
+                .ok_or_else(|| EngineError::NoSuchTable(name.clone()))?;
+            if table.schema.len() != cols.len() {
+                return Err(EngineError::TableMismatch {
+                    table: name.clone(),
+                    detail: format!(
+                        "plan expects {} columns, table has {}",
+                        cols.len(),
+                        table.schema.len()
+                    ),
+                });
+            }
+            for ((plan_col, plan_ty), (cat_col, cat_ty)) in cols.iter().zip(table.schema.cols()) {
+                if plan_ty != cat_ty {
+                    return Err(EngineError::TableMismatch {
+                        table: name.clone(),
+                        detail: format!("column {cat_col} is {cat_ty}, plan column {plan_col} expects {plan_ty}"),
+                    });
+                }
+            }
+            Ok(Rel::new(out_schema, table.rows.clone()))
+        }
+        Node::Lit { rows, .. } => Ok(Rel::new(out_schema, rows.clone())),
+        Node::Attach { input, value, .. } => {
+            let rel = child(results, *input);
+            let rows = rel
+                .rows
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.push(value.clone());
+                    r
+                })
+                .collect();
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::Project { input, cols } => {
+            let rel = child(results, *input);
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|(_, old)| rel.schema.index_of(old).expect("validated"))
+                .collect();
+            let rows = rel.rows.iter().map(|r| key_of(r, &idxs)).collect();
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::Compute { input, expr, .. } => {
+            let rel = child(results, *input);
+            let bound = bind(expr, &rel.schema);
+            let mut rows = Vec::with_capacity(rel.len());
+            for r in &rel.rows {
+                let v = eval(&bound, r)?;
+                let mut r = r.clone();
+                r.push(v);
+                rows.push(r);
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::Select { input, pred } => {
+            let rel = child(results, *input);
+            let bound = bind(pred, &rel.schema);
+            let mut rows = Vec::new();
+            for r in &rel.rows {
+                if eval(&bound, r)? == Value::Bool(true) {
+                    rows.push(r.clone());
+                }
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::Distinct { input } => {
+            let rel = child(results, *input);
+            let mut seen: HashMap<&Row, ()> = HashMap::with_capacity(rel.len());
+            let mut rows = Vec::new();
+            for r in &rel.rows {
+                if seen.insert(r, ()).is_none() {
+                    rows.push(r.clone());
+                }
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::UnionAll { left, right } => {
+            let l = child(results, *left);
+            let r = child(results, *right);
+            let mut rows = l.rows.clone();
+            rows.extend(r.rows.iter().cloned());
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::Difference { left, right } => {
+            let l = child(results, *left);
+            let r = child(results, *right);
+            let exclude: HashMap<&Row, ()> = r.rows.iter().map(|row| (row, ())).collect();
+            let mut seen: HashMap<&Row, ()> = HashMap::new();
+            let mut rows = Vec::new();
+            for row in &l.rows {
+                if !exclude.contains_key(row) && seen.insert(row, ()).is_none() {
+                    rows.push(row.clone());
+                }
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::CrossJoin { left, right } => {
+            let l = child(results, *left);
+            let r = child(results, *right);
+            let mut rows = Vec::with_capacity(l.len() * r.len());
+            for a in &l.rows {
+                for b in &r.rows {
+                    let mut row = a.clone();
+                    row.extend(b.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::EquiJoin { left, right, on } => {
+            let l = child(results, *left);
+            let r = child(results, *right);
+            let li = resolve_cols(&l.schema, &on.left);
+            let ri = resolve_cols(&r.schema, &on.right);
+            // hash join: build on the right, probe with the left
+            let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.len());
+            for (i, row) in r.rows.iter().enumerate() {
+                index.entry(key_of(row, &ri)).or_default().push(i);
+            }
+            let mut rows = Vec::new();
+            for a in &l.rows {
+                if let Some(matches) = index.get(&key_of(a, &li)) {
+                    for &i in matches {
+                        let mut row = a.clone();
+                        row.extend(r.rows[i].iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::SemiJoin { left, right, on } | Node::AntiJoin { left, right, on } => {
+            let anti = matches!(plan.node(id), Node::AntiJoin { .. });
+            let l = child(results, *left);
+            let r = child(results, *right);
+            let li = resolve_cols(&l.schema, &on.left);
+            let ri = resolve_cols(&r.schema, &on.right);
+            let keys: HashMap<Vec<Value>, ()> =
+                r.rows.iter().map(|row| (key_of(row, &ri), ())).collect();
+            let rows = l
+                .rows
+                .iter()
+                .filter(|a| keys.contains_key(&key_of(a, &li)) != anti)
+                .cloned()
+                .collect();
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::ThetaJoin { left, right, pred } => {
+            let l = child(results, *left);
+            let r = child(results, *right);
+            let joint = l.schema.concat(&r.schema);
+            let bound = bind(pred, &joint);
+            let mut rows = Vec::new();
+            for a in &l.rows {
+                for b in &r.rows {
+                    let mut row = a.clone();
+                    row.extend(b.iter().cloned());
+                    if eval(&bound, &row)? == Value::Bool(true) {
+                        rows.push(row);
+                    }
+                }
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::RowNum {
+            input, part, order, ..
+        } => {
+            let rel = child(results, *input);
+            Ok(windowed(rel, part, order, out_schema, WindowKind::RowNum))
+        }
+        Node::RowRank { input, order, .. } => {
+            let rel = child(results, *input);
+            Ok(windowed(rel, &[], order, out_schema, WindowKind::Rank))
+        }
+        Node::DenseRank {
+            input, part, order, ..
+        } => {
+            let rel = child(results, *input);
+            Ok(windowed(rel, part, order, out_schema, WindowKind::DenseRank))
+        }
+        Node::GroupBy { input, keys, aggs } => {
+            let rel = child(results, *input);
+            let ki = resolve_cols(&rel.schema, keys);
+            let ai: Vec<Option<usize>> = aggs
+                .iter()
+                .map(|a| a.input.as_ref().map(|c| rel.schema.index_of(c).expect("validated")))
+                .collect();
+            // group rows by key, first-occurrence order
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+            for row in &rel.rows {
+                let key = key_of(row, &ki);
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    aggs.iter().map(|a| Acc::new(a.fun)).collect()
+                });
+                for (acc, idx) in accs.iter_mut().zip(&ai) {
+                    acc.feed(idx.map(|i| &row[i]))?;
+                }
+            }
+            let mut rows = Vec::with_capacity(order.len());
+            for key in order {
+                let accs = groups.remove(&key).expect("group present");
+                let mut row = key;
+                for acc in accs {
+                    row.push(acc.finish()?);
+                }
+                rows.push(row);
+            }
+            Ok(Rel::new(out_schema, rows))
+        }
+        Node::Serialize { input, order, cols } => {
+            let rel = child(results, *input);
+            let spec = resolve_sort(&rel.schema, order);
+            let mut idxs: Vec<usize> = (0..rel.len()).collect();
+            idxs.sort_by(|&a, &b| {
+                cmp_rows(&rel.rows[a], &rel.rows[b], &spec).then(a.cmp(&b))
+            });
+            let ci = resolve_cols(&rel.schema, cols);
+            let rows = idxs.into_iter().map(|i| key_of(&rel.rows[i], &ci)).collect();
+            Ok(Rel::new(out_schema, rows))
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum WindowKind {
+    RowNum,
+    Rank,
+    DenseRank,
+}
+
+/// Shared implementation of `ROW_NUMBER`/`RANK`/`DENSE_RANK`.
+///
+/// Rows are ordered by `(part, order, original index)` — the original index
+/// as final tiebreak makes numbering deterministic when the order spec has
+/// ties, matching what loop-lifting assumes of the back-end ("the database
+/// system is free to consider these bindings ... in any order" only where
+/// the result is order-insensitive).
+fn windowed(
+    rel: &Rel,
+    part: &[ferry_algebra::ColName],
+    order: &[SortSpec],
+    out_schema: Schema,
+    kind: WindowKind,
+) -> Rel {
+    let pi = resolve_cols(&rel.schema, part);
+    let spec = resolve_sort(&rel.schema, order);
+    let mut idxs: Vec<usize> = (0..rel.len()).collect();
+    idxs.sort_by(|&a, &b| {
+        key_of(&rel.rows[a], &pi)
+            .cmp(&key_of(&rel.rows[b], &pi))
+            .then_with(|| cmp_rows(&rel.rows[a], &rel.rows[b], &spec))
+            .then(a.cmp(&b))
+    });
+    let mut rows: Vec<Row> = Vec::with_capacity(rel.len());
+    let mut prev_part: Option<Vec<Value>> = None;
+    let mut prev_order: Option<Vec<Value>> = None;
+    let mut row_number = 0u64;
+    let mut rank_value = 0u64;
+    let order_idx: Vec<usize> = spec.iter().map(|&(i, _)| i).collect();
+    for i in idxs {
+        let row = &rel.rows[i];
+        let p = key_of(row, &pi);
+        let o = key_of(row, &order_idx);
+        if prev_part.as_ref() != Some(&p) {
+            row_number = 0;
+            rank_value = 0;
+            prev_order = None;
+            prev_part = Some(p);
+        }
+        row_number += 1;
+        let fresh_order = prev_order.as_ref() != Some(&o);
+        if fresh_order {
+            prev_order = Some(o);
+        }
+        let n = match kind {
+            WindowKind::RowNum => row_number,
+            WindowKind::Rank => {
+                if fresh_order {
+                    rank_value = row_number;
+                }
+                rank_value
+            }
+            WindowKind::DenseRank => {
+                if fresh_order {
+                    rank_value += 1;
+                }
+                rank_value
+            }
+        };
+        let mut out = row.clone();
+        out.push(Value::Nat(n));
+        rows.push(out);
+    }
+    Rel::new(out_schema, rows)
+}
+
+/// Aggregate accumulator.
+enum Acc {
+    Count(i64),
+    SumInt(i64),
+    SumDbl(f64),
+    SumNat(u64),
+    SumEmpty, // sum before the first value fixes the numeric domain
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+    All(bool),
+    Any(bool),
+}
+
+impl Acc {
+    fn new(fun: AggFun) -> Acc {
+        match fun {
+            AggFun::CountAll => Acc::Count(0),
+            AggFun::Sum => Acc::SumEmpty,
+            AggFun::Min => Acc::Min(None),
+            AggFun::Max => Acc::Max(None),
+            AggFun::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFun::All => Acc::All(true),
+            AggFun::Any => Acc::Any(false),
+        }
+    }
+
+    fn feed(&mut self, v: Option<&Value>) -> Result<(), EngineError> {
+        let overflow = || EngineError::Eval("overflow in SUM".into());
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::SumEmpty => {
+                *self = match v.expect("validated") {
+                    Value::Int(i) => Acc::SumInt(*i),
+                    Value::Dbl(d) => Acc::SumDbl(*d),
+                    Value::Nat(n) => Acc::SumNat(*n),
+                    v => return Err(EngineError::Eval(format!("SUM over {v}"))),
+                }
+            }
+            Acc::SumInt(s) => {
+                let i = v.and_then(|v| v.as_int()).ok_or_else(overflow)?;
+                *s = s.checked_add(i).ok_or_else(overflow)?;
+            }
+            Acc::SumDbl(s) => *s += v.and_then(|v| v.as_dbl()).unwrap_or(0.0),
+            Acc::SumNat(s) => {
+                let n = v.and_then(|v| v.as_nat()).ok_or_else(overflow)?;
+                *s = s.checked_add(n).ok_or_else(overflow)?;
+            }
+            Acc::Min(m) => {
+                let v = v.expect("validated");
+                if m.as_ref().is_none_or(|m| v < m) {
+                    *m = Some(v.clone());
+                }
+            }
+            Acc::Max(m) => {
+                let v = v.expect("validated");
+                if m.as_ref().is_none_or(|m| v > m) {
+                    *m = Some(v.clone());
+                }
+            }
+            Acc::Avg { sum, n } => {
+                let d = match v.expect("validated") {
+                    Value::Int(i) => *i as f64,
+                    Value::Dbl(d) => *d,
+                    v => return Err(EngineError::Eval(format!("AVG over {v}"))),
+                };
+                *sum += d;
+                *n += 1;
+            }
+            Acc::All(b) => *b &= v.and_then(|v| v.as_bool()).unwrap_or(true),
+            Acc::Any(b) => *b |= v.and_then(|v| v.as_bool()).unwrap_or(false),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Value, EngineError> {
+        match self {
+            Acc::Count(n) => Ok(Value::Int(n)),
+            Acc::SumInt(s) => Ok(Value::Int(s)),
+            Acc::SumDbl(s) => Ok(Value::Dbl(s)),
+            Acc::SumNat(s) => Ok(Value::Nat(s)),
+            // SUM over an empty group: groups only exist for non-empty
+            // inputs, so this is unreachable via GroupBy, but keep it total.
+            Acc::SumEmpty => Ok(Value::Int(0)),
+            Acc::Min(m) | Acc::Max(m) => {
+                m.ok_or_else(|| EngineError::Eval("MIN/MAX over empty group".into()))
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Err(EngineError::Eval("AVG over empty group".into()))
+                } else {
+                    Ok(Value::Dbl(sum / n as f64))
+                }
+            }
+            Acc::All(b) => Ok(Value::Bool(b)),
+            Acc::Any(b) => Ok(Value::Bool(b)),
+        }
+    }
+}

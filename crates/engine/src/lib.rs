@@ -1,0 +1,30 @@
+//! # `ferry-engine` — the database coprocessor substrate
+//!
+//! An in-memory relational query engine that executes [`ferry_algebra`]
+//! plans. It plays the role of the off-the-shelf RDBMS of the paper
+//! (PostgreSQL / MonetDB): a *bulk-oriented* evaluator whose primitives
+//! "apply a single operation to all rows in a given table" (§3.2
+//! *Operations*), which is exactly the execution model loop-lifting
+//! targets.
+//!
+//! ## What is modelled
+//!
+//! * a catalog of named base tables with declared key columns (the
+//!   `table` combinator references tables by name; the key defines the
+//!   canonical row order used for the `pos` encoding),
+//! * bulk-at-a-time physical operators for the entire table algebra,
+//! * **query accounting** ([`QueryStats`]): every [`Database::execute`]
+//!   call counts as one query dispatched to the coprocessor, with an
+//!   optional fixed dispatch cost to model client/server round-trip and
+//!   parse/plan overhead — this is what makes the avalanche of Table 1
+//!   observable and measurable.
+
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod stats;
+
+pub use catalog::{BaseTable, Database};
+pub use error::EngineError;
+pub use stats::QueryStats;

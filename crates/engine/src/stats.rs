@@ -1,0 +1,43 @@
+//! Query accounting.
+//!
+//! Table 1 of the paper reports the *number of SQL queries emitted* next to
+//! wall-clock time: the avalanche effect is first and foremost a query-count
+//! effect. The engine therefore counts every dispatched query (and some
+//! volume metrics) so experiments can assert counts exactly rather than
+//! inferring them from timings.
+
+/// Counters accumulated by a [`crate::Database`] across `execute` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of queries dispatched (one per `execute` call).
+    pub queries: u64,
+    /// Total rows returned to the client across all queries.
+    pub rows_out: u64,
+    /// Total operator (node) evaluations.
+    pub nodes_evaluated: u64,
+    /// Total rows produced by intermediate operators (a rough work metric).
+    pub rows_produced: u64,
+}
+
+impl QueryStats {
+    pub fn reset(&mut self) {
+        *self = QueryStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = QueryStats {
+            queries: 3,
+            rows_out: 10,
+            nodes_evaluated: 5,
+            rows_produced: 100,
+        };
+        s.reset();
+        assert_eq!(s, QueryStats::default());
+    }
+}

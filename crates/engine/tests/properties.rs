@@ -1,0 +1,227 @@
+//! Algebraic laws of the physical operators, property-tested on random
+//! relations. These are the identities the optimizer's rewrites rely on —
+//! if they hold in the engine, the rewrites are sound end to end.
+
+use ferry_algebra::{
+    plan::{cn, Aggregate},
+    AggFun, BinOp, Dir, Expr, JoinCols, Node, Plan, Rel, Schema, Ty, Value,
+};
+use ferry_engine::Database;
+use proptest::prelude::*;
+
+fn row_strategy() -> impl Strategy<Value = (i64, i64, String)> {
+    (
+        -8i64..8,
+        -3i64..3,
+        proptest::sample::select(vec!["a", "b", "c"]).prop_map(String::from),
+    )
+}
+
+fn rel_rows(rows: &[(i64, i64, String)]) -> Vec<Vec<Value>> {
+    rows.iter()
+        .map(|(x, k, s)| vec![Value::Int(*x), Value::Int(*k), Value::str(s.as_str())])
+        .collect()
+}
+
+fn schema_abc(prefix: &str) -> Schema {
+    Schema::new(vec![
+        (format!("{prefix}x").into(), Ty::Int),
+        (format!("{prefix}k").into(), Ty::Int),
+        (format!("{prefix}s").into(), Ty::Str),
+    ])
+}
+
+fn exec(plan: &Plan, root: ferry_algebra::NodeId) -> Rel {
+    Database::new().execute(plan, root).expect("execute")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn select_fusion_law(rows in proptest::collection::vec(row_strategy(), 0..20)) {
+        // σ_p(σ_q(X)) = σ_{q ∧ p}(X)
+        let p = Expr::bin(BinOp::Gt, Expr::col("x"), Expr::lit(0i64));
+        let q = Expr::bin(BinOp::Le, Expr::col("k"), Expr::lit(1i64));
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let s1 = plan.select(x, q.clone());
+        let s2 = plan.select(s1, p.clone());
+        let fused = plan.select(x, Expr::and(q, p));
+        prop_assert!(exec(&plan, s2).same_bag(&exec(&plan, fused)));
+    }
+
+    #[test]
+    fn equi_join_is_filtered_cross(
+        l in proptest::collection::vec(row_strategy(), 0..12),
+        r in proptest::collection::vec(row_strategy(), 0..12),
+    ) {
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_abc(""), rel_rows(&l));
+        let rx = plan.lit(schema_abc("r"), rel_rows(&r));
+        let j = plan.equi_join(lx, rx, JoinCols::single("k", "rk"));
+        let c = plan.cross(lx, rx);
+        let sel = plan.select(c, Expr::eq(Expr::col("k"), Expr::col("rk")));
+        prop_assert!(exec(&plan, j).same_bag(&exec(&plan, sel)));
+    }
+
+    #[test]
+    fn semi_join_is_join_with_distinct_keys(
+        l in proptest::collection::vec(row_strategy(), 0..12),
+        r in proptest::collection::vec(row_strategy(), 0..12),
+    ) {
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_abc(""), rel_rows(&l));
+        let rx = plan.lit(schema_abc("r"), rel_rows(&r));
+        let semi = plan.semi_join(lx, rx, JoinCols::single("k", "rk"));
+        // ≡ π_l (l ⋈ δ(π_keys r))
+        let keys = plan.project(rx, vec![(cn("dk"), cn("rk"))]);
+        let d = plan.distinct(keys);
+        let j = plan.equi_join(lx, d, JoinCols::single("k", "dk"));
+        let pj = plan.project_keep(j, &[cn("x"), cn("k"), cn("s")]);
+        prop_assert!(exec(&plan, semi).same_bag(&exec(&plan, pj)));
+    }
+
+    #[test]
+    fn anti_join_complements_semi_join(
+        l in proptest::collection::vec(row_strategy(), 0..12),
+        r in proptest::collection::vec(row_strategy(), 0..12),
+    ) {
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_abc(""), rel_rows(&l));
+        let rx = plan.lit(schema_abc("r"), rel_rows(&r));
+        let semi = plan.semi_join(lx, rx, JoinCols::single("k", "rk"));
+        let anti = plan.anti_join(lx, rx, JoinCols::single("k", "rk"));
+        let both = plan.union_all(semi, anti);
+        prop_assert!(exec(&plan, both).same_bag(&exec(&plan, lx)));
+    }
+
+    #[test]
+    fn distinct_is_idempotent(rows in proptest::collection::vec(row_strategy(), 0..20)) {
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let d1 = plan.distinct(x);
+        let d2 = plan.distinct(d1);
+        prop_assert_eq!(exec(&plan, d1).rows, exec(&plan, d2).rows);
+    }
+
+    #[test]
+    fn rownum_is_dense_per_partition(rows in proptest::collection::vec(row_strategy(), 0..20)) {
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let rn = plan.rownum(x, "pos", vec![cn("k")], vec![(cn("x"), Dir::Asc)]);
+        let rel = exec(&plan, rn);
+        use std::collections::HashMap;
+        let mut per_part: HashMap<i64, Vec<u64>> = HashMap::new();
+        for row in &rel.rows {
+            per_part
+                .entry(row[1].as_int().unwrap())
+                .or_default()
+                .push(row[3].as_nat().unwrap());
+        }
+        for (_, mut ps) in per_part {
+            ps.sort_unstable();
+            let expect: Vec<u64> = (1..=ps.len() as u64).collect();
+            prop_assert_eq!(ps, expect, "dense 1..n per partition");
+        }
+    }
+
+    #[test]
+    fn dense_rank_agrees_with_distinct_count(rows in proptest::collection::vec(row_strategy(), 1..20)) {
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let dr = plan.dense_rank(x, "g", vec![], vec![(cn("k"), Dir::Asc)]);
+        let rel = exec(&plan, dr);
+        let max_rank = rel
+            .rows
+            .iter()
+            .map(|r| r[3].as_nat().unwrap())
+            .max()
+            .unwrap();
+        let distinct_keys: std::collections::HashSet<i64> =
+            rel.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+        prop_assert_eq!(max_rank as usize, distinct_keys.len());
+    }
+
+    #[test]
+    fn group_by_counts_partition_the_input(rows in proptest::collection::vec(row_strategy(), 0..20)) {
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let g = plan.group_by(
+            x,
+            vec![cn("k")],
+            vec![Aggregate { fun: AggFun::CountAll, input: None, output: cn("n") }],
+        );
+        let rel = exec(&plan, g);
+        let total: i64 = rel.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        prop_assert_eq!(total as usize, rows.len());
+    }
+
+    #[test]
+    fn difference_then_union_recovers_distinct_left(
+        l in proptest::collection::vec(row_strategy(), 0..15),
+        r in proptest::collection::vec(row_strategy(), 0..15),
+    ) {
+        // δ(l) = (l − r) ∪ (l ∩ r), with ∩ as a semi join over δ(l)
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_abc(""), rel_rows(&l));
+        let rx = plan.lit(schema_abc(""), rel_rows(&r));
+        let diff = plan.difference(lx, rx);
+        let dl = plan.distinct(lx);
+        let inter = plan.semi_join(
+            dl,
+            rx,
+            JoinCols::new(
+                vec![cn("x"), cn("k"), cn("s")],
+                vec![cn("x"), cn("k"), cn("s")],
+            ),
+        );
+        let u = plan.union_all(diff, inter);
+        prop_assert!(exec(&plan, u).same_bag(&exec(&plan, dl)));
+    }
+
+    #[test]
+    fn serialize_orders_totally(rows in proptest::collection::vec(row_strategy(), 0..20)) {
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let s = plan.serialize(
+            x,
+            vec![(cn("x"), Dir::Asc), (cn("k"), Dir::Asc), (cn("s"), Dir::Asc)],
+            vec![cn("x"), cn("k"), cn("s")],
+        );
+        let rel = exec(&plan, s);
+        for w in rel.rows.windows(2) {
+            prop_assert!(w[0] <= w[1], "serialize output is sorted");
+        }
+    }
+
+    #[test]
+    fn theta_join_generalises_equi_join(
+        l in proptest::collection::vec(row_strategy(), 0..10),
+        r in proptest::collection::vec(row_strategy(), 0..10),
+    ) {
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_abc(""), rel_rows(&l));
+        let rx = plan.lit(schema_abc("r"), rel_rows(&r));
+        let e = plan.equi_join(lx, rx, JoinCols::single("k", "rk"));
+        let t = plan.theta_join(lx, rx, Expr::eq(Expr::col("k"), Expr::col("rk")));
+        prop_assert!(exec(&plan, e).same_bag(&exec(&plan, t)));
+    }
+
+    #[test]
+    fn rank_vs_dense_rank_relationship(rows in proptest::collection::vec(row_strategy(), 1..20)) {
+        // RANK ≥ DENSE_RANK, equal on the first row of every rank group
+        let mut plan = Plan::new();
+        let x = plan.lit(schema_abc(""), rel_rows(&rows));
+        let rk = plan.add(Node::RowRank {
+            input: x,
+            col: cn("rk"),
+            order: vec![(cn("x"), Dir::Asc)],
+        });
+        let dr = plan.dense_rank(rk, "dr", vec![], vec![(cn("x"), Dir::Asc)]);
+        let rel = exec(&plan, dr);
+        for row in &rel.rows {
+            prop_assert!(row[3].as_nat().unwrap() >= row[4].as_nat().unwrap());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! # `ferry-optimizer` — algebraic plan rewriting
+//!
+//! The role Pathfinder \[10, 11\] plays in the paper's pipeline (Fig. 2,
+//! step 3 ): loop-lifting is deliberately compositional and spendthrift —
+//! it re-projects at every join, threads dead columns through whole
+//! subplans, and never reuses a computation it could share. This crate
+//! shrinks those plans before execution or SQL generation:
+//!
+//! * [`passes::cse`] — hash-consing common subplans (the DAG becomes real),
+//! * [`passes::merge_projects`] — collapse `Project∘Project`, drop identity
+//!   projections,
+//! * [`passes::fold_constants`] — constant folding and predicate
+//!   simplification inside scalar expressions, `Select(true)` removal,
+//!   `Select∘Select` fusion,
+//! * [`passes::prune_columns`] — *icols* (needed-columns) analysis: trim
+//!   projection widths, bypass unused `Attach`/`Compute`/row-numbering
+//!   operators, narrow `UnionAll` inputs.
+//!
+//! The driver iterates the passes to a fixpoint (bounded). Every pass
+//! preserves plan semantics *including* the deterministic row-numbering
+//! the compiler relies on: no pass reorders or merges the order-defining
+//! `RowNum`/`DenseRank` operators; they are only removed when their output
+//! column is provably unused.
+
+pub mod joins;
+pub mod passes;
+pub mod rewrite;
+
+use ferry_algebra::{NodeId, Plan};
+
+/// Statistics of one optimisation run (experiment X1 reports these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Operators reachable from the roots before optimisation.
+    pub nodes_before: usize,
+    /// … and after.
+    pub nodes_after: usize,
+    /// Fixpoint iterations executed.
+    pub rounds: usize,
+}
+
+/// Optimise the plan under the given roots; returns the rewritten plan and
+/// the relocated roots.
+pub fn optimize(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
+    let (p, r, _) = optimize_with_stats(plan, roots);
+    (p, r)
+}
+
+/// [`optimize`], also reporting before/after plan sizes.
+pub fn optimize_with_stats(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>, OptStats) {
+    let mut stats = OptStats {
+        nodes_before: reachable_size(plan, roots),
+        ..OptStats::default()
+    };
+    let mut plan = plan.clone();
+    let mut roots = roots.to_vec();
+    const MAX_ROUNDS: usize = 8;
+    // composite cost: operators + total column traffic — column pruning
+    // trades a few extra Project operators for much narrower tuples
+    let cost = |p: &Plan, r: &[NodeId]| reachable_size(p, r) + reachable_width(p, r);
+    // join recovery first: it dissolves the loop × table crosses that
+    // dominate execution cost (the Pathfinder/join-graph-isolation role);
+    // plan-size cost is not the right metric for it, so it runs outside
+    // the cost-guarded loop
+    let (jp, jr) = joins::recover_joins(&plan, &roots);
+    plan = jp;
+    roots = jr;
+    for round in 0..MAX_ROUNDS {
+        stats.rounds = round + 1;
+        let before = cost(&plan, &roots);
+        let (p1, r1) = passes::cse(&plan, &roots);
+        let (p2, r2) = passes::fold_constants(&p1, &r1);
+        let (p3, r3) = passes::prune_columns(&p2, &r2);
+        let (p4, r4) = passes::merge_projects(&p3, &r3);
+        if cost(&p4, &r4) >= before {
+            // this round did not pay for itself — keep the previous plan
+            break;
+        }
+        plan = p4;
+        roots = r4;
+    }
+    // final garbage collection: drop unreachable arena entries
+    let (plan, roots) = rewrite::gc(&plan, &roots);
+    stats.nodes_after = reachable_size(&plan, &roots);
+    (plan, roots, stats)
+}
+
+/// Number of distinct operators reachable from the roots.
+pub fn reachable_size(plan: &Plan, roots: &[NodeId]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &r in roots {
+        seen.extend(plan.reachable(r));
+    }
+    seen.len()
+}
+
+/// Total column count across all reachable operators — the metric column
+/// pruning improves (node counts barely move on loop-lifted plans, but the
+/// tuples flowing between operators get much narrower).
+pub fn reachable_width(plan: &Plan, roots: &[NodeId]) -> usize {
+    let schemas = match ferry_algebra::infer_schema(plan) {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let mut seen = std::collections::HashSet::new();
+    for &r in roots {
+        seen.extend(plan.reachable(r));
+    }
+    seen.iter().map(|id| schemas[id.index()].len()).sum()
+}
+
+/// Convenience: a boxed rewriter suitable for
+/// `ferry::Connection::with_optimizer`.
+#[allow(clippy::type_complexity)]
+pub fn rewriter() -> Box<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync> {
+    Box::new(optimize)
+}

@@ -1,0 +1,500 @@
+//! The rewrite passes.
+
+use crate::rewrite::{rebuild, Emit};
+use ferry_algebra::{
+    infer_schema, BinOp, ColName, Expr, Node, NodeId, Plan, Schema, UnOp, Value,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+// ------------------------------------------------------------------- CSE
+
+/// Hash-consing: structurally identical nodes are merged, turning repeated
+/// compilation patterns (the re-projected `loop` relation above all) into
+/// genuine DAG sharing.
+pub fn cse(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    rebuild(plan, roots, |out, _, node| {
+        let key = format!("{node:?}");
+        match seen.get(&key) {
+            Some(&id) => Emit::Forward(id),
+            None => {
+                // the id `rebuild` will assign on Keep
+                seen.insert(key, NodeId(out.len() as u32));
+                Emit::Keep
+            }
+        }
+    })
+}
+
+// -------------------------------------------------------- project merging
+
+/// Collapse `Project ∘ Project` chains and eliminate identity projections.
+pub fn merge_projects(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
+    let schemas = match infer_schema(plan) {
+        Ok(s) => s,
+        Err(_) => return (plan.clone(), roots.to_vec()),
+    };
+    // old-id → (old child, mapping) for projects, consulted when the parent
+    // project composes over its (old) child
+    rebuild(plan, roots, |out, old_id, node| {
+        let Node::Project { input, cols } = &node else {
+            return Emit::Keep;
+        };
+        // identity?
+        let input_schema = input_schema_of(plan, old_id, &schemas);
+        if let Some(s) = input_schema {
+            let identity = cols.len() == s.len()
+                && cols
+                    .iter()
+                    .zip(s.cols())
+                    .all(|((new, old), (name, _))| new == old && new == name);
+            if identity {
+                return Emit::Forward(*input);
+            }
+        }
+        // compose over a child projection (the child already lives in the
+        // new plan — inspect it there)
+        if let Node::Project {
+            input: grand,
+            cols: inner,
+        } = out.node(*input)
+        {
+            let inner: HashMap<&ColName, &ColName> =
+                inner.iter().map(|(n, o)| (n, o)).collect();
+            let composed: Option<Vec<(ColName, ColName)>> = cols
+                .iter()
+                .map(|(new, mid)| inner.get(mid).map(|old| (new.clone(), (*old).clone())))
+                .collect();
+            if let Some(cols) = composed {
+                return Emit::Replace(Node::Project {
+                    input: *grand,
+                    cols,
+                });
+            }
+        }
+        Emit::Keep
+    })
+}
+
+/// The schema of a single-input node's child, looked up in the *old* plan.
+fn input_schema_of<'a>(
+    plan: &Plan,
+    old_id: NodeId,
+    schemas: &'a [Schema],
+) -> Option<&'a Schema> {
+    plan.node(old_id)
+        .children()
+        .first()
+        .map(|c| &schemas[c.index()])
+}
+
+// ------------------------------------------------------- constant folding
+
+/// Fold constants inside scalar expressions, remove `Select(true)`, fuse
+/// `Select ∘ Select` (conjunction order preserves the guard-then-use
+/// evaluation order, so guarded partial expressions stay safe).
+pub fn fold_constants(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
+    rebuild(plan, roots, |out, _, node| match node {
+        Node::Select { input, pred } => {
+            let pred = simplify(&pred);
+            if pred == Expr::Const(Value::Bool(true)) {
+                return Emit::Forward(input);
+            }
+            // fuse with a child select: σ_p2(σ_p1(x)) = σ_(p1 ∧ p2)(x)
+            if let Node::Select {
+                input: grand,
+                pred: inner,
+            } = out.node(input)
+            {
+                let fused = Expr::and(inner.clone(), pred);
+                return Emit::Replace(Node::Select {
+                    input: *grand,
+                    pred: fused,
+                });
+            }
+            Emit::Replace(Node::Select { input, pred })
+        }
+        Node::Compute { input, col, expr } => {
+            let expr = simplify(&expr);
+            if let Expr::Const(v) = &expr {
+                return Emit::Replace(Node::Attach {
+                    input,
+                    col,
+                    value: v.clone(),
+                });
+            }
+            Emit::Replace(Node::Compute { input, col, expr })
+        }
+        Node::ThetaJoin { left, right, pred } => Emit::Replace(Node::ThetaJoin {
+            left,
+            right,
+            pred: simplify(&pred),
+        }),
+        _ => Emit::Keep,
+    })
+}
+
+/// Conservative expression simplification: never turns a non-erroring
+/// expression into an erroring one or vice versa (division by zero etc. is
+/// left in place).
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Col(_) | Expr::Const(_) => e.clone(),
+        Expr::Un(UnOp::Not, x) => match simplify(x) {
+            Expr::Const(Value::Bool(b)) => Expr::Const(Value::Bool(!b)),
+            Expr::Un(UnOp::Not, inner) => (*inner).clone(),
+            x => Expr::Un(UnOp::Not, Arc::new(x)),
+        },
+        Expr::Un(op, x) => Expr::Un(*op, Arc::new(simplify(x))),
+        Expr::Case(c, t, f) => match simplify(c) {
+            Expr::Const(Value::Bool(true)) => simplify(t),
+            Expr::Const(Value::Bool(false)) => simplify(f),
+            c => Expr::Case(Arc::new(c), Arc::new(simplify(t)), Arc::new(simplify(f))),
+        },
+        Expr::Cast(ty, x) => {
+            let x = simplify(x);
+            if x.infer_ty(&Schema::empty()) == Some(*ty) {
+                // cast to the expression's own type — only provable here
+                // for constants
+                if let Expr::Const(_) = x {
+                    return x;
+                }
+            }
+            Expr::Cast(*ty, Arc::new(x))
+        }
+        Expr::Bin(op, l, r) => {
+            let l = simplify(l);
+            let r = simplify(r);
+            // boolean identities (respecting evaluation order: the left
+            // operand is evaluated first, so `true AND x` → `x` is safe,
+            // and `false AND x` → `false` matches short-circuiting)
+            match (op, &l, &r) {
+                (BinOp::And, Expr::Const(Value::Bool(true)), _) => return r,
+                (BinOp::And, Expr::Const(Value::Bool(false)), _) => {
+                    return Expr::Const(Value::Bool(false))
+                }
+                (BinOp::Or, Expr::Const(Value::Bool(false)), _) => return r,
+                (BinOp::Or, Expr::Const(Value::Bool(true)), _) => {
+                    return Expr::Const(Value::Bool(true))
+                }
+                _ => {}
+            }
+            if let (Expr::Const(a), Expr::Const(b)) = (&l, &r) {
+                if let Some(v) = fold_bin(*op, a, b) {
+                    return Expr::Const(v);
+                }
+            }
+            Expr::Bin(*op, Arc::new(l), Arc::new(r))
+        }
+    }
+}
+
+/// Fold a binary operator over two constants; `None` when folding would
+/// change error behaviour (overflow, division by zero) or is unsupported.
+fn fold_bin(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    use BinOp::*;
+    if op.is_cmp() && a.ty() == b.ty() {
+        let o = a.cmp(b);
+        let r = match op {
+            Eq => o.is_eq(),
+            Ne => o.is_ne(),
+            Lt => o.is_lt(),
+            Le => o.is_le(),
+            Gt => o.is_gt(),
+            Ge => o.is_ge(),
+            _ => unreachable!(),
+        };
+        return Some(Value::Bool(r));
+    }
+    match (op, a, b) {
+        (Add, Value::Int(x), Value::Int(y)) => x.checked_add(*y).map(Value::Int),
+        (Sub, Value::Int(x), Value::Int(y)) => x.checked_sub(*y).map(Value::Int),
+        (Mul, Value::Int(x), Value::Int(y)) => x.checked_mul(*y).map(Value::Int),
+        (Add, Value::Nat(x), Value::Nat(y)) => x.checked_add(*y).map(Value::Nat),
+        (Concat, Value::Str(x), Value::Str(y)) => {
+            Some(Value::str(format!("{x}{y}")))
+        }
+        (Add, Value::Dbl(x), Value::Dbl(y)) => Some(Value::Dbl(x + y)),
+        (Sub, Value::Dbl(x), Value::Dbl(y)) => Some(Value::Dbl(x - y)),
+        (Mul, Value::Dbl(x), Value::Dbl(y)) => Some(Value::Dbl(x * y)),
+        _ => None,
+    }
+}
+
+// ------------------------------------------------------- column pruning
+
+/// *icols* analysis: compute the columns each operator's output actually
+/// contributes to the result, then narrow projections, bypass unused
+/// column-producing operators, and pin `UnionAll` inputs to the needed
+/// columns.
+pub fn prune_columns(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
+    let schemas = match infer_schema(plan) {
+        Ok(s) => s,
+        Err(_) => return (plan.clone(), roots.to_vec()),
+    };
+    let mut reachable = vec![false; plan.len()];
+    for &r in roots {
+        for id in plan.reachable(r) {
+            reachable[id.index()] = true;
+        }
+    }
+    // needed output columns per node (by name)
+    let mut needed: Vec<HashSet<ColName>> = vec![HashSet::new(); plan.len()];
+    for &r in roots {
+        needed[r.index()] = schemas[r.index()].names().cloned().collect();
+    }
+    for i in (0..plan.len()).rev() {
+        if !reachable[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        let node = plan.node(id);
+        let my: HashSet<ColName> = needed[i].clone();
+        let mut demand = |child: NodeId, cols: HashSet<ColName>| {
+            needed[child.index()].extend(cols);
+        };
+        match node {
+            Node::TableRef { .. } | Node::Lit { .. } => {}
+            Node::Attach { input, col, .. } => {
+                let mut n = my.clone();
+                n.remove(col);
+                demand(*input, n);
+            }
+            Node::Project { input, cols } => {
+                let mut n: HashSet<ColName> = cols
+                    .iter()
+                    .filter(|(new, _)| my.contains(new))
+                    .map(|(_, old)| old.clone())
+                    .collect();
+                if n.is_empty() {
+                    if let Some((_, old)) = cols.first() {
+                        // the rewrite keeps the first column when nothing
+                        // is demanded — its source must stay alive
+                        n.insert(old.clone());
+                    }
+                }
+                demand(*input, n);
+            }
+            Node::Compute { input, col, expr } => {
+                let mut n = my.clone();
+                let used = n.remove(col);
+                if used {
+                    let mut cs = Vec::new();
+                    expr.columns(&mut cs);
+                    n.extend(cs);
+                }
+                demand(*input, n);
+            }
+            Node::Select { input, pred } => {
+                let mut n = my.clone();
+                let mut cs = Vec::new();
+                pred.columns(&mut cs);
+                n.extend(cs);
+                demand(*input, n);
+            }
+            Node::Distinct { input } => {
+                // duplicate elimination is sensitive to every column
+                let all = schemas[input.index()].names().cloned().collect();
+                demand(*input, all);
+            }
+            Node::UnionAll { left, right } => {
+                // positional: translate the needed left-names to the right
+                let ls = &schemas[left.index()];
+                let rs = &schemas[right.index()];
+                let mut ln = HashSet::new();
+                let mut rn = HashSet::new();
+                for (pos, (name, _)) in ls.cols().iter().enumerate() {
+                    if my.contains(name) {
+                        ln.insert(name.clone());
+                        rn.insert(rs.cols()[pos].0.clone());
+                    }
+                }
+                demand(*left, ln);
+                demand(*right, rn);
+            }
+            Node::Difference { left, right } => {
+                let all_l: HashSet<ColName> =
+                    schemas[left.index()].names().cloned().collect();
+                let all_r: HashSet<ColName> =
+                    schemas[right.index()].names().cloned().collect();
+                demand(*left, all_l);
+                demand(*right, all_r);
+            }
+            Node::CrossJoin { left, right } => {
+                let ls = &schemas[left.index()];
+                demand(*left, my.iter().filter(|c| ls.contains(c)).cloned().collect());
+                let rs = &schemas[right.index()];
+                demand(*right, my.iter().filter(|c| rs.contains(c)).cloned().collect());
+            }
+            Node::EquiJoin { left, right, on } => {
+                let ls = &schemas[left.index()];
+                let mut ln: HashSet<ColName> =
+                    my.iter().filter(|c| ls.contains(c)).cloned().collect();
+                ln.extend(on.left.iter().cloned());
+                demand(*left, ln);
+                let rs = &schemas[right.index()];
+                let mut rn: HashSet<ColName> =
+                    my.iter().filter(|c| rs.contains(c)).cloned().collect();
+                rn.extend(on.right.iter().cloned());
+                demand(*right, rn);
+            }
+            Node::SemiJoin { left, right, on } | Node::AntiJoin { left, right, on } => {
+                let mut ln = my.clone();
+                ln.extend(on.left.iter().cloned());
+                demand(*left, ln);
+                demand(*right, on.right.iter().cloned().collect());
+            }
+            Node::ThetaJoin { left, right, pred } => {
+                let mut cs = Vec::new();
+                pred.columns(&mut cs);
+                let ls = &schemas[left.index()];
+                let mut ln: HashSet<ColName> =
+                    my.iter().filter(|c| ls.contains(c)).cloned().collect();
+                ln.extend(cs.iter().filter(|c| ls.contains(c)).cloned());
+                demand(*left, ln);
+                let rs = &schemas[right.index()];
+                let mut rn: HashSet<ColName> =
+                    my.iter().filter(|c| rs.contains(c)).cloned().collect();
+                rn.extend(cs.iter().filter(|c| rs.contains(c)).cloned());
+                demand(*right, rn);
+            }
+            Node::RowNum {
+                input,
+                col,
+                part,
+                order,
+            }
+            | Node::DenseRank {
+                input,
+                col,
+                part,
+                order,
+            } => {
+                let mut n = my.clone();
+                let used = n.remove(col);
+                if used {
+                    n.extend(part.iter().cloned());
+                    n.extend(order.iter().map(|(c, _)| c.clone()));
+                }
+                demand(*input, n);
+            }
+            Node::RowRank { input, col, order } => {
+                let mut n = my.clone();
+                let used = n.remove(col);
+                if used {
+                    n.extend(order.iter().map(|(c, _)| c.clone()));
+                }
+                demand(*input, n);
+            }
+            Node::GroupBy { input, keys, aggs } => {
+                let mut n: HashSet<ColName> = keys.iter().cloned().collect();
+                for a in aggs {
+                    if my.contains(&a.output) {
+                        if let Some(i) = &a.input {
+                            n.insert(i.clone());
+                        }
+                    }
+                }
+                demand(*input, n);
+            }
+            Node::Serialize { input, order, cols } => {
+                let mut n: HashSet<ColName> = cols.iter().cloned().collect();
+                n.extend(order.iter().map(|(c, _)| c.clone()));
+                demand(*input, n);
+            }
+        }
+    }
+
+
+    // rewrite using the needed sets
+    let root_set: HashSet<NodeId> = roots.iter().copied().collect();
+    rebuild(plan, roots, |out, old_id, node| {
+        let my = &needed[old_id.index()];
+        let emit = match node.clone() {
+            Node::Project { input, mut cols } => {
+                cols.retain(|(new, _)| my.contains(new));
+                if cols.is_empty() {
+                    // keep at least one column so the relation keeps its
+                    // cardinality
+                    let (new, old) = match plan.node(old_id) {
+                        Node::Project { cols, .. } => cols[0].clone(),
+                        _ => unreachable!(),
+                    };
+                    cols.push((new, old));
+                }
+                Emit::Replace(Node::Project { input, cols })
+            }
+            Node::Attach { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
+            Node::Compute { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
+            Node::RowNum { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
+            Node::RowRank { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
+            Node::DenseRank { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
+            Node::GroupBy { input, keys, mut aggs } => {
+                aggs.retain(|a| my.contains(&a.output));
+                Emit::Replace(Node::GroupBy { input, keys, aggs })
+            }
+            Node::UnionAll { left, right } => {
+                // pin both inputs to the needed columns, positionally
+                let (old_left, old_right) = match plan.node(old_id) {
+                    Node::UnionAll { left, right } => (*left, *right),
+                    _ => unreachable!(),
+                };
+                let ls = &schemas[old_left.index()];
+                let rs = &schemas[old_right.index()];
+                let keep: Vec<usize> = (0..ls.len())
+                    .filter(|&p| my.contains(&ls.cols()[p].0))
+                    .collect();
+                if keep.len() == ls.len() || keep.is_empty() {
+                    Emit::Keep
+                } else {
+                    let lproj: Vec<(ColName, ColName)> = keep
+                        .iter()
+                        .map(|&p| (ls.cols()[p].0.clone(), ls.cols()[p].0.clone()))
+                        .collect();
+                    let rproj: Vec<(ColName, ColName)> = keep
+                        .iter()
+                        .map(|&p| (rs.cols()[p].0.clone(), rs.cols()[p].0.clone()))
+                        .collect();
+                    let l2 = out.project(left, lproj);
+                    let r2 = out.project(right, rproj);
+                    Emit::Replace(Node::UnionAll {
+                        left: l2,
+                        right: r2,
+                    })
+                }
+            }
+            _ => Emit::Keep,
+        };
+        // narrow over-wide outputs right where they appear: a pruning
+        // projection on top stops dead columns from flowing through joins
+        if root_set.contains(&old_id) {
+            return emit;
+        }
+        let produced = match emit {
+            Emit::Forward(t) => return Emit::Forward(t),
+            Emit::Keep => node,
+            Emit::Replace(n) => n,
+        };
+        // recompute the produced node's width from the *original* schema —
+        // narrowing below only removed columns outside `my`
+        let schema = &schemas[old_id.index()];
+        let produced_is_narrow = matches!(
+            produced,
+            Node::Project { .. } | Node::Serialize { .. } | Node::GroupBy { .. }
+        );
+        if produced_is_narrow || my.len() >= schema.len() {
+            return Emit::Replace(produced);
+        }
+        let cols: Vec<(ColName, ColName)> = schema
+            .names()
+            .filter(|n| my.contains(*n))
+            .map(|n| (n.clone(), n.clone()))
+            .collect();
+        if cols.is_empty() {
+            return Emit::Replace(produced);
+        }
+        let id = out.add(produced);
+        Emit::Forward(out.project(id, cols))
+    })
+}

@@ -1,0 +1,93 @@
+//! Rebuild-based rewriting infrastructure.
+//!
+//! All passes share one mechanism: walk the arena in topological (index)
+//! order, give the pass a chance to emit a replacement for each node (with
+//! children already remapped), and translate the roots. A pass that
+//! returns `None` keeps the node as-is (with remapped children).
+
+use ferry_algebra::{Node, NodeId, Plan};
+
+/// Outcome of rewriting a single node.
+pub enum Emit {
+    /// Keep the (child-remapped) node unchanged.
+    Keep,
+    /// Replace the node with a different one (children must already be
+    /// expressed in *new* plan ids).
+    Replace(Node),
+    /// Forward all references to an existing node of the new plan.
+    Forward(NodeId),
+}
+
+/// Rebuild `plan` restricted to nodes reachable from `roots`, applying `f`
+/// to every node. `f` receives the new plan (so it can add helper nodes)
+/// and the candidate node with children already remapped.
+pub fn rebuild(
+    plan: &Plan,
+    roots: &[NodeId],
+    mut f: impl FnMut(&mut Plan, NodeId, Node) -> Emit,
+) -> (Plan, Vec<NodeId>) {
+    let mut reachable = vec![false; plan.len()];
+    for &r in roots {
+        for id in plan.reachable(r) {
+            reachable[id.index()] = true;
+        }
+    }
+    let mut out = Plan::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; plan.len()];
+    for (i, node) in plan.nodes().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        let mut node = node.clone();
+        node.map_children(|c| map[c.index()].expect("child remapped before parent"));
+        let new_id = match f(&mut out, id, node.clone()) {
+            Emit::Keep => out.add(node),
+            Emit::Replace(n) => out.add(n),
+            Emit::Forward(target) => target,
+        };
+        map[i] = Some(new_id);
+    }
+    let new_roots = roots
+        .iter()
+        .map(|r| map[r.index()].expect("root remapped"))
+        .collect();
+    (out, new_roots)
+}
+
+/// Drop unreachable arena entries (pure copy of the live subgraph).
+pub fn gc(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
+    rebuild(plan, roots, |_, _, _| Emit::Keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferry_algebra::{Schema, Ty, Value};
+
+    #[test]
+    fn gc_drops_unreachable_nodes() {
+        let mut p = Plan::new();
+        let a = p.lit(Schema::of(&[("x", Ty::Int)]), vec![]);
+        let _orphan = p.lit(Schema::of(&[("y", Ty::Int)]), vec![]);
+        let b = p.attach(a, "z", Value::Int(1));
+        let (p2, roots) = gc(&p, &[b]);
+        assert_eq!(p2.len(), 2);
+        assert_eq!(roots.len(), 1);
+    }
+
+    #[test]
+    fn rebuild_can_forward() {
+        let mut p = Plan::new();
+        let a = p.lit(Schema::of(&[("x", Ty::Int)]), vec![]);
+        let b = p.distinct(a);
+        let c = p.distinct(b);
+        // drop every Distinct
+        let (p2, roots) = rebuild(&p, &[c], |_, _, node| match node {
+            Node::Distinct { input } => Emit::Forward(input),
+            _ => Emit::Keep,
+        });
+        assert_eq!(p2.len(), 1);
+        assert!(matches!(p2.node(roots[0]), Node::Lit { .. }));
+    }
+}

@@ -1,0 +1,129 @@
+//! Focused tests of the join-recovery pass: the quadratic
+//! `σ/⋈(loop × table)` patterns of loop-lifted plans must dissolve into
+//! equi-joins.
+
+use ferry_algebra::{plan::cn, JoinCols, Node, NodeId, Plan, Schema, Ty, Value};
+use ferry_optimizer::joins::recover_joins;
+
+fn lit(p: &mut Plan, cols: &[(&str, Ty)], n: usize) -> NodeId {
+    let schema = Schema::of(cols);
+    let rows = (0..n)
+        .map(|i| {
+            cols.iter()
+                .map(|(_, t)| match t {
+                    Ty::Nat => Value::Nat(i as u64 + 1),
+                    Ty::Int => Value::Int(i as i64),
+                    Ty::Str => Value::str(format!("s{i}")),
+                    _ => Value::Bool(true),
+                })
+                .collect()
+        })
+        .collect();
+    p.lit(schema, rows)
+}
+
+fn crosses(p: &Plan, root: NodeId) -> usize {
+    p.reachable(root)
+        .into_iter()
+        .filter(|id| matches!(p.node(*id), Node::CrossJoin { .. }))
+        .count()
+}
+
+#[test]
+fn select_over_cross_becomes_join() {
+    let mut p = Plan::new();
+    let a = lit(&mut p, &[("ai", Ty::Nat), ("ak", Ty::Str)], 4);
+    let b = lit(&mut p, &[("bi", Ty::Nat), ("bk", Ty::Str)], 4);
+    let x = p.cross(a, b);
+    let s = p.select(
+        x,
+        ferry_algebra::Expr::eq(
+            ferry_algebra::Expr::col("ak"),
+            ferry_algebra::Expr::col("bk"),
+        ),
+    );
+    let (p2, r2) = recover_joins(&p, &[s]);
+    assert_eq!(crosses(&p2, r2[0]), 0, "{}", ferry_algebra::pretty::render(&p2, r2[0]));
+    ferry_algebra::validate(&p2, r2[0]).unwrap();
+}
+
+#[test]
+fn mixed_key_join_over_projected_cross_dissolves() {
+    // the stuck pattern of the running example:
+    //   ⋈_{p1 = rk, p2 = rv} ( π(loop × T), T' )
+    // with p1 from the T side and p2 from the loop side of the cross
+    let mut p = Plan::new();
+    let lp = lit(&mut p, &[("li", Ty::Nat), ("lv", Ty::Str)], 5);
+    let t = lit(&mut p, &[("tp", Ty::Nat), ("tk", Ty::Str)], 5);
+    let x = p.cross(lp, t);
+    let proj = p.project(
+        x,
+        vec![
+            (cn("p1"), cn("tp")),
+            (cn("p2"), cn("lv")),
+            (cn("li"), cn("li")),
+        ],
+    );
+    // the right side reuses the *same* T node (shared base — the collision
+    // case) with fresh names
+    let t2 = p.project(t, vec![(cn("rk"), cn("tp")), (cn("rv"), cn("tk"))]);
+    let j = p.equi_join(
+        proj,
+        t2,
+        JoinCols::new(vec![cn("p1"), cn("p2")], vec![cn("rk"), cn("rv")]),
+    );
+    let (p2, r2) = recover_joins(&p, &[j]);
+    ferry_algebra::validate(&p2, r2[0]).unwrap();
+    assert_eq!(
+        crosses(&p2, r2[0]),
+        0,
+        "cross should dissolve:\n{}",
+        ferry_algebra::pretty::render(&p2, r2[0])
+    );
+}
+
+#[test]
+fn collision_join_with_shared_right_base() {
+    // ⋈( π(loop × T), T ) — the right side IS the cross's factor itself
+    let mut p = Plan::new();
+    let lp = lit(&mut p, &[("li", Ty::Nat), ("lv", Ty::Str)], 5);
+    let t = lit(&mut p, &[("tp", Ty::Nat), ("tk", Ty::Str)], 5);
+    let x = p.cross(lp, t);
+    let proj = p.project(
+        x,
+        vec![(cn("p1"), cn("tp")), (cn("p2"), cn("lv")), (cn("li"), cn("li"))],
+    );
+    let j = p.equi_join(
+        proj,
+        t,
+        JoinCols::new(vec![cn("p1"), cn("p2")], vec![cn("tp"), cn("tk")]),
+    );
+    let (p2, r2) = recover_joins(&p, &[j]);
+    ferry_algebra::validate(&p2, r2[0]).unwrap();
+    assert_eq!(
+        crosses(&p2, r2[0]),
+        0,
+        "cross should dissolve:\n{}",
+        ferry_algebra::pretty::render(&p2, r2[0])
+    );
+}
+
+#[test]
+fn recovery_preserves_results() {
+    let db = ferry_engine::Database::new();
+    let mut p = Plan::new();
+    let a = lit(&mut p, &[("ai", Ty::Nat), ("ak", Ty::Str)], 6);
+    let b = lit(&mut p, &[("bi", Ty::Nat), ("bk", Ty::Str)], 6);
+    let x = p.cross(a, b);
+    let s = p.select(
+        x,
+        ferry_algebra::Expr::eq(
+            ferry_algebra::Expr::col("ak"),
+            ferry_algebra::Expr::col("bk"),
+        ),
+    );
+    let before = db.execute(&p, s).unwrap();
+    let (p2, r2) = recover_joins(&p, &[s]);
+    let after = db.execute(&p2, r2[0]).unwrap();
+    assert!(before.same_bag(&after));
+}

@@ -1,0 +1,162 @@
+//! Executing SQL text on the engine: parse → bind → run.
+
+use crate::{binder, parser, SqlError};
+use ferry_algebra::Rel;
+use ferry_engine::Database;
+
+/// Execute one SQL statement against the database. Each call dispatches
+/// exactly one engine query — the unit Table 1 counts.
+pub fn execute_sql(db: &Database, sql: &str) -> Result<Rel, SqlError> {
+    let stmt = parser::parse(sql)?;
+    let (plan, root) = binder::bind(db, &stmt)?;
+    Ok(db.execute(&plan, root)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferry_algebra::{Schema, Ty, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "emp",
+            Schema::of(&[("dept", Ty::Str), ("name", Ty::Str), ("sal", Ty::Int)]),
+            vec!["name"],
+        )
+        .unwrap();
+        db.insert(
+            "emp",
+            vec![
+                vec![Value::str("eng"), Value::str("ada"), Value::Int(90)],
+                vec![Value::str("eng"), Value::str("bob"), Value::Int(70)],
+                vec![Value::str("ops"), Value::str("cy"), Value::Int(50)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_where_order() {
+        let r = execute_sql(
+            &db(),
+            "SELECT e.name AS who, e.sal AS sal FROM emp AS e \
+             WHERE e.sal >= 70 ORDER BY sal DESC;",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], Value::str("ada"));
+        assert_eq!(r.rows[1][0], Value::str("bob"));
+    }
+
+    #[test]
+    fn group_by_aggregate() {
+        let r = execute_sql(
+            &db(),
+            "SELECT e.dept AS d, COUNT (*) AS n, SUM (e.sal) AS total \
+             FROM emp AS e GROUP BY e.dept ORDER BY d ASC;",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0], vec![Value::str("eng"), Value::Int(2), Value::Int(160)]);
+        assert_eq!(r.rows[1], vec![Value::str("ops"), Value::Int(1), Value::Int(50)]);
+    }
+
+    #[test]
+    fn self_join_via_where() {
+        let r = execute_sql(
+            &db(),
+            "SELECT a.name AS x, b.name AS y FROM emp AS a, emp AS b \
+             WHERE a.dept = b.dept AND a.name < b.name ORDER BY x ASC, y ASC;",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0], vec![Value::str("ada"), Value::str("bob")]);
+    }
+
+    #[test]
+    fn window_function() {
+        let r = execute_sql(
+            &db(),
+            "SELECT e.name AS who, \
+             ROW_NUMBER () OVER (PARTITION BY e.dept ORDER BY e.sal DESC) AS rn_nat \
+             FROM emp AS e ORDER BY who ASC;",
+        )
+        .unwrap();
+        let rns: Vec<u64> = r.rows.iter().map(|row| row[1].as_nat().unwrap()).collect();
+        assert_eq!(rns, vec![1, 2, 1]); // ada, bob (eng), cy (ops)
+    }
+
+    #[test]
+    fn ctes_union_except() {
+        let sql = "WITH hi (who) AS (SELECT e.name AS who FROM emp AS e WHERE e.sal > 60), \
+                   lo (who) AS (SELECT e.name AS who FROM emp AS e WHERE e.sal < 80) \
+                   SELECT h.who AS who FROM hi AS h \
+                   EXCEPT SELECT l.who AS who FROM lo AS l \
+                   ORDER BY who ASC;";
+        let r = execute_sql(&db(), sql).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], Value::str("ada"));
+    }
+
+    #[test]
+    fn from_less_literals_and_union_all() {
+        let r = execute_sql(
+            &db(),
+            "SELECT 1 AS x UNION ALL SELECT 2 AS x ORDER BY x DESC;",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        assert_eq!(r.rows[1][0], Value::Int(1));
+    }
+
+    #[test]
+    fn case_cast_arithmetic() {
+        let r = execute_sql(
+            &db(),
+            "SELECT e.name AS who, \
+             CASE WHEN e.sal >= 70 THEN 'high' ELSE 'low' END AS band, \
+             CAST(e.sal AS DOUBLE PRECISION) / 2.0 AS half \
+             FROM emp AS e ORDER BY who ASC;",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][1], Value::str("high"));
+        assert_eq!(r.rows[2][1], Value::str("low"));
+        assert_eq!(r.rows[0][2], Value::Dbl(45.0));
+    }
+
+    #[test]
+    fn distinct_and_derived_tables() {
+        let r = execute_sql(
+            &db(),
+            "SELECT DISTINCT d.dept AS dept \
+             FROM (SELECT e.dept AS dept FROM emp AS e) AS d ORDER BY dept ASC;",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn nat_suffix_repair() {
+        // `1 AS iter_nat` must come out as a surrogate, comparable with
+        // window outputs
+        let r = execute_sql(
+            &db(),
+            "SELECT 1 AS iter_nat, e.name AS who FROM emp AS e \
+             WHERE ROW_NUMBER_FREE = ROW_NUMBER_FREE ORDER BY who ASC;",
+        );
+        // unknown column → clean bind error, not a panic
+        assert!(matches!(r, Err(SqlError::Bind(_))));
+        let r = execute_sql(&db(), "SELECT 1 AS iter_nat FROM emp AS e;").unwrap();
+        assert_eq!(r.rows[0][0], Value::Nat(1));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(matches!(execute_sql(&db(), "SELEC"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            execute_sql(&db(), "SELECT x.y AS z FROM ghost AS x"),
+            Err(SqlError::Bind(_))
+        ));
+    }
+}

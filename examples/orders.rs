@@ -1,0 +1,164 @@
+//! A small analytics application: customers → orders → line items, the
+//! kind of "data-intensive and data-parallel computation" the paper's
+//! introduction motivates. The whole three-level report ships to the
+//! coprocessor as **three** queries (one per list constructor in the
+//! result type), never one-per-customer or one-per-order.
+//!
+//! ```sh
+//! cargo run --example orders
+//! ```
+
+#![allow(clippy::type_complexity)]
+
+use ferry::prelude::*;
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_engine::Database;
+
+type Customer = (i64, String); // customers(cid, name) — alphabetical: cid, name
+type Order = (i64, i64); // orders(cid, oid)
+type Item = (i64, i64, String); // items(oid, price, product)
+
+fn database() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "customers",
+        Schema::of(&[("cid", Ty::Int), ("name", Ty::Str)]),
+        vec!["cid"],
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        Schema::of(&[("cid", Ty::Int), ("oid", Ty::Int)]),
+        vec!["oid"],
+    )
+    .unwrap();
+    db.create_table(
+        "items",
+        Schema::of(&[("oid", Ty::Int), ("price", Ty::Int), ("product", Ty::Str)]),
+        vec!["oid", "product"],
+    )
+    .unwrap();
+    let i = Value::Int;
+    let s = Value::str;
+    db.insert(
+        "customers",
+        vec![
+            vec![i(1), s("Ada")],
+            vec![i(2), s("Grace")],
+            vec![i(3), s("Edsger")],
+        ],
+    )
+    .unwrap();
+    db.insert(
+        "orders",
+        vec![
+            vec![i(1), i(10)],
+            vec![i(1), i(11)],
+            vec![i(2), i(20)],
+        ],
+    )
+    .unwrap();
+    db.insert(
+        "items",
+        vec![
+            vec![i(10), i(120), s("anvil")],
+            vec![i(10), i(2), s("banana")],
+            vec![i(11), i(30), s("compass")],
+            vec![i(20), i(45), s("dynamite")],
+            vec![i(20), i(45), s("fuse")],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+/// The full nested report: every customer with every order and its items.
+/// Type: `[(name, [(oid, [(product, price)])])]` — three list constructors
+/// ⇒ three queries, whatever the data size.
+fn report() -> Q<Vec<(String, Vec<(i64, Vec<(String, i64)>)>)>> {
+    map(
+        |c: Q<Customer>| {
+            let (cid, name) = c.view();
+            let orders = filter(
+                move |o: Q<Order>| o.fst().eq(&cid),
+                table::<Order>("orders"),
+            );
+            pair(
+                name,
+                map(
+                    |o: Q<Order>| {
+                        let oid = o.snd();
+                        let items = map(
+                            |it: Q<Item>| pair(it.proj3_2(), it.proj3_1()),
+                            filter(
+                                {
+                                    let oid = oid.clone();
+                                    move |it: Q<Item>| it.proj3_0().eq(&oid)
+                                },
+                                table::<Item>("items"),
+                            ),
+                        );
+                        pair(oid, items)
+                    },
+                    orders,
+                ),
+            )
+        },
+        table::<Customer>("customers"),
+    )
+}
+
+/// Revenue per customer, biggest spender first — aggregation composed over
+/// the same generators.
+fn revenue() -> Q<Vec<(String, i64)>> {
+    reverse(sort_with(
+        |p: Q<(String, i64)>| p.snd(),
+        map(
+            |c: Q<Customer>| {
+                let (cid, name) = c.view();
+                let spent = sum(ferry::comp!(
+                    (price.clone())
+                    for (ocid, oid) in table::<Order>("orders"),
+                    if ocid.eq(&cid),
+                    for (ioid, price, product) in table::<Item>("items"),
+                    if ioid.eq(&oid),
+                    let _unused = product
+                ));
+                pair(name, spent)
+            },
+            table::<Customer>("customers"),
+        ),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let conn = Connection::new(database()).with_optimizer(ferry_optimizer::rewriter());
+
+    println!("== the nested report (one bundle of 3 queries) ==");
+    let bundle = conn.compile(&report())?;
+    println!("bundle size: {} queries\n", bundle.queries.len());
+    for (name, orders) in conn.from_q(&report())? {
+        println!("{name}:");
+        if orders.is_empty() {
+            println!("  (no orders)");
+        }
+        for (oid, items) in orders {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|(prod, price)| format!("{prod} (${price})"))
+                .collect();
+            println!("  order {oid}: {}", parts.join(", "));
+        }
+    }
+
+    println!("\n== revenue per customer ==");
+    conn.database().reset_stats();
+    for (name, spent) in conn.from_q(&revenue())? {
+        println!("  {name:<8} ${spent}");
+    }
+    println!(
+        "(computed in {} database round trip)",
+        conn.database().stats().queries
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Figure 2, live: every stage of the execution model for one query.
+//!
+//! 1  comprehension → combinators (the `comp!` macro, at Rust compile
+//! time) · 2  combinators → table algebra (loop-lifting) · 3  algebra →
+//! SQL:1999 · 4  execution on the coprocessor · 5  tabular results ·
+//! 6  stitched value.
+//!
+//! ```sh
+//! cargo run --example pipeline_trace
+//! ```
+
+use ferry::pipeline::trace;
+use ferry::prelude::*;
+use ferry_bench::workload::paper_dataset;
+use ferry_sql::generate_sql;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let conn = Connection::new(paper_dataset()).with_optimizer(ferry_optimizer::rewriter());
+
+    // 1 — the comprehension desugars into combinators at compile time
+    let q: Q<Vec<(String, i64)>> = ferry::comp!(
+        (pair(the(cat), length(fac)))
+        for (fac, cat) in table::<(String, String)>("facilities"),
+        group by snd
+    );
+
+    let t = trace(&conn, &q)?;
+
+    println!("== 1  combinators (the kernel term) ==");
+    println!("{}\n", t.combinators);
+
+    println!("== 2  table algebra (loop-lifted bundle of {} quer{}) ==",
+        t.bundle.queries.len(),
+        if t.bundle.queries.len() == 1 { "y" } else { "ies" });
+    for (i, plan) in t.plans.iter().enumerate() {
+        println!("-- plan of query {} --\n{plan}", i + 1);
+    }
+
+    println!("== 3  SQL:1999 ==");
+    for (i, qd) in t.bundle.queries.iter().enumerate() {
+        let sql = generate_sql(conn.database(), &t.bundle.plan, qd.root)?;
+        println!("-- query {} --\n{}\n", i + 1, sql.sql);
+    }
+
+    println!("== 4/5  tabular results ==");
+    for (i, rel) in t.tables.iter().enumerate() {
+        println!("-- result of query {} --\n{rel}", i + 1);
+    }
+
+    println!("== 6  the stitched value ==");
+    println!("{}", t.value);
+    Ok(())
+}

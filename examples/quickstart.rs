@@ -1,0 +1,71 @@
+//! Quickstart: the database as a coprocessor in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ferry::prelude::*;
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_engine::Database;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. a database with one table: products(name, price)
+    let mut db = Database::new();
+    db.create_table(
+        "products",
+        Schema::of(&[("name", Ty::Str), ("price", Ty::Int)]),
+        vec!["name"],
+    )?;
+    db.insert(
+        "products",
+        vec![
+            vec![Value::str("anvil"), Value::Int(120)],
+            vec![Value::str("banana"), Value::Int(2)],
+            vec![Value::str("compass"), Value::Int(30)],
+            vec![Value::str("dynamite"), Value::Int(45)],
+        ],
+    )?;
+    let conn = Connection::new(db).with_optimizer(ferry_optimizer::rewriter());
+
+    // 2. write an ordinary list program against the table. The row tuple
+    //    follows the columns in alphabetical order: (name, price).
+    let affordable: Q<Vec<String>> = map(
+        |p: Q<(String, i64)>| p.fst(),
+        filter(|p: Q<(String, i64)>| p.snd().lt(&toq(&100i64)), table("products")),
+    );
+
+    // ... or the same with comprehension notation:
+    let affordable2: Q<Vec<String>> = ferry::comp!(
+        (name.clone())
+        for (name, price) in table::<(String, i64)>("products"),
+        if price.lt(&toq(&100i64))
+    );
+
+    // 3. `from_q` compiles the whole program into a bundle of relational
+    //    queries (here: exactly one — the result type has one list
+    //    constructor), ships it to the database, and decodes the answer.
+    let names: Vec<String> = conn.from_q(&affordable)?;
+    println!("affordable products: {names:?}");
+    assert_eq!(names, vec!["banana", "compass", "dynamite"]);
+    assert_eq!(conn.from_q(&affordable2)?, names);
+
+    // 4. aggregation runs inside the database too — one round trip, one
+    //    number back:
+    let total: i64 = conn.from_q(&sum(map(
+        |p: Q<(String, i64)>| p.snd(),
+        table::<(String, i64)>("products"),
+    )))?;
+    println!("total inventory value: {total}");
+    assert_eq!(total, 197);
+
+    // 5. avalanche safety in one line: query count depends on the type,
+    //    never on the data.
+    let bundle = conn.compile(&affordable)?;
+    println!(
+        "result type [Text] compiles to {} quer{} — guaranteed by the type, \
+         not by the 4 rows",
+        bundle.queries.len(),
+        if bundle.queries.len() == 1 { "y" } else { "ies" }
+    );
+    Ok(())
+}

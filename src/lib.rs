@@ -1,0 +1,16 @@
+//! # `ferry-repro` — facade crate
+//!
+//! Re-exports every crate of the FERRY reproduction workspace under one
+//! roof so that examples and integration tests (which live at the workspace
+//! root) can reach the whole system, and so that downstream users can
+//! depend on a single crate.
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the architecture, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use ferry;
+pub use ferry_algebra as algebra;
+pub use ferry_baseline as baseline;
+pub use ferry_engine as engine;
+pub use ferry_optimizer as optimizer;
+pub use ferry_sql as sql;

@@ -1,0 +1,111 @@
+//! Stress tests for the shredding/stitching recursion: deep and mixed
+//! nesting shapes, all checked against the interpreter and against the
+//! type-determined bundle size.
+
+use ferry::prelude::*;
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_engine::Database;
+
+fn conn() -> Connection {
+    let mut db = Database::new();
+    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"]).unwrap();
+    db.insert(
+        "nums",
+        (1..=4).map(|i| vec![Value::Int(i)]).collect(),
+    )
+    .unwrap();
+    Connection::new(db).with_optimizer(ferry_optimizer::rewriter())
+}
+
+fn check<T: QA + PartialEq + std::fmt::Debug>(c: &Connection, q: &Q<T>, queries: usize) -> T {
+    let bundle = c.compile(q).expect("compile");
+    assert_eq!(bundle.queries.len(), queries, "bundle size = type's bundle size");
+    assert_eq!(bundle.queries.len(), T::ty().bundle_size());
+    let via_db = c.from_q(q).expect("db");
+    let oracle = c.interpret(q).expect("oracle");
+    assert_eq!(via_db, oracle);
+    via_db
+}
+
+#[test]
+fn four_levels_of_lists() {
+    let c = conn();
+    // [[[ [x] ]]] per number — 4 list constructors, 4 queries
+    let q = map(|x: Q<i64>| list([list([list([x])])]), table::<i64>("nums"));
+    let r = check(&c, &q, 4);
+    assert_eq!(r[0], vec![vec![vec![1]]]);
+    assert_eq!(r.len(), 4);
+}
+
+#[test]
+fn tuples_of_lists_of_tuples() {
+    let c = conn();
+    // ([ (x, [x]) ], Int): root + outer list + inner list = 3 queries
+    let q = pair(
+        map(
+            |x: Q<i64>| pair(x.clone(), list([x])),
+            table::<i64>("nums"),
+        ),
+        length(table::<i64>("nums")),
+    );
+    let (pairs, n) = check(&c, &q, 3);
+    assert_eq!(n, 4);
+    assert_eq!(pairs[2], (3, vec![3]));
+}
+
+#[test]
+fn grouping_twice_nests_twice() {
+    let c = conn();
+    // group, then group each group again: [[[Int]]] — 3 queries
+    let q = map(
+        |g: Q<Vec<i64>>| group_with(|x: Q<i64>| x, g),
+        group_with(|x: Q<i64>| x % toq(&2i64), table::<i64>("nums")),
+    );
+    let r = check(&c, &q, 3);
+    // groups by parity (even first), then singleton groups by value
+    assert_eq!(r, vec![vec![vec![2], vec![4]], vec![vec![1], vec![3]]]);
+}
+
+#[test]
+fn empty_lists_at_every_level() {
+    let c = conn();
+    let v: Vec<Vec<Vec<i64>>> = vec![vec![], vec![vec![]], vec![vec![1], vec![]]];
+    let q = toq(&v);
+    assert_eq!(check(&c, &q, 3), v);
+}
+
+#[test]
+fn mixed_constant_and_table_nesting() {
+    let c = conn();
+    // zip a constant nested list against per-row generated lists
+    let q = zip(
+        toq(&vec![vec!["a".to_string()], vec![], vec!["b".to_string(), "c".to_string()]]),
+        map(|x: Q<i64>| list([x]), table::<i64>("nums")),
+    );
+    let r = check(&c, &q, 3);
+    assert_eq!(
+        r,
+        vec![
+            (vec!["a".to_string()], vec![1]),
+            (vec![], vec![2]),
+            (vec!["b".to_string(), "c".to_string()], vec![3]),
+        ]
+    );
+}
+
+#[test]
+fn concat_flattens_one_level_only() {
+    let c = conn();
+    let v: Vec<Vec<Vec<i64>>> = vec![vec![vec![1, 2], vec![]], vec![vec![3]]];
+    let q = concat(toq(&v));
+    assert_eq!(check(&c, &q, 2), vec![vec![1, 2], vec![], vec![3]]);
+}
+
+#[test]
+fn reverse_of_nested_lists_keeps_inner_order() {
+    let c = conn();
+    let q = reverse(map(|x: Q<i64>| list([x.clone(), x + toq(&10i64)]), table::<i64>("nums")));
+    let r = check(&c, &q, 2);
+    assert_eq!(r[0], vec![4, 14]);
+    assert_eq!(r[3], vec![1, 11]);
+}

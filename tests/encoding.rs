@@ -1,0 +1,100 @@
+//! **Experiment F3.** The relational encodings of Figure 3: list order as
+//! a dense 1-based `pos` column (a), nesting as surrogate keys linking an
+//! outer to an inner query, empty inner lists leaving no trace in the
+//! inner table (b).
+
+use ferry::prelude::*;
+use ferry_algebra::Value;
+use ferry_engine::Database;
+
+fn conn() -> Connection {
+    Connection::new(Database::new())
+}
+
+#[test]
+fn fig3a_flat_list_encoding() {
+    // [x1, x2, ..., xl] ⇒ table (pos | item) with pos = 1..l
+    let c = conn();
+    let xs: Vec<i64> = vec![42, 17, 99, 17];
+    let t = ferry::pipeline::trace(&c, &toq(&xs)).unwrap();
+    assert_eq!(t.tables.len(), 1);
+    let rel = &t.tables[0];
+    // serialized schema: [nest, pos, item]
+    assert_eq!(rel.schema.len(), 3);
+    let pos: Vec<u64> = rel.rows.iter().map(|r| r[1].as_nat().unwrap()).collect();
+    assert_eq!(pos, vec![1, 2, 3, 4], "dense 1-based positions");
+    let items: Vec<i64> = rel.rows.iter().map(|r| r[2].as_int().unwrap()).collect();
+    assert_eq!(items, xs, "items in list order");
+}
+
+#[test]
+fn fig3b_nested_list_encoding() {
+    // [[x11, x12], [], [x31]] ⇒ Q1 (outer, surrogates) + Q2 (inner lists)
+    let c = conn();
+    let xss = vec![vec![11i64, 12], vec![], vec![31]];
+    let t = ferry::pipeline::trace(&c, &toq(&xss)).unwrap();
+    assert_eq!(t.tables.len(), 2, "two queries for two list constructors");
+    let q1 = &t.tables[0];
+    let q2 = &t.tables[1];
+
+    // Q1: three outer elements with pairwise distinct surrogates
+    assert_eq!(q1.len(), 3);
+    let surr: Vec<u64> = q1.rows.iter().map(|r| r[2].as_nat().unwrap()).collect();
+    let mut uniq = surr.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), 3, "distinct surrogates per inner list");
+
+    // Q2: only the non-empty lists contribute rows; the empty list's
+    // surrogate "will not appear in the nest column of this second table"
+    assert_eq!(q2.len(), 3); // 2 + 0 + 1 elements
+    let nests: Vec<u64> = q2.rows.iter().map(|r| r[0].as_nat().unwrap()).collect();
+    assert!(nests.iter().all(|n| *n == surr[0] || *n == surr[2]));
+    assert!(!nests.contains(&surr[1]), "empty list absent from Q2");
+
+    // linkage reconstructs the value
+    assert_eq!(t.value, QA::to_val(&xss));
+}
+
+#[test]
+fn inner_positions_are_per_list() {
+    let c = conn();
+    let xss = vec![vec![1i64, 2, 3], vec![4, 5]];
+    let t = ferry::pipeline::trace(&c, &toq(&xss)).unwrap();
+    let q2 = &t.tables[1];
+    // rows arrive sorted by (nest, pos); positions restart at 1 per list
+    let pairs: Vec<(u64, u64)> = q2
+        .rows
+        .iter()
+        .map(|r| (r[0].as_nat().unwrap(), r[1].as_nat().unwrap()))
+        .collect();
+    let mut expected = Vec::new();
+    for (i, inner) in xss.iter().enumerate() {
+        for p in 1..=inner.len() as u64 {
+            expected.push((i as u64 + 1, p));
+        }
+    }
+    assert_eq!(pairs, expected);
+}
+
+#[test]
+fn tuples_are_inlined_adjacent_columns() {
+    // "the fields of a tuple live in adjacent columns of the same table"
+    let c = conn();
+    let xs = vec![(1i64, "a".to_string()), (2, "b".to_string())];
+    let t = ferry::pipeline::trace(&c, &toq(&xs)).unwrap();
+    assert_eq!(t.tables.len(), 1);
+    let rel = &t.tables[0];
+    assert_eq!(rel.schema.len(), 4); // nest, pos, item1, item2
+    assert_eq!(rel.rows[0][2], Value::Int(1));
+    assert_eq!(rel.rows[0][3], Value::str("a"));
+}
+
+#[test]
+fn three_levels_three_queries() {
+    let c = conn();
+    let v = vec![vec![vec![1i64], vec![]], vec![]];
+    let t = ferry::pipeline::trace(&c, &toq(&v)).unwrap();
+    assert_eq!(t.tables.len(), 3);
+    assert_eq!(t.value, QA::to_val(&v));
+}
