@@ -253,7 +253,12 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::of(&[("a", Ty::Int), ("b", Ty::Int), ("s", Ty::Str), ("p", Ty::Bool)])
+        Schema::of(&[
+            ("a", Ty::Int),
+            ("b", Ty::Int),
+            ("s", Ty::Str),
+            ("p", Ty::Bool),
+        ])
     }
 
     #[test]
@@ -313,9 +318,6 @@ mod tests {
             Expr::lit("yes"),
             Expr::lit("no"),
         );
-        assert_eq!(
-            e.to_string(),
-            "CASE WHEN (a = 1) THEN 'yes' ELSE 'no' END"
-        );
+        assert_eq!(e.to_string(), "CASE WHEN (a = 1) THEN 'yes' ELSE 'no' END");
     }
 }

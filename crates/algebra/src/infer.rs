@@ -85,7 +85,11 @@ fn infer_node(
             }
             Ok(schema.clone())
         }
-        Node::Attach { input: i, col, value } => {
+        Node::Attach {
+            input: i,
+            col,
+            value,
+        } => {
             let s = input(*i);
             if s.contains(col) {
                 return err(id, format!("attach: column {col} already present"));
@@ -110,7 +114,11 @@ fn infer_node(
             }
             Ok(Schema::new(out))
         }
-        Node::Compute { input: i, col, expr } => {
+        Node::Compute {
+            input: i,
+            col,
+            expr,
+        } => {
             let s = input(*i);
             if s.contains(col) {
                 return err(id, format!("compute: column {col} already present"));
@@ -169,7 +177,10 @@ fn infer_node(
                 match (l.ty_of(lc), r.ty_of(rc)) {
                     (Some(a), Some(b)) if a == b => {}
                     (Some(a), Some(b)) => {
-                        return err(id, format!("join: column types differ {lc}:{a} vs {rc}:{b}"))
+                        return err(
+                            id,
+                            format!("join: column types differ {lc}:{a} vs {rc}:{b}"),
+                        )
                     }
                     (None, _) => return err(id, format!("join: no column {lc} on the left")),
                     (_, None) => return err(id, format!("join: no column {rc} on the right")),
@@ -222,7 +233,11 @@ fn infer_node(
             s.push(col.clone(), Ty::Nat);
             Ok(s)
         }
-        Node::RowRank { input: i, col, order } => {
+        Node::RowRank {
+            input: i,
+            col,
+            order,
+        } => {
             let s = input(*i);
             if s.contains(col) {
                 return err(id, format!("rank: column {col} already present"));
@@ -236,7 +251,11 @@ fn infer_node(
             s.push(col.clone(), Ty::Nat);
             Ok(s)
         }
-        Node::GroupBy { input: i, keys, aggs } => {
+        Node::GroupBy {
+            input: i,
+            keys,
+            aggs,
+        } => {
             let s = input(*i);
             let mut out = Vec::new();
             for k in keys {
@@ -271,7 +290,11 @@ fn infer_node(
             }
             Ok(Schema::new(out))
         }
-        Node::Serialize { input: i, order, cols } => {
+        Node::Serialize {
+            input: i,
+            order,
+            cols,
+        } => {
             let s = input(*i);
             for (o, _) in order {
                 if !s.contains(o) {
@@ -309,12 +332,21 @@ mod tests {
         let mut p = Plan::new();
         let l = lit_xy(&mut p);
         let a = p.attach(l, "z", Value::Bool(true));
-        let c = p.compute(a, "w", Expr::bin(BinOp::Add, Expr::col("x"), Expr::lit(1i64)));
+        let c = p.compute(
+            a,
+            "w",
+            Expr::bin(BinOp::Add, Expr::col("x"), Expr::lit(1i64)),
+        );
         let s = p.select(c, Expr::col("z"));
         let schema = validate(&p, s).unwrap();
         assert_eq!(
             schema,
-            Schema::of(&[("x", Ty::Int), ("y", Ty::Str), ("z", Ty::Bool), ("w", Ty::Int)])
+            Schema::of(&[
+                ("x", Ty::Int),
+                ("y", Ty::Str),
+                ("z", Ty::Bool),
+                ("w", Ty::Int)
+            ])
         );
     }
 
@@ -342,9 +374,15 @@ mod tests {
         let b = p.lit(Schema::of(&[("u", Ty::Int)]), vec![]);
         let j = p.equi_join(a, b, JoinCols::single("x", "u"));
         let s = validate(&p, j).unwrap();
-        assert_eq!(s, Schema::of(&[("x", Ty::Int), ("y", Ty::Str), ("u", Ty::Int)]));
+        assert_eq!(
+            s,
+            Schema::of(&[("x", Ty::Int), ("y", Ty::Str), ("u", Ty::Int)])
+        );
         let sj = p.semi_join(a, b, JoinCols::single("x", "u"));
-        assert_eq!(validate(&p, sj).unwrap(), Schema::of(&[("x", Ty::Int), ("y", Ty::Str)]));
+        assert_eq!(
+            validate(&p, sj).unwrap(),
+            Schema::of(&[("x", Ty::Int), ("y", Ty::Str)])
+        );
     }
 
     #[test]

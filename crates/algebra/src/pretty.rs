@@ -49,13 +49,24 @@ pub fn node_detail(node: &Node) -> String {
             eqs.join(" and ")
         }
         Node::ThetaJoin { pred, .. } => pred.to_string(),
-        Node::RowNum { col, part, order, .. } | Node::DenseRank { col, part, order, .. } => {
+        Node::RowNum {
+            col, part, order, ..
+        }
+        | Node::DenseRank {
+            col, part, order, ..
+        } => {
             let ps: Vec<String> = part.iter().map(|p| p.to_string()).collect();
-            let os: Vec<String> = order.iter().map(|(c, d)| format!("{c} {}", dir(*d))).collect();
+            let os: Vec<String> = order
+                .iter()
+                .map(|(c, d)| format!("{c} {}", dir(*d)))
+                .collect();
             format!("{col} part [{}] order [{}]", ps.join(", "), os.join(", "))
         }
         Node::RowRank { col, order, .. } => {
-            let os: Vec<String> = order.iter().map(|(c, d)| format!("{c} {}", dir(*d))).collect();
+            let os: Vec<String> = order
+                .iter()
+                .map(|(c, d)| format!("{c} {}", dir(*d)))
+                .collect();
             format!("{col} order [{}]", os.join(", "))
         }
         Node::GroupBy { keys, aggs, .. } => {
@@ -74,7 +85,10 @@ pub fn node_detail(node: &Node) -> String {
             format!("keys [{}] aggs [{}]", ks.join(", "), as_.join(", "))
         }
         Node::Serialize { order, cols, .. } => {
-            let os: Vec<String> = order.iter().map(|(c, d)| format!("{c} {}", dir(*d))).collect();
+            let os: Vec<String> = order
+                .iter()
+                .map(|(c, d)| format!("{c} {}", dir(*d)))
+                .collect();
             let cs: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
             format!("order [{}] cols [{}]", os.join(", "), cs.join(", "))
         }

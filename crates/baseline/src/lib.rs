@@ -296,8 +296,12 @@ mod tests {
     #[test]
     fn joins_and_int_predicates() {
         let mut db = db();
-        db.create_table("sizes", Schema::of(&[("cat", Ty::Str), ("n", Ty::Int)]), vec!["cat"])
-            .unwrap();
+        db.create_table(
+            "sizes",
+            Schema::of(&[("cat", Ty::Str), ("n", Ty::Int)]),
+            vec!["cat"],
+        )
+        .unwrap();
         db.insert(
             "sizes",
             vec![
@@ -309,7 +313,11 @@ mod tests {
         let mut q = Query::new();
         let f = q.table("facilities");
         let s = q.table("sizes");
-        q.restrict(f.col("cat").eq(s.col("cat")).and(constant_int(1).lt(s.col("n"))));
+        q.restrict(
+            f.col("cat")
+                .eq(s.col("cat"))
+                .and(constant_int(1).lt(s.col("n"))),
+        );
         q.project("fac", f.col("fac"));
         q.order("fac", false);
         let r = do_query(&db, &q).unwrap();

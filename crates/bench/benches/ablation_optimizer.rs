@@ -34,10 +34,18 @@ fn bench_ablation(c: &mut Criterion) {
         reachable_width(&opt_plan, &opt_roots)
     );
     group.bench_function(BenchmarkId::new("running_example", "raw"), |b| {
-        b.iter(|| conn.database().execute_bundle(&bundle.plan, &roots).expect("run"))
+        b.iter(|| {
+            conn.database()
+                .execute_bundle(&bundle.plan, &roots)
+                .expect("run")
+        })
     });
     group.bench_function(BenchmarkId::new("running_example", "optimized"), |b| {
-        b.iter(|| conn.database().execute_bundle(&opt_plan, &opt_roots).expect("run"))
+        b.iter(|| {
+            conn.database()
+                .execute_bundle(&opt_plan, &opt_roots)
+                .expect("run")
+        })
     });
 
     // workload 2: dotp at 2k/200
@@ -54,10 +62,20 @@ fn bench_ablation(c: &mut Criterion) {
         reachable_width(&opt_plan2, &opt_roots2)
     );
     group.bench_function(BenchmarkId::new("dotp", "raw"), |b| {
-        b.iter(|| conn2.database().execute_bundle(&bundle2.plan, &roots2).expect("run"))
+        b.iter(|| {
+            conn2
+                .database()
+                .execute_bundle(&bundle2.plan, &roots2)
+                .expect("run")
+        })
     });
     group.bench_function(BenchmarkId::new("dotp", "optimized"), |b| {
-        b.iter(|| conn2.database().execute_bundle(&opt_plan2, &opt_roots2).expect("run"))
+        b.iter(|| {
+            conn2
+                .database()
+                .execute_bundle(&opt_plan2, &opt_roots2)
+                .expect("run")
+        })
     });
 
     group.finish();

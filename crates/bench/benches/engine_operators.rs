@@ -21,8 +21,14 @@ fn bench_engine(c: &mut Criterion) {
     // hash join N × N on a key with ~N/10 duplicates
     {
         let mut plan = Plan::new();
-        let l = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 10));
-        let r = plan.lit(Schema::of(&[("b", Ty::Int), ("j", Ty::Int)]), int_table(N, 50_000));
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(N, 10),
+        );
+        let r = plan.lit(
+            Schema::of(&[("b", Ty::Int), ("j", Ty::Int)]),
+            int_table(N, 50_000),
+        );
         let j = plan.equi_join(l, r, JoinCols::single("a", "b"));
         group.bench_with_input(BenchmarkId::new("equi_join", N), &N, |bch, _| {
             bch.iter(|| db.execute(&plan, j).expect("join"))
@@ -32,7 +38,10 @@ fn bench_engine(c: &mut Criterion) {
     // ROW_NUMBER over a 10-partition table
     {
         let mut plan = Plan::new();
-        let l = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 10));
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(N, 10),
+        );
         let rn = plan.rownum(l, "pos", vec![cn("k")], vec![(cn("a"), Dir::Asc)]);
         group.bench_with_input(BenchmarkId::new("rownum", N), &N, |bch, _| {
             bch.iter(|| db.execute(&plan, rn).expect("rownum"))
@@ -42,13 +51,24 @@ fn bench_engine(c: &mut Criterion) {
     // grouped aggregation, 10 groups
     {
         let mut plan = Plan::new();
-        let l = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 10));
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(N, 10),
+        );
         let g = plan.group_by(
             l,
             vec![cn("k")],
             vec![
-                Aggregate { fun: AggFun::CountAll, input: None, output: cn("n") },
-                Aggregate { fun: AggFun::Sum, input: Some(cn("a")), output: cn("s") },
+                Aggregate {
+                    fun: AggFun::CountAll,
+                    input: None,
+                    output: cn("n"),
+                },
+                Aggregate {
+                    fun: AggFun::Sum,
+                    input: Some(cn("a")),
+                    output: cn("s"),
+                },
             ],
         );
         group.bench_with_input(BenchmarkId::new("group_by", N), &N, |bch, _| {
@@ -59,7 +79,10 @@ fn bench_engine(c: &mut Criterion) {
     // duplicate elimination with heavy duplication
     {
         let mut plan = Plan::new();
-        let l0 = plan.lit(Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]), int_table(N, 100));
+        let l0 = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(N, 100),
+        );
         let l = plan.project(l0, vec![(cn("k"), cn("k"))]);
         let d = plan.distinct(l);
         group.bench_with_input(BenchmarkId::new("distinct", N), &N, |bch, _| {

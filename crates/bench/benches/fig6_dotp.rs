@@ -18,8 +18,8 @@ fn bench_dotp(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_dotp");
     for &(n, nnz) in &[(1_000usize, 100usize), (10_000, 1_000), (100_000, 10_000)] {
         let (sv, v) = dotp_data(n, nnz, 42);
-        let conn = Connection::new(dotp_database(&sv, &v))
-            .with_optimizer(ferry_optimizer::rewriter());
+        let conn =
+            Connection::new(dotp_database(&sv, &v)).with_optimizer(ferry_optimizer::rewriter());
         let expected = dotp_scalar(&sv, &v);
         let bundle = conn.compile(&dotp_query()).expect("compile");
 

@@ -1,0 +1,56 @@
+//! Prepared re-execution vs the cold path.
+//!
+//! The plan cache exists to amortise loop-lifting + optimisation across
+//! repeated queries: a cache hit should cost only dispatch + stitch +
+//! decode. This bench measures the running example (§2) three ways —
+//! cold (cache cleared every iteration: full compile), `from_q` on a
+//! warm cache (hash + lookup + execute), and a `Prepared` handle
+//! (execute only) — and reports the hit/miss counters `QueryStats`
+//! accumulated.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ferry::prelude::*;
+use ferry_bench::table1::dsh_query;
+use ferry_bench::workload::scaled_dataset;
+
+fn bench_prepared(c: &mut Criterion) {
+    let conn = Connection::new(scaled_dataset(17, 2)).with_optimizer(ferry_optimizer::rewriter());
+    let q = dsh_query();
+
+    let mut group = c.benchmark_group("prepared");
+    group.sample_size(20);
+
+    group.bench_function("cold_compile_and_execute", |b| {
+        b.iter(|| {
+            conn.clear_plan_cache();
+            black_box(conn.from_q(&q).unwrap())
+        })
+    });
+
+    group.bench_function("from_q_warm_cache", |b| {
+        conn.clear_plan_cache();
+        b.iter(|| black_box(conn.from_q(&q).unwrap()))
+    });
+
+    let prepared = conn.prepare(&q).unwrap();
+    group.bench_function("prepared_execute", |b| {
+        b.iter(|| black_box(conn.execute(&prepared).unwrap()))
+    });
+
+    group.finish();
+
+    let stats = conn.database().stats();
+    eprintln!(
+        "plan cache over the whole bench: {} hits, {} misses",
+        stats.cache_hits, stats.cache_misses
+    );
+    assert!(
+        stats.cache_hits > 0 && stats.cache_misses > 0,
+        "both paths must have been exercised: {} hits, {} misses",
+        stats.cache_hits,
+        stats.cache_misses
+    );
+}
+
+criterion_group!(benches, bench_prepared);
+criterion_main!(benches);

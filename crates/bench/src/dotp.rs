@@ -34,10 +34,7 @@ pub fn dotp_ferry(sv: Q<Vec<(i64, f64)>>, v: Q<Vec<f64>>) -> Q<f64> {
 /// `dense (pos, val)` tables.
 pub fn dotp_query() -> Q<f64> {
     // sparse columns alphabetically: (idx, val); dense: (pos, val)
-    let sv = map(
-        |r: Q<(i64, f64)>| r,
-        table::<(i64, f64)>("sparse"),
-    );
+    let sv = map(|r: Q<(i64, f64)>| r, table::<(i64, f64)>("sparse"));
     let v = map(|r: Q<(i64, f64)>| r.snd(), table::<(i64, f64)>("dense"));
     dotp_ferry(sv, v)
 }
@@ -60,7 +57,9 @@ pub fn dotp_scalar(sv: &[(i64, f64)], v: &[f64]) -> f64 {
 /// sparse vector with `nnz` non-zeros.
 pub fn dotp_data(n: usize, nnz: usize, seed: u64) -> (Vec<(i64, f64)>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let v: Vec<f64> = (0..n).map(|_| (rng.gen_range(-50..50) as f64) / 4.0).collect();
+    let v: Vec<f64> = (0..n)
+        .map(|_| (rng.gen_range(-50..50) as f64) / 4.0)
+        .collect();
     let mut idx: Vec<i64> = (0..n as i64).collect();
     for i in (1..idx.len()).rev() {
         let j = rng.gen_range(0..=i);
@@ -155,14 +154,14 @@ mod tests {
         for id in nodes {
             match bundle.plan.node(id) {
                 ferry_algebra::Node::EquiJoin { .. } => joins += 1,
-                ferry_algebra::Node::Compute { expr, .. }
-                    if format!("{expr}").contains('*') => {
-                        multiplies += 1;
-                    }
+                ferry_algebra::Node::Compute { expr, .. } if format!("{expr}").contains('*') => {
+                    multiplies += 1;
+                }
                 ferry_algebra::Node::GroupBy { aggs, .. }
-                    if aggs.iter().any(|a| a.fun == ferry_algebra::AggFun::Sum) => {
-                        sums += 1;
-                    }
+                    if aggs.iter().any(|a| a.fun == ferry_algebra::AggFun::Sum) =>
+                {
+                    sums += 1;
+                }
                 _ => {}
             }
         }

@@ -100,9 +100,7 @@ fn get_cat_features(cat: &str) -> HQuery {
 /// list, then — `sequence $ map (λc → doQuery $ getCatFeatures c) cs` —
 /// one query **per category**. Returns the result and the query count
 /// (`#categories + 1`).
-pub fn run_haskelldb(
-    db: &Database,
-) -> Result<(Vec<(String, Vec<String>)>, u64), SqlError> {
+pub fn run_haskelldb(db: &Database) -> Result<(Vec<(String, Vec<String>)>, u64), SqlError> {
     db.reset_stats();
     let cats = do_query(db, &get_cats())?;
     let mut out = Vec::with_capacity(cats.len());
@@ -139,7 +137,10 @@ mod tests {
     fn dsh_reproduces_the_papers_result() {
         let conn = Connection::new(paper_dataset());
         let (result, queries) = run_dsh(&conn).unwrap();
-        assert_eq!(queries, 2, "avalanche safety: [(String, [String])] ⇒ 2 queries");
+        assert_eq!(
+            queries, 2,
+            "avalanche safety: [(String, [String])] ⇒ 2 queries"
+        );
         // the paper's §2 result value
         let cats: Vec<&str> = result.iter().map(|(c, _)| c.as_str()).collect();
         assert_eq!(cats, vec!["API", "LIB", "LIN", "ORM", "QLA"]);
@@ -153,7 +154,7 @@ mod tests {
     fn both_implementations_agree() {
         let conn = Connection::new(paper_dataset());
         let (dsh, _) = run_dsh(&conn).unwrap();
-        let (hdb, _) = run_haskelldb(conn.database()).unwrap();
+        let (hdb, _) = run_haskelldb(&conn.database()).unwrap();
         assert_eq!(normalise(dsh), normalise(hdb));
     }
 
@@ -164,7 +165,7 @@ mod tests {
             let conn = Connection::new(db);
             let (_, dsh_queries) = run_dsh(&conn).unwrap();
             assert_eq!(dsh_queries, 2);
-            let (_, hdb_queries) = run_haskelldb(conn.database()).unwrap();
+            let (_, hdb_queries) = run_haskelldb(&conn.database()).unwrap();
             assert_eq!(hdb_queries, k as u64 + 1, "HaskellDB: #categories + 1");
         }
     }
@@ -173,7 +174,7 @@ mod tests {
     fn implementations_agree_on_scaled_data() {
         let conn = Connection::new(scaled_dataset(12, 3));
         let (dsh, _) = run_dsh(&conn).unwrap();
-        let (hdb, _) = run_haskelldb(conn.database()).unwrap();
+        let (hdb, _) = run_haskelldb(&conn.database()).unwrap();
         assert_eq!(normalise(dsh), normalise(hdb));
     }
 

@@ -176,6 +176,9 @@ mod tests {
     fn scaled_dataset_is_deterministic() {
         let a = scaled_dataset(10, 2);
         let b = scaled_dataset(10, 2);
-        assert_eq!(a.table("features").unwrap().rows, b.table("features").unwrap().rows);
+        assert_eq!(
+            a.table("features").unwrap().rows,
+            b.table("features").unwrap().rows
+        );
     }
 }

@@ -205,7 +205,10 @@ mod tests {
         assert_eq!(
             run(&q),
             vec![
-                ("LIN".to_string(), vec!["LINQ".to_string(), "Links".to_string()]),
+                (
+                    "LIN".to_string(),
+                    vec!["LINQ".to_string(), "Links".to_string()]
+                ),
                 ("QLA".to_string(), vec!["SQL".to_string()]),
             ]
         );

@@ -6,9 +6,7 @@ use super::{Compiler, Env};
 use crate::error::FerryError;
 use crate::exp::{Exp, Fun1, Fun2, Prim1, Prim2};
 use crate::types::Ty;
-use ferry_algebra::{
-    AggFun, BinOp, ColName, Dir, Expr, JoinCols, NodeId, UnOp, Value,
-};
+use ferry_algebra::{AggFun, BinOp, ColName, Dir, Expr, JoinCols, NodeId, UnOp, Value};
 use std::rc::Rc;
 
 /// The inner-loop context a lifted lambda body is compiled in.
@@ -202,8 +200,7 @@ impl<'a> Compiler<'a> {
             (ra.plan, rb.layout.clone())
         } else {
             let keep = Self::flat_cols_of(&rb);
-            let (jp, rmap) =
-                self.join_on_iter(ra.plan, &ra.iter, rb.plan, &rb.iter, &keep);
+            let (jp, rmap) = self.join_on_iter(ra.plan, &ra.iter, rb.plan, &rb.iter, &keep);
             (jp, rb.layout.rename(&rmap))
         };
         let expr = prim2_expr(op, &ra.layout, &lb)?;
@@ -327,23 +324,22 @@ impl<'a> Compiler<'a> {
                 let (tab, _tag) = self.union_tabs(Tab::of_list(&lt), Tab::of_list(&le));
                 Ok(Rep::List(tab.into_list()))
             }
-            _ => Err(FerryError::IllTyped("if branches of different kinds".into())),
+            _ => Err(FerryError::IllTyped(
+                "if branches of different kinds".into(),
+            )),
         }
     }
 
     // ------------------------------------------------------- projections
 
-    fn compile_proj(
-        &mut self,
-        i: usize,
-        e: &Exp,
-        env: &Env,
-        lp: &Loop,
-    ) -> Result<Rep, FerryError> {
+    fn compile_proj(&mut self, i: usize, e: &Exp, env: &Env, lp: &Loop) -> Result<Rep, FerryError> {
         let r = self.compile(e, env, lp)?.expect_flat();
-        let comp = r.layout.tuple().get(i).cloned().ok_or_else(|| {
-            FerryError::IllTyped(format!("projection {i} out of bounds"))
-        })?;
+        let comp = r
+            .layout
+            .tuple()
+            .get(i)
+            .cloned()
+            .ok_or_else(|| FerryError::IllTyped(format!("projection {i} out of bounds")))?;
         match comp {
             Layout::Nested { surr, inner } => {
                 Ok(Rep::List(self.unbox(r.plan, &r.iter, &surr, &inner)))
@@ -381,12 +377,9 @@ impl<'a> Compiler<'a> {
     /// The lambda argument's representation inside the inner loop.
     fn elem_rep(&mut self, ctx: &MapCtx, elem_ty: &Ty) -> Rep {
         match (&ctx.elem_layout, elem_ty) {
-            (Layout::Nested { surr, inner }, Ty::List(_)) => Rep::List(self.unbox(
-                ctx.m,
-                &ctx.inner_iter,
-                surr,
-                inner,
-            )),
+            (Layout::Nested { surr, inner }, Ty::List(_)) => {
+                Rep::List(self.unbox(ctx.m, &ctx.inner_iter, surr, inner))
+            }
             (layout, _) => Rep::Flat(FlatRep {
                 plan: ctx.m,
                 iter: ctx.inner_iter.clone(),
@@ -408,13 +401,8 @@ impl<'a> Compiler<'a> {
                 let lifted = match rep {
                     Rep::Flat(f) => {
                         let keep = Self::flat_cols_of(f);
-                        let (jp, rmap) = self.join_on_iter(
-                            ctx.m,
-                            &ctx.outer_iter,
-                            f.plan,
-                            &f.iter,
-                            &keep,
-                        );
+                        let (jp, rmap) =
+                            self.join_on_iter(ctx.m, &ctx.outer_iter, f.plan, &f.iter, &keep);
                         Rep::Flat(FlatRep {
                             plan: jp,
                             iter: ctx.inner_iter.clone(),
@@ -423,13 +411,8 @@ impl<'a> Compiler<'a> {
                     }
                     Rep::List(l) => {
                         let keep = Self::list_cols(l);
-                        let (jp, rmap) = self.join_on_iter(
-                            ctx.m,
-                            &ctx.outer_iter,
-                            l.plan,
-                            &l.iter,
-                            &keep,
-                        );
+                        let (jp, rmap) =
+                            self.join_on_iter(ctx.m, &ctx.outer_iter, l.plan, &l.iter, &keep);
                         Rep::List(ListRep {
                             plan: jp,
                             iter: ctx.inner_iter.clone(),
@@ -473,13 +456,7 @@ impl<'a> Compiler<'a> {
     /// the outer (iter, pos) of each element.
     fn map_join_back(&mut self, ctx: &MapCtx, body: FlatRep) -> ListRep {
         let keep = Self::flat_cols_of(&body);
-        let (jp, rmap) = self.join_on_iter(
-            ctx.m,
-            &ctx.inner_iter,
-            body.plan,
-            &body.iter,
-            &keep,
-        );
+        let (jp, rmap) = self.join_on_iter(ctx.m, &ctx.inner_iter, body.plan, &body.iter, &keep);
         ListRep {
             plan: jp,
             iter: ctx.outer_iter.clone(),
@@ -592,7 +569,8 @@ impl<'a> Compiler<'a> {
                 Some(Value::Int(0)),
             ))),
             Null => {
-                let len = self.agg_with_default(&xs, lp, AggFun::CountAll, None, Some(Value::Int(0)));
+                let len =
+                    self.agg_with_default(&xs, lp, AggFun::CountAll, None, Some(Value::Int(0)));
                 let col = self.fresh("o");
                 let plan = self.plan.compute(
                     len.plan,
@@ -621,15 +599,33 @@ impl<'a> Compiler<'a> {
             }
             Avg => {
                 let item = xs.layout.atom().clone();
-                Ok(Rep::Flat(self.agg_with_default(&xs, lp, AggFun::Avg, Some(item), None)))
+                Ok(Rep::Flat(self.agg_with_default(
+                    &xs,
+                    lp,
+                    AggFun::Avg,
+                    Some(item),
+                    None,
+                )))
             }
             Maximum => {
                 let item = xs.layout.atom().clone();
-                Ok(Rep::Flat(self.agg_with_default(&xs, lp, AggFun::Max, Some(item), None)))
+                Ok(Rep::Flat(self.agg_with_default(
+                    &xs,
+                    lp,
+                    AggFun::Max,
+                    Some(item),
+                    None,
+                )))
             }
             Minimum => {
                 let item = xs.layout.atom().clone();
-                Ok(Rep::Flat(self.agg_with_default(&xs, lp, AggFun::Min, Some(item), None)))
+                Ok(Rep::Flat(self.agg_with_default(
+                    &xs,
+                    lp,
+                    AggFun::Min,
+                    Some(item),
+                    None,
+                )))
             }
             And => {
                 let item = xs.layout.atom().clone();
@@ -731,7 +727,8 @@ impl<'a> Compiler<'a> {
                 output: mx.clone(),
             }],
         );
-        let (jp, rmap) = self.join_on_iter(xs.plan, &xs.iter, g, &xs.iter, std::slice::from_ref(&mx));
+        let (jp, rmap) =
+            self.join_on_iter(xs.plan, &xs.iter, g, &xs.iter, std::slice::from_ref(&mx));
         let plan = self.plan.select(
             jp,
             Expr::eq(Expr::Col(xs.pos.clone()), Expr::Col(rmap[&mx].clone())),
@@ -775,13 +772,8 @@ impl<'a> Compiler<'a> {
                         .select(pb.plan, Expr::Col(pb.layout.atom().clone()))
                 } else {
                     let keep = Self::flat_cols_of(&pb);
-                    let (jp, rmap) = self.join_on_iter(
-                        ctx.m,
-                        &ctx.inner_iter,
-                        pb.plan,
-                        &pb.iter,
-                        &keep,
-                    );
+                    let (jp, rmap) =
+                        self.join_on_iter(ctx.m, &ctx.inner_iter, pb.plan, &pb.iter, &keep);
                     self.plan
                         .select(jp, Expr::Col(rmap[pb.layout.atom()].clone()))
                 };
@@ -804,13 +796,8 @@ impl<'a> Compiler<'a> {
                     ));
                 }
                 let keep = Self::flat_cols_of(&kb);
-                let (jp, rmap) = self.join_on_iter(
-                    ctx.m,
-                    &ctx.inner_iter,
-                    kb.plan,
-                    &kb.iter,
-                    &keep,
-                );
+                let (jp, rmap) =
+                    self.join_on_iter(ctx.m, &ctx.inner_iter, kb.plan, &kb.iter, &keep);
                 let kcols: Vec<ColName> = kb
                     .layout
                     .flat_cols()
@@ -905,13 +892,8 @@ impl<'a> Compiler<'a> {
             Index => {
                 let xs = self.compile(a, env, lp)?.expect_list();
                 let n = self.compile(b, env, lp)?.expect_flat();
-                let (jp, rmap) = self.join_on_iter(
-                    xs.plan,
-                    &xs.iter,
-                    n.plan,
-                    &n.iter,
-                    &Self::flat_cols_of(&n),
-                );
+                let (jp, rmap) =
+                    self.join_on_iter(xs.plan, &xs.iter, n.plan, &n.iter, &Self::flat_cols_of(&n));
                 let ncol = rmap[n.layout.atom()].clone();
                 let plan = self.plan.select(
                     jp,
@@ -929,13 +911,8 @@ impl<'a> Compiler<'a> {
             Take | Drop => {
                 let n = self.compile(a, env, lp)?.expect_flat();
                 let xs = self.compile(b, env, lp)?.expect_list();
-                let (jp, rmap) = self.join_on_iter(
-                    xs.plan,
-                    &xs.iter,
-                    n.plan,
-                    &n.iter,
-                    &Self::flat_cols_of(&n),
-                );
+                let (jp, rmap) =
+                    self.join_on_iter(xs.plan, &xs.iter, n.plan, &n.iter, &Self::flat_cols_of(&n));
                 let ncol = Expr::Col(rmap[n.layout.atom()].clone());
                 let posi = Expr::cast(ferry_algebra::Ty::Int, Expr::Col(xs.pos.clone()));
                 if f == Take {
@@ -958,20 +935,13 @@ impl<'a> Compiler<'a> {
                     (pb.plan, pb.layout.atom().clone())
                 } else {
                     let keep = Self::flat_cols_of(&pb);
-                    let (jp, rmap) = self.join_on_iter(
-                        ctx.m,
-                        &ctx.inner_iter,
-                        pb.plan,
-                        &pb.iter,
-                        &keep,
-                    );
+                    let (jp, rmap) =
+                        self.join_on_iter(ctx.m, &ctx.inner_iter, pb.plan, &pb.iter, &keep);
                     (jp, rmap[pb.layout.atom()].clone())
                 };
                 // the boundary: the first position where the predicate
                 // fails, per outer iteration
-                let failing = self
-                    .plan
-                    .select(jp, Expr::not(Expr::Col(pred_col.clone())));
+                let failing = self.plan.select(jp, Expr::not(Expr::Col(pred_col.clone())));
                 let bcol = self.fresh("b");
                 let fb = self.plan.group_by(
                     failing,
@@ -1096,7 +1066,13 @@ impl<'a> Compiler<'a> {
 /// (columns of the same joined plan). Tuple comparison is lexicographic.
 fn prim2_expr(op: Prim2, la: &Layout, lb: &Layout) -> Result<Expr, FerryError> {
     use Prim2::*;
-    let bop = |o: BinOp| Expr::bin(o, Expr::Col(la.atom().clone()), Expr::Col(lb.atom().clone()));
+    let bop = |o: BinOp| {
+        Expr::bin(
+            o,
+            Expr::Col(la.atom().clone()),
+            Expr::Col(lb.atom().clone()),
+        )
+    };
     match op {
         Add => Ok(bop(BinOp::Add)),
         Sub => Ok(bop(BinOp::Sub)),

@@ -14,12 +14,7 @@ use ferry_algebra::{ColName, Schema, Value};
 
 impl<'a> Compiler<'a> {
     /// Compile a constant of arbitrary type under `lp`.
-    pub fn compile_const(
-        &mut self,
-        v: &Val,
-        ty: &Ty,
-        lp: &Loop,
-    ) -> Result<Rep, FerryError> {
+    pub fn compile_const(&mut self, v: &Val, ty: &Ty, lp: &Loop) -> Result<Rep, FerryError> {
         match (v, ty) {
             (v, t) if t.is_atom() => {
                 let cell = v.to_cell().ok_or_else(|| {
@@ -134,7 +129,14 @@ impl<'a> Compiler<'a> {
                 let mut child_key = key.clone();
                 child_key.push(p);
                 let mut nest_idx = 0;
-                collect_cells(elem, elem_ty, &mut row, &child_key, &mut nests, &mut nest_idx)?;
+                collect_cells(
+                    elem,
+                    elem_ty,
+                    &mut row,
+                    &child_key,
+                    &mut nests,
+                    &mut nest_idx,
+                )?;
                 rows.push(row);
             }
         }
@@ -149,9 +151,10 @@ impl<'a> Compiler<'a> {
         ) -> Result<(), FerryError> {
             match (v, ty) {
                 (v, t) if t.is_atom() => {
-                    row.push(v.to_cell().ok_or_else(|| {
-                        FerryError::IllTyped(format!("{v:?} is not atomic"))
-                    })?);
+                    row.push(
+                        v.to_cell()
+                            .ok_or_else(|| FerryError::IllTyped(format!("{v:?} is not atomic")))?,
+                    );
                     Ok(())
                 }
                 (Val::Tuple(vs), Ty::Tuple(ts)) if vs.len() == ts.len() => {
@@ -261,4 +264,3 @@ impl<'a> Compiler<'a> {
         Ok(self.cross_with_loop(standalone, lp))
     }
 }
-

@@ -38,7 +38,10 @@ pub enum Layout {
     Tuple(Vec<Layout>),
     /// A boxed inner list: `surr` columns in *this* table link to the
     /// `iter` columns of the inner table.
-    Nested { surr: Vec<ColName>, inner: Box<ListRep> },
+    Nested {
+        surr: Vec<ColName>,
+        inner: Box<ListRep>,
+    },
 }
 
 impl Layout {

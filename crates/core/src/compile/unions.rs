@@ -127,8 +127,7 @@ impl<'a> Compiler<'a> {
             (Layout::Tuple(xs), Layout::Tuple(ys)) => {
                 let mut out = Vec::with_capacity(xs.len());
                 for (x, y) in xs.iter().zip(ys.iter()) {
-                    let (na, nb, l) =
-                        self.union_layouts(pa, pb, x, y, out_tag, cols_a, cols_b);
+                    let (na, nb, l) = self.union_layouts(pa, pb, x, y, out_tag, cols_a, cols_b);
                     pa = na;
                     pb = nb;
                     out.push(l);
@@ -136,8 +135,14 @@ impl<'a> Compiler<'a> {
                 (pa, pb, Layout::Tuple(out))
             }
             (
-                Layout::Nested { surr: sa, inner: ia },
-                Layout::Nested { surr: sb, inner: ib },
+                Layout::Nested {
+                    surr: sa,
+                    inner: ia,
+                },
+                Layout::Nested {
+                    surr: sb,
+                    inner: ib,
+                },
             ) => {
                 let w = sa.len().max(sb.len());
                 // pad outer surrogates to common width

@@ -43,11 +43,17 @@ pub enum Prim2 {
 
 impl Prim2 {
     pub fn is_cmp(self) -> bool {
-        matches!(self, Prim2::Eq | Prim2::Ne | Prim2::Lt | Prim2::Le | Prim2::Gt | Prim2::Ge)
+        matches!(
+            self,
+            Prim2::Eq | Prim2::Ne | Prim2::Lt | Prim2::Le | Prim2::Gt | Prim2::Ge
+        )
     }
 
     pub fn is_arith(self) -> bool {
-        matches!(self, Prim2::Add | Prim2::Sub | Prim2::Mul | Prim2::Div | Prim2::Mod)
+        matches!(
+            self,
+            Prim2::Add | Prim2::Sub | Prim2::Mul | Prim2::Div | Prim2::Mod
+        )
     }
 }
 
@@ -160,6 +166,200 @@ impl Exp {
     }
 }
 
+impl Exp {
+    /// A content hash that is **stable across constructions** of the same
+    /// query: bound variables are canonicalised to de Bruijn indices, so
+    /// two terms built at different times (with different `fresh_var`
+    /// draws) hash identically iff they are alpha-equivalent. This is the
+    /// key of the runtime's prepared-plan cache.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        hash_exp(self, &mut Vec::new(), &mut h);
+        h.0
+    }
+}
+
+/// FNV-1a over explicit byte feeds — `DefaultHasher` would also work, but
+/// an explicitly specified function keeps the cache key reproducible
+/// across Rust versions (useful once bundles are persisted).
+struct Fnv(u64);
+
+impl Fnv {
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+}
+
+fn hash_ty(ty: &Ty, h: &mut Fnv) {
+    match ty {
+        Ty::Unit => h.byte(0),
+        Ty::Bool => h.byte(1),
+        Ty::Int => h.byte(2),
+        Ty::Dbl => h.byte(3),
+        Ty::Text => h.byte(4),
+        Ty::Tuple(ts) => {
+            h.byte(5);
+            h.usize(ts.len());
+            for t in ts {
+                hash_ty(t, h);
+            }
+        }
+        Ty::List(e) => {
+            h.byte(6);
+            hash_ty(e, h);
+        }
+        Ty::Fun(a, r) => {
+            h.byte(7);
+            hash_ty(a, h);
+            hash_ty(r, h);
+        }
+    }
+}
+
+fn hash_val(v: &Val, h: &mut Fnv) {
+    match v {
+        Val::Unit => h.byte(0),
+        Val::Bool(b) => {
+            h.byte(1);
+            h.byte(*b as u8);
+        }
+        Val::Int(i) => {
+            h.byte(2);
+            h.u64(*i as u64);
+        }
+        Val::Dbl(d) => {
+            h.byte(3);
+            h.u64(d.to_bits());
+        }
+        Val::Text(s) => {
+            h.byte(4);
+            h.str(s);
+        }
+        Val::Tuple(vs) => {
+            h.byte(5);
+            h.usize(vs.len());
+            for v in vs {
+                hash_val(v, h);
+            }
+        }
+        Val::List(vs) => {
+            h.byte(6);
+            h.usize(vs.len());
+            for v in vs {
+                hash_val(v, h);
+            }
+        }
+    }
+}
+
+/// `env` is the stack of binders in scope; a variable hashes as its
+/// distance from the top (its de Bruijn index).
+fn hash_exp(exp: &Exp, env: &mut Vec<u32>, h: &mut Fnv) {
+    match exp {
+        Exp::Const(v, t) => {
+            h.byte(10);
+            hash_val(v, h);
+            hash_ty(t, h);
+        }
+        Exp::Var(x, t) => {
+            h.byte(11);
+            match env.iter().rev().position(|y| y == x) {
+                Some(i) => h.usize(i),
+                // free variables cannot be alpha-renamed: hash the raw id
+                None => h.u64(0x8000_0000_0000_0000 | *x as u64),
+            }
+            hash_ty(t, h);
+        }
+        Exp::Tuple(es, t) => {
+            h.byte(12);
+            h.usize(es.len());
+            for e in es {
+                hash_exp(e, env, h);
+            }
+            hash_ty(t, h);
+        }
+        Exp::ListE(es, t) => {
+            h.byte(13);
+            h.usize(es.len());
+            for e in es {
+                hash_exp(e, env, h);
+            }
+            hash_ty(t, h);
+        }
+        Exp::Table(name, t) => {
+            h.byte(14);
+            h.str(name);
+            hash_ty(t, h);
+        }
+        Exp::Lam(x, body, t) => {
+            h.byte(15);
+            env.push(*x);
+            hash_exp(body, env, h);
+            env.pop();
+            hash_ty(t, h);
+        }
+        Exp::Prim2(op, a, b, t) => {
+            h.byte(16);
+            h.byte(*op as u8);
+            hash_exp(a, env, h);
+            hash_exp(b, env, h);
+            hash_ty(t, h);
+        }
+        Exp::Prim1(op, e, t) => {
+            h.byte(17);
+            h.byte(*op as u8);
+            hash_exp(e, env, h);
+            hash_ty(t, h);
+        }
+        Exp::If(c, th, el, t) => {
+            h.byte(18);
+            hash_exp(c, env, h);
+            hash_exp(th, env, h);
+            hash_exp(el, env, h);
+            hash_ty(t, h);
+        }
+        Exp::Proj(i, e, t) => {
+            h.byte(19);
+            h.usize(*i);
+            hash_exp(e, env, h);
+            hash_ty(t, h);
+        }
+        Exp::App1(f, e, t) => {
+            h.byte(20);
+            h.byte(*f as u8);
+            hash_exp(e, env, h);
+            hash_ty(t, h);
+        }
+        Exp::App2(f, a, b, t) => {
+            h.byte(21);
+            h.byte(*f as u8);
+            hash_exp(a, env, h);
+            hash_exp(b, env, h);
+            hash_ty(t, h);
+        }
+    }
+}
+
 /// Expected argument/result typing of a `Fun1` application: given the
 /// argument type, the result type — `None` when inapplicable.
 pub fn fun1_result_ty(f: Fun1, arg: &Ty) -> Option<Ty> {
@@ -205,9 +405,7 @@ pub fn fun2_result_ty(f: Fun2, a: &Ty, b: &Ty) -> Option<Ty> {
     use Fun2::*;
     match f {
         Map => match (a, b) {
-            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e => {
-                Some(Ty::list((**res).clone()))
-            }
+            (Ty::Fun(arg, res), Ty::List(e)) if **arg == **e => Some(Ty::list((**res).clone())),
             _ => None,
         },
         ConcatMap => match (a, b) {
@@ -265,13 +463,11 @@ pub fn check(exp: &Exp, env: &mut Vec<(u32, Ty)>) -> Result<Ty, String> {
             }
             t.clone()
         }
-        Exp::Var(x, t) => {
-            match env.iter().rev().find(|(y, _)| y == x) {
-                Some((_, bound)) if bound == t => t.clone(),
-                Some((_, bound)) => return Err(format!("var {x}: {t} bound at {bound}")),
-                None => return Err(format!("unbound var {x}")),
-            }
-        }
+        Exp::Var(x, t) => match env.iter().rev().find(|(y, _)| y == x) {
+            Some((_, bound)) if bound == t => t.clone(),
+            Some((_, bound)) => return Err(format!("var {x}: {t} bound at {bound}")),
+            None => return Err(format!("unbound var {x}")),
+        },
         Exp::Tuple(es, t) => {
             let ts: Result<Vec<Ty>, String> = es.iter().map(|e| check(e, env)).collect();
             let actual = Ty::Tuple(ts?);
@@ -309,8 +505,8 @@ pub fn check(exp: &Exp, env: &mut Vec<(u32, Ty)>) -> Result<Ty, String> {
         Exp::Prim2(op, a, b, t) => {
             let at = check(a, env)?;
             let bt = check(b, env)?;
-            let res = prim2_result_ty(*op, &at, &bt)
-                .ok_or_else(|| format!("{op:?} on {at} and {bt}"))?;
+            let res =
+                prim2_result_ty(*op, &at, &bt).ok_or_else(|| format!("{op:?} on {at} and {bt}"))?;
             if res != *t {
                 return Err(format!("{op:?} annotated {t}, actual {res}"));
             }
@@ -466,11 +662,7 @@ mod tests {
     #[test]
     fn check_scopes_lambdas() {
         let x = fresh_var();
-        let lam = Exp::Lam(
-            x,
-            Rc::new(Exp::Var(x, Ty::Int)),
-            Ty::fun(Ty::Int, Ty::Int),
-        );
+        let lam = Exp::Lam(x, Rc::new(Exp::Var(x, Ty::Int)), Ty::fun(Ty::Int, Ty::Int));
         assert!(check(&lam, &mut vec![]).is_ok());
         let map = Exp::App2(
             Fun2::Map,
@@ -506,5 +698,48 @@ mod tests {
     fn exp_size_counts_nodes() {
         let e = Exp::Prim2(Prim2::Add, int(1), int(2), Ty::Int);
         assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn stable_hash_is_alpha_invariant() {
+        // \x -> x + 1, built twice with different fresh variables
+        let build = || {
+            let x = fresh_var();
+            Exp::Lam(
+                x,
+                Rc::new(Exp::Prim2(
+                    Prim2::Add,
+                    Rc::new(Exp::Var(x, Ty::Int)),
+                    int(1),
+                    Ty::Int,
+                )),
+                Ty::fun(Ty::Int, Ty::Int),
+            )
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn stable_hash_separates_different_terms() {
+        let one = Exp::Prim2(Prim2::Add, int(1), int(2), Ty::Int);
+        let two = Exp::Prim2(Prim2::Add, int(1), int(3), Ty::Int);
+        let op = Exp::Prim2(Prim2::Mul, int(1), int(2), Ty::Int);
+        assert_ne!(one.stable_hash(), two.stable_hash());
+        assert_ne!(one.stable_hash(), op.stable_hash());
+        // nested binders: \x -> \y -> x  vs  \x -> \y -> y
+        let (x, y) = (fresh_var(), fresh_var());
+        let ii = Ty::fun(Ty::Int, Ty::Int);
+        let fst = Exp::Lam(
+            x,
+            Rc::new(Exp::Lam(y, Rc::new(Exp::Var(x, Ty::Int)), ii.clone())),
+            Ty::fun(Ty::Int, ii.clone()),
+        );
+        let snd = Exp::Lam(
+            x,
+            Rc::new(Exp::Lam(y, Rc::new(Exp::Var(y, Ty::Int)), ii.clone())),
+            Ty::fun(Ty::Int, ii),
+        );
+        assert_ne!(fst.stable_hash(), snd.stable_hash());
     }
 }

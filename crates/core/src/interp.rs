@@ -18,9 +18,9 @@
 
 use crate::error::FerryError;
 use crate::exp::{Exp, Fun1, Fun2, Prim1, Prim2};
-use crate::types::Val;
 #[cfg(test)]
 use crate::types::Ty;
+use crate::types::Val;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -212,7 +212,10 @@ fn fun1(f: Fun1, v: Val) -> Result<Val, FerryError> {
         Null => Ok(Val::Bool(vs.is_empty())),
         Sum => {
             if vs.iter().all(|v| matches!(v, Val::Dbl(_))) && !vs.is_empty() {
-                let s: f64 = vs.iter().map(|v| if let Val::Dbl(d) = v { *d } else { 0.0 }).sum();
+                let s: f64 = vs
+                    .iter()
+                    .map(|v| if let Val::Dbl(d) = v { *d } else { 0.0 })
+                    .sum();
                 return Ok(Val::Dbl(s));
             }
             let mut acc: i64 = 0;
@@ -290,12 +293,7 @@ fn fun1(f: Fun1, v: Val) -> Result<Val, FerryError> {
     }
 }
 
-fn apply_lam(
-    lam: &Exp,
-    arg: Val,
-    env: &mut Env,
-    tables: &Tables,
-) -> Result<Val, FerryError> {
+fn apply_lam(lam: &Exp, arg: Val, env: &mut Env, tables: &Tables) -> Result<Val, FerryError> {
     match lam {
         Exp::Lam(x, body, _) => {
             env.push((*x, arg));
@@ -357,9 +355,7 @@ fn fun2(
                     let mut out = Vec::new();
                     let mut dropping = true;
                     for x in xs {
-                        if dropping
-                            && apply_lam(a, x.clone(), env, tables)? == Val::Bool(true)
-                        {
+                        if dropping && apply_lam(a, x.clone(), env, tables)? == Val::Bool(true) {
                             continue;
                         }
                         dropping = false;
@@ -525,22 +521,44 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        assert_eq!(run(Exp::App1(Fun1::Sum, ints(&[1, 2, 3]), Ty::Int)), Val::Int(6));
+        assert_eq!(
+            run(Exp::App1(Fun1::Sum, ints(&[1, 2, 3]), Ty::Int)),
+            Val::Int(6)
+        );
         assert_eq!(run(Exp::App1(Fun1::Sum, ints(&[]), Ty::Int)), Val::Int(0));
-        assert_eq!(run(Exp::App1(Fun1::Length, ints(&[7, 7]), Ty::Int)), Val::Int(2));
-        assert_eq!(run(Exp::App1(Fun1::Null, ints(&[]), Ty::Bool)), Val::Bool(true));
-        assert_eq!(run(Exp::App1(Fun1::Maximum, ints(&[2, 9, 4]), Ty::Int)), Val::Int(9));
+        assert_eq!(
+            run(Exp::App1(Fun1::Length, ints(&[7, 7]), Ty::Int)),
+            Val::Int(2)
+        );
+        assert_eq!(
+            run(Exp::App1(Fun1::Null, ints(&[]), Ty::Bool)),
+            Val::Bool(true)
+        );
+        assert_eq!(
+            run(Exp::App1(Fun1::Maximum, ints(&[2, 9, 4]), Ty::Int)),
+            Val::Int(9)
+        );
         assert!(matches!(
-            interpret(&Exp::App1(Fun1::Maximum, ints(&[]), Ty::Int), &Tables::new()),
+            interpret(
+                &Exp::App1(Fun1::Maximum, ints(&[]), Ty::Int),
+                &Tables::new()
+            ),
             Err(FerryError::Partial(_))
         ));
-        assert_eq!(run(Exp::App1(Fun1::Avg, ints(&[1, 2]), Ty::Dbl)), Val::Dbl(1.5));
+        assert_eq!(
+            run(Exp::App1(Fun1::Avg, ints(&[1, 2]), Ty::Dbl)),
+            Val::Dbl(1.5)
+        );
     }
 
     #[test]
     fn list_surgery() {
         assert_eq!(
-            run(Exp::App1(Fun1::Reverse, ints(&[1, 2, 3]), Ty::list(Ty::Int))),
+            run(Exp::App1(
+                Fun1::Reverse,
+                ints(&[1, 2, 3]),
+                Ty::list(Ty::Int)
+            )),
             Val::List(vec![Val::Int(3), Val::Int(2), Val::Int(1)])
         );
         assert_eq!(
@@ -552,11 +570,21 @@ mod tests {
             Val::List(vec![Val::Int(1), Val::Int(2)])
         );
         assert_eq!(
-            run(Exp::App2(Fun2::Take, int(2), ints(&[1, 2, 3]), Ty::list(Ty::Int))),
+            run(Exp::App2(
+                Fun2::Take,
+                int(2),
+                ints(&[1, 2, 3]),
+                Ty::list(Ty::Int)
+            )),
             Val::List(vec![Val::Int(1), Val::Int(2)])
         );
         assert_eq!(
-            run(Exp::App2(Fun2::Drop, int(2), ints(&[1, 2, 3]), Ty::list(Ty::Int))),
+            run(Exp::App2(
+                Fun2::Drop,
+                int(2),
+                ints(&[1, 2, 3]),
+                Ty::list(Ty::Int)
+            )),
             Val::List(vec![Val::Int(3)])
         );
         assert_eq!(
@@ -568,7 +596,11 @@ mod tests {
     #[test]
     fn nub_keeps_first_occurrences() {
         assert_eq!(
-            run(Exp::App1(Fun1::Nub, ints(&[2, 1, 2, 3, 1]), Ty::list(Ty::Int))),
+            run(Exp::App1(
+                Fun1::Nub,
+                ints(&[2, 1, 2, 3, 1]),
+                Ty::list(Ty::Int)
+            )),
             Val::List(vec![Val::Int(2), Val::Int(1), Val::Int(3)])
         );
     }
@@ -593,10 +625,7 @@ mod tests {
     #[test]
     fn table_lookup() {
         let mut tables = Tables::new();
-        tables.insert(
-            "t".into(),
-            Val::List(vec![Val::Int(1), Val::Int(2)]),
-        );
+        tables.insert("t".into(), Val::List(vec![Val::Int(1), Val::Int(2)]));
         let e = Exp::Table("t".into(), Ty::list(Ty::Int));
         assert_eq!(
             interpret(&e, &tables).unwrap(),

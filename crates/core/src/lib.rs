@@ -50,11 +50,15 @@
 //! * [`compile`] — loop-lifting into table algebra,
 //! * [`shred`] — query-bundle emission (avalanche safety lives here),
 //! * [`stitch`] — tabular results back to nested values,
-//! * [`runtime`] — [`runtime::Connection`]: `from_q` end to end,
+//! * [`backend`] — pluggable execution backends (algebra-direct here,
+//!   the SQL:1999 round trip in `ferry-sql`),
+//! * [`runtime`] — [`runtime::Connection`]: `from_q` end to end, plus
+//!   [`runtime::Prepared`] handles and the plan cache,
 //! * [`pipeline`] — stage-by-stage artefacts of Figure 2.
 
 #![allow(clippy::type_complexity, clippy::items_after_test_module)]
 
+pub mod backend;
 pub mod comp;
 pub mod compile;
 pub mod error;
@@ -69,16 +73,18 @@ pub mod shred;
 pub mod stitch;
 pub mod types;
 
+pub use backend::{AlgebraBackend, Backend};
 pub use error::FerryError;
 pub use qa::{Q, QA, TA};
-pub use runtime::Connection;
+pub use runtime::{Connection, Prepared};
 pub use types::{Ty, Val};
 
 /// Everything needed to write Ferry programs.
 pub mod prelude {
+    pub use crate::backend::{AlgebraBackend, Backend};
     pub use crate::comp;
     pub use crate::ops::*;
     pub use crate::qa::{toq, Q, QA, TA};
-    pub use crate::runtime::Connection;
+    pub use crate::runtime::{Connection, Prepared};
     pub use crate::FerryError;
 }

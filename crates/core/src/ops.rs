@@ -63,19 +63,13 @@ pub fn concat<A: QA>(xss: Q<Vec<Vec<A>>>) -> Q<Vec<A>> {
 }
 
 /// `concatMap :: (Q a -> Q [b]) -> Q [a] -> Q [b]`
-pub fn concat_map<A: QA, B: QA>(
-    f: impl FnOnce(Q<A>) -> Q<Vec<B>>,
-    xs: Q<Vec<A>>,
-) -> Q<Vec<B>> {
+pub fn concat_map<A: QA, B: QA>(f: impl FnOnce(Q<A>) -> Q<Vec<B>>, xs: Q<Vec<A>>) -> Q<Vec<B>> {
     app2(Fun2::ConcatMap, lam(f), xs.exp, Ty::list(B::ty()))
 }
 
 /// `groupWith :: Ord b => (Q a -> Q b) -> Q [a] -> Q [[a]]` — groups are
 /// sorted by key; element order within each group is preserved.
-pub fn group_with<A: QA, K: TA>(
-    f: impl FnOnce(Q<A>) -> Q<K>,
-    xs: Q<Vec<A>>,
-) -> Q<Vec<Vec<A>>> {
+pub fn group_with<A: QA, K: TA>(f: impl FnOnce(Q<A>) -> Q<K>, xs: Q<Vec<A>>) -> Q<Vec<Vec<A>>> {
     app2(Fun2::GroupWith, lam(f), xs.exp, Ty::list(Ty::list(A::ty())))
 }
 
@@ -159,18 +153,12 @@ pub fn drop_while<A: QA>(f: impl FnOnce(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<Ve
 }
 
 /// `span p xs = (takeWhile p xs, dropWhile p xs)`.
-pub fn span<A: QA>(
-    f: impl Fn(Q<A>) -> Q<bool>,
-    xs: Q<Vec<A>>,
-) -> Q<(Vec<A>, Vec<A>)> {
+pub fn span<A: QA>(f: impl Fn(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<(Vec<A>, Vec<A>)> {
     pair(take_while(&f, xs.clone()), drop_while(&f, xs))
 }
 
 /// `break p = span (not . p)`.
-pub fn break_<A: QA>(
-    f: impl Fn(Q<A>) -> Q<bool>,
-    xs: Q<Vec<A>>,
-) -> Q<(Vec<A>, Vec<A>)> {
+pub fn break_<A: QA>(f: impl Fn(Q<A>) -> Q<bool>, xs: Q<Vec<A>>) -> Q<(Vec<A>, Vec<A>)> {
     span(move |x| f(x).not(), xs)
 }
 
@@ -181,7 +169,12 @@ pub fn split_at<A: QA>(n: Q<i64>, xs: Q<Vec<A>>) -> Q<(Vec<A>, Vec<A>)> {
 
 /// `zip` — truncates to the shorter list.
 pub fn zip<A: QA, B: QA>(xs: Q<Vec<A>>, ys: Q<Vec<B>>) -> Q<Vec<(A, B)>> {
-    app2(Fun2::Zip, xs.exp, ys.exp, Ty::list(Ty::Tuple(vec![A::ty(), B::ty()])))
+    app2(
+        Fun2::Zip,
+        xs.exp,
+        ys.exp,
+        Ty::list(Ty::Tuple(vec![A::ty(), B::ty()])),
+    )
 }
 
 /// `unzip`.
@@ -195,7 +188,11 @@ pub fn unzip<A: QA, B: QA>(xs: Q<Vec<(A, B)>>) -> Q<(Vec<A>, Vec<B>)> {
 
 /// `number` (DSH): pair each element with its 1-based position.
 pub fn number<A: QA>(xs: Q<Vec<A>>) -> Q<Vec<(A, i64)>> {
-    app1(Fun1::Number, xs.exp, Ty::list(Ty::Tuple(vec![A::ty(), Ty::Int])))
+    app1(
+        Fun1::Number,
+        xs.exp,
+        Ty::list(Ty::Tuple(vec![A::ty(), Ty::Int])),
+    )
 }
 
 // ------------------------------------------------------ special folds
@@ -291,12 +288,7 @@ pub fn tuple3<A: QA, B: QA, C: QA>(a: Q<A>, b: Q<B>, c: Q<C>) -> Q<(A, B, C)> {
 }
 
 /// 4-tuple constructor.
-pub fn tuple4<A: QA, B: QA, C: QA, D: QA>(
-    a: Q<A>,
-    b: Q<B>,
-    c: Q<C>,
-    d: Q<D>,
-) -> Q<(A, B, C, D)> {
+pub fn tuple4<A: QA, B: QA, C: QA, D: QA>(a: Q<A>, b: Q<B>, c: Q<C>, d: Q<D>) -> Q<(A, B, C, D)> {
     Q::wrap(Exp::Tuple(
         vec![a.exp, b.exp, c.exp, d.exp],
         <(A, B, C, D)>::ty(),
@@ -310,7 +302,12 @@ pub fn int_to_dbl(x: Q<i64>) -> Q<f64> {
 
 impl<T: QA> Q<T> {
     fn cmp2(&self, other: &Q<T>, op: Prim2) -> Q<bool> {
-        Q::wrap(Exp::Prim2(op, self.exp.clone(), other.exp.clone(), Ty::Bool))
+        Q::wrap(Exp::Prim2(
+            op,
+            self.exp.clone(),
+            other.exp.clone(),
+            Ty::Bool,
+        ))
     }
 
     /// `==` at the query level. For nested types this is only supported by
@@ -549,7 +546,10 @@ mod tests {
 
     #[test]
     fn zip_unzip_number() {
-        let q = zip(toq(&vec![1i64, 2]), toq(&vec!["a".to_string(), "b".to_string()]));
+        let q = zip(
+            toq(&vec![1i64, 2]),
+            toq(&vec!["a".to_string(), "b".to_string()]),
+        );
         well_typed(&q);
         assert_eq!(run(&q), vec![(1, "a".to_string()), (2, "b".to_string())]);
         let u = unzip(toq(&vec![(1i64, 2i64), (3, 4)]));

@@ -51,7 +51,6 @@ impl<T> Q<T> {
         }
     }
 
-
     /// The underlying kernel term. Exposed read-only for inspection
     /// (pipeline tracing, tests); it cannot be used to build ill-typed `Q`s.
     pub fn exp(&self) -> &Exp {
@@ -227,16 +226,19 @@ mod tests {
 
     #[test]
     fn type_reflection() {
-        assert_eq!(<Vec<(String, Vec<String>)>>::ty().to_string(), "[(Text, [Text])]");
-        assert_eq!(<(i64, f64, bool)>::ty(), Ty::Tuple(vec![Ty::Int, Ty::Dbl, Ty::Bool]));
+        assert_eq!(
+            <Vec<(String, Vec<String>)>>::ty().to_string(),
+            "[(Text, [Text])]"
+        );
+        assert_eq!(
+            <(i64, f64, bool)>::ty(),
+            Ty::Tuple(vec![Ty::Int, Ty::Dbl, Ty::Bool])
+        );
     }
 
     #[test]
     fn to_val_from_val_round_trips() {
-        let v: Vec<(i64, Vec<String>)> = vec![
-            (1, vec!["a".into(), "b".into()]),
-            (2, vec![]),
-        ];
+        let v: Vec<(i64, Vec<String>)> = vec![(1, vec!["a".into(), "b".into()]), (2, vec![])];
         let val = v.to_val();
         assert_eq!(<Vec<(i64, Vec<String>)>>::from_val(&val).unwrap(), v);
     }

@@ -165,15 +165,21 @@ mod tests {
     #[test]
     fn records_in_lists() {
         let ps = vec![
-            Point { label: "a".into(), x: 1, y: 2 },
-            Point { label: "b".into(), x: 3, y: 4 },
+            Point {
+                label: "a".into(),
+                x: 1,
+                y: 2,
+            },
+            Point {
+                label: "b".into(),
+                x: 3,
+                y: 4,
+            },
         ];
         let q = map(|p: Q<Point>| p.x() + p.y(), toq(&ps));
         let tables = crate::interp::Tables::new();
-        let got: Vec<i64> = QA::from_val(
-            &crate::interp::interpret(q.exp(), &tables).unwrap(),
-        )
-        .unwrap();
+        let got: Vec<i64> =
+            QA::from_val(&crate::interp::interpret(q.exp(), &tables).unwrap()).unwrap();
         assert_eq!(got, vec![3, 7]);
     }
 }

@@ -1,11 +1,34 @@
-//! The runtime: `Connection` and `from_q`.
+//! The runtime: `Connection`, `Prepared` query handles, and `from_q`.
 //!
 //! `from_q`, "when provided with a connection parameter, executes its query
 //! argument on the database and returns the result as a regular Haskell
 //! value" (§2) — here, a regular Rust value. The full pipeline of Fig. 2
 //! runs inside: compile (loop-lifting) → optional plan optimisation →
-//! dispatch the bundle (one engine round-trip per member) → stitch → decode.
+//! dispatch the bundle through the configured [`Backend`] (one engine
+//! round-trip per member) → stitch → decode.
+//!
+//! ## Prepared bundles and the plan cache
+//!
+//! A query's relational bundle is a *constant-size, data-independent
+//! artefact* (avalanche safety, §3.2) — compiling it is pure overhead
+//! once it exists. [`Connection::prepare`] therefore returns a
+//! [`Prepared`] handle owning the optimized [`CompiledBundle`] plus its
+//! stitching metadata; executing the handle skips compilation entirely.
+//! Behind `prepare` sits a content-addressed plan cache keyed by the
+//! [alpha-invariant hash](crate::exp::Exp::stable_hash) of the kernel
+//! term and the catalog's schema version, so even plain `from_q` calls
+//! amortise compilation across repeated queries. Hit/miss counts are
+//! surfaced through [`ferry_engine::QueryStats`].
+//!
+//! ## Concurrency
+//!
+//! The catalog sits behind `Arc<RwLock<Database>>`: a `Connection` is
+//! cheaply cloneable, clones share the database, the plan cache and the
+//! backend, and `from_q` / `execute` may run concurrently from many
+//! threads (executions take the read lock; catalog mutations take the
+//! write lock).
 
+use crate::backend::{AlgebraBackend, Backend};
 use crate::compile::{SchemaProvider, TableInfo};
 use crate::error::FerryError;
 use crate::qa::{Q, QA};
@@ -15,41 +38,119 @@ use crate::types::Val;
 use ferry_algebra::{NodeId, Plan, Rel};
 use ferry_engine::Database;
 use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A plan rewriter slot (wired to `ferry_optimizer::optimize` by callers;
 /// kept abstract here so the core crate does not depend on the optimizer).
-pub type PlanRewriter = Box<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync>;
+/// Shared by every clone of a `Connection`, hence `Arc`.
+pub type PlanRewriter = Arc<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync>;
+
+/// Cache key: (alpha-invariant kernel-term hash, catalog schema version).
+type PlanKey = (u64, u64);
+
+/// The content-addressed store of optimized bundles.
+#[derive(Default)]
+struct PlanCache {
+    entries: HashMap<PlanKey, Arc<CompiledBundle>>,
+}
+
+/// A compiled, optimized, executable-many-times query of result type `T`
+/// — the prepared-statement analogue. The handle is `Send + Sync` and
+/// independent of the `Connection` that produced it: share one across
+/// threads via `Arc`, or hand clones of the (cheap) `Arc`'d bundle to a
+/// pool of workers.
+pub struct Prepared<T> {
+    bundle: Arc<CompiledBundle>,
+    _t: PhantomData<fn() -> T>,
+}
+
+// manual impl: cloning a prepared handle never requires `T: Clone`
+impl<T> Clone for Prepared<T> {
+    fn clone(&self) -> Prepared<T> {
+        Prepared {
+            bundle: self.bundle.clone(),
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<T> Prepared<T> {
+    /// The compiled bundle: plan DAG, serialized roots, decode layouts.
+    pub fn bundle(&self) -> &CompiledBundle {
+        &self.bundle
+    }
+}
 
 /// A connection to the database coprocessor.
 pub struct Connection {
-    db: Database,
+    db: Arc<RwLock<Database>>,
     rewriter: Option<PlanRewriter>,
+    backend: Arc<dyn Backend>,
+    cache: Arc<Mutex<PlanCache>>,
+}
+
+impl Clone for Connection {
+    fn clone(&self) -> Connection {
+        Connection {
+            db: self.db.clone(),
+            rewriter: self.rewriter.clone(),
+            backend: self.backend.clone(),
+            cache: self.cache.clone(),
+        }
+    }
 }
 
 impl Connection {
     pub fn new(db: Database) -> Connection {
-        Connection { db, rewriter: None }
+        Connection {
+            db: Arc::new(RwLock::new(db)),
+            rewriter: None,
+            backend: Arc::new(AlgebraBackend),
+            cache: Arc::new(Mutex::new(PlanCache::default())),
+        }
     }
 
-    /// Install a plan rewriter (e.g. `ferry_optimizer::optimize`) applied
-    /// to every compiled bundle before dispatch.
+    /// Install a plan rewriter (e.g. `ferry_optimizer::rewriter()`)
+    /// applied once, at prepare time, to every compiled bundle. Cached
+    /// bundles are already rewritten — a cache hit skips the optimizer
+    /// along with the compiler.
     pub fn with_optimizer(mut self, rewriter: PlanRewriter) -> Connection {
         self.rewriter = Some(rewriter);
         self
     }
 
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Select the execution backend (default: [`AlgebraBackend`]).
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Connection {
+        self.backend = backend;
+        self
     }
 
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// The active backend.
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
     }
 
-    /// Compile a query to its relational bundle (no execution) — the
-    /// artefact whose size the avalanche-safety guarantee speaks about.
+    /// Shared (read) access to the database. Concurrent readers do not
+    /// block each other; the guard derefs to [`Database`].
+    pub fn database(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap()
+    }
+
+    /// Exclusive (write) access to the database, for catalog mutations.
+    pub fn database_mut(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap()
+    }
+
+    /// Compile a query to its relational bundle (no execution, no cache)
+    /// — the artefact whose size the avalanche-safety guarantee speaks
+    /// about.
     pub fn compile<T: QA>(&self, q: &Q<T>) -> Result<CompiledBundle, FerryError> {
-        let mut bundle = compile_program(q.exp(), self)?;
+        self.compile_exp(q.exp())
+    }
+
+    fn compile_exp(&self, exp: &crate::exp::Exp) -> Result<CompiledBundle, FerryError> {
+        let mut bundle = compile_program(exp, self)?;
         if let Some(rw) = &self.rewriter {
             let roots = bundle.roots();
             let (plan, new_roots) = rw(&bundle.plan, &roots);
@@ -61,13 +162,67 @@ impl Connection {
         Ok(bundle)
     }
 
-    /// Execute a compiled bundle and return the raw relations (one per
-    /// bundle member).
+    /// Compile-or-fetch: returns the prepared handle for `q`, consulting
+    /// the plan cache first. Two alpha-equivalent queries prepared
+    /// against the same catalog schema share one compiled bundle, however
+    /// and whenever they were built.
+    pub fn prepare<T: QA>(&self, q: &Q<T>) -> Result<Prepared<T>, FerryError> {
+        let key: PlanKey = (q.exp().stable_hash(), self.database().schema_version());
+        if let Some(bundle) = self.cache.lock().unwrap().entries.get(&key).cloned() {
+            self.database().record_cache(true);
+            return Ok(Prepared {
+                bundle,
+                _t: PhantomData,
+            });
+        }
+        // compile outside the cache lock: compilation can be slow and
+        // other threads may be serving hits meanwhile
+        let bundle = Arc::new(self.compile_exp(q.exp())?);
+        let mut cache = self.cache.lock().unwrap();
+        // hygiene: a schema change strands entries under old versions
+        cache.entries.retain(|(_, v), _| *v == key.1);
+        let bundle = cache.entries.entry(key).or_insert(bundle).clone();
+        drop(cache);
+        self.database().record_cache(false);
+        Ok(Prepared {
+            bundle,
+            _t: PhantomData,
+        })
+    }
+
+    /// Number of bundles currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.cache.lock().unwrap().entries.len()
+    }
+
+    /// Drop every cached bundle.
+    pub fn clear_plan_cache(&self) {
+        self.cache.lock().unwrap().entries.clear();
+    }
+
+    /// Execute a prepared query and decode the result — the hot path:
+    /// no compilation, no optimisation, just dispatch + stitch + decode.
+    pub fn execute<T: QA>(&self, prepared: &Prepared<T>) -> Result<T, FerryError> {
+        T::from_val(&self.execute_val(prepared)?)
+    }
+
+    /// Like [`Connection::execute`] but stopping at the untyped nested
+    /// value (useful for oracle comparisons).
+    pub fn execute_val<T: QA>(&self, prepared: &Prepared<T>) -> Result<Val, FerryError> {
+        let rels = self.execute_bundle(prepared.bundle())?;
+        stitch(&rels, &prepared.bundle().queries)
+    }
+
+    /// Execute a compiled bundle through the configured backend and
+    /// return the raw relations (one per bundle member).
     pub fn execute_bundle(&self, bundle: &CompiledBundle) -> Result<Vec<Rel>, FerryError> {
-        Ok(self.db.execute_bundle(&bundle.plan, &bundle.roots())?)
+        let db = self.database();
+        self.backend.execute_bundle(&db, bundle)
     }
 
     /// Execute the query on the database and decode the result — `fromQ`.
+    /// Equivalent to `prepare` + `execute`; repeated calls with the same
+    /// query hit the plan cache.
     pub fn from_q<T: QA>(&self, q: &Q<T>) -> Result<T, FerryError> {
         let val = self.from_q_val(q)?;
         T::from_val(&val)
@@ -76,18 +231,20 @@ impl Connection {
     /// Like [`Connection::from_q`] but stopping at the untyped nested
     /// value (useful for oracle comparisons).
     pub fn from_q_val<T: QA>(&self, q: &Q<T>) -> Result<Val, FerryError> {
-        let bundle = self.compile(q)?;
-        let rels = self.execute_bundle(&bundle)?;
-        stitch(&rels, &bundle.queries)
+        let prepared = self.prepare(q)?;
+        self.execute_val(&prepared)
     }
 
     /// Export the catalog as in-heap tables for the reference interpreter:
     /// rows in canonical key order, columns in alphabetical order —
     /// exactly the view `table "name"` denotes.
-    pub fn interpreter_tables(&self) -> crate::interp::Tables {
+    pub fn interpreter_tables(&self) -> Result<crate::interp::Tables, FerryError> {
+        let db = self.database();
         let mut out = HashMap::new();
-        for name in self.db.table_names() {
-            let t = self.db.table(name).expect("listed table exists");
+        for name in db.table_names() {
+            let t = db
+                .table(name)
+                .ok_or_else(|| FerryError::Table(format!("listed table {name} disappeared")))?;
             let cols = t.schema.cols();
             let mut alpha: Vec<usize> = (0..cols.len()).collect();
             alpha.sort_by(|&i, &j| cols[i].0.cmp(&cols[j].0));
@@ -96,8 +253,15 @@ impl Connection {
             } else {
                 t.keys
                     .iter()
-                    .map(|k| t.schema.index_of(k).expect("key column"))
-                    .collect()
+                    .map(|k| {
+                        t.schema.index_of(k).ok_or_else(|| {
+                            FerryError::Table(format!(
+                                "table {name}: key column {k} not in schema {}",
+                                t.schema
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?
             };
             let mut rows = t.rows.clone();
             rows.sort_by(|a, b| {
@@ -112,51 +276,68 @@ impl Connection {
                 .map(|row| {
                     let cells: Vec<Val> = alpha
                         .iter()
-                        .map(|&i| Val::from_cell(&row[i]).expect("atomic cell"))
-                        .collect();
-                    if cells.len() == 1 {
+                        .map(|&i| {
+                            Val::from_cell(&row[i]).ok_or_else(|| {
+                                FerryError::Table(format!(
+                                    "table {name}: cell {} is not an atomic value",
+                                    row[i]
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    Ok(if cells.len() == 1 {
                         cells.into_iter().next().unwrap()
                     } else {
                         Val::Tuple(cells)
-                    }
+                    })
                 })
-                .collect();
+                .collect::<Result<_, FerryError>>()?;
             out.insert(name.to_string(), Val::List(vals));
         }
-        out
+        Ok(out)
     }
 
     /// Run the query through the reference interpreter instead of the
     /// database (same table view) — the semantics `from_q` must reproduce.
     pub fn interpret<T: QA>(&self, q: &Q<T>) -> Result<T, FerryError> {
-        let tables = self.interpreter_tables();
+        let tables = self.interpreter_tables()?;
         let val = crate::interp::interpret(q.exp(), &tables)?;
         T::from_val(&val)
     }
 
     /// Human-readable account of what `from_q` would do: the kernel term,
-    /// the bundle size, and each member's (optimized) plan rendering. No
-    /// query is executed.
+    /// the bundle size, each member's (optimized) algebra plan, and —
+    /// when the configured backend ships something other than the plan
+    /// itself (e.g. `SqlBackend`) — the exact text it would send, e.g.
+    /// the generated SQL:1999. No query is executed.
     pub fn explain<T: QA>(&self, q: &Q<T>) -> Result<String, FerryError> {
         use std::fmt::Write;
         let bundle = self.compile(q)?;
         let mut out = String::new();
         let _ = writeln!(out, "combinators: {}", q.exp());
         let _ = writeln!(out, "result type: {}", bundle.ty);
+        let _ = writeln!(out, "backend: {}", self.backend.name());
         let _ = writeln!(
             out,
             "bundle: {} quer{} ({} operators)",
             bundle.queries.len(),
-            if bundle.queries.len() == 1 { "y" } else { "ies" },
+            if bundle.queries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
             bundle.plan_size()
         );
+        let algebra = AlgebraBackend;
+        let db = self.database();
         for (i, qd) in bundle.queries.iter().enumerate() {
             let _ = writeln!(out, "-- query {} --", i + 1);
-            let _ = write!(
-                out,
-                "{}",
-                ferry_algebra::pretty::render(&bundle.plan, qd.root)
-            );
+            let _ = write!(out, "{}", algebra.render_root(&db, &bundle.plan, qd.root)?);
+            if self.backend.name() != algebra.name() {
+                let _ = writeln!(out, "-- query {} ({}) --", i + 1, self.backend.name());
+                let rendered = self.backend.render_root(&db, &bundle.plan, qd.root)?;
+                let _ = writeln!(out, "{}", rendered.trim_end());
+            }
         }
         Ok(out)
     }
@@ -164,7 +345,8 @@ impl Connection {
 
 impl SchemaProvider for Connection {
     fn table_info(&self, name: &str) -> Option<TableInfo> {
-        let t = self.db.table(name)?;
+        let db = self.database();
+        let t = db.table(name)?;
         Some(TableInfo {
             cols: t
                 .schema
@@ -174,5 +356,20 @@ impl SchemaProvider for Connection {
                 .collect(),
             keys: t.keys.clone(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Connection` clones and `Prepared` handles cross thread
+    /// boundaries; regressions here break the concurrent runtime.
+    #[test]
+    fn runtime_handles_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Connection>();
+        assert_send_sync::<Prepared<Vec<(String, Vec<String>)>>>();
+        assert_send_sync::<Arc<CompiledBundle>>();
     }
 }

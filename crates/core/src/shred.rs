@@ -29,7 +29,10 @@ pub enum VLayout {
     Tuple(Vec<VLayout>),
     /// A surrogate column linking to the rows of the inner query whose
     /// `nest` column carries matching values.
-    Nested { col: usize, query: usize },
+    Nested {
+        col: usize,
+        query: usize,
+    },
 }
 
 /// One member of the emitted bundle.
@@ -82,8 +85,7 @@ pub fn compile_program(
         Rep::Flat(fr) => {
             let my = reserve(&mut queries);
             let mut plan_node = fr.plan;
-            let (cooked, item_cols) =
-                cook_layout(&mut c, &mut plan_node, fr.layout, &mut queries);
+            let (cooked, item_cols) = cook_layout(&mut c, &mut plan_node, fr.layout, &mut queries);
             let mut cols: Vec<ColName> = fr.iter.clone();
             cols.extend(item_cols);
             let order: Vec<(ColName, Dir)> =
@@ -181,8 +183,13 @@ fn cook_layout(
                     surr.iter().map(|s| (s.clone(), Dir::Asc)).collect();
                 let key_map = c.plan.dense_rank(key_map1, cid.clone(), vec![], order);
                 // outer side: attach the canonical id
-                let (jp, rmap) =
-                    c.join_on_iter(*plan_node, &surr, key_map, &surr, std::slice::from_ref(&cid));
+                let (jp, rmap) = c.join_on_iter(
+                    *plan_node,
+                    &surr,
+                    key_map,
+                    &surr,
+                    std::slice::from_ref(&cid),
+                );
                 *plan_node = jp;
                 let out_col = rmap[&cid].clone();
                 item_cols.push(out_col.clone());
@@ -202,7 +209,10 @@ fn cook_layout(
                     layout: inner_lr.layout,
                 };
                 let query = shred_list(c, rekeyed, queries);
-                Cooked::Nested { col: out_col, query }
+                Cooked::Nested {
+                    col: out_col,
+                    query,
+                }
             }
         }
     }
@@ -220,9 +230,7 @@ fn index_layout(cooked: &Cooked, cols: &[ColName]) -> VLayout {
     };
     match cooked {
         Cooked::Atom(c) => VLayout::Atom(idx(c)),
-        Cooked::Tuple(ls) => {
-            VLayout::Tuple(ls.iter().map(|l| index_layout(l, cols)).collect())
-        }
+        Cooked::Tuple(ls) => VLayout::Tuple(ls.iter().map(|l| index_layout(l, cols)).collect()),
         Cooked::Nested { col, query } => VLayout::Nested {
             col: idx(col),
             query: *query,

@@ -107,10 +107,7 @@ mod tests {
         // @2 = [] (surrogate 2 absent from Q2)
         let q1 = Rel::new(
             Schema::of(&[("nest", Ty::Nat), ("pos", Ty::Nat), ("s", Ty::Nat)]),
-            vec![
-                vec![nat(1), nat(1), nat(1)],
-                vec![nat(1), nat(2), nat(2)],
-            ],
+            vec![vec![nat(1), nat(1), nat(1)], vec![nat(1), nat(2), nat(2)]],
         );
         let q2 = Rel::new(
             Schema::of(&[("nest", Ty::Nat), ("pos", Ty::Nat), ("item", Ty::Int)]),
@@ -131,10 +128,7 @@ mod tests {
         let v = stitch(&[q1, q2], &queries).unwrap();
         assert_eq!(
             v,
-            Val::List(vec![
-                Val::List(vec![Val::Int(10)]),
-                Val::List(vec![]),
-            ])
+            Val::List(vec![Val::List(vec![Val::Int(10)]), Val::List(vec![]),])
         );
     }
 

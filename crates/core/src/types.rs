@@ -5,7 +5,7 @@
 //! arguments); it can never be the type of a query result.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A Ferry (DSL-level) type.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -16,20 +16,20 @@ pub enum Ty {
     Dbl,
     Text,
     Tuple(Vec<Ty>),
-    List(Rc<Ty>),
+    List(Arc<Ty>),
     /// Function types appear only as combinator arguments; programs whose
     /// *result* contains a function are rejected by construction ("support
     /// for functions as first-class citizens" is future work, §5).
-    Fun(Rc<Ty>, Rc<Ty>),
+    Fun(Arc<Ty>, Arc<Ty>),
 }
 
 impl Ty {
     pub fn list(elem: Ty) -> Ty {
-        Ty::List(Rc::new(elem))
+        Ty::List(Arc::new(elem))
     }
 
     pub fn fun(arg: Ty, res: Ty) -> Ty {
-        Ty::Fun(Rc::new(arg), Rc::new(res))
+        Ty::Fun(Arc::new(arg), Arc::new(res))
     }
 
     pub fn is_atom(&self) -> bool {

@@ -8,12 +8,8 @@ use ferry_engine::Database;
 
 fn conn() -> Connection {
     let mut db = Database::new();
-    db.create_table(
-        "nums",
-        Schema::of(&[("n", Ty::Int)]),
-        vec!["n"],
-    )
-    .unwrap();
+    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
+        .unwrap();
     db.insert(
         "nums",
         vec![
@@ -454,10 +450,7 @@ fn take_while_inside_map_respects_iterations() {
         |n: Q<i64>| take_while(move |x: Q<i64>| x.lt(&n), nums()),
         toq(&vec![0i64, 2, 9]),
     );
-    assert_eq!(
-        check(&c, &q),
-        vec![vec![], vec![1, 1], vec![1, 1, 3, 4, 5]]
-    );
+    assert_eq!(check(&c, &q), vec![vec![], vec![1, 1], vec![1, 1, 3, 4, 5]]);
 }
 
 #[test]
@@ -546,10 +539,7 @@ fn option_accessors() {
     assert!(!check(&c, &n.is_some()));
     assert_eq!(check(&c, &s.unwrap_or(&toq(&0i64))), 7);
     assert_eq!(check(&c, &n.unwrap_or(&toq(&42i64))), 42);
-    assert_eq!(
-        check(&c, &s.map_or(toq(&0i64), |x| x + toq(&1i64))),
-        8
-    );
+    assert_eq!(check(&c, &s.map_or(toq(&0i64), |x| x + toq(&1i64))), 8);
 }
 
 #[test]

@@ -1,0 +1,195 @@
+//! The prepared-plan cache: hits must be semantically invisible.
+//!
+//! Three-way oracle (property tested): for any query in the family below,
+//! the value computed via a **cache hit** equals the value from a **fresh
+//! compile-and-execute** on a new `Connection`, and both equal the
+//! **reference interpreter**. Plus unit tests pinning the invalidation
+//! policy: catalog schema changes invalidate, row inserts do not
+//! (compiled bundles are data-independent), and alpha-equivalent query
+//! constructions share one bundle.
+
+use ferry::prelude::*;
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_engine::Database;
+use proptest::prelude::*;
+
+fn database() -> Database {
+    let mut db = Database::new();
+    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
+        .unwrap();
+    db.insert(
+        "nums",
+        vec![
+            vec![Value::Int(3)],
+            vec![Value::Int(1)],
+            vec![Value::Int(4)],
+            vec![Value::Int(1)],
+            vec![Value::Int(5)],
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "emp",
+        Schema::of(&[("dept", Ty::Str), ("name", Ty::Str), ("sal", Ty::Int)]),
+        vec!["name"],
+    )
+    .unwrap();
+    db.insert(
+        "emp",
+        vec![
+            vec![Value::str("eng"), Value::str("ada"), Value::Int(90)],
+            vec![Value::str("eng"), Value::str("bob"), Value::Int(70)],
+            vec![Value::str("ops"), Value::str("cy"), Value::Int(50)],
+            vec![Value::str("eng"), Value::str("dan"), Value::Int(70)],
+            vec![Value::str("hr"), Value::str("eve"), Value::Int(60)],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+/// A small family of queries indexed by property-test parameters: filter
+/// threshold, post-map offset, and which shape (flat map/filter over
+/// `nums` vs a nested per-department listing over `emp`).
+fn nums_query(thresh: i64, add: i64) -> Q<Vec<i64>> {
+    map(
+        move |x: Q<i64>| x + toq(&add),
+        filter(move |x: Q<i64>| x.lt(&toq(&thresh)), table::<i64>("nums")),
+    )
+}
+
+fn emp_query(cutoff: i64) -> Q<Vec<(String, Vec<String>)>> {
+    let earners = ferry::comp!(
+        (pair(dept, name))
+        for (dept, name, sal) in table::<(String, String, i64)>("emp"),
+        if sal.ge(&toq(&cutoff))
+    );
+    map(
+        |g: Q<Vec<(String, String)>>| {
+            pair(
+                the(map(|p: Q<(String, String)>| p.fst(), g.clone())),
+                map(|p: Q<(String, String)>| p.snd(), g),
+            )
+        },
+        group_with(|p: Q<(String, String)>| p.fst(), earners),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cache_hit_equals_fresh_compile_equals_interpreter(
+        thresh in -1i64..9,
+        add in -3i64..4,
+    ) {
+        let q = nums_query(thresh, add);
+        let conn = Connection::new(database());
+
+        let cold = conn.from_q(&q).unwrap();          // miss: full compile
+        let warm = conn.from_q(&q).unwrap();          // hit: cached bundle
+        let fresh = Connection::new(database()).from_q(&q).unwrap();
+        let oracle = conn.interpret(&q).unwrap();
+
+        let stats = conn.database().stats();
+        prop_assert_eq!(stats.cache_misses, 1);
+        prop_assert!(stats.cache_hits >= 1);
+        prop_assert_eq!(&warm, &cold);
+        prop_assert_eq!(&fresh, &cold);
+        prop_assert_eq!(&oracle, &cold);
+    }
+
+    #[test]
+    fn nested_query_cache_hit_oracle(cutoff in 40i64..100) {
+        let q = emp_query(cutoff);
+        let conn = Connection::new(database());
+        let prepared = conn.prepare(&q).unwrap();
+
+        let via_prepared = conn.execute(&prepared).unwrap();
+        let via_from_q = conn.from_q(&q).unwrap();    // must hit the cache
+        let fresh = Connection::new(database()).from_q(&q).unwrap();
+        let oracle = conn.interpret(&q).unwrap();
+
+        let stats = conn.database().stats();
+        prop_assert_eq!(stats.cache_misses, 1);
+        prop_assert_eq!(stats.cache_hits, 1);
+        prop_assert_eq!(&via_from_q, &via_prepared);
+        prop_assert_eq!(&fresh, &via_prepared);
+        prop_assert_eq!(&oracle, &via_prepared);
+    }
+}
+
+#[test]
+fn schema_change_invalidates_the_cache() {
+    let conn = Connection::new(database());
+    let q = nums_query(10, 0);
+
+    conn.prepare(&q).unwrap();
+    conn.prepare(&q).unwrap();
+    let stats = conn.database().stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    assert_eq!(conn.plan_cache_len(), 1);
+
+    // DDL bumps the schema version: the cached bundle may now be stale
+    // (e.g. the new table shadows nothing here, but the runtime cannot
+    // know that cheaply), so the next prepare must recompile.
+    conn.database_mut()
+        .create_table("extra", Schema::of(&[("x", Ty::Int)]), vec!["x"])
+        .unwrap();
+    conn.prepare(&q).unwrap();
+    let stats = conn.database().stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (2, 1));
+    // entries under the old schema version are pruned, not leaked
+    assert_eq!(conn.plan_cache_len(), 1);
+}
+
+#[test]
+fn row_inserts_do_not_invalidate() {
+    // compiled bundles are data-independent: only DDL, never DML, may
+    // invalidate them (this is what makes prepare-once/execute-many safe)
+    let conn = Connection::new(database());
+    let q = nums_query(10, 0);
+    let prepared = conn.prepare(&q).unwrap();
+    assert_eq!(conn.execute(&prepared).unwrap(), vec![1, 1, 3, 4, 5]);
+
+    conn.database_mut()
+        .insert("nums", vec![vec![Value::Int(2)]])
+        .unwrap();
+    conn.prepare(&q).unwrap(); // still a hit
+    let stats = conn.database().stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    // and the prepared handle sees the new row: plans are views, not
+    // snapshots
+    assert_eq!(conn.execute(&prepared).unwrap(), vec![1, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn alpha_equivalent_constructions_share_one_bundle() {
+    // two builds of "the same" query draw different fresh variables; the
+    // de Bruijn cache key must identify them anyway
+    let conn = Connection::new(database());
+    conn.prepare(&nums_query(4, 1)).unwrap();
+    conn.prepare(&nums_query(4, 1)).unwrap(); // fresh AST, same key
+    let stats = conn.database().stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    assert_eq!(conn.plan_cache_len(), 1);
+
+    // different constants are different queries
+    conn.prepare(&nums_query(5, 1)).unwrap();
+    assert_eq!(conn.database().stats().cache_misses, 2);
+    assert_eq!(conn.plan_cache_len(), 2);
+}
+
+#[test]
+fn clones_share_the_cache() {
+    let conn = Connection::new(database());
+    let clone = conn.clone();
+    conn.prepare(&nums_query(3, 0)).unwrap();
+    clone.prepare(&nums_query(3, 0)).unwrap(); // hit via the clone
+    let stats = clone.database().stats();
+    assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    assert_eq!(clone.plan_cache_len(), 1);
+
+    conn.clear_plan_cache();
+    assert_eq!(clone.plan_cache_len(), 0);
+}

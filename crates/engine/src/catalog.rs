@@ -31,6 +31,12 @@ pub struct Database {
     tables: HashMap<String, BaseTable>,
     dispatch_cost: Duration,
     stats: Mutex<QueryStats>,
+    /// Monotone counter bumped whenever the *schema* of the catalog
+    /// changes (tables created, replaced or force-installed). Compiled
+    /// plans are data-independent, so row inserts do **not** bump it —
+    /// the runtime's plan cache keys on this version to invalidate
+    /// bundles exactly when recompilation could change them.
+    schema_version: u64,
 }
 
 impl Database {
@@ -62,7 +68,36 @@ impl Database {
                 rows: Vec::new(),
             },
         );
+        self.schema_version += 1;
         Ok(())
+    }
+
+    /// Install a table **without** the `create_table` validation — the
+    /// restore-from-snapshot escape hatch. The caller is responsible for
+    /// the invariants (`keys ⊆ schema`, row cells typed per schema);
+    /// consumers such as `Connection::interpreter_tables` must therefore
+    /// report violations as errors rather than assume them impossible.
+    pub fn install_table(&mut self, name: impl Into<String>, table: BaseTable) {
+        self.tables.insert(name.into(), table);
+        self.schema_version += 1;
+    }
+
+    /// The current schema version (see the field docs).
+    pub fn schema_version(&self) -> u64 {
+        self.schema_version
+    }
+
+    /// Record a plan-cache outcome in this database's [`QueryStats`].
+    /// The cache itself lives in the runtime (`ferry::Connection`); the
+    /// counters live here so one `stats()` call tells the whole story of
+    /// a workload (queries dispatched *and* compilations amortised).
+    pub fn record_cache(&self, hit: bool) {
+        let mut stats = self.stats.lock().unwrap();
+        if hit {
+            stats.cache_hits += 1;
+        } else {
+            stats.cache_misses += 1;
+        }
     }
 
     /// Append rows to a base table (types are checked).
@@ -75,7 +110,11 @@ impl Database {
             if row.len() != table.schema.len() {
                 return Err(EngineError::TableMismatch {
                     table: name.to_string(),
-                    detail: format!("row width {} != schema width {}", row.len(), table.schema.len()),
+                    detail: format!(
+                        "row width {} != schema width {}",
+                        row.len(),
+                        table.schema.len()
+                    ),
                 });
             }
             for (v, (c, t)) in row.iter().zip(table.schema.cols()) {
@@ -132,11 +171,7 @@ impl Database {
 
     /// Dispatch a bundle of queries (one `execute` each) and collect the
     /// results in order.
-    pub fn execute_bundle(
-        &self,
-        plan: &Plan,
-        roots: &[NodeId],
-    ) -> Result<Vec<Rel>, EngineError> {
+    pub fn execute_bundle(&self, plan: &Plan, roots: &[NodeId]) -> Result<Vec<Rel>, EngineError> {
         roots.iter().map(|&r| self.execute(plan, r)).collect()
     }
 }

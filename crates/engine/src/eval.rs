@@ -29,7 +29,9 @@ pub fn bind(expr: &Expr, schema: &Schema) -> Bound {
                 .unwrap_or_else(|| panic!("unbound column {c} in {schema}")),
         ),
         Expr::Const(v) => Bound::Const(v.clone()),
-        Expr::Bin(op, l, r) => Bound::Bin(*op, Box::new(bind(l, schema)), Box::new(bind(r, schema))),
+        Expr::Bin(op, l, r) => {
+            Bound::Bin(*op, Box::new(bind(l, schema)), Box::new(bind(r, schema)))
+        }
         Expr::Un(op, e) => Bound::Un(*op, Box::new(bind(e, schema))),
         Expr::Case(c, t, e) => Bound::Case(
             Box::new(bind(c, schema)),
@@ -52,13 +54,16 @@ pub fn eval(b: &Bound, row: &Row) -> Result<Value, EngineError> {
         Bound::Bin(op, l, r) => {
             // short-circuit logic first
             if matches!(op, BinOp::And | BinOp::Or) {
-                let lv = eval(l, row)?.as_bool().ok_or_else(|| ee("AND/OR on non-bool"))?;
+                let lv = eval(l, row)?
+                    .as_bool()
+                    .ok_or_else(|| ee("AND/OR on non-bool"))?;
                 return match (op, lv) {
                     (BinOp::And, false) => Ok(Value::Bool(false)),
                     (BinOp::Or, true) => Ok(Value::Bool(true)),
                     _ => {
-                        let rv =
-                            eval(r, row)?.as_bool().ok_or_else(|| ee("AND/OR on non-bool"))?;
+                        let rv = eval(r, row)?
+                            .as_bool()
+                            .ok_or_else(|| ee("AND/OR on non-bool"))?;
                         Ok(Value::Bool(rv))
                     }
                 };
@@ -196,7 +201,12 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::of(&[("a", Ty::Int), ("b", Ty::Int), ("p", Ty::Bool), ("s", Ty::Str)])
+        Schema::of(&[
+            ("a", Ty::Int),
+            ("b", Ty::Int),
+            ("p", Ty::Bool),
+            ("s", Ty::Str),
+        ])
     }
 
     fn row() -> Row {

@@ -9,9 +9,7 @@ use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::eval::{bind, eval};
 use crate::stats::QueryStats;
-use ferry_algebra::{
-    AggFun, Dir, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value,
-};
+use ferry_algebra::{AggFun, Dir, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
@@ -35,7 +33,9 @@ pub fn run(
 }
 
 fn child(results: &[Option<Rel>], id: NodeId) -> &Rel {
-    results[id.index()].as_ref().expect("child evaluated before parent")
+    results[id.index()]
+        .as_ref()
+        .expect("child evaluated before parent")
 }
 
 /// Compare two rows on the given `(index, direction)` spec.
@@ -262,14 +262,24 @@ fn eval_node(
             input, part, order, ..
         } => {
             let rel = child(results, *input);
-            Ok(windowed(rel, part, order, out_schema, WindowKind::DenseRank))
+            Ok(windowed(
+                rel,
+                part,
+                order,
+                out_schema,
+                WindowKind::DenseRank,
+            ))
         }
         Node::GroupBy { input, keys, aggs } => {
             let rel = child(results, *input);
             let ki = resolve_cols(&rel.schema, keys);
             let ai: Vec<Option<usize>> = aggs
                 .iter()
-                .map(|a| a.input.as_ref().map(|c| rel.schema.index_of(c).expect("validated")))
+                .map(|a| {
+                    a.input
+                        .as_ref()
+                        .map(|c| rel.schema.index_of(c).expect("validated"))
+                })
                 .collect();
             // group rows by key, first-occurrence order
             let mut order: Vec<Vec<Value>> = Vec::new();
@@ -299,11 +309,12 @@ fn eval_node(
             let rel = child(results, *input);
             let spec = resolve_sort(&rel.schema, order);
             let mut idxs: Vec<usize> = (0..rel.len()).collect();
-            idxs.sort_by(|&a, &b| {
-                cmp_rows(&rel.rows[a], &rel.rows[b], &spec).then(a.cmp(&b))
-            });
+            idxs.sort_by(|&a, &b| cmp_rows(&rel.rows[a], &rel.rows[b], &spec).then(a.cmp(&b)));
             let ci = resolve_cols(&rel.schema, cols);
-            let rows = idxs.into_iter().map(|i| key_of(&rel.rows[i], &ci)).collect();
+            let rows = idxs
+                .into_iter()
+                .map(|i| key_of(&rel.rows[i], &ci))
+                .collect();
             Ok(Rel::new(out_schema, rows))
         }
     }

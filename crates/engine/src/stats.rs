@@ -17,6 +17,13 @@ pub struct QueryStats {
     pub nodes_evaluated: u64,
     /// Total rows produced by intermediate operators (a rough work metric).
     pub rows_produced: u64,
+    /// Prepared-plan cache hits recorded by the runtime (`Connection`):
+    /// a `prepare`/`from_q` served an existing `CompiledBundle` without
+    /// recompiling.
+    pub cache_hits: u64,
+    /// … and misses: compilations that went through the full
+    /// loop-lifting + optimisation pipeline.
+    pub cache_misses: u64,
 }
 
 impl QueryStats {
@@ -36,6 +43,8 @@ mod tests {
             rows_out: 10,
             nodes_evaluated: 5,
             rows_produced: 100,
+            cache_hits: 2,
+            cache_misses: 1,
         };
         s.reset();
         assert_eq!(s, QueryStats::default());

@@ -43,7 +43,11 @@ fn exec(db: &Database, plan: &Plan, root: ferry_algebra::NodeId) -> Rel {
 fn emp_ref(p: &mut Plan) -> ferry_algebra::NodeId {
     p.table(
         "emp",
-        vec![(cn("dept"), Ty::Str), (cn("name"), Ty::Str), (cn("sal"), Ty::Int)],
+        vec![
+            (cn("dept"), Ty::Str),
+            (cn("name"), Ty::Str),
+            (cn("sal"), Ty::Int),
+        ],
         vec![cn("name")],
     )
 }
@@ -83,10 +87,20 @@ fn select_compute_project() {
     let mut p = Plan::new();
     let t = emp_ref(&mut p);
     let hi = p.select(t, Expr::bin(BinOp::Ge, Expr::col("sal"), Expr::lit(70i64)));
-    let bonus = p.compute(hi, "bonus", Expr::bin(BinOp::Div, Expr::col("sal"), Expr::lit(10i64)));
-    let proj = p.project(bonus, vec![(cn("who"), cn("name")), (cn("bonus"), cn("bonus"))]);
+    let bonus = p.compute(
+        hi,
+        "bonus",
+        Expr::bin(BinOp::Div, Expr::col("sal"), Expr::lit(10i64)),
+    );
+    let proj = p.project(
+        bonus,
+        vec![(cn("who"), cn("name")), (cn("bonus"), cn("bonus"))],
+    );
     let r = exec(&db, &p, proj);
-    assert_eq!(r.schema, Schema::of(&[("who", Ty::Str), ("bonus", Ty::Int)]));
+    assert_eq!(
+        r.schema,
+        Schema::of(&[("who", Ty::Str), ("bonus", Ty::Int)])
+    );
     assert_eq!(r.len(), 3);
     let bonuses: Vec<i64> = r.column("bonus").map(|x| x.as_int().unwrap()).collect();
     assert_eq!(bonuses, vec![9, 7, 7]);
@@ -146,7 +160,10 @@ fn cross_join_product() {
     let db = db();
     let mut p = Plan::new();
     let a = p.lit(Schema::of(&[("x", Ty::Int)]), vec![vec![v(1)], vec![v(2)]]);
-    let b = p.lit(Schema::of(&[("y", Ty::Str)]), vec![vec![s("a")], vec![s("b")]]);
+    let b = p.lit(
+        Schema::of(&[("y", Ty::Str)]),
+        vec![vec![s("a")], vec![s("b")]],
+    );
     let c = p.cross(a, b);
     let r = exec(&db, &p, c);
     assert_eq!(r.len(), 4);
@@ -221,7 +238,12 @@ fn rownum_partitions_and_orders() {
     let rows: Vec<(String, u64)> = r
         .rows
         .iter()
-        .map(|row| (row[1].as_str().unwrap().to_string(), row[2].as_nat().unwrap()))
+        .map(|row| {
+            (
+                row[1].as_str().unwrap().to_string(),
+                row[2].as_nat().unwrap(),
+            )
+        })
         .collect();
     assert_eq!(
         rows,
@@ -240,7 +262,11 @@ fn dense_rank_assigns_surrogates() {
     let mut p = Plan::new();
     let t = emp_ref(&mut p);
     let dr = p.dense_rank(t, "grp", vec![], vec![(cn("dept"), Dir::Asc)]);
-    let ser = p.serialize(dr, vec![(cn("name"), Dir::Asc)], vec![cn("name"), cn("grp")]);
+    let ser = p.serialize(
+        dr,
+        vec![(cn("name"), Dir::Asc)],
+        vec![cn("name"), cn("grp")],
+    );
     let r = exec(&db, &p, ser);
     let grp: Vec<u64> = r.column("grp").map(|x| x.as_nat().unwrap()).collect();
     // ada,bob,dan in eng (group 1), cy in ops (group 2)
@@ -282,22 +308,61 @@ fn group_by_aggregates() {
         t,
         vec![cn("dept")],
         vec![
-            Aggregate { fun: AggFun::CountAll, input: None, output: cn("n") },
-            Aggregate { fun: AggFun::Sum, input: Some(cn("sal")), output: cn("total") },
-            Aggregate { fun: AggFun::Min, input: Some(cn("name")), output: cn("first") },
-            Aggregate { fun: AggFun::Max, input: Some(cn("sal")), output: cn("top") },
-            Aggregate { fun: AggFun::Avg, input: Some(cn("sal")), output: cn("avg") },
+            Aggregate {
+                fun: AggFun::CountAll,
+                input: None,
+                output: cn("n"),
+            },
+            Aggregate {
+                fun: AggFun::Sum,
+                input: Some(cn("sal")),
+                output: cn("total"),
+            },
+            Aggregate {
+                fun: AggFun::Min,
+                input: Some(cn("name")),
+                output: cn("first"),
+            },
+            Aggregate {
+                fun: AggFun::Max,
+                input: Some(cn("sal")),
+                output: cn("top"),
+            },
+            Aggregate {
+                fun: AggFun::Avg,
+                input: Some(cn("sal")),
+                output: cn("avg"),
+            },
         ],
     );
-    let ser = p.serialize(g, vec![(cn("dept"), Dir::Asc)], vec![
-        cn("dept"), cn("n"), cn("total"), cn("first"), cn("top"), cn("avg"),
-    ]);
+    let ser = p.serialize(
+        g,
+        vec![(cn("dept"), Dir::Asc)],
+        vec![
+            cn("dept"),
+            cn("n"),
+            cn("total"),
+            cn("first"),
+            cn("top"),
+            cn("avg"),
+        ],
+    );
     let r = exec(&db, &p, ser);
-    assert_eq!(r.rows[0], vec![
-        s("eng"), v(3), v(230), s("ada"), v(90),
-        Value::Dbl(230.0 / 3.0)
-    ]);
-    assert_eq!(r.rows[1], vec![s("ops"), v(1), v(50), s("cy"), v(50), Value::Dbl(50.0)]);
+    assert_eq!(
+        r.rows[0],
+        vec![
+            s("eng"),
+            v(3),
+            v(230),
+            s("ada"),
+            v(90),
+            Value::Dbl(230.0 / 3.0)
+        ]
+    );
+    assert_eq!(
+        r.rows[1],
+        vec![s("ops"), v(1), v(50), s("cy"), v(50), Value::Dbl(50.0)]
+    );
 }
 
 #[test]
@@ -316,11 +381,23 @@ fn group_by_bool_aggregates() {
         t,
         vec![cn("k")],
         vec![
-            Aggregate { fun: AggFun::All, input: Some(cn("b")), output: cn("all") },
-            Aggregate { fun: AggFun::Any, input: Some(cn("b")), output: cn("any") },
+            Aggregate {
+                fun: AggFun::All,
+                input: Some(cn("b")),
+                output: cn("all"),
+            },
+            Aggregate {
+                fun: AggFun::Any,
+                input: Some(cn("b")),
+                output: cn("any"),
+            },
         ],
     );
-    let ser = p.serialize(g, vec![(cn("k"), Dir::Asc)], vec![cn("k"), cn("all"), cn("any")]);
+    let ser = p.serialize(
+        g,
+        vec![(cn("k"), Dir::Asc)],
+        vec![cn("k"), cn("all"), cn("any")],
+    );
     let r = exec(&db, &p, ser);
     assert_eq!(r.rows[0], vec![v(1), Value::Bool(false), Value::Bool(true)]);
     assert_eq!(r.rows[1], vec![v(2), Value::Bool(true), Value::Bool(true)]);
@@ -334,7 +411,11 @@ fn group_by_empty_input_yields_no_groups() {
     let g = p.group_by(
         t,
         vec![cn("k")],
-        vec![Aggregate { fun: AggFun::CountAll, input: None, output: cn("n") }],
+        vec![Aggregate {
+            fun: AggFun::CountAll,
+            input: None,
+            output: cn("n"),
+        }],
     );
     let r = exec(&db, &p, g);
     assert!(r.is_empty());
@@ -402,7 +483,11 @@ fn runtime_error_surfaces() {
     let db = db();
     let mut p = Plan::new();
     let t = p.lit(Schema::of(&[("x", Ty::Int)]), vec![vec![v(1)], vec![v(0)]]);
-    let c = p.compute(t, "y", Expr::bin(BinOp::Div, Expr::lit(10i64), Expr::col("x")));
+    let c = p.compute(
+        t,
+        "y",
+        Expr::bin(BinOp::Div, Expr::lit(10i64), Expr::col("x")),
+    );
     assert!(matches!(
         db.execute(&p, c),
         Err(ferry_engine::EngineError::Eval(_))

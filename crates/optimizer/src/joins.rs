@@ -25,9 +25,7 @@
 //! iteration keys make sure the hot paths do not hide behind one.
 
 use crate::rewrite::{rebuild, Emit};
-use ferry_algebra::{
-    infer_schema, BinOp, ColName, Expr, JoinCols, Node, NodeId, Plan, Schema,
-};
+use ferry_algebra::{infer_schema, BinOp, ColName, Expr, JoinCols, Node, NodeId, Plan, Schema};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,15 +67,10 @@ fn step(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>, bool) {
         // schema of the i-th child (schemas are preserved by every rewrite,
         // so old-plan schemas remain valid for the new children)
         let old_children = plan.node(old_id).children();
-        let child_schema =
-            |i: usize| -> &Schema { &schemas[old_children[i].index()] };
+        let child_schema = |i: usize| -> &Schema { &schemas[old_children[i].index()] };
         let emit = match &node {
-            Node::Select { input, pred } => {
-                push_select(out, *input, pred, child_schema(0))
-            }
-            Node::Compute { input, col, expr } => {
-                push_compute_into_cross(out, *input, col, expr)
-            }
+            Node::Select { input, pred } => push_select(out, *input, pred, child_schema(0)),
+            Node::Compute { input, col, expr } => push_compute_into_cross(out, *input, col, expr),
             Node::EquiJoin { left, right, on } => rotate_join(
                 out,
                 JoinKind::Equi,
@@ -193,12 +186,7 @@ fn and_all(mut es: Vec<Expr>) -> Expr {
 
 /// One descent step for `σ_pred(input)`. Returns `None` when no rewrite
 /// applies.
-fn push_select(
-    out: &mut Plan,
-    input: NodeId,
-    pred: &Expr,
-    _in_schema: &Schema,
-) -> Option<Emit> {
+fn push_select(out: &mut Plan, input: NodeId, pred: &Expr, _in_schema: &Schema) -> Option<Emit> {
     let child = out.node(input).clone();
     match child {
         Node::Project { input: g, cols } => {
@@ -207,7 +195,11 @@ fn push_select(
             let sel = out.select(g, pred2);
             Some(Emit::Replace(Node::Project { input: sel, cols }))
         }
-        Node::Compute { input: g, col, expr } => {
+        Node::Compute {
+            input: g,
+            col,
+            expr,
+        } => {
             let pred2 = substitute(pred, &col, &expr);
             let sel = out.select(g, pred2);
             Some(Emit::Replace(Node::Compute {
@@ -216,7 +208,11 @@ fn push_select(
                 expr,
             }))
         }
-        Node::Attach { input: g, col, value } => {
+        Node::Attach {
+            input: g,
+            col,
+            value,
+        } => {
             let pred2 = substitute(pred, &col, &Expr::Const(value.clone()));
             let sel = out.select(g, pred2);
             Some(Emit::Replace(Node::Attach {
@@ -336,10 +332,7 @@ fn push_select(
                 on.left.push(a);
                 on.right.push(b);
             }
-            let had_computed_keys = on
-                .left
-                .iter()
-                .any(|c| c.starts_with("__ek"));
+            let had_computed_keys = on.left.iter().any(|c| c.starts_with("__ek"));
             let joined = if on.left.is_empty() {
                 out.cross(l2, r2)
             } else {
@@ -366,13 +359,20 @@ fn push_select(
                 }))
             }
         }
-        Node::GroupBy { input: g, keys, aggs } => {
+        Node::GroupBy {
+            input: g,
+            keys,
+            aggs,
+        } => {
             // predicates over group keys commute with grouping
-            if !subset(&cols_of(pred), &Schema::new(
-                keys.iter()
-                    .map(|k| (k.clone(), ferry_algebra::Ty::Nat))
-                    .collect(),
-            )) {
+            if !subset(
+                &cols_of(pred),
+                &Schema::new(
+                    keys.iter()
+                        .map(|k| (k.clone(), ferry_algebra::Ty::Nat))
+                        .collect(),
+                ),
+            ) {
                 // (type payload irrelevant — containment check only)
                 return None;
             }
@@ -582,14 +582,10 @@ fn infer_one(node: &Node, known: &HashMap<NodeId, Schema>) -> Option<Schema> {
             s
         }
         Node::Select { input, .. } | Node::Distinct { input } => known.get(input)?.clone(),
-        Node::UnionAll { left, .. } | Node::Difference { left, .. } => {
-            known.get(left)?.clone()
-        }
+        Node::UnionAll { left, .. } | Node::Difference { left, .. } => known.get(left)?.clone(),
         Node::CrossJoin { left, right }
         | Node::EquiJoin { left, right, .. }
-        | Node::ThetaJoin { left, right, .. } => {
-            known.get(left)?.concat(known.get(right)?)
-        }
+        | Node::ThetaJoin { left, right, .. } => known.get(left)?.concat(known.get(right)?),
         Node::SemiJoin { left, .. } | Node::AntiJoin { left, .. } => known.get(left)?.clone(),
         Node::RowNum { input, col, .. }
         | Node::RowRank { input, col, .. }
@@ -644,7 +640,10 @@ fn rotate_join(
     if matches!(kind, JoinKind::Equi)
         && sees_cross(out, right, 4)
         && !sees_cross(out, left, 4)
-        && !matches!(lchild, Node::CrossJoin { .. } | Node::Project { .. } | Node::Attach { .. })
+        && !matches!(
+            lchild,
+            Node::CrossJoin { .. } | Node::Project { .. } | Node::Attach { .. }
+        )
     {
         let flipped = out.equi_join(
             right,
@@ -689,7 +688,10 @@ fn rotate_join(
             } else if on.left.iter().all(|c| sb.contains(c)) {
                 // ⋈(a × b, r) ⇒ a × ⋈(b, r) — order a b r is preserved
                 let inner = mk_join(out, b, right, on.clone());
-                Some(Emit::Replace(Node::CrossJoin { left: a, right: inner }))
+                Some(Emit::Replace(Node::CrossJoin {
+                    left: a,
+                    right: inner,
+                }))
             } else if on.left.iter().all(|c| sa.contains(c) || sb.contains(c)) {
                 // mixed keys: ⋈_{a.x=r.x ∧ b.y=r.y}(a × b, r)
                 //           ⇒ ⋈_{r.y=b.y}(⋈_{a.x=r.x}(a, r), b)
@@ -699,8 +701,14 @@ fn rotate_join(
                     return mixed_semi_to_equi(out, kind, left, right, on, &sa, &sb);
                 }
                 let rs = schema_of(out, right)?;
-                let mut on_a = JoinCols { left: vec![], right: vec![] };
-                let mut on_b = JoinCols { left: vec![], right: vec![] };
+                let mut on_a = JoinCols {
+                    left: vec![],
+                    right: vec![],
+                };
+                let mut on_b = JoinCols {
+                    left: vec![],
+                    right: vec![],
+                };
                 for (l, r) in on.left.iter().zip(on.right.iter()) {
                     if sa.contains(l) {
                         on_a.left.push(l.clone());
@@ -726,9 +734,12 @@ fn rotate_join(
         Node::Project { input: g, cols } => {
             // stacked projections block the rules below: compose them
             // first (Project ∘ Project ⇒ Project)
-            if let Node::Project { input: gg, cols: inner } = out.node(g).clone() {
-                let imap: HashMap<&ColName, &ColName> =
-                    inner.iter().map(|(n, o)| (n, o)).collect();
+            if let Node::Project {
+                input: gg,
+                cols: inner,
+            } = out.node(g).clone()
+            {
+                let imap: HashMap<&ColName, &ColName> = inner.iter().map(|(n, o)| (n, o)).collect();
                 let composed: Option<Vec<(ColName, ColName)>> = cols
                     .iter()
                     .map(|(new, mid)| imap.get(mid).map(|o| (new.clone(), (*o).clone())))
@@ -749,7 +760,11 @@ fn rotate_join(
                 // input is a cross, rename *inside* its factors so the
                 // collision disappears for good (renaming above the cross
                 // would just be pulled and re-collide).
-                let Node::CrossJoin { left: ca, right: cb } = out.node(g).clone() else {
+                let Node::CrossJoin {
+                    left: ca,
+                    right: cb,
+                } = out.node(g).clone()
+                else {
                     return None;
                 };
                 let sa = schema_of(out, ca)?;
@@ -757,15 +772,14 @@ fn rotate_join(
                 let salt = out.len();
                 let mut fmap: HashMap<ColName, ColName> = HashMap::new();
                 let fresh_side = |out: &mut Plan,
-                                      side: NodeId,
-                                      schema: &Schema,
-                                      fmap: &mut HashMap<ColName, ColName>|
+                                  side: NodeId,
+                                  schema: &Schema,
+                                  fmap: &mut HashMap<ColName, ColName>|
                  -> NodeId {
                     let proj: Vec<(ColName, ColName)> = schema
                         .names()
                         .map(|n| {
-                            let f: ColName =
-                                Arc::from(format!("__jr{salt}_{}", fmap.len()));
+                            let f: ColName = Arc::from(format!("__jr{salt}_{}", fmap.len()));
                             fmap.insert(n.clone(), f.clone());
                             (f, n.clone())
                         })
@@ -803,7 +817,11 @@ fn rotate_join(
                 cols: out_cols,
             }))
         }
-        Node::Attach { input: g, col, value } => {
+        Node::Attach {
+            input: g,
+            col,
+            value,
+        } => {
             if on.left.contains(&col) {
                 return None;
             }

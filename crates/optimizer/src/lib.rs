@@ -109,9 +109,10 @@ pub fn reachable_width(plan: &Plan, roots: &[NodeId]) -> usize {
     seen.iter().map(|id| schemas[id.index()].len()).sum()
 }
 
-/// Convenience: a boxed rewriter suitable for
-/// `ferry::Connection::with_optimizer`.
+/// Convenience: a shareable rewriter suitable for
+/// `ferry::Connection::with_optimizer` (the `Arc` lets every clone of a
+/// concurrent `Connection` hold the same rewriter).
 #[allow(clippy::type_complexity)]
-pub fn rewriter() -> Box<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync> {
-    Box::new(optimize)
+pub fn rewriter() -> std::sync::Arc<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync> {
+    std::sync::Arc::new(optimize)
 }

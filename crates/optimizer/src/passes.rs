@@ -1,9 +1,7 @@
 //! The rewrite passes.
 
 use crate::rewrite::{rebuild, Emit};
-use ferry_algebra::{
-    infer_schema, BinOp, ColName, Expr, Node, NodeId, Plan, Schema, UnOp, Value,
-};
+use ferry_algebra::{infer_schema, BinOp, ColName, Expr, Node, NodeId, Plan, Schema, UnOp, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -60,8 +58,7 @@ pub fn merge_projects(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
             cols: inner,
         } = out.node(*input)
         {
-            let inner: HashMap<&ColName, &ColName> =
-                inner.iter().map(|(n, o)| (n, o)).collect();
+            let inner: HashMap<&ColName, &ColName> = inner.iter().map(|(n, o)| (n, o)).collect();
             let composed: Option<Vec<(ColName, ColName)>> = cols
                 .iter()
                 .map(|(new, mid)| inner.get(mid).map(|old| (new.clone(), (*old).clone())))
@@ -78,11 +75,7 @@ pub fn merge_projects(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
 }
 
 /// The schema of a single-input node's child, looked up in the *old* plan.
-fn input_schema_of<'a>(
-    plan: &Plan,
-    old_id: NodeId,
-    schemas: &'a [Schema],
-) -> Option<&'a Schema> {
+fn input_schema_of<'a>(plan: &Plan, old_id: NodeId, schemas: &'a [Schema]) -> Option<&'a Schema> {
     plan.node(old_id)
         .children()
         .first()
@@ -212,9 +205,7 @@ fn fold_bin(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
         (Sub, Value::Int(x), Value::Int(y)) => x.checked_sub(*y).map(Value::Int),
         (Mul, Value::Int(x), Value::Int(y)) => x.checked_mul(*y).map(Value::Int),
         (Add, Value::Nat(x), Value::Nat(y)) => x.checked_add(*y).map(Value::Nat),
-        (Concat, Value::Str(x), Value::Str(y)) => {
-            Some(Value::str(format!("{x}{y}")))
-        }
+        (Concat, Value::Str(x), Value::Str(y)) => Some(Value::str(format!("{x}{y}"))),
         (Add, Value::Dbl(x), Value::Dbl(y)) => Some(Value::Dbl(x + y)),
         (Sub, Value::Dbl(x), Value::Dbl(y)) => Some(Value::Dbl(x - y)),
         (Mul, Value::Dbl(x), Value::Dbl(y)) => Some(Value::Dbl(x * y)),
@@ -314,18 +305,22 @@ pub fn prune_columns(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
                 demand(*right, rn);
             }
             Node::Difference { left, right } => {
-                let all_l: HashSet<ColName> =
-                    schemas[left.index()].names().cloned().collect();
-                let all_r: HashSet<ColName> =
-                    schemas[right.index()].names().cloned().collect();
+                let all_l: HashSet<ColName> = schemas[left.index()].names().cloned().collect();
+                let all_r: HashSet<ColName> = schemas[right.index()].names().cloned().collect();
                 demand(*left, all_l);
                 demand(*right, all_r);
             }
             Node::CrossJoin { left, right } => {
                 let ls = &schemas[left.index()];
-                demand(*left, my.iter().filter(|c| ls.contains(c)).cloned().collect());
+                demand(
+                    *left,
+                    my.iter().filter(|c| ls.contains(c)).cloned().collect(),
+                );
                 let rs = &schemas[right.index()];
-                demand(*right, my.iter().filter(|c| rs.contains(c)).cloned().collect());
+                demand(
+                    *right,
+                    my.iter().filter(|c| rs.contains(c)).cloned().collect(),
+                );
             }
             Node::EquiJoin { left, right, on } => {
                 let ls = &schemas[left.index()];
@@ -406,7 +401,6 @@ pub fn prune_columns(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
         }
     }
 
-
     // rewrite using the needed sets
     let root_set: HashSet<NodeId> = roots.iter().copied().collect();
     rebuild(plan, roots, |out, old_id, node| {
@@ -430,7 +424,11 @@ pub fn prune_columns(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
             Node::RowNum { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
             Node::RowRank { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
             Node::DenseRank { input, col, .. } if !my.contains(&col) => Emit::Forward(input),
-            Node::GroupBy { input, keys, mut aggs } => {
+            Node::GroupBy {
+                input,
+                keys,
+                mut aggs,
+            } => {
                 aggs.retain(|a| my.contains(&a.output));
                 Emit::Replace(Node::GroupBy { input, keys, aggs })
             }

@@ -9,7 +9,8 @@ use ferry_optimizer::{optimize_with_stats, reachable_size};
 
 fn database() -> Database {
     let mut db = Database::new();
-    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"]).unwrap();
+    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
+        .unwrap();
     db.insert(
         "nums",
         (1..=7).map(|i| vec![Value::Int(i * 3 % 5)]).collect(),
@@ -72,11 +73,11 @@ fn simple_pipelines() {
 
 #[test]
 fn nested_results() {
-    check(&group_with(|x: Q<i64>| x % toq(&2i64), table::<i64>("nums")));
-    check(&map(
-        |x: Q<i64>| list([x.clone(), x]),
+    check(&group_with(
+        |x: Q<i64>| x % toq(&2i64),
         table::<i64>("nums"),
     ));
+    check(&map(|x: Q<i64>| list([x.clone(), x]), table::<i64>("nums")));
     check(&toq(&vec![vec![1i64], vec![], vec![2, 3]]));
 }
 

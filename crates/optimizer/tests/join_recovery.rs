@@ -43,7 +43,12 @@ fn select_over_cross_becomes_join() {
         ),
     );
     let (p2, r2) = recover_joins(&p, &[s]);
-    assert_eq!(crosses(&p2, r2[0]), 0, "{}", ferry_algebra::pretty::render(&p2, r2[0]));
+    assert_eq!(
+        crosses(&p2, r2[0]),
+        0,
+        "{}",
+        ferry_algebra::pretty::render(&p2, r2[0])
+    );
     ferry_algebra::validate(&p2, r2[0]).unwrap();
 }
 
@@ -91,7 +96,11 @@ fn collision_join_with_shared_right_base() {
     let x = p.cross(lp, t);
     let proj = p.project(
         x,
-        vec![(cn("p1"), cn("tp")), (cn("p2"), cn("lv")), (cn("li"), cn("li"))],
+        vec![
+            (cn("p1"), cn("tp")),
+            (cn("p2"), cn("lv")),
+            (cn("li"), cn("li")),
+        ],
     );
     let j = p.equi_join(
         proj,

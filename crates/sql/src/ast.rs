@@ -87,7 +87,10 @@ pub enum AggName {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SqlExpr {
     /// `alias.column` or bare `column`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     /// Integer literal (typing resolved at bind time via column-name
     /// suffixes).
     Int(i64),
@@ -250,7 +253,12 @@ impl fmt::Display for FromItem {
 
 impl fmt::Display for OrderItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {}", self.expr, if self.desc { "DESC" } else { "ASC" })
+        write!(
+            f,
+            "{} {}",
+            self.expr,
+            if self.desc { "DESC" } else { "ASC" }
+        )
     }
 }
 
@@ -312,7 +320,11 @@ impl fmt::Display for SqlExpr {
                 };
                 write!(f, "CAST({expr} AS {t})")
             }
-            SqlExpr::Window { fun, partition_by, order_by } => {
+            SqlExpr::Window {
+                fun,
+                partition_by,
+                order_by,
+            } => {
                 let name = match fun {
                     WindowFun::RowNumber => "ROW_NUMBER",
                     WindowFun::Rank => "RANK",

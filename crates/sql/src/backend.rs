@@ -1,0 +1,40 @@
+//! [`SqlBackend`]: execute compiled bundles through the full SQL:1999
+//! round trip.
+//!
+//! Where [`ferry::AlgebraBackend`] hands each bundle member's algebra
+//! plan straight to the engine, this backend performs the trip a real
+//! client/server deployment would: generate the SQL:1999 text
+//! ([`crate::codegen`]), then parse, bind and execute it on the database
+//! ([`crate::exec`]). Both backends consume identical
+//! [`CompiledBundle`](ferry::shred::CompiledBundle)s and must return
+//! identical relations — the shared end-to-end suite in
+//! `tests/backends.rs` runs every query through both.
+
+use crate::{execute_sql, generate_sql, SqlError};
+use ferry::backend::Backend;
+use ferry::FerryError;
+use ferry_algebra::{NodeId, Plan, Rel};
+use ferry_engine::Database;
+
+fn to_ferry(e: SqlError) -> FerryError {
+    FerryError::Engine(format!("sql backend: {e}"))
+}
+
+/// The textual path: plan → SQL:1999 → parse → bind → execute.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SqlBackend;
+
+impl Backend for SqlBackend {
+    fn name(&self) -> &str {
+        "sql"
+    }
+
+    fn execute_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<Rel, FerryError> {
+        let sql = generate_sql(db, plan, root).map_err(to_ferry)?;
+        execute_sql(db, &sql.sql).map_err(to_ferry)
+    }
+
+    fn render_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<String, FerryError> {
+        Ok(generate_sql(db, plan, root).map_err(to_ferry)?.sql)
+    }
+}

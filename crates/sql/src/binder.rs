@@ -10,8 +10,8 @@
 use crate::ast::*;
 use crate::SqlError;
 use ferry_algebra::{
-    plan::Aggregate, AggFun, BinOp as ABinOp, ColName, Dir, Expr as AExpr, JoinCols, NodeId,
-    Plan, Schema, Ty, UnOp, Value,
+    plan::Aggregate, AggFun, BinOp as ABinOp, ColName, Dir, Expr as AExpr, JoinCols, NodeId, Plan,
+    Schema, Ty, UnOp, Value,
 };
 use ferry_engine::Database;
 use std::collections::HashMap;
@@ -152,11 +152,7 @@ impl<'a> Binder<'a> {
                     (alias.clone(), node, schema)
                 } else if let Some(t) = self.db.table(name) {
                     let cols: Vec<(ColName, Ty)> = t.schema.cols().to_vec();
-                    let keys: Vec<ColName> = t
-                        .keys
-                        .iter()
-                        .map(|k| Arc::from(k.as_str()))
-                        .collect();
+                    let keys: Vec<ColName> = t.keys.iter().map(|k| Arc::from(k.as_str())).collect();
                     let node = self.plan.table(name.clone(), cols.clone(), keys);
                     (alias.clone(), node, Schema::new(cols))
                 } else {
@@ -194,11 +190,7 @@ impl<'a> Binder<'a> {
                 Schema::new(vec![(dummy.clone(), Ty::Nat)]),
                 vec![vec![Value::Nat(1)]],
             );
-            items.push((
-                "".to_string(),
-                node,
-                Schema::new(vec![(dummy, Ty::Nat)]),
-            ));
+            items.push(("".to_string(), node, Schema::new(vec![(dummy, Ty::Nat)])));
         } else {
             let mut seen = std::collections::HashSet::new();
             for item in &s.from {
@@ -210,7 +202,10 @@ impl<'a> Binder<'a> {
             }
         }
         let scope = Scope {
-            items: items.iter().map(|(a, _, s)| (a.clone(), s.clone())).collect(),
+            items: items
+                .iter()
+                .map(|(a, _, s)| (a.clone(), s.clone()))
+                .collect(),
         };
 
         // split WHERE into equi-join conjuncts and residual predicates
@@ -309,7 +304,7 @@ impl<'a> Binder<'a> {
         scope: &Scope,
         mut node: NodeId,
         mut schema: Schema,
-        ) -> Result<(NodeId, Schema), SqlError> {
+    ) -> Result<(NodeId, Schema), SqlError> {
         // group keys must be column references
         let mut keys: Vec<ColName> = Vec::new();
         for k in &s.group_by {
@@ -331,7 +326,9 @@ impl<'a> Binder<'a> {
                 if agg_cols.contains_key(&key) {
                     return Ok(());
                 }
-                let SqlExpr::Agg { fun, arg } = agg else { unreachable!() };
+                let SqlExpr::Agg { fun, arg } = agg else {
+                    unreachable!()
+                };
                 let (input, in_ty) = match arg {
                     None => (None, None),
                     Some(a) => {
@@ -421,7 +418,9 @@ impl<'a> Binder<'a> {
                         SqlExpr::Column { qualifier, name } => {
                             scope.resolve(qualifier.as_deref(), name).map(|(c, _)| c)
                         }
-                        e => Err(SqlError::Bind(format!("PARTITION BY expects columns: {e:?}"))),
+                        e => Err(SqlError::Bind(format!(
+                            "PARTITION BY expects columns: {e:?}"
+                        ))),
                     })
                     .collect::<Result<_, _>>()?;
                 let order: Vec<(ColName, Dir)> = order_by
@@ -430,15 +429,15 @@ impl<'a> Binder<'a> {
                         SqlExpr::Column { qualifier, name } => scope
                             .resolve(qualifier.as_deref(), name)
                             .map(|(c, _)| (c, if o.desc { Dir::Desc } else { Dir::Asc })),
-                        e => Err(SqlError::Bind(format!("OVER ORDER BY expects columns: {e:?}"))),
+                        e => Err(SqlError::Bind(format!(
+                            "OVER ORDER BY expects columns: {e:?}"
+                        ))),
                     })
                     .collect::<Result<_, _>>()?;
                 let col = self.fresh("win");
                 *node = match fun {
                     WindowFun::RowNumber => self.plan.rownum(*node, col.clone(), part, order),
-                    WindowFun::DenseRank => {
-                        self.plan.dense_rank(*node, col.clone(), part, order)
-                    }
+                    WindowFun::DenseRank => self.plan.dense_rank(*node, col.clone(), part, order),
                     WindowFun::Rank => self.plan.add(ferry_algebra::Node::RowRank {
                         input: *node,
                         col: col.clone(),
@@ -519,9 +518,8 @@ impl<'a> Binder<'a> {
             // output become surrogates
             let want_nat = out_name.ends_with("_nat");
             let bound = if want_nat {
-                coerce_to(bound, Ty::Nat, &schema).ok_or_else(|| {
-                    SqlError::Bind(format!("cannot make {out_name} a surrogate"))
-                })?
+                coerce_to(bound, Ty::Nat, &schema)
+                    .ok_or_else(|| SqlError::Bind(format!("cannot make {out_name} a surrogate")))?
             } else {
                 bound
             };
@@ -564,12 +562,7 @@ impl<'a> Binder<'a> {
     }
 
     /// Bind a scalar expression against a FROM scope.
-    fn bind_expr(
-        &self,
-        e: &SqlExpr,
-        scope: &Scope,
-        schema: &Schema,
-    ) -> Result<AExpr, SqlError> {
+    fn bind_expr(&self, e: &SqlExpr, scope: &Scope, schema: &Schema) -> Result<AExpr, SqlError> {
         match e {
             SqlExpr::Column { qualifier, name } => {
                 let (c, _) = scope.resolve(qualifier.as_deref(), name)?;
@@ -617,10 +610,7 @@ fn bind_expr_with(
         SqlExpr::Float(f) => AExpr::lit(*f),
         SqlExpr::Str(s) => AExpr::lit(s.as_str()),
         SqlExpr::Bool(b) => AExpr::lit(*b),
-        SqlExpr::Neg(x) => AExpr::Un(
-            UnOp::Neg,
-            Arc::new(bind_expr_with(x, resolve, schema)?),
-        ),
+        SqlExpr::Neg(x) => AExpr::Un(UnOp::Neg, Arc::new(bind_expr_with(x, resolve, schema)?)),
         SqlExpr::Not(x) => AExpr::not(bind_expr_with(x, resolve, schema)?),
         SqlExpr::Case { when, then, els } => AExpr::case(
             bind_expr_with(when, resolve, schema)?,
@@ -693,9 +683,7 @@ fn bind_expr_with(
             ))
         }
         SqlExpr::Agg { .. } => {
-            return Err(SqlError::Bind(
-                "aggregate outside GROUP BY binding".into(),
-            ))
+            return Err(SqlError::Bind("aggregate outside GROUP BY binding".into()))
         }
     })
 }
@@ -708,9 +696,7 @@ fn coerce_to(e: AExpr, want: Ty, schema: &Schema) -> Option<AExpr> {
     }
     match (t, want) {
         (Ty::Int, Ty::Nat) => match &e {
-            AExpr::Const(Value::Int(i)) if *i >= 0 => {
-                Some(AExpr::Const(Value::Nat(*i as u64)))
-            }
+            AExpr::Const(Value::Int(i)) if *i >= 0 => Some(AExpr::Const(Value::Nat(*i as u64))),
             _ => Some(AExpr::cast(Ty::Nat, e)),
         },
         (Ty::Nat, Ty::Int) => Some(AExpr::cast(Ty::Int, e)),
@@ -733,8 +719,16 @@ fn as_join_edge(e: &SqlExpr, scope: &Scope) -> Option<(ColName, Ty, ColName)> {
     let SqlExpr::Bin(SqlBinOp::Eq, l, r) = e else {
         return None;
     };
-    let (SqlExpr::Column { qualifier: lq, name: ln }, SqlExpr::Column { qualifier: rq, name: rn }) =
-        (l.as_ref(), r.as_ref())
+    let (
+        SqlExpr::Column {
+            qualifier: lq,
+            name: ln,
+        },
+        SqlExpr::Column {
+            qualifier: rq,
+            name: rn,
+        },
+    ) = (l.as_ref(), r.as_ref())
     else {
         return None;
     };
@@ -757,9 +751,7 @@ fn contains_agg_items(items: &[SelectItem]) -> bool {
             SqlExpr::Agg { .. } => true,
             SqlExpr::Bin(_, l, r) => has_agg(l) || has_agg(r),
             SqlExpr::Not(x) | SqlExpr::Neg(x) | SqlExpr::Cast { expr: x, .. } => has_agg(x),
-            SqlExpr::Case { when, then, els } => {
-                has_agg(when) || has_agg(then) || has_agg(els)
-            }
+            SqlExpr::Case { when, then, els } => has_agg(when) || has_agg(then) || has_agg(els),
             _ => false,
         }
     }

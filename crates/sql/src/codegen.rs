@@ -14,8 +14,7 @@
 
 use crate::SqlError;
 use ferry_algebra::{
-    infer_schema, AggFun, BinOp, ColName, Dir, Expr, Node, NodeId, Plan, Schema, Ty, UnOp,
-    Value,
+    infer_schema, AggFun, BinOp, ColName, Dir, Expr, Node, NodeId, Plan, Schema, Ty, UnOp, Value,
 };
 use ferry_engine::Database;
 use std::collections::HashMap;
@@ -204,9 +203,7 @@ impl<'a> Gen<'a> {
                     let items: Vec<String> = schema
                         .cols()
                         .iter()
-                        .map(|(n, t)| {
-                            Ok(format!("{} AS {}", dummy_value(*t)?, sql_col(n, *t)))
-                        })
+                        .map(|(n, t)| Ok(format!("{} AS {}", dummy_value(*t)?, sql_col(n, *t))))
                         .collect::<Result<_, SqlError>>()?;
                     return Ok(format!("SELECT {} WHERE FALSE", items.join(", ")));
                 }
@@ -368,8 +365,7 @@ impl<'a> Gen<'a> {
                         )
                     })
                     .collect();
-                let key_select =
-                    format!("SELECT DISTINCT {} FROM {rs} AS {ra}", rkeys.join(", "));
+                let key_select = format!("SELECT DISTINCT {} FROM {rs} AS {ra}", rkeys.join(", "));
                 let key_set = if anti {
                     let la2 = self.alias();
                     let lkeys: Vec<String> = on
@@ -455,9 +451,7 @@ impl<'a> Gen<'a> {
                             let t = s.ty_of(c).expect("validated");
                             format!("{} ({a}.{})", f.sql(), sql_col(c, t))
                         }
-                        (f, None) => {
-                            return Err(SqlError::Codegen(format!("{f:?} without input")))
-                        }
+                        (f, None) => return Err(SqlError::Codegen(format!("{f:?} without input"))),
                     };
                     items.push(format!("{rendered} AS {}", sql_col(&agg.output, out_ty)));
                 }

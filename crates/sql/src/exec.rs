@@ -58,8 +58,14 @@ mod tests {
              FROM emp AS e GROUP BY e.dept ORDER BY d ASC;",
         )
         .unwrap();
-        assert_eq!(r.rows[0], vec![Value::str("eng"), Value::Int(2), Value::Int(160)]);
-        assert_eq!(r.rows[1], vec![Value::str("ops"), Value::Int(1), Value::Int(50)]);
+        assert_eq!(
+            r.rows[0],
+            vec![Value::str("eng"), Value::Int(2), Value::Int(160)]
+        );
+        assert_eq!(
+            r.rows[1],
+            vec![Value::str("ops"), Value::Int(1), Value::Int(50)]
+        );
     }
 
     #[test]
@@ -153,7 +159,10 @@ mod tests {
 
     #[test]
     fn errors_are_reported_not_panicked() {
-        assert!(matches!(execute_sql(&db(), "SELEC"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            execute_sql(&db(), "SELEC"),
+            Err(SqlError::Parse(_))
+        ));
         assert!(matches!(
             execute_sql(&db(), "SELECT x.y AS z FROM ghost AS x"),
             Err(SqlError::Bind(_))

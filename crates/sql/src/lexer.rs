@@ -180,9 +180,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
                 }
                 let text = &input[start..i];
                 if is_float {
-                    out.push(Tok::Float(text.parse().map_err(|e| {
-                        SqlError::Lex(format!("bad float {text}: {e}"))
-                    })?));
+                    out.push(Tok::Float(
+                        text.parse()
+                            .map_err(|e| SqlError::Lex(format!("bad float {text}: {e}")))?,
+                    ));
                 } else {
                     out.push(Tok::Int(text.parse().map_err(|e| {
                         SqlError::Lex(format!("bad integer {text}: {e}"))

@@ -18,7 +18,9 @@
 //!   (including greedy extraction of equi-join conjuncts so the engine
 //!   runs hash joins rather than filtered cross products);
 //! * [`exec`] — `execute_sql`: parse → bind → run on a
-//!   [`ferry_engine::Database`].
+//!   [`ferry_engine::Database`];
+//! * [`backend`] — [`SqlBackend`], plugging the whole round trip into
+//!   `ferry::Connection` as an execution [`Backend`](ferry::Backend).
 //!
 //! The round trip `plan → SQL → parse → bind → plan' → engine` is property
 //! tested to agree with direct execution of `plan`, which is what makes
@@ -27,12 +29,14 @@
 #![allow(clippy::type_complexity, clippy::items_after_test_module)]
 
 pub mod ast;
+pub mod backend;
 pub mod binder;
 pub mod codegen;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 
+pub use backend::SqlBackend;
 pub use codegen::{generate_sql, SqlQuery};
 pub use exec::execute_sql;
 

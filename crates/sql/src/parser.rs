@@ -106,7 +106,11 @@ impl Parser {
             self.expect_keyword("BY")?;
             order_by = self.order_items()?;
         }
-        Ok(Statement { ctes, body, order_by })
+        Ok(Statement {
+            ctes,
+            body,
+            order_by,
+        })
     }
 
     fn cte(&mut self) -> Result<Cte, SqlError> {
@@ -128,7 +132,11 @@ impl Parser {
         self.expect(&Tok::LParen)?;
         let body = self.set_expr()?;
         self.expect(&Tok::RParen)?;
-        Ok(Cte { name, columns, body })
+        Ok(Cte {
+            name,
+            columns,
+            body,
+        })
     }
 
     fn set_expr(&mut self) -> Result<SetExpr, SqlError> {
@@ -453,11 +461,7 @@ impl Parser {
                     "AVG" => AggName::Avg,
                     "BOOL_AND" => AggName::BoolAnd,
                     "BOOL_OR" => AggName::BoolOr,
-                    "COUNT" => {
-                        return Err(SqlError::Parse(
-                            "only COUNT (*) is supported".into(),
-                        ))
-                    }
+                    "COUNT" => return Err(SqlError::Parse("only COUNT (*) is supported".into())),
                     _ => unreachable!(),
                 };
                 let arg = self.expr()?;
@@ -536,10 +540,12 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let s = parse("SELECT a.x AS y, 1 AS one FROM t AS a WHERE a.x < 3 ORDER BY y ASC;")
-            .unwrap();
+        let s =
+            parse("SELECT a.x AS y, 1 AS one FROM t AS a WHERE a.x < 3 ORDER BY y ASC;").unwrap();
         assert!(s.ctes.is_empty());
-        let SetExpr::Select(sel) = &s.body else { panic!() };
+        let SetExpr::Select(sel) = &s.body else {
+            panic!()
+        };
         assert_eq!(sel.items.len(), 2);
         assert_eq!(sel.from.len(), 1);
         assert!(sel.where_.is_some());
@@ -560,11 +566,16 @@ mod tests {
     #[test]
     fn parses_group_by_aggregates() {
         let s = parse("SELECT k AS k, COUNT (*) AS n, SUM (v) AS s FROM t GROUP BY k").unwrap();
-        let SetExpr::Select(sel) = &s.body else { panic!() };
+        let SetExpr::Select(sel) = &s.body else {
+            panic!()
+        };
         assert_eq!(sel.group_by.len(), 1);
         assert!(matches!(
             sel.items[1].expr,
-            SqlExpr::Agg { fun: AggName::CountStar, .. }
+            SqlExpr::Agg {
+                fun: AggName::CountStar,
+                ..
+            }
         ));
     }
 
@@ -580,7 +591,9 @@ mod tests {
                    CAST(a AS DOUBLE PRECISION) AS d \
                    FROM (SELECT 1 AS a) AS q";
         let s = parse(sql).unwrap();
-        let SetExpr::Select(sel) = &s.body else { panic!() };
+        let SetExpr::Select(sel) = &s.body else {
+            panic!()
+        };
         assert!(matches!(sel.from[0], FromItem::Derived { .. }));
         assert!(matches!(sel.items[0].expr, SqlExpr::Case { .. }));
     }
@@ -590,9 +603,15 @@ mod tests {
         let sql = "SELECT ROW_NUMBER () OVER (PARTITION BY a.k ORDER BY a.p DESC) AS rn \
                    FROM t AS a";
         let s = parse(sql).unwrap();
-        let SetExpr::Select(sel) = &s.body else { panic!() };
+        let SetExpr::Select(sel) = &s.body else {
+            panic!()
+        };
         match &sel.items[0].expr {
-            SqlExpr::Window { fun, partition_by, order_by } => {
+            SqlExpr::Window {
+                fun,
+                partition_by,
+                order_by,
+            } => {
                 assert_eq!(*fun, WindowFun::RowNumber);
                 assert_eq!(partition_by.len(), 1);
                 assert!(order_by[0].desc);
@@ -610,7 +629,9 @@ mod tests {
     #[test]
     fn implicit_alias_from_item() {
         let s = parse("SELECT t.x AS x FROM facilities t WHERE t.x = 1").unwrap();
-        let SetExpr::Select(sel) = &s.body else { panic!() };
+        let SetExpr::Select(sel) = &s.body else {
+            panic!()
+        };
         match &sel.from[0] {
             FromItem::Named { name, alias } => {
                 assert_eq!(name, "facilities");

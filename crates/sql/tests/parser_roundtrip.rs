@@ -13,9 +13,8 @@ fn ident() -> impl Strategy<Value = String> {
 
 fn leaf_expr() -> impl Strategy<Value = SqlExpr> {
     prop_oneof![
-        (ident(), proptest::option::of(ident())).prop_map(|(name, qualifier)| {
-            SqlExpr::Column { qualifier, name }
-        }),
+        (ident(), proptest::option::of(ident()))
+            .prop_map(|(name, qualifier)| { SqlExpr::Column { qualifier, name } }),
         (0i64..1000).prop_map(SqlExpr::Int),
         // floats chosen to print/parse exactly
         (0i64..100).prop_map(|i| SqlExpr::Float(i as f64 + 0.5)),
@@ -46,9 +45,8 @@ fn bin_op() -> impl Strategy<Value = SqlBinOp> {
 fn expr(depth: u32) -> impl Strategy<Value = SqlExpr> {
     leaf_expr().prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
-            (bin_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
-                SqlExpr::Bin(op, Box::new(l), Box::new(r))
-            }),
+            (bin_op(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| { SqlExpr::Bin(op, Box::new(l), Box::new(r)) }),
             inner.clone().prop_map(|x| SqlExpr::Not(Box::new(x))),
             inner.clone().prop_map(|x| SqlExpr::Neg(Box::new(x))),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
@@ -68,7 +66,10 @@ fn expr(depth: u32) -> impl Strategy<Value = SqlExpr> {
                     Just(SqlTy::Boolean)
                 ]
             )
-                .prop_map(|(e, ty)| SqlExpr::Cast { expr: Box::new(e), ty }),
+                .prop_map(|(e, ty)| SqlExpr::Cast {
+                    expr: Box::new(e),
+                    ty
+                }),
         ]
     })
 }
@@ -81,12 +82,18 @@ fn window() -> impl Strategy<Value = SqlExpr> {
             Just(WindowFun::DenseRank)
         ],
         proptest::collection::vec(
-            ident().prop_map(|n| SqlExpr::Column { qualifier: None, name: n }),
+            ident().prop_map(|n| SqlExpr::Column {
+                qualifier: None,
+                name: n,
+            }),
             0..3,
         ),
         proptest::collection::vec(
             (ident(), any::<bool>()).prop_map(|(n, desc)| OrderItem {
-                expr: SqlExpr::Column { qualifier: None, name: n },
+                expr: SqlExpr::Column {
+                    qualifier: None,
+                    name: n,
+                },
                 desc,
             }),
             0..3,
@@ -139,7 +146,10 @@ fn statement() -> impl Strategy<Value = Statement> {
         select(),
         proptest::collection::vec(
             (ident(), any::<bool>()).prop_map(|(n, desc)| OrderItem {
-                expr: SqlExpr::Column { qualifier: None, name: n },
+                expr: SqlExpr::Column {
+                    qualifier: None,
+                    name: n,
+                },
                 desc,
             }),
             0..2,

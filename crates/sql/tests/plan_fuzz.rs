@@ -18,11 +18,11 @@ enum Step {
     AttachInt(i64),
     ComputePlus(i64),
     Distinct,
-    Reverse,        // rownum desc + serialize later
-    JoinBase,       // equi join with a fresh scan of the base table
+    Reverse,  // rownum desc + serialize later
+    JoinBase, // equi join with a fresh scan of the base table
     SemiBase,
     AntiBase,
-    UnionBase,      // union with a projection of the base table
+    UnionBase, // union with a projection of the base table
     GroupCount,
     RankByValue,
 }
@@ -45,8 +45,12 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 
 fn database(rows: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
-    db.create_table("base", Schema::of(&[("k", Ty::Int), ("v", Ty::Int)]), vec![])
-        .unwrap();
+    db.create_table(
+        "base",
+        Schema::of(&[("k", Ty::Int), ("v", Ty::Int)]),
+        vec![],
+    )
+    .unwrap();
     db.insert(
         "base",
         rows.iter()
@@ -66,9 +70,8 @@ fn build(steps: &[Step]) -> (Plan, NodeId) {
         fresh += 1;
         cn(&format!("{base}{fresh}"))
     };
-    let base_cols = |f: &mut dyn FnMut(&str) -> ColName| {
-        vec![(f("bk"), Ty::Int), (f("bv"), Ty::Int)]
-    };
+    let base_cols =
+        |f: &mut dyn FnMut(&str) -> ColName| vec![(f("bk"), Ty::Int), (f("bv"), Ty::Int)];
     let mut ff = |base: &str| f(base);
     let cols = base_cols(&mut ff);
     let (k0, v0) = (cols[0].0.clone(), cols[1].0.clone());

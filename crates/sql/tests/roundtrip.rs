@@ -11,7 +11,8 @@ use ferry_sql::{execute_sql, generate_sql};
 
 fn database() -> Database {
     let mut db = Database::new();
-    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"]).unwrap();
+    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
+        .unwrap();
     db.insert(
         "nums",
         vec![
@@ -59,9 +60,9 @@ fn check<T: QA + PartialEq + std::fmt::Debug>(q: &Q<T>) -> T {
         let db = conn.database();
         let mut via_sql = Vec::new();
         for qd in &bundle.queries {
-            let sql = generate_sql(db, &bundle.plan, qd.root)
+            let sql = generate_sql(&db, &bundle.plan, qd.root)
                 .unwrap_or_else(|e| panic!("codegen failed: {e}"));
-            let rel = execute_sql(db, &sql.sql)
+            let rel = execute_sql(&db, &sql.sql)
                 .unwrap_or_else(|e| panic!("SQL round trip failed: {e}\n{}", sql.sql));
             via_sql.push(rel);
         }
@@ -74,7 +75,10 @@ fn check<T: QA + PartialEq + std::fmt::Debug>(q: &Q<T>) -> T {
         let stitched = stitch(&via_sql, &bundle.queries).expect("stitch");
         let decoded = T::from_val(&stitched).expect("decode");
         let oracle = conn.interpret(q).expect("interpreter");
-        assert_eq!(decoded, oracle, "SQL path vs interpreter (optimize={optimize})");
+        assert_eq!(
+            decoded, oracle,
+            "SQL path vs interpreter (optimize={optimize})"
+        );
         out = Some(decoded);
     }
     out.unwrap()
@@ -95,7 +99,10 @@ fn flat_queries() {
         check(&map(|x: Q<i64>| x.clone() * x, nums())),
         vec![1, 1, 9, 16, 25]
     );
-    assert_eq!(check(&filter(|x: Q<i64>| x.gt(&toq(&2i64)), nums())), vec![3, 4, 5]);
+    assert_eq!(
+        check(&filter(|x: Q<i64>| x.gt(&toq(&2i64)), nums())),
+        vec![3, 4, 5]
+    );
     assert_eq!(check(&sum(nums())), 14);
 }
 
@@ -118,7 +125,10 @@ fn nested_queries() {
         vec![vec![4], vec![1, 1, 3, 5]]
     );
     assert_eq!(
-        check(&map(|x: Q<i64>| list([x.clone(), x + toq(&1i64)]), take(toq(&2i64), nums()))),
+        check(&map(
+            |x: Q<i64>| list([x.clone(), x + toq(&1i64)]),
+            take(toq(&2i64), nums())
+        )),
         vec![vec![1, 2], vec![1, 2]]
     );
 }
@@ -148,7 +158,10 @@ fn the_running_example_shape() {
 
 #[test]
 fn literals_and_conditionals() {
-    assert_eq!(check(&toq(&vec![vec![1i64], vec![], vec![2, 3]])), vec![vec![1], vec![], vec![2, 3]]);
+    assert_eq!(
+        check(&toq(&vec![vec![1i64], vec![], vec![2, 3]])),
+        vec![vec![1], vec![], vec![2, 3]]
+    );
     assert_eq!(
         check(&cond(
             length(nums()).gt(&toq(&3i64)),
@@ -157,7 +170,10 @@ fn literals_and_conditionals() {
         )),
         "big"
     );
-    assert_eq!(check(&append(toq(&vec![9i64]), take(toq(&2i64), nums()))), vec![9, 1, 1]);
+    assert_eq!(
+        check(&append(toq(&vec![9i64]), take(toq(&2i64), nums()))),
+        vec![9, 1, 1]
+    );
 }
 
 #[test]
@@ -178,7 +194,7 @@ fn generated_sql_looks_like_the_appendix() {
     let conn = Connection::new(database());
     let q = group_with(|x: Q<i64>| x % toq(&2i64), nums());
     let bundle = conn.compile(&q).unwrap();
-    let sql = generate_sql(conn.database(), &bundle.plan, bundle.queries[0].root).unwrap();
+    let sql = generate_sql(&conn.database(), &bundle.plan, bundle.queries[0].root).unwrap();
     // the structural signatures of the appendix dialect
     assert!(sql.sql.contains("WITH"), "{}", sql.sql);
     assert!(sql.sql.contains("DENSE_RANK () OVER"), "{}", sql.sql);

@@ -25,13 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dsh_t = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let (hdb, hdb_q) = run_haskelldb(conn.database())?;
+        let (hdb, hdb_q) = run_haskelldb(&conn.database())?;
         let hdb_t = t0.elapsed().as_secs_f64();
 
         assert_eq!(normalise(dsh), normalise(hdb), "the two must agree");
-        println!(
-            "{categories:>12} | {hdb_q:>18} | {hdb_t:>9.3} | {dsh_q:>12} | {dsh_t:>8.3}"
-        );
+        println!("{categories:>12} | {hdb_q:>18} | {hdb_t:>9.3} | {dsh_q:>12} | {dsh_t:>8.3}");
     }
     println!();
     println!(

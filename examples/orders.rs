@@ -51,11 +51,7 @@ fn database() -> Database {
     .unwrap();
     db.insert(
         "orders",
-        vec![
-            vec![i(1), i(10)],
-            vec![i(1), i(11)],
-            vec![i(2), i(20)],
-        ],
+        vec![vec![i(1), i(10)], vec![i(1), i(11)], vec![i(2), i(20)]],
     )
     .unwrap();
     db.insert(

@@ -29,16 +29,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== 1  combinators (the kernel term) ==");
     println!("{}\n", t.combinators);
 
-    println!("== 2  table algebra (loop-lifted bundle of {} quer{}) ==",
+    println!(
+        "== 2  table algebra (loop-lifted bundle of {} quer{}) ==",
         t.bundle.queries.len(),
-        if t.bundle.queries.len() == 1 { "y" } else { "ies" });
+        if t.bundle.queries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
     for (i, plan) in t.plans.iter().enumerate() {
         println!("-- plan of query {} --\n{plan}", i + 1);
     }
 
     println!("== 3  SQL:1999 ==");
     for (i, qd) in t.bundle.queries.iter().enumerate() {
-        let sql = generate_sql(conn.database(), &t.bundle.plan, qd.root)?;
+        let sql = generate_sql(&conn.database(), &t.bundle.plan, qd.root)?;
         println!("-- query {} --\n{}\n", i + 1, sql.sql);
     }
 

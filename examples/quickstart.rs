@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    follows the columns in alphabetical order: (name, price).
     let affordable: Q<Vec<String>> = map(
         |p: Q<(String, i64)>| p.fst(),
-        filter(|p: Q<(String, i64)>| p.snd().lt(&toq(&100i64)), table("products")),
+        filter(
+            |p: Q<(String, i64)>| p.snd().lt(&toq(&100i64)),
+            table("products"),
+        ),
     );
 
     // ... or the same with comprehension notation:
@@ -65,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "result type [Text] compiles to {} quer{} — guaranteed by the type, \
          not by the 4 rows",
         bundle.queries.len(),
-        if bundle.queries.len() == 1 { "y" } else { "ies" }
+        if bundle.queries.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
     Ok(())
 }

@@ -1,0 +1,527 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the proptest 1.x API its property tests use:
+//! [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_recursive` /
+//! `boxed`, [`Just`], [`any`], range and tuple strategies, a tiny
+//! character-class string strategy, [`collection::vec`],
+//! [`sample::select`], [`option::of`], and the [`proptest!`],
+//! [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`] macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * generation is **deterministic** — each test function derives its RNG
+//!   seed from its own name, so failures reproduce exactly across runs;
+//! * there is **no shrinking** — a failing case panics with the generated
+//!   inputs left to the assertion message.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- RNG
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// FNV-1a — used to derive per-test seeds from test names.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ----------------------------------------------------------- Strategy
+
+/// A generator of values of type `Value`. Unlike real proptest there is
+/// no shrinking: a strategy is just a (deterministic) sampling function.
+pub trait Strategy: 'static {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| f(self.generate(rng))))
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| f(self.generate(rng)).generate(rng)))
+    }
+
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| {
+            for _ in 0..1000 {
+                let v = self.generate(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        }))
+    }
+
+    /// Build a recursive strategy `levels` deep: level 0 is `self` (the
+    /// leaf), level k+1 is `recurse` applied to a mix of the leaf and
+    /// level k. `_desired_size`/`_branch` are accepted for API parity.
+    fn prop_recursive<R, F>(
+        self,
+        levels: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..levels {
+            // mix in the leaf so expected size stays bounded even when
+            // `recurse` only produces composite forms
+            let deeper = recurse(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy(Arc::new(move |rng: &mut TestRng| {
+                if rng.below(4) == 0 {
+                    l.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        cur
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between alternatives (backs [`prop_oneof!`]).
+pub fn one_of<T: 'static>(alts: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!alts.is_empty(), "prop_oneof! of zero alternatives");
+    BoxedStrategy(Arc::new(move |rng| {
+        let i = rng.below(alts.len());
+        alts[i].generate(rng)
+    }))
+}
+
+/// The constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------- primitive strategies
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy(Arc::new(|rng| rng.bool()))
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy(Arc::new(|rng| rng.next_u64() as $t))
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+// strings: a minimal regex-flavoured strategy supporting the patterns
+// this workspace uses — a single character class with a `{m,n}` repeat,
+// e.g. `"[a-z ]{0,6}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!("string strategy {self:?}: only `[class]{{m,n}}` patterns are supported")
+        });
+        let len = min + rng.below(max - min + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+/// Parse `[a-z0-9 _]{m,n}` into (alphabet, m, n).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let quant = &rest[close + 1..];
+    let body = quant.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let k = body.trim().parse().ok()?;
+            (k, k)
+        }
+    };
+    (m <= n).then_some((chars, m, n))
+}
+
+// tuple strategies
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// ------------------------------------------------------------- modules
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// `vec(element, size_range)` — a vector with uniformly drawn length.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        assert!(size.start < size.end, "vec with empty size range");
+        BoxedStrategy(Arc::new(move |rng| {
+            let len = size.start + rng.below(size.end - size.start);
+            (0..len).map(|_| element.generate(rng)).collect()
+        }))
+    }
+}
+
+pub mod sample {
+    use super::{BoxedStrategy, Strategy};
+    use std::sync::Arc;
+
+    /// Uniform choice from a fixed set.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select from empty set");
+        BoxedStrategy(Arc::new(move |rng| {
+            options[rng.below(options.len())].clone()
+        }))
+    }
+
+    impl<T: Clone + 'static> Strategy for Vec<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut super::TestRng) -> T {
+            self[rng.below(self.len())].clone()
+        }
+    }
+}
+
+pub mod option {
+    use super::{BoxedStrategy, Strategy};
+    use std::sync::Arc;
+
+    /// `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        }))
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy};
+}
+
+pub mod prelude {
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{any, BoxedStrategy, Just, Strategy, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// -------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        // weights are ignored: uniform choice
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// The test-harness macro: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)).as_bytes());
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::TestRng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_oneof() {
+        let mut rng = TestRng::new(3);
+        let s = prop_oneof![(0i64..5).prop_map(|x| x * 2), Just(100i64)];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 100 || (v % 2 == 0 && v < 10));
+        }
+    }
+
+    #[test]
+    fn string_class_pattern() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..50 {
+            let s = "[a-c ]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+    }
+
+    #[test]
+    fn collections_and_options() {
+        let mut rng = TestRng::new(11);
+        let v = super::collection::vec(0i64..10, 2..5).generate(&mut rng);
+        assert!((2..5).contains(&v.len()));
+        let o = super::option::of(0i64..10).generate(&mut rng);
+        assert!(o.is_none() || o.unwrap() < 10);
+        let pick = super::sample::select(vec!["a", "b"]).generate(&mut rng);
+        assert!(pick == "a" || pick == "b");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::new(5);
+        for _ in 0..50 {
+            assert!(depth(&s.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn harness_macro_runs(x in 0i64..100, v in crate::collection::vec(0i64..10, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}

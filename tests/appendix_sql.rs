@@ -14,17 +14,28 @@ use ferry_sql::{execute_sql, generate_sql};
 fn bundle_of_two_sql_statements() {
     let conn = Connection::new(paper_dataset()).with_optimizer(ferry_optimizer::rewriter());
     let bundle = conn.compile(&dsh_query()).unwrap();
-    assert_eq!(bundle.queries.len(), 2, "the appendix shows exactly two queries");
+    assert_eq!(
+        bundle.queries.len(),
+        2,
+        "the appendix shows exactly two queries"
+    );
     let sqls: Vec<String> = bundle
         .queries
         .iter()
-        .map(|qd| generate_sql(conn.database(), &bundle.plan, qd.root).unwrap().sql)
+        .map(|qd| {
+            generate_sql(&conn.database(), &bundle.plan, qd.root)
+                .unwrap()
+                .sql
+        })
         .collect();
 
     // dialect signatures of the appendix
     for sql in &sqls {
         assert!(sql.starts_with("WITH"), "CTE bindings:\n{sql}");
-        assert!(sql.contains("-- binding due to"), "binding comments:\n{sql}");
+        assert!(
+            sql.contains("-- binding due to"),
+            "binding comments:\n{sql}"
+        );
         assert!(sql.contains("ORDER BY"), "observable order:\n{sql}");
         assert!(sql.contains("_nat"), "type-suffixed columns:\n{sql}");
         assert!(sql.trim_end().ends_with(';'));
@@ -38,7 +49,9 @@ fn bundle_of_two_sql_statements() {
     assert!(q2.contains("GROUP BY") || q2.contains("MIN ("), "{q2}");
     // base tables referenced by name
     assert!(sqls.iter().any(|s| s.contains("FROM facilities")));
-    assert!(sqls.iter().any(|s| s.contains("FROM features") || s.contains("FROM meanings")));
+    assert!(sqls
+        .iter()
+        .any(|s| s.contains("FROM features") || s.contains("FROM meanings")));
 }
 
 #[test]
@@ -47,8 +60,8 @@ fn the_sql_bundle_computes_the_section2_value() {
     let bundle = conn.compile(&dsh_query()).unwrap();
     let mut rels = Vec::new();
     for qd in &bundle.queries {
-        let sql = generate_sql(conn.database(), &bundle.plan, qd.root).unwrap();
-        rels.push(execute_sql(conn.database(), &sql.sql).unwrap());
+        let sql = generate_sql(&conn.database(), &bundle.plan, qd.root).unwrap();
+        rels.push(execute_sql(&conn.database(), &sql.sql).unwrap());
     }
     let val = stitch(&rels, &bundle.queries).unwrap();
     let result: Vec<(String, Vec<String>)> = ferry::QA::from_val(&val).unwrap();
@@ -64,7 +77,7 @@ fn unoptimized_bundle_also_roundtrips() {
     let conn = Connection::new(paper_dataset());
     let bundle = conn.compile(&dsh_query()).unwrap();
     for qd in &bundle.queries {
-        let sql = generate_sql(conn.database(), &bundle.plan, qd.root).unwrap();
-        execute_sql(conn.database(), &sql.sql).unwrap();
+        let sql = generate_sql(&conn.database(), &bundle.plan, qd.root).unwrap();
+        execute_sql(&conn.database(), &sql.sql).unwrap();
     }
 }

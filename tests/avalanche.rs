@@ -14,8 +14,12 @@ fn table1_query_counts_exactly() {
             Connection::new(scaled_dataset(cats, 2)).with_optimizer(ferry_optimizer::rewriter());
         let (dsh, dsh_q) = run_dsh(&conn).expect("dsh");
         assert_eq!(dsh_q, 2, "DSH: two queries at {cats} categories");
-        let (hdb, hdb_q) = run_haskelldb(conn.database()).expect("haskelldb");
-        assert_eq!(hdb_q, cats as u64 + 1, "HaskellDB: N+1 at {cats} categories");
+        let (hdb, hdb_q) = run_haskelldb(&conn.database()).expect("haskelldb");
+        assert_eq!(
+            hdb_q,
+            cats as u64 + 1,
+            "HaskellDB: N+1 at {cats} categories"
+        );
         assert_eq!(normalise(dsh), normalise(hdb), "the programs agree");
     }
 }
@@ -24,7 +28,11 @@ fn table1_query_counts_exactly() {
 fn bundle_size_is_data_independent() {
     // same program, three databases of very different size: identical
     // bundles (the avalanche-safety guarantee, §3.2)
-    let sizes = [paper_dataset(), scaled_dataset(50, 2), scaled_dataset(500, 3)];
+    let sizes = [
+        paper_dataset(),
+        scaled_dataset(50, 2),
+        scaled_dataset(500, 3),
+    ];
     for db in sizes {
         let conn = Connection::new(db);
         let bundle = conn.compile(&dsh_query()).expect("compile");
@@ -40,9 +48,7 @@ fn the_paper_section2_value() {
     //  [("API", []), ("LIB", [...]), ("LIN", [...]), ("ORM", [...]), ("QLA", [...])]"
     let cats: Vec<&str> = result.iter().map(|(c, _)| c.as_str()).collect();
     assert_eq!(cats, vec!["API", "LIB", "LIN", "ORM", "QLA"]);
-    let by_cat = |c: &str| -> &Vec<String> {
-        &result.iter().find(|(cat, _)| cat == c).unwrap().1
-    };
+    let by_cat = |c: &str| -> &Vec<String> { &result.iter().find(|(cat, _)| cat == c).unwrap().1 };
     assert!(by_cat("API").is_empty());
     assert!(by_cat("LIB").contains(&"respects list order".to_string()));
     assert!(by_cat("LIN").contains(&"supports data nesting".to_string()));
@@ -82,7 +88,7 @@ fn dispatch_cost_widens_the_gap() {
     let (_, q_dsh) = run_dsh(&conn).unwrap();
     let t_dsh = t0.elapsed();
     let t0 = Instant::now();
-    let (_, q_hdb) = run_haskelldb(conn.database()).unwrap();
+    let (_, q_hdb) = run_haskelldb(&conn.database()).unwrap();
     let t_hdb = t0.elapsed();
 
     assert_eq!(q_dsh, 2);

@@ -1,0 +1,123 @@
+//! The shared backend end-to-end suite.
+//!
+//! Every query here runs through **both** execution backends behind the
+//! [`ferry::Backend`] trait — [`AlgebraBackend`] (plans straight to the
+//! engine) and [`ferry_sql::SqlBackend`] (generate SQL:1999 → parse →
+//! bind → execute) — with and without the optimizer, and each result is
+//! compared against the reference interpreter. The two tails of Fig. 2
+//! are interchangeable or they are broken.
+
+use ferry::prelude::*;
+use ferry::Backend;
+use ferry_bench::table1::dsh_query;
+use ferry_bench::workload::paper_dataset;
+use ferry_sql::SqlBackend;
+use std::sync::Arc;
+
+fn backends() -> Vec<Arc<dyn Backend>> {
+    vec![Arc::new(AlgebraBackend), Arc::new(SqlBackend)]
+}
+
+/// Run `q` on every (backend × optimizer) configuration; all four
+/// database results must equal the interpreter's value, and each run
+/// must dispatch exactly one engine query per bundle member (no double
+/// dispatch hiding inside a backend).
+fn check<T: QA + PartialEq + std::fmt::Debug>(q: &Q<T>) -> T {
+    let mut results = Vec::new();
+    for backend in backends() {
+        for optimize in [false, true] {
+            let mut conn = Connection::new(paper_dataset()).with_backend(backend.clone());
+            if optimize {
+                conn = conn.with_optimizer(ferry_optimizer::rewriter());
+            }
+            let members = conn.compile(q).unwrap().queries.len() as u64;
+            conn.database().reset_stats();
+            let via_db = conn.from_q(q).unwrap();
+            let stats = conn.database().stats();
+            assert_eq!(
+                stats.queries,
+                members,
+                "backend {}, optimize={optimize}: one dispatch per bundle member",
+                backend.name()
+            );
+            let oracle = conn.interpret(q).unwrap();
+            assert_eq!(
+                via_db,
+                oracle,
+                "backend {}, optimize={optimize} disagrees with the interpreter",
+                backend.name()
+            );
+            results.push(via_db);
+        }
+    }
+    results.pop().unwrap()
+}
+
+#[test]
+fn running_example_on_both_backends() {
+    let result = check(&dsh_query());
+    assert_eq!(result.len(), 5);
+    assert_eq!(result[0].0, "API");
+}
+
+#[test]
+fn flat_projection_on_both_backends() {
+    let q = ferry::comp!(
+        (fac.clone())
+        for (cat, fac) in table::<(String, String)>("facilities"),
+        if cat.eq(&toq(&"QLA".to_string()))
+    );
+    let result = check(&q);
+    assert!(result.contains(&"SQL".to_string()));
+}
+
+#[test]
+fn join_on_both_backends() {
+    let q = ferry::comp!(
+        (pair(fac, mean))
+        for (fac, feat1) in table::<(String, String)>("features"),
+        for (feat2, mean) in table::<(String, String)>("meanings"),
+        if feat1.eq(&feat2)
+    );
+    let result = check(&q);
+    assert!(!result.is_empty());
+}
+
+#[test]
+fn aggregate_on_both_backends() {
+    let q = length(table::<(String, String)>("facilities"));
+    let n = check(&q);
+    assert!(n > 0);
+}
+
+#[test]
+fn nested_grouping_on_both_backends() {
+    let q = map(
+        |g: Q<Vec<(String, String)>>| {
+            pair(
+                the(map(|p: Q<(String, String)>| p.fst(), g.clone())),
+                map(|p: Q<(String, String)>| p.snd(), g),
+            )
+        },
+        group_with(
+            |p: Q<(String, String)>| p.fst(),
+            table::<(String, String)>("facilities"),
+        ),
+    );
+    let result = check(&q);
+    assert_eq!(result.len(), 5, "five categories");
+}
+
+#[test]
+fn prepared_handles_work_on_both_backends() {
+    for backend in backends() {
+        let conn = Connection::new(paper_dataset())
+            .with_backend(backend.clone())
+            .with_optimizer(ferry_optimizer::rewriter());
+        let prepared = conn.prepare(&dsh_query()).unwrap();
+        let first = conn.execute(&prepared).unwrap();
+        let second = conn.execute(&prepared).unwrap();
+        assert_eq!(first, second, "backend {}", backend.name());
+        assert_eq!(first, conn.interpret(&dsh_query()).unwrap());
+    }
+}

@@ -1,0 +1,193 @@
+//! Concurrency smoke test: one `Connection`, many threads.
+//!
+//! N threads share a single cloned `Connection` (one catalog, one plan
+//! cache) and shared `Prepared` handles for the running example (§2,
+//! 2-query bundle) and the nested orders report (3-query bundle). Each
+//! thread executes both prepared handles and also re-prepares the
+//! running example from a locally built AST — which must be served from
+//! the plan cache, not recompiled. Results must equal the reference
+//! interpreter and `QueryStats` must show exactly one engine dispatch
+//! per bundle member per execution (no double dispatch) with cache hits
+//! ≥ N − 1.
+
+#![allow(clippy::type_complexity)]
+
+use ferry::prelude::*;
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_bench::table1::dsh_query;
+use ferry_bench::workload::paper_dataset;
+use std::sync::Arc;
+use std::thread;
+
+type Customer = (i64, String); // customers(cid, name)
+type Order = (i64, i64); // orders(cid, oid)
+type Item = (i64, i64, String); // items(oid, price, product)
+
+/// The paper's facility tables plus a small customers→orders→items star,
+/// so both workloads run against one catalog.
+fn database() -> ferry_engine::Database {
+    let mut db = paper_dataset();
+    db.create_table(
+        "customers",
+        Schema::of(&[("cid", Ty::Int), ("name", Ty::Str)]),
+        vec!["cid"],
+    )
+    .unwrap();
+    db.create_table(
+        "orders",
+        Schema::of(&[("cid", Ty::Int), ("oid", Ty::Int)]),
+        vec!["oid"],
+    )
+    .unwrap();
+    db.create_table(
+        "items",
+        Schema::of(&[("oid", Ty::Int), ("price", Ty::Int), ("product", Ty::Str)]),
+        vec!["oid", "product"],
+    )
+    .unwrap();
+    let i = Value::Int;
+    let s = Value::str;
+    db.insert(
+        "customers",
+        vec![
+            vec![i(1), s("Ada")],
+            vec![i(2), s("Grace")],
+            vec![i(3), s("Edsger")],
+        ],
+    )
+    .unwrap();
+    db.insert(
+        "orders",
+        vec![vec![i(1), i(10)], vec![i(1), i(11)], vec![i(2), i(20)]],
+    )
+    .unwrap();
+    db.insert(
+        "items",
+        vec![
+            vec![i(10), i(120), s("anvil")],
+            vec![i(10), i(2), s("banana")],
+            vec![i(11), i(30), s("compass")],
+            vec![i(20), i(45), s("dynamite")],
+            vec![i(20), i(45), s("fuse")],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+/// The nested orders report of `examples/orders.rs`: three list
+/// constructors ⇒ a 3-query bundle.
+fn orders_report() -> Q<Vec<(String, Vec<(i64, Vec<(String, i64)>)>)>> {
+    map(
+        |c: Q<Customer>| {
+            let (cid, name) = c.view();
+            let orders = filter(
+                move |o: Q<Order>| o.fst().eq(&cid),
+                table::<Order>("orders"),
+            );
+            pair(
+                name,
+                map(
+                    |o: Q<Order>| {
+                        let oid = o.snd();
+                        let items = map(
+                            |it: Q<Item>| pair(it.proj3_2(), it.proj3_1()),
+                            filter(
+                                {
+                                    let oid = oid.clone();
+                                    move |it: Q<Item>| it.proj3_0().eq(&oid)
+                                },
+                                table::<Item>("items"),
+                            ),
+                        );
+                        pair(oid, items)
+                    },
+                    orders,
+                ),
+            )
+        },
+        table::<Customer>("customers"),
+    )
+}
+
+#[test]
+fn n_threads_share_connection_and_prepared_handles() {
+    const N: u64 = 8;
+    let conn = Connection::new(database()).with_optimizer(ferry_optimizer::rewriter());
+
+    // reference values, computed before any threads exist
+    let expect_dsh = conn.interpret(&dsh_query()).unwrap();
+    let expect_orders = conn.interpret(&orders_report()).unwrap();
+
+    // prepare once; bundle sizes are the avalanche-safety guarantee
+    let prep_dsh = Arc::new(conn.prepare(&dsh_query()).unwrap());
+    let prep_orders = Arc::new(conn.prepare(&orders_report()).unwrap());
+    assert_eq!(prep_dsh.bundle().queries.len(), 2);
+    assert_eq!(prep_orders.bundle().queries.len(), 3);
+
+    conn.database().reset_stats();
+    let threads: Vec<_> = (0..N)
+        .map(|_| {
+            let conn = conn.clone();
+            let prep_dsh = prep_dsh.clone();
+            let prep_orders = prep_orders.clone();
+            let expect_dsh = expect_dsh.clone();
+            let expect_orders = expect_orders.clone();
+            thread::spawn(move || {
+                // a locally built AST must be served from the shared cache
+                let own = conn.prepare(&dsh_query()).unwrap();
+                assert_eq!(conn.execute(&own).unwrap(), expect_dsh);
+                // shared handles: execute-many from many threads
+                assert_eq!(conn.execute(&*prep_dsh).unwrap(), expect_dsh);
+                assert_eq!(conn.execute(&*prep_orders).unwrap(), expect_orders);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let stats = conn.database().stats();
+    // each thread: 2 dsh executions (2 queries each) + 1 orders (3)
+    assert_eq!(stats.queries, N * (2 + 2 + 3), "no double dispatch");
+    // every per-thread prepare after the first two is a hit; the two
+    // initial misses happened before reset_stats
+    assert_eq!(stats.cache_misses, 0);
+    assert!(stats.cache_hits >= N - 1, "hits {} < N-1", stats.cache_hits);
+    assert_eq!(stats.cache_hits, N, "one hit per thread prepare");
+}
+
+#[test]
+fn concurrent_mixed_workload_matches_interpreter() {
+    // threads interleave prepared execution with cold from_q of distinct
+    // queries — exercising cache insertion racing cache hits
+    const N: i64 = 6;
+    let conn = Connection::new(database()).with_optimizer(ferry_optimizer::rewriter());
+    let prep = Arc::new(conn.prepare(&dsh_query()).unwrap());
+    let expect_dsh = conn.interpret(&dsh_query()).unwrap();
+
+    let threads: Vec<_> = (0..N)
+        .map(|k| {
+            let conn = conn.clone();
+            let prep = prep.clone();
+            let expect_dsh = expect_dsh.clone();
+            thread::spawn(move || {
+                let q = ferry::comp!(
+                    (pair(name, sum(map(|o: Q<Order>| o.snd(), orders))))
+                    for (cid, name) in table::<Customer>("customers"),
+                    if cid.ge(&toq(&k)),
+                    let orders = filter({
+                        let cid = cid.clone();
+                        move |o: Q<Order>| o.fst().eq(&cid)
+                    }, table::<Order>("orders"))
+                );
+                let via_db = conn.from_q(&q).unwrap();
+                assert_eq!(via_db, conn.interpret(&q).unwrap());
+                assert_eq!(conn.execute(&*prep).unwrap(), expect_dsh);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}

@@ -8,18 +8,20 @@ use ferry_engine::Database;
 
 fn conn() -> Connection {
     let mut db = Database::new();
-    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"]).unwrap();
-    db.insert(
-        "nums",
-        (1..=4).map(|i| vec![Value::Int(i)]).collect(),
-    )
-    .unwrap();
+    db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
+        .unwrap();
+    db.insert("nums", (1..=4).map(|i| vec![Value::Int(i)]).collect())
+        .unwrap();
     Connection::new(db).with_optimizer(ferry_optimizer::rewriter())
 }
 
 fn check<T: QA + PartialEq + std::fmt::Debug>(c: &Connection, q: &Q<T>, queries: usize) -> T {
     let bundle = c.compile(q).expect("compile");
-    assert_eq!(bundle.queries.len(), queries, "bundle size = type's bundle size");
+    assert_eq!(
+        bundle.queries.len(),
+        queries,
+        "bundle size = type's bundle size"
+    );
     assert_eq!(bundle.queries.len(), T::ty().bundle_size());
     let via_db = c.from_q(q).expect("db");
     let oracle = c.interpret(q).expect("oracle");
@@ -42,10 +44,7 @@ fn tuples_of_lists_of_tuples() {
     let c = conn();
     // ([ (x, [x]) ], Int): root + outer list + inner list = 3 queries
     let q = pair(
-        map(
-            |x: Q<i64>| pair(x.clone(), list([x])),
-            table::<i64>("nums"),
-        ),
+        map(|x: Q<i64>| pair(x.clone(), list([x])), table::<i64>("nums")),
         length(table::<i64>("nums")),
     );
     let (pairs, n) = check(&c, &q, 3);
@@ -79,7 +78,11 @@ fn mixed_constant_and_table_nesting() {
     let c = conn();
     // zip a constant nested list against per-row generated lists
     let q = zip(
-        toq(&vec![vec!["a".to_string()], vec![], vec!["b".to_string(), "c".to_string()]]),
+        toq(&vec![
+            vec!["a".to_string()],
+            vec![],
+            vec!["b".to_string(), "c".to_string()],
+        ]),
         map(|x: Q<i64>| list([x]), table::<i64>("nums")),
     );
     let r = check(&c, &q, 3);
@@ -104,7 +107,10 @@ fn concat_flattens_one_level_only() {
 #[test]
 fn reverse_of_nested_lists_keeps_inner_order() {
     let c = conn();
-    let q = reverse(map(|x: Q<i64>| list([x.clone(), x + toq(&10i64)]), table::<i64>("nums")));
+    let q = reverse(map(
+        |x: Q<i64>| list([x.clone(), x + toq(&10i64)]),
+        table::<i64>("nums"),
+    ));
     let r = check(&c, &q, 2);
     assert_eq!(r[0], vec![4, 14]);
     assert_eq!(r[3], vec![1, 11]);

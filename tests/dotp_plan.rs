@@ -6,9 +6,7 @@
 
 use ferry::prelude::*;
 use ferry_algebra::{AggFun, Node};
-use ferry_bench::dotp::{
-    dotp_data, dotp_database, dotp_query, dotp_scalar, dotp_vectorised,
-};
+use ferry_bench::dotp::{dotp_data, dotp_database, dotp_query, dotp_scalar, dotp_vectorised};
 
 #[test]
 fn fig5_instance_agrees_everywhere() {
@@ -36,7 +34,10 @@ fn random_instances_agree() {
         let conn =
             Connection::new(dotp_database(&sv, &v)).with_optimizer(ferry_optimizer::rewriter());
         let got = conn.from_q(&dotp_query()).unwrap();
-        assert!((got - expected).abs() < 1e-9, "seed {seed}: {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "seed {seed}: {got} vs {expected}"
+        );
     }
 }
 

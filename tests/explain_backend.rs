@@ -1,0 +1,59 @@
+//! `Connection::explain` through the Backend abstraction — golden test
+//! on the running example.
+//!
+//! With the default algebra backend, explain shows the kernel term, the
+//! bundle shape and each member's algebra plan. With `SqlBackend`
+//! installed it *additionally* renders the exact SQL:1999 text the
+//! backend would ship, per bundle member, in the dialect of the paper's
+//! appendix. Golden assertions are structural (dialect signatures), as
+//! fresh-variable numbering varies run to run.
+
+use ferry::prelude::*;
+use ferry_bench::table1::dsh_query;
+use ferry_bench::workload::paper_dataset;
+use ferry_sql::SqlBackend;
+use std::sync::Arc;
+
+#[test]
+fn explain_with_algebra_backend_shows_plans_only() {
+    let conn = Connection::new(paper_dataset()).with_optimizer(ferry_optimizer::rewriter());
+    let out = conn.explain(&dsh_query()).unwrap();
+
+    assert!(out.contains("combinators: "), "{out}");
+    assert!(out.contains("result type: [(Text, [Text])]"), "{out}");
+    assert!(out.contains("backend: algebra"), "{out}");
+    assert!(out.contains("bundle: 2 queries"), "{out}");
+    assert!(out.contains("-- query 1 --"), "{out}");
+    assert!(out.contains("-- query 2 --"), "{out}");
+    assert!(!out.contains("(sql)"), "no SQL sections by default: {out}");
+}
+
+#[test]
+fn explain_with_sql_backend_renders_the_generated_sql() {
+    let conn = Connection::new(paper_dataset())
+        .with_optimizer(ferry_optimizer::rewriter())
+        .with_backend(Arc::new(SqlBackend));
+    let out = conn.explain(&dsh_query()).unwrap();
+
+    // header and the algebra sections are still there
+    assert!(out.contains("backend: sql"), "{out}");
+    assert!(out.contains("bundle: 2 queries"), "{out}");
+    assert!(out.contains("-- query 1 --"), "{out}");
+    // plus one SQL section per bundle member
+    assert!(out.contains("-- query 1 (sql) --"), "{out}");
+    assert!(out.contains("-- query 2 (sql) --"), "{out}");
+
+    // the SQL is the appendix dialect: CTE bindings with provenance
+    // comments, DENSE_RANK, type-suffixed columns, observable order
+    let sql_part = out.split("-- query 1 (sql) --").nth(1).unwrap();
+    assert!(sql_part.contains("WITH"), "{out}");
+    assert!(sql_part.contains("-- binding due to"), "{out}");
+    assert!(sql_part.contains("DENSE_RANK () OVER"), "{out}");
+    assert!(sql_part.contains("SELECT DISTINCT"), "{out}");
+    assert!(sql_part.contains("_nat"), "{out}");
+    assert!(sql_part.contains("ORDER BY"), "{out}");
+    assert!(sql_part.contains("FROM facilities"), "{out}");
+
+    // explain itself must not dispatch anything
+    assert_eq!(conn.database().stats().queries, 0);
+}
