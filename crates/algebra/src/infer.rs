@@ -73,7 +73,7 @@ fn infer_node(
             Ok(schema)
         }
         Node::Lit { schema, rows } => {
-            for row in rows {
+            for row in rows.iter() {
                 if row.len() != schema.len() {
                     return err(id, "literal row width mismatch");
                 }

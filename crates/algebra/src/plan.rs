@@ -71,8 +71,9 @@ pub enum Node {
         cols: Vec<(ColName, crate::value::Ty)>,
         keys: Vec<ColName>,
     },
-    /// A literal table.
-    Lit { schema: Schema, rows: Vec<Row> },
+    /// A literal table. Rows sit behind an `Arc` so every execution of the
+    /// plan shares one buffer with the plan itself (copy-free `Lit` scans).
+    Lit { schema: Schema, rows: Arc<Vec<Row>> },
     /// Attach a constant column.
     Attach {
         input: NodeId,
@@ -317,6 +318,11 @@ impl Plan {
     // ----- by tests; they keep call sites readable) -----
 
     pub fn lit(&mut self, schema: Schema, rows: Vec<Row>) -> NodeId {
+        self.lit_shared(schema, Arc::new(rows))
+    }
+
+    /// Literal node over an already-shared buffer (no copy).
+    pub fn lit_shared(&mut self, schema: Schema, rows: Arc<Vec<Row>>) -> NodeId {
         self.add(Node::Lit { schema, rows })
     }
 

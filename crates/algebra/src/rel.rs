@@ -1,48 +1,263 @@
 //! Materialised relations: the tabular values flowing between operators.
+//!
+//! A [`Rel`] is a *view* over a shared, immutable row buffer. Operators
+//! that only drop rows (`Select`, `Distinct`, semi/anti joins) or rename
+//! columns (`Project`, `Serialize`) describe their output as a selection
+//! vector and/or a column remap over the input's buffer instead of copying
+//! rows; the buffer itself is behind an [`Arc`], so table scans, literal
+//! re-executions and cache hits all share storage. Only operators that
+//! create genuinely new cells (joins, `Compute`, `Attach`, aggregation,
+//! window functions) force materialisation.
 
 use crate::schema::Schema;
 use crate::value::Value;
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
 
 /// One table row. Cells are positionally aligned with the owning relation's
-/// [`Schema`].
+/// [`Schema`] (for dense relations) or with the backing buffer (views remap
+/// through their selection vector / column map).
 pub type Row = Vec<Value>;
 
-/// A materialised relation: a schema plus a bag of rows.
+/// A materialised relation: a schema plus a bag of rows, represented as a
+/// view over a shared row buffer.
 ///
 /// The engine is a bulk-at-a-time executor, so operators consume and
 /// produce whole `Rel`s. Row order *is* observable — the Ferry encoding of
 /// list order relies on `pos` columns, and the final `Serialize` operator
 /// sorts — but no operator other than `Serialize` promises a particular
 /// physical order.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ([`PartialEq`]) compares the *visible* contents (schema plus
+/// the rows the view exposes), never the representation: a dense relation
+/// and a view are equal iff they expose the same rows.
+#[derive(Debug, Clone)]
 pub struct Rel {
     pub schema: Schema,
-    pub rows: Vec<Row>,
+    /// The shared backing buffer. Rows in the buffer are full-width with
+    /// respect to whatever relation originally materialised them.
+    buf: Arc<Vec<Row>>,
+    /// Selection vector: visible row `i` is buffer row `sel[i]`. `None`
+    /// means all buffer rows are visible in buffer order.
+    sel: Option<Arc<Vec<u32>>>,
+    /// Column remap: visible column `c` is buffer column `cols[c]`. `None`
+    /// means buffer rows are exactly `schema`-wide, in schema order.
+    cols: Option<Arc<Vec<u32>>>,
 }
 
 impl Rel {
+    /// A dense relation owning freshly materialised rows.
     pub fn new(schema: Schema, rows: Vec<Row>) -> Rel {
         debug_assert!(
             rows.iter().all(|r| r.len() == schema.len()),
             "row width does not match schema {schema}"
         );
-        Rel { schema, rows }
-    }
-
-    pub fn empty(schema: Schema) -> Rel {
         Rel {
             schema,
-            rows: Vec::new(),
+            buf: Arc::new(rows),
+            sel: None,
+            cols: None,
         }
     }
 
+    /// A dense relation sharing an existing buffer (zero-copy: table scans
+    /// and literal nodes hand out the catalog's own `Arc`).
+    pub fn from_shared(schema: Schema, rows: Arc<Vec<Row>>) -> Rel {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == schema.len()),
+            "row width does not match schema {schema}"
+        );
+        Rel {
+            schema,
+            buf: rows,
+            sel: None,
+            cols: None,
+        }
+    }
+
+    pub fn empty(schema: Schema) -> Rel {
+        Rel::new(schema, Vec::new())
+    }
+
+    /// Number of visible rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.buf.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of visible columns.
+    pub fn width(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// True when the view is the identity over its buffer: no selection
+    /// vector, no column remap. Dense relations hand out their buffer
+    /// as-is via [`Rel::shared_rows`] without copying.
+    pub fn is_dense(&self) -> bool {
+        self.sel.is_none() && self.cols.is_none()
+    }
+
+    /// The shared backing buffer. Rows in it are *buffer-shaped*, not
+    /// necessarily `schema`-shaped — use [`Rel::raw_col`] to translate
+    /// column positions. Exposed so storage sharing is observable
+    /// (`Arc::ptr_eq`) and so the engine can evaluate remapped expressions
+    /// against buffer rows directly.
+    pub fn buffer(&self) -> &Arc<Vec<Row>> {
+        &self.buf
+    }
+
+    /// The selection vector, if any (visible row → buffer row).
+    pub fn sel_map(&self) -> Option<&[u32]> {
+        self.sel.as_deref().map(|v| v.as_slice())
+    }
+
+    /// The column remap, if any (visible column → buffer column).
+    pub fn col_map(&self) -> Option<&[u32]> {
+        self.cols.as_deref().map(|v| v.as_slice())
+    }
+
+    /// Buffer index of visible row `i`.
+    #[inline]
+    pub fn raw_row(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Buffer column of visible column `c`.
+    #[inline]
+    pub fn raw_col(&self, c: usize) -> usize {
+        match &self.cols {
+            Some(m) => m[c] as usize,
+            None => c,
+        }
+    }
+
+    /// The cell at visible row `i`, visible column `c`.
+    #[inline]
+    pub fn cell(&self, i: usize, c: usize) -> &Value {
+        &self.buf[self.raw_row(i)][self.raw_col(c)]
+    }
+
+    /// Borrow visible row `i` as a contiguous `Row`, when the view has no
+    /// column remap (buffer rows are then schema-shaped).
+    #[inline]
+    pub fn row_ref(&self, i: usize) -> Option<&Row> {
+        match &self.cols {
+            Some(_) => None,
+            None => Some(&self.buf[self.raw_row(i)]),
+        }
+    }
+
+    /// Materialise visible row `i` as an owned `Row`.
+    pub fn owned_row(&self, i: usize) -> Row {
+        self.owned_row_with(i, 0)
+    }
+
+    /// Materialise visible row `i`, reserving `extra` additional capacity
+    /// (for operators that append columns to it).
+    pub fn owned_row_with(&self, i: usize, extra: usize) -> Row {
+        let raw = &self.buf[self.raw_row(i)];
+        match &self.cols {
+            None => {
+                let mut r = Vec::with_capacity(raw.len() + extra);
+                r.extend_from_slice(raw);
+                r
+            }
+            Some(map) => {
+                let mut r = Vec::with_capacity(map.len() + extra);
+                r.extend(map.iter().map(|&c| raw[c as usize].clone()));
+                r
+            }
+        }
+    }
+
+    /// Append the visible cells of row `i` onto `out` (join builders).
+    pub fn extend_row(&self, i: usize, out: &mut Row) {
+        let raw = &self.buf[self.raw_row(i)];
+        match &self.cols {
+            None => out.extend_from_slice(raw),
+            Some(map) => out.extend(map.iter().map(|&c| raw[c as usize].clone())),
+        }
+    }
+
+    /// The visible rows. Borrowed (zero-copy) for dense relations,
+    /// materialised on the fly for views. For one-shot consumption of a
+    /// possibly-view relation prefer per-row accessors; for repeated
+    /// access, bind the result to a local first.
+    pub fn rows(&self) -> Cow<'_, [Row]> {
+        if self.is_dense() {
+            Cow::Borrowed(self.buf.as_slice())
+        } else {
+            Cow::Owned((0..self.len()).map(|i| self.owned_row(i)).collect())
+        }
+    }
+
+    /// The visible rows as a shareable buffer: the backing `Arc` itself
+    /// for dense relations (no copy), a fresh buffer for views.
+    pub fn shared_rows(&self) -> Arc<Vec<Row>> {
+        if self.is_dense() {
+            self.buf.clone()
+        } else {
+            Arc::new((0..self.len()).map(|i| self.owned_row(i)).collect())
+        }
+    }
+
+    /// A dense equivalent of this relation (identity view over a buffer
+    /// holding exactly the visible rows). Cheap for already-dense inputs.
+    pub fn to_dense(&self) -> Rel {
+        Rel {
+            schema: self.schema.clone(),
+            buf: self.shared_rows(),
+            sel: None,
+            cols: None,
+        }
+    }
+
+    /// Same rows, different column names (arity and order preserved) —
+    /// lets `UnionAll` pass an empty side through without copying.
+    pub fn with_schema(&self, schema: Schema) -> Rel {
+        debug_assert_eq!(schema.len(), self.schema.len());
+        Rel {
+            schema,
+            buf: self.buf.clone(),
+            sel: self.sel.clone(),
+            cols: self.cols.clone(),
+        }
+    }
+
+    /// A row-subset view: `raw` holds **buffer** row indices (obtain them
+    /// via [`Rel::raw_row`]), visible in the given order. Keeps this
+    /// view's column remap, shares the buffer.
+    pub fn with_sel(&self, raw: Vec<u32>) -> Rel {
+        debug_assert!(raw.iter().all(|&r| (r as usize) < self.buf.len()));
+        Rel {
+            schema: self.schema.clone(),
+            buf: self.buf.clone(),
+            sel: Some(Arc::new(raw)),
+            cols: self.cols.clone(),
+        }
+    }
+
+    /// A column-remap view: `raw` holds **buffer** column indices (obtain
+    /// them via [`Rel::raw_col`]), one per column of `schema`. Keeps this
+    /// view's selection vector, shares the buffer.
+    pub fn with_cols(&self, schema: Schema, raw: Vec<u32>) -> Rel {
+        debug_assert_eq!(schema.len(), raw.len());
+        Rel {
+            schema,
+            buf: self.buf.clone(),
+            sel: self.sel.clone(),
+            cols: Some(Arc::new(raw)),
+        }
     }
 
     /// Column accessor by name; panics if the column does not exist (plans
@@ -56,13 +271,17 @@ impl Rel {
     /// Iterate over the values of one column.
     pub fn column<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Value> + 'a {
         let idx = self.col_index(name);
-        self.rows.iter().map(move |r| &r[idx])
+        (0..self.len()).map(move |i| self.cell(i, idx))
     }
 
     /// Sort rows by the given column indices ascending (stable). Used by
-    /// tests and by `Serialize`.
+    /// tests and by `Serialize`. Materialises views.
     pub fn sort_by_cols(&mut self, idxs: &[usize]) {
-        self.rows.sort_by(|a, b| {
+        let mut rows = match Arc::try_unwrap(self.shared_rows()) {
+            Ok(rows) => rows,
+            Err(shared) => (*shared).clone(),
+        };
+        rows.sort_by(|a, b| {
             for &i in idxs {
                 match a[i].cmp(&b[i]) {
                     std::cmp::Ordering::Equal => continue,
@@ -71,27 +290,43 @@ impl Rel {
             }
             std::cmp::Ordering::Equal
         });
+        *self = Rel::new(self.schema.clone(), rows);
     }
 
     /// Multiset equality: equal schema and equal rows up to order. Handy in
     /// tests for operators that do not promise physical order.
     pub fn same_bag(&self, other: &Rel) -> bool {
-        if self.schema != other.schema || self.rows.len() != other.rows.len() {
+        if self.schema != other.schema || self.len() != other.len() {
             return false;
         }
-        let mut a = self.rows.clone();
-        let mut b = other.rows.clone();
+        let mut a = self.rows().into_owned();
+        let mut b = other.rows().into_owned();
         a.sort();
         b.sort();
         a == b
     }
 }
 
+impl PartialEq for Rel {
+    fn eq(&self, other: &Rel) -> bool {
+        if self.schema != other.schema || self.len() != other.len() {
+            return false;
+        }
+        if self.is_dense() && other.is_dense() && Arc::ptr_eq(&self.buf, &other.buf) {
+            return true;
+        }
+        let w = self.width();
+        (0..self.len()).all(|i| (0..w).all(|c| self.cell(i, c) == other.cell(i, c)))
+    }
+}
+
 impl fmt::Display for Rel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        for i in 0..self.len() {
+            let cells: Vec<String> = (0..self.width())
+                .map(|c| self.cell(i, c).to_string())
+                .collect();
             writeln!(f, "  [{}]", cells.join(", "))?;
         }
         Ok(())
@@ -131,11 +366,11 @@ mod tests {
     #[test]
     fn same_bag_ignores_order() {
         let a = sample();
-        let mut b = sample();
-        b.rows.reverse();
+        let b = a.with_sel(vec![1, 0]); // reversed view of the same buffer
         assert!(a.same_bag(&b));
-        b.rows.pop();
-        assert!(!a.same_bag(&b));
+        assert_ne!(a, b);
+        let c = a.with_sel(vec![1]);
+        assert!(!a.same_bag(&c));
     }
 
     #[test]
@@ -143,5 +378,62 @@ mod tests {
         let r = Rel::empty(Schema::of(&[("x", Ty::Int)]));
         assert!(r.is_empty());
         assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn shared_buffer_is_not_copied() {
+        let r = sample();
+        let shared = Rel::from_shared(r.schema.clone(), r.buffer().clone());
+        assert!(Arc::ptr_eq(r.buffer(), shared.buffer()));
+        assert_eq!(r, shared);
+        // views still share the buffer
+        let v = shared.with_sel(vec![0]);
+        assert!(Arc::ptr_eq(r.buffer(), v.buffer()));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn selection_vector_view() {
+        let r = sample();
+        let v = r.with_sel(vec![1]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.cell(0, 1), &Value::Int(10));
+        assert_eq!(v.rows().as_ref(), &[vec![Value::Nat(1), Value::Int(10)]]);
+        assert!(!v.is_dense());
+        assert_eq!(v.row_ref(0), Some(&vec![Value::Nat(1), Value::Int(10)]));
+    }
+
+    #[test]
+    fn column_remap_view() {
+        let r = sample();
+        let v = r.with_cols(Schema::of(&[("item", Ty::Int)]), vec![1]);
+        assert_eq!(v.width(), 1);
+        assert_eq!(v.cell(0, 0), &Value::Int(20));
+        assert_eq!(v.row_ref(0), None);
+        assert_eq!(v.owned_row(0), vec![Value::Int(20)]);
+        // composing a selection on top keeps the remap
+        let vs = v.with_sel(vec![1]);
+        assert_eq!(vs.rows().as_ref(), &[vec![Value::Int(10)]]);
+        assert_eq!(vs.to_dense().rows().as_ref(), &[vec![Value::Int(10)]]);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let r = sample();
+        let d = r.with_sel(vec![0, 1]).to_dense();
+        assert!(!Arc::ptr_eq(r.buffer(), d.buffer()));
+        assert_eq!(r, d);
+        let reordered = r.with_sel(vec![1, 0]);
+        assert_ne!(r, reordered);
+    }
+
+    #[test]
+    fn with_schema_renames_without_copy() {
+        let r = sample();
+        let renamed = r.with_schema(Schema::of(&[("p", Ty::Nat), ("i", Ty::Int)]));
+        assert!(Arc::ptr_eq(r.buffer(), renamed.buffer()));
+        assert_eq!(renamed.col_index("i"), 1);
+        assert_eq!(renamed.cell(1, 1), &Value::Int(10));
+        assert!(renamed.is_dense());
     }
 }

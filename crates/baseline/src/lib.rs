@@ -262,7 +262,8 @@ mod tests {
         db.reset_stats();
         let r = do_query(&db, &q).unwrap();
         assert_eq!(db.stats().queries, 1);
-        let cats: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        let rows = r.rows();
+        let cats: Vec<&str> = rows.iter().map(|r| r[0].as_str().unwrap()).collect();
         assert_eq!(cats, vec!["LIN", "QLA"]);
     }
 
@@ -278,7 +279,7 @@ mod tests {
         outer.order("cat", false);
         let cats = do_query(&db, &outer).unwrap();
         let mut result = Vec::new();
-        for row in &cats.rows {
+        for row in cats.rows().iter() {
             let cat = row[0].as_str().unwrap().to_string();
             let mut inner = Query::new();
             let f = inner.table("facilities");
@@ -321,7 +322,8 @@ mod tests {
         q.project("fac", f.col("fac"));
         q.order("fac", false);
         let r = do_query(&db, &q).unwrap();
-        let facs: Vec<&str> = r.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        let rows = r.rows();
+        let facs: Vec<&str> = rows.iter().map(|r| r[0].as_str().unwrap()).collect();
         assert_eq!(facs, vec!["LINQ", "Links"]);
     }
 }

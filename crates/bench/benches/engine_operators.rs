@@ -1,11 +1,21 @@
 //! Engine micro-benchmarks: the bulk operators loop-lifted plans lean on
-//! hardest (hash join, row numbering, grouping, duplicate elimination).
-//! Not a paper artefact — a regression guard for the substrate that all
-//! measured experiments run on.
+//! hardest (hash join, row numbering, grouping, duplicate elimination,
+//! filtering, projection, serialization). Not a paper artefact — a
+//! regression guard for the substrate that all measured experiments run
+//! on.
+//!
+//! Each operator runs twice: `serial` (`ParConfig::serial()`) and `par4`
+//! (4 worker threads, morsel threshold lowered so the 50k–100k inputs
+//! actually split). On a multi-core host the `par4` variants additionally
+//! measure the morsel scheduler; on a single-core host they measure its
+//! overhead. The copy-free wins (filter/project/serialize emitting views
+//! instead of materialised rows) show up in both variants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ferry_algebra::{plan::cn, plan::Aggregate, AggFun, Dir, JoinCols, Plan, Schema, Ty, Value};
-use ferry_engine::Database;
+use ferry_algebra::{
+    plan::cn, plan::Aggregate, AggFun, BinOp, Dir, Expr, JoinCols, NodeId, Plan, Schema, Ty, Value,
+};
+use ferry_engine::{Database, ParConfig};
 
 fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
     (0..rows)
@@ -13,10 +23,41 @@ fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
         .collect()
 }
 
+/// The two engines under comparison: pure serial, and 4 workers with the
+/// parallelism threshold low enough for every benched input.
+fn engines() -> Vec<(&'static str, Database)> {
+    let par4 = ParConfig {
+        threads: 4,
+        min_rows: 1024,
+        morsel_rows: 0,
+    };
+    let mut par_db = Database::new();
+    par_db.set_par_config(par4);
+    let mut serial_db = Database::new();
+    serial_db.set_par_config(ParConfig::serial());
+    vec![("serial", serial_db), ("par4", par_db)]
+}
+
+fn bench_both(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    n: usize,
+    plan: &Plan,
+    root: NodeId,
+) {
+    for (mode, db) in engines() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}_{mode}"), n),
+            &n,
+            |bch, _| bch.iter(|| db.execute(plan, root).expect(name)),
+        );
+    }
+}
+
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
-    let db = Database::new();
     const N: usize = 50_000;
+    const M: usize = 100_000;
 
     // hash join N × N on a key with ~N/10 duplicates
     {
@@ -30,9 +71,7 @@ fn bench_engine(c: &mut Criterion) {
             int_table(N, 50_000),
         );
         let j = plan.equi_join(l, r, JoinCols::single("a", "b"));
-        group.bench_with_input(BenchmarkId::new("equi_join", N), &N, |bch, _| {
-            bch.iter(|| db.execute(&plan, j).expect("join"))
-        });
+        bench_both(&mut group, "equi_join", N, &plan, j);
     }
 
     // ROW_NUMBER over a 10-partition table
@@ -43,9 +82,7 @@ fn bench_engine(c: &mut Criterion) {
             int_table(N, 10),
         );
         let rn = plan.rownum(l, "pos", vec![cn("k")], vec![(cn("a"), Dir::Asc)]);
-        group.bench_with_input(BenchmarkId::new("rownum", N), &N, |bch, _| {
-            bch.iter(|| db.execute(&plan, rn).expect("rownum"))
-        });
+        bench_both(&mut group, "rownum", N, &plan, rn);
     }
 
     // grouped aggregation, 10 groups
@@ -71,9 +108,7 @@ fn bench_engine(c: &mut Criterion) {
                 },
             ],
         );
-        group.bench_with_input(BenchmarkId::new("group_by", N), &N, |bch, _| {
-            bch.iter(|| db.execute(&plan, g).expect("group"))
-        });
+        bench_both(&mut group, "group_by", N, &plan, g);
     }
 
     // duplicate elimination with heavy duplication
@@ -85,9 +120,24 @@ fn bench_engine(c: &mut Criterion) {
         );
         let l = plan.project(l0, vec![(cn("k"), cn("k"))]);
         let d = plan.distinct(l);
-        group.bench_with_input(BenchmarkId::new("distinct", N), &N, |bch, _| {
-            bch.iter(|| db.execute(&plan, d).expect("distinct"))
-        });
+        bench_both(&mut group, "distinct", N, &plan, d);
+    }
+
+    // filter → project → sort at 100k rows: the copy-free chain — a
+    // selection vector, composed with a column remap, composed with a
+    // sorted selection vector, all over one shared buffer
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(M, 10),
+        );
+        let f = plan.select(l, Expr::bin(BinOp::Lt, Expr::col("k"), Expr::lit(5i64)));
+        bench_both(&mut group, "filter", M, &plan, f);
+        let pr = plan.project(f, vec![(cn("a"), cn("a"))]);
+        bench_both(&mut group, "project", M, &plan, pr);
+        let ser = plan.serialize(pr, vec![(cn("a"), Dir::Desc)], vec![cn("a")]);
+        bench_both(&mut group, "serialize", M, &plan, ser);
     }
 
     group.finish();

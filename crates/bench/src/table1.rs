@@ -104,11 +104,11 @@ pub fn run_haskelldb(db: &Database) -> Result<(Vec<(String, Vec<String>)>, u64),
     db.reset_stats();
     let cats = do_query(db, &get_cats())?;
     let mut out = Vec::with_capacity(cats.len());
-    for row in &cats.rows {
+    for row in cats.rows().iter() {
         let cat = row[0].as_str().expect("cat is text").to_string();
         let means = do_query(db, &get_cat_features(&cat))?;
         let list: Vec<String> = means
-            .rows
+            .rows()
             .iter()
             .map(|r| r[0].as_str().expect("meaning is text").to_string())
             .collect();

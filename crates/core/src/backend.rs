@@ -71,4 +71,18 @@ impl Backend for AlgebraBackend {
     fn render_root(&self, _db: &Database, plan: &Plan, root: NodeId) -> Result<String, FerryError> {
         Ok(ferry_algebra::pretty::render(plan, root))
     }
+
+    /// The direct path can do better than member-at-a-time: hand the whole
+    /// bundle to the engine in one pass, so sub-plans shared between
+    /// members evaluate once and independent members overlap on the DAG
+    /// wavefront scheduler. Query accounting is identical to the default
+    /// (one query per member).
+    fn execute_bundle(
+        &self,
+        db: &Database,
+        bundle: &CompiledBundle,
+    ) -> Result<Vec<Rel>, FerryError> {
+        let roots: Vec<NodeId> = bundle.queries.iter().map(|q| q.root).collect();
+        Ok(db.execute_bundle(&bundle.plan, &roots)?)
+    }
 }

@@ -75,6 +75,7 @@ pub mod types;
 
 pub use backend::{AlgebraBackend, Backend};
 pub use error::FerryError;
+pub use ferry_engine::{NodeProfile, ParConfig};
 pub use qa::{Q, QA, TA};
 pub use runtime::{Connection, Prepared};
 pub use types::{Ty, Val};

@@ -263,7 +263,7 @@ impl Connection {
                     })
                     .collect::<Result<_, _>>()?
             };
-            let mut rows = t.rows.clone();
+            let mut rows = t.rows.as_ref().clone();
             rows.sort_by(|a, b| {
                 key_idx
                     .iter()
@@ -340,6 +340,46 @@ impl Connection {
             }
         }
         Ok(out)
+    }
+
+    /// [`explain`](Connection::explain) plus execution: run the bundle
+    /// and render the engine's per-node profile — wall time, output rows
+    /// and morsel count per operator — followed by the aggregate
+    /// parallelism counters. The profiling analogue of SQL's
+    /// `EXPLAIN ANALYZE`.
+    pub fn explain_analyze<T: QA>(&self, q: &Q<T>) -> Result<String, FerryError> {
+        use std::fmt::Write;
+        let mut out = self.explain(q)?;
+        let bundle = self.compile(q)?;
+        let db = self.database();
+        let results = self.backend.execute_bundle(&db, &bundle)?;
+        let stats = db.stats();
+        let _ = writeln!(
+            out,
+            "-- execution profile ({} rows out) --",
+            results.iter().map(Rel::len).sum::<usize>()
+        );
+        for p in &stats.profile {
+            let _ = writeln!(
+                out,
+                "node {:>3}  {:<12} {:>9} rows  {:>3} morsels  {:?}",
+                p.node, p.label, p.rows, p.morsels, p.elapsed
+            );
+        }
+        let _ = writeln!(
+            out,
+            "parallel waves: {}  parallel nodes: {}  morsel tasks: {}",
+            stats.par_waves, stats.par_nodes, stats.morsel_tasks
+        );
+        Ok(out)
+    }
+
+    /// Configure the engine's morsel/wavefront parallelism for every
+    /// subsequent execution on this connection's database (shared by all
+    /// clones). `ParConfig::serial()` recovers the single-threaded
+    /// engine.
+    pub fn set_par_config(&self, cfg: ferry_engine::ParConfig) {
+        self.db.write().unwrap().set_par_config(cfg);
     }
 }
 

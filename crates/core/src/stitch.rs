@@ -29,7 +29,7 @@ pub fn stitch(results: &[Rel], queries: &[QueryDesc]) -> Result<Val, FerryError>
     let mut maps: Vec<HashMap<u64, Vec<Val>>> = vec![HashMap::new(); queries.len()];
     for i in (1..queries.len()).rev() {
         let mut map: HashMap<u64, Vec<Val>> = HashMap::new();
-        for row in &results[i].rows {
+        for row in results[i].rows().iter() {
             let nest = nest_of(row)?;
             let item = build_item(row, &queries[i].layout, &mut maps)?;
             map.entry(nest).or_default().push(item);
@@ -39,13 +39,13 @@ pub fn stitch(results: &[Rel], queries: &[QueryDesc]) -> Result<Val, FerryError>
     let root = &queries[0];
     if root.is_list {
         let mut out = Vec::with_capacity(results[0].len());
-        for row in &results[0].rows {
+        for row in results[0].rows().iter() {
             out.push(build_item(row, &root.layout, &mut maps)?);
         }
         Ok(Val::List(out))
     } else {
-        match results[0].rows.len() {
-            1 => build_item(&results[0].rows[0], &root.layout, &mut maps),
+        match results[0].len() {
+            1 => build_item(&results[0].rows()[0], &root.layout, &mut maps),
             0 => Err(FerryError::Partial(
                 "no result row — a partial operation (head/the/maximum/!!) was \
                  applied to an empty list"

@@ -618,3 +618,17 @@ fn explain_describes_the_bundle() {
     assert!(text.contains("-- query 2 --"), "{text}");
     assert!(text.contains("serialize"), "{text}");
 }
+
+#[test]
+fn explain_analyze_renders_the_node_profile() {
+    let c = conn();
+    let text = c
+        .explain_analyze(&group_with(|x: Q<i64>| x % toq(&2i64), nums()))
+        .unwrap();
+    // everything explain prints, plus the engine's per-node profile
+    assert!(text.contains("-- execution profile"), "{text}");
+    assert!(text.contains("serialize"), "{text}");
+    assert!(text.contains("rows"), "{text}");
+    assert!(text.contains("morsels"), "{text}");
+    assert!(text.contains("morsel tasks:"), "{text}");
+}

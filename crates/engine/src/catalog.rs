@@ -2,14 +2,19 @@
 
 use crate::error::EngineError;
 use crate::exec;
+use crate::par::ParConfig;
 use crate::stats::QueryStats;
 use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, Schema};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A database-resident base table: schema, key columns (defining the
 /// canonical order the `table` combinator exposes) and rows.
+///
+/// Rows sit behind an `Arc` so a `TableRef` scan shares the catalog's
+/// buffer with the query result instead of copying the table
+/// (`Arc::make_mut` on insert preserves value semantics for writers).
 #[derive(Debug, Clone)]
 pub struct BaseTable {
     pub schema: Schema,
@@ -17,7 +22,7 @@ pub struct BaseTable {
     /// the table: the Ferry front-end materialises `pos` by row-numbering
     /// over these columns.
     pub keys: Vec<String>,
-    pub rows: Vec<Row>,
+    pub rows: Arc<Vec<Row>>,
 }
 
 /// The in-memory database acting as the coprocessor.
@@ -30,6 +35,8 @@ pub struct BaseTable {
 pub struct Database {
     tables: HashMap<String, BaseTable>,
     dispatch_cost: Duration,
+    /// Morsel/wavefront parallelism knobs used by every dispatch.
+    par: ParConfig,
     stats: Mutex<QueryStats>,
     /// Monotone counter bumped whenever the *schema* of the catalog
     /// changes (tables created, replaced or force-installed). Compiled
@@ -65,7 +72,7 @@ impl Database {
             BaseTable {
                 schema,
                 keys: keys.into_iter().map(String::from).collect(),
-                rows: Vec::new(),
+                rows: Arc::new(Vec::new()),
             },
         );
         self.schema_version += 1;
@@ -126,7 +133,7 @@ impl Database {
                 }
             }
         }
-        table.rows.extend(rows);
+        Arc::make_mut(&mut table.rows).extend(rows);
         Ok(())
     }
 
@@ -144,8 +151,17 @@ impl Database {
         self.dispatch_cost = cost;
     }
 
+    /// Set the parallelism configuration used by subsequent dispatches.
+    pub fn set_par_config(&mut self, cfg: ParConfig) {
+        self.par = cfg;
+    }
+
+    pub fn par_config(&self) -> ParConfig {
+        self.par
+    }
+
     pub fn stats(&self) -> QueryStats {
-        *self.stats.lock().unwrap()
+        self.stats.lock().unwrap().clone()
     }
 
     pub fn reset_stats(&self) {
@@ -161,18 +177,36 @@ impl Database {
         let schemas = infer_schema(plan)?;
         let mut local = QueryStats::default();
         let result = exec::run(self, plan, root, &schemas, &mut local)?;
-        let mut stats = self.stats.lock().unwrap();
-        stats.queries += 1;
-        stats.rows_out += result.len() as u64;
-        stats.nodes_evaluated += local.nodes_evaluated;
-        stats.rows_produced += local.rows_produced;
+        local.queries = 1;
+        local.rows_out = result.len() as u64;
+        self.stats.lock().unwrap().absorb(local);
         Ok(result)
     }
 
-    /// Dispatch a bundle of queries (one `execute` each) and collect the
-    /// results in order.
+    /// Dispatch a bundle of queries and collect the results in order.
+    ///
+    /// The whole bundle is evaluated in **one pass** over the shared plan
+    /// DAG: sub-plans common to several members run once, and independent
+    /// members overlap on the wavefront scheduler. Accounting is
+    /// unchanged from dispatching each member separately — every root
+    /// still counts as one query and is charged `dispatch_cost`, so the
+    /// Table 1 avalanche numbers measure the same client/server protocol.
     pub fn execute_bundle(&self, plan: &Plan, roots: &[NodeId]) -> Result<Vec<Rel>, EngineError> {
-        roots.iter().map(|&r| self.execute(plan, r)).collect()
+        if roots.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !self.dispatch_cost.is_zero() {
+            for _ in roots {
+                spin_for(self.dispatch_cost);
+            }
+        }
+        let schemas = infer_schema(plan)?;
+        let mut local = QueryStats::default();
+        let results = exec::run_many(self, plan, roots, &schemas, &mut local)?;
+        local.queries = roots.len() as u64;
+        local.rows_out = results.iter().map(|r| r.len() as u64).sum();
+        self.stats.lock().unwrap().absorb(local);
+        Ok(results)
     }
 }
 

@@ -12,6 +12,9 @@ pub enum EngineError {
     NoSuchTable(String),
     /// A `TableRef` disagrees with the catalog (arity or column types).
     TableMismatch { table: String, detail: String },
+    /// An operator references a column its input does not provide — a
+    /// malformed plan that slipped past (or around) schema inference.
+    NoSuchColumn { col: String, schema: String },
     /// A runtime evaluation error (division by zero, numeric overflow, …).
     Eval(String),
 }
@@ -23,6 +26,9 @@ impl fmt::Display for EngineError {
             EngineError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             EngineError::TableMismatch { table, detail } => {
                 write!(f, "table {table} mismatch: {detail}")
+            }
+            EngineError::NoSuchColumn { col, schema } => {
+                write!(f, "no such column {col} in schema {schema}")
             }
             EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
         }

@@ -1,17 +1,39 @@
 //! Physical operators: bulk-at-a-time evaluation of a plan DAG.
 //!
-//! Nodes are evaluated in arena order (which is a topological order by
-//! construction), each reachable node exactly once; results of shared
-//! nodes are reused, mirroring how a real engine evaluates a DAG-shaped
-//! query with common subexpressions.
+//! Three compounding execution strategies keep the bulk operators — the
+//! hot path of every loop-lifted bundle — fast:
+//!
+//! 1. **Copy-free buffers.** Relations are views over `Arc`-shared row
+//!    buffers ([`Rel`]). `TableRef` and `Lit` hand out the catalog's /
+//!    plan's own buffer; `Select`, `Distinct`, semi/anti joins emit
+//!    *selection vectors*; `Project` and `Serialize` emit *column remaps*.
+//!    Rows are only materialised by operators that create new cells.
+//! 2. **Morsel-driven intra-operator parallelism** ([`crate::par`]):
+//!    predicate evaluation, row construction, join probes and sorts split
+//!    large inputs into ordered morsels executed by scoped worker threads.
+//! 3. **DAG wavefront scheduling**: the arena is topologically ordered, so
+//!    nodes group into dependency levels; independent siblings of one
+//!    level (including the sub-plans of different bundle members in
+//!    [`run_many`]) evaluate concurrently.
+//!
+//! All three are *observably deterministic*: morsel outputs reassemble in
+//! morsel order, sorts break ties on row position, and wavefronts only
+//! reorder wall-clock work, never results. `tests/differential.rs` checks
+//! serial and parallel runs cell-for-cell.
 
 use crate::catalog::Database;
 use crate::error::EngineError;
-use crate::eval::{bind, eval};
-use crate::stats::QueryStats;
-use ferry_algebra::{AggFun, Dir, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value};
+use crate::eval::{bind, eval, Bound};
+use crate::par::{self, ParConfig};
+use crate::stats::{NodeProfile, QueryStats};
+use ferry_algebra::{
+    AggFun, ColName, Dir, Expr, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value,
+};
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Evaluate the DAG under `root` and return its relation.
 pub fn run(
@@ -21,15 +43,161 @@ pub fn run(
     schemas: &[Schema],
     stats: &mut QueryStats,
 ) -> Result<Rel, EngineError> {
-    let reachable = plan.reachable(root);
-    let mut results: Vec<Option<Rel>> = vec![None; plan.len()];
-    for id in reachable {
-        let rel = eval_node(db, plan, id, schemas, &results)?;
-        stats.nodes_evaluated += 1;
-        stats.rows_produced += rel.len() as u64;
-        results[id.index()] = Some(rel);
+    Ok(run_many(db, plan, &[root], schemas, stats)?
+        .pop()
+        .expect("one root in, one relation out"))
+}
+
+/// Evaluate the DAG under several roots **in one pass**: nodes shared
+/// between roots (common sub-plans of a query bundle) are evaluated once,
+/// and independent nodes of each dependency wavefront run concurrently.
+/// Returns one relation per root, in root order.
+pub fn run_many(
+    db: &Database,
+    plan: &Plan,
+    roots: &[NodeId],
+    schemas: &[Schema],
+    stats: &mut QueryStats,
+) -> Result<Vec<Rel>, EngineError> {
+    let cfg = db.par_config();
+    // mark every node reachable from any root
+    let mut needed = vec![false; plan.len()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut needed[id.index()], true) {
+            continue;
+        }
+        stack.extend(plan.node(id).children());
     }
-    Ok(results[root.index()].take().expect("root evaluated"))
+    // dependency levels: children are always lower-indexed, one forward scan
+    let mut level = vec![0u32; plan.len()];
+    let mut waves: Vec<Vec<NodeId>> = Vec::new();
+    for idx in 0..plan.len() {
+        if !needed[idx] {
+            continue;
+        }
+        let id = NodeId(idx as u32);
+        let l = plan
+            .node(id)
+            .children()
+            .iter()
+            .map(|c| level[c.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[idx] = l;
+        if waves.len() <= l as usize {
+            waves.resize_with(l as usize + 1, Vec::new);
+        }
+        waves[l as usize].push(id);
+    }
+
+    let mut results: Vec<Option<Rel>> = vec![None; plan.len()];
+    for wave in &waves {
+        // Nodes of one wave are mutually independent (an ancestor is always
+        // on a strictly higher level). Evaluate the heavyweight ones on the
+        // worker pool, the trivial ones inline, then record in id order.
+        let mut outcomes: Vec<Option<(Rel, NodeMetrics)>> = vec![None; wave.len()];
+        let heavy: Vec<usize> = (0..wave.len())
+            .filter(|&k| est_input_rows(db, plan, wave[k], &results) >= cfg.min_rows.max(2))
+            .collect();
+        if cfg.threads > 1 && heavy.len() >= 2 {
+            stats.par_waves += 1;
+            let slots: Vec<WaveSlot> = heavy.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let results_ref = &results;
+            std::thread::scope(|s| {
+                for _ in 0..cfg.threads.min(heavy.len()) {
+                    s.spawn(|| loop {
+                        let w = next.fetch_add(1, AtOrd::Relaxed);
+                        if w >= heavy.len() {
+                            break;
+                        }
+                        let id = wave[heavy[w]];
+                        *slots[w].lock().unwrap() =
+                            Some(eval_timed(db, plan, id, schemas, results_ref, &cfg));
+                    });
+                }
+            });
+            for (w, slot) in slots.into_iter().enumerate() {
+                let outcome = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("every wave slot is claimed")?;
+                outcomes[heavy[w]] = Some(outcome);
+            }
+        }
+        for (k, &id) in wave.iter().enumerate() {
+            if outcomes[k].is_none() {
+                outcomes[k] = Some(eval_timed(db, plan, id, schemas, &results, &cfg)?);
+            }
+        }
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            let (rel, m) = outcome.expect("wave fully evaluated");
+            let id = wave[k];
+            stats.nodes_evaluated += 1;
+            stats.rows_produced += rel.len() as u64;
+            stats.morsel_tasks += m.morsels as u64;
+            if m.morsels > 1 {
+                stats.par_nodes += 1;
+            }
+            stats.profile.push(NodeProfile {
+                node: id.0,
+                label: plan.node(id).label(),
+                rows: rel.len() as u64,
+                elapsed: m.elapsed,
+                morsels: m.morsels,
+            });
+            results[id.index()] = Some(rel);
+        }
+    }
+    Ok(roots
+        .iter()
+        .map(|r| {
+            results[r.index()]
+                .clone()
+                .expect("root evaluated by final wave")
+        })
+        .collect())
+}
+
+/// Rows the node will consume — child result sizes (already evaluated in
+/// earlier waves), or the base-table / literal size for leaves. Decides
+/// whether a node is worth a worker-pool slot.
+fn est_input_rows(db: &Database, plan: &Plan, id: NodeId, results: &[Option<Rel>]) -> usize {
+    match plan.node(id) {
+        Node::TableRef { name, .. } => db.table(name).map(|t| t.rows.len()).unwrap_or(0),
+        Node::Lit { rows, .. } => rows.len(),
+        n => n
+            .children()
+            .iter()
+            .map(|c| results[c.index()].as_ref().map(Rel::len).unwrap_or(0))
+            .sum(),
+    }
+}
+
+/// Per-node execution metrics, folded into [`QueryStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeMetrics {
+    morsels: u32,
+    elapsed: std::time::Duration,
+}
+
+/// Result slot a worker fills for one heavyweight wave member.
+type WaveSlot = Mutex<Option<Result<(Rel, NodeMetrics), EngineError>>>;
+
+fn eval_timed(
+    db: &Database,
+    plan: &Plan,
+    id: NodeId,
+    schemas: &[Schema],
+    results: &[Option<Rel>],
+    cfg: &ParConfig,
+) -> Result<(Rel, NodeMetrics), EngineError> {
+    let mut m = NodeMetrics::default();
+    let start = Instant::now();
+    let rel = eval_node(db, plan, id, schemas, results, cfg, &mut m)?;
+    m.elapsed = start.elapsed();
+    Ok((rel, m))
 }
 
 fn child(results: &[Option<Rel>], id: NodeId) -> &Rel {
@@ -38,10 +206,70 @@ fn child(results: &[Option<Rel>], id: NodeId) -> &Rel {
         .expect("child evaluated before parent")
 }
 
-/// Compare two rows on the given `(index, direction)` spec.
-fn cmp_rows(a: &Row, b: &Row, spec: &[(usize, Dir)]) -> Ordering {
-    for &(i, d) in spec {
-        let o = a[i].cmp(&b[i]);
+fn no_such_col(schema: &Schema, col: &str) -> EngineError {
+    EngineError::NoSuchColumn {
+        col: col.to_string(),
+        schema: schema.to_string(),
+    }
+}
+
+/// Resolve an order specification to visible column indices; a missing
+/// column is a malformed plan, reported — not panicked — as
+/// [`EngineError::NoSuchColumn`].
+fn resolve_sort(schema: &Schema, order: &[SortSpec]) -> Result<Vec<(usize, Dir)>, EngineError> {
+    order
+        .iter()
+        .map(|(c, d)| {
+            schema
+                .index_of(c)
+                .map(|i| (i, *d))
+                .ok_or_else(|| no_such_col(schema, c))
+        })
+        .collect()
+}
+
+/// Resolve column names to visible indices (see [`resolve_sort`]).
+fn resolve_cols(schema: &Schema, cols: &[ColName]) -> Result<Vec<usize>, EngineError> {
+    cols.iter()
+        .map(|c| schema.index_of(c).ok_or_else(|| no_such_col(schema, c)))
+        .collect()
+}
+
+/// Bind `expr` against the relation's visible schema, then rewrite the
+/// column slots through the view's remap so the bound form evaluates
+/// directly against **buffer** rows — predicates and computed columns
+/// never force a view to materialise.
+fn bind_rel(expr: &Expr, rel: &Rel) -> Bound {
+    let b = bind(expr, &rel.schema);
+    match rel.col_map() {
+        None => b,
+        Some(map) => remap_bound(b, map),
+    }
+}
+
+fn remap_bound(b: Bound, map: &[u32]) -> Bound {
+    match b {
+        Bound::Col(i) => Bound::Col(map[i] as usize),
+        Bound::Const(v) => Bound::Const(v),
+        Bound::Bin(op, l, r) => Bound::Bin(
+            op,
+            Box::new(remap_bound(*l, map)),
+            Box::new(remap_bound(*r, map)),
+        ),
+        Bound::Un(op, e) => Bound::Un(op, Box::new(remap_bound(*e, map))),
+        Bound::Case(c, t, e) => Bound::Case(
+            Box::new(remap_bound(*c, map)),
+            Box::new(remap_bound(*t, map)),
+            Box::new(remap_bound(*e, map)),
+        ),
+        Bound::Cast(ty, e) => Bound::Cast(ty, Box::new(remap_bound(*e, map))),
+    }
+}
+
+/// Compare two visible rows on the given `(column, direction)` spec.
+fn cmp_vis(rel: &Rel, a: u32, b: u32, spec: &[(usize, Dir)]) -> Ordering {
+    for &(c, d) in spec {
+        let o = rel.cell(a as usize, c).cmp(rel.cell(b as usize, c));
         let o = match d {
             Dir::Asc => o,
             Dir::Desc => o.reverse(),
@@ -53,21 +281,9 @@ fn cmp_rows(a: &Row, b: &Row, spec: &[(usize, Dir)]) -> Ordering {
     Ordering::Equal
 }
 
-fn resolve_sort(schema: &Schema, order: &[SortSpec]) -> Vec<(usize, Dir)> {
-    order
-        .iter()
-        .map(|(c, d)| (schema.index_of(c).expect("validated"), *d))
-        .collect()
-}
-
-fn resolve_cols(schema: &Schema, cols: &[ferry_algebra::ColName]) -> Vec<usize> {
-    cols.iter()
-        .map(|c| schema.index_of(c).expect("validated"))
-        .collect()
-}
-
-fn key_of(row: &Row, idxs: &[usize]) -> Vec<Value> {
-    idxs.iter().map(|&i| row[i].clone()).collect()
+/// Visible cells of row `i` at columns `idxs`, borrowed (hash/probe keys).
+fn key_ref<'a>(rel: &'a Rel, i: usize, idxs: &[usize]) -> Vec<&'a Value> {
+    idxs.iter().map(|&c| rel.cell(i, c)).collect()
 }
 
 fn eval_node(
@@ -76,6 +292,8 @@ fn eval_node(
     id: NodeId,
     schemas: &[Schema],
     results: &[Option<Rel>],
+    cfg: &ParConfig,
+    m: &mut NodeMetrics,
 ) -> Result<Rel, EngineError> {
     let out_schema = schemas[id.index()].clone();
     match plan.node(id) {
@@ -101,197 +319,254 @@ fn eval_node(
                     });
                 }
             }
-            Ok(Rel::new(out_schema, table.rows.clone()))
+            // zero-copy scan: the result shares the catalog's buffer
+            Ok(Rel::from_shared(out_schema, table.rows.clone()))
         }
-        Node::Lit { rows, .. } => Ok(Rel::new(out_schema, rows.clone())),
+        // zero-copy: every execution shares the plan's literal buffer
+        Node::Lit { rows, .. } => Ok(Rel::from_shared(out_schema, rows.clone())),
         Node::Attach { input, value, .. } => {
             let rel = child(results, *input);
-            let rows = rel
-                .rows
-                .iter()
-                .map(|r| {
-                    let mut r = r.clone();
+            let (rows, morsels) = par::map_morsels(cfg, rel.len(), |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    let mut r = rel.owned_row_with(i, 1);
                     r.push(value.clone());
-                    r
-                })
-                .collect();
+                    out.push(r);
+                }
+                Ok::<_, EngineError>(out)
+            })?;
+            m.morsels += morsels;
             Ok(Rel::new(out_schema, rows))
         }
         Node::Project { input, cols } => {
+            // pure column remap — no row is touched
             let rel = child(results, *input);
-            let idxs: Vec<usize> = cols
+            let raw: Vec<u32> = cols
                 .iter()
-                .map(|(_, old)| rel.schema.index_of(old).expect("validated"))
-                .collect();
-            let rows = rel.rows.iter().map(|r| key_of(r, &idxs)).collect();
-            Ok(Rel::new(out_schema, rows))
+                .map(|(_, old)| {
+                    rel.schema
+                        .index_of(old)
+                        .map(|c| rel.raw_col(c) as u32)
+                        .ok_or_else(|| no_such_col(&rel.schema, old))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(rel.with_cols(out_schema, raw))
         }
         Node::Compute { input, expr, .. } => {
             let rel = child(results, *input);
-            let bound = bind(expr, &rel.schema);
-            let mut rows = Vec::with_capacity(rel.len());
-            for r in &rel.rows {
-                let v = eval(&bound, r)?;
-                let mut r = r.clone();
-                r.push(v);
-                rows.push(r);
-            }
+            let bound = bind_rel(expr, rel);
+            let buf = rel.buffer();
+            let (rows, morsels) = par::map_morsels(cfg, rel.len(), |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for i in range {
+                    let v = eval(&bound, &buf[rel.raw_row(i)])?;
+                    let mut r = rel.owned_row_with(i, 1);
+                    r.push(v);
+                    out.push(r);
+                }
+                Ok::<_, EngineError>(out)
+            })?;
+            m.morsels += morsels;
             Ok(Rel::new(out_schema, rows))
         }
         Node::Select { input, pred } => {
+            // selection vector over the shared buffer — rows are not copied
             let rel = child(results, *input);
-            let bound = bind(pred, &rel.schema);
-            let mut rows = Vec::new();
-            for r in &rel.rows {
-                if eval(&bound, r)? == Value::Bool(true) {
-                    rows.push(r.clone());
+            let bound = bind_rel(pred, rel);
+            let buf = rel.buffer();
+            let (keep, morsels) = par::map_morsels(cfg, rel.len(), |range| {
+                let mut keep = Vec::new();
+                for i in range {
+                    let raw = rel.raw_row(i);
+                    if eval(&bound, &buf[raw])? == Value::Bool(true) {
+                        keep.push(raw as u32);
+                    }
                 }
-            }
-            Ok(Rel::new(out_schema, rows))
+                Ok::<_, EngineError>(keep)
+            })?;
+            m.morsels += morsels;
+            Ok(rel.with_sel(keep).with_schema(out_schema))
         }
         Node::Distinct { input } => {
+            // pass-through view keeping the first occurrence of each row
             let rel = child(results, *input);
-            let mut seen: HashMap<&Row, ()> = HashMap::with_capacity(rel.len());
-            let mut rows = Vec::new();
-            for r in &rel.rows {
-                if seen.insert(r, ()).is_none() {
-                    rows.push(r.clone());
+            let w = rel.width();
+            let all: Vec<usize> = (0..w).collect();
+            let mut seen: HashMap<Vec<&Value>, ()> = HashMap::with_capacity(rel.len());
+            let mut keep = Vec::new();
+            for i in 0..rel.len() {
+                if seen.insert(key_ref(rel, i, &all), ()).is_none() {
+                    keep.push(rel.raw_row(i) as u32);
                 }
             }
-            Ok(Rel::new(out_schema, rows))
+            Ok(rel.with_sel(keep).with_schema(out_schema))
         }
         Node::UnionAll { left, right } => {
             let l = child(results, *left);
             let r = child(results, *right);
-            let mut rows = l.rows.clone();
-            rows.extend(r.rows.iter().cloned());
+            if r.is_empty() {
+                return Ok(l.with_schema(out_schema));
+            }
+            if l.is_empty() {
+                return Ok(r.with_schema(out_schema));
+            }
+            let mut rows = Vec::with_capacity(l.len() + r.len());
+            for i in 0..l.len() {
+                rows.push(l.owned_row(i));
+            }
+            for i in 0..r.len() {
+                rows.push(r.owned_row(i));
+            }
             Ok(Rel::new(out_schema, rows))
         }
         Node::Difference { left, right } => {
             let l = child(results, *left);
             let r = child(results, *right);
-            let exclude: HashMap<&Row, ()> = r.rows.iter().map(|row| (row, ())).collect();
-            let mut seen: HashMap<&Row, ()> = HashMap::new();
-            let mut rows = Vec::new();
-            for row in &l.rows {
-                if !exclude.contains_key(row) && seen.insert(row, ()).is_none() {
-                    rows.push(row.clone());
+            let w = l.width();
+            let all: Vec<usize> = (0..w).collect();
+            let exclude: HashMap<Vec<&Value>, ()> =
+                (0..r.len()).map(|j| (key_ref(r, j, &all), ())).collect();
+            let mut seen: HashMap<Vec<&Value>, ()> = HashMap::new();
+            let mut keep = Vec::new();
+            for i in 0..l.len() {
+                let key = key_ref(l, i, &all);
+                if !exclude.contains_key(&key) && seen.insert(key, ()).is_none() {
+                    keep.push(l.raw_row(i) as u32);
                 }
             }
-            Ok(Rel::new(out_schema, rows))
+            Ok(l.with_sel(keep).with_schema(out_schema))
         }
         Node::CrossJoin { left, right } => {
             let l = child(results, *left);
             let r = child(results, *right);
-            let mut rows = Vec::with_capacity(l.len() * r.len());
-            for a in &l.rows {
-                for b in &r.rows {
-                    let mut row = a.clone();
-                    row.extend(b.iter().cloned());
-                    rows.push(row);
+            let rw = r.width();
+            let (rows, morsels) = par::map_morsels(cfg, l.len(), |range| {
+                let mut out = Vec::with_capacity(range.len() * r.len());
+                for i in range {
+                    for j in 0..r.len() {
+                        let mut row = l.owned_row_with(i, rw);
+                        r.extend_row(j, &mut row);
+                        out.push(row);
+                    }
                 }
-            }
+                Ok::<_, EngineError>(out)
+            })?;
+            m.morsels += morsels;
             Ok(Rel::new(out_schema, rows))
         }
         Node::EquiJoin { left, right, on } => {
             let l = child(results, *left);
             let r = child(results, *right);
-            let li = resolve_cols(&l.schema, &on.left);
-            let ri = resolve_cols(&r.schema, &on.right);
-            // hash join: build on the right, probe with the left
-            let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.len());
-            for (i, row) in r.rows.iter().enumerate() {
-                index.entry(key_of(row, &ri)).or_default().push(i);
+            let li = resolve_cols(&l.schema, &on.left)?;
+            let ri = resolve_cols(&r.schema, &on.right)?;
+            // hash join: build on the right, probe with the left (morsels)
+            let mut index: HashMap<Vec<&Value>, Vec<u32>> = HashMap::with_capacity(r.len());
+            for j in 0..r.len() {
+                index.entry(key_ref(r, j, &ri)).or_default().push(j as u32);
             }
-            let mut rows = Vec::new();
-            for a in &l.rows {
-                if let Some(matches) = index.get(&key_of(a, &li)) {
-                    for &i in matches {
-                        let mut row = a.clone();
-                        row.extend(r.rows[i].iter().cloned());
-                        rows.push(row);
+            let rw = r.width();
+            let (rows, morsels) = par::map_morsels(cfg, l.len(), |range| {
+                let mut out = Vec::new();
+                for i in range {
+                    if let Some(matches) = index.get(&key_ref(l, i, &li)) {
+                        for &j in matches {
+                            let mut row = l.owned_row_with(i, rw);
+                            r.extend_row(j as usize, &mut row);
+                            out.push(row);
+                        }
                     }
                 }
-            }
+                Ok::<_, EngineError>(out)
+            })?;
+            m.morsels += morsels;
             Ok(Rel::new(out_schema, rows))
         }
         Node::SemiJoin { left, right, on } | Node::AntiJoin { left, right, on } => {
             let anti = matches!(plan.node(id), Node::AntiJoin { .. });
             let l = child(results, *left);
             let r = child(results, *right);
-            let li = resolve_cols(&l.schema, &on.left);
-            let ri = resolve_cols(&r.schema, &on.right);
-            let keys: HashMap<Vec<Value>, ()> =
-                r.rows.iter().map(|row| (key_of(row, &ri), ())).collect();
-            let rows = l
-                .rows
-                .iter()
-                .filter(|a| keys.contains_key(&key_of(a, &li)) != anti)
-                .cloned()
-                .collect();
-            Ok(Rel::new(out_schema, rows))
+            let li = resolve_cols(&l.schema, &on.left)?;
+            let ri = resolve_cols(&r.schema, &on.right)?;
+            let keys: HashMap<Vec<&Value>, ()> =
+                (0..r.len()).map(|j| (key_ref(r, j, &ri), ())).collect();
+            // the output is a selection vector over the left input
+            let (keep, morsels) = par::map_morsels(cfg, l.len(), |range| {
+                let mut keep = Vec::new();
+                for i in range {
+                    if keys.contains_key(&key_ref(l, i, &li)) != anti {
+                        keep.push(l.raw_row(i) as u32);
+                    }
+                }
+                Ok::<_, EngineError>(keep)
+            })?;
+            m.morsels += morsels;
+            Ok(l.with_sel(keep).with_schema(out_schema))
         }
         Node::ThetaJoin { left, right, pred } => {
             let l = child(results, *left);
             let r = child(results, *right);
             let joint = l.schema.concat(&r.schema);
             let bound = bind(pred, &joint);
-            let mut rows = Vec::new();
-            for a in &l.rows {
-                for b in &r.rows {
-                    let mut row = a.clone();
-                    row.extend(b.iter().cloned());
-                    if eval(&bound, &row)? == Value::Bool(true) {
-                        rows.push(row);
+            let rw = r.width();
+            let (rows, morsels) = par::map_morsels(cfg, l.len(), |range| {
+                let mut out = Vec::new();
+                for i in range {
+                    for j in 0..r.len() {
+                        let mut row = l.owned_row_with(i, rw);
+                        r.extend_row(j, &mut row);
+                        if eval(&bound, &row)? == Value::Bool(true) {
+                            out.push(row);
+                        }
                     }
                 }
-            }
+                Ok::<_, EngineError>(out)
+            })?;
+            m.morsels += morsels;
             Ok(Rel::new(out_schema, rows))
         }
         Node::RowNum {
             input, part, order, ..
         } => {
             let rel = child(results, *input);
-            Ok(windowed(rel, part, order, out_schema, WindowKind::RowNum))
+            windowed(rel, part, order, out_schema, WindowKind::RowNum, cfg, m)
         }
         Node::RowRank { input, order, .. } => {
             let rel = child(results, *input);
-            Ok(windowed(rel, &[], order, out_schema, WindowKind::Rank))
+            windowed(rel, &[], order, out_schema, WindowKind::Rank, cfg, m)
         }
         Node::DenseRank {
             input, part, order, ..
         } => {
             let rel = child(results, *input);
-            Ok(windowed(
-                rel,
-                part,
-                order,
-                out_schema,
-                WindowKind::DenseRank,
-            ))
+            windowed(rel, part, order, out_schema, WindowKind::DenseRank, cfg, m)
         }
         Node::GroupBy { input, keys, aggs } => {
             let rel = child(results, *input);
-            let ki = resolve_cols(&rel.schema, keys);
+            let ki = resolve_cols(&rel.schema, keys)?;
             let ai: Vec<Option<usize>> = aggs
                 .iter()
                 .map(|a| {
                     a.input
                         .as_ref()
-                        .map(|c| rel.schema.index_of(c).expect("validated"))
+                        .map(|c| {
+                            rel.schema
+                                .index_of(c)
+                                .ok_or_else(|| no_such_col(&rel.schema, c))
+                        })
+                        .transpose()
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             // group rows by key, first-occurrence order
             let mut order: Vec<Vec<Value>> = Vec::new();
             let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-            for row in &rel.rows {
-                let key = key_of(row, &ki);
+            for i in 0..rel.len() {
+                let key: Vec<Value> = ki.iter().map(|&c| rel.cell(i, c).clone()).collect();
                 let accs = groups.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
                     aggs.iter().map(|a| Acc::new(a.fun)).collect()
                 });
                 for (acc, idx) in accs.iter_mut().zip(&ai) {
-                    acc.feed(idx.map(|i| &row[i]))?;
+                    acc.feed(idx.map(|c| rel.cell(i, c)))?;
                 }
             }
             let mut rows = Vec::with_capacity(order.len());
@@ -306,16 +581,24 @@ fn eval_node(
             Ok(Rel::new(out_schema, rows))
         }
         Node::Serialize { input, order, cols } => {
+            // order + projection as a pure view: sorted selection vector
+            // composed with a column remap — the bundle's result rows are
+            // the input's own buffer cells
             let rel = child(results, *input);
-            let spec = resolve_sort(&rel.schema, order);
-            let mut idxs: Vec<usize> = (0..rel.len()).collect();
-            idxs.sort_by(|&a, &b| cmp_rows(&rel.rows[a], &rel.rows[b], &spec).then(a.cmp(&b)));
-            let ci = resolve_cols(&rel.schema, cols);
-            let rows = idxs
+            let spec = resolve_sort(&rel.schema, order)?;
+            let (idxs, morsels) = par::sort_indices(cfg, rel.len(), |a, b| {
+                cmp_vis(rel, a, b, &spec).then(a.cmp(&b))
+            });
+            m.morsels += morsels;
+            let sel: Vec<u32> = idxs
                 .into_iter()
-                .map(|i| key_of(&rel.rows[i], &ci))
+                .map(|i| rel.raw_row(i as usize) as u32)
                 .collect();
-            Ok(Rel::new(out_schema, rows))
+            let raw_cols: Vec<u32> = resolve_cols(&rel.schema, cols)?
+                .into_iter()
+                .map(|c| rel.raw_col(c) as u32)
+                .collect();
+            Ok(rel.with_sel(sel).with_cols(out_schema, raw_cols))
         }
     }
 }
@@ -333,33 +616,39 @@ enum WindowKind {
 /// as final tiebreak makes numbering deterministic when the order spec has
 /// ties, matching what loop-lifting assumes of the back-end ("the database
 /// system is free to consider these bindings ... in any order" only where
-/// the result is order-insensitive).
+/// the result is order-insensitive). The sort itself runs on the morsel
+/// pool (chunk sort + merge); numbering is a cheap serial scan.
 fn windowed(
     rel: &Rel,
-    part: &[ferry_algebra::ColName],
+    part: &[ColName],
     order: &[SortSpec],
     out_schema: Schema,
     kind: WindowKind,
-) -> Rel {
-    let pi = resolve_cols(&rel.schema, part);
-    let spec = resolve_sort(&rel.schema, order);
-    let mut idxs: Vec<usize> = (0..rel.len()).collect();
-    idxs.sort_by(|&a, &b| {
-        key_of(&rel.rows[a], &pi)
-            .cmp(&key_of(&rel.rows[b], &pi))
-            .then_with(|| cmp_rows(&rel.rows[a], &rel.rows[b], &spec))
+    cfg: &ParConfig,
+    m: &mut NodeMetrics,
+) -> Result<Rel, EngineError> {
+    let pi: Vec<(usize, Dir)> = resolve_cols(&rel.schema, part)?
+        .into_iter()
+        .map(|c| (c, Dir::Asc))
+        .collect();
+    let spec = resolve_sort(&rel.schema, order)?;
+    let (idxs, morsels) = par::sort_indices(cfg, rel.len(), |a, b| {
+        cmp_vis(rel, a, b, &pi)
+            .then_with(|| cmp_vis(rel, a, b, &spec))
             .then(a.cmp(&b))
     });
+    m.morsels += morsels;
+    let part_idx: Vec<usize> = pi.iter().map(|&(c, _)| c).collect();
+    let order_idx: Vec<usize> = spec.iter().map(|&(c, _)| c).collect();
     let mut rows: Vec<Row> = Vec::with_capacity(rel.len());
-    let mut prev_part: Option<Vec<Value>> = None;
-    let mut prev_order: Option<Vec<Value>> = None;
+    let mut prev_part: Option<Vec<&Value>> = None;
+    let mut prev_order: Option<Vec<&Value>> = None;
     let mut row_number = 0u64;
     let mut rank_value = 0u64;
-    let order_idx: Vec<usize> = spec.iter().map(|&(i, _)| i).collect();
     for i in idxs {
-        let row = &rel.rows[i];
-        let p = key_of(row, &pi);
-        let o = key_of(row, &order_idx);
+        let i = i as usize;
+        let p = key_ref(rel, i, &part_idx);
+        let o = key_ref(rel, i, &order_idx);
         if prev_part.as_ref() != Some(&p) {
             row_number = 0;
             rank_value = 0;
@@ -386,11 +675,11 @@ fn windowed(
                 rank_value
             }
         };
-        let mut out = row.clone();
+        let mut out = rel.owned_row_with(i, 1);
         out.push(Value::Nat(n));
         rows.push(out);
     }
-    Rel::new(out_schema, rows)
+    Ok(Rel::new(out_schema, rows))
 }
 
 /// Aggregate accumulator.

@@ -19,12 +19,25 @@
 //!   parse/plan overhead — this is what makes the avalanche of Table 1
 //!   observable and measurable.
 
+//! ## Execution strategies
+//!
+//! The bulk operators run **copy-free** where the algebra allows it
+//! (scans, filters, projections and serialisation are `Arc`-shared views
+//! with selection vectors / column remaps), split large inputs into
+//! **morsels** executed by a scoped-thread worker pool ([`par`]), and
+//! evaluate independent DAG nodes — including the members of a query
+//! bundle — concurrently by dependency **wavefront**. All of it is
+//! observably deterministic; `ParConfig { threads: 1, .. }` recovers the
+//! pure serial engine.
+
 pub mod catalog;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod par;
 pub mod stats;
 
 pub use catalog::{BaseTable, Database};
 pub use error::EngineError;
-pub use stats::QueryStats;
+pub use par::ParConfig;
+pub use stats::{NodeProfile, QueryStats};

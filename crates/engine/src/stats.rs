@@ -5,9 +5,33 @@
 //! effect. The engine therefore counts every dispatched query (and some
 //! volume metrics) so experiments can assert counts exactly rather than
 //! inferring them from timings.
+//!
+//! Beyond the aggregate counters, the engine records a **per-node profile**
+//! of the most recent dispatch: one [`NodeProfile`] per evaluated plan node
+//! with its wall-clock time, output rows and morsel count. `Connection::
+//! explain_analyze` renders it.
+
+use std::time::Duration;
+
+/// Wall-time and work record for one evaluated plan node (most recent
+/// query only — see [`QueryStats::profile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Arena index of the node in its plan.
+    pub node: u32,
+    /// Operator mnemonic (`Node::label`).
+    pub label: &'static str,
+    /// Rows the node produced.
+    pub rows: u64,
+    /// Wall-clock evaluation time for this node.
+    pub elapsed: Duration,
+    /// Morsels the node's bulk work was split into (`0` for operators
+    /// without a morsel path, `1` for a serial run).
+    pub morsels: u32,
+}
 
 /// Counters accumulated by a [`crate::Database`] across `execute` calls.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Number of queries dispatched (one per `execute` call).
     pub queries: u64,
@@ -24,11 +48,40 @@ pub struct QueryStats {
     /// … and misses: compilations that went through the full
     /// loop-lifting + optimisation pipeline.
     pub cache_misses: u64,
+    /// Total morsel tasks executed by bulk operators (one per contiguous
+    /// row range handed to a worker; serial runs count one morsel).
+    pub morsel_tasks: u64,
+    /// Nodes whose bulk work actually ran on more than one morsel.
+    pub par_nodes: u64,
+    /// DAG scheduling wavefronts that evaluated two or more nodes
+    /// concurrently.
+    pub par_waves: u64,
+    /// Per-node profile of the **most recent** dispatch (replaced on every
+    /// `execute` / `execute_bundle`, not accumulated — the aggregate
+    /// counters above are the cross-query view).
+    pub profile: Vec<NodeProfile>,
 }
 
 impl QueryStats {
     pub fn reset(&mut self) {
         *self = QueryStats::default();
+    }
+
+    /// Fold another stats record's aggregate counters into this one.
+    /// `profile` is *replaced* (it describes a single dispatch).
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.queries += other.queries;
+        self.rows_out += other.rows_out;
+        self.nodes_evaluated += other.nodes_evaluated;
+        self.rows_produced += other.rows_produced;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.morsel_tasks += other.morsel_tasks;
+        self.par_nodes += other.par_nodes;
+        self.par_waves += other.par_waves;
+        if !other.profile.is_empty() {
+            self.profile = other.profile;
+        }
     }
 }
 
@@ -45,8 +98,51 @@ mod tests {
             rows_produced: 100,
             cache_hits: 2,
             cache_misses: 1,
+            morsel_tasks: 7,
+            par_nodes: 2,
+            par_waves: 1,
+            profile: vec![NodeProfile {
+                node: 0,
+                label: "lit",
+                rows: 1,
+                elapsed: Duration::from_micros(3),
+                morsels: 1,
+            }],
         };
         s.reset();
         assert_eq!(s, QueryStats::default());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_replaces_profile() {
+        let mut a = QueryStats {
+            queries: 1,
+            morsel_tasks: 2,
+            profile: vec![NodeProfile {
+                node: 0,
+                label: "lit",
+                rows: 1,
+                elapsed: Duration::ZERO,
+                morsels: 1,
+            }],
+            ..QueryStats::default()
+        };
+        let b = QueryStats {
+            queries: 2,
+            morsel_tasks: 3,
+            profile: vec![NodeProfile {
+                node: 1,
+                label: "select",
+                rows: 5,
+                elapsed: Duration::ZERO,
+                morsels: 2,
+            }],
+            ..QueryStats::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.morsel_tasks, 5);
+        assert_eq!(a.profile.len(), 1);
+        assert_eq!(a.profile[0].node, 1);
     }
 }

@@ -215,7 +215,7 @@ fn theta_join_general_predicate() {
     let j = p.theta_join(a, b, Expr::bin(BinOp::Lt, Expr::col("x"), Expr::col("y")));
     let r = exec(&db, &p, j);
     assert_eq!(r.len(), 1);
-    assert_eq!(r.rows[0], vec![v(1), v(3)]);
+    assert_eq!(r.rows()[0], vec![v(1), v(3)]);
 }
 
 #[test]
@@ -236,7 +236,7 @@ fn rownum_partitions_and_orders() {
     );
     let r = exec(&db, &p, ser);
     let rows: Vec<(String, u64)> = r
-        .rows
+        .rows()
         .iter()
         .map(|row| {
             (
@@ -291,7 +291,7 @@ fn rank_has_gaps_dense_rank_does_not() {
     );
     let r = exec(&db, &p, ser);
     let pairs: Vec<(u64, u64)> = r
-        .rows
+        .rows()
         .iter()
         .map(|row| (row[1].as_nat().unwrap(), row[2].as_nat().unwrap()))
         .collect();
@@ -349,7 +349,7 @@ fn group_by_aggregates() {
     );
     let r = exec(&db, &p, ser);
     assert_eq!(
-        r.rows[0],
+        r.rows()[0],
         vec![
             s("eng"),
             v(3),
@@ -360,7 +360,7 @@ fn group_by_aggregates() {
         ]
     );
     assert_eq!(
-        r.rows[1],
+        r.rows()[1],
         vec![s("ops"), v(1), v(50), s("cy"), v(50), Value::Dbl(50.0)]
     );
 }
@@ -399,8 +399,14 @@ fn group_by_bool_aggregates() {
         vec![cn("k"), cn("all"), cn("any")],
     );
     let r = exec(&db, &p, ser);
-    assert_eq!(r.rows[0], vec![v(1), Value::Bool(false), Value::Bool(true)]);
-    assert_eq!(r.rows[1], vec![v(2), Value::Bool(true), Value::Bool(true)]);
+    assert_eq!(
+        r.rows()[0],
+        vec![v(1), Value::Bool(false), Value::Bool(true)]
+    );
+    assert_eq!(
+        r.rows()[1],
+        vec![v(2), Value::Bool(true), Value::Bool(true)]
+    );
 }
 
 #[test]

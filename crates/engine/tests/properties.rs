@@ -102,7 +102,7 @@ proptest! {
         let x = plan.lit(schema_abc(""), rel_rows(&rows));
         let d1 = plan.distinct(x);
         let d2 = plan.distinct(d1);
-        prop_assert_eq!(exec(&plan, d1).rows, exec(&plan, d2).rows);
+        prop_assert_eq!(exec(&plan, d1).rows(), exec(&plan, d2).rows());
     }
 
     #[test]
@@ -113,7 +113,7 @@ proptest! {
         let rel = exec(&plan, rn);
         use std::collections::HashMap;
         let mut per_part: HashMap<i64, Vec<u64>> = HashMap::new();
-        for row in &rel.rows {
+        for row in rel.rows().iter() {
             per_part
                 .entry(row[1].as_int().unwrap())
                 .or_default()
@@ -133,13 +133,13 @@ proptest! {
         let dr = plan.dense_rank(x, "g", vec![], vec![(cn("k"), Dir::Asc)]);
         let rel = exec(&plan, dr);
         let max_rank = rel
-            .rows
+            .rows()
             .iter()
             .map(|r| r[3].as_nat().unwrap())
             .max()
             .unwrap();
         let distinct_keys: std::collections::HashSet<i64> =
-            rel.rows.iter().map(|r| r[1].as_int().unwrap()).collect();
+            rel.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
         prop_assert_eq!(max_rank as usize, distinct_keys.len());
     }
 
@@ -153,7 +153,7 @@ proptest! {
             vec![Aggregate { fun: AggFun::CountAll, input: None, output: cn("n") }],
         );
         let rel = exec(&plan, g);
-        let total: i64 = rel.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        let total: i64 = rel.rows().iter().map(|r| r[1].as_int().unwrap()).sum();
         prop_assert_eq!(total as usize, rows.len());
     }
 
@@ -190,7 +190,7 @@ proptest! {
             vec![cn("x"), cn("k"), cn("s")],
         );
         let rel = exec(&plan, s);
-        for w in rel.rows.windows(2) {
+        for w in rel.rows().windows(2) {
             prop_assert!(w[0] <= w[1], "serialize output is sorted");
         }
     }
@@ -220,7 +220,7 @@ proptest! {
         });
         let dr = plan.dense_rank(rk, "dr", vec![], vec![(cn("x"), Dir::Asc)]);
         let rel = exec(&plan, dr);
-        for row in &rel.rows {
+        for row in rel.rows().iter() {
             prop_assert!(row[3].as_nat().unwrap() >= row[4].as_nat().unwrap());
         }
     }

@@ -1,0 +1,144 @@
+//! Regression tests for the copy-free execution paths: scans must share
+//! the catalog's row buffer (`Arc::ptr_eq`, not just equal contents), and
+//! pass-through operators must keep sharing it. Also locks in that
+//! malformed plans reaching the executor surface `NoSuchColumn` errors
+//! instead of panicking.
+
+use ferry_algebra::{infer_schema, plan::cn, Dir, Expr, Plan, Schema, Ty, Value};
+use ferry_engine::{Database, EngineError, QueryStats};
+use std::sync::Arc;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::of(&[("a", Ty::Int), ("b", Ty::Str)]),
+        vec!["a"],
+    )
+    .unwrap();
+    db.insert(
+        "t",
+        (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "x" } else { "y" }),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+fn scan(plan: &mut Plan) -> ferry_algebra::NodeId {
+    plan.table(
+        "t",
+        vec![(cn("a"), Ty::Int), (cn("b"), Ty::Str)],
+        vec![cn("a")],
+    )
+}
+
+#[test]
+fn table_scan_shares_catalog_buffer() {
+    let db = db();
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let rel = db.execute(&plan, t).unwrap();
+    // the scan result *is* the base table's buffer — no row was copied
+    assert!(Arc::ptr_eq(rel.buffer(), &db.table("t").unwrap().rows));
+    assert_eq!(rel.len(), 100);
+}
+
+#[test]
+fn filter_and_sort_stay_on_the_shared_buffer() {
+    let db = db();
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let sel = plan.select(
+        t,
+        Expr::bin(ferry_algebra::BinOp::Gt, Expr::col("a"), Expr::lit(49i64)),
+    );
+    let ser = plan.serialize(sel, vec![(cn("a"), Dir::Desc)], vec![cn("b"), cn("a")]);
+    let rel = db.execute(&plan, ser).unwrap();
+    // select emitted a selection vector and serialize a sorted one plus a
+    // column remap — all still views over the catalog's buffer
+    assert!(Arc::ptr_eq(rel.buffer(), &db.table("t").unwrap().rows));
+    assert_eq!(rel.len(), 50);
+    assert_eq!(rel.rows()[0], vec![Value::str("y"), Value::Int(99)]);
+}
+
+#[test]
+fn literal_executions_share_one_buffer() {
+    let db = Database::new();
+    let mut plan = Plan::new();
+    let l = plan.lit(
+        Schema::of(&[("x", Ty::Int)]),
+        (0..10).map(|i| vec![Value::Int(i)]).collect(),
+    );
+    let r1 = db.execute(&plan, l).unwrap();
+    let r2 = db.execute(&plan, l).unwrap();
+    // both executions and the plan itself share one Arc'd buffer
+    assert!(Arc::ptr_eq(r1.buffer(), r2.buffer()));
+}
+
+#[test]
+fn insert_after_scan_leaves_snapshot_intact() {
+    let mut db = db();
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let before = db.execute(&plan, t).unwrap();
+    // copy-on-write: the insert must not mutate the outstanding result
+    db.insert("t", vec![vec![Value::Int(1000), Value::str("z")]])
+        .unwrap();
+    assert_eq!(before.len(), 100);
+    let after = db.execute(&plan, t).unwrap();
+    assert_eq!(after.len(), 101);
+    assert!(!Arc::ptr_eq(before.buffer(), after.buffer()));
+}
+
+/// Drive the executor with hand-forged schemas (bypassing `infer_schema`,
+/// which would reject these plans) and check every resolver reports the
+/// missing column as an error instead of panicking.
+#[test]
+fn malformed_plans_report_no_such_column() {
+    let db = db();
+    let schema = Schema::of(&[("a", Ty::Int), ("b", Ty::Str)]);
+
+    // serialize ordering on a column the input does not have
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let bad = plan.serialize(t, vec![(cn("zzz"), Dir::Asc)], vec![cn("a")]);
+    let schemas = vec![schema.clone(); plan.len()];
+    let err =
+        ferry_engine::exec::run(&db, &plan, bad, &schemas, &mut QueryStats::default()).unwrap_err();
+    assert!(
+        matches!(&err, EngineError::NoSuchColumn { col, .. } if col == "zzz"),
+        "unexpected error: {err}"
+    );
+
+    // window partition column missing
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let bad = plan.rownum(t, "rn", vec![cn("ghost")], vec![(cn("a"), Dir::Asc)]);
+    let schemas = vec![schema.clone(); plan.len()];
+    let err =
+        ferry_engine::exec::run(&db, &plan, bad, &schemas, &mut QueryStats::default()).unwrap_err();
+    assert!(matches!(&err, EngineError::NoSuchColumn { col, .. } if col == "ghost"));
+
+    // projection from a column that is not there
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let bad = plan.project(t, vec![(cn("out"), cn("nope"))]);
+    let schemas = vec![schema.clone(); plan.len()];
+    let err =
+        ferry_engine::exec::run(&db, &plan, bad, &schemas, &mut QueryStats::default()).unwrap_err();
+    assert!(matches!(&err, EngineError::NoSuchColumn { col, .. } if col == "nope"));
+
+    // well-formed plans still pass schema inference and execute
+    let mut plan = Plan::new();
+    let t = scan(&mut plan);
+    let ok = plan.serialize(t, vec![(cn("a"), Dir::Asc)], vec![cn("b")]);
+    assert!(infer_schema(&plan).is_ok());
+    assert!(db.execute(&plan, ok).is_ok());
+}

@@ -46,8 +46,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows[0][0], Value::str("ada"));
-        assert_eq!(r.rows[1][0], Value::str("bob"));
+        assert_eq!(r.rows()[0][0], Value::str("ada"));
+        assert_eq!(r.rows()[1][0], Value::str("bob"));
     }
 
     #[test]
@@ -59,11 +59,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            r.rows[0],
+            r.rows()[0],
             vec![Value::str("eng"), Value::Int(2), Value::Int(160)]
         );
         assert_eq!(
-            r.rows[1],
+            r.rows()[1],
             vec![Value::str("ops"), Value::Int(1), Value::Int(50)]
         );
     }
@@ -77,7 +77,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(r.rows[0], vec![Value::str("ada"), Value::str("bob")]);
+        assert_eq!(r.rows()[0], vec![Value::str("ada"), Value::str("bob")]);
     }
 
     #[test]
@@ -89,7 +89,11 @@ mod tests {
              FROM emp AS e ORDER BY who ASC;",
         )
         .unwrap();
-        let rns: Vec<u64> = r.rows.iter().map(|row| row[1].as_nat().unwrap()).collect();
+        let rns: Vec<u64> = r
+            .rows()
+            .iter()
+            .map(|row| row[1].as_nat().unwrap())
+            .collect();
         assert_eq!(rns, vec![1, 2, 1]); // ada, bob (eng), cy (ops)
     }
 
@@ -102,7 +106,7 @@ mod tests {
                    ORDER BY who ASC;";
         let r = execute_sql(&db(), sql).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(r.rows[0][0], Value::str("ada"));
+        assert_eq!(r.rows()[0][0], Value::str("ada"));
     }
 
     #[test]
@@ -112,8 +116,8 @@ mod tests {
             "SELECT 1 AS x UNION ALL SELECT 2 AS x ORDER BY x DESC;",
         )
         .unwrap();
-        assert_eq!(r.rows[0][0], Value::Int(2));
-        assert_eq!(r.rows[1][0], Value::Int(1));
+        assert_eq!(r.rows()[0][0], Value::Int(2));
+        assert_eq!(r.rows()[1][0], Value::Int(1));
     }
 
     #[test]
@@ -126,9 +130,9 @@ mod tests {
              FROM emp AS e ORDER BY who ASC;",
         )
         .unwrap();
-        assert_eq!(r.rows[0][1], Value::str("high"));
-        assert_eq!(r.rows[2][1], Value::str("low"));
-        assert_eq!(r.rows[0][2], Value::Dbl(45.0));
+        assert_eq!(r.rows()[0][1], Value::str("high"));
+        assert_eq!(r.rows()[2][1], Value::str("low"));
+        assert_eq!(r.rows()[0][2], Value::Dbl(45.0));
     }
 
     #[test]
@@ -154,7 +158,7 @@ mod tests {
         // unknown column → clean bind error, not a panic
         assert!(matches!(r, Err(SqlError::Bind(_))));
         let r = execute_sql(&db(), "SELECT 1 AS iter_nat FROM emp AS e;").unwrap();
-        assert_eq!(r.rows[0][0], Value::Nat(1));
+        assert_eq!(r.rows()[0][0], Value::Nat(1));
     }
 
     #[test]

@@ -193,6 +193,6 @@ proptest! {
         let sql = generate_sql(&db, &plan, root).expect("codegen");
         let via_sql = execute_sql(&db, &sql.sql)
             .unwrap_or_else(|e| panic!("round trip failed: {e}\n{}", sql.sql));
-        prop_assert_eq!(&direct.rows, &via_sql.rows, "\nSQL:\n{}", sql.sql);
+        prop_assert_eq!(&direct.rows(), &via_sql.rows(), "\nSQL:\n{}", sql.sql);
     }
 }

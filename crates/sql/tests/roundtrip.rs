@@ -68,7 +68,8 @@ fn check<T: QA + PartialEq + std::fmt::Debug>(q: &Q<T>) -> T {
         }
         for (i, (a, b)) in direct.iter().zip(via_sql.iter()).enumerate() {
             assert_eq!(
-                a.rows, b.rows,
+                a.rows(),
+                b.rows(),
                 "query {i} differs between algebra and SQL (optimize={optimize})"
             );
         }

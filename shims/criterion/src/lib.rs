@@ -8,11 +8,16 @@
 //!
 //! Measurement model: each benchmark runs one untimed warm-up iteration,
 //! then `sample_size` timed samples of one iteration each (batched up to
-//! a minimum per-sample duration for very fast bodies). Mean / min / max
-//! per-iteration times are printed to stderr. No statistics, plots,
-//! baselines, or outlier analysis — just honest wall-clock numbers so
-//! relative comparisons (the only thing the paper's tables need) remain
-//! meaningful without the real harness.
+//! a minimum per-sample duration for very fast bodies). Median / mean /
+//! min / max per-iteration times are printed to stderr. No statistics,
+//! plots, baselines, or outlier analysis — just honest wall-clock numbers
+//! so relative comparisons (the only thing the paper's tables need)
+//! remain meaningful without the real harness.
+//!
+//! Like the real criterion, passing `--test` on the bench command line
+//! (`cargo bench -- --test`) switches to smoke mode: every benchmark body
+//! executes exactly once, untimed — CI uses this to keep benches from
+//! bit-rotting without paying measurement time.
 
 use std::fmt::Display;
 use std::hint;
@@ -59,12 +64,18 @@ pub fn black_box<T>(x: T) -> T {
 /// The timing loop handed to benchmark closures.
 pub struct Bencher {
     samples: usize,
+    /// Smoke mode (`--test`): run the body once, collect nothing.
+    test_mode: bool,
     /// Mean per-iteration durations of each sample, filled by `iter`.
     collected: Vec<Duration>,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
         // untimed warm-up
         black_box(body());
         // batch fast bodies so each sample is at least ~50µs of work
@@ -87,6 +98,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -107,6 +119,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: self.sample_size,
+            test_mode: self.test_mode,
             collected: Vec::new(),
         };
         f(&mut b);
@@ -126,6 +139,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut b = Bencher {
             samples: self.sample_size,
+            test_mode: self.test_mode,
             collected: Vec::new(),
         };
         f(&mut b, input);
@@ -136,18 +150,30 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if self.test_mode {
+            eprintln!("{}/{}: test mode, ran once", self.name, id.id);
+            return;
+        }
         if samples.is_empty() {
             eprintln!("{}/{}: no samples collected", self.name, id.id);
             return;
         }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2
+        };
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
-        let min = samples.iter().min().unwrap();
-        let max = samples.iter().max().unwrap();
+        let min = sorted.first().unwrap();
+        let max = sorted.last().unwrap();
         eprintln!(
-            "{}/{}: mean {:?}  min {:?}  max {:?}  ({} samples)",
+            "{}/{}: median {:?}  mean {:?}  min {:?}  max {:?}  ({} samples)",
             self.name,
             id.id,
+            median,
             mean,
             min,
             max,
@@ -158,13 +184,16 @@ impl BenchmarkGroup<'_> {
 
 /// The top-level harness handle.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -178,7 +207,10 @@ impl Criterion {
         self
     }
 
-    pub fn configure_from_args(self) -> Self {
+    /// Honour the one command-line flag CI relies on: `--test` runs every
+    /// benchmark body once without timing (`cargo bench -- --test`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 }

@@ -21,9 +21,9 @@ fn fig3a_flat_list_encoding() {
     let rel = &t.tables[0];
     // serialized schema: [nest, pos, item]
     assert_eq!(rel.schema.len(), 3);
-    let pos: Vec<u64> = rel.rows.iter().map(|r| r[1].as_nat().unwrap()).collect();
+    let pos: Vec<u64> = rel.rows().iter().map(|r| r[1].as_nat().unwrap()).collect();
     assert_eq!(pos, vec![1, 2, 3, 4], "dense 1-based positions");
-    let items: Vec<i64> = rel.rows.iter().map(|r| r[2].as_int().unwrap()).collect();
+    let items: Vec<i64> = rel.rows().iter().map(|r| r[2].as_int().unwrap()).collect();
     assert_eq!(items, xs, "items in list order");
 }
 
@@ -39,7 +39,7 @@ fn fig3b_nested_list_encoding() {
 
     // Q1: three outer elements with pairwise distinct surrogates
     assert_eq!(q1.len(), 3);
-    let surr: Vec<u64> = q1.rows.iter().map(|r| r[2].as_nat().unwrap()).collect();
+    let surr: Vec<u64> = q1.rows().iter().map(|r| r[2].as_nat().unwrap()).collect();
     let mut uniq = surr.clone();
     uniq.sort_unstable();
     uniq.dedup();
@@ -48,7 +48,7 @@ fn fig3b_nested_list_encoding() {
     // Q2: only the non-empty lists contribute rows; the empty list's
     // surrogate "will not appear in the nest column of this second table"
     assert_eq!(q2.len(), 3); // 2 + 0 + 1 elements
-    let nests: Vec<u64> = q2.rows.iter().map(|r| r[0].as_nat().unwrap()).collect();
+    let nests: Vec<u64> = q2.rows().iter().map(|r| r[0].as_nat().unwrap()).collect();
     assert!(nests.iter().all(|n| *n == surr[0] || *n == surr[2]));
     assert!(!nests.contains(&surr[1]), "empty list absent from Q2");
 
@@ -64,7 +64,7 @@ fn inner_positions_are_per_list() {
     let q2 = &t.tables[1];
     // rows arrive sorted by (nest, pos); positions restart at 1 per list
     let pairs: Vec<(u64, u64)> = q2
-        .rows
+        .rows()
         .iter()
         .map(|r| (r[0].as_nat().unwrap(), r[1].as_nat().unwrap()))
         .collect();
@@ -86,8 +86,8 @@ fn tuples_are_inlined_adjacent_columns() {
     assert_eq!(t.tables.len(), 1);
     let rel = &t.tables[0];
     assert_eq!(rel.schema.len(), 4); // nest, pos, item1, item2
-    assert_eq!(rel.rows[0][2], Value::Int(1));
-    assert_eq!(rel.rows[0][3], Value::str("a"));
+    assert_eq!(rel.rows()[0][2], Value::Int(1));
+    assert_eq!(rel.rows()[0][3], Value::str("a"));
 }
 
 #[test]
