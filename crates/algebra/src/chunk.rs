@@ -1,0 +1,281 @@
+//! Typed column chunks: the columnar view of a shared row buffer.
+//!
+//! The engine's vectorized execution path wants type-specialized,
+//! contiguous column storage (`Vec<i64>`, `Vec<f64>`, …) instead of
+//! per-cell `Value` matching. A [`ColVec`] is one full-buffer column in
+//! that form, built by transposing the row buffer once and cached on the
+//! buffer itself ([`crate::rel::RowBuf`]) — every view, repeated scan and
+//! re-execution over the same buffer shares the transposition.
+//!
+//! Strings are dictionary-encoded: equal strings get equal `u32` codes
+//! (first-occurrence numbering), so grouping and equality tests compare
+//! codes, and only order comparisons touch the dictionary. Columns whose
+//! cells are not uniformly one of the fast types (e.g. `unit` columns)
+//! fall back to [`ColVec::Other`], a plain `Vec<Value>` that keeps the
+//! vectorized machinery total.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One buffer column, transposed into type-specialized storage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColVec {
+    Int(Vec<i64>),
+    Nat(Vec<u64>),
+    Dbl(Vec<f64>),
+    Bool(Vec<bool>),
+    /// Dictionary-encoded strings: cell `i` is `dict[codes[i]]`. Codes are
+    /// assigned in first-occurrence order, so equal strings — and only
+    /// equal strings — share a code.
+    Str {
+        codes: Vec<u32>,
+        dict: Vec<Arc<str>>,
+    },
+    /// Fallback for columns outside the fast domains (`unit` cells, or a
+    /// buffer whose column is not type-uniform).
+    Other(Vec<Value>),
+}
+
+impl ColVec {
+    /// Transpose column `col` of `rows` into typed storage. The variant is
+    /// chosen from the first cell; a mid-column type change (impossible for
+    /// schema-checked buffers, but the builder stays total) demotes the
+    /// whole column to [`ColVec::Other`].
+    pub fn build(rows: &[Vec<Value>], col: usize) -> ColVec {
+        let Some(first) = rows.first() else {
+            return ColVec::Other(Vec::new());
+        };
+        match &first[col] {
+            Value::Int(_) => build_typed(rows, col, Value::as_int, ColVec::Int),
+            Value::Nat(_) => build_typed(rows, col, Value::as_nat, ColVec::Nat),
+            Value::Dbl(_) => build_typed(rows, col, Value::as_dbl, ColVec::Dbl),
+            Value::Bool(_) => build_typed(rows, col, Value::as_bool, ColVec::Bool),
+            Value::Str(_) => build_str(rows, col),
+            Value::Unit => ColVec::Other(rows.iter().map(|r| r[col].clone()).collect()),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColVec::Int(v) => v.len(),
+            ColVec::Nat(v) => v.len(),
+            ColVec::Dbl(v) => v.len(),
+            ColVec::Bool(v) => v.len(),
+            ColVec::Str { codes, .. } => codes.len(),
+            ColVec::Other(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell `i` as an owned [`Value`] (cheap: no heap allocation for the
+    /// fast types, an `Arc` bump for strings).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColVec::Int(v) => Value::Int(v[i]),
+            ColVec::Nat(v) => Value::Nat(v[i]),
+            ColVec::Dbl(v) => Value::Dbl(v[i]),
+            ColVec::Bool(v) => Value::Bool(v[i]),
+            ColVec::Str { codes, dict } => Value::Str(dict[codes[i] as usize].clone()),
+            ColVec::Other(v) => v[i].clone(),
+        }
+    }
+
+    /// A canonical `u64` code for cell `i` such that two cells of this
+    /// column (or of another column of the *same* variant and, for
+    /// strings, the same buffer) are [`Value`]-equal iff their codes are
+    /// equal. `None` for [`ColVec::Other`] and for strings when
+    /// `cross_buffer` codes are requested (dictionaries are per-buffer).
+    pub fn eq_code(&self, i: usize, cross_buffer: bool) -> Option<u64> {
+        match self {
+            ColVec::Int(v) => Some(v[i] as u64),
+            ColVec::Nat(v) => Some(v[i]),
+            // f64 total_cmp equality coincides with bit equality
+            ColVec::Dbl(v) => Some(v[i].to_bits()),
+            ColVec::Bool(v) => Some(v[i] as u64),
+            ColVec::Str { codes, .. } if !cross_buffer => Some(codes[i] as u64),
+            _ => None,
+        }
+    }
+
+    /// Compare cells `a` and `b` with [`Value`] ordering semantics
+    /// (`total_cmp` for doubles) without materialising values.
+    pub fn cmp_cells(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            ColVec::Int(v) => v[a].cmp(&v[b]),
+            ColVec::Nat(v) => v[a].cmp(&v[b]),
+            ColVec::Dbl(v) => v[a].total_cmp(&v[b]),
+            ColVec::Bool(v) => v[a].cmp(&v[b]),
+            ColVec::Str { codes, dict } => dict[codes[a] as usize].cmp(&dict[codes[b] as usize]),
+            ColVec::Other(v) => v[a].cmp(&v[b]),
+        }
+    }
+
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match self {
+            ColVec::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_nat(&self) -> Option<&[u64]> {
+        match self {
+            ColVec::Nat(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_dbl(&self) -> Option<&[f64]> {
+        match self {
+            ColVec::Dbl(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match self {
+            ColVec::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string at cell `i`, if this is a string column.
+    pub fn str_at(&self, i: usize) -> Option<&Arc<str>> {
+        match self {
+            ColVec::Str { codes, dict } => Some(&dict[codes[i] as usize]),
+            _ => None,
+        }
+    }
+}
+
+fn build_typed<T>(
+    rows: &[Vec<Value>],
+    col: usize,
+    get: impl Fn(&Value) -> Option<T>,
+    wrap: impl Fn(Vec<T>) -> ColVec,
+) -> ColVec {
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        match get(&row[col]) {
+            Some(v) => out.push(v),
+            // type changed mid-column: demote everything to Other
+            None => {
+                let mut vals: Vec<Value> = rows[..i].iter().map(|r| r[col].clone()).collect();
+                vals.extend(rows[i..].iter().map(|r| r[col].clone()));
+                return ColVec::Other(vals);
+            }
+        }
+    }
+    wrap(out)
+}
+
+fn build_str(rows: &[Vec<Value>], col: usize) -> ColVec {
+    let mut dict: Vec<Arc<str>> = Vec::new();
+    let mut seen: HashMap<Arc<str>, u32> = HashMap::new();
+    let mut codes = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Str(s) = &row[col] else {
+            let mut vals: Vec<Value> = rows[..i].iter().map(|r| r[col].clone()).collect();
+            vals.extend(rows[i..].iter().map(|r| r[col].clone()));
+            return ColVec::Other(vals);
+        };
+        let code = *seen.entry(s.clone()).or_insert_with(|| {
+            dict.push(s.clone());
+            (dict.len() - 1) as u32
+        });
+        codes.push(code);
+    }
+    ColVec::Str { codes, dict }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Int(3), Value::str("b"), Value::Dbl(1.5), Value::Unit],
+            vec![
+                Value::Int(-1),
+                Value::str("a"),
+                Value::Dbl(-0.0),
+                Value::Unit,
+            ],
+            vec![Value::Int(3), Value::str("b"), Value::Dbl(0.0), Value::Unit],
+        ]
+    }
+
+    #[test]
+    fn transposes_typed_columns() {
+        let r = rows();
+        assert_eq!(ColVec::build(&r, 0).as_int().unwrap(), &[3, -1, 3]);
+        let d = ColVec::build(&r, 2);
+        assert_eq!(d.as_dbl().unwrap(), &[1.5, -0.0, 0.0]);
+        assert!(matches!(ColVec::build(&r, 3), ColVec::Other(_)));
+    }
+
+    #[test]
+    fn strings_are_dictionary_encoded() {
+        let r = rows();
+        let s = ColVec::build(&r, 1);
+        match &s {
+            ColVec::Str { codes, dict } => {
+                assert_eq!(codes, &[0, 1, 0]);
+                assert_eq!(dict.len(), 2);
+            }
+            other => panic!("expected dict-encoded strings, got {other:?}"),
+        }
+        assert_eq!(s.value(2), Value::str("b"));
+        assert_eq!(s.str_at(1).unwrap().as_ref(), "a");
+    }
+
+    #[test]
+    fn eq_codes_match_value_equality() {
+        let r = rows();
+        for col in 0..3 {
+            let c = ColVec::build(&r, col);
+            for a in 0..r.len() {
+                for b in 0..r.len() {
+                    let eq = c.value(a) == c.value(b);
+                    assert_eq!(
+                        c.eq_code(a, false) == c.eq_code(b, false),
+                        eq,
+                        "col {col} cells {a},{b}"
+                    );
+                    assert_eq!(c.cmp_cells(a, b) == Ordering::Equal, eq);
+                }
+            }
+        }
+        // -0.0 and 0.0 are distinct under total_cmp and under eq_code
+        let d = ColVec::build(&rows(), 2);
+        assert_ne!(d.eq_code(1, false), d.eq_code(2, false));
+        // string codes are per-buffer: cross-buffer requests are refused
+        let s = ColVec::build(&rows(), 1);
+        assert_eq!(s.eq_code(0, true), None);
+        assert!(s.eq_code(0, false).is_some());
+    }
+
+    #[test]
+    fn mixed_column_demotes_to_other() {
+        let r = vec![
+            vec![Value::Int(1)],
+            vec![Value::str("oops")],
+            vec![Value::Int(2)],
+        ];
+        let c = ColVec::build(&r, 0);
+        assert!(matches!(c, ColVec::Other(_)));
+        assert_eq!(c.value(1), Value::str("oops"));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let c = ColVec::build(&[], 0);
+        assert!(c.is_empty());
+    }
+}

@@ -29,6 +29,7 @@
 //! generates fresh column names, so the discipline is free there; hand-built
 //! plans are validated before execution.
 
+pub mod chunk;
 pub mod expr;
 pub mod infer;
 pub mod plan;
@@ -37,9 +38,10 @@ pub mod rel;
 pub mod schema;
 pub mod value;
 
+pub use chunk::ColVec;
 pub use expr::{AggFun, BinOp, Expr, UnOp};
 pub use infer::{infer_schema, validate, InferError};
 pub use plan::{Dir, JoinCols, Node, NodeId, Plan, SortSpec};
-pub use rel::{Rel, Row};
+pub use rel::{Rel, Row, RowBuf};
 pub use schema::{ColName, Schema};
 pub use value::{Ty, Value};

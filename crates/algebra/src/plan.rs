@@ -6,7 +6,7 @@
 //! the optimizer rely on this.
 
 use crate::expr::{AggFun, Expr};
-use crate::rel::Row;
+use crate::rel::{Row, RowBuf};
 use crate::schema::{ColName, Schema};
 use crate::value::Value;
 use std::sync::Arc;
@@ -72,8 +72,9 @@ pub enum Node {
         keys: Vec<ColName>,
     },
     /// A literal table. Rows sit behind an `Arc` so every execution of the
-    /// plan shares one buffer with the plan itself (copy-free `Lit` scans).
-    Lit { schema: Schema, rows: Arc<Vec<Row>> },
+    /// plan shares one buffer — and one columnar chunk cache — with the
+    /// plan itself (copy-free `Lit` scans).
+    Lit { schema: Schema, rows: Arc<RowBuf> },
     /// Attach a constant column.
     Attach {
         input: NodeId,
@@ -318,11 +319,11 @@ impl Plan {
     // ----- by tests; they keep call sites readable) -----
 
     pub fn lit(&mut self, schema: Schema, rows: Vec<Row>) -> NodeId {
-        self.lit_shared(schema, Arc::new(rows))
+        self.lit_shared(schema, Arc::new(RowBuf::new(rows)))
     }
 
     /// Literal node over an already-shared buffer (no copy).
-    pub fn lit_shared(&mut self, schema: Schema, rows: Arc<Vec<Row>>) -> NodeId {
+    pub fn lit_shared(&mut self, schema: Schema, rows: Arc<RowBuf>) -> NodeId {
         self.add(Node::Lit { schema, rows })
     }
 

@@ -9,16 +9,100 @@
 //! create genuinely new cells (joins, `Compute`, `Attach`, aggregation,
 //! window functions) force materialisation.
 
+use crate::chunk::ColVec;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
 
 /// One table row. Cells are positionally aligned with the owning relation's
 /// [`Schema`] (for dense relations) or with the backing buffer (views remap
 /// through their selection vector / column map).
 pub type Row = Vec<Value>;
+
+/// A shared, append-only row buffer plus its lazily-built columnar cache.
+///
+/// This is the unit of storage sharing: scans, views, cache hits and plan
+/// literals all hold the same `Arc<RowBuf>`. The buffer also owns the
+/// **chunk cache** backing the engine's vectorized path — [`ColVec`]
+/// transpositions keyed per column, built on first use — so every view
+/// over one buffer pays the row→column transposition at most once,
+/// regardless of how many relations, queries or threads scan it.
+#[derive(Debug, Default)]
+pub struct RowBuf {
+    rows: Vec<Row>,
+    /// Typed column chunks, keyed by **buffer** column index.
+    chunks: Mutex<HashMap<u32, Arc<ColVec>>>,
+}
+
+impl RowBuf {
+    pub fn new(rows: Vec<Row>) -> RowBuf {
+        RowBuf {
+            rows,
+            chunks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The rows themselves.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Unwrap into the raw rows (drops the columnar cache).
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Append rows. Mutation invalidates the columnar cache — callers go
+    /// through `Arc::make_mut`, so a shared buffer is cloned first and
+    /// other holders keep their (still valid) cache.
+    pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Row>) {
+        self.rows.extend(rows);
+        self.chunks.lock().unwrap().clear();
+    }
+
+    /// The typed chunk for buffer column `col`, transposing and caching it
+    /// on first use. Concurrent callers block on the build rather than
+    /// duplicating it.
+    pub fn typed_col(&self, col: usize) -> Arc<ColVec> {
+        let mut cache = self.chunks.lock().unwrap();
+        cache
+            .entry(col as u32)
+            .or_insert_with(|| Arc::new(ColVec::build(&self.rows, col)))
+            .clone()
+    }
+}
+
+impl Clone for RowBuf {
+    /// Clones the rows only; the clone starts with a cold chunk cache
+    /// (clones exist to be mutated, which would invalidate it anyway).
+    fn clone(&self) -> RowBuf {
+        RowBuf::new(self.rows.clone())
+    }
+}
+
+impl PartialEq for RowBuf {
+    fn eq(&self, other: &RowBuf) -> bool {
+        self.rows == other.rows
+    }
+}
+
+impl From<Vec<Row>> for RowBuf {
+    fn from(rows: Vec<Row>) -> RowBuf {
+        RowBuf::new(rows)
+    }
+}
+
+impl Deref for RowBuf {
+    type Target = [Row];
+
+    fn deref(&self) -> &[Row] {
+        &self.rows
+    }
+}
 
 /// A materialised relation: a schema plus a bag of rows, represented as a
 /// view over a shared row buffer.
@@ -37,7 +121,7 @@ pub struct Rel {
     pub schema: Schema,
     /// The shared backing buffer. Rows in the buffer are full-width with
     /// respect to whatever relation originally materialised them.
-    buf: Arc<Vec<Row>>,
+    buf: Arc<RowBuf>,
     /// Selection vector: visible row `i` is buffer row `sel[i]`. `None`
     /// means all buffer rows are visible in buffer order.
     sel: Option<Arc<Vec<u32>>>,
@@ -55,7 +139,7 @@ impl Rel {
         );
         Rel {
             schema,
-            buf: Arc::new(rows),
+            buf: Arc::new(RowBuf::new(rows)),
             sel: None,
             cols: None,
         }
@@ -63,7 +147,7 @@ impl Rel {
 
     /// A dense relation sharing an existing buffer (zero-copy: table scans
     /// and literal nodes hand out the catalog's own `Arc`).
-    pub fn from_shared(schema: Schema, rows: Arc<Vec<Row>>) -> Rel {
+    pub fn from_shared(schema: Schema, rows: Arc<RowBuf>) -> Rel {
         debug_assert!(
             rows.iter().all(|r| r.len() == schema.len()),
             "row width does not match schema {schema}"
@@ -109,8 +193,16 @@ impl Rel {
     /// column positions. Exposed so storage sharing is observable
     /// (`Arc::ptr_eq`) and so the engine can evaluate remapped expressions
     /// against buffer rows directly.
-    pub fn buffer(&self) -> &Arc<Vec<Row>> {
+    pub fn buffer(&self) -> &Arc<RowBuf> {
         &self.buf
+    }
+
+    /// The typed chunk for **buffer** column `raw` (see [`Rel::raw_col`]),
+    /// built lazily and cached on the shared buffer. The chunk covers the
+    /// whole buffer — gather through [`Rel::raw_row`] to read this view's
+    /// cells.
+    pub fn typed_col(&self, raw: usize) -> Arc<ColVec> {
+        self.buf.typed_col(raw)
     }
 
     /// The selection vector, if any (visible row → buffer row).
@@ -195,7 +287,7 @@ impl Rel {
     /// access, bind the result to a local first.
     pub fn rows(&self) -> Cow<'_, [Row]> {
         if self.is_dense() {
-            Cow::Borrowed(self.buf.as_slice())
+            Cow::Borrowed(self.buf.rows())
         } else {
             Cow::Owned((0..self.len()).map(|i| self.owned_row(i)).collect())
         }
@@ -203,11 +295,13 @@ impl Rel {
 
     /// The visible rows as a shareable buffer: the backing `Arc` itself
     /// for dense relations (no copy), a fresh buffer for views.
-    pub fn shared_rows(&self) -> Arc<Vec<Row>> {
+    pub fn shared_rows(&self) -> Arc<RowBuf> {
         if self.is_dense() {
             self.buf.clone()
         } else {
-            Arc::new((0..self.len()).map(|i| self.owned_row(i)).collect())
+            Arc::new(RowBuf::new(
+                (0..self.len()).map(|i| self.owned_row(i)).collect(),
+            ))
         }
     }
 
@@ -278,8 +372,8 @@ impl Rel {
     /// tests and by `Serialize`. Materialises views.
     pub fn sort_by_cols(&mut self, idxs: &[usize]) {
         let mut rows = match Arc::try_unwrap(self.shared_rows()) {
-            Ok(rows) => rows,
-            Err(shared) => (*shared).clone(),
+            Ok(buf) => buf.into_rows(),
+            Err(shared) => shared.rows().to_vec(),
         };
         rows.sort_by(|a, b| {
             for &i in idxs {
@@ -425,6 +519,28 @@ mod tests {
         assert_eq!(r, d);
         let reordered = r.with_sel(vec![1, 0]);
         assert_ne!(r, reordered);
+    }
+
+    #[test]
+    fn typed_col_is_cached_and_shared_by_views() {
+        let r = sample();
+        let c1 = r.typed_col(1);
+        assert_eq!(c1.as_int().unwrap(), &[20, 10]);
+        // same Arc on repeated access, and through views over the buffer
+        let v = r.with_sel(vec![1]);
+        assert!(Arc::ptr_eq(&c1, &r.typed_col(1)));
+        assert!(Arc::ptr_eq(&c1, &v.typed_col(1)));
+        // a fresh buffer (to_dense copies) has its own cache
+        let d = v.to_dense();
+        assert_eq!(d.typed_col(1).as_int().unwrap(), &[10]);
+    }
+
+    #[test]
+    fn extend_rows_invalidates_chunk_cache() {
+        let mut buf = RowBuf::new(vec![vec![Value::Int(1)]]);
+        assert_eq!(buf.typed_col(0).as_int().unwrap(), &[1]);
+        buf.extend_rows(vec![vec![Value::Int(2)]]);
+        assert_eq!(buf.typed_col(0).as_int().unwrap(), &[1, 2]);
     }
 
     #[test]

@@ -1,21 +1,22 @@
 //! Engine micro-benchmarks: the bulk operators loop-lifted plans lean on
 //! hardest (hash join, row numbering, grouping, duplicate elimination,
-//! filtering, projection, serialization). Not a paper artefact — a
-//! regression guard for the substrate that all measured experiments run
-//! on.
+//! filtering, projection, serialization, expression evaluation). Not a
+//! paper artefact — a regression guard for the substrate that all
+//! measured experiments run on.
 //!
-//! Each operator runs twice: `serial` (`ParConfig::serial()`) and `par4`
-//! (4 worker threads, morsel threshold lowered so the 50k–100k inputs
-//! actually split). On a multi-core host the `par4` variants additionally
-//! measure the morsel scheduler; on a single-core host they measure its
-//! overhead. The copy-free wins (filter/project/serialize emitting views
-//! instead of materialised rows) show up in both variants.
+//! Each operator runs three times: `scalar` (serial row-at-a-time
+//! oracle, `VecMode::Off`), `vec` (serial with the vectorized kernels
+//! engaged) and `par4` (4 worker threads, morsel threshold lowered so
+//! the 50k–100k inputs actually split). `scalar` vs `vec` isolates the
+//! typed-chunk kernel win on any host; the `par4` variants additionally
+//! measure the morsel scheduler on multi-core hosts (and its overhead on
+//! single-core ones).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ferry_algebra::{
     plan::cn, plan::Aggregate, AggFun, BinOp, Dir, Expr, JoinCols, NodeId, Plan, Schema, Ty, Value,
 };
-use ferry_engine::{Database, ParConfig};
+use ferry_engine::{Database, ParConfig, VecMode};
 
 fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
     (0..rows)
@@ -23,19 +24,30 @@ fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
         .collect()
 }
 
-/// The two engines under comparison: pure serial, and 4 workers with the
-/// parallelism threshold low enough for every benched input.
+/// The engines under comparison: serial scalar (the oracle path), serial
+/// vectorized, and 4 workers with the parallelism threshold low enough
+/// for every benched input.
 fn engines() -> Vec<(&'static str, Database)> {
-    let par4 = ParConfig {
+    let mut scalar_db = Database::new();
+    scalar_db.set_par_config(ParConfig {
+        threads: 1,
+        vec: VecMode::Off,
+        ..ParConfig::default()
+    });
+    let mut vec_db = Database::new();
+    vec_db.set_par_config(ParConfig {
+        threads: 1,
+        vec: VecMode::Auto,
+        ..ParConfig::default()
+    });
+    let mut par_db = Database::new();
+    par_db.set_par_config(ParConfig {
         threads: 4,
         min_rows: 1024,
         morsel_rows: 0,
-    };
-    let mut par_db = Database::new();
-    par_db.set_par_config(par4);
-    let mut serial_db = Database::new();
-    serial_db.set_par_config(ParConfig::serial());
-    vec![("serial", serial_db), ("par4", par_db)]
+        vec: VecMode::Auto,
+    });
+    vec![("scalar", scalar_db), ("vec", vec_db), ("par4", par_db)]
 }
 
 fn bench_both(
@@ -138,6 +150,103 @@ fn bench_engine(c: &mut Criterion) {
         bench_both(&mut group, "project", M, &plan, pr);
         let ser = plan.serialize(pr, vec![(cn("a"), Dir::Desc)], vec![cn("a")]);
         bench_both(&mut group, "serialize", M, &plan, ser);
+    }
+
+    // an 8-operator arithmetic chain at 100k rows: the expression-bound
+    // workload the kernel compiler exists for
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(M, 97),
+        );
+        let a = Expr::col("a");
+        let k = Expr::col("k");
+        // ((a*2 + k) * 3 - a) + (k * k) - (a % 7) + 1
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Sub,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(
+                        BinOp::Sub,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::bin(
+                                BinOp::Add,
+                                Expr::bin(BinOp::Mul, a.clone(), Expr::lit(2i64)),
+                                k.clone(),
+                            ),
+                            Expr::lit(3i64),
+                        ),
+                        a.clone(),
+                    ),
+                    Expr::bin(BinOp::Mul, k.clone(), k.clone()),
+                ),
+                Expr::bin(BinOp::Mod, a.clone(), Expr::lit(7i64)),
+            ),
+            Expr::lit(1i64),
+        );
+        let cch = plan.compute(l, "y", e);
+        bench_both(&mut group, "compute_chain", M, &plan, cch);
+    }
+
+    // filter selectivity sweep at 100k rows: 1% / 50% / 99% of rows kept.
+    // The fused kernel→selection-vector path pays per *input* row; the
+    // scalar path additionally allocates per *output* row
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(M, 10),
+        );
+        for (tag, cutoff) in [("1", 1_000i64), ("50", 50_000), ("99", 99_000)] {
+            let f = plan.select(l, Expr::bin(BinOp::Lt, Expr::col("a"), Expr::lit(cutoff)));
+            bench_both(&mut group, &format!("filter_sel{tag}"), M, &plan, f);
+        }
+    }
+
+    // typed grouped aggregation at 100k rows over every typed
+    // accumulator family (count / sum / min / max / avg)
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(M, 10),
+        );
+        let g = plan.group_by(
+            l,
+            vec![cn("k")],
+            vec![
+                Aggregate {
+                    fun: AggFun::CountAll,
+                    input: None,
+                    output: cn("n"),
+                },
+                Aggregate {
+                    fun: AggFun::Sum,
+                    input: Some(cn("a")),
+                    output: cn("s"),
+                },
+                Aggregate {
+                    fun: AggFun::Min,
+                    input: Some(cn("a")),
+                    output: cn("lo"),
+                },
+                Aggregate {
+                    fun: AggFun::Max,
+                    input: Some(cn("a")),
+                    output: cn("hi"),
+                },
+                Aggregate {
+                    fun: AggFun::Avg,
+                    input: Some(cn("a")),
+                    output: cn("avg"),
+                },
+            ],
+        );
+        bench_both(&mut group, "group_by_typed", M, &plan, g);
     }
 
     group.finish();

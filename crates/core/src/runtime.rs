@@ -263,7 +263,7 @@ impl Connection {
                     })
                     .collect::<Result<_, _>>()?
             };
-            let mut rows = t.rows.as_ref().clone();
+            let mut rows = t.rows.rows().to_vec();
             rows.sort_by(|a, b| {
                 key_idx
                     .iter()
@@ -343,7 +343,8 @@ impl Connection {
     }
 
     /// [`explain`](Connection::explain) plus execution: run the bundle
-    /// and render the engine's per-node profile — wall time, output rows
+    /// and render the engine's per-node profile — execution path (scalar
+    /// vs vectorized, with kernel batch count), wall time, output rows
     /// and morsel count per operator — followed by the aggregate
     /// parallelism counters. The profiling analogue of SQL's
     /// `EXPLAIN ANALYZE`.
@@ -360,16 +361,20 @@ impl Connection {
             results.iter().map(Rel::len).sum::<usize>()
         );
         for p in &stats.profile {
+            let path = match p.path {
+                ferry_engine::ExecPath::Scalar => "scalar".to_string(),
+                ferry_engine::ExecPath::Vectorized => format!("vec({})", p.batches),
+            };
             let _ = writeln!(
                 out,
-                "node {:>3}  {:<12} {:>9} rows  {:>3} morsels  {:?}",
-                p.node, p.label, p.rows, p.morsels, p.elapsed
+                "node {:>3}  {:<12} {:<10} {:>9} rows  {:>3} morsels  {:?}",
+                p.node, p.label, path, p.rows, p.morsels, p.elapsed
             );
         }
         let _ = writeln!(
             out,
-            "parallel waves: {}  parallel nodes: {}  morsel tasks: {}",
-            stats.par_waves, stats.par_nodes, stats.morsel_tasks
+            "parallel waves: {}  parallel nodes: {}  morsel tasks: {}  vec nodes: {}  kernel batches: {}",
+            stats.par_waves, stats.par_nodes, stats.morsel_tasks, stats.vec_nodes, stats.kernel_batches
         );
         Ok(out)
     }

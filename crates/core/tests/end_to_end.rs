@@ -631,4 +631,31 @@ fn explain_analyze_renders_the_node_profile() {
     assert!(text.contains("rows"), "{text}");
     assert!(text.contains("morsels"), "{text}");
     assert!(text.contains("morsel tasks:"), "{text}");
+    // every node names its execution path; a 5-row table under VecMode::
+    // Auto stays scalar throughout
+    assert!(text.contains("scalar"), "{text}");
+    assert!(text.contains("vec nodes: 0"), "{text}");
+}
+
+#[test]
+fn explain_analyze_names_the_vectorized_path() {
+    use ferry_engine::{ParConfig, VecMode};
+    let c = conn();
+    c.set_par_config(ParConfig {
+        threads: 1,
+        vec: VecMode::Force,
+        ..ParConfig::default()
+    });
+    // `x % 2` forces a Compute node; under VecMode::Force it compiles to
+    // a kernel and the profile must say so, batch count included
+    let text = c
+        .explain_analyze(&map(|x: Q<i64>| x % toq(&2i64), nums()))
+        .unwrap();
+    assert!(text.contains("vec(1)"), "{text}");
+    assert!(text.contains("kernel batches:"), "{text}");
+    let vec_line = text
+        .lines()
+        .find(|l| l.starts_with("parallel waves:"))
+        .expect("counter line");
+    assert!(!vec_line.contains("vec nodes: 0"), "{text}");
 }

@@ -4,7 +4,7 @@ use crate::error::EngineError;
 use crate::exec;
 use crate::par::ParConfig;
 use crate::stats::QueryStats;
-use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, Schema};
+use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -12,9 +12,10 @@ use std::time::Duration;
 /// A database-resident base table: schema, key columns (defining the
 /// canonical order the `table` combinator exposes) and rows.
 ///
-/// Rows sit behind an `Arc` so a `TableRef` scan shares the catalog's
-/// buffer with the query result instead of copying the table
-/// (`Arc::make_mut` on insert preserves value semantics for writers).
+/// Rows sit behind an `Arc<RowBuf>` so a `TableRef` scan shares the
+/// catalog's buffer — including its lazily-built columnar chunk cache —
+/// with the query result instead of copying the table (`Arc::make_mut` on
+/// insert preserves value semantics for writers).
 #[derive(Debug, Clone)]
 pub struct BaseTable {
     pub schema: Schema,
@@ -22,7 +23,7 @@ pub struct BaseTable {
     /// the table: the Ferry front-end materialises `pos` by row-numbering
     /// over these columns.
     pub keys: Vec<String>,
-    pub rows: Arc<Vec<Row>>,
+    pub rows: Arc<RowBuf>,
 }
 
 /// The in-memory database acting as the coprocessor.
@@ -72,7 +73,7 @@ impl Database {
             BaseTable {
                 schema,
                 keys: keys.into_iter().map(String::from).collect(),
-                rows: Arc::new(Vec::new()),
+                rows: Arc::new(RowBuf::default()),
             },
         );
         self.schema_version += 1;
@@ -133,7 +134,8 @@ impl Database {
                 }
             }
         }
-        Arc::make_mut(&mut table.rows).extend(rows);
+        // extend_rows also invalidates the buffer's columnar chunk cache
+        Arc::make_mut(&mut table.rows).extend_rows(rows);
         Ok(())
     }
 

@@ -20,25 +20,33 @@ pub enum Bound {
 }
 
 /// Resolve column names in `expr` against `schema`. Plans are validated
-/// before execution, so a missing column here is an engine bug.
-pub fn bind(expr: &Expr, schema: &Schema) -> Bound {
+/// before execution, so a missing column means a malformed plan slipped
+/// past (or around) schema inference — reported as
+/// [`EngineError::NoSuchColumn`], never a panic.
+pub fn bind(expr: &Expr, schema: &Schema) -> Result<Bound, EngineError> {
     match expr {
-        Expr::Col(c) => Bound::Col(
+        Expr::Col(c) => {
             schema
                 .index_of(c)
-                .unwrap_or_else(|| panic!("unbound column {c} in {schema}")),
-        ),
-        Expr::Const(v) => Bound::Const(v.clone()),
-        Expr::Bin(op, l, r) => {
-            Bound::Bin(*op, Box::new(bind(l, schema)), Box::new(bind(r, schema)))
+                .map(Bound::Col)
+                .ok_or_else(|| EngineError::NoSuchColumn {
+                    col: c.to_string(),
+                    schema: schema.to_string(),
+                })
         }
-        Expr::Un(op, e) => Bound::Un(*op, Box::new(bind(e, schema))),
-        Expr::Case(c, t, e) => Bound::Case(
-            Box::new(bind(c, schema)),
-            Box::new(bind(t, schema)),
-            Box::new(bind(e, schema)),
-        ),
-        Expr::Cast(ty, e) => Bound::Cast(*ty, Box::new(bind(e, schema))),
+        Expr::Const(v) => Ok(Bound::Const(v.clone())),
+        Expr::Bin(op, l, r) => Ok(Bound::Bin(
+            *op,
+            Box::new(bind(l, schema)?),
+            Box::new(bind(r, schema)?),
+        )),
+        Expr::Un(op, e) => Ok(Bound::Un(*op, Box::new(bind(e, schema)?))),
+        Expr::Case(c, t, e) => Ok(Bound::Case(
+            Box::new(bind(c, schema)?),
+            Box::new(bind(t, schema)?),
+            Box::new(bind(e, schema)?),
+        )),
+        Expr::Cast(ty, e) => Ok(Bound::Cast(*ty, Box::new(bind(e, schema)?))),
     }
 }
 
@@ -219,7 +227,23 @@ mod tests {
     }
 
     fn run(e: Expr) -> Result<Value, EngineError> {
-        eval(&bind(&e, &schema()), &row())
+        eval(&bind(&e, &schema())?, &row())
+    }
+
+    #[test]
+    fn unbound_column_is_an_error_not_a_panic() {
+        let err = bind(&Expr::col("nope"), &schema()).unwrap_err();
+        assert!(matches!(err, EngineError::NoSuchColumn { .. }));
+        // nested occurrences are found too
+        let nested = Expr::case(
+            Expr::col("p"),
+            Expr::bin(BinOp::Add, Expr::col("a"), Expr::col("ghost")),
+            Expr::lit(0i64),
+        );
+        match bind(&nested, &schema()) {
+            Err(EngineError::NoSuchColumn { col, .. }) => assert_eq!(col, "ghost"),
+            other => panic!("expected NoSuchColumn, got {other:?}"),
+        }
     }
 
     #[test]
@@ -303,6 +327,214 @@ mod tests {
         assert_eq!(
             bin_op(BinOp::Add, Value::Nat(1), Value::Nat(2)).unwrap(),
             Value::Nat(3)
+        );
+    }
+}
+
+/// Exhaustive pin of `bin_op` over every operator × numeric domain,
+/// including the nasty edges. This is the *scalar oracle*: the vectorized
+/// kernels in [`crate::vec_eval`] are differentially tested against `eval`,
+/// so any behaviour change here must be deliberate.
+#[cfg(test)]
+mod bin_op_oracle {
+    use super::*;
+
+    const CMPS: [BinOp; 6] = [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ];
+    const ARITH: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod];
+
+    fn ok(op: BinOp, l: Value, r: Value) -> Value {
+        bin_op(op, l.clone(), r.clone())
+            .unwrap_or_else(|e| panic!("{op:?}({l}, {r}) unexpectedly failed: {e}"))
+    }
+
+    fn err(op: BinOp, l: Value, r: Value) -> String {
+        match bin_op(op, l.clone(), r.clone()) {
+            Err(EngineError::Eval(m)) => m,
+            other => panic!("{op:?}({l}, {r}) should fail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int_arithmetic_edges() {
+        assert_eq!(
+            ok(BinOp::Add, Value::Int(i64::MAX - 1), Value::Int(1)),
+            Value::Int(i64::MAX)
+        );
+        assert_eq!(
+            err(BinOp::Add, Value::Int(i64::MAX), Value::Int(1)),
+            "integer overflow in +"
+        );
+        assert_eq!(
+            err(BinOp::Sub, Value::Int(i64::MIN), Value::Int(1)),
+            "integer overflow in -"
+        );
+        assert_eq!(
+            err(BinOp::Mul, Value::Int(i64::MIN), Value::Int(-1)),
+            "integer overflow in *"
+        );
+        // Pinned quirk: Int division uses wrapping_div after the zero
+        // check, so i64::MIN / -1 wraps to i64::MIN instead of erroring.
+        assert_eq!(
+            ok(BinOp::Div, Value::Int(i64::MIN), Value::Int(-1)),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            ok(BinOp::Mod, Value::Int(i64::MIN), Value::Int(-1)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            err(BinOp::Div, Value::Int(5), Value::Int(0)),
+            "division by zero"
+        );
+        assert_eq!(
+            err(BinOp::Mod, Value::Int(5), Value::Int(0)),
+            "modulo by zero"
+        );
+        // truncation toward zero
+        assert_eq!(
+            ok(BinOp::Div, Value::Int(-7), Value::Int(2)),
+            Value::Int(-3)
+        );
+        assert_eq!(
+            ok(BinOp::Mod, Value::Int(-7), Value::Int(2)),
+            Value::Int(-1)
+        );
+    }
+
+    #[test]
+    fn nat_arithmetic_edges() {
+        assert_eq!(
+            err(BinOp::Add, Value::Nat(u64::MAX), Value::Nat(1)),
+            "nat overflow in +"
+        );
+        assert_eq!(
+            err(BinOp::Sub, Value::Nat(0), Value::Nat(1)),
+            "nat underflow in -"
+        );
+        assert_eq!(
+            err(BinOp::Mul, Value::Nat(u64::MAX), Value::Nat(2)),
+            "nat overflow in *"
+        );
+        assert_eq!(
+            ok(BinOp::Sub, Value::Nat(u64::MAX), Value::Nat(u64::MAX)),
+            Value::Nat(0)
+        );
+        // Pinned: Nat has no Div/Mod in the scalar oracle — they fall
+        // through to the catch-all "not applicable" error.
+        assert!(err(BinOp::Div, Value::Nat(4), Value::Nat(2)).contains("not applicable"));
+        assert!(err(BinOp::Mod, Value::Nat(4), Value::Nat(2)).contains("not applicable"));
+    }
+
+    #[test]
+    fn dbl_arithmetic_edges() {
+        assert_eq!(
+            ok(BinOp::Add, Value::Dbl(f64::MAX), Value::Dbl(f64::MAX)),
+            Value::Dbl(f64::INFINITY)
+        );
+        // NaN propagates silently through arithmetic…
+        match ok(BinOp::Mul, Value::Dbl(f64::NAN), Value::Dbl(1.0)) {
+            Value::Dbl(d) => assert!(d.is_nan()),
+            v => panic!("expected Dbl, got {v}"),
+        }
+        // …but division/modulo by literal zero is still an error.
+        assert_eq!(
+            err(BinOp::Div, Value::Dbl(1.0), Value::Dbl(0.0)),
+            "division by zero"
+        );
+        assert_eq!(
+            err(BinOp::Div, Value::Dbl(1.0), Value::Dbl(-0.0)),
+            "division by zero"
+        );
+        assert_eq!(
+            err(BinOp::Mod, Value::Dbl(1.0), Value::Dbl(0.0)),
+            "modulo by zero"
+        );
+        assert_eq!(
+            ok(BinOp::Mod, Value::Dbl(7.5), Value::Dbl(2.0)),
+            Value::Dbl(1.5)
+        );
+    }
+
+    #[test]
+    fn comparisons_are_total_over_every_domain() {
+        // Int: MIN < -1 < 0 < MAX
+        let ints = [i64::MIN, -1, 0, i64::MAX].map(Value::Int);
+        // Nat: 0 < 1 < MAX
+        let nats = [0, 1, u64::MAX].map(Value::Nat);
+        // Dbl under total_cmp: -inf < -0.0 < 0.0 < 1.0 < inf < NaN
+        let dbls = [f64::NEG_INFINITY, -0.0, 0.0, 1.0, f64::INFINITY, f64::NAN].map(Value::Dbl);
+        for vals in [&ints[..], &nats[..], &dbls[..]] {
+            for (i, l) in vals.iter().enumerate() {
+                for (j, r) in vals.iter().enumerate() {
+                    for op in CMPS {
+                        let want = match op {
+                            BinOp::Eq => i == j,
+                            BinOp::Ne => i != j,
+                            BinOp::Lt => i < j,
+                            BinOp::Le => i <= j,
+                            BinOp::Gt => i > j,
+                            BinOp::Ge => i >= j,
+                            _ => unreachable!(),
+                        };
+                        assert_eq!(
+                            ok(op, l.clone(), r.clone()),
+                            Value::Bool(want),
+                            "{op:?}({l}, {r})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_compares_equal_to_itself_under_total_order() {
+        // Value ordering is f64::total_cmp, not IEEE partial order.
+        assert_eq!(
+            ok(BinOp::Eq, Value::Dbl(f64::NAN), Value::Dbl(f64::NAN)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ok(BinOp::Gt, Value::Dbl(f64::NAN), Value::Dbl(f64::INFINITY)),
+            Value::Bool(true)
+        );
+        // -0.0 and 0.0 are *distinct* under total order.
+        assert_eq!(
+            ok(BinOp::Lt, Value::Dbl(-0.0), Value::Dbl(0.0)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn mixed_domains_never_arith() {
+        // Every arithmetic op across mismatched domains is the catch-all
+        // error — kernels must bail rather than coerce.
+        let l = Value::Int(1);
+        for r in [
+            Value::Nat(1),
+            Value::Dbl(1.0),
+            Value::Bool(true),
+            Value::str("x"),
+        ] {
+            for op in ARITH {
+                assert!(
+                    err(op, l.clone(), r.clone()).contains("not applicable"),
+                    "{op:?}(int, {r})"
+                );
+            }
+        }
+        // Concat is string-only.
+        assert!(err(BinOp::Concat, Value::Int(1), Value::Int(2)).contains("not applicable"));
+        assert_eq!(
+            ok(BinOp::Concat, Value::str("ab"), Value::str("cd")),
+            Value::str("abcd")
         );
     }
 }

@@ -25,13 +25,15 @@ use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::eval::{bind, eval, Bound};
 use crate::par::{self, ParConfig};
-use crate::stats::{NodeProfile, QueryStats};
+use crate::stats::{ExecPath, NodeProfile, QueryStats};
+use crate::vec_eval::{self, BATCH_ROWS};
+use ferry_algebra::plan::Aggregate;
 use ferry_algebra::{
-    AggFun, ColName, Dir, Expr, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value,
+    AggFun, ColName, ColVec, Dir, Expr, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value,
 };
 use std::cmp::Ordering;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering as AtOrd};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -140,12 +142,18 @@ pub fn run_many(
             if m.morsels > 1 {
                 stats.par_nodes += 1;
             }
+            if m.path == ExecPath::Vectorized {
+                stats.vec_nodes += 1;
+            }
+            stats.kernel_batches += m.batches as u64;
             stats.profile.push(NodeProfile {
                 node: id.0,
                 label: plan.node(id).label(),
                 rows: rel.len() as u64,
                 elapsed: m.elapsed,
                 morsels: m.morsels,
+                path: m.path,
+                batches: m.batches,
             });
             results[id.index()] = Some(rel);
         }
@@ -180,6 +188,18 @@ fn est_input_rows(db: &Database, plan: &Plan, id: NodeId, results: &[Option<Rel>
 struct NodeMetrics {
     morsels: u32,
     elapsed: std::time::Duration,
+    /// Scalar or vectorized — which implementation this evaluation took.
+    path: ExecPath,
+    /// Kernel batches executed (vectorized path only).
+    batches: u32,
+}
+
+impl NodeMetrics {
+    /// Record that the node ran vectorized, executing `batches` batches.
+    fn vectorized(&mut self, batches: u32) {
+        self.path = ExecPath::Vectorized;
+        self.batches += batches;
+    }
 }
 
 /// Result slot a worker fills for one heavyweight wave member.
@@ -239,12 +259,12 @@ fn resolve_cols(schema: &Schema, cols: &[ColName]) -> Result<Vec<usize>, EngineE
 /// column slots through the view's remap so the bound form evaluates
 /// directly against **buffer** rows — predicates and computed columns
 /// never force a view to materialise.
-fn bind_rel(expr: &Expr, rel: &Rel) -> Bound {
-    let b = bind(expr, &rel.schema);
-    match rel.col_map() {
+fn bind_rel(expr: &Expr, rel: &Rel) -> Result<Bound, EngineError> {
+    let b = bind(expr, &rel.schema)?;
+    Ok(match rel.col_map() {
         None => b,
         Some(map) => remap_bound(b, map),
-    }
+    })
 }
 
 fn remap_bound(b: Bound, map: &[u32]) -> Bound {
@@ -284,6 +304,75 @@ fn cmp_vis(rel: &Rel, a: u32, b: u32, spec: &[(usize, Dir)]) -> Ordering {
 /// Visible cells of row `i` at columns `idxs`, borrowed (hash/probe keys).
 fn key_ref<'a>(rel: &'a Rel, i: usize, idxs: &[usize]) -> Vec<&'a Value> {
     idxs.iter().map(|&c| rel.cell(i, c)).collect()
+}
+
+/// One `u64` equality code per **visible** row of `rel` for the given
+/// chunk (a full-buffer column). `None` when the chunk's type does not
+/// admit codes — `Other` always, strings when `cross_buffer` comparability
+/// is required (dictionary codes are per-buffer). See [`ColVec::eq_code`]
+/// for the encoding; this is its batch form, one tight typed loop instead
+/// of a per-cell variant match.
+fn chunk_codes(rel: &Rel, chunk: &ColVec, cross_buffer: bool) -> Option<Vec<u64>> {
+    let n = rel.len();
+    let mut out = Vec::with_capacity(n);
+    match chunk {
+        ColVec::Int(v) => out.extend((0..n).map(|i| v[rel.raw_row(i)] as u64)),
+        ColVec::Nat(v) => out.extend((0..n).map(|i| v[rel.raw_row(i)])),
+        // total_cmp equality coincides with bit equality
+        ColVec::Dbl(v) => out.extend((0..n).map(|i| v[rel.raw_row(i)].to_bits())),
+        ColVec::Bool(v) => out.extend((0..n).map(|i| v[rel.raw_row(i)] as u64)),
+        ColVec::Str { codes, .. } if !cross_buffer => {
+            out.extend((0..n).map(|i| codes[rel.raw_row(i)] as u64));
+        }
+        _ => return None,
+    }
+    Some(out)
+}
+
+/// Row-major typed key codes for columns `cols` of `rel` — one
+/// `Vec<u64>` per visible row — or `None` when the config keeps the node
+/// scalar or any column's chunk does not admit codes.
+fn typed_codes(
+    rel: &Rel,
+    cols: &[usize],
+    cfg: &ParConfig,
+    cross_buffer: bool,
+) -> Option<Vec<Vec<u64>>> {
+    if !cfg.vectorize(rel.len()) || cols.is_empty() {
+        return None;
+    }
+    let code_cols: Vec<Vec<u64>> = cols
+        .iter()
+        .map(|&c| chunk_codes(rel, &rel.typed_col(rel.raw_col(c)), cross_buffer))
+        .collect::<Option<_>>()?;
+    Some(
+        (0..rel.len())
+            .map(|i| code_cols.iter().map(|col| col[i]).collect())
+            .collect(),
+    )
+}
+
+/// The typed chunks for a single-column equi-join key pair, when both
+/// sides admit **cross-buffer** codes of the same storage variant (so
+/// code equality coincides with `Value` equality across the two buffers).
+fn join_codes(
+    l: &Rel,
+    r: &Rel,
+    li: &[usize],
+    ri: &[usize],
+    cfg: &ParConfig,
+) -> Option<(Vec<u64>, Vec<u64>)> {
+    if li.len() != 1 || !cfg.vectorize(l.len()) {
+        return None;
+    }
+    let lch = l.typed_col(l.raw_col(li[0]));
+    let rch = r.typed_col(r.raw_col(ri[0]));
+    // different storage variants must never compare equal (scalar `Value`
+    // ordering separates domains); codes would collide, so bail
+    if std::mem::discriminant(lch.as_ref()) != std::mem::discriminant(rch.as_ref()) {
+        return None;
+    }
+    Some((chunk_codes(l, &lch, true)?, chunk_codes(r, &rch, true)?))
 }
 
 fn eval_node(
@@ -354,7 +443,26 @@ fn eval_node(
         }
         Node::Compute { input, expr, .. } => {
             let rel = child(results, *input);
-            let bound = bind_rel(expr, rel);
+            if let Some(prep) = vec_eval::prepare(expr, rel, cfg) {
+                // vectorized: kernel-evaluate the expression per batch,
+                // then assemble output rows
+                let batches = AtomicU32::new(0);
+                let (rows, morsels) = par::map_morsels(cfg, rel.len(), |range| {
+                    let (vals, b) = prep.values_range(rel, range.clone())?;
+                    batches.fetch_add(b, AtOrd::Relaxed);
+                    let mut out = Vec::with_capacity(range.len());
+                    for (i, v) in range.zip(vals) {
+                        let mut r = rel.owned_row_with(i, 1);
+                        r.push(v);
+                        out.push(r);
+                    }
+                    Ok::<_, EngineError>(out)
+                })?;
+                m.morsels += morsels;
+                m.vectorized(batches.into_inner());
+                return Ok(Rel::new(out_schema, rows));
+            }
+            let bound = bind_rel(expr, rel)?;
             let buf = rel.buffer();
             let (rows, morsels) = par::map_morsels(cfg, rel.len(), |range| {
                 let mut out = Vec::with_capacity(range.len());
@@ -372,7 +480,20 @@ fn eval_node(
         Node::Select { input, pred } => {
             // selection vector over the shared buffer — rows are not copied
             let rel = child(results, *input);
-            let bound = bind_rel(pred, rel);
+            if let Some(prep) = vec_eval::prepare(pred, rel, cfg) {
+                // fused filter: the predicate kernel writes straight into
+                // the selection vector, no boolean column materialises
+                let batches = AtomicU32::new(0);
+                let (keep, morsels) = par::map_morsels(cfg, rel.len(), |range| {
+                    let (keep, b) = prep.filter_range(rel, range)?;
+                    batches.fetch_add(b, AtOrd::Relaxed);
+                    Ok::<_, EngineError>(keep)
+                })?;
+                m.morsels += morsels;
+                m.vectorized(batches.into_inner());
+                return Ok(rel.with_sel(keep).with_schema(out_schema));
+            }
+            let bound = bind_rel(pred, rel)?;
             let buf = rel.buffer();
             let (keep, morsels) = par::map_morsels(cfg, rel.len(), |range| {
                 let mut keep = Vec::new();
@@ -392,6 +513,33 @@ fn eval_node(
             let rel = child(results, *input);
             let w = rel.width();
             let all: Vec<usize> = (0..w).collect();
+            // vectorized: dedup on typed eq-codes (u64 per cell; dictionary
+            // codes for strings — valid because all rows share one buffer)
+            // instead of hashing `Value` cells
+            if w == 1 && cfg.vectorize(rel.len()) {
+                // single column: flat u64 keys, no per-row allocation
+                if let Some(codes) = chunk_codes(rel, &rel.typed_col(rel.raw_col(0)), false) {
+                    let mut seen: HashSet<u64> = HashSet::with_capacity(rel.len());
+                    let mut keep = Vec::new();
+                    for (i, &code) in codes.iter().enumerate() {
+                        if seen.insert(code) {
+                            keep.push(rel.raw_row(i) as u32);
+                        }
+                    }
+                    m.vectorized(rel.len().div_ceil(BATCH_ROWS) as u32);
+                    return Ok(rel.with_sel(keep).with_schema(out_schema));
+                }
+            } else if let Some(codes) = typed_codes(rel, &all, cfg, false) {
+                let mut seen: HashMap<Vec<u64>, ()> = HashMap::with_capacity(rel.len());
+                let mut keep = Vec::new();
+                for (i, key) in codes.into_iter().enumerate() {
+                    if seen.insert(key, ()).is_none() {
+                        keep.push(rel.raw_row(i) as u32);
+                    }
+                }
+                m.vectorized(rel.len().div_ceil(BATCH_ROWS) as u32);
+                return Ok(rel.with_sel(keep).with_schema(out_schema));
+            }
             let mut seen: HashMap<Vec<&Value>, ()> = HashMap::with_capacity(rel.len());
             let mut keep = Vec::new();
             for i in 0..rel.len() {
@@ -459,7 +607,32 @@ fn eval_node(
             let r = child(results, *right);
             let li = resolve_cols(&l.schema, &on.left)?;
             let ri = resolve_cols(&r.schema, &on.right)?;
-            // hash join: build on the right, probe with the left (morsels)
+            // typed probe: single-column keys over cross-buffer u64 codes
+            // hash and compare machine words instead of `Value` cells
+            if let Some((lcodes, rcodes)) = join_codes(l, r, &li, &ri, cfg) {
+                let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(r.len());
+                for (j, &c) in rcodes.iter().enumerate() {
+                    index.entry(c).or_default().push(j as u32);
+                }
+                let rw = r.width();
+                let (rows, morsels) = par::map_morsels(cfg, l.len(), |range| {
+                    let mut out = Vec::new();
+                    for i in range {
+                        if let Some(matches) = index.get(&lcodes[i]) {
+                            for &j in matches {
+                                let mut row = l.owned_row_with(i, rw);
+                                r.extend_row(j as usize, &mut row);
+                                out.push(row);
+                            }
+                        }
+                    }
+                    Ok::<_, EngineError>(out)
+                })?;
+                m.morsels += morsels;
+                m.vectorized(l.len().div_ceil(BATCH_ROWS) as u32);
+                return Ok(Rel::new(out_schema, rows));
+            }
+            // scalar hash join: build on the right, probe with the left
             let mut index: HashMap<Vec<&Value>, Vec<u32>> = HashMap::with_capacity(r.len());
             for j in 0..r.len() {
                 index.entry(key_ref(r, j, &ri)).or_default().push(j as u32);
@@ -487,6 +660,22 @@ fn eval_node(
             let r = child(results, *right);
             let li = resolve_cols(&l.schema, &on.left)?;
             let ri = resolve_cols(&r.schema, &on.right)?;
+            // typed membership probe (see EquiJoin)
+            if let Some((lcodes, rcodes)) = join_codes(l, r, &li, &ri, cfg) {
+                let keys: HashSet<u64> = rcodes.into_iter().collect();
+                let (keep, morsels) = par::map_morsels(cfg, l.len(), |range| {
+                    let mut keep = Vec::new();
+                    for i in range {
+                        if keys.contains(&lcodes[i]) != anti {
+                            keep.push(l.raw_row(i) as u32);
+                        }
+                    }
+                    Ok::<_, EngineError>(keep)
+                })?;
+                m.morsels += morsels;
+                m.vectorized(l.len().div_ceil(BATCH_ROWS) as u32);
+                return Ok(l.with_sel(keep).with_schema(out_schema));
+            }
             let keys: HashMap<Vec<&Value>, ()> =
                 (0..r.len()).map(|j| (key_ref(r, j, &ri), ())).collect();
             // the output is a selection vector over the left input
@@ -506,7 +695,7 @@ fn eval_node(
             let l = child(results, *left);
             let r = child(results, *right);
             let joint = l.schema.concat(&r.schema);
-            let bound = bind(pred, &joint);
+            let bound = bind(pred, &joint)?;
             let rw = r.width();
             let (rows, morsels) = par::map_morsels(cfg, l.len(), |range| {
                 let mut out = Vec::new();
@@ -556,7 +745,11 @@ fn eval_node(
                         .transpose()
                 })
                 .collect::<Result<_, _>>()?;
-            // group rows by key, first-occurrence order
+            if let Some(out) = group_by_typed(rel, &ki, aggs, &ai, &out_schema, cfg)? {
+                m.vectorized(rel.len().div_ceil(BATCH_ROWS) as u32);
+                return Ok(out);
+            }
+            // scalar: group rows by key, first-occurrence order
             let mut order: Vec<Vec<Value>> = Vec::new();
             let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
             for i in 0..rel.len() {
@@ -780,4 +973,230 @@ impl Acc {
             Acc::Any(b) => Ok(Value::Bool(b)),
         }
     }
+}
+
+/// Vectorized aggregate state: one accumulator slot per group, fed
+/// column-at-a-time from the input's typed chunk.
+enum VAgg {
+    Count(Vec<i64>),
+    SumInt(Vec<i64>),
+    SumNat(Vec<u64>),
+    SumDbl(Vec<f64>),
+    /// Raw buffer row of the group's current best cell (`u32::MAX` until
+    /// the group's first row arrives). Works for every chunk type via
+    /// [`ColVec::cmp_cells`], and finishing is a single `value()` call —
+    /// no per-row `Value` clones along the way.
+    MinMax {
+        max: bool,
+        best: Vec<u32>,
+    },
+    Avg {
+        sum: Vec<f64>,
+        n: Vec<i64>,
+    },
+    All(Vec<bool>),
+    Any(Vec<bool>),
+}
+
+/// Typed group-by: key rows by `u64` eq-codes, then run each aggregate as
+/// a tight loop over its typed chunk. Returns `Ok(None)` when any part of
+/// the node falls outside the typed domains (the scalar path then owns
+/// it, including its error behaviours — e.g. `AVG` over `Nat`).
+fn group_by_typed(
+    rel: &Rel,
+    ki: &[usize],
+    aggs: &[Aggregate],
+    ai: &[Option<usize>],
+    out_schema: &Schema,
+    cfg: &ParConfig,
+) -> Result<Option<Rel>, EngineError> {
+    let n = rel.len();
+    if !cfg.vectorize(n) {
+        return Ok(None);
+    }
+    // per-aggregate plan: the input chunk plus the accumulator kind its
+    // storage variant admits
+    let mut chunks: Vec<Option<std::sync::Arc<ColVec>>> = Vec::with_capacity(aggs.len());
+    let mut states: Vec<VAgg> = Vec::with_capacity(aggs.len());
+    for (a, idx) in aggs.iter().zip(ai) {
+        let chunk = idx.map(|c| rel.typed_col(rel.raw_col(c)));
+        let state = match (a.fun, chunk.as_deref()) {
+            (AggFun::CountAll, _) => VAgg::Count(Vec::new()),
+            (AggFun::Sum, Some(ColVec::Int(_))) => VAgg::SumInt(Vec::new()),
+            (AggFun::Sum, Some(ColVec::Nat(_))) => VAgg::SumNat(Vec::new()),
+            (AggFun::Sum, Some(ColVec::Dbl(_))) => VAgg::SumDbl(Vec::new()),
+            (AggFun::Min, Some(_)) => VAgg::MinMax {
+                max: false,
+                best: Vec::new(),
+            },
+            (AggFun::Max, Some(_)) => VAgg::MinMax {
+                max: true,
+                best: Vec::new(),
+            },
+            (AggFun::Avg, Some(ColVec::Int(_) | ColVec::Dbl(_))) => VAgg::Avg {
+                sum: Vec::new(),
+                n: Vec::new(),
+            },
+            (AggFun::All, Some(ColVec::Bool(_))) => VAgg::All(Vec::new()),
+            (AggFun::Any, Some(ColVec::Bool(_))) => VAgg::Any(Vec::new()),
+            _ => return Ok(None),
+        };
+        chunks.push(chunk);
+        states.push(state);
+    }
+    // phase 1: group ids in first-occurrence order, keyed on eq-codes
+    // (same-buffer: dictionary string codes are valid keys)
+    let mut gid: Vec<u32> = Vec::with_capacity(n);
+    let mut first_row: Vec<u32> = Vec::new();
+    if ki.is_empty() {
+        // global aggregate: one group holding every row (scalar semantics:
+        // no rows, no group)
+        if n > 0 {
+            gid.resize(n, 0);
+            first_row.push(0);
+        }
+    } else if ki.len() == 1 {
+        let Some(codes) = chunk_codes(rel, &rel.typed_col(rel.raw_col(ki[0])), false) else {
+            return Ok(None);
+        };
+        let mut groups: HashMap<u64, u32> = HashMap::new();
+        for (i, &c) in codes.iter().enumerate() {
+            let g = *groups.entry(c).or_insert_with(|| {
+                first_row.push(i as u32);
+                (first_row.len() - 1) as u32
+            });
+            gid.push(g);
+        }
+    } else {
+        let Some(keys) = typed_codes(rel, ki, cfg, false) else {
+            return Ok(None);
+        };
+        let mut groups: HashMap<Vec<u64>, u32> = HashMap::new();
+        for (i, key) in keys.into_iter().enumerate() {
+            let g = *groups.entry(key).or_insert_with(|| {
+                first_row.push(i as u32);
+                (first_row.len() - 1) as u32
+            });
+            gid.push(g);
+        }
+    }
+    let ng = first_row.len();
+    let raws: Vec<u32> = (0..n).map(|i| rel.raw_row(i) as u32).collect();
+    // phase 2: batch aggregation, one typed pass per aggregate
+    let overflow = || EngineError::Eval("overflow in SUM".into());
+    for (state, chunk) in states.iter_mut().zip(&chunks) {
+        match state {
+            VAgg::Count(c) => {
+                c.resize(ng, 0);
+                for &g in &gid {
+                    c[g as usize] += 1;
+                }
+            }
+            VAgg::SumInt(s) => {
+                s.resize(ng, 0);
+                let v = chunk.as_ref().and_then(|c| c.as_int()).expect("planned");
+                for (k, &g) in gid.iter().enumerate() {
+                    let slot = &mut s[g as usize];
+                    *slot = slot.checked_add(v[raws[k] as usize]).ok_or_else(overflow)?;
+                }
+            }
+            VAgg::SumNat(s) => {
+                s.resize(ng, 0);
+                let v = chunk.as_ref().and_then(|c| c.as_nat()).expect("planned");
+                for (k, &g) in gid.iter().enumerate() {
+                    let slot = &mut s[g as usize];
+                    *slot = slot.checked_add(v[raws[k] as usize]).ok_or_else(overflow)?;
+                }
+            }
+            VAgg::SumDbl(s) => {
+                // scalar Sum folds from the group's first value, so a group
+                // of only `-0.0`s sums to `-0.0`; seeding with `-0.0` (the
+                // additive identity that preserves the sign of zero sums)
+                // reproduces that bit-for-bit
+                s.resize(ng, -0.0);
+                let v = chunk.as_ref().and_then(|c| c.as_dbl()).expect("planned");
+                for (k, &g) in gid.iter().enumerate() {
+                    s[g as usize] += v[raws[k] as usize];
+                }
+            }
+            VAgg::MinMax { max, best } => {
+                best.resize(ng, u32::MAX);
+                let c = chunk.as_ref().expect("planned");
+                for (k, &g) in gid.iter().enumerate() {
+                    let raw = raws[k];
+                    let b = &mut best[g as usize];
+                    if *b == u32::MAX {
+                        *b = raw;
+                    } else {
+                        let o = c.cmp_cells(raw as usize, *b as usize);
+                        // strict comparison: ties keep the first-seen cell,
+                        // matching the scalar accumulator
+                        if o == if *max {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Less
+                        } {
+                            *b = raw;
+                        }
+                    }
+                }
+            }
+            VAgg::Avg { sum, n: cnt } => {
+                sum.resize(ng, 0.0);
+                cnt.resize(ng, 0);
+                match chunk.as_deref().expect("planned") {
+                    ColVec::Int(v) => {
+                        for (k, &g) in gid.iter().enumerate() {
+                            sum[g as usize] += v[raws[k] as usize] as f64;
+                            cnt[g as usize] += 1;
+                        }
+                    }
+                    ColVec::Dbl(v) => {
+                        for (k, &g) in gid.iter().enumerate() {
+                            sum[g as usize] += v[raws[k] as usize];
+                            cnt[g as usize] += 1;
+                        }
+                    }
+                    _ => unreachable!("planned above"),
+                }
+            }
+            VAgg::All(bs) => {
+                bs.resize(ng, true);
+                let v = chunk.as_ref().and_then(|c| c.as_bool()).expect("planned");
+                for (k, &g) in gid.iter().enumerate() {
+                    bs[g as usize] &= v[raws[k] as usize];
+                }
+            }
+            VAgg::Any(bs) => {
+                bs.resize(ng, false);
+                let v = chunk.as_ref().and_then(|c| c.as_bool()).expect("planned");
+                for (k, &g) in gid.iter().enumerate() {
+                    bs[g as usize] |= v[raws[k] as usize];
+                }
+            }
+        }
+    }
+    // phase 3: materialise one output row per group
+    let mut rows: Vec<Row> = Vec::with_capacity(ng);
+    for g in 0..ng {
+        let fi = first_row[g] as usize;
+        let mut row: Row = Vec::with_capacity(ki.len() + states.len());
+        row.extend(ki.iter().map(|&c| rel.cell(fi, c).clone()));
+        for (state, chunk) in states.iter().zip(&chunks) {
+            row.push(match state {
+                VAgg::Count(c) => Value::Int(c[g]),
+                VAgg::SumInt(s) => Value::Int(s[g]),
+                VAgg::SumNat(s) => Value::Nat(s[g]),
+                VAgg::SumDbl(s) => Value::Dbl(s[g]),
+                VAgg::MinMax { best, .. } => {
+                    chunk.as_ref().expect("planned").value(best[g] as usize)
+                }
+                VAgg::Avg { sum, n } => Value::Dbl(sum[g] / n[g] as f64),
+                VAgg::All(bs) => Value::Bool(bs[g]),
+                VAgg::Any(bs) => Value::Bool(bs[g]),
+            });
+        }
+        rows.push(row);
+    }
+    Ok(Some(Rel::new(out_schema.clone(), rows)))
 }

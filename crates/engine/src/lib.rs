@@ -29,6 +29,13 @@
 //! bundle — concurrently by dependency **wavefront**. All of it is
 //! observably deterministic; `ParConfig { threads: 1, .. }` recovers the
 //! pure serial engine.
+//!
+//! Expression-heavy operators additionally carry a **vectorized** path
+//! ([`vec_eval`]): expressions compile to register-based kernel programs
+//! that run over typed column chunks 1024 rows per batch, with the scalar
+//! row-at-a-time interpreter retained as both fallback and differential
+//! oracle. `ParConfig::vec` selects the path; `QueryStats::profile`
+//! records which one each node took.
 
 pub mod catalog;
 pub mod error;
@@ -36,8 +43,9 @@ pub mod eval;
 pub mod exec;
 pub mod par;
 pub mod stats;
+pub mod vec_eval;
 
 pub use catalog::{BaseTable, Database};
 pub use error::EngineError;
-pub use par::ParConfig;
-pub use stats::{NodeProfile, QueryStats};
+pub use par::{ParConfig, VecMode};
+pub use stats::{ExecPath, NodeProfile, QueryStats};

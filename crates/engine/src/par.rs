@@ -18,6 +18,22 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
 use std::sync::Mutex;
 
+/// Execution-path selection for operators that have both a scalar
+/// (row-at-a-time `Bound` interpretation) and a vectorized (typed-chunk
+/// kernel) implementation. See `crate::vec_eval` and `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VecMode {
+    /// Vectorize when the input is large enough to amortise the one-off
+    /// column transposition; small inputs stay scalar.
+    #[default]
+    Auto,
+    /// Scalar only — the fallback path doubles as the differential oracle.
+    Off,
+    /// Vectorize whenever a kernel can be compiled, regardless of input
+    /// size (differential tests force this to cover tiny inputs).
+    Force,
+}
+
 /// Parallelism knobs carried by a `Database` (and settable through a
 /// `Connection`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +49,9 @@ pub struct ParConfig {
     /// `4 × threads` morsels, at least 1024 rows each). Exposed mainly so
     /// the differential tests can force degenerate splits.
     pub morsel_rows: usize,
+    /// Scalar vs vectorized path selection (orthogonal to threading:
+    /// kernels run inside morsels, so the two compose).
+    pub vec: VecMode,
 }
 
 impl Default for ParConfig {
@@ -41,6 +60,7 @@ impl Default for ParConfig {
             threads: default_threads(),
             min_rows: 4096,
             morsel_rows: 0,
+            vec: VecMode::Auto,
         }
     }
 }
@@ -64,6 +84,18 @@ impl ParConfig {
     /// Should an input of `n` rows be processed in parallel?
     pub fn parallel_for(&self, n: usize) -> bool {
         self.threads > 1 && n >= self.min_rows.max(2)
+    }
+
+    /// Should an operator over `n` input rows take the vectorized path
+    /// (assuming it has one and a kernel compiles)? The `Auto` threshold
+    /// is deliberately low: the transposition is cached on the shared
+    /// buffer, so it amortises across operators, not just within one.
+    pub fn vectorize(&self, n: usize) -> bool {
+        match self.vec {
+            VecMode::Off => false,
+            VecMode::Force => n > 0,
+            VecMode::Auto => n >= 64,
+        }
     }
 
     /// Morsel size for an input of `n` rows.
@@ -214,6 +246,7 @@ mod tests {
             threads: 4,
             min_rows: 1,
             morsel_rows: 7,
+            ..ParConfig::default()
         }
     }
 
@@ -274,5 +307,23 @@ mod tests {
             ..cfg
         };
         assert_eq!(fixed.morsel_size(1_000_000), 7);
+    }
+
+    #[test]
+    fn vec_mode_gates() {
+        let auto = ParConfig::default();
+        assert!(auto.vectorize(100_000));
+        assert!(!auto.vectorize(8));
+        let off = ParConfig {
+            vec: VecMode::Off,
+            ..auto
+        };
+        assert!(!off.vectorize(100_000));
+        let force = ParConfig {
+            vec: VecMode::Force,
+            ..auto
+        };
+        assert!(force.vectorize(1));
+        assert!(!force.vectorize(0));
     }
 }

@@ -11,7 +11,31 @@
 //! with its wall-clock time, output rows and morsel count. `Connection::
 //! explain_analyze` renders it.
 
+use std::fmt;
 use std::time::Duration;
+
+/// Which execution path an operator took for one evaluation. Operators
+/// with a vectorized implementation pick per input (kernel compiled,
+/// chunk types usable, input large enough — see `ParConfig::vectorize`);
+/// everything else is scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPath {
+    /// Row-at-a-time `Bound` interpretation — the fallback and the
+    /// differential oracle.
+    #[default]
+    Scalar,
+    /// Typed-chunk kernels (`vec_eval`) / columnar operator plans.
+    Vectorized,
+}
+
+impl fmt::Display for ExecPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecPath::Scalar => write!(f, "scalar"),
+            ExecPath::Vectorized => write!(f, "vec"),
+        }
+    }
+}
 
 /// Wall-time and work record for one evaluated plan node (most recent
 /// query only — see [`QueryStats::profile`]).
@@ -28,6 +52,10 @@ pub struct NodeProfile {
     /// Morsels the node's bulk work was split into (`0` for operators
     /// without a morsel path, `1` for a serial run).
     pub morsels: u32,
+    /// Execution path the node took.
+    pub path: ExecPath,
+    /// Kernel batches executed (`0` on the scalar path).
+    pub batches: u32,
 }
 
 /// Counters accumulated by a [`crate::Database`] across `execute` calls.
@@ -56,6 +84,10 @@ pub struct QueryStats {
     /// DAG scheduling wavefronts that evaluated two or more nodes
     /// concurrently.
     pub par_waves: u64,
+    /// Node evaluations that took the vectorized path.
+    pub vec_nodes: u64,
+    /// Total kernel batches executed by vectorized nodes.
+    pub kernel_batches: u64,
     /// Per-node profile of the **most recent** dispatch (replaced on every
     /// `execute` / `execute_bundle`, not accumulated — the aggregate
     /// counters above are the cross-query view).
@@ -79,6 +111,8 @@ impl QueryStats {
         self.morsel_tasks += other.morsel_tasks;
         self.par_nodes += other.par_nodes;
         self.par_waves += other.par_waves;
+        self.vec_nodes += other.vec_nodes;
+        self.kernel_batches += other.kernel_batches;
         if !other.profile.is_empty() {
             self.profile = other.profile;
         }
@@ -101,12 +135,16 @@ mod tests {
             morsel_tasks: 7,
             par_nodes: 2,
             par_waves: 1,
+            vec_nodes: 3,
+            kernel_batches: 9,
             profile: vec![NodeProfile {
                 node: 0,
                 label: "lit",
                 rows: 1,
                 elapsed: Duration::from_micros(3),
                 morsels: 1,
+                path: ExecPath::Vectorized,
+                batches: 4,
             }],
         };
         s.reset();
@@ -118,31 +156,42 @@ mod tests {
         let mut a = QueryStats {
             queries: 1,
             morsel_tasks: 2,
+            vec_nodes: 1,
+            kernel_batches: 4,
             profile: vec![NodeProfile {
                 node: 0,
                 label: "lit",
                 rows: 1,
                 elapsed: Duration::ZERO,
                 morsels: 1,
+                path: ExecPath::Scalar,
+                batches: 0,
             }],
             ..QueryStats::default()
         };
         let b = QueryStats {
             queries: 2,
             morsel_tasks: 3,
+            vec_nodes: 2,
+            kernel_batches: 6,
             profile: vec![NodeProfile {
                 node: 1,
                 label: "select",
                 rows: 5,
                 elapsed: Duration::ZERO,
                 morsels: 2,
+                path: ExecPath::Vectorized,
+                batches: 2,
             }],
             ..QueryStats::default()
         };
         a.absorb(b);
         assert_eq!(a.queries, 3);
         assert_eq!(a.morsel_tasks, 5);
+        assert_eq!(a.vec_nodes, 3);
+        assert_eq!(a.kernel_batches, 10);
         assert_eq!(a.profile.len(), 1);
         assert_eq!(a.profile[0].node, 1);
+        assert_eq!(a.profile[0].path, ExecPath::Vectorized);
     }
 }

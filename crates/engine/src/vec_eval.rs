@@ -1,0 +1,1154 @@
+//! Vectorized expression kernels: batch evaluation over typed chunks.
+//!
+//! The scalar evaluator ([`crate::eval`]) interprets a [`Bound`] tree per
+//! row — every cell goes through a `Value` match. This module lowers the
+//! same expressions to a flat **register program** over type-specialized
+//! column chunks ([`ColVec`]): each instruction processes a batch of up to
+//! [`BATCH_ROWS`] rows in a tight monomorphic loop (`&[i64]` + `&[i64]` →
+//! `Vec<i64>`), so the per-row cost is an add and a bounds check instead
+//! of an enum dispatch and a heap-happy `Value` clone.
+//!
+//! ## Semantics contract
+//!
+//! The kernels are *observably identical* to the scalar oracle — same
+//! values, same errors (message strings included) — with one deliberate
+//! freedom: when several rows of one batch fail, the reported row may
+//! differ (scalar walks rows outer-most, kernels walk instructions
+//! outer-most). Three scalar behaviours cannot be reproduced by a
+//! straight-line batch program, so [`compile`] refuses those expressions
+//! and the operator falls back to scalar:
+//!
+//! - `AND`/`OR` short-circuiting: a kernel evaluates both sides for the
+//!   whole batch, so a *fallible* right-hand side (one that can raise,
+//!   e.g. a division) must not be vectorized.
+//! - `CASE` evaluates only the taken branch per row; kernels pre-evaluate
+//!   both, so fallible branches bail out.
+//! - `Nat` division/modulo are not defined by the scalar oracle (they hit
+//!   its catch-all error) — kernels don't invent them.
+//!
+//! Everything else — checked `Int`/`Nat` arithmetic with the oracle's
+//! exact error strings, `wrapping_div` after the zero check (pinning the
+//! `i64::MIN / -1` quirk), `total_cmp` double ordering — is reproduced
+//! instruction by instruction. `tests/differential.rs` locks the contract
+//! in cell-for-cell.
+
+use crate::error::EngineError;
+use crate::eval;
+use crate::par::ParConfig;
+use ferry_algebra::{BinOp, ColVec, Expr, Rel, Schema, Ty, UnOp, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Rows per kernel batch. Large enough to amortise dispatch, small enough
+/// that a batch's registers stay cache-resident.
+pub const BATCH_ROWS: usize = 1024;
+
+fn ee(msg: impl Into<String>) -> EngineError {
+    EngineError::Eval(msg.into())
+}
+
+/// A batch register: one column of intermediate results, type-specialized
+/// like the chunks it is computed from. `Val` is the totality fallback
+/// (unit columns and other slow domains).
+#[derive(Debug)]
+pub enum Reg {
+    I64(Vec<i64>),
+    U64(Vec<u64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<Arc<str>>),
+    Val(Vec<Value>),
+}
+
+impl Reg {
+    fn new(ty: Ty) -> Reg {
+        match ty {
+            Ty::Int => Reg::I64(Vec::new()),
+            Ty::Nat => Reg::U64(Vec::new()),
+            Ty::Dbl => Reg::F64(Vec::new()),
+            Ty::Bool => Reg::Bool(Vec::new()),
+            Ty::Str => Reg::Str(Vec::new()),
+            Ty::Unit => Reg::Val(Vec::new()),
+        }
+    }
+
+    /// Cell `k` as an owned [`Value`].
+    pub fn value(&self, k: usize) -> Value {
+        match self {
+            Reg::I64(v) => Value::Int(v[k]),
+            Reg::U64(v) => Value::Nat(v[k]),
+            Reg::F64(v) => Value::Dbl(v[k]),
+            Reg::Bool(v) => Value::Bool(v[k]),
+            Reg::Str(v) => Value::Str(v[k].clone()),
+            Reg::Val(v) => v[k].clone(),
+        }
+    }
+
+    fn push(&mut self, v: Value) -> Result<(), EngineError> {
+        match (self, v) {
+            (Reg::I64(o), Value::Int(x)) => o.push(x),
+            (Reg::U64(o), Value::Nat(x)) => o.push(x),
+            (Reg::F64(o), Value::Dbl(x)) => o.push(x),
+            (Reg::Bool(o), Value::Bool(x)) => o.push(x),
+            (Reg::Str(o), Value::Str(x)) => o.push(x),
+            (Reg::Val(o), v) => o.push(v),
+            (_, v) => return Err(ee(format!("kernel register type confusion on {v}"))),
+        }
+        Ok(())
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Reg::I64(v) => v.clear(),
+            Reg::U64(v) => v.clear(),
+            Reg::F64(v) => v.clear(),
+            Reg::Bool(v) => v.clear(),
+            Reg::Str(v) => v.clear(),
+            Reg::Val(v) => v.clear(),
+        }
+    }
+}
+
+/// One kernel instruction. Operands `a`/`b`/`cond`/… always index
+/// registers allocated *before* `dst` (the compiler allocates the result
+/// register after its operands), which the interpreter exploits to split
+/// borrows.
+#[derive(Debug, Clone)]
+enum Instr {
+    /// Gather chunk `slot` at the batch's buffer rows into `dst`.
+    Load {
+        slot: u16,
+        dst: u16,
+    },
+    /// Broadcast a constant across the batch.
+    Splat {
+        v: Value,
+        dst: u16,
+    },
+    /// Checked `Int` arithmetic with the scalar oracle's semantics
+    /// (including `wrapping_div`/`wrapping_rem` after the zero check).
+    ArithI64 {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// Checked `Nat` arithmetic (`Add`/`Sub`/`Mul` only).
+    ArithU64 {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `Dbl` arithmetic; `Div`/`Mod` still error on a zero divisor.
+    ArithF64 {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    CmpI64 {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    CmpU64 {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `total_cmp` ordering — `Value` comparison semantics, not IEEE.
+    CmpF64 {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    CmpBool {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    CmpStr {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    AndMask {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    OrMask {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    NotMask {
+        a: u16,
+        dst: u16,
+    },
+    NegI64 {
+        a: u16,
+        dst: u16,
+    },
+    NegF64 {
+        a: u16,
+        dst: u16,
+    },
+    Concat {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `cond ? t : e` element-wise. Both branches are pre-evaluated;
+    /// [`compile`] only emits this when they are infallible.
+    SelectCase {
+        cond: u16,
+        t: u16,
+        e: u16,
+        dst: u16,
+    },
+    /// Element-wise cast through the scalar oracle.
+    CastVal {
+        ty: Ty,
+        a: u16,
+        dst: u16,
+    },
+    /// Element-wise fallback through the scalar `bin_op` oracle (unit
+    /// comparisons and other slow domains).
+    BinVal {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+}
+
+/// A compiled kernel program: straight-line instructions over a register
+/// file, plus the buffer columns it loads.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    instrs: Vec<Instr>,
+    /// Register allocation shape (`reg_tys[r]` is register `r`'s type).
+    reg_tys: Vec<Ty>,
+    /// Buffer column index per load slot.
+    cols: Vec<u32>,
+    /// Schema type per load slot (checked against chunk variants).
+    col_tys: Vec<Ty>,
+    /// Register holding the expression result.
+    out: u16,
+}
+
+struct Compiler<'a> {
+    schema: &'a Schema,
+    col_map: Option<&'a [u32]>,
+    instrs: Vec<Instr>,
+    reg_tys: Vec<Ty>,
+    cols: Vec<u32>,
+    col_tys: Vec<Ty>,
+    /// raw buffer column → register already holding its load.
+    loaded: HashMap<u32, (u16, Ty)>,
+}
+
+impl Compiler<'_> {
+    fn reg(&mut self, ty: Ty) -> Option<u16> {
+        if self.reg_tys.len() >= u16::MAX as usize {
+            return None;
+        }
+        self.reg_tys.push(ty);
+        Some((self.reg_tys.len() - 1) as u16)
+    }
+
+    fn compile(&mut self, e: &Expr) -> Option<(u16, Ty)> {
+        match e {
+            Expr::Col(name) => {
+                let idx = self.schema.index_of(name)?;
+                let ty = self.schema.cols()[idx].1;
+                let raw = match self.col_map {
+                    Some(map) => map[idx],
+                    None => idx as u32,
+                };
+                if let Some(&hit) = self.loaded.get(&raw) {
+                    return Some(hit);
+                }
+                let dst = self.reg(ty)?;
+                let slot = self.cols.len() as u16;
+                self.cols.push(raw);
+                self.col_tys.push(ty);
+                self.instrs.push(Instr::Load { slot, dst });
+                self.loaded.insert(raw, (dst, ty));
+                Some((dst, ty))
+            }
+            Expr::Const(v) => {
+                let ty = v.ty();
+                let dst = self.reg(ty)?;
+                self.instrs.push(Instr::Splat { v: v.clone(), dst });
+                Some((dst, ty))
+            }
+            Expr::Bin(op, l, r) => self.compile_bin(*op, l, r),
+            Expr::Un(UnOp::Not, e) => {
+                let (a, ty) = self.compile(e)?;
+                if ty != Ty::Bool {
+                    return None;
+                }
+                let dst = self.reg(Ty::Bool)?;
+                self.instrs.push(Instr::NotMask { a, dst });
+                Some((dst, Ty::Bool))
+            }
+            Expr::Un(UnOp::Neg, e) => {
+                let (a, ty) = self.compile(e)?;
+                let dst = self.reg(ty)?;
+                match ty {
+                    Ty::Int => self.instrs.push(Instr::NegI64 { a, dst }),
+                    Ty::Dbl => self.instrs.push(Instr::NegF64 { a, dst }),
+                    _ => return None,
+                }
+                Some((dst, ty))
+            }
+            Expr::Case(c, t, e) => {
+                // scalar CASE evaluates only the taken branch — kernels
+                // evaluate both, so fallible branches must stay scalar
+                if !infallible(t, self.schema) || !infallible(e, self.schema) {
+                    return None;
+                }
+                let (cond, ct) = self.compile(c)?;
+                if ct != Ty::Bool {
+                    return None;
+                }
+                let (tr, tt) = self.compile(t)?;
+                let (er, et) = self.compile(e)?;
+                if tt != et {
+                    return None;
+                }
+                let dst = self.reg(tt)?;
+                self.instrs.push(Instr::SelectCase {
+                    cond,
+                    t: tr,
+                    e: er,
+                    dst,
+                });
+                Some((dst, tt))
+            }
+            Expr::Cast(ty, e) => {
+                let (a, et) = self.compile(e)?;
+                if et == *ty {
+                    return Some((a, et)); // identity cast: reuse the register
+                }
+                let dst = self.reg(*ty)?;
+                self.instrs.push(Instr::CastVal { ty: *ty, a, dst });
+                Some((dst, *ty))
+            }
+        }
+    }
+
+    fn compile_bin(&mut self, op: BinOp, l: &Expr, r: &Expr) -> Option<(u16, Ty)> {
+        if op.is_logic() {
+            // scalar AND/OR short-circuits the right side — a fallible
+            // right side must not be batch-evaluated
+            if !infallible(r, self.schema) {
+                return None;
+            }
+            let (a, lt) = self.compile(l)?;
+            let (b, rt) = self.compile(r)?;
+            if lt != Ty::Bool || rt != Ty::Bool {
+                return None;
+            }
+            let dst = self.reg(Ty::Bool)?;
+            self.instrs.push(match op {
+                BinOp::And => Instr::AndMask { a, b, dst },
+                _ => Instr::OrMask { a, b, dst },
+            });
+            return Some((dst, Ty::Bool));
+        }
+        let (a, lt) = self.compile(l)?;
+        let (b, rt) = self.compile(r)?;
+        if lt != rt {
+            return None; // the oracle never coerces across domains
+        }
+        if op.is_cmp() {
+            let dst = self.reg(Ty::Bool)?;
+            self.instrs.push(match lt {
+                Ty::Int => Instr::CmpI64 { op, a, b, dst },
+                Ty::Nat => Instr::CmpU64 { op, a, b, dst },
+                Ty::Dbl => Instr::CmpF64 { op, a, b, dst },
+                Ty::Bool => Instr::CmpBool { op, a, b, dst },
+                Ty::Str => Instr::CmpStr { op, a, b, dst },
+                Ty::Unit => Instr::BinVal { op, a, b, dst },
+            });
+            return Some((dst, Ty::Bool));
+        }
+        if op == BinOp::Concat {
+            if lt != Ty::Str {
+                return None;
+            }
+            let dst = self.reg(Ty::Str)?;
+            self.instrs.push(Instr::Concat { a, b, dst });
+            return Some((dst, Ty::Str));
+        }
+        debug_assert!(op.is_arith());
+        let dst = self.reg(lt)?;
+        self.instrs.push(match lt {
+            Ty::Int => Instr::ArithI64 { op, a, b, dst },
+            // Nat Div/Mod are undefined in the scalar oracle
+            Ty::Nat if !matches!(op, BinOp::Div | BinOp::Mod) => Instr::ArithU64 { op, a, b, dst },
+            Ty::Dbl => Instr::ArithF64 { op, a, b, dst },
+            _ => return None,
+        });
+        Some((dst, lt))
+    }
+}
+
+/// Can evaluating `e` ever raise? Conservative: `false` only when the
+/// expression provably cannot error on any row (comparisons, logic,
+/// concat, `Dbl` add/sub/mul, widening casts). Checked integer arithmetic,
+/// divisions and narrowing casts are fallible.
+fn infallible(e: &Expr, schema: &Schema) -> bool {
+    match e {
+        Expr::Col(_) | Expr::Const(_) => true,
+        Expr::Bin(op, l, r) => {
+            if !infallible(l, schema) || !infallible(r, schema) {
+                return false;
+            }
+            if op.is_cmp() || op.is_logic() || *op == BinOp::Concat {
+                return true;
+            }
+            // arithmetic: only Dbl Add/Sub/Mul cannot raise
+            matches!(l.infer_ty(schema), Some(Ty::Dbl))
+                && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul)
+        }
+        Expr::Un(UnOp::Not, e) => infallible(e, schema),
+        Expr::Un(UnOp::Neg, e) => {
+            // Int negation overflows on i64::MIN
+            infallible(e, schema) && matches!(e.infer_ty(schema), Some(Ty::Dbl))
+        }
+        Expr::Case(c, t, e) => {
+            infallible(c, schema) && infallible(t, schema) && infallible(e, schema)
+        }
+        Expr::Cast(ty, e) => {
+            if !infallible(e, schema) {
+                return false;
+            }
+            match (e.infer_ty(schema), ty) {
+                (Some(et), ty) if et == *ty => true,
+                // widening casts never raise
+                (Some(Ty::Int | Ty::Nat | Ty::Bool), Ty::Dbl) => true,
+                (Some(Ty::Bool), Ty::Int | Ty::Nat) => true,
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Lower `expr` (typed against `schema`, with visible columns remapped
+/// through `col_map` to buffer columns) to a kernel program. `None` means
+/// the expression must stay on the scalar path — see the module docs for
+/// the exact bail-out conditions.
+pub fn compile(expr: &Expr, schema: &Schema, col_map: Option<&[u32]>) -> Option<Kernel> {
+    let mut c = Compiler {
+        schema,
+        col_map,
+        instrs: Vec::new(),
+        reg_tys: Vec::new(),
+        cols: Vec::new(),
+        col_tys: Vec::new(),
+        loaded: HashMap::new(),
+    };
+    let (out, _) = c.compile(expr)?;
+    Some(Kernel {
+        instrs: c.instrs,
+        reg_tys: c.reg_tys,
+        cols: c.cols,
+        col_tys: c.col_tys,
+        out,
+    })
+}
+
+/// Does the chunk's storage variant match the slot's schema type? A
+/// mismatch (possible only for buffers built outside schema validation)
+/// sends the operator to the scalar path.
+fn variant_matches(ty: Ty, chunk: &ColVec) -> bool {
+    matches!(
+        (ty, chunk),
+        (Ty::Int, ColVec::Int(_))
+            | (Ty::Nat, ColVec::Nat(_))
+            | (Ty::Dbl, ColVec::Dbl(_))
+            | (Ty::Bool, ColVec::Bool(_))
+            | (Ty::Str, ColVec::Str { .. })
+            | (Ty::Unit, ColVec::Other(_))
+    )
+}
+
+/// Map a comparison operator to its `Ordering` predicate.
+fn cmp_keep(op: BinOp) -> fn(Ordering) -> bool {
+    match op {
+        BinOp::Eq => |o| o == Ordering::Equal,
+        BinOp::Ne => |o| o != Ordering::Equal,
+        BinOp::Lt => |o| o == Ordering::Less,
+        BinOp::Le => |o| o != Ordering::Greater,
+        BinOp::Gt => |o| o == Ordering::Greater,
+        _ => |o| o != Ordering::Less,
+    }
+}
+
+/// Split the register file at `dst` (operands always precede results).
+fn split_dst(regs: &mut [Reg], dst: u16) -> (&[Reg], &mut Reg) {
+    let (lo, hi) = regs.split_at_mut(dst as usize);
+    (lo, &mut hi[0])
+}
+
+fn confusion() -> EngineError {
+    ee("kernel register type confusion")
+}
+
+macro_rules! zip_bin {
+    ($lo:expr, $out:expr, $a:expr, $b:expr, $in_pat:path, $out_pat:path, $f:expr) => {{
+        let ($in_pat(xa), $in_pat(xb), $out_pat(o)) =
+            (&$lo[*$a as usize], &$lo[*$b as usize], $out)
+        else {
+            return Err(confusion());
+        };
+        o.clear();
+        for (x, y) in xa.iter().zip(xb) {
+            o.push($f(*x, *y)?);
+        }
+    }};
+}
+
+impl Kernel {
+    /// Allocate a register file for this program (reused across batches).
+    pub fn alloc_regs(&self) -> Vec<Reg> {
+        self.reg_tys.iter().map(|&t| Reg::new(t)).collect()
+    }
+
+    /// Buffer columns the program loads, in slot order.
+    pub fn columns(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Register index holding the result after [`Kernel::run`].
+    pub fn out_reg(&self) -> usize {
+        self.out as usize
+    }
+
+    /// Are these chunks (one per load slot) usable by this program?
+    pub fn accepts(&self, chunks: &[Arc<ColVec>]) -> bool {
+        chunks.len() == self.col_tys.len()
+            && self
+                .col_tys
+                .iter()
+                .zip(chunks)
+                .all(|(&t, c)| variant_matches(t, c))
+    }
+
+    /// Execute the program for one batch: `rows` holds the **buffer** row
+    /// indices of the batch, `chunks` the full-buffer columns per load
+    /// slot. On success, `regs[self.out_reg()]` holds one result per row.
+    pub fn run(
+        &self,
+        chunks: &[Arc<ColVec>],
+        rows: &[u32],
+        regs: &mut [Reg],
+    ) -> Result<(), EngineError> {
+        let n = rows.len();
+        for instr in &self.instrs {
+            match instr {
+                Instr::Load { slot, dst } => {
+                    let chunk = chunks[*slot as usize].as_ref();
+                    let reg = &mut regs[*dst as usize];
+                    reg.clear();
+                    match (chunk, reg) {
+                        (ColVec::Int(v), Reg::I64(o)) => {
+                            o.extend(rows.iter().map(|&i| v[i as usize]));
+                        }
+                        (ColVec::Nat(v), Reg::U64(o)) => {
+                            o.extend(rows.iter().map(|&i| v[i as usize]));
+                        }
+                        (ColVec::Dbl(v), Reg::F64(o)) => {
+                            o.extend(rows.iter().map(|&i| v[i as usize]));
+                        }
+                        (ColVec::Bool(v), Reg::Bool(o)) => {
+                            o.extend(rows.iter().map(|&i| v[i as usize]));
+                        }
+                        (ColVec::Str { codes, dict }, Reg::Str(o)) => {
+                            o.extend(
+                                rows.iter()
+                                    .map(|&i| dict[codes[i as usize] as usize].clone()),
+                            );
+                        }
+                        (c, Reg::Val(o)) => o.extend(rows.iter().map(|&i| c.value(i as usize))),
+                        _ => return Err(confusion()),
+                    }
+                }
+                Instr::Splat { v, dst } => {
+                    let reg = &mut regs[*dst as usize];
+                    reg.clear();
+                    match (reg, v) {
+                        (Reg::I64(o), Value::Int(x)) => o.resize(n, *x),
+                        (Reg::U64(o), Value::Nat(x)) => o.resize(n, *x),
+                        (Reg::F64(o), Value::Dbl(x)) => o.resize(n, *x),
+                        (Reg::Bool(o), Value::Bool(x)) => o.resize(n, *x),
+                        (Reg::Str(o), Value::Str(x)) => o.resize(n, x.clone()),
+                        (Reg::Val(o), v) => o.resize(n, v.clone()),
+                        _ => return Err(confusion()),
+                    }
+                }
+                Instr::ArithI64 { op, a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    match op {
+                        BinOp::Add => {
+                            zip_bin!(lo, out, a, b, Reg::I64, Reg::I64, |x: i64, y: i64| {
+                                x.checked_add(y).ok_or_else(|| ee("integer overflow in +"))
+                            })
+                        }
+                        BinOp::Sub => {
+                            zip_bin!(lo, out, a, b, Reg::I64, Reg::I64, |x: i64, y: i64| {
+                                x.checked_sub(y).ok_or_else(|| ee("integer overflow in -"))
+                            })
+                        }
+                        BinOp::Mul => {
+                            zip_bin!(lo, out, a, b, Reg::I64, Reg::I64, |x: i64, y: i64| {
+                                x.checked_mul(y).ok_or_else(|| ee("integer overflow in *"))
+                            })
+                        }
+                        BinOp::Div => {
+                            zip_bin!(lo, out, a, b, Reg::I64, Reg::I64, |x: i64, y: i64| {
+                                if y == 0 {
+                                    Err(ee("division by zero"))
+                                } else {
+                                    // scalar-oracle quirk: i64::MIN / -1 wraps
+                                    Ok(x.wrapping_div(y))
+                                }
+                            })
+                        }
+                        _ => zip_bin!(lo, out, a, b, Reg::I64, Reg::I64, |x: i64, y: i64| {
+                            if y == 0 {
+                                Err(ee("modulo by zero"))
+                            } else {
+                                Ok(x.wrapping_rem(y))
+                            }
+                        }),
+                    }
+                }
+                Instr::ArithU64 { op, a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    match op {
+                        BinOp::Add => {
+                            zip_bin!(lo, out, a, b, Reg::U64, Reg::U64, |x: u64, y: u64| {
+                                x.checked_add(y).ok_or_else(|| ee("nat overflow in +"))
+                            })
+                        }
+                        BinOp::Sub => {
+                            zip_bin!(lo, out, a, b, Reg::U64, Reg::U64, |x: u64, y: u64| {
+                                x.checked_sub(y).ok_or_else(|| ee("nat underflow in -"))
+                            })
+                        }
+                        _ => zip_bin!(lo, out, a, b, Reg::U64, Reg::U64, |x: u64, y: u64| {
+                            x.checked_mul(y).ok_or_else(|| ee("nat overflow in *"))
+                        }),
+                    }
+                }
+                Instr::ArithF64 { op, a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    match op {
+                        BinOp::Add => {
+                            zip_bin!(lo, out, a, b, Reg::F64, Reg::F64, |x: f64, y: f64| {
+                                Ok::<_, EngineError>(x + y)
+                            })
+                        }
+                        BinOp::Sub => {
+                            zip_bin!(lo, out, a, b, Reg::F64, Reg::F64, |x: f64, y: f64| {
+                                Ok::<_, EngineError>(x - y)
+                            })
+                        }
+                        BinOp::Mul => {
+                            zip_bin!(lo, out, a, b, Reg::F64, Reg::F64, |x: f64, y: f64| {
+                                Ok::<_, EngineError>(x * y)
+                            })
+                        }
+                        BinOp::Div => {
+                            zip_bin!(lo, out, a, b, Reg::F64, Reg::F64, |x: f64, y: f64| {
+                                if y == 0.0 {
+                                    Err(ee("division by zero"))
+                                } else {
+                                    Ok(x / y)
+                                }
+                            })
+                        }
+                        _ => zip_bin!(lo, out, a, b, Reg::F64, Reg::F64, |x: f64, y: f64| {
+                            if y == 0.0 {
+                                Err(ee("modulo by zero"))
+                            } else {
+                                Ok(x % y)
+                            }
+                        }),
+                    }
+                }
+                Instr::CmpI64 { op, a, b, dst } => {
+                    let keep = cmp_keep(*op);
+                    let (lo, out) = split_dst(regs, *dst);
+                    zip_bin!(lo, out, a, b, Reg::I64, Reg::Bool, |x: i64, y: i64| {
+                        Ok::<_, EngineError>(keep(x.cmp(&y)))
+                    });
+                }
+                Instr::CmpU64 { op, a, b, dst } => {
+                    let keep = cmp_keep(*op);
+                    let (lo, out) = split_dst(regs, *dst);
+                    zip_bin!(lo, out, a, b, Reg::U64, Reg::Bool, |x: u64, y: u64| {
+                        Ok::<_, EngineError>(keep(x.cmp(&y)))
+                    });
+                }
+                Instr::CmpF64 { op, a, b, dst } => {
+                    let keep = cmp_keep(*op);
+                    let (lo, out) = split_dst(regs, *dst);
+                    zip_bin!(lo, out, a, b, Reg::F64, Reg::Bool, |x: f64, y: f64| {
+                        Ok::<_, EngineError>(keep(x.total_cmp(&y)))
+                    });
+                }
+                Instr::CmpBool { op, a, b, dst } => {
+                    let keep = cmp_keep(*op);
+                    let (lo, out) = split_dst(regs, *dst);
+                    zip_bin!(lo, out, a, b, Reg::Bool, Reg::Bool, |x: bool, y: bool| {
+                        Ok::<_, EngineError>(keep(x.cmp(&y)))
+                    });
+                }
+                Instr::CmpStr { op, a, b, dst } => {
+                    let keep = cmp_keep(*op);
+                    let (lo, out) = split_dst(regs, *dst);
+                    let (Reg::Str(xa), Reg::Str(xb), Reg::Bool(o)) =
+                        (&lo[*a as usize], &lo[*b as usize], out)
+                    else {
+                        return Err(confusion());
+                    };
+                    o.clear();
+                    o.extend(xa.iter().zip(xb).map(|(x, y)| keep(x.cmp(y))));
+                }
+                Instr::AndMask { a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    zip_bin!(lo, out, a, b, Reg::Bool, Reg::Bool, |x: bool, y: bool| {
+                        Ok::<_, EngineError>(x && y)
+                    });
+                }
+                Instr::OrMask { a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    zip_bin!(lo, out, a, b, Reg::Bool, Reg::Bool, |x: bool, y: bool| {
+                        Ok::<_, EngineError>(x || y)
+                    });
+                }
+                Instr::NotMask { a, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let (Reg::Bool(xa), Reg::Bool(o)) = (&lo[*a as usize], out) else {
+                        return Err(confusion());
+                    };
+                    o.clear();
+                    o.extend(xa.iter().map(|x| !x));
+                }
+                Instr::NegI64 { a, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let (Reg::I64(xa), Reg::I64(o)) = (&lo[*a as usize], out) else {
+                        return Err(confusion());
+                    };
+                    o.clear();
+                    for &x in xa {
+                        o.push(
+                            x.checked_neg()
+                                .ok_or_else(|| ee("integer overflow in negation"))?,
+                        );
+                    }
+                }
+                Instr::NegF64 { a, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let (Reg::F64(xa), Reg::F64(o)) = (&lo[*a as usize], out) else {
+                        return Err(confusion());
+                    };
+                    o.clear();
+                    o.extend(xa.iter().map(|x| -x));
+                }
+                Instr::Concat { a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let (Reg::Str(xa), Reg::Str(xb), Reg::Str(o)) =
+                        (&lo[*a as usize], &lo[*b as usize], out)
+                    else {
+                        return Err(confusion());
+                    };
+                    o.clear();
+                    for (x, y) in xa.iter().zip(xb) {
+                        let mut s = String::with_capacity(x.len() + y.len());
+                        s.push_str(x);
+                        s.push_str(y);
+                        o.push(Arc::from(s));
+                    }
+                }
+                Instr::SelectCase { cond, t, e, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let Reg::Bool(c) = &lo[*cond as usize] else {
+                        return Err(confusion());
+                    };
+                    match (&lo[*t as usize], &lo[*e as usize], out) {
+                        (Reg::I64(t), Reg::I64(e), Reg::I64(o)) => {
+                            o.clear();
+                            o.extend((0..n).map(|k| if c[k] { t[k] } else { e[k] }));
+                        }
+                        (Reg::U64(t), Reg::U64(e), Reg::U64(o)) => {
+                            o.clear();
+                            o.extend((0..n).map(|k| if c[k] { t[k] } else { e[k] }));
+                        }
+                        (Reg::F64(t), Reg::F64(e), Reg::F64(o)) => {
+                            o.clear();
+                            o.extend((0..n).map(|k| if c[k] { t[k] } else { e[k] }));
+                        }
+                        (Reg::Bool(t), Reg::Bool(e), Reg::Bool(o)) => {
+                            o.clear();
+                            o.extend((0..n).map(|k| if c[k] { t[k] } else { e[k] }));
+                        }
+                        (Reg::Str(t), Reg::Str(e), Reg::Str(o)) => {
+                            o.clear();
+                            o.extend(
+                                (0..n).map(|k| if c[k] { t[k].clone() } else { e[k].clone() }),
+                            );
+                        }
+                        (Reg::Val(t), Reg::Val(e), Reg::Val(o)) => {
+                            o.clear();
+                            o.extend(
+                                (0..n).map(|k| if c[k] { t[k].clone() } else { e[k].clone() }),
+                            );
+                        }
+                        _ => return Err(confusion()),
+                    }
+                }
+                Instr::CastVal { ty, a, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let src = &lo[*a as usize];
+                    out.clear();
+                    for k in 0..n {
+                        out.push(eval::cast(*ty, src.value(k))?)?;
+                    }
+                }
+                Instr::BinVal { op, a, b, dst } => {
+                    let (lo, out) = split_dst(regs, *dst);
+                    let (xa, xb) = (&lo[*a as usize], &lo[*b as usize]);
+                    out.clear();
+                    for k in 0..n {
+                        out.push(eval::bin_op(*op, xa.value(k), xb.value(k))?)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A kernel bound to a specific relation: the program plus the cached
+/// column chunks it loads from. Build one per operator with [`prepare`],
+/// then evaluate any number of row ranges (morsels) against it — the
+/// prepared form is `Sync`, so morsel workers share it.
+#[derive(Debug)]
+pub struct Prepared {
+    kernel: Kernel,
+    chunks: Vec<Arc<ColVec>>,
+}
+
+/// Compile `expr` for `rel` and bind the column chunks, or `None` when
+/// the operator should stay scalar: the config gates vectorization off
+/// (`VecMode`/input size), the expression doesn't lower (see [`compile`]),
+/// or a chunk's storage variant contradicts the schema.
+pub fn prepare(expr: &Expr, rel: &Rel, cfg: &ParConfig) -> Option<Prepared> {
+    if !cfg.vectorize(rel.len()) {
+        return None;
+    }
+    let kernel = compile(expr, &rel.schema, rel.col_map())?;
+    let chunks: Vec<Arc<ColVec>> = kernel
+        .columns()
+        .iter()
+        .map(|&c| rel.typed_col(c as usize))
+        .collect();
+    kernel
+        .accepts(&chunks)
+        .then_some(Prepared { kernel, chunks })
+}
+
+impl Prepared {
+    /// Evaluate the (boolean) program over visible rows `range` of `rel`,
+    /// returning the selected **buffer** row indices in visible order plus
+    /// the number of batches executed. This is the fused filter path: the
+    /// mask never materialises as rows — it goes straight into a selection
+    /// vector.
+    pub fn filter_range(
+        &self,
+        rel: &Rel,
+        range: Range<usize>,
+    ) -> Result<(Vec<u32>, u32), EngineError> {
+        let mut keep = Vec::new();
+        let batches = self.for_batches(rel, range, |rows, out| {
+            let Reg::Bool(mask) = out else {
+                return Err(confusion());
+            };
+            for (k, &m) in mask.iter().enumerate() {
+                if m {
+                    keep.push(rows[k]);
+                }
+            }
+            Ok(())
+        })?;
+        Ok((keep, batches))
+    }
+
+    /// Evaluate the program over visible rows `range`, returning one value
+    /// per row (computed-column path) plus the number of batches executed.
+    pub fn values_range(
+        &self,
+        rel: &Rel,
+        range: Range<usize>,
+    ) -> Result<(Vec<Value>, u32), EngineError> {
+        let mut vals = Vec::with_capacity(range.len());
+        let batches = self.for_batches(rel, range, |rows, out| {
+            for k in 0..rows.len() {
+                vals.push(out.value(k));
+            }
+            Ok(())
+        })?;
+        Ok((vals, batches))
+    }
+
+    /// Drive the kernel over `range` in [`BATCH_ROWS`]-sized batches,
+    /// handing each batch's buffer rows and output register to `sink`.
+    fn for_batches(
+        &self,
+        rel: &Rel,
+        range: Range<usize>,
+        mut sink: impl FnMut(&[u32], &Reg) -> Result<(), EngineError>,
+    ) -> Result<u32, EngineError> {
+        let mut regs = self.kernel.alloc_regs();
+        let mut rows: Vec<u32> = Vec::with_capacity(BATCH_ROWS.min(range.len()));
+        let mut batches = 0u32;
+        let mut i = range.start;
+        while i < range.end {
+            let hi = (i + BATCH_ROWS).min(range.end);
+            rows.clear();
+            rows.extend((i..hi).map(|k| rel.raw_row(k) as u32));
+            self.kernel.run(&self.chunks, &rows, &mut regs)?;
+            batches += 1;
+            sink(&rows, &regs[self.kernel.out_reg()])?;
+            i = hi;
+        }
+        Ok(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{bind, eval};
+    use crate::par::VecMode;
+    use ferry_algebra::Schema;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("a", Ty::Int),
+            ("b", Ty::Int),
+            ("d", Ty::Dbl),
+            ("p", Ty::Bool),
+            ("s", Ty::Str),
+            ("u", Ty::Unit),
+        ])
+    }
+
+    fn rel(n: i64) -> Rel {
+        Rel::new(
+            schema(),
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(3),
+                        Value::Dbl(i as f64 / 2.0),
+                        Value::Bool(i % 2 == 0),
+                        Value::str(if i % 3 == 0 { "x" } else { "y" }),
+                        Value::Unit,
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    fn force() -> ParConfig {
+        ParConfig {
+            vec: VecMode::Force,
+            ..ParConfig::default()
+        }
+    }
+
+    /// Kernel result == scalar oracle result, row for row.
+    fn assert_matches_oracle(e: &Expr, r: &Rel) {
+        let prep = prepare(e, r, &force()).unwrap_or_else(|| panic!("expected a kernel for {e:?}"));
+        let (vals, batches) = prep.values_range(r, 0..r.len()).unwrap();
+        assert!(batches >= 1);
+        let bound = bind(e, &r.schema).unwrap();
+        for (i, got) in vals.iter().enumerate() {
+            let want = eval(&bound, &r.buffer()[i]).unwrap();
+            assert_eq!(*got, want, "row {i} of {e:?}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_kernels_match_oracle() {
+        let r = rel(100);
+        assert_matches_oracle(
+            &Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::col("a"), Expr::lit(7i64)),
+                Expr::col("b"),
+            ),
+            &r,
+        );
+        assert_matches_oracle(&Expr::bin(BinOp::Div, Expr::col("a"), Expr::col("b")), &r);
+        assert_matches_oracle(
+            &Expr::bin(BinOp::Mul, Expr::col("d"), Expr::lit(1.5f64)),
+            &r,
+        );
+        assert_matches_oracle(&Expr::Un(UnOp::Neg, Arc::new(Expr::col("a"))), &r);
+    }
+
+    #[test]
+    fn comparison_and_logic_kernels_match_oracle() {
+        let r = rel(100);
+        assert_matches_oracle(
+            &Expr::and(
+                Expr::bin(BinOp::Lt, Expr::col("a"), Expr::lit(50i64)),
+                Expr::col("p"),
+            ),
+            &r,
+        );
+        assert_matches_oracle(&Expr::eq(Expr::col("s"), Expr::lit("x")), &r);
+        assert_matches_oracle(
+            &Expr::bin(BinOp::Ge, Expr::col("d"), Expr::lit(10.0f64)),
+            &r,
+        );
+        // Unit comparisons route through the generic BinVal fallback
+        assert_matches_oracle(&Expr::eq(Expr::col("u"), Expr::col("u")), &r);
+    }
+
+    #[test]
+    fn case_concat_and_cast_match_oracle() {
+        let r = rel(60);
+        assert_matches_oracle(
+            &Expr::case(Expr::col("p"), Expr::col("a"), Expr::col("b")),
+            &r,
+        );
+        assert_matches_oracle(
+            &Expr::bin(BinOp::Concat, Expr::col("s"), Expr::lit("!")),
+            &r,
+        );
+        assert_matches_oracle(&Expr::Cast(Ty::Dbl, Arc::new(Expr::col("a"))), &r);
+    }
+
+    #[test]
+    fn filter_range_yields_selection_vector() {
+        let r = rel(100);
+        let pred = Expr::bin(BinOp::Lt, Expr::col("a"), Expr::lit(10i64));
+        let prep = prepare(&pred, &r, &force()).unwrap();
+        let (keep, _) = prep.filter_range(&r, 0..r.len()).unwrap();
+        assert_eq!(keep, (0..10).collect::<Vec<u32>>());
+        // sub-ranges see only their rows
+        let (keep, _) = prep.filter_range(&r, 5..20).unwrap();
+        assert_eq!(keep, (5..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn kernels_report_scalar_error_messages() {
+        let r = rel(100);
+        let div = Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::col("a"));
+        let prep = prepare(&div, &r, &force()).unwrap();
+        let err = prep.values_range(&r, 0..r.len()).unwrap_err();
+        assert_eq!(err, EngineError::Eval("division by zero".into()));
+        let ovf = Expr::bin(BinOp::Add, Expr::col("a"), Expr::lit(i64::MAX));
+        let prep = prepare(&ovf, &r, &force()).unwrap();
+        let err = prep.values_range(&r, 0..r.len()).unwrap_err();
+        assert_eq!(err, EngineError::Eval("integer overflow in +".into()));
+    }
+
+    #[test]
+    fn short_circuit_and_fallible_case_bail_to_scalar() {
+        let s = schema();
+        // (a = 0) OR (1/a = 1): scalar short-circuits, kernel must refuse
+        let fallible = Expr::eq(
+            Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::col("a")),
+            Expr::lit(1i64),
+        );
+        let guarded = Expr::bin(
+            BinOp::Or,
+            Expr::eq(Expr::col("a"), Expr::lit(0i64)),
+            fallible.clone(),
+        );
+        assert!(compile(&guarded, &s, None).is_none());
+        // CASE with a fallible branch must refuse too
+        let case = Expr::case(Expr::col("p"), fallible, Expr::lit(true));
+        assert!(compile(&case, &s, None).is_none());
+        // infallible variants of both do compile
+        let ok = Expr::bin(
+            BinOp::Or,
+            Expr::eq(Expr::col("a"), Expr::lit(0i64)),
+            Expr::col("p"),
+        );
+        assert!(compile(&ok, &s, None).is_some());
+    }
+
+    #[test]
+    fn nat_div_and_mod_bail_to_scalar() {
+        let s = Schema::of(&[("n", Ty::Nat)]);
+        assert!(compile(
+            &Expr::bin(BinOp::Div, Expr::col("n"), Expr::col("n")),
+            &s,
+            None
+        )
+        .is_none());
+        assert!(compile(
+            &Expr::bin(BinOp::Add, Expr::col("n"), Expr::col("n")),
+            &s,
+            None
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn repeated_columns_load_once() {
+        let s = schema();
+        let e = Expr::bin(BinOp::Mul, Expr::col("a"), Expr::col("a"));
+        let k = compile(&e, &s, None).unwrap();
+        assert_eq!(k.columns(), &[0]);
+    }
+
+    #[test]
+    fn col_map_remaps_loads_to_buffer_columns() {
+        let r = rel(80);
+        // a view exposing only (b, d): visible column 0 is buffer column 1,
+        // visible column 1 is buffer column 2
+        let view = r.with_cols(Schema::of(&[("b", Ty::Int), ("d", Ty::Dbl)]), vec![1, 2]);
+        let e = Expr::bin(BinOp::Gt, Expr::col("d"), Expr::lit(5.0f64));
+        let prep = prepare(&e, &view, &force()).unwrap();
+        let (vals, _) = prep.values_range(&view, 0..view.len()).unwrap();
+        let bound = bind(&e, &view.schema).unwrap();
+        for (i, got) in vals.iter().enumerate() {
+            let want = eval(&bound, &view.owned_row(i)).unwrap();
+            assert_eq!(*got, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn vec_mode_off_prepares_nothing() {
+        let r = rel(200);
+        let e = Expr::col("p");
+        let off = ParConfig {
+            vec: VecMode::Off,
+            ..ParConfig::default()
+        };
+        assert!(prepare(&e, &r, &off).is_none());
+        assert!(prepare(&e, &r, &force()).is_some());
+    }
+}

@@ -1,17 +1,23 @@
-//! Differential testing of the parallel engine: every operator must
-//! produce **cell-for-cell identical** results — including sort and
-//! window tie-break order — whether it runs serially or split into
-//! morsels across worker threads. Morsel outputs reassemble in morsel
-//! order and every sort comparator is a total order, so this is an
-//! invariant, not a statistical property; here we check it over random
-//! relations and degenerate morsel sizes (1 row per morsel, a prime
-//! size, and one larger than most inputs).
+//! Differential testing of the parallel + vectorized engine: every
+//! operator must produce **cell-for-cell identical** results — including
+//! sort and window tie-break order — whether it runs serially or split
+//! into morsels across worker threads, and whether it takes the scalar
+//! row-at-a-time path or the vectorized typed-chunk path. The serial
+//! scalar engine (`VecMode::Off`, one thread) is the oracle; every other
+//! configuration in the cross product
+//!
+//!   {scalar, vectorized} × {1 thread, 4 threads} × morsel sizes {1, 7, 1024}
+//!
+//! must reproduce it exactly. Morsel outputs reassemble in morsel order,
+//! every sort comparator is a total order, and kernels reproduce scalar
+//! error semantics, so this is an invariant, not a statistical property;
+//! here we check it over random relations and degenerate morsel sizes.
 
 use ferry_algebra::{
     plan::{cn, Aggregate},
     AggFun, BinOp, Dir, Expr, JoinCols, Node, NodeId, Plan, Rel, Schema, Ty, Value,
 };
-use ferry_engine::{Database, ParConfig};
+use ferry_engine::{Database, ParConfig, VecMode};
 use proptest::prelude::*;
 
 fn schema_abc(prefix: &str) -> Schema {
@@ -36,18 +42,34 @@ fn rel_rows(rows: &[(i64, i64, String)]) -> Vec<Vec<Value>> {
         .collect()
 }
 
-/// The configurations under test: serial baseline vs 4 workers with
-/// degenerate morsel splits. `min_rows: 1` forces the parallel path even
-/// on tiny proptest relations.
+/// The oracle configuration: one thread, scalar row-at-a-time evaluation.
+fn scalar_oracle() -> ParConfig {
+    ParConfig {
+        threads: 1,
+        vec: VecMode::Off,
+        ..ParConfig::default()
+    }
+}
+
+/// The configurations under test: {scalar, vectorized-forced} ×
+/// {serial, 4 workers} × degenerate morsel splits. `min_rows: 1` forces
+/// the parallel path and `VecMode::Force` the vectorized path even on
+/// tiny proptest relations.
 fn par_configs() -> Vec<ParConfig> {
-    [1usize, 7, 1024]
-        .into_iter()
-        .map(|morsel_rows| ParConfig {
-            threads: 4,
-            min_rows: 1,
-            morsel_rows,
-        })
-        .collect()
+    let mut cfgs = Vec::new();
+    for vec in [VecMode::Off, VecMode::Force] {
+        for threads in [1usize, 4] {
+            for morsel_rows in [1usize, 7, 1024] {
+                cfgs.push(ParConfig {
+                    threads,
+                    min_rows: 1,
+                    morsel_rows,
+                    vec,
+                });
+            }
+        }
+    }
+    cfgs
 }
 
 /// One root per operator over left/right relations `l` and `r`.
@@ -135,21 +157,21 @@ fn db_with(par: ParConfig) -> Database {
     db
 }
 
-/// Execute every root under the serial and each parallel configuration
-/// and demand identical relations.
+/// Execute every root under the oracle and each test configuration and
+/// demand identical relations.
 fn assert_differential(plan: &Plan, roots: &[NodeId]) {
-    let serial = db_with(ParConfig::serial());
+    let serial = db_with(scalar_oracle());
     let baseline: Vec<Rel> = roots
         .iter()
-        .map(|&r| serial.execute(plan, r).expect("serial execute"))
+        .map(|&r| serial.execute(plan, r).expect("oracle execute"))
         .collect();
     for cfg in par_configs() {
         let par = db_with(cfg);
         for (&root, expect) in roots.iter().zip(&baseline) {
-            let got = par.execute(plan, root).expect("parallel execute");
+            let got = par.execute(plan, root).expect("execute under test");
             assert_eq!(
                 &got, expect,
-                "divergence at node {root:?} with {cfg:?}:\nserial:\n{expect}\nparallel:\n{got}"
+                "divergence at node {root:?} with {cfg:?}:\noracle:\n{expect}\nunder test:\n{got}"
             );
         }
         // evaluate all roots as one bundle too: exercises the wavefront
@@ -208,4 +230,306 @@ fn operators_agree_on_large_input() {
     let rx = plan.lit(schema_abc("r"), rel_rows(&r));
     let roots = operator_roots(&mut plan, lx, rx, false);
     assert_differential(&plan, &roots);
+}
+
+// ---------------------------------------------------------------------
+// Mixed-type schemas: Dbl / Bool / Unit columns drive the F64 and Bool
+// kernels, the dictionary string paths, and the `Vec<Value>` fallback
+// registers (Unit columns transpose to `ColVec::Other`).
+// ---------------------------------------------------------------------
+
+fn schema_mixed(prefix: &str) -> Schema {
+    Schema::new(vec![
+        (format!("{prefix}x").into(), Ty::Int),
+        (format!("{prefix}d").into(), Ty::Dbl),
+        (format!("{prefix}p").into(), Ty::Bool),
+        (format!("{prefix}s").into(), Ty::Str),
+        (format!("{prefix}u").into(), Ty::Unit),
+    ])
+}
+
+/// `-0.0` and `0.0` are distinct under the engine's total order (and
+/// distinct eq-codes), so both appear in the pool to pin Dbl group keys.
+fn dbl_pool() -> Vec<f64> {
+    vec![-1.5, -0.0, 0.0, 0.25, 2.0, 1e300]
+}
+
+fn mixed_row_strategy() -> impl Strategy<Value = (i64, f64, bool, String)> {
+    (
+        -8i64..8,
+        proptest::sample::select(dbl_pool()),
+        any::<bool>(),
+        proptest::sample::select(vec!["a", "b", "c"]).prop_map(String::from),
+    )
+}
+
+fn mixed_rows(rows: &[(i64, f64, bool, String)]) -> Vec<Vec<Value>> {
+    rows.iter()
+        .map(|(x, d, p, s)| {
+            vec![
+                Value::Int(*x),
+                Value::Dbl(*d),
+                Value::Bool(*p),
+                Value::str(s.as_str()),
+                Value::Unit,
+            ]
+        })
+        .collect()
+}
+
+/// Expression-heavy roots over the mixed schema: one per kernel family
+/// (integer / float / boolean / string / case / cast), plus the fallback
+/// triggers (Unit columns, fallible CASE branches) and the typed
+/// group-by / join paths over non-Int key domains.
+fn mixed_roots(plan: &mut Plan, l: NodeId, r: NodeId) -> Vec<NodeId> {
+    let x = Expr::col("x");
+    let d = Expr::col("d");
+    let p = Expr::col("p");
+    let xp = plan.project_keep(l, &[cn("x"), cn("p")]);
+    let mut roots = vec![
+        // Bool logic kernel with an infallible comparison RHS
+        plan.select(
+            l,
+            Expr::and(p.clone(), Expr::bin(BinOp::Gt, x.clone(), Expr::lit(0i64))),
+        ),
+        // F64 comparison kernel (pool includes ±0.0 and a huge value)
+        plan.select(l, Expr::bin(BinOp::Lt, d.clone(), Expr::lit(1.5))),
+        // NotMask
+        plan.select(l, Expr::not(p.clone())),
+        // fused integer arithmetic chain (inputs small: never overflows)
+        plan.compute(
+            l,
+            "y",
+            Expr::bin(
+                BinOp::Mul,
+                Expr::bin(BinOp::Add, x.clone(), Expr::lit(1i64)),
+                Expr::bin(BinOp::Sub, x.clone(), Expr::lit(2i64)),
+            ),
+        ),
+        // F64 arithmetic kernel
+        plan.compute(
+            l,
+            "z",
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, d.clone(), Expr::lit(2.0)),
+                Expr::lit(0.5),
+            ),
+        ),
+        // SelectCase with infallible branches
+        plan.compute(l, "c1", Expr::case(p.clone(), x.clone(), Expr::lit(0i64))),
+        // CASE with a *fallible* branch: kernel compilation bails, the
+        // node must silently take the scalar path
+        plan.compute(
+            l,
+            "c2",
+            Expr::case(
+                Expr::bin(BinOp::Lt, d.clone(), Expr::lit(0.0)),
+                Expr::bin(BinOp::Sub, Expr::lit(0i64), x.clone()),
+                x.clone(),
+            ),
+        ),
+        // string concatenation kernel
+        plan.compute(
+            l,
+            "t",
+            Expr::bin(BinOp::Concat, Expr::col("s"), Expr::lit(Value::str("!"))),
+        ),
+        // widening cast kernel
+        plan.compute(l, "w", Expr::cast(Ty::Dbl, x.clone())),
+        // Unit column: ColVec::Other → Vec<Value> fallback registers
+        plan.compute(l, "u2", Expr::col("u")),
+        // distinct over the full mixed schema (Unit key ⇒ scalar fallback)
+        plan.distinct(l),
+        // typed distinct over Int+Bool only
+        plan.distinct(xp),
+        // typed group-by: Str+Bool keys, aggregates over every domain
+        plan.group_by(
+            l,
+            vec![cn("s"), cn("p")],
+            vec![
+                Aggregate {
+                    fun: AggFun::CountAll,
+                    input: None,
+                    output: cn("n"),
+                },
+                Aggregate {
+                    fun: AggFun::Sum,
+                    input: Some(cn("x")),
+                    output: cn("sum_x"),
+                },
+                Aggregate {
+                    fun: AggFun::Sum,
+                    input: Some(cn("d")),
+                    output: cn("sum_d"),
+                },
+                Aggregate {
+                    fun: AggFun::Max,
+                    input: Some(cn("d")),
+                    output: cn("max_d"),
+                },
+                Aggregate {
+                    fun: AggFun::Avg,
+                    input: Some(cn("d")),
+                    output: cn("avg_d"),
+                },
+                Aggregate {
+                    fun: AggFun::All,
+                    input: Some(cn("p")),
+                    output: cn("all_p"),
+                },
+                Aggregate {
+                    fun: AggFun::Any,
+                    input: Some(cn("p")),
+                    output: cn("any_p"),
+                },
+                // Min over a Unit column: accumulates through ColVec::Other
+                Aggregate {
+                    fun: AggFun::Min,
+                    input: Some(cn("u")),
+                    output: cn("min_u"),
+                },
+            ],
+        ),
+        // Dbl group keys: ±0.0 are distinct groups, 1e300 collides never
+        plan.group_by(
+            l,
+            vec![cn("d")],
+            vec![
+                Aggregate {
+                    fun: AggFun::CountAll,
+                    input: None,
+                    output: cn("n"),
+                },
+                Aggregate {
+                    fun: AggFun::Min,
+                    input: Some(cn("s")),
+                    output: cn("min_s"),
+                },
+            ],
+        ),
+        // typed joins on Int and Dbl key domains
+        plan.equi_join(l, r, JoinCols::single("x", "rx")),
+        plan.semi_join(l, r, JoinCols::single("x", "rx")),
+        plan.anti_join(l, r, JoinCols::single("x", "rx")),
+        plan.equi_join(l, r, JoinCols::single("d", "rd")),
+        plan.union_all(l, r),
+        plan.difference(l, r),
+        plan.serialize(
+            l,
+            vec![(cn("d"), Dir::Asc), (cn("x"), Dir::Desc)],
+            vec![cn("s"), cn("d"), cn("p")],
+        ),
+    ];
+    // chained views: vectorized select → vectorized compute → group-by
+    let sel = plan.select(l, Expr::bin(BinOp::Ge, x.clone(), Expr::lit(-4i64)));
+    let cmp = plan.compute(
+        sel,
+        "xx",
+        Expr::bin(BinOp::Mul, Expr::col("x"), Expr::col("x")),
+    );
+    roots.push(plan.group_by(
+        cmp,
+        vec![cn("p")],
+        vec![Aggregate {
+            fun: AggFun::Sum,
+            input: Some(cn("xx")),
+            output: cn("sum_xx"),
+        }],
+    ));
+    roots
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mixed_type_operators_agree(
+        l in proptest::collection::vec(mixed_row_strategy(), 0..48),
+        r in proptest::collection::vec(mixed_row_strategy(), 0..12),
+    ) {
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_mixed(""), mixed_rows(&l));
+        let rx = plan.lit(schema_mixed("r"), mixed_rows(&r));
+        let roots = mixed_roots(&mut plan, lx, rx);
+        assert_differential(&plan, &roots);
+    }
+}
+
+#[test]
+fn mixed_type_operators_agree_on_large_input() {
+    let pool = dbl_pool();
+    let l: Vec<(i64, f64, bool, String)> = (0..4000i64)
+        .map(|i| {
+            (
+                (i * 31) % 17 - 8,
+                pool[(i % pool.len() as i64) as usize],
+                i % 3 == 0,
+                ["a", "b", "c"][(i % 3) as usize].to_string(),
+            )
+        })
+        .collect();
+    let r: Vec<(i64, f64, bool, String)> = (0..60i64)
+        .map(|i| {
+            (
+                (i * 7) % 17 - 8,
+                pool[((i + 2) % pool.len() as i64) as usize],
+                i % 2 == 0,
+                ["b", "d"][(i % 2) as usize].to_string(),
+            )
+        })
+        .collect();
+    let mut plan = Plan::new();
+    let lx = plan.lit(schema_mixed(""), mixed_rows(&l));
+    let rx = plan.lit(schema_mixed("r"), mixed_rows(&r));
+    let roots = mixed_roots(&mut plan, lx, rx);
+    assert_differential(&plan, &roots);
+}
+
+// ---------------------------------------------------------------------
+// Error parity: when an expression fails on some row, the scalar and
+// vectorized paths must agree on *whether* the query fails and on the
+// error message. (Each root below has a single possible error kind, so
+// the instruction-major kernel order and the row-major scalar order
+// cannot surface different messages.)
+// ---------------------------------------------------------------------
+
+#[test]
+fn runtime_errors_agree_across_paths() {
+    // x cycles through -2..=2, so both roots fail iff the relation is
+    // non-empty (division by zero at x == 0), and the overflow root
+    // fails via checked i64 addition
+    for n in [0usize, 1, 5, 100, 3000] {
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| vec![Value::Int((i as i64) % 5 - 2)])
+            .collect();
+        let mut plan = Plan::new();
+        let l = plan.lit(Schema::of(&[("x", Ty::Int)]), rows);
+        let div = plan.compute(
+            l,
+            "q",
+            Expr::bin(BinOp::Div, Expr::lit(10i64), Expr::col("x")),
+        );
+        let ovf = plan.compute(
+            l,
+            "o",
+            Expr::bin(BinOp::Add, Expr::col("x"), Expr::lit(i64::MAX)),
+        );
+        let sel = plan.select(
+            l,
+            Expr::bin(
+                BinOp::Gt,
+                Expr::bin(BinOp::Mod, Expr::lit(7i64), Expr::col("x")),
+                Expr::lit(0i64),
+            ),
+        );
+        let oracle = db_with(scalar_oracle());
+        for root in [div, ovf, sel] {
+            let expect = oracle.execute(&plan, root).map_err(|e| e.to_string());
+            for cfg in par_configs() {
+                let got = db_with(cfg).execute(&plan, root).map_err(|e| e.to_string());
+                assert_eq!(got, expect, "error divergence at {root:?} with {cfg:?}");
+            }
+        }
+    }
 }

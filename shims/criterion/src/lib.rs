@@ -18,6 +18,13 @@
 //! (`cargo bench -- --test`) switches to smoke mode: every benchmark body
 //! executes exactly once, untimed — CI uses this to keep benches from
 //! bit-rotting without paying measurement time.
+//!
+//! Setting the `BENCH_JSON` environment variable to a file path makes the
+//! shim additionally **append one JSON line per benchmark** to that file:
+//! `{"bench":"<group>/<id>","median_ns":…,"mean_ns":…,"min_ns":…,
+//! "max_ns":…,"samples":…}`. The `bench_check` tool in `ferry-bench`
+//! diffs these lines against the medians recorded in `BENCH_engine.json`
+//! and fails on regressions.
 
 use std::fmt::Display;
 use std::hint;
@@ -179,7 +186,45 @@ impl BenchmarkGroup<'_> {
             max,
             samples.len()
         );
+        if let Some(path) = std::env::var_os("BENCH_JSON") {
+            use std::io::Write;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(
+                        f,
+                        "{{\"bench\":\"{}/{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                        json_escape(&self.name),
+                        json_escape(&id.id),
+                        median.as_nanos(),
+                        mean.as_nanos(),
+                        min.as_nanos(),
+                        max.as_nanos(),
+                        samples.len()
+                    );
+                }
+                Err(e) => eprintln!("BENCH_JSON: cannot open {path:?}: {e}"),
+            }
+        }
     }
+}
+
+/// Escape the characters JSON strings cannot hold verbatim (bench names
+/// are code-controlled, but a stray quote must not corrupt the stream).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The top-level harness handle.
@@ -256,5 +301,39 @@ mod tests {
     #[test]
     fn harness_runs() {
         test_benches();
+    }
+
+    #[test]
+    fn bench_json_emits_one_line_per_benchmark() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BENCH_JSON", &path);
+        test_benches();
+        std::env::remove_var("BENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("JSONL file written");
+        let _ = std::fs::remove_file(&path);
+        // `harness_runs` may interleave and append too — demand at least
+        // the two benches of `sample_bench`, all well-formed
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "got: {text}");
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"bench\":\"shim/sum/100\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"bench\":\"shim/sum_input/50\"")));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
+            assert!(l.contains("\"median_ns\":"), "line: {l}");
+            assert!(l.contains("\"samples\":"), "line: {l}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain/name"), "plain/name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }
