@@ -75,9 +75,12 @@ pub mod types;
 
 pub use backend::{AlgebraBackend, Backend};
 pub use error::FerryError;
-pub use ferry_engine::{NodeProfile, ParConfig};
+pub use ferry_engine::{NodeProfile, ParConfig, ProfileRing, QueryProfile, QueryStats};
+pub use ferry_telemetry::{
+    chrome_trace_json, OptReport, PassStat, QueryTrace, Telemetry, TelemetryConfig,
+};
 pub use qa::{Q, QA, TA};
-pub use runtime::{Connection, Prepared};
+pub use runtime::{Connection, PlanRewriter, Prepared};
 pub use types::{Ty, Val};
 
 /// Everything needed to write Ferry programs.
@@ -88,4 +91,5 @@ pub mod prelude {
     pub use crate::qa::{toq, Q, QA, TA};
     pub use crate::runtime::{Connection, Prepared};
     pub use crate::FerryError;
+    pub use ferry_telemetry::TelemetryConfig;
 }

@@ -37,14 +37,19 @@ use crate::stitch::stitch;
 use crate::types::Val;
 use ferry_algebra::{NodeId, Plan, Rel};
 use ferry_engine::Database;
+use ferry_telemetry::{OptReport, QueryTrace, Telemetry, TelemetryConfig, TraceGuard};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// A plan rewriter slot (wired to `ferry_optimizer::optimize` by callers;
+/// A plan rewriter slot (wired to `ferry_optimizer::rewriter` by callers;
 /// kept abstract here so the core crate does not depend on the optimizer).
-/// Shared by every clone of a `Connection`, hence `Arc`.
-pub type PlanRewriter = Arc<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync>;
+/// Returns the rewritten plan, the relocated roots, and — when the
+/// rewriter accounts for its work — an [`OptReport`] that rides along in
+/// the compiled bundle and is rendered by `explain`. Shared by every
+/// clone of a `Connection`, hence `Arc`.
+pub type PlanRewriter =
+    Arc<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>, Option<OptReport>) + Send + Sync>;
 
 /// Cache key: (alpha-invariant kernel-term hash, catalog schema version).
 type PlanKey = (u64, u64);
@@ -152,12 +157,14 @@ impl Connection {
     fn compile_exp(&self, exp: &crate::exp::Exp) -> Result<CompiledBundle, FerryError> {
         let mut bundle = compile_program(exp, self)?;
         if let Some(rw) = &self.rewriter {
+            let _s = ferry_telemetry::span("optimize", "optimize");
             let roots = bundle.roots();
-            let (plan, new_roots) = rw(&bundle.plan, &roots);
+            let (plan, new_roots, report) = rw(&bundle.plan, &roots);
             bundle.plan = plan;
             for (q, r) in bundle.queries.iter_mut().zip(new_roots) {
                 q.root = r;
             }
+            bundle.opt = report;
         }
         Ok(bundle)
     }
@@ -167,9 +174,13 @@ impl Connection {
     /// against the same catalog schema share one compiled bundle, however
     /// and whenever they were built.
     pub fn prepare<T: QA>(&self, q: &Q<T>) -> Result<Prepared<T>, FerryError> {
+        let telemetry = self.telemetry();
+        let _trace = telemetry.begin_query(0);
+        let mut span = ferry_telemetry::span("prepare", "runtime");
         let key: PlanKey = (q.exp().stable_hash(), self.database().schema_version());
         if let Some(bundle) = self.cache.lock().unwrap().entries.get(&key).cloned() {
             self.database().record_cache(true);
+            span.attr("cache", "hit");
             return Ok(Prepared {
                 bundle,
                 _t: PhantomData,
@@ -184,6 +195,8 @@ impl Connection {
         let bundle = cache.entries.entry(key).or_insert(bundle).clone();
         drop(cache);
         self.database().record_cache(false);
+        span.attr("cache", "miss")
+            .attr("queries", bundle.queries.len());
         Ok(Prepared {
             bundle,
             _t: PhantomData,
@@ -209,7 +222,11 @@ impl Connection {
     /// Like [`Connection::execute`] but stopping at the untyped nested
     /// value (useful for oracle comparisons).
     pub fn execute_val<T: QA>(&self, prepared: &Prepared<T>) -> Result<Val, FerryError> {
+        let telemetry = self.telemetry();
+        let mut trace = telemetry.begin_query(0);
         let rels = self.execute_bundle(prepared.bundle())?;
+        self.stamp_query_id(&mut trace);
+        let _s = ferry_telemetry::span("stitch", "runtime");
         stitch(&rels, &prepared.bundle().queries)
     }
 
@@ -231,8 +248,62 @@ impl Connection {
     /// Like [`Connection::from_q`] but stopping at the untyped nested
     /// value (useful for oracle comparisons).
     pub fn from_q_val<T: QA>(&self, q: &Q<T>) -> Result<Val, FerryError> {
+        let telemetry = self.telemetry();
+        // one trace covers prepare (compile + optimize) and execution —
+        // the inner begin_query calls join this ambient trace
+        let mut trace = telemetry.begin_query(0);
         let prepared = self.prepare(q)?;
-        self.execute_val(&prepared)
+        let val = self.execute_val(&prepared)?;
+        self.stamp_query_id(&mut trace);
+        Ok(val)
+    }
+
+    /// Back-fill the engine-assigned query id onto an active trace guard:
+    /// the id is allocated inside the dispatch, after the trace began.
+    fn stamp_query_id(&self, trace: &mut TraceGuard) {
+        if !trace.is_active() {
+            return;
+        }
+        if let Some(qid) = self.database().query_id_for_trace(trace.trace_id()) {
+            trace.set_query_id(qid);
+        }
+    }
+
+    /// This connection's telemetry hub (shared with the database and all
+    /// connection clones): config, metrics registry, recent traces.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        self.database().telemetry().clone()
+    }
+
+    /// Set the telemetry level for every subsequent operation on this
+    /// connection's database ([`TelemetryConfig::Full`] records query
+    /// traces; `Off` disables all accounting).
+    pub fn set_telemetry_config(&self, config: TelemetryConfig) {
+        self.database().set_telemetry_config(config);
+    }
+
+    /// The most recently completed query trace as Chrome trace-format
+    /// JSON (load in `chrome://tracing` / Perfetto). `None` until a query
+    /// has run under [`TelemetryConfig::Full`] or `explain_analyze`.
+    pub fn trace_json(&self) -> Option<String> {
+        self.telemetry()
+            .latest_trace()
+            .as_ref()
+            .map(ferry_telemetry::chrome_trace_json)
+    }
+
+    /// Chrome trace-format JSON for the (retained) trace of the given
+    /// engine-assigned query id — see `Database::last_query_id`.
+    pub fn trace_json_for(&self, query_id: u64) -> Option<String> {
+        self.telemetry()
+            .trace_for_query(query_id)
+            .as_ref()
+            .map(ferry_telemetry::chrome_trace_json)
+    }
+
+    /// The id of the most recent dispatch on this connection's database.
+    pub fn last_query_id(&self) -> u64 {
+        self.database().last_query_id()
     }
 
     /// Export the catalog as in-heap tables for the reference interpreter:
@@ -328,6 +399,9 @@ impl Connection {
             },
             bundle.plan_size()
         );
+        if let Some(rep) = &bundle.opt {
+            let _ = write!(out, "{}", rep.render());
+        }
         let algebra = AlgebraBackend;
         let db = self.database();
         for (i, qd) in bundle.queries.iter().enumerate() {
@@ -343,39 +417,58 @@ impl Connection {
     }
 
     /// [`explain`](Connection::explain) plus execution: run the bundle
+    /// (under a forced telemetry trace, whatever the configured level)
     /// and render the engine's per-node profile — execution path (scalar
     /// vs vectorized, with kernel batch count), wall time, output rows
-    /// and morsel count per operator — followed by the aggregate
-    /// parallelism counters. The profiling analogue of SQL's
-    /// `EXPLAIN ANALYZE`.
+    /// and morsel count per operator — the aggregate parallelism
+    /// counters, and the compile → optimize → execute span timeline. The
+    /// profiling analogue of SQL's `EXPLAIN ANALYZE`.
     pub fn explain_analyze<T: QA>(&self, q: &Q<T>) -> Result<String, FerryError> {
         use std::fmt::Write;
         let mut out = self.explain(q)?;
+        let telemetry = self.telemetry();
+        let mut trace = telemetry.begin_query_forced(0);
+        // compile inside the trace so the timeline shows the frontend
+        // stages too; the plan cache is deliberately bypassed
         let bundle = self.compile(q)?;
         let db = self.database();
         let results = self.backend.execute_bundle(&db, &bundle)?;
         let stats = db.stats();
+        drop(db);
+        self.stamp_query_id(&mut trace);
+        let trace_id = trace.trace_id();
+        drop(trace); // finish the trace so the timeline below can render it
         let _ = writeln!(
             out,
             "-- execution profile ({} rows out) --",
             results.iter().map(Rel::len).sum::<usize>()
         );
-        for p in &stats.profile {
-            let path = match p.path {
-                ferry_engine::ExecPath::Scalar => "scalar".to_string(),
-                ferry_engine::ExecPath::Vectorized => format!("vec({})", p.batches),
-            };
-            let _ = writeln!(
-                out,
-                "node {:>3}  {:<12} {:<10} {:>9} rows  {:>3} morsels  {:?}",
-                p.node, p.label, path, p.rows, p.morsels, p.elapsed
-            );
+        if let Some(profile) = stats.latest_profile() {
+            for p in &profile.nodes {
+                let path = match p.path {
+                    ferry_engine::ExecPath::Scalar => "scalar".to_string(),
+                    ferry_engine::ExecPath::Vectorized => format!("vec({})", p.batches),
+                };
+                let _ = writeln!(
+                    out,
+                    "node {:>3}  {:<12} {:<10} {:>9} rows  {:>3} morsels  {:?}",
+                    p.node, p.label, path, p.rows, p.morsels, p.elapsed
+                );
+            }
         }
         let _ = writeln!(
             out,
             "parallel waves: {}  parallel nodes: {}  morsel tasks: {}  vec nodes: {}  kernel batches: {}",
             stats.par_waves, stats.par_nodes, stats.morsel_tasks, stats.vec_nodes, stats.kernel_batches
         );
+        let recorded = telemetry
+            .traces()
+            .into_iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id);
+        if let Some(t) = recorded {
+            render_timeline(&mut out, &t);
+        }
         Ok(out)
     }
 
@@ -385,6 +478,50 @@ impl Connection {
     /// engine.
     pub fn set_par_config(&self, cfg: ferry_engine::ParConfig) {
         self.db.write().unwrap().set_par_config(cfg);
+    }
+}
+
+/// Render a completed query trace as an indented span timeline:
+/// offset-from-trace-start and duration per span, children nested under
+/// their parents, attributes inline.
+fn render_timeline(out: &mut String, trace: &QueryTrace) {
+    use std::fmt::Write;
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let _ = writeln!(
+        out,
+        "-- timeline (trace {}, query {}, {:.1}us) --",
+        trace.trace_id,
+        trace.query_id,
+        us(trace.dur_ns)
+    );
+    let mut children: HashMap<u64, Vec<&ferry_telemetry::SpanRecord>> = HashMap::new();
+    for s in &trace.spans {
+        children.entry(s.parent).or_default().push(s);
+    }
+    // spans are sorted root-first then by start, so sibling order is
+    // already chronological
+    let mut stack: Vec<(&ferry_telemetry::SpanRecord, usize)> = children
+        .get(&0)
+        .map(|roots| roots.iter().rev().map(|s| (*s, 0)).collect())
+        .unwrap_or_default();
+    while let Some((s, depth)) = stack.pop() {
+        let mut line = format!(
+            "{:>9.1}us {:>9.1}us  {}{} [{}]",
+            us(s.start_ns.saturating_sub(trace.start_ns)),
+            us(s.dur_ns),
+            "  ".repeat(depth),
+            s.name,
+            s.cat
+        );
+        for (k, v) in &s.attrs {
+            let _ = write!(line, " {k}={v}");
+        }
+        let _ = writeln!(out, "{line}");
+        if let Some(kids) = children.get(&s.id) {
+            for kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
     }
 }
 

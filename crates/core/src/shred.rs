@@ -54,6 +54,8 @@ pub struct CompiledBundle {
     /// `queries\[0\]` is the root query; inner lists follow in DFS order.
     pub queries: Vec<QueryDesc>,
     pub ty: Ty,
+    /// What the plan rewriter did, when one ran (`explain` renders it).
+    pub opt: Option<ferry_telemetry::OptReport>,
 }
 
 impl CompiledBundle {
@@ -76,7 +78,12 @@ pub fn compile_program(
     exp: &Exp,
     provider: &dyn SchemaProvider,
 ) -> Result<CompiledBundle, FerryError> {
-    let (mut c, rep, _lp) = compile_to_rep(exp, provider)?;
+    let mut compile_span = ferry_telemetry::span("compile", "compile");
+    let (mut c, rep, _lp) = {
+        let _s = ferry_telemetry::span("loop_lift", "compile");
+        compile_to_rep(exp, provider)?
+    };
+    let shred_span = ferry_telemetry::span("shred", "compile");
     let mut queries = Vec::new();
     match rep {
         Rep::List(lr) => {
@@ -98,16 +105,21 @@ pub fn compile_program(
             };
         }
     }
+    drop(shred_span);
     let ty = exp.ty().clone();
     assert_eq!(
         queries.len(),
         ty.bundle_size(),
         "avalanche-safety violation: bundle size diverged from the result type"
     );
+    compile_span
+        .attr("queries", queries.len())
+        .attr("plan_nodes", c.plan.len());
     Ok(CompiledBundle {
         plan: c.plan,
         queries,
         ty,
+        opt: None,
     })
 }
 

@@ -3,9 +3,11 @@
 use crate::error::EngineError;
 use crate::exec;
 use crate::par::ParConfig;
-use crate::stats::QueryStats;
+use crate::stats::{ProfileRing, QueryProfile, QueryStats};
 use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema};
+use ferry_telemetry::{Counter, Histogram, Registry, Telemetry, TelemetryConfig};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -32,13 +34,23 @@ pub struct BaseTable {
 /// dispatched to the database, counted in [`QueryStats`] and charged
 /// `dispatch_cost` of fixed latency (default zero; set it to model a
 /// networked DBMS round-trip).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Database {
     tables: HashMap<String, BaseTable>,
     dispatch_cost: Duration,
     /// Morsel/wavefront parallelism knobs used by every dispatch.
     par: ParConfig,
-    stats: Mutex<QueryStats>,
+    /// The observability hub: config, metrics registry, trace ring.
+    /// Per-instance (no process globals), so concurrent databases and
+    /// tests never see each other's numbers.
+    telemetry: Arc<Telemetry>,
+    /// Cached counter handles into `telemetry`'s registry — the hot path
+    /// bumps atomics without touching the registry lock.
+    metrics: EngineMetrics,
+    /// Per-node profiles of the most recent dispatches.
+    profiles: Mutex<ProfileRing>,
+    /// Dispatch id allocator (`QueryProfile::query_id`; monotone, 1-based).
+    next_query_id: AtomicU64,
     /// Monotone counter bumped whenever the *schema* of the catalog
     /// changes (tables created, replaced or force-installed). Compiled
     /// plans are data-independent, so row inserts do **not** bump it —
@@ -47,9 +59,99 @@ pub struct Database {
     schema_version: u64,
 }
 
+/// The engine's named metrics, resolved once per database. Counter names
+/// are the public contract (`DESIGN.md` lists them); `Database::stats()`
+/// reads these same handles back into a [`QueryStats`] view.
+#[derive(Debug)]
+struct EngineMetrics {
+    queries: Arc<Counter>,
+    rows_out: Arc<Counter>,
+    nodes_evaluated: Arc<Counter>,
+    rows_produced: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    morsel_tasks: Arc<Counter>,
+    par_nodes: Arc<Counter>,
+    par_waves: Arc<Counter>,
+    vec_nodes: Arc<Counter>,
+    kernel_batches: Arc<Counter>,
+    query_latency_ns: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            queries: registry.counter("engine.queries"),
+            rows_out: registry.counter("engine.rows_out"),
+            nodes_evaluated: registry.counter("engine.nodes_evaluated"),
+            rows_produced: registry.counter("engine.rows_produced"),
+            cache_hits: registry.counter("runtime.cache_hits"),
+            cache_misses: registry.counter("runtime.cache_misses"),
+            morsel_tasks: registry.counter("engine.morsel_tasks"),
+            par_nodes: registry.counter("engine.par_nodes"),
+            par_waves: registry.counter("engine.par_waves"),
+            vec_nodes: registry.counter("engine.vec_nodes"),
+            kernel_batches: registry.counter("engine.kernel_batches"),
+            query_latency_ns: registry.histogram("engine.query_latency_ns"),
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::with_telemetry(Arc::new(Telemetry::default()))
+    }
+}
+
 impl Database {
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Build a database reporting into an existing telemetry hub (e.g.
+    /// one shared with other databases of a process).
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Database {
+        let metrics = EngineMetrics::new(telemetry.registry());
+        Database {
+            tables: HashMap::new(),
+            dispatch_cost: Duration::ZERO,
+            par: ParConfig::default(),
+            telemetry,
+            metrics,
+            profiles: Mutex::new(ProfileRing::default()),
+            next_query_id: AtomicU64::new(0),
+            schema_version: 0,
+        }
+    }
+
+    /// This database's telemetry hub (registry, trace ring, config).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Set how much the telemetry layer records for subsequent dispatches.
+    pub fn set_telemetry_config(&self, config: TelemetryConfig) {
+        self.telemetry.set_config(config);
+    }
+
+    /// The id of the most recently dispatched query (0 before the first).
+    pub fn last_query_id(&self) -> u64 {
+        self.next_query_id.load(AtOrd::Relaxed)
+    }
+
+    /// The id of the most recent dispatch executed under telemetry trace
+    /// `trace_id`, if its profile is still in the ring.
+    pub fn query_id_for_trace(&self, trace_id: u64) -> Option<u64> {
+        if trace_id == 0 {
+            return None;
+        }
+        let profiles = self.profiles.lock().unwrap();
+        let qid = profiles
+            .iter()
+            .rev()
+            .find(|p| p.trace_id == trace_id)
+            .map(|p| p.query_id);
+        qid
     }
 
     /// Create (or replace) a base table.
@@ -100,11 +202,13 @@ impl Database {
     /// counters live here so one `stats()` call tells the whole story of
     /// a workload (queries dispatched *and* compilations amortised).
     pub fn record_cache(&self, hit: bool) {
-        let mut stats = self.stats.lock().unwrap();
+        if !self.telemetry.counters_on() {
+            return;
+        }
         if hit {
-            stats.cache_hits += 1;
+            self.metrics.cache_hits.inc();
         } else {
-            stats.cache_misses += 1;
+            self.metrics.cache_misses.inc();
         }
     }
 
@@ -162,27 +266,40 @@ impl Database {
         self.par
     }
 
+    /// A point-in-time [`QueryStats`] view assembled from the telemetry
+    /// registry and the profile ring.
     pub fn stats(&self) -> QueryStats {
-        self.stats.lock().unwrap().clone()
+        let m = &self.metrics;
+        QueryStats {
+            queries: m.queries.get(),
+            rows_out: m.rows_out.get(),
+            nodes_evaluated: m.nodes_evaluated.get(),
+            rows_produced: m.rows_produced.get(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            morsel_tasks: m.morsel_tasks.get(),
+            par_nodes: m.par_nodes.get(),
+            par_waves: m.par_waves.get(),
+            vec_nodes: m.vec_nodes.get(),
+            kernel_batches: m.kernel_batches.get(),
+            profiles: self.profiles.lock().unwrap().clone(),
+        }
     }
 
+    /// Zero every registry metric (latency histograms included) and drop
+    /// the retained profiles. Traces in the telemetry ring are untouched.
     pub fn reset_stats(&self) {
-        self.stats.lock().unwrap().reset();
+        self.telemetry.registry().reset();
+        self.profiles.lock().unwrap().clear();
     }
 
     /// Dispatch **one query** — validate the plan, evaluate the DAG bottom-
     /// up (shared nodes once), return the root relation.
     pub fn execute(&self, plan: &Plan, root: NodeId) -> Result<Rel, EngineError> {
-        if !self.dispatch_cost.is_zero() {
-            spin_for(self.dispatch_cost);
-        }
-        let schemas = infer_schema(plan)?;
-        let mut local = QueryStats::default();
-        let result = exec::run(self, plan, root, &schemas, &mut local)?;
-        local.queries = 1;
-        local.rows_out = result.len() as u64;
-        self.stats.lock().unwrap().absorb(local);
-        Ok(result)
+        Ok(self
+            .execute_bundle(plan, &[root])?
+            .pop()
+            .expect("one root in, one relation out"))
     }
 
     /// Dispatch a bundle of queries and collect the results in order.
@@ -197,6 +314,14 @@ impl Database {
         if roots.is_empty() {
             return Ok(Vec::new());
         }
+        let qid = self.next_query_id.fetch_add(1, AtOrd::Relaxed) + 1;
+        let trace_id = ferry_telemetry::current_ctx().trace;
+        let mut dispatch = ferry_telemetry::span("dispatch", "engine");
+        dispatch
+            .attr("query_id", qid)
+            .attr("queries", roots.len())
+            .attr("threads", self.par.threads);
+        let start_ns = ferry_telemetry::now_ns();
         if !self.dispatch_cost.is_zero() {
             for _ in roots {
                 spin_for(self.dispatch_cost);
@@ -204,10 +329,30 @@ impl Database {
         }
         let schemas = infer_schema(plan)?;
         let mut local = QueryStats::default();
-        let results = exec::run_many(self, plan, roots, &schemas, &mut local)?;
-        local.queries = roots.len() as u64;
-        local.rows_out = results.iter().map(|r| r.len() as u64).sum();
-        self.stats.lock().unwrap().absorb(local);
+        let mut prof = Vec::new();
+        let results = exec::run_many(self, plan, roots, &schemas, &mut local, &mut prof)?;
+        let elapsed_ns = ferry_telemetry::now_ns().saturating_sub(start_ns);
+        drop(dispatch);
+        if self.telemetry.counters_on() {
+            let m = &self.metrics;
+            m.queries.add(roots.len() as u64);
+            m.rows_out.add(results.iter().map(|r| r.len() as u64).sum());
+            m.nodes_evaluated.add(local.nodes_evaluated);
+            m.rows_produced.add(local.rows_produced);
+            m.morsel_tasks.add(local.morsel_tasks);
+            m.par_nodes.add(local.par_nodes);
+            m.par_waves.add(local.par_waves);
+            m.vec_nodes.add(local.vec_nodes);
+            m.kernel_batches.add(local.kernel_batches);
+            m.query_latency_ns.record(elapsed_ns);
+            self.profiles.lock().unwrap().push(QueryProfile {
+                query_id: qid,
+                trace_id,
+                roots: roots.len() as u32,
+                elapsed: Duration::from_nanos(elapsed_ns),
+                nodes: prof,
+            });
+        }
         Ok(results)
     }
 }

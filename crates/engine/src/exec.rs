@@ -37,15 +37,17 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering as AtOrd};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Evaluate the DAG under `root` and return its relation.
+/// Evaluate the DAG under `root` and return its relation. `prof`
+/// receives one [`NodeProfile`] per evaluated node.
 pub fn run(
     db: &Database,
     plan: &Plan,
     root: NodeId,
     schemas: &[Schema],
     stats: &mut QueryStats,
+    prof: &mut Vec<NodeProfile>,
 ) -> Result<Rel, EngineError> {
-    Ok(run_many(db, plan, &[root], schemas, stats)?
+    Ok(run_many(db, plan, &[root], schemas, stats, prof)?
         .pop()
         .expect("one root in, one relation out"))
 }
@@ -60,6 +62,7 @@ pub fn run_many(
     roots: &[NodeId],
     schemas: &[Schema],
     stats: &mut QueryStats,
+    prof: &mut Vec<NodeProfile>,
 ) -> Result<Vec<Rel>, EngineError> {
     let cfg = db.par_config();
     // mark every node reachable from any root
@@ -107,16 +110,22 @@ pub fn run_many(
             let slots: Vec<WaveSlot> = heavy.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
             let results_ref = &results;
+            // forward the ambient trace context into the wave workers so
+            // their spans land in the dispatching query's trace
+            let ctx = ferry_telemetry::current_ctx();
             std::thread::scope(|s| {
                 for _ in 0..cfg.threads.min(heavy.len()) {
-                    s.spawn(|| loop {
-                        let w = next.fetch_add(1, AtOrd::Relaxed);
-                        if w >= heavy.len() {
-                            break;
+                    s.spawn(|| {
+                        let _t = ferry_telemetry::enter_ctx(ctx);
+                        loop {
+                            let w = next.fetch_add(1, AtOrd::Relaxed);
+                            if w >= heavy.len() {
+                                break;
+                            }
+                            let id = wave[heavy[w]];
+                            *slots[w].lock().unwrap() =
+                                Some(eval_timed(db, plan, id, schemas, results_ref, &cfg));
                         }
-                        let id = wave[heavy[w]];
-                        *slots[w].lock().unwrap() =
-                            Some(eval_timed(db, plan, id, schemas, results_ref, &cfg));
                     });
                 }
             });
@@ -146,9 +155,28 @@ pub fn run_many(
                 stats.vec_nodes += 1;
             }
             stats.kernel_batches += m.batches as u64;
-            stats.profile.push(NodeProfile {
+            let label = plan.node(id).label();
+            if ferry_telemetry::tracing_active() {
+                // post-hoc span: the node was timed by eval_timed (maybe
+                // on a worker thread); record it here under the dispatch
+                // span so every plan node shows up in the query trace
+                ferry_telemetry::record_span(
+                    label,
+                    "exec.node",
+                    m.start_ns,
+                    m.elapsed.as_nanos() as u64,
+                    vec![
+                        ("node", id.0.into()),
+                        ("rows", (rel.len() as u64).into()),
+                        ("morsels", m.morsels.into()),
+                        ("path", m.path.to_string().into()),
+                        ("batches", m.batches.into()),
+                    ],
+                );
+            }
+            prof.push(NodeProfile {
                 node: id.0,
-                label: plan.node(id).label(),
+                label,
                 rows: rel.len() as u64,
                 elapsed: m.elapsed,
                 morsels: m.morsels,
@@ -187,6 +215,8 @@ fn est_input_rows(db: &Database, plan: &Plan, id: NodeId, results: &[Option<Rel>
 #[derive(Debug, Clone, Copy, Default)]
 struct NodeMetrics {
     morsels: u32,
+    /// Evaluation start on the telemetry clock (for post-hoc spans).
+    start_ns: u64,
     elapsed: std::time::Duration,
     /// Scalar or vectorized — which implementation this evaluation took.
     path: ExecPath,
@@ -213,7 +243,10 @@ fn eval_timed(
     results: &[Option<Rel>],
     cfg: &ParConfig,
 ) -> Result<(Rel, NodeMetrics), EngineError> {
-    let mut m = NodeMetrics::default();
+    let mut m = NodeMetrics {
+        start_ns: ferry_telemetry::now_ns(),
+        ..NodeMetrics::default()
+    };
     let start = Instant::now();
     let rel = eval_node(db, plan, id, schemas, results, cfg, &mut m)?;
     m.elapsed = start.elapsed();

@@ -34,8 +34,18 @@
 //! ([`vec_eval`]): expressions compile to register-based kernel programs
 //! that run over typed column chunks 1024 rows per batch, with the scalar
 //! row-at-a-time interpreter retained as both fallback and differential
-//! oracle. `ParConfig::vec` selects the path; `QueryStats::profile`
-//! records which one each node took.
+//! oracle. `ParConfig::vec` selects the path; the per-dispatch
+//! [`QueryProfile`] records which one each node took.
+//!
+//! ## Observability
+//!
+//! Every database owns a `ferry-telemetry` hub
+//! ([`Database::telemetry`]): aggregate counters and the query-latency
+//! histogram live in its metrics registry ([`QueryStats`] is the view
+//! `stats()` assembles from it), per-node profiles of the last 16
+//! dispatches sit in a [`ProfileRing`], and — under
+//! [`TelemetryConfig::Full`] — each dispatch, node evaluation and morsel
+//! records a span into the active query trace, worker threads included.
 
 pub mod catalog;
 pub mod error;
@@ -47,5 +57,6 @@ pub mod vec_eval;
 
 pub use catalog::{BaseTable, Database};
 pub use error::EngineError;
+pub use ferry_telemetry::{Telemetry, TelemetryConfig};
 pub use par::{ParConfig, VecMode};
-pub use stats::{ExecPath, NodeProfile, QueryStats};
+pub use stats::{ExecPath, NodeProfile, ProfileRing, QueryProfile, QueryStats, PROFILE_RING_CAP};

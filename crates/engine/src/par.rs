@@ -162,16 +162,26 @@ where
     let slots: Vec<MorselSlot<T, E>> = (0..count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = cfg.threads.min(count);
+    // forward the ambient trace context into the workers: per-morsel
+    // spans then carry the dispatching query's trace id even though they
+    // are recorded on other threads (and an inactive context keeps all of
+    // this a no-op)
+    let ctx = ferry_telemetry::current_ctx();
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, AtOrd::Relaxed);
-                if i >= count {
-                    break;
+            s.spawn(|| {
+                let _t = ferry_telemetry::enter_ctx(ctx);
+                loop {
+                    let i = next.fetch_add(1, AtOrd::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let lo = i * m;
+                    let hi = (lo + m).min(n);
+                    let mut span = ferry_telemetry::span("morsel", "exec.morsel");
+                    span.attr("morsel", i).attr("rows", hi - lo);
+                    *slots[i].lock().unwrap() = Some(f(lo..hi));
                 }
-                let lo = i * m;
-                let hi = (lo + m).min(n);
-                *slots[i].lock().unwrap() = Some(f(lo..hi));
             });
         }
     });

@@ -6,11 +6,17 @@
 //! volume metrics) so experiments can assert counts exactly rather than
 //! inferring them from timings.
 //!
-//! Beyond the aggregate counters, the engine records a **per-node profile**
-//! of the most recent dispatch: one [`NodeProfile`] per evaluated plan node
-//! with its wall-clock time, output rows and morsel count. `Connection::
-//! explain_analyze` renders it.
+//! The aggregate counters live in the database's `ferry-telemetry`
+//! [`Registry`](ferry_telemetry::Registry) (named `engine.*` /
+//! `runtime.*`); [`QueryStats`] is the *view* `Database::stats()`
+//! assembles from it. Beyond the counters, the engine records a
+//! **per-node profile** of each dispatch — one [`NodeProfile`] per
+//! evaluated plan node with its wall-clock time, output rows and morsel
+//! count — retained for the last [`PROFILE_RING_CAP`] dispatches in a
+//! [`ProfileRing`] keyed by query id. `Connection::explain_analyze`
+//! renders the latest entry.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::Duration;
 
@@ -37,8 +43,8 @@ impl fmt::Display for ExecPath {
     }
 }
 
-/// Wall-time and work record for one evaluated plan node (most recent
-/// query only — see [`QueryStats::profile`]).
+/// Wall-time and work record for one evaluated plan node of one dispatch
+/// (see [`QueryProfile`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeProfile {
     /// Arena index of the node in its plan.
@@ -58,7 +64,102 @@ pub struct NodeProfile {
     pub batches: u32,
 }
 
-/// Counters accumulated by a [`crate::Database`] across `execute` calls.
+/// The per-node profile of **one** dispatch (`execute` / `execute_bundle`
+/// call), keyed by the database-assigned query id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryProfile {
+    /// Database-monotone dispatch id (1-based; id order is dispatch order).
+    pub query_id: u64,
+    /// Telemetry trace id active during the dispatch (0 when untraced).
+    pub trace_id: u64,
+    /// Bundle members executed in this dispatch (1 for plain `execute`).
+    pub roots: u32,
+    /// Wall-clock time of the whole dispatch.
+    pub elapsed: Duration,
+    /// One entry per evaluated plan node, in evaluation (wave) order.
+    pub nodes: Vec<NodeProfile>,
+}
+
+/// How many recent dispatch profiles a [`ProfileRing`] retains.
+pub const PROFILE_RING_CAP: usize = 16;
+
+/// Bounded ring of the most recent [`QueryProfile`]s, oldest first.
+/// Replaces the old single-slot `QueryStats::profile`: a workload can
+/// look back across its last [`PROFILE_RING_CAP`] dispatches instead of
+/// only the final one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRing {
+    cap: usize,
+    ring: VecDeque<QueryProfile>,
+}
+
+impl Default for ProfileRing {
+    fn default() -> ProfileRing {
+        ProfileRing::new(PROFILE_RING_CAP)
+    }
+}
+
+impl ProfileRing {
+    pub fn new(cap: usize) -> ProfileRing {
+        ProfileRing {
+            cap: cap.max(1),
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Append a dispatch profile, evicting the oldest when full.
+    pub fn push(&mut self, profile: QueryProfile) {
+        if self.ring.len() >= self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(profile);
+    }
+
+    /// The most recent dispatch's profile.
+    pub fn latest(&self) -> Option<&QueryProfile> {
+        self.ring.back()
+    }
+
+    /// The retained profile of query `query_id`, if not yet evicted.
+    pub fn get(&self, query_id: u64) -> Option<&QueryProfile> {
+        self.ring.iter().rev().find(|p| p.query_id == query_id)
+    }
+
+    /// Retained profiles, oldest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &QueryProfile> {
+        self.ring.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// Merge another ring into this one **by recency**: query ids are
+    /// database-monotone, so the merged ring is the newest `cap` profiles
+    /// of the union, oldest first.
+    pub fn merge(&mut self, other: ProfileRing) {
+        if other.ring.is_empty() {
+            return;
+        }
+        let mut all: Vec<QueryProfile> = self.ring.drain(..).chain(other.ring).collect();
+        all.sort_by_key(|p| p.query_id);
+        let skip = all.len().saturating_sub(self.cap);
+        self.ring.extend(all.into_iter().skip(skip));
+    }
+}
+
+/// Counters accumulated by a [`crate::Database`] across `execute` calls —
+/// a point-in-time view assembled by `Database::stats()` from the
+/// telemetry registry plus the profile ring. With
+/// `TelemetryConfig::Off` nothing is accounted and the view stays zero.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Number of queries dispatched (one per `execute` call).
@@ -88,10 +189,9 @@ pub struct QueryStats {
     pub vec_nodes: u64,
     /// Total kernel batches executed by vectorized nodes.
     pub kernel_batches: u64,
-    /// Per-node profile of the **most recent** dispatch (replaced on every
-    /// `execute` / `execute_bundle`, not accumulated — the aggregate
-    /// counters above are the cross-query view).
-    pub profile: Vec<NodeProfile>,
+    /// Per-node profiles of the most recent dispatches (ring of
+    /// [`PROFILE_RING_CAP`], oldest first).
+    pub profiles: ProfileRing,
 }
 
 impl QueryStats {
@@ -99,8 +199,14 @@ impl QueryStats {
         *self = QueryStats::default();
     }
 
-    /// Fold another stats record's aggregate counters into this one.
-    /// `profile` is *replaced* (it describes a single dispatch).
+    /// The most recent dispatch's per-node profile (what the old
+    /// single-slot `profile` field held).
+    pub fn latest_profile(&self) -> Option<&QueryProfile> {
+        self.profiles.latest()
+    }
+
+    /// Fold another stats record into this one: aggregate counters sum,
+    /// profile rings merge by recency.
     pub fn absorb(&mut self, other: QueryStats) {
         self.queries += other.queries;
         self.rows_out += other.rows_out;
@@ -113,15 +219,35 @@ impl QueryStats {
         self.par_waves += other.par_waves;
         self.vec_nodes += other.vec_nodes;
         self.kernel_batches += other.kernel_batches;
-        if !other.profile.is_empty() {
-            self.profile = other.profile;
-        }
+        self.profiles.merge(other.profiles);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn node(n: u32) -> NodeProfile {
+        NodeProfile {
+            node: n,
+            label: "lit",
+            rows: 1,
+            elapsed: Duration::from_micros(3),
+            morsels: 1,
+            path: ExecPath::Scalar,
+            batches: 0,
+        }
+    }
+
+    fn profile(query_id: u64) -> QueryProfile {
+        QueryProfile {
+            query_id,
+            trace_id: 0,
+            roots: 1,
+            elapsed: Duration::from_micros(9),
+            nodes: vec![node(0)],
+        }
+    }
 
     #[test]
     fn reset_zeroes_everything() {
@@ -137,61 +263,68 @@ mod tests {
             par_waves: 1,
             vec_nodes: 3,
             kernel_batches: 9,
-            profile: vec![NodeProfile {
-                node: 0,
-                label: "lit",
-                rows: 1,
-                elapsed: Duration::from_micros(3),
-                morsels: 1,
-                path: ExecPath::Vectorized,
-                batches: 4,
-            }],
+            ..QueryStats::default()
         };
+        s.profiles.push(profile(1));
         s.reset();
         assert_eq!(s, QueryStats::default());
     }
 
     #[test]
-    fn absorb_sums_counters_and_replaces_profile() {
+    fn ring_evicts_oldest_first() {
+        let mut ring = ProfileRing::default();
+        for q in 1..=20 {
+            ring.push(profile(q));
+        }
+        assert_eq!(ring.len(), PROFILE_RING_CAP);
+        let ids: Vec<u64> = ring.iter().map(|p| p.query_id).collect();
+        assert_eq!(ids, (5..=20).collect::<Vec<u64>>());
+        assert_eq!(ring.latest().unwrap().query_id, 20);
+        assert_eq!(ring.get(7).unwrap().query_id, 7);
+        assert!(ring.get(4).is_none(), "evicted profile is gone");
+    }
+
+    #[test]
+    fn ring_merge_is_by_recency() {
+        let mut a = ProfileRing::new(4);
+        for q in [1, 3, 8] {
+            a.push(profile(q));
+        }
+        let mut b = ProfileRing::new(4);
+        for q in [2, 9, 10] {
+            b.push(profile(q));
+        }
+        a.merge(b);
+        let ids: Vec<u64> = a.iter().map(|p| p.query_id).collect();
+        // newest 4 of {1,3,8} ∪ {2,9,10}, oldest first
+        assert_eq!(ids, vec![3, 8, 9, 10]);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_merges_profiles() {
         let mut a = QueryStats {
             queries: 1,
             morsel_tasks: 2,
             vec_nodes: 1,
             kernel_batches: 4,
-            profile: vec![NodeProfile {
-                node: 0,
-                label: "lit",
-                rows: 1,
-                elapsed: Duration::ZERO,
-                morsels: 1,
-                path: ExecPath::Scalar,
-                batches: 0,
-            }],
             ..QueryStats::default()
         };
-        let b = QueryStats {
+        a.profiles.push(profile(1));
+        let mut b = QueryStats {
             queries: 2,
             morsel_tasks: 3,
             vec_nodes: 2,
             kernel_batches: 6,
-            profile: vec![NodeProfile {
-                node: 1,
-                label: "select",
-                rows: 5,
-                elapsed: Duration::ZERO,
-                morsels: 2,
-                path: ExecPath::Vectorized,
-                batches: 2,
-            }],
             ..QueryStats::default()
         };
+        b.profiles.push(profile(2));
+        b.profiles.push(profile(3));
         a.absorb(b);
         assert_eq!(a.queries, 3);
         assert_eq!(a.morsel_tasks, 5);
         assert_eq!(a.vec_nodes, 3);
         assert_eq!(a.kernel_batches, 10);
-        assert_eq!(a.profile.len(), 1);
-        assert_eq!(a.profile[0].node, 1);
-        assert_eq!(a.profile[0].path, ExecPath::Vectorized);
+        assert_eq!(a.profiles.len(), 3);
+        assert_eq!(a.latest_profile().unwrap().query_id, 3);
     }
 }

@@ -110,8 +110,15 @@ fn malformed_plans_report_no_such_column() {
     let t = scan(&mut plan);
     let bad = plan.serialize(t, vec![(cn("zzz"), Dir::Asc)], vec![cn("a")]);
     let schemas = vec![schema.clone(); plan.len()];
-    let err =
-        ferry_engine::exec::run(&db, &plan, bad, &schemas, &mut QueryStats::default()).unwrap_err();
+    let err = ferry_engine::exec::run(
+        &db,
+        &plan,
+        bad,
+        &schemas,
+        &mut QueryStats::default(),
+        &mut Vec::new(),
+    )
+    .unwrap_err();
     assert!(
         matches!(&err, EngineError::NoSuchColumn { col, .. } if col == "zzz"),
         "unexpected error: {err}"
@@ -122,8 +129,15 @@ fn malformed_plans_report_no_such_column() {
     let t = scan(&mut plan);
     let bad = plan.rownum(t, "rn", vec![cn("ghost")], vec![(cn("a"), Dir::Asc)]);
     let schemas = vec![schema.clone(); plan.len()];
-    let err =
-        ferry_engine::exec::run(&db, &plan, bad, &schemas, &mut QueryStats::default()).unwrap_err();
+    let err = ferry_engine::exec::run(
+        &db,
+        &plan,
+        bad,
+        &schemas,
+        &mut QueryStats::default(),
+        &mut Vec::new(),
+    )
+    .unwrap_err();
     assert!(matches!(&err, EngineError::NoSuchColumn { col, .. } if col == "ghost"));
 
     // projection from a column that is not there
@@ -131,8 +145,15 @@ fn malformed_plans_report_no_such_column() {
     let t = scan(&mut plan);
     let bad = plan.project(t, vec![(cn("out"), cn("nope"))]);
     let schemas = vec![schema.clone(); plan.len()];
-    let err =
-        ferry_engine::exec::run(&db, &plan, bad, &schemas, &mut QueryStats::default()).unwrap_err();
+    let err = ferry_engine::exec::run(
+        &db,
+        &plan,
+        bad,
+        &schemas,
+        &mut QueryStats::default(),
+        &mut Vec::new(),
+    )
+    .unwrap_err();
     assert!(matches!(&err, EngineError::NoSuchColumn { col, .. } if col == "nope"));
 
     // well-formed plans still pass schema inference and execute

@@ -27,6 +27,7 @@ pub mod passes;
 pub mod rewrite;
 
 use ferry_algebra::{NodeId, Plan};
+pub use ferry_telemetry::{OptReport, PassStat};
 
 /// Statistics of one optimisation run (experiment X1 reports these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,15 +43,73 @@ pub struct OptStats {
 /// Optimise the plan under the given roots; returns the rewritten plan and
 /// the relocated roots.
 pub fn optimize(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>) {
-    let (p, r, _) = optimize_with_stats(plan, roots);
+    let (p, r, _) = optimize_report(plan, roots);
     (p, r)
 }
 
 /// [`optimize`], also reporting before/after plan sizes.
 pub fn optimize_with_stats(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>, OptStats) {
-    let mut stats = OptStats {
+    let (p, r, rep) = optimize_report(plan, roots);
+    let stats = OptStats {
+        nodes_before: rep.nodes_before,
+        nodes_after: rep.nodes_after,
+        rounds: rep.rounds,
+    };
+    (p, r, stats)
+}
+
+/// Run one named pass under a telemetry span, accumulating its
+/// [`PassStat`] into the report. "Changed" is detected on the
+/// (size, width) fingerprint of the reachable plan — the same metrics the
+/// fixpoint cost function watches.
+fn run_pass(
+    name: &'static str,
+    plan: Plan,
+    roots: Vec<NodeId>,
+    report: &mut OptReport,
+    f: impl FnOnce(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>),
+) -> (Plan, Vec<NodeId>) {
+    let before = (
+        reachable_size(&plan, &roots),
+        reachable_width(&plan, &roots),
+    );
+    let start = ferry_telemetry::now_ns();
+    let mut span = ferry_telemetry::span(name, "optimize");
+    let (p, r) = f(&plan, &roots);
+    let after = (reachable_size(&p, &r), reachable_width(&p, &r));
+    let elapsed = ferry_telemetry::now_ns().saturating_sub(start);
+    let changed = after != before;
+    span.attr("nodes_before", before.0)
+        .attr("nodes_after", after.0)
+        .attr("changed", changed);
+    drop(span);
+    let stat = match report.passes.iter_mut().find(|s| s.pass == name) {
+        Some(stat) => stat,
+        None => {
+            report.passes.push(PassStat {
+                pass: name,
+                runs: 0,
+                changed: 0,
+                nodes_removed: 0,
+                elapsed_ns: 0,
+            });
+            report.passes.last_mut().expect("just pushed")
+        }
+    };
+    stat.runs += 1;
+    stat.changed += changed as u64;
+    stat.nodes_removed += before.0 as i64 - after.0 as i64;
+    stat.elapsed_ns += elapsed;
+    (p, r)
+}
+
+/// [`optimize`], reporting per-pass work: rewrites applied, node deltas
+/// and wall time per pass, rendered by `Connection::explain` and recorded
+/// as one `"optimize"`-category telemetry span per pass run.
+pub fn optimize_report(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>, OptReport) {
+    let mut report = OptReport {
         nodes_before: reachable_size(plan, roots),
-        ..OptStats::default()
+        ..OptReport::default()
     };
     let mut plan = plan.clone();
     let mut roots = roots.to_vec();
@@ -62,16 +121,26 @@ pub fn optimize_with_stats(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>,
     // dominate execution cost (the Pathfinder/join-graph-isolation role);
     // plan-size cost is not the right metric for it, so it runs outside
     // the cost-guarded loop
-    let (jp, jr) = joins::recover_joins(&plan, &roots);
+    let (jp, jr) = run_pass("join_recovery", plan, roots, &mut report, |p, r| {
+        joins::recover_joins(p, r)
+    });
     plan = jp;
     roots = jr;
     for round in 0..MAX_ROUNDS {
-        stats.rounds = round + 1;
+        report.rounds = round + 1;
         let before = cost(&plan, &roots);
-        let (p1, r1) = passes::cse(&plan, &roots);
-        let (p2, r2) = passes::fold_constants(&p1, &r1);
-        let (p3, r3) = passes::prune_columns(&p2, &r2);
-        let (p4, r4) = passes::merge_projects(&p3, &r3);
+        let (p1, r1) = run_pass("cse", plan.clone(), roots.clone(), &mut report, |p, r| {
+            passes::cse(p, r)
+        });
+        let (p2, r2) = run_pass("fold_constants", p1, r1, &mut report, |p, r| {
+            passes::fold_constants(p, r)
+        });
+        let (p3, r3) = run_pass("prune_columns", p2, r2, &mut report, |p, r| {
+            passes::prune_columns(p, r)
+        });
+        let (p4, r4) = run_pass("merge_projects", p3, r3, &mut report, |p, r| {
+            passes::merge_projects(p, r)
+        });
         if cost(&p4, &r4) >= before {
             // this round did not pay for itself — keep the previous plan
             break;
@@ -81,8 +150,8 @@ pub fn optimize_with_stats(plan: &Plan, roots: &[NodeId]) -> (Plan, Vec<NodeId>,
     }
     // final garbage collection: drop unreachable arena entries
     let (plan, roots) = rewrite::gc(&plan, &roots);
-    stats.nodes_after = reachable_size(&plan, &roots);
-    (plan, roots, stats)
+    report.nodes_after = reachable_size(&plan, &roots);
+    (plan, roots, report)
 }
 
 /// Number of distinct operators reachable from the roots.
@@ -111,8 +180,14 @@ pub fn reachable_width(plan: &Plan, roots: &[NodeId]) -> usize {
 
 /// Convenience: a shareable rewriter suitable for
 /// `ferry::Connection::with_optimizer` (the `Arc` lets every clone of a
-/// concurrent `Connection` hold the same rewriter).
+/// concurrent `Connection` hold the same rewriter). The returned
+/// [`OptReport`] rides along in the compiled bundle, feeding `explain`.
 #[allow(clippy::type_complexity)]
-pub fn rewriter() -> std::sync::Arc<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>) + Send + Sync> {
-    std::sync::Arc::new(optimize)
+pub fn rewriter(
+) -> std::sync::Arc<dyn Fn(&Plan, &[NodeId]) -> (Plan, Vec<NodeId>, Option<OptReport>) + Send + Sync>
+{
+    std::sync::Arc::new(|plan, roots| {
+        let (p, r, rep) = optimize_report(plan, roots);
+        (p, r, Some(rep))
+    })
 }

@@ -29,6 +29,7 @@ pub struct SqlQuery {
 /// Generate the SQL statement for the query rooted at `root`. The database
 /// provides the catalog column names of referenced base tables.
 pub fn generate_sql(db: &Database, plan: &Plan, root: NodeId) -> Result<SqlQuery, SqlError> {
+    let mut span = ferry_telemetry::span("codegen", "sql");
     let schemas = infer_schema(plan).map_err(|e| SqlError::Codegen(e.to_string()))?;
     let mut g = Gen {
         db,
@@ -54,6 +55,9 @@ pub fn generate_sql(db: &Database, plan: &Plan, root: NodeId) -> Result<SqlQuery
     }
     sql.push_str(&final_select);
     sql.push(';');
+    span.attr("root", root.0)
+        .attr("ctes", g.ctes.len())
+        .attr("chars", sql.len());
     Ok(SqlQuery { sql })
 }
 

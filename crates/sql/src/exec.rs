@@ -7,8 +7,11 @@ use ferry_engine::Database;
 /// Execute one SQL statement against the database. Each call dispatches
 /// exactly one engine query — the unit Table 1 counts.
 pub fn execute_sql(db: &Database, sql: &str) -> Result<Rel, SqlError> {
-    let stmt = parser::parse(sql)?;
-    let (plan, root) = binder::bind(db, &stmt)?;
+    let (plan, root) = {
+        let _s = ferry_telemetry::span("parse_bind", "sql");
+        let stmt = parser::parse(sql)?;
+        binder::bind(db, &stmt)?
+    };
     Ok(db.execute(&plan, root)?)
 }
 

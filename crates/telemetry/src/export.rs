@@ -1,0 +1,172 @@
+//! Chrome-trace-format export.
+//!
+//! [`chrome_trace_json`] renders a [`QueryTrace`] as the JSON object
+//! format understood by `chrome://tracing` and Perfetto: a
+//! `"traceEvents"` array of complete (`"ph":"X"`) duration events with
+//! microsecond timestamps. Hand-rolled serialization, same as the rest of
+//! the workspace (no serde offline).
+
+use std::fmt::Write as _;
+
+use crate::span::{AttrVal, SpanRecord};
+use crate::trace::QueryTrace;
+
+/// Escape `s` for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    escape_json(s, out);
+    out.push('"');
+}
+
+fn push_attr_val(v: &AttrVal, out: &mut String) {
+    match v {
+        AttrVal::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        AttrVal::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        AttrVal::Float(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        AttrVal::Float(f) => push_json_str(&f.to_string(), out),
+        AttrVal::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        AttrVal::Str(s) => push_json_str(s, out),
+    }
+}
+
+/// Nanoseconds rendered as fractional microseconds (`1234567` → `1234.567`),
+/// the unit Chrome trace events use for `ts`/`dur`.
+fn push_us(ns: u64, out: &mut String) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn push_event(span: &SpanRecord, out: &mut String) {
+    out.push_str("{\"name\":");
+    push_json_str(&span.name, out);
+    out.push_str(",\"cat\":");
+    push_json_str(span.cat, out);
+    out.push_str(",\"ph\":\"X\",\"ts\":");
+    push_us(span.start_ns, out);
+    out.push_str(",\"dur\":");
+    push_us(span.dur_ns, out);
+    let _ = write!(out, ",\"pid\":1,\"tid\":{}", span.tid);
+    let _ = write!(
+        out,
+        ",\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{}",
+        span.trace, span.id, span.parent
+    );
+    for (k, v) in &span.attrs {
+        out.push(',');
+        push_json_str(k, out);
+        out.push(':');
+        push_attr_val(v, out);
+    }
+    out.push_str("}}");
+}
+
+/// Render `trace` as a Chrome trace JSON document. Events are sorted by
+/// start timestamp (monotone `ts` across the array).
+pub fn chrome_trace_json(trace: &QueryTrace) -> String {
+    let mut spans: Vec<&SpanRecord> = trace.spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_ns, s.id));
+    let mut out = String::with_capacity(128 + 160 * spans.len());
+    out.push_str("{\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(span, &mut out);
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_id\":{},\"query_id\":{}}}}}",
+        trace.trace_id, trace.query_id
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn rec(id: u64, name: &'static str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: if id == 1 { 0 } else { 1 },
+            trace: 7,
+            name: Cow::Borrowed(name),
+            cat: "test",
+            tid: 1,
+            start_ns: start,
+            dur_ns: dur,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn events_come_out_sorted_by_start() {
+        let trace = QueryTrace {
+            trace_id: 7,
+            query_id: 3,
+            start_ns: 0,
+            dur_ns: 5_000,
+            spans: vec![rec(2, "late", 3_000, 500), rec(1, "query", 0, 5_000)],
+        };
+        let json = chrome_trace_json(&trace);
+        let late = json.find("\"late\"").unwrap();
+        let query = json.find("\"query\"").unwrap();
+        assert!(query < late, "root (earlier start) must serialize first");
+        assert!(json.contains("\"ts\":0.000"));
+        assert!(json.contains("\"ts\":3.000"));
+        assert!(json.contains("\"dur\":0.500"));
+        assert!(json.contains("\"query_id\":3"));
+    }
+
+    #[test]
+    fn attrs_and_escaping() {
+        let mut span = rec(1, "q", 1_234_567, 10);
+        span.attrs = vec![
+            ("rows", AttrVal::UInt(5)),
+            ("label", AttrVal::Str("a\"b\\c\nd".to_string())),
+            ("ratio", AttrVal::Float(0.5)),
+            ("nan", AttrVal::Float(f64::NAN)),
+            ("vec", AttrVal::Bool(true)),
+            ("delta", AttrVal::Int(-3)),
+        ];
+        let trace = QueryTrace {
+            trace_id: 7,
+            query_id: 1,
+            start_ns: 0,
+            dur_ns: 10,
+            spans: vec![span],
+        };
+        let json = chrome_trace_json(&trace);
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"rows\":5"));
+        assert!(json.contains("\"label\":\"a\\\"b\\\\c\\nd\""));
+        assert!(json.contains("\"ratio\":0.5"));
+        assert!(json.contains("\"nan\":\"NaN\""));
+        assert!(json.contains("\"vec\":true"));
+        assert!(json.contains("\"delta\":-3"));
+    }
+}

@@ -1,0 +1,96 @@
+//! # `ferry-telemetry` — the observability substrate
+//!
+//! Always-on, low-overhead, per-query attribution for the whole pipeline
+//! (compile → loop-lift → shred → optimize → codegen → execute), built
+//! in-house like every other dependency of this workspace (no crates.io
+//! access — see `shims/`). Three layers:
+//!
+//! * **Span tracing** ([`span`]): a query-scoped trace is a tree of
+//!   [`SpanRecord`]s with wall-clock start/duration and typed attributes.
+//!   Finished spans land in a *per-thread* buffer (one uncontended mutex
+//!   per thread — lock-cheap), tagged with a process-unique trace id, and
+//!   are drained into a bounded ring of recent [`QueryTrace`]s when the
+//!   trace ends. The ambient trace context propagates across the engine's
+//!   morsel/wavefront worker threads via [`current_ctx`]/[`enter_ctx`].
+//! * **Metrics** ([`metrics`]): named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s (p50/p95/p99) in a [`Registry`].
+//!   `ferry_engine::QueryStats` is a view assembled from this registry.
+//! * **Export** ([`export`]): [`chrome_trace_json`] renders a
+//!   [`QueryTrace`] as Chrome-trace-format JSON (`chrome://tracing`,
+//!   Perfetto), one complete (`"ph":"X"`) event per span.
+//!
+//! Everything is gated by [`TelemetryConfig`]: `Off` disables all
+//! accounting, `Counters` (the default) keeps the registry hot but never
+//! records spans, `Full` additionally traces every query. When no trace
+//! is active the cost of an instrumentation point is a single
+//! thread-local read.
+
+pub mod export;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use export::chrome_trace_json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use report::{OptReport, PassStat};
+pub use span::{
+    current_ctx, enter_ctx, now_ns, record_span, span, tracing_active, AttrVal, CtxGuard, Span,
+    SpanRecord, TraceCtx,
+};
+pub use trace::{QueryTrace, Telemetry, TraceGuard};
+
+/// How much the telemetry layer records.
+///
+/// The three levels are strictly ordered: everything `Counters` records,
+/// `Full` records too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TelemetryConfig {
+    /// No accounting at all: counters stay zero, no spans, no traces.
+    /// The near-zero-overhead mode the `telemetry_overhead` bench pins.
+    Off,
+    /// Metrics registry only (the default): counters and latency
+    /// histograms are maintained, spans are never recorded.
+    #[default]
+    Counters,
+    /// Counters plus span tracing: every query gets a trace in the ring,
+    /// exportable via [`chrome_trace_json`].
+    Full,
+}
+
+impl TelemetryConfig {
+    pub(crate) fn from_u8(v: u8) -> TelemetryConfig {
+        match v {
+            0 => TelemetryConfig::Off,
+            2 => TelemetryConfig::Full,
+            _ => TelemetryConfig::Counters,
+        }
+    }
+
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            TelemetryConfig::Off => 0,
+            TelemetryConfig::Counters => 1,
+            TelemetryConfig::Full => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_levels_are_ordered() {
+        assert!(TelemetryConfig::Off < TelemetryConfig::Counters);
+        assert!(TelemetryConfig::Counters < TelemetryConfig::Full);
+        assert_eq!(TelemetryConfig::default(), TelemetryConfig::Counters);
+        for c in [
+            TelemetryConfig::Off,
+            TelemetryConfig::Counters,
+            TelemetryConfig::Full,
+        ] {
+            assert_eq!(TelemetryConfig::from_u8(c.as_u8()), c);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! latency histograms.
+//!
+//! Handles are `Arc`s over atomics — hot paths fetch them once (e.g. at
+//! `Database` construction) and update without touching the registry
+//! lock again. Histograms bucket by bit length (`⌈log2⌉`), so 64 buckets
+//! cover the full `u64` range and recording is a `leading_zeros` plus one
+//! relaxed atomic add; quantiles are read back as the **upper bound** of
+//! the bucket holding the requested rank (an estimate within 2× of the
+//! true value, which is all a latency percentile needs).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `i` holds values of bit length
+/// `i`, i.e. `2^(i-1) <= v < 2^i` (bucket 0 holds exactly 0).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the bucket holding `v`: its bit length.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Largest value bucket `i` can hold (`2^i - 1`; bucket 0 holds only 0).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket containing the sample of that rank. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HIST_BUCKETS - 1)
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact mean of the recorded samples (the sum is exact even though
+    /// the buckets are logarithmic).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One named metric handle.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// The name → metric map. Handle acquisition locks; updates through the
+/// returned `Arc`s do not.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Get or create the counter `name`. Panics if `name` is already
+    /// registered as a different metric kind (names are code-controlled).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge `name` (same kind rules as [`counter`](Registry::counter)).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram `name` (same kind rules as [`counter`](Registry::counter)).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Every registered metric, by name.
+    pub fn metrics(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Zero every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        for (_, m) in self.metrics.lock().unwrap().iter() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Human-readable dump: one `name value` line per metric, histograms
+    /// with count/mean/p50/p95/p99.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in self.metrics() {
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(
+                        out,
+                        "{name} count={} mean={:.0} p50<={} p95<={} p99<={}",
+                        s.count,
+                        s.mean(),
+                        s.p50(),
+                        s.p95(),
+                        s.p99()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::default();
+        let c = r.counter("q");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("q").get(), 5);
+        let g = r.gauge("depth");
+        g.set(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::default();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn bucket_boundaries_are_bit_lengths() {
+        // bucket 0: {0}; bucket 1: {1}; bucket 2: {2,3}; bucket 3: {4..7}
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // every value lands in the bucket whose bounds contain it
+        for v in [0u64, 1, 2, 5, 100, 1023, 1024, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let h = Histogram::default();
+        // 100 samples of 5 (bucket 3, ub 7) and 1 sample of 1000
+        // (bucket 10, ub 1023)
+        for _ in 0..100 {
+            h.record(5);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.sum, 1500);
+        assert_eq!(s.p50(), 7);
+        assert_eq!(s.p95(), 7);
+        // rank ceil(0.99 * 101) = 100 → still the bucket of the 5s
+        assert_eq!(s.p99(), 7);
+        assert_eq!(s.quantile(1.0), 1023);
+        assert!((s.mean() - 1500.0 / 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0); // rank clamps to 1 → first sample
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn render_names_every_metric() {
+        let r = Registry::default();
+        r.counter("a.count").add(2);
+        r.histogram("b.latency_ns").record(100);
+        let text = r.render();
+        assert!(text.contains("a.count 2"));
+        assert!(text.contains("b.latency_ns count=1"));
+        assert!(text.contains("p95<="));
+    }
+}

@@ -1,0 +1,114 @@
+//! Optimizer reporting types.
+//!
+//! These live in `ferry-telemetry` (the bottom layer) rather than
+//! `ferry-optimizer` so that `ferry` core can render them in
+//! `explain`/`explain_analyze` without depending on the optimizer crate:
+//! the rewriter hook returns an `Option<OptReport>` alongside the
+//! rewritten plan, and the core stashes it in the compiled bundle.
+
+use std::fmt::Write as _;
+
+/// Accumulated work of one named optimizer pass across all rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name, e.g. `"cse"`, `"fold_constants"`.
+    pub pass: &'static str,
+    /// How many times the pass ran (once per round).
+    pub runs: u64,
+    /// How many runs actually changed the plan.
+    pub changed: u64,
+    /// Net change in reachable node count attributed to this pass
+    /// (negative = grew the plan, e.g. join recovery).
+    pub nodes_removed: i64,
+    /// Total wall-clock time spent in the pass.
+    pub elapsed_ns: u64,
+}
+
+/// What the optimizer did to one program: the report behind the
+/// `explain` output and the per-pass spans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptReport {
+    /// Reachable plan nodes before optimization.
+    pub nodes_before: usize,
+    /// Reachable plan nodes after optimization.
+    pub nodes_after: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Per-pass accumulation, in pass-pipeline order.
+    pub passes: Vec<PassStat>,
+}
+
+impl OptReport {
+    /// Total plan-changing pass runs (the "rewrites applied" number).
+    pub fn rewrites(&self) -> u64 {
+        self.passes.iter().map(|p| p.changed).sum()
+    }
+
+    /// Multi-line human rendering used by `explain`:
+    ///
+    /// ```text
+    /// optimizer: 12 -> 8 nodes in 2 rounds, 3 rewrites
+    ///   cse              runs=2 changed=1 nodes=-2 (13.1us)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "optimizer: {} -> {} nodes in {} round{}, {} rewrite{}",
+            self.nodes_before,
+            self.nodes_after,
+            self.rounds,
+            if self.rounds == 1 { "" } else { "s" },
+            self.rewrites(),
+            if self.rewrites() == 1 { "" } else { "s" },
+        );
+        for p in &self.passes {
+            let _ = writeln!(
+                out,
+                "  {:<16} runs={} changed={} nodes={:+} ({:.1}us)",
+                p.pass,
+                p.runs,
+                p.changed,
+                -p.nodes_removed,
+                p.elapsed_ns as f64 / 1_000.0,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_summarizes_passes() {
+        let rep = OptReport {
+            nodes_before: 12,
+            nodes_after: 8,
+            rounds: 2,
+            passes: vec![
+                PassStat {
+                    pass: "cse",
+                    runs: 2,
+                    changed: 1,
+                    nodes_removed: 2,
+                    elapsed_ns: 13_100,
+                },
+                PassStat {
+                    pass: "fold_constants",
+                    runs: 2,
+                    changed: 2,
+                    nodes_removed: 2,
+                    elapsed_ns: 900,
+                },
+            ],
+        };
+        assert_eq!(rep.rewrites(), 3);
+        let text = rep.render();
+        assert!(text.contains("12 -> 8 nodes in 2 rounds, 3 rewrites"));
+        assert!(text.contains("cse"));
+        assert!(text.contains("nodes=-2"));
+        assert!(text.contains("fold_constants"));
+    }
+}
