@@ -42,6 +42,6 @@ pub use chunk::ColVec;
 pub use expr::{AggFun, BinOp, Expr, UnOp};
 pub use infer::{infer_schema, validate, InferError};
 pub use plan::{Dir, JoinCols, Node, NodeId, Plan, SortSpec};
-pub use rel::{Rel, Row, RowBuf};
+pub use rel::{NoSuchColumn, Rel, Row, RowBuf};
 pub use schema::{ColName, Schema};
 pub use value::{Ty, Value};

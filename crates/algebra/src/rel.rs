@@ -23,6 +23,23 @@ use std::sync::{Arc, Mutex};
 /// through their selection vector / column map).
 pub type Row = Vec<Value>;
 
+/// A by-name column lookup ([`Rel::col_index`] / [`Rel::column`]) that
+/// failed: the relation's schema has no column of the requested name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoSuchColumn {
+    pub col: String,
+    /// Rendered schema of the relation, for the error message.
+    pub schema: String,
+}
+
+impl fmt::Display for NoSuchColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no such column {} in schema {}", self.col, self.schema)
+    }
+}
+
+impl std::error::Error for NoSuchColumn {}
+
 /// A shared, append-only row buffer plus its lazily-built columnar cache.
 ///
 /// This is the unit of storage sharing: scans, views, cache hits and plan
@@ -354,18 +371,23 @@ impl Rel {
         }
     }
 
-    /// Column accessor by name; panics if the column does not exist (plans
-    /// are schema-validated before execution).
-    pub fn col_index(&self, name: &str) -> usize {
-        self.schema
-            .index_of(name)
-            .unwrap_or_else(|| panic!("column {name} not in schema {}", self.schema))
+    /// Column index by name. Plans are schema-validated before execution,
+    /// so engine-internal callers expect `Ok` — but ad-hoc callers (tests,
+    /// result consumers) get a typed error instead of a panic.
+    pub fn col_index(&self, name: &str) -> Result<usize, NoSuchColumn> {
+        self.schema.index_of(name).ok_or_else(|| NoSuchColumn {
+            col: name.to_string(),
+            schema: self.schema.to_string(),
+        })
     }
 
     /// Iterate over the values of one column.
-    pub fn column<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Value> + 'a {
-        let idx = self.col_index(name);
-        (0..self.len()).map(move |i| self.cell(i, idx))
+    pub fn column<'a>(
+        &'a self,
+        name: &str,
+    ) -> Result<impl Iterator<Item = &'a Value> + 'a, NoSuchColumn> {
+        let idx = self.col_index(name)?;
+        Ok((0..self.len()).map(move |i| self.cell(i, idx)))
     }
 
     /// Sort rows by the given column indices ascending (stable). Used by
@@ -445,15 +467,26 @@ mod tests {
     #[test]
     fn column_iteration() {
         let r = sample();
-        let items: Vec<i64> = r.column("item").map(|v| v.as_int().unwrap()).collect();
+        let items: Vec<i64> = r
+            .column("item")
+            .unwrap()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(items, vec![20, 10]);
+        let err = r.column("nope").err().unwrap();
+        assert_eq!(err.col, "nope");
+        assert!(err.to_string().contains("no such column nope"));
     }
 
     #[test]
     fn sort_by_cols_orders_rows() {
         let mut r = sample();
         r.sort_by_cols(&[0]);
-        let pos: Vec<u64> = r.column("pos").map(|v| v.as_nat().unwrap()).collect();
+        let pos: Vec<u64> = r
+            .column("pos")
+            .unwrap()
+            .map(|v| v.as_nat().unwrap())
+            .collect();
         assert_eq!(pos, vec![1, 2]);
     }
 
@@ -548,7 +581,8 @@ mod tests {
         let r = sample();
         let renamed = r.with_schema(Schema::of(&[("p", Ty::Nat), ("i", Ty::Int)]));
         assert!(Arc::ptr_eq(r.buffer(), renamed.buffer()));
-        assert_eq!(renamed.col_index("i"), 1);
+        assert_eq!(renamed.col_index("i"), Ok(1));
+        assert!(renamed.col_index("item").is_err()); // the old name is gone
         assert_eq!(renamed.cell(1, 1), &Value::Int(10));
         assert!(renamed.is_dense());
     }

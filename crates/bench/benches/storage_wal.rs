@@ -1,0 +1,151 @@
+//! Durability-layer micro-benchmarks: WAL append throughput under each
+//! fsync policy, and recovery by log replay vs. snapshot restore. Not a
+//! paper artefact — a regression guard for the storage substrate.
+//!
+//! All benches run over the in-memory `FaultFs` so they measure the
+//! codec + framing + policy bookkeeping, not the host's disk; real-disk
+//! latency is whatever `fsync(2)` costs and is not a property of this
+//! code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferry_algebra::{Row, Schema, Ty, Value};
+use ferry_storage::{DurabilityConfig, FaultFs, FsyncPolicy, Storage, Vfs, WalRecord};
+use ferry_telemetry::Registry;
+use std::sync::Arc;
+
+/// Number of insert records appended / replayed per iteration.
+const RECORDS: usize = 1_000;
+/// Rows per insert record.
+const ROWS: usize = 8;
+
+fn schema() -> Schema {
+    Schema::of(&[("id", Ty::Int), ("name", Ty::Str), ("qty", Ty::Int)])
+}
+
+fn rows(tag: usize) -> Vec<Row> {
+    (0..ROWS)
+        .map(|j| {
+            vec![
+                Value::Int((tag * ROWS + j) as i64),
+                Value::str(format!("name_{tag}_{j}")),
+                Value::Int((j * 3) as i64),
+            ]
+        })
+        .collect()
+}
+
+fn open(vfs: &Arc<FaultFs>, fsync: FsyncPolicy) -> Storage {
+    Storage::open(
+        vfs.clone() as Arc<dyn Vfs>,
+        DurabilityConfig::with_fsync(fsync),
+        &Registry::default(),
+    )
+    .expect("open")
+    .storage
+}
+
+/// A log holding the whole workload: `create_table` + RECORDS inserts.
+fn prebuilt_log() -> Arc<FaultFs> {
+    let vfs = Arc::new(FaultFs::new());
+    let mut storage = open(&vfs, FsyncPolicy::Os);
+    storage
+        .log(&WalRecord::CreateTable {
+            name: "bench".into(),
+            schema: schema(),
+            keys: vec!["id".into()],
+        })
+        .unwrap();
+    for i in 0..RECORDS {
+        storage
+            .log(&WalRecord::Insert {
+                table: "bench".into(),
+                rows: rows(i),
+            })
+            .unwrap();
+    }
+    vfs
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+
+    // append throughput per fsync policy (FaultFs: the sync itself is a
+    // counter bump, so the policies differ only in bookkeeping)
+    for (label, policy) in [
+        ("wal_append_always", FsyncPolicy::Always),
+        ("wal_append_everyn8", FsyncPolicy::EveryN(8)),
+        ("wal_append_os", FsyncPolicy::Os),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, RECORDS), &RECORDS, |bch, _| {
+            bch.iter(|| {
+                let vfs = Arc::new(FaultFs::new());
+                let mut storage = open(&vfs, policy);
+                for i in 0..RECORDS {
+                    storage
+                        .log(&WalRecord::Insert {
+                            table: "bench".into(),
+                            rows: rows(i),
+                        })
+                        .expect("append");
+                }
+                storage.sync().expect("sync");
+                vfs.written_len(ferry_storage::WAL_FILE)
+            })
+        });
+    }
+
+    // crash recovery: decode + CRC-check + apply the full log
+    {
+        let vfs = prebuilt_log();
+        group.bench_with_input(
+            BenchmarkId::new("recover_replay", RECORDS),
+            &RECORDS,
+            |bch, _| {
+                bch.iter(|| {
+                    let r = Storage::open(
+                        vfs.clone() as Arc<dyn Vfs>,
+                        DurabilityConfig::default(),
+                        &Registry::default(),
+                    )
+                    .expect("recover");
+                    assert_eq!(r.report.wal_records_applied, RECORDS + 1);
+                    r.tables.len()
+                })
+            },
+        );
+    }
+
+    // the same state recovered from a snapshot instead of replay
+    {
+        let vfs = prebuilt_log();
+        let mut storage = open(&vfs, FsyncPolicy::Os);
+        let recovered = Storage::open(
+            vfs.clone() as Arc<dyn Vfs>,
+            DurabilityConfig::default(),
+            &Registry::default(),
+        )
+        .expect("recover");
+        storage.checkpoint(&recovered.tables).expect("checkpoint");
+        group.bench_with_input(
+            BenchmarkId::new("recover_snapshot", RECORDS),
+            &RECORDS,
+            |bch, _| {
+                bch.iter(|| {
+                    let r = Storage::open(
+                        vfs.clone() as Arc<dyn Vfs>,
+                        DurabilityConfig::default(),
+                        &Registry::default(),
+                    )
+                    .expect("recover");
+                    assert_eq!(r.report.wal_records_applied, 0);
+                    r.tables.len()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

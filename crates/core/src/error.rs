@@ -21,6 +21,10 @@ pub enum FerryError {
     Partial(String),
     /// Error reported by the database engine.
     Engine(String),
+    /// Error reported by the durability layer (WAL append, snapshot,
+    /// crash recovery) of a database opened with
+    /// [`Connection::open_durable`](crate::runtime::Connection::open_durable).
+    Storage(String),
     /// The tabular results could not be decoded into the result type.
     Decode(String),
 }
@@ -33,6 +37,7 @@ impl fmt::Display for FerryError {
             FerryError::Table(m) => write!(f, "table error: {m}"),
             FerryError::Partial(m) => write!(f, "partial operation: {m}"),
             FerryError::Engine(m) => write!(f, "engine error: {m}"),
+            FerryError::Storage(m) => write!(f, "storage error: {m}"),
             FerryError::Decode(m) => write!(f, "decode error: {m}"),
         }
     }
@@ -42,6 +47,9 @@ impl std::error::Error for FerryError {}
 
 impl From<ferry_engine::EngineError> for FerryError {
     fn from(e: ferry_engine::EngineError) -> Self {
-        FerryError::Engine(e.to_string())
+        match e {
+            ferry_engine::EngineError::Storage(s) => FerryError::Storage(s.to_string()),
+            other => FerryError::Engine(other.to_string()),
+        }
     }
 }

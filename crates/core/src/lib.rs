@@ -75,7 +75,10 @@ pub mod types;
 
 pub use backend::{AlgebraBackend, Backend};
 pub use error::FerryError;
-pub use ferry_engine::{NodeProfile, ParConfig, ProfileRing, QueryProfile, QueryStats};
+pub use ferry_engine::{
+    DurabilityConfig, FsyncPolicy, NodeProfile, ParConfig, ProfileRing, QueryProfile, QueryStats,
+    RecoveryReport,
+};
 pub use ferry_telemetry::{
     chrome_trace_json, OptReport, PassStat, QueryTrace, Telemetry, TelemetryConfig,
 };
@@ -91,5 +94,6 @@ pub mod prelude {
     pub use crate::qa::{toq, Q, QA, TA};
     pub use crate::runtime::{Connection, Prepared};
     pub use crate::FerryError;
+    pub use ferry_engine::{DurabilityConfig, FsyncPolicy};
     pub use ferry_telemetry::TelemetryConfig;
 }

@@ -116,6 +116,24 @@ impl Connection {
         }
     }
 
+    /// Open (or create) a **durable** database rooted at `path` and wrap
+    /// it in a connection: the catalog is recovered from its snapshot +
+    /// write-ahead log, and every subsequent mutation through this
+    /// connection is logged there before being acknowledged.
+    pub fn open_durable(
+        path: impl AsRef<std::path::Path>,
+        config: ferry_engine::DurabilityConfig,
+    ) -> Result<Connection, FerryError> {
+        Ok(Connection::new(Database::open(path, config)?))
+    }
+
+    /// Snapshot the catalog and compact the write-ahead log. Returns the
+    /// LSN the snapshot covers (0 for an in-memory database, where this
+    /// is a no-op).
+    pub fn checkpoint(&self) -> Result<u64, FerryError> {
+        Ok(self.db.write().unwrap().checkpoint()?)
+    }
+
     /// Install a plan rewriter (e.g. `ferry_optimizer::rewriter()`)
     /// applied once, at prepare time, to every compiled bundle. Cached
     /// bundles are already rewritten — a cache hit skips the optimizer

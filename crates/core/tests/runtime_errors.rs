@@ -22,7 +22,8 @@ fn missing_key_column_is_an_error_not_a_panic() {
             keys: vec!["zzz".to_string()],
             rows: std::sync::Arc::new(RowBuf::new(vec![vec![Value::Int(1)]])),
         },
-    );
+    )
+    .unwrap();
     let conn = Connection::new(db);
 
     let err = conn.interpreter_tables().unwrap_err();
@@ -51,7 +52,8 @@ fn non_atomic_cell_is_an_error_not_a_panic() {
             keys: vec!["a".to_string()],
             rows: std::sync::Arc::new(RowBuf::new(vec![vec![Value::Nat(7)]])),
         },
-    );
+    )
+    .unwrap();
     let conn = Connection::new(db);
 
     let err = conn.interpreter_tables().unwrap_err();

@@ -5,8 +5,10 @@ use crate::exec;
 use crate::par::ParConfig;
 use crate::stats::{ProfileRing, QueryProfile, QueryStats};
 use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema};
+use ferry_storage::{DurabilityConfig, RecoveryReport, StdFs, Storage, TableImage, Vfs, WalRecord};
 use ferry_telemetry::{Counter, Histogram, Registry, Telemetry, TelemetryConfig};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -57,6 +59,13 @@ pub struct Database {
     /// the runtime's plan cache keys on this version to invalidate
     /// bundles exactly when recompilation could change them.
     schema_version: u64,
+    /// The durability substrate, when this database was opened with
+    /// [`Database::open`]. `None` = in-memory only (the default). Every
+    /// catalog mutation is appended to its WAL **before** being applied
+    /// in memory (log-before-ack).
+    storage: Option<Storage>,
+    /// What recovery found and did, for databases opened durably.
+    recovery: Option<RecoveryReport>,
 }
 
 /// The engine's named metrics, resolved once per database. Counter names
@@ -80,19 +89,26 @@ struct EngineMetrics {
 
 impl EngineMetrics {
     fn new(registry: &Registry) -> EngineMetrics {
+        // these names are code-controlled, so a kind conflict cannot
+        // happen from within the workspace; if a foreign registrant ever
+        // claims one as a different kind, fall back to a detached handle
+        // (the numbers are lost, the engine keeps running)
+        let counter = |name: &str| registry.counter(name).unwrap_or_default();
         EngineMetrics {
-            queries: registry.counter("engine.queries"),
-            rows_out: registry.counter("engine.rows_out"),
-            nodes_evaluated: registry.counter("engine.nodes_evaluated"),
-            rows_produced: registry.counter("engine.rows_produced"),
-            cache_hits: registry.counter("runtime.cache_hits"),
-            cache_misses: registry.counter("runtime.cache_misses"),
-            morsel_tasks: registry.counter("engine.morsel_tasks"),
-            par_nodes: registry.counter("engine.par_nodes"),
-            par_waves: registry.counter("engine.par_waves"),
-            vec_nodes: registry.counter("engine.vec_nodes"),
-            kernel_batches: registry.counter("engine.kernel_batches"),
-            query_latency_ns: registry.histogram("engine.query_latency_ns"),
+            queries: counter("engine.queries"),
+            rows_out: counter("engine.rows_out"),
+            nodes_evaluated: counter("engine.nodes_evaluated"),
+            rows_produced: counter("engine.rows_produced"),
+            cache_hits: counter("runtime.cache_hits"),
+            cache_misses: counter("runtime.cache_misses"),
+            morsel_tasks: counter("engine.morsel_tasks"),
+            par_nodes: counter("engine.par_nodes"),
+            par_waves: counter("engine.par_waves"),
+            vec_nodes: counter("engine.vec_nodes"),
+            kernel_batches: counter("engine.kernel_batches"),
+            query_latency_ns: registry
+                .histogram("engine.query_latency_ns")
+                .unwrap_or_default(),
         }
     }
 }
@@ -121,7 +137,105 @@ impl Database {
             profiles: Mutex::new(ProfileRing::default()),
             next_query_id: AtomicU64::new(0),
             schema_version: 0,
+            storage: None,
+            recovery: None,
         }
+    }
+
+    /// Open (or create) a **durable** database rooted at `path`: recover
+    /// the catalog from its snapshot + WAL, then log every subsequent
+    /// mutation there before acknowledging it.
+    pub fn open(path: impl AsRef<Path>, config: DurabilityConfig) -> Result<Database, EngineError> {
+        let vfs: Arc<dyn Vfs> = Arc::new(StdFs::new(path.as_ref())?);
+        Database::open_with_vfs(vfs, config)
+    }
+
+    /// [`Database::open`] over an explicit VFS — the entry point the
+    /// fault-injection harness uses with a `ferry_storage::FaultFs`.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        config: DurabilityConfig,
+    ) -> Result<Database, EngineError> {
+        let mut db = Database::new();
+        let recovered = Storage::open(vfs, config, db.telemetry.registry())?;
+        for img in recovered.tables {
+            // recovered tables are installed directly (they were validated
+            // when first logged); each install bumps `schema_version`, so
+            // any plan cache keyed on a fresh database misses as it must
+            db.tables.insert(
+                img.name,
+                BaseTable {
+                    schema: img.schema,
+                    keys: img.keys,
+                    rows: Arc::new(RowBuf::new(img.rows)),
+                },
+            );
+            db.schema_version += 1;
+        }
+        db.storage = Some(recovered.storage);
+        db.recovery = Some(recovered.report);
+        Ok(db)
+    }
+
+    /// Is this database backed by durable storage?
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The recovery timeline of a durable database (what the snapshot
+    /// provided, how many WAL records were replayed, torn-tail repair).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Write a snapshot of the current catalog and compact the WAL.
+    /// No-op returning 0 for in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
+        let Some(storage) = self.storage.as_mut() else {
+            return Ok(0);
+        };
+        let mut images: Vec<TableImage> = self
+            .tables
+            .iter()
+            .map(|(name, t)| TableImage {
+                name: name.clone(),
+                schema: t.schema.clone(),
+                keys: t.keys.clone(),
+                rows: t.rows.rows().to_vec(),
+            })
+            .collect();
+        // deterministic snapshot bytes regardless of HashMap order
+        images.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(storage.checkpoint(&images)?)
+    }
+
+    /// Force-fsync the WAL regardless of the configured policy (shutdown
+    /// barrier). No-op for in-memory databases.
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        if let Some(storage) = self.storage.as_mut() {
+            storage.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Append `rec` to the WAL (durable per the fsync policy once this
+    /// returns), then checkpoint if the configured WAL budget is spent.
+    /// Must be called **before** the in-memory mutation is applied.
+    fn log_durable(&mut self, rec: &WalRecord) -> Result<(), EngineError> {
+        if let Some(storage) = self.storage.as_mut() {
+            storage.log(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Run the auto-checkpoint if `checkpoint_every` says the WAL budget
+    /// is spent. Called **after** the mutation is applied in memory, so
+    /// the snapshot covers it.
+    fn maybe_checkpoint(&mut self) -> Result<(), EngineError> {
+        if self.storage.as_ref().is_some_and(Storage::checkpoint_due) {
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// This database's telemetry hub (registry, trace ring, config).
@@ -170,16 +284,22 @@ impl Database {
                 });
             }
         }
+        let keys: Vec<String> = keys.into_iter().map(String::from).collect();
+        self.log_durable(&WalRecord::CreateTable {
+            name: name.clone(),
+            schema: schema.clone(),
+            keys: keys.clone(),
+        })?;
         self.tables.insert(
             name,
             BaseTable {
                 schema,
-                keys: keys.into_iter().map(String::from).collect(),
+                keys,
                 rows: Arc::new(RowBuf::default()),
             },
         );
         self.schema_version += 1;
-        Ok(())
+        self.maybe_checkpoint()
     }
 
     /// Install a table **without** the `create_table` validation — the
@@ -187,9 +307,25 @@ impl Database {
     /// the invariants (`keys ⊆ schema`, row cells typed per schema);
     /// consumers such as `Connection::interpreter_tables` must therefore
     /// report violations as errors rather than assume them impossible.
-    pub fn install_table(&mut self, name: impl Into<String>, table: BaseTable) {
-        self.tables.insert(name.into(), table);
+    /// On a durable database the full table (rows included) is WAL-logged
+    /// before installation, which is why this can fail.
+    pub fn install_table(
+        &mut self,
+        name: impl Into<String>,
+        table: BaseTable,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if self.storage.is_some() {
+            self.log_durable(&WalRecord::InstallTable {
+                name: name.clone(),
+                schema: table.schema.clone(),
+                keys: table.keys.clone(),
+                rows: table.rows.rows().to_vec(),
+            })?;
+        }
+        self.tables.insert(name, table);
         self.schema_version += 1;
+        self.maybe_checkpoint()
     }
 
     /// The current schema version (see the field docs).
@@ -212,11 +348,14 @@ impl Database {
         }
     }
 
-    /// Append rows to a base table (types are checked).
+    /// Append rows to a base table (types are checked). On a durable
+    /// database the rows are WAL-logged after validation and **before**
+    /// the in-memory append — a failed append leaves both the log and the
+    /// catalog unchanged.
     pub fn insert(&mut self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
         let table = self
             .tables
-            .get_mut(name)
+            .get(name)
             .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))?;
         for row in &rows {
             if row.len() != table.schema.len() {
@@ -238,9 +377,20 @@ impl Database {
                 }
             }
         }
+        // move the rows through the WAL record rather than cloning them —
+        // the in-memory path pays nothing for durability support
+        let rec = WalRecord::Insert {
+            table: name.to_string(),
+            rows,
+        };
+        self.log_durable(&rec)?;
+        let WalRecord::Insert { rows, .. } = rec else {
+            unreachable!()
+        };
+        let table = self.tables.get_mut(name).expect("validated above");
         // extend_rows also invalidates the buffer's columnar chunk cache
         Arc::make_mut(&mut table.rows).extend_rows(rows);
-        Ok(())
+        self.maybe_checkpoint()
     }
 
     pub fn table(&self, name: &str) -> Option<&BaseTable> {

@@ -17,6 +17,10 @@ pub enum EngineError {
     NoSuchColumn { col: String, schema: String },
     /// A runtime evaluation error (division by zero, numeric overflow, …).
     Eval(String),
+    /// The durability layer failed (WAL append, fsync, recovery). The
+    /// in-memory catalog is unchanged when a mutation reports this —
+    /// mutations log before they apply.
+    Storage(ferry_storage::StorageError),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +35,7 @@ impl fmt::Display for EngineError {
                 write!(f, "no such column {col} in schema {schema}")
             }
             EngineError::Eval(m) => write!(f, "evaluation error: {m}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -40,5 +45,11 @@ impl std::error::Error for EngineError {}
 impl From<InferError> for EngineError {
     fn from(e: InferError) -> Self {
         EngineError::Schema(e)
+    }
+}
+
+impl From<ferry_storage::StorageError> for EngineError {
+    fn from(e: ferry_storage::StorageError) -> Self {
+        EngineError::Storage(e)
     }
 }

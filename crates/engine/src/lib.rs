@@ -57,6 +57,7 @@ pub mod vec_eval;
 
 pub use catalog::{BaseTable, Database};
 pub use error::EngineError;
+pub use ferry_storage::{DurabilityConfig, FsyncPolicy, RecoveryReport, StorageError};
 pub use ferry_telemetry::{Telemetry, TelemetryConfig};
 pub use par::{ParConfig, VecMode};
 pub use stats::{ExecPath, NodeProfile, ProfileRing, QueryProfile, QueryStats, PROFILE_RING_CAP};

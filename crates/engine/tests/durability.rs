@@ -1,0 +1,200 @@
+//! Engine-level durability: `Database::open` / `open_with_vfs` round
+//! trips, crash recovery of acked mutations, and WAL compaction — the
+//! wiring above `ferry-storage` that the storage crate's own fault suite
+//! cannot see.
+
+use ferry_algebra::{Row, RowBuf, Schema, Ty, Value};
+use ferry_engine::{BaseTable, Database, DurabilityConfig, EngineError, FsyncPolicy};
+use ferry_storage::{Fault, FaultFs, Vfs, WAL_FILE};
+use std::sync::Arc;
+
+fn v(i: i64) -> Value {
+    Value::Int(i)
+}
+
+fn s(x: &str) -> Value {
+    Value::str(x)
+}
+
+fn config() -> DurabilityConfig {
+    DurabilityConfig::with_fsync(FsyncPolicy::Always)
+}
+
+fn open(vfs: &Arc<FaultFs>, config: DurabilityConfig) -> Result<Database, EngineError> {
+    Database::open_with_vfs(vfs.clone() as Arc<dyn Vfs>, config)
+}
+
+fn seed_rows() -> Vec<Row> {
+    vec![
+        vec![v(1), s("ada")],
+        vec![v(2), s("bob")],
+        vec![v(3), s("cy")],
+    ]
+}
+
+fn create_people(db: &mut Database) {
+    db.create_table(
+        "people",
+        Schema::of(&[("id", Ty::Int), ("name", Ty::Str)]),
+        vec!["id"],
+    )
+    .unwrap();
+    db.insert("people", seed_rows()).unwrap();
+}
+
+#[test]
+fn durable_roundtrip_restores_tables_and_bumps_schema_version() {
+    let vfs = Arc::new(FaultFs::new());
+    {
+        let mut db = open(&vfs, config()).unwrap();
+        assert!(db.is_durable());
+        assert_eq!(db.schema_version(), 0, "fresh store recovered nothing");
+        create_people(&mut db);
+        db.create_table("empty", Schema::of(&[("x", Ty::Int)]), vec!["x"])
+            .unwrap();
+    }
+    let db = open(&vfs, config()).unwrap();
+    assert_eq!(db.table("people").unwrap().rows.rows(), &seed_rows()[..]);
+    assert_eq!(db.table("people").unwrap().keys, vec!["id".to_string()]);
+    assert!(db.table("empty").unwrap().rows.rows().is_empty());
+    // one bump per recovered table, so plan caches keyed on a fresh
+    // database cannot serve stale plans
+    assert_eq!(db.schema_version(), 2);
+    let report = db.recovery_report().unwrap();
+    assert_eq!(report.wal_records_applied, 3);
+    assert!(report.render().contains("recovery"));
+}
+
+#[test]
+fn acked_mutations_survive_a_torn_write_crash() {
+    let vfs = Arc::new(FaultFs::new());
+    let mut db = open(&vfs, config()).unwrap();
+    create_people(&mut db);
+    // tear the log mid-way through some future insert
+    let at = vfs.written_len(WAL_FILE) + 40;
+    vfs.inject(Fault::TornAppend {
+        path: WAL_FILE.into(),
+        at,
+    });
+    let mut acked = 3usize;
+    let crashed = loop {
+        match db.insert("people", vec![vec![v(acked as i64 + 1), s("extra")]]) {
+            Ok(()) => acked += 1,
+            Err(EngineError::Storage(_)) => break true,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        if acked > 100 {
+            break false;
+        }
+    };
+    assert!(crashed, "torn-write fault never fired");
+    drop(db);
+    vfs.crash();
+    let db = open(&vfs, config()).unwrap();
+    // fsync policy Always: every acked insert is durable, the torn one
+    // is truncated away at recovery
+    assert_eq!(db.table("people").unwrap().rows.rows().len(), acked);
+    assert!(db
+        .recovery_report()
+        .unwrap()
+        .torn_tail_repaired_at
+        .is_some());
+}
+
+#[test]
+fn checkpoint_compacts_the_wal_and_recovery_uses_the_snapshot() {
+    let vfs = Arc::new(FaultFs::new());
+    let mut db = open(&vfs, config()).unwrap();
+    create_people(&mut db);
+    let before = vfs.written_len(WAL_FILE);
+    let covered_lsn = db.checkpoint().unwrap();
+    assert_eq!(covered_lsn, 2, "create + insert were logged");
+    assert!(
+        vfs.written_len(WAL_FILE) < before,
+        "checkpoint must truncate the log"
+    );
+    // a post-checkpoint mutation lands in the WAL tail
+    db.insert("people", vec![vec![v(4), s("dan")]]).unwrap();
+    drop(db);
+    let db = open(&vfs, config()).unwrap();
+    assert_eq!(db.table("people").unwrap().rows.rows().len(), 4);
+    let report = db.recovery_report().unwrap();
+    assert_eq!(report.snapshot_tables, 1);
+    assert_eq!(report.wal_records_applied, 1, "only the tail is replayed");
+}
+
+#[test]
+fn automatic_checkpoint_fires_on_the_configured_budget() {
+    let vfs = Arc::new(FaultFs::new());
+    let mut db = open(
+        &vfs,
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: Some(3),
+        },
+    )
+    .unwrap();
+    create_people(&mut db); // 2 records: create + insert
+    db.insert("people", vec![vec![v(4), s("dan")]]).unwrap(); // 3rd: budget spent
+    assert_eq!(
+        vfs.written_len(WAL_FILE),
+        8,
+        "log compacted back to its magic"
+    );
+    drop(db);
+    let db = open(&vfs, config()).unwrap();
+    assert_eq!(db.table("people").unwrap().rows.rows().len(), 4);
+    assert_eq!(db.recovery_report().unwrap().wal_records_applied, 0);
+}
+
+#[test]
+fn install_table_is_logged_with_its_rows() {
+    let vfs = Arc::new(FaultFs::new());
+    {
+        let mut db = open(&vfs, config()).unwrap();
+        db.install_table(
+            "imported",
+            BaseTable {
+                schema: Schema::of(&[("n", Ty::Int)]),
+                keys: vec!["n".into()],
+                rows: Arc::new(RowBuf::new(vec![vec![v(7)], vec![v(8)]])),
+            },
+        )
+        .unwrap();
+    }
+    let db = open(&vfs, config()).unwrap();
+    assert_eq!(
+        db.table("imported").unwrap().rows.rows(),
+        &[vec![v(7)], vec![v(8)]]
+    );
+}
+
+#[test]
+fn in_memory_database_is_unaffected_by_the_durability_layer() {
+    let mut db = Database::new();
+    assert!(!db.is_durable());
+    assert!(db.recovery_report().is_none());
+    create_people(&mut db);
+    assert_eq!(db.checkpoint().unwrap(), 0, "checkpoint is a no-op");
+    db.sync().unwrap();
+}
+
+#[test]
+fn std_fs_directory_roundtrip() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("engine_durability_rt");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut db = Database::open(&dir, config()).unwrap();
+        create_people(&mut db);
+    }
+    {
+        let mut db = Database::open(&dir, config()).unwrap();
+        assert_eq!(db.table("people").unwrap().rows.rows(), &seed_rows()[..]);
+        db.checkpoint().unwrap();
+        db.insert("people", vec![vec![v(4), s("dan")]]).unwrap();
+    }
+    let db = Database::open(&dir, config()).unwrap();
+    assert_eq!(db.table("people").unwrap().rows.rows().len(), 4);
+    assert_eq!(db.recovery_report().unwrap().snapshot_tables, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -102,7 +102,11 @@ fn select_compute_project() {
         Schema::of(&[("who", Ty::Str), ("bonus", Ty::Int)])
     );
     assert_eq!(r.len(), 3);
-    let bonuses: Vec<i64> = r.column("bonus").map(|x| x.as_int().unwrap()).collect();
+    let bonuses: Vec<i64> = r
+        .column("bonus")
+        .unwrap()
+        .map(|x| x.as_int().unwrap())
+        .collect();
     assert_eq!(bonuses, vec![9, 7, 7]);
 }
 
@@ -113,7 +117,7 @@ fn attach_appends_constant() {
     let t = emp_ref(&mut p);
     let a = p.attach(t, "one", Value::Nat(1));
     let r = exec(&db, &p, a);
-    assert!(r.column("one").all(|x| *x == Value::Nat(1)));
+    assert!(r.column("one").unwrap().all(|x| *x == Value::Nat(1)));
 }
 
 #[test]
@@ -124,7 +128,11 @@ fn distinct_keeps_first_occurrence() {
     let d0 = p.project(t, vec![(cn("dept"), cn("dept"))]);
     let d = p.distinct(d0);
     let r = exec(&db, &p, d);
-    let depts: Vec<&str> = r.column("dept").map(|x| x.as_str().unwrap()).collect();
+    let depts: Vec<&str> = r
+        .column("dept")
+        .unwrap()
+        .map(|x| x.as_str().unwrap())
+        .collect();
     assert_eq!(depts, vec!["eng", "ops"]);
 }
 
@@ -151,7 +159,11 @@ fn difference_is_set_semantics() {
     let b = p.lit(Schema::of(&[("x", Ty::Int)]), vec![vec![v(2)]]);
     let d = p.difference(a, b);
     let r = exec(&db, &p, d);
-    let xs: Vec<i64> = r.column("x").map(|x| x.as_int().unwrap()).collect();
+    let xs: Vec<i64> = r
+        .column("x")
+        .unwrap()
+        .map(|x| x.as_int().unwrap())
+        .collect();
     assert_eq!(xs, vec![1, 3]); // distinct, 2 removed
 }
 
@@ -200,9 +212,17 @@ fn semi_and_anti_join() {
     let aj = p.anti_join(a, b, JoinCols::single("x", "y"));
     let rs = exec(&db, &p, sj);
     let ra = exec(&db, &p, aj);
-    let xs: Vec<i64> = rs.column("x").map(|x| x.as_int().unwrap()).collect();
+    let xs: Vec<i64> = rs
+        .column("x")
+        .unwrap()
+        .map(|x| x.as_int().unwrap())
+        .collect();
     assert_eq!(xs, vec![2]); // no duplication from the two matches
-    let ys: Vec<i64> = ra.column("x").map(|x| x.as_int().unwrap()).collect();
+    let ys: Vec<i64> = ra
+        .column("x")
+        .unwrap()
+        .map(|x| x.as_int().unwrap())
+        .collect();
     assert_eq!(ys, vec![1, 3]);
 }
 
@@ -268,7 +288,11 @@ fn dense_rank_assigns_surrogates() {
         vec![cn("name"), cn("grp")],
     );
     let r = exec(&db, &p, ser);
-    let grp: Vec<u64> = r.column("grp").map(|x| x.as_nat().unwrap()).collect();
+    let grp: Vec<u64> = r
+        .column("grp")
+        .unwrap()
+        .map(|x| x.as_nat().unwrap())
+        .collect();
     // ada,bob,dan in eng (group 1), cy in ops (group 2)
     assert_eq!(grp, vec![1, 1, 2, 1]);
 }
@@ -438,7 +462,11 @@ fn serialize_orders_and_projects() {
         vec![cn("name")],
     );
     let r = exec(&db, &p, ser);
-    let names: Vec<&str> = r.column("name").map(|x| x.as_str().unwrap()).collect();
+    let names: Vec<&str> = r
+        .column("name")
+        .unwrap()
+        .map(|x| x.as_str().unwrap())
+        .collect();
     assert_eq!(names, vec!["ada", "bob", "dan", "cy"]);
 }
 

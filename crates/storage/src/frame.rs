@@ -1,0 +1,243 @@
+//! Checksummed, length-prefixed frames — the unit of torn-write detection.
+//!
+//! Both durable files (WAL and snapshot) are a fixed 8-byte header
+//! followed by a sequence of frames:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The CRC (IEEE 802.3, implemented in-house — no crates.io access)
+//! covers the payload *and* the length prefix, so a bit flip in `len` is
+//! detected as a checksum failure rather than sending the scanner to a
+//! garbage offset.
+//!
+//! [`scan`] walks a byte buffer and classifies how it ends:
+//!
+//! * **clean** — every frame checks out to the last byte;
+//! * **torn** — the final frame is incomplete or fails its CRC and
+//!   nothing valid follows: the signature of a crash mid-append. The
+//!   caller truncates the file back to the last good frame;
+//! * **corrupt** — a frame fails its CRC but a *valid* frame follows it.
+//!   That is not a torn tail, it is data loss in the middle of the log;
+//!   recovery must fail with a typed error rather than silently drop
+//!   committed suffixes.
+
+use crate::StorageError;
+
+/// Bytes of the `[len][crc]` prefix of every frame.
+pub const FRAME_HEADER: usize = 8;
+
+/// Hard ceiling on one frame's payload (64 MiB). A length beyond this is
+/// treated as corruption — it bounds allocation on hostile/garbled input.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// CRC-32 (IEEE, reflected, polynomial 0xEDB88320), table-driven. The
+/// table is built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `bytes`, continuing from `seed` (pass 0 to start).
+pub fn crc32(seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append one frame wrapping `payload` onto `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = payload.len() as u32;
+    debug_assert!(len <= MAX_FRAME_LEN, "frame payload over MAX_FRAME_LEN");
+    let crc = crc32(crc32(0, &len.to_le_bytes()), payload);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// How a frame sequence ends (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tail {
+    /// All bytes accounted for by valid frames.
+    Clean,
+    /// Invalid/incomplete final frame starting at `offset` (relative to
+    /// the start of the scanned region); bytes before it are good.
+    Torn { offset: u64 },
+}
+
+/// The payloads of a frame sequence plus its tail classification.
+#[derive(Debug)]
+pub struct ScanOutcome<'a> {
+    pub frames: Vec<&'a [u8]>,
+    pub tail: Tail,
+    /// Bytes covered by valid frames (torn tails start here).
+    pub good_bytes: u64,
+}
+
+/// Does a frame with a valid checksum start at `buf[at..]`?
+fn valid_frame_at(buf: &[u8], at: usize) -> bool {
+    if buf.len() - at < FRAME_HEADER {
+        return false;
+    }
+    let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return false;
+    }
+    let len = len as usize;
+    if buf.len() - at - FRAME_HEADER < len {
+        return false;
+    }
+    let stored = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap());
+    let payload = &buf[at + FRAME_HEADER..at + FRAME_HEADER + len];
+    crc32(crc32(0, &(len as u32).to_le_bytes()), payload) == stored
+}
+
+/// Walk `buf` frame by frame. Returns the valid payload sequence and the
+/// tail classification; mid-log corruption (an invalid frame with a valid
+/// frame after it) is a hard [`StorageError::Corrupt`].
+pub fn scan(buf: &[u8]) -> Result<ScanOutcome<'_>, StorageError> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if valid_frame_at(buf, pos) {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            frames.push(&buf[pos + FRAME_HEADER..pos + FRAME_HEADER + len]);
+            pos += FRAME_HEADER + len;
+            continue;
+        }
+        // The frame at `pos` is bad. Torn tail or mid-log corruption?
+        // A torn write damages only the *last* frame, so probe every
+        // later offset: any valid frame beyond `pos` means bytes we know
+        // were once committed are unreadable — that is corruption.
+        for probe in pos + 1..buf.len().saturating_sub(FRAME_HEADER - 1) {
+            if valid_frame_at(buf, probe) {
+                return Err(StorageError::Corrupt(format!(
+                    "invalid frame at offset {pos} followed by a valid frame at {probe}: \
+                     mid-log corruption, not a torn tail"
+                )));
+            }
+        }
+        return Ok(ScanOutcome {
+            frames,
+            tail: Tail::Torn { offset: pos as u64 },
+            good_bytes: pos as u64,
+        });
+    }
+    Ok(ScanOutcome {
+        frames,
+        tail: Tail::Clean,
+        good_bytes: pos as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vector() {
+        // the canonical IEEE CRC-32 check value
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(0, b""), 0);
+        // incremental == one-shot
+        assert_eq!(crc32(crc32(0, b"1234"), b"56789"), crc32(0, b"123456789"));
+    }
+
+    fn frames(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p);
+        }
+        buf
+    }
+
+    #[test]
+    fn scan_roundtrip() {
+        let buf = frames(&[b"alpha", b"", b"gamma-gamma"]);
+        let out = scan(&buf).unwrap();
+        assert_eq!(out.frames, vec![&b"alpha"[..], b"", b"gamma-gamma"]);
+        assert_eq!(out.tail, Tail::Clean);
+        assert_eq!(out.good_bytes, buf.len() as u64);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_torn_tail() {
+        let buf = frames(&[b"first", b"second"]);
+        let first_len = FRAME_HEADER + 5;
+        for cut in 0..buf.len() {
+            let out = scan(&buf[..cut]).unwrap();
+            let expect_frames = usize::from(cut >= first_len) + usize::from(cut == buf.len());
+            assert_eq!(out.frames.len(), expect_frames, "cut at {cut}");
+            if cut == 0 || cut == first_len {
+                // clean cut exactly at a frame boundary
+                assert_eq!(out.tail, Tail::Clean);
+            } else if cut < buf.len() {
+                assert!(matches!(out.tail, Tail::Torn { .. }), "cut at {cut}");
+                let good = if cut < first_len { 0 } else { first_len as u64 };
+                assert_eq!(out.good_bytes, good);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_last_frame_is_torn() {
+        let mut buf = frames(&[b"first", b"second"]);
+        let n = buf.len();
+        buf[n - 2] ^= 0x10; // inside the last payload
+        let out = scan(&buf).unwrap();
+        assert_eq!(out.frames.len(), 1);
+        assert_eq!(
+            out.tail,
+            Tail::Torn {
+                offset: (FRAME_HEADER + 5) as u64
+            }
+        );
+    }
+
+    #[test]
+    fn bit_flip_mid_log_is_corruption() {
+        let mut buf = frames(&[b"first", b"second"]);
+        buf[FRAME_HEADER + 1] ^= 0x01; // inside the FIRST payload
+        match scan(&buf) {
+            Err(StorageError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_flip_is_detected() {
+        let mut buf = frames(&[b"only"]);
+        buf[0] ^= 0x04; // corrupt the length prefix itself
+        let out = scan(&buf).unwrap();
+        assert_eq!(out.frames.len(), 0);
+        assert_eq!(out.tail, Tail::Torn { offset: 0 });
+    }
+
+    #[test]
+    fn insane_length_is_bounded() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 12]);
+        let out = scan(&buf).unwrap();
+        assert_eq!(out.frames.len(), 0);
+        assert!(matches!(out.tail, Tail::Torn { offset: 0 }));
+    }
+}

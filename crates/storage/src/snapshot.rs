@@ -1,0 +1,195 @@
+//! Snapshots: a full materialisation of the catalog at one LSN, enabling
+//! WAL compaction.
+//!
+//! File layout: the 8-byte magic [`SNAP_MAGIC`], a meta
+//! [frame](crate::frame) `[snapshot_lsn: u64][table_count: u32]`, then
+//! one frame per table: `[name][schema][keys][rows]`.
+//!
+//! Snapshots are installed with [`Vfs::replace`] (sidecar + fsync +
+//! rename), so a crash during checkpointing leaves either the previous
+//! snapshot or the new one — never a torn file. Any damage found when
+//! *reading* a snapshot is therefore unrepairable media corruption and
+//! fails recovery with a typed error; the torn-tail tolerance of the WAL
+//! does not apply here.
+
+use crate::codec::{Dec, Enc};
+use crate::frame::{scan, write_frame, Tail};
+use crate::fs::Vfs;
+use crate::{StorageError, TableImage};
+
+/// Magic + format version of the snapshot file ("FSNP" + version 0001).
+pub const SNAP_MAGIC: &[u8; 8] = b"FSNP0001";
+
+/// Default snapshot file name inside the storage directory.
+pub const SNAP_FILE: &str = "snapshot";
+
+/// Serialize `tables` as a snapshot at `lsn` and atomically install it.
+/// Returns the encoded size in bytes.
+pub fn write_snapshot(vfs: &dyn Vfs, lsn: u64, tables: &[TableImage]) -> Result<u64, StorageError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SNAP_MAGIC);
+    let mut meta = Enc::new();
+    meta.u64(lsn);
+    meta.u32(tables.len() as u32);
+    write_frame(&mut buf, &meta.into_bytes());
+    for t in tables {
+        let mut e = Enc::new();
+        e.str(&t.name);
+        e.schema(&t.schema);
+        e.strings(&t.keys);
+        e.rows(&t.rows);
+        write_frame(&mut buf, &e.into_bytes());
+    }
+    let bytes = buf.len() as u64;
+    vfs.replace(SNAP_FILE, &buf)?;
+    Ok(bytes)
+}
+
+/// A decoded snapshot: the LSN it covers and the table images.
+#[derive(Debug)]
+pub struct Snapshot {
+    pub lsn: u64,
+    pub tables: Vec<TableImage>,
+    pub bytes: u64,
+}
+
+/// Read the snapshot, if one exists. Every defect is
+/// [`StorageError::Corrupt`] (see the module docs for why there is no
+/// torn-tail tolerance here).
+pub fn read_snapshot(vfs: &dyn Vfs) -> Result<Option<Snapshot>, StorageError> {
+    let bytes = match vfs.read(SNAP_FILE)? {
+        None => return Ok(None),
+        Some(b) => b,
+    };
+    if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(StorageError::Corrupt("bad snapshot magic".into()));
+    }
+    let out = scan(&bytes[SNAP_MAGIC.len()..])?;
+    if out.tail != Tail::Clean {
+        return Err(StorageError::Corrupt(
+            "snapshot has a damaged frame (snapshots are installed atomically; \
+             a bad frame is media corruption)"
+                .into(),
+        ));
+    }
+    let mut frames = out.frames.into_iter();
+    let meta = frames
+        .next()
+        .ok_or_else(|| StorageError::Corrupt("snapshot missing meta frame".into()))?;
+    let mut d = Dec::new(meta);
+    let lsn = d.u64()?;
+    let count = d.u32()? as usize;
+    d.finish()?;
+    let mut tables = Vec::with_capacity(count);
+    for payload in frames {
+        let mut d = Dec::new(payload);
+        let t = TableImage {
+            name: d.str()?.to_string(),
+            schema: d.schema()?,
+            keys: d.strings()?,
+            rows: d.rows()?,
+        };
+        d.finish()?;
+        tables.push(t);
+    }
+    if tables.len() != count {
+        return Err(StorageError::Corrupt(format!(
+            "snapshot declares {count} tables but holds {}",
+            tables.len()
+        )));
+    }
+    Ok(Some(Snapshot {
+        lsn,
+        tables,
+        bytes: bytes.len() as u64,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FaultFs;
+    use ferry_algebra::{Schema, Ty, Value};
+
+    fn images() -> Vec<TableImage> {
+        vec![
+            TableImage {
+                name: "t".into(),
+                schema: Schema::of(&[("k", Ty::Int), ("v", Ty::Str)]),
+                keys: vec!["k".into()],
+                rows: vec![
+                    vec![Value::Int(1), Value::str("one")],
+                    vec![Value::Int(2), Value::str("two")],
+                ],
+            },
+            TableImage {
+                name: "empty".into(),
+                schema: Schema::of(&[("x", Ty::Nat)]),
+                keys: vec![],
+                rows: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let vfs = FaultFs::new();
+        assert!(read_snapshot(&vfs).unwrap().is_none());
+        let bytes = write_snapshot(&vfs, 42, &images()).unwrap();
+        let snap = read_snapshot(&vfs).unwrap().unwrap();
+        assert_eq!(snap.lsn, 42);
+        assert_eq!(snap.bytes, bytes);
+        assert_eq!(snap.tables, images());
+    }
+
+    #[test]
+    fn identical_states_encode_byte_identically() {
+        let a = FaultFs::new();
+        let b = FaultFs::new();
+        write_snapshot(&a, 7, &images()).unwrap();
+        write_snapshot(&b, 7, &images()).unwrap();
+        assert_eq!(
+            a.read(SNAP_FILE).unwrap().unwrap(),
+            b.read(SNAP_FILE).unwrap().unwrap()
+        );
+    }
+
+    #[test]
+    fn any_bit_flip_is_detected() {
+        let vfs = FaultFs::new();
+        write_snapshot(&vfs, 1, &images()).unwrap();
+        let clean = vfs.read(SNAP_FILE).unwrap().unwrap();
+        for offset in [0usize, 4, 8, 12, 20, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[offset] ^= 0x40;
+            let dst = FaultFs::new();
+            dst.replace(SNAP_FILE, &bad).unwrap();
+            assert!(
+                read_snapshot(&dst).is_err(),
+                "flip at byte {offset} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn table_count_mismatch_is_corrupt() {
+        let vfs = FaultFs::new();
+        // meta frame claims 3 tables, only 2 follow
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SNAP_MAGIC);
+        let mut meta = Enc::new();
+        meta.u64(1);
+        meta.u32(3);
+        write_frame(&mut buf, &meta.into_bytes());
+        for t in images() {
+            let mut e = Enc::new();
+            e.str(&t.name);
+            e.schema(&t.schema);
+            e.strings(&t.keys);
+            e.rows(&t.rows);
+            write_frame(&mut buf, &e.into_bytes());
+        }
+        vfs.replace(SNAP_FILE, &buf).unwrap();
+        assert!(matches!(read_snapshot(&vfs), Err(StorageError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,394 @@
+//! The write-ahead log: every committed catalog mutation, in order.
+//!
+//! File layout: the 8-byte magic [`WAL_MAGIC`] (which embeds the codec
+//! version), then one [frame](crate::frame) per logged mutation. Each
+//! frame payload is `[lsn: u64][record]` with the record encoded by
+//! [`codec`](crate::codec). LSNs are assigned here, start at 1, and are
+//! strictly monotone; replay rejects any other sequence as corruption.
+//!
+//! Appends are acknowledged only after the bytes are handed to the VFS
+//! and the [`FsyncPolicy`] has been satisfied — `Always` syncs every
+//! record, `EveryN(n)` amortises one fsync over `n` records, `Os` never
+//! syncs and leaves durability to the OS page cache (fastest, weakest:
+//! a crash can lose any suffix, but never the prefix property).
+
+use crate::codec::{Dec, Enc};
+use crate::frame::{scan, write_frame, Tail};
+use crate::fs::Vfs;
+use crate::{FsyncPolicy, StorageError};
+use ferry_algebra::{Row, Schema};
+use ferry_telemetry::Counter;
+use std::sync::Arc;
+
+/// Magic + format version of the WAL file ("FWAL" + version 0001).
+pub const WAL_MAGIC: &[u8; 8] = b"FWAL0001";
+
+/// Default WAL file name inside the storage directory.
+pub const WAL_FILE: &str = "wal";
+
+/// One logged catalog mutation — the durable mirror of the `Database`
+/// mutation API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// `Database::create_table` (validated; table starts empty).
+    CreateTable {
+        name: String,
+        schema: Schema,
+        keys: Vec<String>,
+    },
+    /// `Database::install_table` (unvalidated escape hatch; carries the
+    /// full row payload it was installed with).
+    InstallTable {
+        name: String,
+        schema: Schema,
+        keys: Vec<String>,
+        rows: Vec<Row>,
+    },
+    /// `Database::insert` (type-checked row append).
+    Insert { table: String, rows: Vec<Row> },
+}
+
+impl WalRecord {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            WalRecord::CreateTable { name, schema, keys } => {
+                e.u8(1);
+                e.str(name);
+                e.schema(schema);
+                e.strings(keys);
+            }
+            WalRecord::InstallTable {
+                name,
+                schema,
+                keys,
+                rows,
+            } => {
+                e.u8(2);
+                e.str(name);
+                e.schema(schema);
+                e.strings(keys);
+                e.rows(rows);
+            }
+            WalRecord::Insert { table, rows } => {
+                e.u8(3);
+                e.str(table);
+                e.rows(rows);
+            }
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<WalRecord, StorageError> {
+        Ok(match d.u8()? {
+            1 => WalRecord::CreateTable {
+                name: d.str()?.to_string(),
+                schema: d.schema()?,
+                keys: d.strings()?,
+            },
+            2 => WalRecord::InstallTable {
+                name: d.str()?.to_string(),
+                schema: d.schema()?,
+                keys: d.strings()?,
+                rows: d.rows()?,
+            },
+            3 => WalRecord::Insert {
+                table: d.str()?.to_string(),
+                rows: d.rows()?,
+            },
+            t => return Err(StorageError::Codec(format!("unknown WAL record tag {t}"))),
+        })
+    }
+
+    /// Rows carried by this record (for span/report accounting).
+    pub fn row_count(&self) -> usize {
+        match self {
+            WalRecord::CreateTable { .. } => 0,
+            WalRecord::InstallTable { rows, .. } | WalRecord::Insert { rows, .. } => rows.len(),
+        }
+    }
+}
+
+/// The appender half of the WAL. Holds the fsync policy, the LSN
+/// allocator, and the metric handles it bumps on the hot path.
+#[derive(Debug)]
+pub struct Wal {
+    vfs: Arc<dyn Vfs>,
+    policy: FsyncPolicy,
+    next_lsn: u64,
+    /// Highest LSN known durable under the current policy (== last acked
+    /// LSN for `Always`; trails it for `EveryN`/`Os`).
+    synced_lsn: u64,
+    unsynced: u64,
+    wal_bytes: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+}
+
+impl Wal {
+    /// Resume appending after recovery: `next_lsn` continues where the
+    /// recovered log left off. The file (with magic) must already exist.
+    pub(crate) fn resume(
+        vfs: Arc<dyn Vfs>,
+        policy: FsyncPolicy,
+        next_lsn: u64,
+        wal_bytes: Arc<Counter>,
+        fsyncs: Arc<Counter>,
+    ) -> Wal {
+        Wal {
+            vfs,
+            policy,
+            next_lsn,
+            synced_lsn: next_lsn - 1,
+            unsynced: 0,
+            wal_bytes,
+            fsyncs,
+        }
+    }
+
+    /// Append one record; returns its LSN. The record is durable per the
+    /// policy when this returns — callers ack their client only after.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StorageError> {
+        let lsn = self.next_lsn;
+        let mut span = ferry_telemetry::span("wal.append", "storage");
+        let mut e = Enc::new();
+        e.u64(lsn);
+        rec.encode(&mut e);
+        let payload = e.into_bytes();
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        write_frame(&mut framed, &payload);
+        span.attr("lsn", lsn)
+            .attr("bytes", framed.len())
+            .attr("rows", rec.row_count());
+        self.vfs.append(WAL_FILE, &framed)?;
+        self.wal_bytes.add(framed.len() as u64);
+        self.next_lsn += 1;
+        self.unsynced += 1;
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1) as u64,
+            FsyncPolicy::Os => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Force an fsync regardless of policy (checkpoints, shutdown).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.vfs.sync(WAL_FILE)?;
+        self.fsyncs.inc();
+        self.unsynced = 0;
+        self.synced_lsn = self.next_lsn - 1;
+        Ok(())
+    }
+
+    /// The LSN the next append will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Highest LSN guaranteed durable so far (see the field docs).
+    pub fn synced_lsn(&self) -> u64 {
+        self.synced_lsn
+    }
+
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+/// Result of reading a WAL file back.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// The decoded records, in LSN order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Tail classification from the frame scanner.
+    pub tail: Tail,
+    /// Byte length of the valid region (magic + good frames); a torn
+    /// file is truncated back to this.
+    pub good_bytes: u64,
+}
+
+/// Decode the WAL from raw file bytes. `None` input (no file yet) is an
+/// empty log. Frame-level damage at the tail is reported as [`Tail::Torn`]
+/// (the caller repairs by truncating); anything else — bad magic, decode
+/// failure inside a CRC-valid frame, non-monotone LSNs, valid frames
+/// after a bad one — is [`StorageError::Corrupt`]/[`StorageError::Codec`].
+pub fn replay_wal(bytes: Option<&[u8]>) -> Result<WalReplay, StorageError> {
+    let bytes = match bytes {
+        None => {
+            return Ok(WalReplay {
+                records: Vec::new(),
+                tail: Tail::Clean,
+                good_bytes: 0,
+            })
+        }
+        Some(b) => b,
+    };
+    if bytes.len() < WAL_MAGIC.len() {
+        // a crash can tear even the magic of a freshly created log
+        return Ok(WalReplay {
+            records: Vec::new(),
+            tail: Tail::Torn { offset: 0 },
+            good_bytes: 0,
+        });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "bad WAL magic {:?} (expected {:?})",
+            &bytes[..WAL_MAGIC.len()],
+            WAL_MAGIC
+        )));
+    }
+    let body = &bytes[WAL_MAGIC.len()..];
+    let out = scan(body)?;
+    let mut records = Vec::with_capacity(out.frames.len());
+    let mut last_lsn = 0u64;
+    for payload in out.frames {
+        let mut d = Dec::new(payload);
+        let lsn = d.u64()?;
+        let rec = WalRecord::decode(&mut d)?;
+        d.finish()?;
+        if lsn <= last_lsn {
+            return Err(StorageError::Corrupt(format!(
+                "non-monotone LSN {lsn} after {last_lsn}"
+            )));
+        }
+        last_lsn = lsn;
+        records.push((lsn, rec));
+    }
+    Ok(WalReplay {
+        records,
+        tail: out.tail,
+        good_bytes: WAL_MAGIC.len() as u64 + out.good_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::FaultFs;
+    use ferry_algebra::{Ty, Value};
+
+    fn counters() -> (Arc<Counter>, Arc<Counter>) {
+        (Arc::new(Counter::default()), Arc::new(Counter::default()))
+    }
+
+    fn fresh_wal(vfs: Arc<dyn Vfs>, policy: FsyncPolicy) -> Wal {
+        vfs.append(WAL_FILE, WAL_MAGIC).unwrap();
+        vfs.sync(WAL_FILE).unwrap();
+        let (b, f) = counters();
+        Wal::resume(vfs, policy, 1, b, f)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let schema = Schema::of(&[("k", Ty::Int), ("v", Ty::Str)]);
+        vec![
+            WalRecord::CreateTable {
+                name: "t".into(),
+                schema: schema.clone(),
+                keys: vec!["k".into()],
+            },
+            WalRecord::Insert {
+                table: "t".into(),
+                rows: vec![
+                    vec![Value::Int(1), Value::str("one")],
+                    vec![Value::Int(2), Value::str("two")],
+                ],
+            },
+            WalRecord::InstallTable {
+                name: "u".into(),
+                schema,
+                keys: vec![],
+                rows: vec![vec![Value::Int(9), Value::str("nine")]],
+            },
+        ]
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        let recs = sample_records();
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(wal.append(r).unwrap(), (i + 1) as u64);
+        }
+        assert_eq!(wal.synced_lsn(), 3);
+        let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
+        let replay = replay_wal(Some(&bytes)).unwrap();
+        assert_eq!(replay.tail, Tail::Clean);
+        assert_eq!(
+            replay.records,
+            recs.into_iter()
+                .enumerate()
+                .map(|(i, r)| ((i + 1) as u64, r))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fsync_policies_sync_at_the_right_cadence() {
+        for (policy, expect_syncs) in [
+            (FsyncPolicy::Always, 3),
+            (FsyncPolicy::EveryN(2), 1),
+            (FsyncPolicy::Os, 0),
+        ] {
+            let vfs = Arc::new(FaultFs::new());
+            let mut wal = fresh_wal(vfs.clone(), policy);
+            let before = vfs.syncs(); // the magic write syncs once
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            assert_eq!(vfs.syncs() - before, expect_syncs, "{policy:?}");
+            match policy {
+                FsyncPolicy::Always => assert_eq!(wal.synced_lsn(), 3),
+                FsyncPolicy::EveryN(2) => assert_eq!(wal.synced_lsn(), 2),
+                _ => assert_eq!(wal.synced_lsn(), 0),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_missing_logs_replay_empty() {
+        let replay = replay_wal(None).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.tail, Tail::Clean);
+        let replay = replay_wal(Some(WAL_MAGIC)).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.good_bytes, 8);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        assert!(matches!(
+            replay_wal(Some(b"NOTAWAL0rest")),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn torn_magic_is_a_torn_tail() {
+        let replay = replay_wal(Some(b"FWA")).unwrap();
+        assert_eq!(replay.tail, Tail::Torn { offset: 0 });
+        assert_eq!(replay.good_bytes, 0);
+    }
+
+    #[test]
+    fn non_monotone_lsn_is_corrupt() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        let rec = &sample_records()[0];
+        wal.append(rec).unwrap();
+        // duplicate LSN 1 by appending a hand-built frame
+        let mut e = Enc::new();
+        e.u64(1);
+        rec.encode(&mut e);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &e.into_bytes());
+        vfs.append(WAL_FILE, &framed).unwrap();
+        let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
+        assert!(matches!(
+            replay_wal(Some(&bytes)),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+}

@@ -32,7 +32,7 @@ pub mod span;
 pub mod trace;
 
 pub use export::chrome_trace_json;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricTypeConflict, Registry};
 pub use report::{OptReport, PassStat};
 pub use span::{
     current_ctx, enter_ctx, now_ns, record_span, span, tracing_active, AttrVal, CtxGuard, Span,

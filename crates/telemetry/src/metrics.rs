@@ -183,6 +183,41 @@ pub enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+impl Metric {
+    /// The kind of this metric, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// `name` is already registered as a different metric kind. Registration
+/// is get-or-create, so asking for the *same* kind twice returns the
+/// existing handle; only a kind mismatch produces this error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricTypeConflict {
+    pub name: String,
+    /// Kind already in the registry under `name`.
+    pub existing: &'static str,
+    /// Kind this registration asked for.
+    pub requested: &'static str,
+}
+
+impl std::fmt::Display for MetricTypeConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "metric {} already registered as a {}, requested as a {}",
+            self.name, self.existing, self.requested
+        )
+    }
+}
+
+impl std::error::Error for MetricTypeConflict {}
+
 /// The name → metric map. Handle acquisition locks; updates through the
 /// returned `Arc`s do not.
 #[derive(Debug, Default)]
@@ -191,40 +226,53 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Get or create the counter `name`. Panics if `name` is already
-    /// registered as a different metric kind (names are code-controlled).
-    pub fn counter(&self, name: &str) -> Arc<Counter> {
+    /// Get or create the counter `name`. Asking again for the same name
+    /// and kind returns the existing handle; a kind mismatch is a
+    /// [`MetricTypeConflict`] (and the existing registration is kept).
+    pub fn counter(&self, name: &str) -> Result<Arc<Counter>, MetricTypeConflict> {
         let mut m = self.metrics.lock().unwrap();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
         {
-            Metric::Counter(c) => c.clone(),
-            other => panic!("metric {name} already registered as {other:?}"),
+            Metric::Counter(c) => Ok(c.clone()),
+            other => Err(MetricTypeConflict {
+                name: name.to_string(),
+                existing: other.kind(),
+                requested: "counter",
+            }),
         }
     }
 
     /// Get or create the gauge `name` (same kind rules as [`counter`](Registry::counter)).
-    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+    pub fn gauge(&self, name: &str) -> Result<Arc<Gauge>, MetricTypeConflict> {
         let mut m = self.metrics.lock().unwrap();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
-            Metric::Gauge(g) => g.clone(),
-            other => panic!("metric {name} already registered as {other:?}"),
+            Metric::Gauge(g) => Ok(g.clone()),
+            other => Err(MetricTypeConflict {
+                name: name.to_string(),
+                existing: other.kind(),
+                requested: "gauge",
+            }),
         }
     }
 
     /// Get or create the histogram `name` (same kind rules as [`counter`](Registry::counter)).
-    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+    pub fn histogram(&self, name: &str) -> Result<Arc<Histogram>, MetricTypeConflict> {
         let mut m = self.metrics.lock().unwrap();
         match m
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
         {
-            Metric::Histogram(h) => h.clone(),
-            other => panic!("metric {name} already registered as {other:?}"),
+            Metric::Histogram(h) => Ok(h.clone()),
+            other => Err(MetricTypeConflict {
+                name: name.to_string(),
+                existing: other.kind(),
+                requested: "histogram",
+            }),
         }
     }
 
@@ -286,11 +334,11 @@ mod tests {
     #[test]
     fn counter_and_gauge_basics() {
         let r = Registry::default();
-        let c = r.counter("q");
+        let c = r.counter("q").unwrap();
         c.inc();
         c.add(4);
-        assert_eq!(r.counter("q").get(), 5);
-        let g = r.gauge("depth");
+        assert_eq!(r.counter("q").unwrap().get(), 5);
+        let g = r.gauge("depth").unwrap();
         g.set(3);
         g.add(-1);
         assert_eq!(g.get(), 2);
@@ -300,11 +348,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already registered")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_is_an_error_not_a_panic() {
         let r = Registry::default();
-        r.counter("x");
-        r.gauge("x");
+        let c = r.counter("x").unwrap();
+        c.inc();
+        // same name, same kind: the existing handle comes back
+        assert!(Arc::ptr_eq(&c, &r.counter("x").unwrap()));
+        // same name, different kind: a typed error, no panic
+        let err = r.gauge("x").unwrap_err();
+        assert_eq!(err.name, "x");
+        assert_eq!(err.existing, "counter");
+        assert_eq!(err.requested, "gauge");
+        assert!(err.to_string().contains("already registered as a counter"));
+        let err = r.histogram("x").unwrap_err();
+        assert_eq!(err.requested, "histogram");
+        // the original registration survives the conflict untouched
+        assert_eq!(r.counter("x").unwrap().get(), 1);
+        assert_eq!(r.metrics().len(), 1);
     }
 
     #[test]
@@ -370,8 +430,8 @@ mod tests {
     #[test]
     fn render_names_every_metric() {
         let r = Registry::default();
-        r.counter("a.count").add(2);
-        r.histogram("b.latency_ns").record(100);
+        r.counter("a.count").unwrap().add(2);
+        r.histogram("b.latency_ns").unwrap().record(100);
         let text = r.render();
         assert!(text.contains("a.count 2"));
         assert!(text.contains("b.latency_ns count=1"));

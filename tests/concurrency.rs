@@ -16,6 +16,7 @@ use ferry::prelude::*;
 use ferry_algebra::{Schema, Ty, Value};
 use ferry_bench::table1::dsh_query;
 use ferry_bench::workload::paper_dataset;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -155,6 +156,138 @@ fn n_threads_share_connection_and_prepared_handles() {
     assert_eq!(stats.cache_misses, 0);
     assert!(stats.cache_hits >= N - 1, "hits {} < N-1", stats.cache_hits);
     assert_eq!(stats.cache_hits, N, "one hit per thread prepare");
+}
+
+/// A writer mutating the catalog races N query threads.
+///
+/// The writer appends, per round, one order plus its two line items
+/// (prices summing to zero) inside a single `database_mut()` critical
+/// section, then creates a scratch table — a schema change that strands
+/// every cached plan. Readers continuously execute
+///
+/// * the 3-query orders report: every writer order must appear with
+///   **both** of its items (a torn read across the bundle members would
+///   show an order without them),
+/// * a balanced-ledger sum that must always be exactly zero (a torn read
+///   within a batch would expose a half-applied insert),
+/// * a re-prepared `dsh_query`, which after every schema bump must be
+///   recompiled under the new `schema_version` yet keep its result.
+#[test]
+fn writer_races_readers_without_torn_reads_and_with_cache_invalidation() {
+    const READERS: usize = 4;
+    const ROUNDS: i64 = 12;
+    let conn = Connection::new(database()).with_optimizer(ferry_optimizer::rewriter());
+    conn.database_mut()
+        .insert("customers", vec![vec![Value::Int(9), Value::str("Writer")]])
+        .unwrap();
+    let expect_dsh = conn.interpret(&dsh_query()).unwrap();
+    let base_version = conn.database().schema_version();
+
+    // items of writer orders (oid ≥ 100) are inserted in balanced pairs,
+    // so this sum is 0 at every instant — or a read was torn
+    // (`Q` is not `Send`: every thread builds its own copy)
+    fn ledger_query() -> Q<i64> {
+        sum(map(
+            |it: Q<Item>| it.proj3_1(),
+            filter(
+                |it: Q<Item>| it.proj3_0().ge(&toq(&100i64)),
+                table::<Item>("items"),
+            ),
+        ))
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let conn = conn.clone();
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let i = Value::Int;
+            let s = Value::str;
+            for r in 0..ROUNDS {
+                {
+                    // one critical section: the order and both its items
+                    let mut db = conn.database_mut();
+                    db.insert("orders", vec![vec![i(9), i(100 + r)]]).unwrap();
+                    db.insert(
+                        "items",
+                        vec![
+                            vec![i(100 + r), i(7 + r), s("debit")],
+                            vec![i(100 + r), i(-(7 + r)), s("credit")],
+                        ],
+                    )
+                    .unwrap();
+                }
+                // DDL: bumps schema_version, stranding cached bundles
+                conn.database_mut()
+                    .create_table(
+                        format!("scratch_{r}"),
+                        Schema::of(&[("x", Ty::Int)]),
+                        vec!["x"],
+                    )
+                    .unwrap();
+                thread::yield_now();
+            }
+            stop.store(true, Ordering::Release);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let conn = conn.clone();
+            let stop = stop.clone();
+            let expect_dsh = expect_dsh.clone();
+            thread::spawn(move || {
+                let mut iters = 0u32;
+                while !stop.load(Ordering::Acquire) || iters < 4 {
+                    assert_eq!(conn.from_q(&ledger_query()).unwrap(), 0, "torn batch read");
+                    let report = conn.from_q(&orders_report()).unwrap();
+                    for (name, orders) in &report {
+                        if name == "Writer" {
+                            for (oid, items) in orders {
+                                assert!(*oid >= 100);
+                                assert_eq!(
+                                    items.len(),
+                                    2,
+                                    "torn bundle read: order {oid} lost its items"
+                                );
+                                assert_eq!(items.iter().map(|(_, p)| p).sum::<i64>(), 0);
+                            }
+                        } else if name == "Ada" {
+                            assert_eq!(orders.len(), 2, "pre-existing data disturbed");
+                        }
+                    }
+                    // re-prepare under whatever schema_version is current:
+                    // stale cached plans must never be served
+                    let prep = conn.prepare(&dsh_query()).unwrap();
+                    assert_eq!(conn.execute(&prep).unwrap(), expect_dsh);
+                    iters += 1;
+                }
+                iters
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    for t in readers {
+        assert!(t.join().unwrap() >= 4);
+    }
+
+    // every DDL round bumped the version; inserts did not
+    assert_eq!(
+        conn.database().schema_version(),
+        base_version + ROUNDS as u64
+    );
+    // cache hygiene: entries under superseded versions were pruned (a
+    // handful may race in under old versions right before the writer's
+    // last bump — bounded, not growing per round)
+    assert!(
+        conn.plan_cache_len() <= 2 * 3,
+        "stale bundles retained: {}",
+        conn.plan_cache_len()
+    );
+    let final_report = conn.from_q(&orders_report()).unwrap();
+    let writer_orders = &final_report.iter().find(|(n, _)| n == "Writer").unwrap().1;
+    assert_eq!(writer_orders.len(), ROUNDS as usize);
 }
 
 #[test]
