@@ -66,6 +66,10 @@ pub struct Database {
     storage: Option<Storage>,
     /// What recovery found and did, for databases opened durably.
     recovery: Option<RecoveryReport>,
+    /// The most recent *auto*-checkpoint failure. Mutations do not surface
+    /// these (see [`Database::maybe_checkpoint`]); callers that care poll
+    /// here or watch the `storage.checkpoint_failures` counter.
+    last_checkpoint_error: Option<String>,
 }
 
 /// The engine's named metrics, resolved once per database. Counter names
@@ -84,6 +88,7 @@ struct EngineMetrics {
     par_waves: Arc<Counter>,
     vec_nodes: Arc<Counter>,
     kernel_batches: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
     query_latency_ns: Arc<Histogram>,
 }
 
@@ -106,6 +111,7 @@ impl EngineMetrics {
             par_waves: counter("engine.par_waves"),
             vec_nodes: counter("engine.vec_nodes"),
             kernel_batches: counter("engine.kernel_batches"),
+            checkpoint_failures: counter("storage.checkpoint_failures"),
             query_latency_ns: registry
                 .histogram("engine.query_latency_ns")
                 .unwrap_or_default(),
@@ -139,6 +145,7 @@ impl Database {
             schema_version: 0,
             storage: None,
             recovery: None,
+            last_checkpoint_error: None,
         }
     }
 
@@ -230,12 +237,28 @@ impl Database {
 
     /// Run the auto-checkpoint if `checkpoint_every` says the WAL budget
     /// is spent. Called **after** the mutation is applied in memory, so
-    /// the snapshot covers it.
-    fn maybe_checkpoint(&mut self) -> Result<(), EngineError> {
+    /// the snapshot covers it. Failures are recorded, never returned: the
+    /// mutation itself is already WAL-durable and applied, so an error
+    /// from `insert`/`create_table` here would read as "mutation failed"
+    /// and invite a double-applying retry. The WAL keeps growing and the
+    /// next mutation retries the compaction.
+    fn maybe_checkpoint(&mut self) {
         if self.storage.as_ref().is_some_and(Storage::checkpoint_due) {
-            self.checkpoint()?;
+            match self.checkpoint() {
+                Ok(_) => self.last_checkpoint_error = None,
+                Err(e) => {
+                    self.metrics.checkpoint_failures.inc();
+                    self.last_checkpoint_error = Some(e.to_string());
+                }
+            }
         }
-        Ok(())
+    }
+
+    /// The most recent auto-checkpoint failure, if any (cleared by the
+    /// next successful one). See [`Database::maybe_checkpoint`] for why
+    /// mutations swallow these.
+    pub fn last_checkpoint_error(&self) -> Option<&str> {
+        self.last_checkpoint_error.as_deref()
     }
 
     /// This database's telemetry hub (registry, trace ring, config).
@@ -299,7 +322,8 @@ impl Database {
             },
         );
         self.schema_version += 1;
-        self.maybe_checkpoint()
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Install a table **without** the `create_table` validation — the
@@ -325,7 +349,8 @@ impl Database {
         }
         self.tables.insert(name, table);
         self.schema_version += 1;
-        self.maybe_checkpoint()
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// The current schema version (see the field docs).
@@ -390,7 +415,8 @@ impl Database {
         let table = self.tables.get_mut(name).expect("validated above");
         // extend_rows also invalidates the buffer's columnar chunk cache
         Arc::make_mut(&mut table.rows).extend_rows(rows);
-        self.maybe_checkpoint()
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     pub fn table(&self, name: &str) -> Option<&BaseTable> {

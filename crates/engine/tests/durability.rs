@@ -148,6 +148,46 @@ fn automatic_checkpoint_fires_on_the_configured_budget() {
 }
 
 #[test]
+fn auto_checkpoint_failure_does_not_fail_the_applied_mutation() {
+    let vfs = Arc::new(FaultFs::new());
+    let mut db = open(
+        &vfs,
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: Some(3),
+        },
+    )
+    .unwrap();
+    // create_people logs 2 records, below the budget; the 3rd triggers
+    // the auto-checkpoint — crash its snapshot write. The insert was
+    // already WAL-durable and applied, so it must ack: surfacing the
+    // compaction failure would invite a retry that double-applies rows.
+    create_people(&mut db);
+    vfs.inject(Fault::TornAppend {
+        path: "snapshot".into(),
+        at: 0,
+    });
+    db.insert("people", vec![vec![v(4), s("dan")]]).unwrap();
+    assert_eq!(db.table("people").unwrap().rows.rows().len(), 4);
+    assert!(db.last_checkpoint_error().is_some());
+    let metrics = db.telemetry().registry().render();
+    assert!(
+        metrics.contains("storage.checkpoint_failures 1"),
+        "{metrics}"
+    );
+    drop(db);
+    // the injected fault halted the "machine"; power-cycle and recover
+    vfs.crash();
+    let db = open(&vfs, config()).unwrap();
+    assert_eq!(
+        db.table("people").unwrap().rows.rows().len(),
+        4,
+        "the acked mutation survives the failed compaction"
+    );
+    assert!(db.last_checkpoint_error().is_none());
+}
+
+#[test]
 fn install_table_is_logged_with_its_rows() {
     let vfs = Arc::new(FaultFs::new());
     {

@@ -30,7 +30,22 @@ pub const FRAME_HEADER: usize = 8;
 
 /// Hard ceiling on one frame's payload (64 MiB). A length beyond this is
 /// treated as corruption — it bounds allocation on hostile/garbled input.
+/// [`write_frame`] enforces the same ceiling, so a record too large to
+/// replay is rejected (and never acked) instead of written.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// How far past a damaged frame [`scan`] probes for a valid successor
+/// when classifying torn tail vs mid-log corruption. Damage from a
+/// single torn write or bit flip is confined to one frame, so a genuine
+/// successor frame must start within one maximal frame of the damage.
+const PROBE_WINDOW: usize = FRAME_HEADER + MAX_FRAME_LEN as usize;
+
+/// Ceiling on the payload bytes CRC'd while probing. Each candidate
+/// offset otherwise costs a CRC over its claimed length — quadratic in
+/// the tail on adversarial garbage. Candidates that would overdraw the
+/// budget are skipped (best effort: realistic single-frame damage is
+/// classified exactly; a crafted tail degrades to "torn").
+const PROBE_CRC_BUDGET: u64 = 4 * MAX_FRAME_LEN as u64;
 
 /// CRC-32 (IEEE, reflected, polynomial 0xEDB88320), table-driven. The
 /// table is built at compile time.
@@ -63,14 +78,24 @@ pub fn crc32(seed: u32, bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Append one frame wrapping `payload` onto `out`.
-pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+/// Append one frame wrapping `payload` onto `out`. A payload over
+/// [`MAX_FRAME_LEN`] is refused with nothing written: the scanner rejects
+/// such lengths on replay, so writing one would produce an acked record
+/// that recovery can never read back.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), StorageError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(StorageError::Codec(format!(
+            "frame payload of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN}); \
+             the record would be unreadable on replay",
+            payload.len()
+        )));
+    }
     let len = payload.len() as u32;
-    debug_assert!(len <= MAX_FRAME_LEN, "frame payload over MAX_FRAME_LEN");
     let crc = crc32(crc32(0, &len.to_le_bytes()), payload);
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// How a frame sequence ends (see the module docs).
@@ -124,10 +149,23 @@ pub fn scan(buf: &[u8]) -> Result<ScanOutcome<'_>, StorageError> {
             continue;
         }
         // The frame at `pos` is bad. Torn tail or mid-log corruption?
-        // A torn write damages only the *last* frame, so probe every
-        // later offset: any valid frame beyond `pos` means bytes we know
-        // were once committed are unreadable — that is corruption.
-        for probe in pos + 1..buf.len().saturating_sub(FRAME_HEADER - 1) {
+        // A torn write damages only the *last* frame, so probe later
+        // offsets: any valid frame beyond `pos` means bytes we know were
+        // once committed are unreadable — that is corruption. The probe
+        // is bounded (start window + CRC budget, see the constants) so
+        // recovery stays linear in the tail instead of quadratic.
+        let max_start = buf.len().saturating_sub(FRAME_HEADER);
+        let window_end = max_start.min(pos.saturating_add(PROBE_WINDOW));
+        let mut budget = PROBE_CRC_BUDGET;
+        for probe in pos + 1..=window_end {
+            let len = u32::from_le_bytes(buf[probe..probe + 4].try_into().unwrap());
+            if len > MAX_FRAME_LEN
+                || buf.len() - probe - FRAME_HEADER < len as usize
+                || u64::from(len) > budget
+            {
+                continue;
+            }
+            budget -= u64::from(len);
             if valid_frame_at(buf, probe) {
                 return Err(StorageError::Corrupt(format!(
                     "invalid frame at offset {pos} followed by a valid frame at {probe}: \
@@ -164,9 +202,21 @@ mod tests {
     fn frames(payloads: &[&[u8]]) -> Vec<u8> {
         let mut buf = Vec::new();
         for p in payloads {
-            write_frame(&mut buf, p);
+            write_frame(&mut buf, p).unwrap();
         }
         buf
+    }
+
+    #[test]
+    fn oversize_payload_is_refused_with_nothing_written() {
+        let mut buf = Vec::new();
+        let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let err = write_frame(&mut buf, &payload).unwrap_err();
+        assert!(matches!(err, StorageError::Codec(_)), "{err}");
+        assert!(
+            buf.is_empty(),
+            "a refused frame must not leave bytes behind"
+        );
     }
 
     #[test]

@@ -63,6 +63,16 @@ impl StdFs {
     fn path(&self, name: &str) -> PathBuf {
         self.root.join(name)
     }
+
+    /// fsync the root directory itself. Metadata operations — creating a
+    /// file, renaming over one — are durable only once the *directory* is
+    /// synced; without this a crash can lose a whole file whose contents
+    /// were individually fsynced.
+    fn sync_root(&self) -> Result<(), StorageError> {
+        std::fs::File::open(&self.root)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io_err(&self.root.display().to_string(), "fsync dir", e))
+    }
 }
 
 impl Vfs for StdFs {
@@ -75,12 +85,20 @@ impl Vfs for StdFs {
     }
 
     fn append(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        let full = self.path(path);
+        let created = !full.exists();
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(self.path(path))
+            .open(&full)
             .map_err(|e| io_err(path, "open", e))?;
-        f.write_all(data).map_err(|e| io_err(path, "append", e))
+        f.write_all(data).map_err(|e| io_err(path, "append", e))?;
+        if created {
+            // the new directory entry must be durable before any fsync of
+            // the file's own contents means anything
+            self.sync_root()?;
+        }
+        Ok(())
     }
 
     fn sync(&self, path: &str) -> Result<(), StorageError> {
@@ -109,10 +127,7 @@ impl Vfs for StdFs {
         }
         std::fs::rename(&tmp, self.path(path)).map_err(|e| io_err(path, "rename", e))?;
         // fsync the directory so the rename itself is durable
-        if let Ok(dir) = std::fs::File::open(&self.root) {
-            let _ = dir.sync_all();
-        }
-        Ok(())
+        self.sync_root()
     }
 
     fn size(&self, path: &str) -> Result<Option<u64>, StorageError> {

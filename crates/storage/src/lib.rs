@@ -292,10 +292,14 @@ impl Storage {
             .attr("applied", applied_records)
             .attr("last_lsn", last_lsn);
 
+        // after step 3 the file is exactly the valid region (recreated as
+        // a bare header when even the magic was torn) and fully synced
+        let wal_file_len = replay.good_bytes.max(WAL_MAGIC.len() as u64);
         let wal = Wal::resume(
             vfs.clone(),
             config.fsync,
             last_lsn + 1,
+            wal_file_len,
             metrics.wal_bytes.clone(),
             metrics.fsyncs.clone(),
         );
@@ -341,8 +345,7 @@ impl Storage {
         // snapshot claims to cover it
         self.wal.sync()?;
         let bytes = snapshot::write_snapshot(self.vfs.as_ref(), lsn, tables)?;
-        self.vfs.truncate(WAL_FILE, WAL_MAGIC.len() as u64)?;
-        self.vfs.sync(WAL_FILE)?;
+        self.wal.truncate_to_header()?;
         self.wal_records_since_checkpoint = 0;
         self.metrics.snapshots.inc();
         span.attr("lsn", lsn).attr("bytes", bytes);
@@ -362,6 +365,12 @@ impl Storage {
     /// Highest LSN guaranteed durable under the configured policy.
     pub fn synced_lsn(&self) -> u64 {
         self.wal.synced_lsn()
+    }
+
+    /// Has the WAL refused further mutation I/O after an unrecoverable
+    /// write/fsync failure? Reopening the database is the only cure.
+    pub fn poisoned(&self) -> bool {
+        self.wal.poisoned()
     }
 
     pub fn config(&self) -> DurabilityConfig {

@@ -31,14 +31,16 @@ pub fn write_snapshot(vfs: &dyn Vfs, lsn: u64, tables: &[TableImage]) -> Result<
     let mut meta = Enc::new();
     meta.u64(lsn);
     meta.u32(tables.len() as u32);
-    write_frame(&mut buf, &meta.into_bytes());
+    write_frame(&mut buf, &meta.into_bytes())?;
     for t in tables {
         let mut e = Enc::new();
         e.str(&t.name);
         e.schema(&t.schema);
         e.strings(&t.keys);
         e.rows(&t.rows);
-        write_frame(&mut buf, &e.into_bytes());
+        // a table over MAX_FRAME_LEN refuses to snapshot (typed error)
+        // rather than writing a frame replay could never read back
+        write_frame(&mut buf, &e.into_bytes())?;
     }
     let bytes = buf.len() as u64;
     vfs.replace(SNAP_FILE, &buf)?;
@@ -180,14 +182,14 @@ mod tests {
         let mut meta = Enc::new();
         meta.u64(1);
         meta.u32(3);
-        write_frame(&mut buf, &meta.into_bytes());
+        write_frame(&mut buf, &meta.into_bytes()).unwrap();
         for t in images() {
             let mut e = Enc::new();
             e.str(&t.name);
             e.schema(&t.schema);
             e.strings(&t.keys);
             e.rows(&t.rows);
-            write_frame(&mut buf, &e.into_bytes());
+            write_frame(&mut buf, &e.into_bytes()).unwrap();
         }
         vfs.replace(SNAP_FILE, &buf).unwrap();
         assert!(matches!(read_snapshot(&vfs), Err(StorageError::Corrupt(_))));

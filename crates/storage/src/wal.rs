@@ -118,17 +118,29 @@ pub struct Wal {
     /// LSN for `Always`; trails it for `EveryN`/`Os`).
     synced_lsn: u64,
     unsynced: u64,
+    /// Total bytes in the WAL file (magic included) as this handle knows
+    /// it — the rollback target after a failed append.
+    bytes_len: u64,
+    /// Byte length of the prefix covered by the last successful fsync —
+    /// the rollback target after a failed fsync.
+    synced_bytes: u64,
+    /// Set after a write/fsync failure this handle could not roll back
+    /// (or any fsync failure — see [`Wal::sync`]): every further
+    /// operation fails until the database is reopened.
+    poisoned: bool,
     wal_bytes: Arc<Counter>,
     fsyncs: Arc<Counter>,
 }
 
 impl Wal {
     /// Resume appending after recovery: `next_lsn` continues where the
-    /// recovered log left off. The file (with magic) must already exist.
+    /// recovered log left off. The file (with magic) must already exist,
+    /// be `file_len` bytes long, and be fully synced.
     pub(crate) fn resume(
         vfs: Arc<dyn Vfs>,
         policy: FsyncPolicy,
         next_lsn: u64,
+        file_len: u64,
         wal_bytes: Arc<Counter>,
         fsyncs: Arc<Counter>,
     ) -> Wal {
@@ -138,14 +150,34 @@ impl Wal {
             next_lsn,
             synced_lsn: next_lsn - 1,
             unsynced: 0,
+            bytes_len: file_len,
+            synced_bytes: file_len,
+            poisoned: false,
             wal_bytes,
             fsyncs,
         }
     }
 
+    fn check_poisoned(&self) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Io(
+                "WAL poisoned by an earlier write/fsync failure; \
+                 reopen the database to recover"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Append one record; returns its LSN. The record is durable per the
     /// policy when this returns — callers ack their client only after.
+    /// On failure nothing is acked and nothing of the record can ever
+    /// become durable: the file is rolled back to its pre-call length
+    /// (on a failed write) or to the synced prefix (on a failed fsync),
+    /// and if even that is impossible the handle is poisoned so no later
+    /// append can flush the rejected bytes.
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StorageError> {
+        self.check_poisoned()?;
         let lsn = self.next_lsn;
         let mut span = ferry_telemetry::span("wal.append", "storage");
         let mut e = Enc::new();
@@ -153,11 +185,21 @@ impl Wal {
         rec.encode(&mut e);
         let payload = e.into_bytes();
         let mut framed = Vec::with_capacity(payload.len() + 8);
-        write_frame(&mut framed, &payload);
+        // an oversized record is refused before any I/O: state unchanged,
+        // the LSN is reused by the next append
+        write_frame(&mut framed, &payload)?;
         span.attr("lsn", lsn)
             .attr("bytes", framed.len())
             .attr("rows", rec.row_count());
-        self.vfs.append(WAL_FILE, &framed)?;
+        if let Err(e) = self.vfs.append(WAL_FILE, &framed) {
+            // the write may have landed partially; cut back to the last
+            // known-good length, else refuse all further I/O
+            if self.vfs.truncate(WAL_FILE, self.bytes_len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.bytes_len += framed.len() as u64;
         self.wal_bytes.add(framed.len() as u64);
         self.next_lsn += 1;
         self.unsynced += 1;
@@ -173,11 +215,52 @@ impl Wal {
     }
 
     /// Force an fsync regardless of policy (checkpoints, shutdown).
+    ///
+    /// On failure the unsynced tail holds records whose callers were (or
+    /// are being) told "failed" — it is truncated back to the synced
+    /// prefix (rolling `next_lsn` back with it) so no later fsync can
+    /// durably commit a nacked record, and the handle is poisoned
+    /// regardless: after a failed fsync the kernel may have dropped the
+    /// dirty pages, so only a reopen that re-reads the file is sound.
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.vfs.sync(WAL_FILE)?;
-        self.fsyncs.inc();
-        self.unsynced = 0;
-        self.synced_lsn = self.next_lsn - 1;
+        self.check_poisoned()?;
+        match self.vfs.sync(WAL_FILE) {
+            Ok(()) => {
+                self.fsyncs.inc();
+                self.unsynced = 0;
+                self.synced_lsn = self.next_lsn - 1;
+                self.synced_bytes = self.bytes_len;
+                Ok(())
+            }
+            Err(e) => {
+                if self.vfs.truncate(WAL_FILE, self.synced_bytes).is_ok() {
+                    self.bytes_len = self.synced_bytes;
+                    self.next_lsn = self.synced_lsn + 1;
+                    self.unsynced = 0;
+                }
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncate the log back to its header after a checkpoint and make
+    /// the truncation durable. LSNs keep counting — the snapshot covers
+    /// the removed prefix. A failure here poisons the handle: the file
+    /// length is no longer known.
+    pub(crate) fn truncate_to_header(&mut self) -> Result<(), StorageError> {
+        self.check_poisoned()?;
+        let header = WAL_MAGIC.len() as u64;
+        if let Err(e) = self
+            .vfs
+            .truncate(WAL_FILE, header)
+            .and_then(|()| self.vfs.sync(WAL_FILE))
+        {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.bytes_len = header;
+        self.synced_bytes = header;
         Ok(())
     }
 
@@ -189,6 +272,12 @@ impl Wal {
     /// Highest LSN guaranteed durable so far (see the field docs).
     pub fn synced_lsn(&self) -> u64 {
         self.synced_lsn
+    }
+
+    /// Has this handle refused further I/O after an unrecoverable
+    /// write/fsync failure? Reopening the database is the only cure.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     pub fn policy(&self) -> FsyncPolicy {
@@ -266,7 +355,7 @@ pub fn replay_wal(bytes: Option<&[u8]>) -> Result<WalReplay, StorageError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fs::FaultFs;
+    use crate::fs::{Fault, FaultFs};
     use ferry_algebra::{Ty, Value};
 
     fn counters() -> (Arc<Counter>, Arc<Counter>) {
@@ -277,7 +366,7 @@ mod tests {
         vfs.append(WAL_FILE, WAL_MAGIC).unwrap();
         vfs.sync(WAL_FILE).unwrap();
         let (b, f) = counters();
-        Wal::resume(vfs, policy, 1, b, f)
+        Wal::resume(vfs, policy, 1, WAL_MAGIC.len() as u64, b, f)
     }
 
     fn sample_records() -> Vec<WalRecord> {
@@ -373,6 +462,50 @@ mod tests {
     }
 
     #[test]
+    fn failed_fsync_rolls_back_the_rejected_record_and_poisons() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        let acked_len = vfs.written_len(WAL_FILE);
+        vfs.inject(Fault::FailFsync {
+            path: WAL_FILE.into(),
+        });
+        assert!(matches!(wal.append(&recs[1]), Err(StorageError::Io(_))));
+        // the nacked record is cut out of the file, so no later fsync —
+        // by us or the OS — can ever durably commit it
+        assert_eq!(vfs.written_len(WAL_FILE), acked_len);
+        assert_eq!(wal.next_lsn(), 2, "the rejected LSN is rolled back");
+        // and the handle refuses all further I/O until reopen
+        assert!(wal.poisoned());
+        assert!(matches!(wal.append(&recs[2]), Err(StorageError::Io(_))));
+        assert!(matches!(wal.sync(), Err(StorageError::Io(_))));
+        assert_eq!(vfs.written_len(WAL_FILE), acked_len);
+        // replay (as a reopen would) sees exactly the acked prefix
+        let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
+        let replay = replay_wal(Some(&bytes)).unwrap();
+        assert_eq!(replay.records, vec![(1, recs[0].clone())]);
+    }
+
+    #[test]
+    fn oversized_record_is_refused_and_its_lsn_reused() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        let huge = WalRecord::Insert {
+            table: "t".into(),
+            rows: vec![vec![Value::str(
+                "x".repeat(crate::frame::MAX_FRAME_LEN as usize + 1),
+            )]],
+        };
+        let err = wal.append(&huge).unwrap_err();
+        assert!(matches!(err, StorageError::Codec(_)), "{err}");
+        // nothing was written or acked; the next record takes LSN 1
+        assert!(!wal.poisoned());
+        assert_eq!(vfs.written_len(WAL_FILE), WAL_MAGIC.len() as u64);
+        assert_eq!(wal.append(&sample_records()[0]).unwrap(), 1);
+    }
+
+    #[test]
     fn non_monotone_lsn_is_corrupt() {
         let vfs = Arc::new(FaultFs::new());
         let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
@@ -383,7 +516,7 @@ mod tests {
         e.u64(1);
         rec.encode(&mut e);
         let mut framed = Vec::new();
-        write_frame(&mut framed, &e.into_bytes());
+        write_frame(&mut framed, &e.into_bytes()).unwrap();
         vfs.append(WAL_FILE, &framed).unwrap();
         let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
         assert!(matches!(

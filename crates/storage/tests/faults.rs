@@ -336,6 +336,44 @@ fn failed_fsync_is_an_error_and_synced_prefix_survives() {
     );
 }
 
+/// The dangerous variant of a failed fsync: the process does NOT crash
+/// and keeps mutating. The nacked record must never become durable via a
+/// later successful append+fsync — the storage poisons itself (every
+/// further append fails typed) and cuts the unsynced tail back to the
+/// acked prefix, so even reopening without a crash sees only acked
+/// mutations.
+#[test]
+fn failed_fsync_without_crash_never_commits_the_rejected_record() {
+    let recs = workload(&mut TestRng::new(123), 8);
+    let states = prefix_states(&recs);
+    let vfs = Arc::new(FaultFs::new());
+    let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+    let mut acked = 0usize;
+    let mut refused = 0usize;
+    for (i, rec) in recs.iter().enumerate() {
+        if i == 3 {
+            vfs.inject(Fault::FailFsync {
+                path: WAL_FILE.into(),
+            });
+        }
+        match r.storage.log(rec) {
+            Ok(_) => acked += 1,
+            Err(StorageError::Io(_)) => refused += 1,
+            Err(e) => panic!("unexpected error kind {e}"),
+        }
+    }
+    assert_eq!(acked, 3, "everything before the failed fsync is acked");
+    assert_eq!(refused, 5, "the failure and every later append are nacked");
+    assert!(r.storage.poisoned());
+    drop(r);
+    // no crash: reopen over whatever the file holds right now
+    let r2 = open(&vfs, FsyncPolicy::Always).unwrap();
+    assert_eq!(
+        r2.tables, states[acked],
+        "a nacked mutation leaked into the recovered state"
+    );
+}
+
 /// A crash after the snapshot is installed but before the WAL is
 /// truncated must not double-apply: recovery skips WAL records the
 /// snapshot already covers.
