@@ -207,8 +207,9 @@ impl Query {
 }
 
 /// `doQuery` — dispatch the query's single SQL statement to the database.
+/// Each call pins its own snapshot: one statement, one catalog version.
 pub fn do_query(db: &Database, q: &Query) -> Result<Rel, SqlError> {
-    execute_sql(db, &q.sql())
+    execute_sql(&db.snapshot(), &q.sql())
 }
 
 #[cfg(test)]
@@ -217,7 +218,7 @@ mod tests {
     use ferry_algebra::{Schema, Ty, Value};
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "facilities",
             Schema::of(&[("fac", Ty::Str), ("cat", Ty::Str)]),
@@ -296,7 +297,7 @@ mod tests {
 
     #[test]
     fn joins_and_int_predicates() {
-        let mut db = db();
+        let db = db();
         db.create_table(
             "sizes",
             Schema::of(&[("cat", Ty::Str), ("n", Ty::Int)]),

@@ -28,19 +28,19 @@ fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
 /// vectorized, and 4 workers with the parallelism threshold low enough
 /// for every benched input.
 fn engines() -> Vec<(&'static str, Database)> {
-    let mut scalar_db = Database::new();
+    let scalar_db = Database::new();
     scalar_db.set_par_config(ParConfig {
         threads: 1,
         vec: VecMode::Off,
         ..ParConfig::default()
     });
-    let mut vec_db = Database::new();
+    let vec_db = Database::new();
     vec_db.set_par_config(ParConfig {
         threads: 1,
         vec: VecMode::Auto,
         ..ParConfig::default()
     });
-    let mut par_db = Database::new();
+    let par_db = Database::new();
     par_db.set_par_config(ParConfig {
         threads: 4,
         min_rows: 1024,

@@ -47,7 +47,7 @@ fn open(vfs: &Arc<FaultFs>, fsync: FsyncPolicy) -> Storage {
 /// A log holding the whole workload: `create_table` + RECORDS inserts.
 fn prebuilt_log() -> Arc<FaultFs> {
     let vfs = Arc::new(FaultFs::new());
-    let mut storage = open(&vfs, FsyncPolicy::Os);
+    let storage = open(&vfs, FsyncPolicy::Os);
     storage
         .log(&WalRecord::CreateTable {
             name: "bench".into(),
@@ -79,7 +79,7 @@ fn bench_storage(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(label, RECORDS), &RECORDS, |bch, _| {
             bch.iter(|| {
                 let vfs = Arc::new(FaultFs::new());
-                let mut storage = open(&vfs, policy);
+                let storage = open(&vfs, policy);
                 for i in 0..RECORDS {
                     storage
                         .log(&WalRecord::Insert {
@@ -118,7 +118,7 @@ fn bench_storage(c: &mut Criterion) {
     // the same state recovered from a snapshot instead of replay
     {
         let vfs = prebuilt_log();
-        let mut storage = open(&vfs, FsyncPolicy::Os);
+        let storage = open(&vfs, FsyncPolicy::Os);
         let recovered = Storage::open(
             vfs.clone() as Arc<dyn Vfs>,
             DurabilityConfig::default(),

@@ -35,7 +35,7 @@ fn bench_table1(c: &mut Criterion) {
         // assert the query counts once per size — the table's first column
         let (_, dsh_queries) = run_dsh(&conn).expect("dsh run");
         assert_eq!(dsh_queries, 2);
-        let (_, hdb_queries) = run_haskelldb(&conn.database()).expect("haskelldb run");
+        let (_, hdb_queries) = run_haskelldb(conn.database()).expect("haskelldb run");
         assert_eq!(hdb_queries, categories as u64 + 1);
         eprintln!(
             "table1: categories={categories} → HaskellDB {hdb_queries} queries, DSH {dsh_queries} queries"
@@ -52,7 +52,7 @@ fn bench_table1(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("haskelldb", categories),
                 &categories,
-                |b, _| b.iter(|| run_haskelldb(&conn.database()).expect("haskelldb run")),
+                |b, _| b.iter(|| run_haskelldb(conn.database()).expect("haskelldb run")),
             );
         }
     }

@@ -22,7 +22,7 @@ fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
 }
 
 fn db_at(config: TelemetryConfig) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.set_par_config(ParConfig {
         threads: 1,
         vec: VecMode::Auto,

@@ -75,7 +75,7 @@ pub fn dotp_data(n: usize, nnz: usize, seed: u64) -> (Vec<(i64, f64)>, Vec<f64>)
 
 /// Load a dot-product instance into database tables `sparse` and `dense`.
 pub fn dotp_database(sv: &[(i64, f64)], v: &[f64]) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "sparse",
         Schema::of(&[("idx", Ty::Int), ("val", Ty::Dbl)]),

@@ -154,7 +154,7 @@ mod tests {
     fn both_implementations_agree() {
         let conn = Connection::new(paper_dataset());
         let (dsh, _) = run_dsh(&conn).unwrap();
-        let (hdb, _) = run_haskelldb(&conn.database()).unwrap();
+        let (hdb, _) = run_haskelldb(conn.database()).unwrap();
         assert_eq!(normalise(dsh), normalise(hdb));
     }
 
@@ -165,7 +165,7 @@ mod tests {
             let conn = Connection::new(db);
             let (_, dsh_queries) = run_dsh(&conn).unwrap();
             assert_eq!(dsh_queries, 2);
-            let (_, hdb_queries) = run_haskelldb(&conn.database()).unwrap();
+            let (_, hdb_queries) = run_haskelldb(conn.database()).unwrap();
             assert_eq!(hdb_queries, k as u64 + 1, "HaskellDB: #categories + 1");
         }
     }
@@ -174,7 +174,7 @@ mod tests {
     fn implementations_agree_on_scaled_data() {
         let conn = Connection::new(scaled_dataset(12, 3));
         let (dsh, _) = run_dsh(&conn).unwrap();
-        let (hdb, _) = run_haskelldb(&conn.database()).unwrap();
+        let (hdb, _) = run_haskelldb(conn.database()).unwrap();
         assert_eq!(normalise(dsh), normalise(hdb));
     }
 

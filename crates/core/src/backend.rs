@@ -12,7 +12,7 @@
 //! `ferry-sql`).
 //!
 //! * [`AlgebraBackend`] — dispatch each bundle member's plan straight to
-//!   [`ferry_engine::Database::execute`] (the default, today's path);
+//!   [`ferry_engine::Snapshot::execute`] (the default, today's path);
 //! * `SqlBackend` (in the `ferry-sql` crate) — generate SQL:1999 per
 //!   member, then parse → bind → execute, exercising the full textual
 //!   boundary.
@@ -20,12 +20,15 @@
 use crate::error::FerryError;
 use crate::shred::CompiledBundle;
 use ferry_algebra::{NodeId, Plan, Rel};
-use ferry_engine::Database;
+use ferry_engine::Snapshot;
 
-/// One execution strategy for compiled bundles. Implementations must be
-/// stateless with respect to the query (any state is configuration), so
-/// a backend can be shared by every clone of a `Connection` and called
-/// from many threads at once.
+/// One execution strategy for compiled bundles. Backends run against a
+/// pinned [`Snapshot`] — one immutable catalog version — so every member
+/// of a bundle (and the hit/miss bookkeeping around it) observes exactly
+/// one epoch, however many writers commit meanwhile. Implementations
+/// must be stateless with respect to the query (any state is
+/// configuration), so a backend can be shared by every clone of a
+/// `Connection` and called from many threads at once.
 pub trait Backend: Send + Sync {
     /// Short name used in `explain` output and diagnostics.
     fn name(&self) -> &str;
@@ -33,24 +36,34 @@ pub trait Backend: Send + Sync {
     /// Execute one bundle member and return its relation. Exactly one
     /// engine query must be dispatched per call — the unit the paper's
     /// Table 1 counts.
-    fn execute_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<Rel, FerryError>;
+    fn execute_root(
+        &self,
+        snap: &Snapshot<'_>,
+        plan: &Plan,
+        root: NodeId,
+    ) -> Result<Rel, FerryError>;
 
     /// Render one bundle member the way this backend would ship it to
     /// the database: the algebra plan for direct execution, the
     /// generated SQL:1999 text for the SQL round trip.
-    fn render_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<String, FerryError>;
+    fn render_root(
+        &self,
+        snap: &Snapshot<'_>,
+        plan: &Plan,
+        root: NodeId,
+    ) -> Result<String, FerryError>;
 
     /// Execute a whole bundle (one `execute_root` per member, in bundle
     /// order).
     fn execute_bundle(
         &self,
-        db: &Database,
+        snap: &Snapshot<'_>,
         bundle: &CompiledBundle,
     ) -> Result<Vec<Rel>, FerryError> {
         bundle
             .queries
             .iter()
-            .map(|q| self.execute_root(db, &bundle.plan, q.root))
+            .map(|q| self.execute_root(snap, &bundle.plan, q.root))
             .collect()
     }
 }
@@ -64,11 +77,21 @@ impl Backend for AlgebraBackend {
         "algebra"
     }
 
-    fn execute_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<Rel, FerryError> {
-        Ok(db.execute(plan, root)?)
+    fn execute_root(
+        &self,
+        snap: &Snapshot<'_>,
+        plan: &Plan,
+        root: NodeId,
+    ) -> Result<Rel, FerryError> {
+        Ok(snap.execute(plan, root)?)
     }
 
-    fn render_root(&self, _db: &Database, plan: &Plan, root: NodeId) -> Result<String, FerryError> {
+    fn render_root(
+        &self,
+        _snap: &Snapshot<'_>,
+        plan: &Plan,
+        root: NodeId,
+    ) -> Result<String, FerryError> {
         Ok(ferry_algebra::pretty::render(plan, root))
     }
 
@@ -79,10 +102,10 @@ impl Backend for AlgebraBackend {
     /// (one query per member).
     fn execute_bundle(
         &self,
-        db: &Database,
+        snap: &Snapshot<'_>,
         bundle: &CompiledBundle,
     ) -> Result<Vec<Rel>, FerryError> {
         let roots: Vec<NodeId> = bundle.queries.iter().map(|q| q.root).collect();
-        Ok(db.execute_bundle(&bundle.plan, &roots)?)
+        Ok(snap.execute_bundle(&bundle.plan, &roots)?)
     }
 }

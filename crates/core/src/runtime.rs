@@ -22,11 +22,16 @@
 //!
 //! ## Concurrency
 //!
-//! The catalog sits behind `Arc<RwLock<Database>>`: a `Connection` is
-//! cheaply cloneable, clones share the database, the plan cache and the
-//! backend, and `from_q` / `execute` may run concurrently from many
-//! threads (executions take the read lock; catalog mutations take the
-//! write lock).
+//! The database is multi-versioned (see `ferry_engine::catalog`): a
+//! `Connection` is cheaply cloneable, clones share the `Arc<Database>`,
+//! the plan cache and the backend, and `from_q` / `execute` may run
+//! concurrently from many threads. Every execution pins one catalog
+//! [`Snapshot`](ferry_engine::Snapshot) — an immutable version all
+//! members of the bundle see — and runs lock-free against it, so
+//! readers never block writers and a commit landing mid-bundle can
+//! never tear a result. Catalog mutations go through
+//! [`Database::transact`] (or the `create_table` / `insert`
+//! conveniences) on [`Connection::database`].
 
 use crate::backend::{AlgebraBackend, Backend};
 use crate::compile::{SchemaProvider, TableInfo};
@@ -40,7 +45,7 @@ use ferry_engine::Database;
 use ferry_telemetry::{OptReport, QueryTrace, Telemetry, TelemetryConfig, TraceGuard};
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex};
 
 /// A plan rewriter slot (wired to `ferry_optimizer::rewriter` by callers;
 /// kept abstract here so the core crate does not depend on the optimizer).
@@ -89,7 +94,7 @@ impl<T> Prepared<T> {
 
 /// A connection to the database coprocessor.
 pub struct Connection {
-    db: Arc<RwLock<Database>>,
+    db: Arc<Database>,
     rewriter: Option<PlanRewriter>,
     backend: Arc<dyn Backend>,
     cache: Arc<Mutex<PlanCache>>,
@@ -109,7 +114,7 @@ impl Clone for Connection {
 impl Connection {
     pub fn new(db: Database) -> Connection {
         Connection {
-            db: Arc::new(RwLock::new(db)),
+            db: Arc::new(db),
             rewriter: None,
             backend: Arc::new(AlgebraBackend),
             cache: Arc::new(Mutex::new(PlanCache::default())),
@@ -131,7 +136,7 @@ impl Connection {
     /// LSN the snapshot covers (0 for an in-memory database, where this
     /// is a no-op).
     pub fn checkpoint(&self) -> Result<u64, FerryError> {
-        Ok(self.db.write().unwrap().checkpoint()?)
+        Ok(self.db.checkpoint()?)
     }
 
     /// Install a plan rewriter (e.g. `ferry_optimizer::rewriter()`)
@@ -154,15 +159,20 @@ impl Connection {
         &self.backend
     }
 
-    /// Shared (read) access to the database. Concurrent readers do not
-    /// block each other; the guard derefs to [`Database`].
-    pub fn database(&self) -> RwLockReadGuard<'_, Database> {
-        self.db.read().unwrap()
+    /// The shared database. All of its methods take `&self`: reads pin
+    /// an MVCC snapshot, mutations commit through
+    /// [`Database::transact`] — there is no guard to hold and nothing
+    /// for one caller to block on. (The former `database_mut` write
+    /// guard is gone with the lock it guarded.)
+    pub fn database(&self) -> &Database {
+        &self.db
     }
 
-    /// Exclusive (write) access to the database, for catalog mutations.
-    pub fn database_mut(&self) -> RwLockWriteGuard<'_, Database> {
-        self.db.write().unwrap()
+    /// Pin the current catalog version: every read and execution through
+    /// the returned snapshot sees exactly this epoch, immune to
+    /// concurrent commits. Shorthand for `self.database().snapshot()`.
+    pub fn snapshot(&self) -> ferry_engine::Snapshot<'_> {
+        self.db.snapshot()
     }
 
     /// Compile a query to its relational bundle (no execution, no cache)
@@ -195,9 +205,14 @@ impl Connection {
         let telemetry = self.telemetry();
         let _trace = telemetry.begin_query(0);
         let mut span = ferry_telemetry::span("prepare", "runtime");
-        let key: PlanKey = (q.exp().stable_hash(), self.database().schema_version());
+        // one pinned snapshot supplies the cache key's schema version
+        // AND the hit/miss accounting: a DDL commit between the two can
+        // no longer record a hit against one version and key the entry
+        // under another
+        let snap = self.db.snapshot();
+        let key: PlanKey = (q.exp().stable_hash(), snap.schema_version());
         if let Some(bundle) = self.cache.lock().unwrap().entries.get(&key).cloned() {
-            self.database().record_cache(true);
+            self.db.record_cache(true);
             span.attr("cache", "hit");
             return Ok(Prepared {
                 bundle,
@@ -212,7 +227,7 @@ impl Connection {
         cache.entries.retain(|(_, v), _| *v == key.1);
         let bundle = cache.entries.entry(key).or_insert(bundle).clone();
         drop(cache);
-        self.database().record_cache(false);
+        self.db.record_cache(false);
         span.attr("cache", "miss")
             .attr("queries", bundle.queries.len());
         Ok(Prepared {
@@ -251,8 +266,7 @@ impl Connection {
     /// Execute a compiled bundle through the configured backend and
     /// return the raw relations (one per bundle member).
     pub fn execute_bundle(&self, bundle: &CompiledBundle) -> Result<Vec<Rel>, FerryError> {
-        let db = self.database();
-        self.backend.execute_bundle(&db, bundle)
+        self.backend.execute_bundle(&self.db.snapshot(), bundle)
     }
 
     /// Execute the query on the database and decode the result — `fromQ`.
@@ -328,10 +342,11 @@ impl Connection {
     /// rows in canonical key order, columns in alphabetical order —
     /// exactly the view `table "name"` denotes.
     pub fn interpreter_tables(&self) -> Result<crate::interp::Tables, FerryError> {
-        let db = self.database();
+        // one snapshot: the exported tables are a consistent version
+        let snap = self.db.snapshot();
         let mut out = HashMap::new();
-        for name in db.table_names() {
-            let t = db
+        for name in snap.table_names() {
+            let t = snap
                 .table(name)
                 .ok_or_else(|| FerryError::Table(format!("listed table {name} disappeared")))?;
             let cols = t.schema.cols();
@@ -421,13 +436,17 @@ impl Connection {
             let _ = write!(out, "{}", rep.render());
         }
         let algebra = AlgebraBackend;
-        let db = self.database();
+        let snap = self.db.snapshot();
         for (i, qd) in bundle.queries.iter().enumerate() {
             let _ = writeln!(out, "-- query {} --", i + 1);
-            let _ = write!(out, "{}", algebra.render_root(&db, &bundle.plan, qd.root)?);
+            let _ = write!(
+                out,
+                "{}",
+                algebra.render_root(&snap, &bundle.plan, qd.root)?
+            );
             if self.backend.name() != algebra.name() {
                 let _ = writeln!(out, "-- query {} ({}) --", i + 1, self.backend.name());
-                let rendered = self.backend.render_root(&db, &bundle.plan, qd.root)?;
+                let rendered = self.backend.render_root(&snap, &bundle.plan, qd.root)?;
                 let _ = writeln!(out, "{}", rendered.trim_end());
             }
         }
@@ -449,10 +468,8 @@ impl Connection {
         // compile inside the trace so the timeline shows the frontend
         // stages too; the plan cache is deliberately bypassed
         let bundle = self.compile(q)?;
-        let db = self.database();
-        let results = self.backend.execute_bundle(&db, &bundle)?;
-        let stats = db.stats();
-        drop(db);
+        let results = self.backend.execute_bundle(&self.db.snapshot(), &bundle)?;
+        let stats = self.db.stats();
         self.stamp_query_id(&mut trace);
         let trace_id = trace.trace_id();
         drop(trace); // finish the trace so the timeline below can render it
@@ -495,7 +512,7 @@ impl Connection {
     /// clones). `ParConfig::serial()` recovers the single-threaded
     /// engine.
     pub fn set_par_config(&self, cfg: ferry_engine::ParConfig) {
-        self.db.write().unwrap().set_par_config(cfg);
+        self.db.set_par_config(cfg);
     }
 }
 
@@ -545,8 +562,7 @@ fn render_timeline(out: &mut String, trace: &QueryTrace) {
 
 impl SchemaProvider for Connection {
     fn table_info(&self, name: &str) -> Option<TableInfo> {
-        let db = self.database();
-        let t = db.table(name)?;
+        let t = self.db.table(name)?;
         Some(TableInfo {
             cols: t
                 .schema

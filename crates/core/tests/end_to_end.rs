@@ -7,7 +7,7 @@ use ferry_algebra::{Schema, Ty, Value};
 use ferry_engine::Database;
 
 fn conn() -> Connection {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
         .unwrap();
     db.insert(

@@ -14,7 +14,7 @@ use ferry_engine::Database;
 use proptest::prelude::*;
 
 fn database() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
         .unwrap();
     db.insert(
@@ -133,7 +133,7 @@ fn schema_change_invalidates_the_cache() {
     // DDL bumps the schema version: the cached bundle may now be stale
     // (e.g. the new table shadows nothing here, but the runtime cannot
     // know that cheaply), so the next prepare must recompile.
-    conn.database_mut()
+    conn.database()
         .create_table("extra", Schema::of(&[("x", Ty::Int)]), vec!["x"])
         .unwrap();
     conn.prepare(&q).unwrap();
@@ -152,7 +152,7 @@ fn row_inserts_do_not_invalidate() {
     let prepared = conn.prepare(&q).unwrap();
     assert_eq!(conn.execute(&prepared).unwrap(), vec![1, 1, 3, 4, 5]);
 
-    conn.database_mut()
+    conn.database()
         .insert("nums", vec![vec![Value::Int(2)]])
         .unwrap();
     conn.prepare(&q).unwrap(); // still a hit

@@ -14,7 +14,7 @@ use ferry_engine::{BaseTable, Database};
 
 #[test]
 fn missing_key_column_is_an_error_not_a_panic() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.install_table(
         "broken",
         BaseTable {
@@ -44,7 +44,7 @@ fn missing_key_column_is_an_error_not_a_panic() {
 fn non_atomic_cell_is_an_error_not_a_panic() {
     // Nat is the engine's surrogate/order domain — representable in a
     // base table via install_table, but no DSL value corresponds to it
-    let mut db = Database::new();
+    let db = Database::new();
     db.install_table(
         "odd",
         BaseTable {
@@ -68,7 +68,7 @@ fn non_atomic_cell_is_an_error_not_a_panic() {
 
 #[test]
 fn healthy_catalog_still_exports() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("t", Schema::of(&[("a", Ty::Int)]), vec!["a"])
         .unwrap();
     db.insert("t", vec![vec![Value::Int(2)], vec![Value::Int(1)]])

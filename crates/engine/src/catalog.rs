@@ -1,16 +1,48 @@
 //! The database: a catalog of base tables plus the query entry point.
+//!
+//! # Concurrency model (MVCC + group commit)
+//!
+//! The catalog is multi-versioned. Every committed transaction produces a
+//! fresh immutable [`Catalog`] version behind an `Arc`; readers *pin* the
+//! published version with one brief `RwLock` read ([`Database::snapshot`])
+//! and then run entirely lock-free against it — a writer committing
+//! mid-query can never tear a bundle, stall a scan, or be observed
+//! half-applied. Writers serialise on a commit mutex, build their version
+//! off to the side (copy-on-write per table: cloning the table map shares
+//! every `Arc<RowBuf>`; the first insert into a table copies its buffer
+//! once), and commit by atomically installing the new version.
+//!
+//! Durability composes via **group commit**: under
+//! [`FsyncPolicy::Always`] a committing transaction appends its WAL
+//! record and then *enqueues* for durability instead of fsyncing itself.
+//! Whichever waiter finds the fsync slot free becomes the leader, runs
+//! one fsync covering every record appended so far (the WAL mutex is
+//! released during the fsync, so more committers keep enqueuing), then
+//! publishes the newest catalog version the fsync covered and wakes all
+//! waiters whose LSNs are now durable. Acked ⇒ durable is preserved —
+//! versions are *published to readers only after* their LSN is synced —
+//! while N concurrent writers share one fsync instead of paying N.
+//!
+//! A failed group fsync keeps the PR-5 contract: the storage layer
+//! truncates the un-synced tail and poisons the WAL; here the pending
+//! queue is cleared, every waiter gets the error (nothing they were told
+//! failed can ever surface), and the commit head rolls back to the
+//! published version so the catalog agrees with the log.
 
 use crate::error::EngineError;
 use crate::exec;
 use crate::par::ParConfig;
 use crate::stats::{ProfileRing, QueryProfile, QueryStats};
 use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema};
-use ferry_storage::{DurabilityConfig, RecoveryReport, StdFs, Storage, TableImage, Vfs, WalRecord};
-use ferry_telemetry::{Counter, Histogram, Registry, Telemetry, TelemetryConfig};
-use std::collections::HashMap;
+use ferry_storage::{
+    DurabilityConfig, FsyncPolicy, RecoveryReport, StdFs, Storage, StorageError, TableImage, Vfs,
+    WalRecord,
+};
+use ferry_telemetry::{Counter, Gauge, Histogram, Registry, Telemetry, TelemetryConfig};
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 /// A database-resident base table: schema, key columns (defining the
@@ -30,18 +62,97 @@ pub struct BaseTable {
     pub rows: Arc<RowBuf>,
 }
 
+/// One immutable version of the catalog. Published versions are never
+/// mutated — writers clone the table map (sharing row buffers) and
+/// install a successor with `epoch + 1`.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, BaseTable>,
+    /// Bumped by DDL only (create/install); row inserts leave it alone.
+    /// Compiled plans are data-independent, so the runtime's plan cache
+    /// keys on this to invalidate exactly when recompilation could
+    /// change a bundle.
+    schema_version: u64,
+    /// Bumped by **every** committed transaction — the version number of
+    /// this catalog. Exported as the `engine.epoch` gauge.
+    epoch: u64,
+}
+
+impl Catalog {
+    /// Storage images of every table, sorted for deterministic snapshot
+    /// bytes regardless of `HashMap` order.
+    fn images(&self) -> Vec<TableImage> {
+        let mut images: Vec<TableImage> = self
+            .tables
+            .iter()
+            .map(|(name, t)| TableImage {
+                name: name.clone(),
+                schema: t.schema.clone(),
+                keys: t.keys.clone(),
+                rows: t.rows.rows().to_vec(),
+            })
+            .collect();
+        images.sort_by(|a, b| a.name.cmp(&b.name));
+        images
+    }
+}
+
+/// Writer-side state guarded by the commit mutex: the newest committed
+/// catalog version. Under group commit this can run *ahead* of the
+/// published version while its LSN awaits the batch fsync.
+#[derive(Debug)]
+struct Committer {
+    head: Arc<Catalog>,
+}
+
+/// Group-commit state: the durable watermark, the fsync-leader slot, and
+/// the committed-but-unpublished versions awaiting their LSN.
+#[derive(Debug, Default)]
+struct GroupCommit {
+    /// Highest LSN known durable (matches `Storage::synced_lsn`).
+    durable_lsn: u64,
+    /// Is a leader's fsync (or a checkpoint) in flight? At most one
+    /// thread syncs at a time; everyone else waits on the condvar.
+    syncing: bool,
+    /// Set when a group fsync failed: the WAL is poisoned, every pending
+    /// commit was nacked, and all further durable commits fail until the
+    /// database is reopened.
+    poisoned: Option<String>,
+    /// `(lsn, version)` of committed transactions not yet published,
+    /// oldest first. Publishing pops every entry the fsync covered and
+    /// installs the newest.
+    pending: VecDeque<(u64, Arc<Catalog>)>,
+}
+
 /// The in-memory database acting as the coprocessor.
 ///
 /// `execute` is the client/server boundary: each call is **one query**
 /// dispatched to the database, counted in [`QueryStats`] and charged
 /// `dispatch_cost` of fixed latency (default zero; set it to model a
 /// networked DBMS round-trip).
+///
+/// All methods take `&self` — share a `Database` behind a plain `Arc`.
+/// Reads go through [`Database::snapshot`]; writes through
+/// [`Database::transact`] (or the `create_table`/`insert` conveniences,
+/// which are single-operation transactions). See the module docs for the
+/// locking model. Lock order, for the auditor: `commit` ≺ `gc` ≺
+/// `current`; none is ever held across a query, and only `gc` waiters
+/// block on an fsync.
 #[derive(Debug)]
 pub struct Database {
-    tables: HashMap<String, BaseTable>,
-    dispatch_cost: Duration,
+    /// The published catalog version readers pin. Held only for the
+    /// nanoseconds an `Arc` clone or store takes.
+    current: RwLock<Arc<Catalog>>,
+    /// Writer serialisation + the commit head.
+    commit: Mutex<Committer>,
+    /// Group-commit queue; `gc_cv` signals durability advances and
+    /// leader-slot hand-offs.
+    gc: Mutex<GroupCommit>,
+    gc_cv: Condvar,
+    /// Fixed per-query dispatch latency in nanoseconds.
+    dispatch_cost_ns: AtomicU64,
     /// Morsel/wavefront parallelism knobs used by every dispatch.
-    par: ParConfig,
+    par: Mutex<ParConfig>,
     /// The observability hub: config, metrics registry, trace ring.
     /// Per-instance (no process globals), so concurrent databases and
     /// tests never see each other's numbers.
@@ -53,15 +164,9 @@ pub struct Database {
     profiles: Mutex<ProfileRing>,
     /// Dispatch id allocator (`QueryProfile::query_id`; monotone, 1-based).
     next_query_id: AtomicU64,
-    /// Monotone counter bumped whenever the *schema* of the catalog
-    /// changes (tables created, replaced or force-installed). Compiled
-    /// plans are data-independent, so row inserts do **not** bump it —
-    /// the runtime's plan cache keys on this version to invalidate
-    /// bundles exactly when recompilation could change them.
-    schema_version: u64,
     /// The durability substrate, when this database was opened with
     /// [`Database::open`]. `None` = in-memory only (the default). Every
-    /// catalog mutation is appended to its WAL **before** being applied
+    /// transaction is appended to its WAL **before** being applied
     /// in memory (log-before-ack).
     storage: Option<Storage>,
     /// What recovery found and did, for databases opened durably.
@@ -69,7 +174,7 @@ pub struct Database {
     /// The most recent *auto*-checkpoint failure. Mutations do not surface
     /// these (see [`Database::maybe_checkpoint`]); callers that care poll
     /// here or watch the `storage.checkpoint_failures` counter.
-    last_checkpoint_error: Option<String>,
+    last_checkpoint_error: Mutex<Option<String>>,
 }
 
 /// The engine's named metrics, resolved once per database. Counter names
@@ -90,6 +195,10 @@ struct EngineMetrics {
     kernel_batches: Arc<Counter>,
     checkpoint_failures: Arc<Counter>,
     query_latency_ns: Arc<Histogram>,
+    /// The published catalog epoch (gauge, monotone under one process).
+    epoch: Arc<Gauge>,
+    /// Transactions made durable per group-commit fsync (batch size).
+    commit_batch: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -115,6 +224,10 @@ impl EngineMetrics {
             query_latency_ns: registry
                 .histogram("engine.query_latency_ns")
                 .unwrap_or_default(),
+            epoch: registry.gauge("engine.epoch").unwrap_or_default(),
+            commit_batch: registry
+                .histogram("storage.commit_batch_records")
+                .unwrap_or_default(),
         }
     }
 }
@@ -135,17 +248,21 @@ impl Database {
     pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Database {
         let metrics = EngineMetrics::new(telemetry.registry());
         Database {
-            tables: HashMap::new(),
-            dispatch_cost: Duration::ZERO,
-            par: ParConfig::default(),
+            current: RwLock::new(Arc::new(Catalog::default())),
+            commit: Mutex::new(Committer {
+                head: Arc::new(Catalog::default()),
+            }),
+            gc: Mutex::new(GroupCommit::default()),
+            gc_cv: Condvar::new(),
+            dispatch_cost_ns: AtomicU64::new(0),
+            par: Mutex::new(ParConfig::default()),
             telemetry,
             metrics,
             profiles: Mutex::new(ProfileRing::default()),
             next_query_id: AtomicU64::new(0),
-            schema_version: 0,
             storage: None,
             recovery: None,
-            last_checkpoint_error: None,
+            last_checkpoint_error: Mutex::new(None),
         }
     }
 
@@ -165,11 +282,12 @@ impl Database {
     ) -> Result<Database, EngineError> {
         let mut db = Database::new();
         let recovered = Storage::open(vfs, config, db.telemetry.registry())?;
+        // recovered tables are installed directly (they were validated
+        // when first logged); each install bumps `schema_version`, so
+        // any plan cache keyed on a fresh database misses as it must
+        let mut cat = Catalog::default();
         for img in recovered.tables {
-            // recovered tables are installed directly (they were validated
-            // when first logged); each install bumps `schema_version`, so
-            // any plan cache keyed on a fresh database misses as it must
-            db.tables.insert(
+            cat.tables.insert(
                 img.name,
                 BaseTable {
                     schema: img.schema,
@@ -177,12 +295,265 @@ impl Database {
                     rows: Arc::new(RowBuf::new(img.rows)),
                 },
             );
-            db.schema_version += 1;
+            cat.schema_version += 1;
+            cat.epoch += 1;
         }
+        db.metrics.epoch.set(cat.epoch as i64);
+        let cat = Arc::new(cat);
+        db.current = RwLock::new(cat.clone());
+        db.commit = Mutex::new(Committer { head: cat });
+        db.gc = Mutex::new(GroupCommit {
+            durable_lsn: recovered.storage.synced_lsn(),
+            ..GroupCommit::default()
+        });
         db.storage = Some(recovered.storage);
         db.recovery = Some(recovered.report);
         Ok(db)
     }
+
+    // ------------------------------------------------------------ reads
+
+    /// Pin the published catalog version: one `RwLock` read to clone an
+    /// `Arc`, then every table lookup and query in this snapshot is
+    /// lock-free and immune to concurrent commits. This is *the* read
+    /// path — queries, compilation and bundle execution all see exactly
+    /// one epoch.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot {
+            db: self,
+            cat: self.current.read().unwrap().clone(),
+        }
+    }
+
+    /// The published catalog epoch (bumped by every committed
+    /// transaction).
+    pub fn epoch(&self) -> u64 {
+        self.current.read().unwrap().epoch
+    }
+
+    /// The current schema version (see the [`Catalog`] field docs).
+    pub fn schema_version(&self) -> u64 {
+        self.current.read().unwrap().schema_version
+    }
+
+    /// A point-in-time copy of one table's catalog entry (schema and keys
+    /// cloned, rows shared). Prefer [`Database::snapshot`] when reading
+    /// more than one thing — each `table` call pins its own version.
+    pub fn table(&self, name: &str) -> Option<BaseTable> {
+        self.current.read().unwrap().tables.get(name).cloned()
+    }
+
+    /// Names of every table in the published version, unordered.
+    pub fn table_names(&self) -> Vec<String> {
+        self.current
+            .read()
+            .unwrap()
+            .tables
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    // ----------------------------------------------------------- writes
+
+    /// Run `f` as one atomic transaction. The closure mutates a private
+    /// working version forked off the commit head (read-your-own-writes
+    /// within the transaction); if it succeeds and changed anything, the
+    /// whole transaction is WAL-logged as **one record** (multi-operation
+    /// transactions as an atomic [`WalRecord::Batch`]) and the new
+    /// catalog version is installed for readers — after its LSN is
+    /// group-commit durable under [`FsyncPolicy::Always`], immediately
+    /// under the ack-before-durable policies. An `Err` from the closure
+    /// (or from logging) commits nothing: readers never saw the working
+    /// version, and the head is unchanged.
+    pub fn transact<T>(
+        &self,
+        f: impl FnOnce(&mut Tx) -> Result<T, EngineError>,
+    ) -> Result<T, EngineError> {
+        let mut commit = self.commit.lock().unwrap();
+        let head = commit.head.clone();
+        let mut tx = Tx {
+            work: Catalog {
+                tables: head.tables.clone(),
+                schema_version: head.schema_version,
+                epoch: head.epoch + 1,
+            },
+            recs: Vec::new(),
+            durable: self.storage.is_some(),
+            dirty: false,
+        };
+        let out = f(&mut tx)?;
+        if !tx.dirty {
+            return Ok(out); // read-only: nothing to log or install
+        }
+        let version = Arc::new(tx.work);
+        if let Some(storage) = &self.storage {
+            // log-before-ack: the WAL sees the transaction before memory
+            let lsn = storage.log_batch(std::mem::take(&mut tx.recs))?;
+            commit.head = version.clone();
+            if matches!(storage.config().fsync, FsyncPolicy::Always) {
+                // enqueue for the batch fsync while still ordered by the
+                // commit lock; publish happens when a leader covers us
+                self.gc.lock().unwrap().pending.push_back((lsn, version));
+                drop(commit);
+                self.wait_durable(lsn)?;
+            } else {
+                // EveryN/Os ack before durability by contract
+                self.install(version);
+                drop(commit);
+            }
+        } else {
+            commit.head = version.clone();
+            self.install(version);
+            drop(commit);
+        }
+        self.maybe_checkpoint();
+        Ok(out)
+    }
+
+    /// Create (or replace) a base table — a single-operation
+    /// [`Database::transact`].
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        keys: Vec<&str>,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        self.transact(|tx| tx.create_table(name, schema, keys))
+    }
+
+    /// Append rows to a base table (types are checked) — a
+    /// single-operation [`Database::transact`].
+    pub fn insert(&self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
+        self.transact(|tx| tx.insert(name, rows))
+    }
+
+    /// Install a table **without** the `create_table` validation — the
+    /// restore-from-snapshot escape hatch. The caller is responsible for
+    /// the invariants (`keys ⊆ schema`, row cells typed per schema);
+    /// consumers such as `Connection::interpreter_tables` must therefore
+    /// report violations as errors rather than assume them impossible.
+    /// On a durable database the full table (rows included) is WAL-logged
+    /// before installation, which is why this can fail.
+    pub fn install_table(
+        &self,
+        name: impl Into<String>,
+        table: BaseTable,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        self.transact(|tx| tx.install_table(name, table))
+    }
+
+    /// Publish `version` to readers and export its epoch.
+    fn install(&self, version: Arc<Catalog>) {
+        self.metrics.epoch.set(version.epoch as i64);
+        *self.current.write().unwrap() = version;
+    }
+
+    // ----------------------------------------------- group-commit core
+
+    /// Block until `lsn` is durable (or the WAL is poisoned). The first
+    /// waiter to find the fsync slot free becomes the **leader**: it runs
+    /// one fsync covering every appended record — crucially *without*
+    /// holding the WAL mutex, so concurrent committers keep enqueuing —
+    /// publishes the newest covered catalog version, records the batch
+    /// size, and wakes everyone. Other waiters sleep on the condvar.
+    fn wait_durable(&self, lsn: u64) -> Result<(), EngineError> {
+        let storage = self.storage.as_ref().expect("durable commit path");
+        let mut gc = self.gc.lock().unwrap();
+        loop {
+            if gc.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if let Some(msg) = gc.poisoned.clone() {
+                return Err(EngineError::Storage(StorageError::Io(msg)));
+            }
+            if gc.syncing {
+                gc = self.gc_cv.wait(gc).unwrap();
+                continue;
+            }
+            // leader election: claim the slot, sync without any lock
+            gc.syncing = true;
+            drop(gc);
+            // group-commit window: let committers that just missed the
+            // previous batch append before this fsync's target is
+            // captured — without it, batches alternate full/size-1 and
+            // the fsync sharing halves (the `commit_delay` of real DBs)
+            std::thread::yield_now();
+            let mut span = ferry_telemetry::span("wal.group_commit", "storage");
+            match storage.group_sync() {
+                Ok(synced) => {
+                    let mut held = self.gc.lock().unwrap();
+                    held.syncing = false;
+                    let batch = held
+                        .pending
+                        .iter()
+                        .take_while(|(l, _)| *l <= synced)
+                        .count();
+                    span.attr("synced_lsn", synced).attr("batch", batch);
+                    self.publish_durable(&mut held, synced);
+                    if batch > 0 {
+                        self.metrics.commit_batch.record(batch as u64);
+                    }
+                    drop(held);
+                    self.gc_cv.notify_all();
+                    gc = self.gc.lock().unwrap();
+                    // loop re-checks: our lsn is covered unless we raced
+                    // a concurrent appender's newer target — then we wait
+                    // or lead again
+                }
+                Err(e) => {
+                    // the WAL truncated the nacked tail and poisoned
+                    // itself (PR-5 contract). Fail every waiter first —
+                    // *then* roll the head back; the gap is safe because
+                    // any transact landing in it fails at log_batch on
+                    // the poisoned WAL without touching the head.
+                    {
+                        let mut held = self.gc.lock().unwrap();
+                        held.syncing = false;
+                        held.pending.clear();
+                        held.poisoned = Some(e.to_string());
+                    }
+                    self.gc_cv.notify_all();
+                    let mut commit = self.commit.lock().unwrap();
+                    commit.head = self.current.read().unwrap().clone();
+                    drop(commit);
+                    return Err(EngineError::Storage(e));
+                }
+            }
+        }
+    }
+
+    /// Advance the durable watermark to `synced` and publish the newest
+    /// pending version it covers. Caller holds the `gc` lock.
+    fn publish_durable(&self, gc: &mut GroupCommit, synced: u64) {
+        gc.durable_lsn = gc.durable_lsn.max(synced);
+        let mut newest = None;
+        while gc.pending.front().is_some_and(|(l, _)| *l <= synced) {
+            newest = Some(gc.pending.pop_front().expect("front checked").1);
+        }
+        if let Some(v) = newest {
+            self.install(v);
+        }
+    }
+
+    /// Claim the exclusive fsync slot (waits out an in-flight leader).
+    /// Caller must hold the commit lock, so no new transaction can
+    /// enqueue while the slot is claimed.
+    fn begin_sync_slot(&self) -> Result<(), EngineError> {
+        let mut gc = self.gc.lock().unwrap();
+        while gc.syncing {
+            gc = self.gc_cv.wait(gc).unwrap();
+        }
+        if let Some(msg) = gc.poisoned.clone() {
+            return Err(EngineError::Storage(StorageError::Io(msg)));
+        }
+        gc.syncing = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------ durability
 
     /// Is this database backed by durable storage?
     pub fn is_durable(&self) -> bool {
@@ -196,59 +567,89 @@ impl Database {
     }
 
     /// Write a snapshot of the current catalog and compact the WAL.
-    /// No-op returning 0 for in-memory databases.
-    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
-        let Some(storage) = self.storage.as_mut() else {
+    /// No-op returning 0 for in-memory databases. Serialises with
+    /// committers (commit lock) and with any in-flight group fsync
+    /// (sync slot), so the snapshot provably covers every logged record.
+    pub fn checkpoint(&self) -> Result<u64, EngineError> {
+        let Some(storage) = &self.storage else {
             return Ok(0);
         };
-        let mut images: Vec<TableImage> = self
-            .tables
-            .iter()
-            .map(|(name, t)| TableImage {
-                name: name.clone(),
-                schema: t.schema.clone(),
-                keys: t.keys.clone(),
-                rows: t.rows.rows().to_vec(),
-            })
-            .collect();
-        // deterministic snapshot bytes regardless of HashMap order
-        images.sort_by(|a, b| a.name.cmp(&b.name));
-        Ok(storage.checkpoint(&images)?)
+        let mut commit = self.commit.lock().unwrap();
+        self.begin_sync_slot()?;
+        let result = storage.checkpoint(&commit.head.images());
+        let mut gc = self.gc.lock().unwrap();
+        gc.syncing = false;
+        let out = match result {
+            Ok(lsn) => {
+                self.publish_durable(&mut gc, lsn);
+                Ok(lsn)
+            }
+            Err(e) => {
+                if storage.poisoned() {
+                    // the barrier fsync failed: nacked tail truncated,
+                    // WAL poisoned — mirror that here and re-anchor the
+                    // head on what readers (and the log) actually have
+                    gc.pending.clear();
+                    gc.poisoned = Some(e.to_string());
+                    commit.head = self.current.read().unwrap().clone();
+                } else {
+                    // fsync succeeded, the snapshot write itself failed:
+                    // everything synced is durable and publishable; the
+                    // WAL just keeps growing until a later checkpoint
+                    self.publish_durable(&mut gc, storage.synced_lsn());
+                }
+                Err(EngineError::Storage(e))
+            }
+        };
+        drop(gc);
+        drop(commit);
+        self.gc_cv.notify_all();
+        out
     }
 
     /// Force-fsync the WAL regardless of the configured policy (shutdown
     /// barrier). No-op for in-memory databases.
-    pub fn sync(&mut self) -> Result<(), EngineError> {
-        if let Some(storage) = self.storage.as_mut() {
-            storage.sync()?;
-        }
-        Ok(())
-    }
-
-    /// Append `rec` to the WAL (durable per the fsync policy once this
-    /// returns), then checkpoint if the configured WAL budget is spent.
-    /// Must be called **before** the in-memory mutation is applied.
-    fn log_durable(&mut self, rec: &WalRecord) -> Result<(), EngineError> {
-        if let Some(storage) = self.storage.as_mut() {
-            storage.log(rec)?;
-        }
-        Ok(())
+    pub fn sync(&self) -> Result<(), EngineError> {
+        let Some(storage) = &self.storage else {
+            return Ok(());
+        };
+        let mut commit = self.commit.lock().unwrap();
+        self.begin_sync_slot()?;
+        let result = storage.group_sync();
+        let mut gc = self.gc.lock().unwrap();
+        gc.syncing = false;
+        let out = match result {
+            Ok(synced) => {
+                self.publish_durable(&mut gc, synced);
+                Ok(())
+            }
+            Err(e) => {
+                gc.pending.clear();
+                gc.poisoned = Some(e.to_string());
+                commit.head = self.current.read().unwrap().clone();
+                Err(EngineError::Storage(e))
+            }
+        };
+        drop(gc);
+        drop(commit);
+        self.gc_cv.notify_all();
+        out
     }
 
     /// Run the auto-checkpoint if `checkpoint_every` says the WAL budget
-    /// is spent. Called **after** the mutation is applied in memory, so
-    /// the snapshot covers it. Failures are recorded, never returned: the
+    /// is spent. Called **after** the transaction committed, so the
+    /// snapshot covers it. Failures are recorded, never returned: the
     /// mutation itself is already WAL-durable and applied, so an error
     /// from `insert`/`create_table` here would read as "mutation failed"
     /// and invite a double-applying retry. The WAL keeps growing and the
     /// next mutation retries the compaction.
-    fn maybe_checkpoint(&mut self) {
+    fn maybe_checkpoint(&self) {
         if self.storage.as_ref().is_some_and(Storage::checkpoint_due) {
             match self.checkpoint() {
-                Ok(_) => self.last_checkpoint_error = None,
+                Ok(_) => *self.last_checkpoint_error.lock().unwrap() = None,
                 Err(e) => {
                     self.metrics.checkpoint_failures.inc();
-                    self.last_checkpoint_error = Some(e.to_string());
+                    *self.last_checkpoint_error.lock().unwrap() = Some(e.to_string());
                 }
             }
         }
@@ -257,9 +658,11 @@ impl Database {
     /// The most recent auto-checkpoint failure, if any (cleared by the
     /// next successful one). See [`Database::maybe_checkpoint`] for why
     /// mutations swallow these.
-    pub fn last_checkpoint_error(&self) -> Option<&str> {
-        self.last_checkpoint_error.as_deref()
+    pub fn last_checkpoint_error(&self) -> Option<String> {
+        self.last_checkpoint_error.lock().unwrap().clone()
     }
+
+    // ----------------------------------------------------- observability
 
     /// This database's telemetry hub (registry, trace ring, config).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
@@ -291,73 +694,6 @@ impl Database {
         qid
     }
 
-    /// Create (or replace) a base table.
-    pub fn create_table(
-        &mut self,
-        name: impl Into<String>,
-        schema: Schema,
-        keys: Vec<&str>,
-    ) -> Result<(), EngineError> {
-        let name = name.into();
-        for k in &keys {
-            if !schema.contains(k) {
-                return Err(EngineError::TableMismatch {
-                    table: name,
-                    detail: format!("key column {k} not in schema {schema}"),
-                });
-            }
-        }
-        let keys: Vec<String> = keys.into_iter().map(String::from).collect();
-        self.log_durable(&WalRecord::CreateTable {
-            name: name.clone(),
-            schema: schema.clone(),
-            keys: keys.clone(),
-        })?;
-        self.tables.insert(
-            name,
-            BaseTable {
-                schema,
-                keys,
-                rows: Arc::new(RowBuf::default()),
-            },
-        );
-        self.schema_version += 1;
-        self.maybe_checkpoint();
-        Ok(())
-    }
-
-    /// Install a table **without** the `create_table` validation — the
-    /// restore-from-snapshot escape hatch. The caller is responsible for
-    /// the invariants (`keys ⊆ schema`, row cells typed per schema);
-    /// consumers such as `Connection::interpreter_tables` must therefore
-    /// report violations as errors rather than assume them impossible.
-    /// On a durable database the full table (rows included) is WAL-logged
-    /// before installation, which is why this can fail.
-    pub fn install_table(
-        &mut self,
-        name: impl Into<String>,
-        table: BaseTable,
-    ) -> Result<(), EngineError> {
-        let name = name.into();
-        if self.storage.is_some() {
-            self.log_durable(&WalRecord::InstallTable {
-                name: name.clone(),
-                schema: table.schema.clone(),
-                keys: table.keys.clone(),
-                rows: table.rows.rows().to_vec(),
-            })?;
-        }
-        self.tables.insert(name, table);
-        self.schema_version += 1;
-        self.maybe_checkpoint();
-        Ok(())
-    }
-
-    /// The current schema version (see the field docs).
-    pub fn schema_version(&self) -> u64 {
-        self.schema_version
-    }
-
     /// Record a plan-cache outcome in this database's [`QueryStats`].
     /// The cache itself lives in the runtime (`ferry::Connection`); the
     /// counters live here so one `stats()` call tells the whole story of
@@ -373,73 +709,20 @@ impl Database {
         }
     }
 
-    /// Append rows to a base table (types are checked). On a durable
-    /// database the rows are WAL-logged after validation and **before**
-    /// the in-memory append — a failed append leaves both the log and the
-    /// catalog unchanged.
-    pub fn insert(&mut self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
-        let table = self
-            .tables
-            .get(name)
-            .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))?;
-        for row in &rows {
-            if row.len() != table.schema.len() {
-                return Err(EngineError::TableMismatch {
-                    table: name.to_string(),
-                    detail: format!(
-                        "row width {} != schema width {}",
-                        row.len(),
-                        table.schema.len()
-                    ),
-                });
-            }
-            for (v, (c, t)) in row.iter().zip(table.schema.cols()) {
-                if v.ty() != *t {
-                    return Err(EngineError::TableMismatch {
-                        table: name.to_string(),
-                        detail: format!("column {c}: value {v} is not {t}"),
-                    });
-                }
-            }
-        }
-        // move the rows through the WAL record rather than cloning them —
-        // the in-memory path pays nothing for durability support
-        let rec = WalRecord::Insert {
-            table: name.to_string(),
-            rows,
-        };
-        self.log_durable(&rec)?;
-        let WalRecord::Insert { rows, .. } = rec else {
-            unreachable!()
-        };
-        let table = self.tables.get_mut(name).expect("validated above");
-        // extend_rows also invalidates the buffer's columnar chunk cache
-        Arc::make_mut(&mut table.rows).extend_rows(rows);
-        self.maybe_checkpoint();
-        Ok(())
-    }
-
-    pub fn table(&self, name: &str) -> Option<&BaseTable> {
-        self.tables.get(name)
-    }
-
-    pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(|s| s.as_str())
-    }
-
     /// Fixed latency charged per dispatched query (models network
     /// round-trip and parse/plan overhead of a real client/server DBMS).
-    pub fn set_dispatch_cost(&mut self, cost: Duration) {
-        self.dispatch_cost = cost;
+    pub fn set_dispatch_cost(&self, cost: Duration) {
+        self.dispatch_cost_ns
+            .store(cost.as_nanos() as u64, AtOrd::Relaxed);
     }
 
     /// Set the parallelism configuration used by subsequent dispatches.
-    pub fn set_par_config(&mut self, cfg: ParConfig) {
-        self.par = cfg;
+    pub fn set_par_config(&self, cfg: ParConfig) {
+        *self.par.lock().unwrap() = cfg;
     }
 
     pub fn par_config(&self) -> ParConfig {
-        self.par
+        *self.par.lock().unwrap()
     }
 
     /// A point-in-time [`QueryStats`] view assembled from the telemetry
@@ -469,6 +752,62 @@ impl Database {
         self.profiles.lock().unwrap().clear();
     }
 
+    // --------------------------------------------------------- dispatch
+
+    /// Dispatch **one query** against a freshly pinned snapshot.
+    pub fn execute(&self, plan: &Plan, root: NodeId) -> Result<Rel, EngineError> {
+        self.snapshot().execute(plan, root)
+    }
+
+    /// Dispatch a bundle against a freshly pinned snapshot: every member
+    /// sees the same catalog version. Pin a [`Database::snapshot`]
+    /// yourself to span several calls with one version.
+    pub fn execute_bundle(&self, plan: &Plan, roots: &[NodeId]) -> Result<Vec<Rel>, EngineError> {
+        self.snapshot().execute_bundle(plan, roots)
+    }
+}
+
+/// A pinned, immutable view of one catalog version. Cheap to create
+/// (one `Arc` clone) and entirely lock-free to read: concurrent commits
+/// install new versions without disturbing it. Everything executed
+/// through one snapshot — every member of a bundle, every table lookup —
+/// sees the same epoch.
+#[derive(Debug, Clone)]
+pub struct Snapshot<'db> {
+    db: &'db Database,
+    cat: Arc<Catalog>,
+}
+
+impl<'db> Snapshot<'db> {
+    /// The database this snapshot was pinned from (for stats, telemetry
+    /// and mutation APIs — none of which affect this snapshot).
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// This version's epoch (bumped by every committed transaction).
+    pub fn epoch(&self) -> u64 {
+        self.cat.epoch
+    }
+
+    /// This version's schema version (bumped by DDL only).
+    pub fn schema_version(&self) -> u64 {
+        self.cat.schema_version
+    }
+
+    pub fn table(&self, name: &str) -> Option<&BaseTable> {
+        self.cat.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.cat.tables.keys().map(|s| s.as_str())
+    }
+
+    /// The parallelism knobs dispatches through this snapshot use.
+    pub fn par_config(&self) -> ParConfig {
+        self.db.par_config()
+    }
+
     /// Dispatch **one query** — validate the plan, evaluate the DAG bottom-
     /// up (shared nodes once), return the root relation.
     pub fn execute(&self, plan: &Plan, root: NodeId) -> Result<Rel, EngineError> {
@@ -490,17 +829,21 @@ impl Database {
         if roots.is_empty() {
             return Ok(Vec::new());
         }
-        let qid = self.next_query_id.fetch_add(1, AtOrd::Relaxed) + 1;
+        let db = self.db;
+        let qid = db.next_query_id.fetch_add(1, AtOrd::Relaxed) + 1;
         let trace_id = ferry_telemetry::current_ctx().trace;
+        let threads = self.par_config().threads;
         let mut dispatch = ferry_telemetry::span("dispatch", "engine");
         dispatch
             .attr("query_id", qid)
             .attr("queries", roots.len())
-            .attr("threads", self.par.threads);
+            .attr("threads", threads)
+            .attr("epoch", self.cat.epoch);
         let start_ns = ferry_telemetry::now_ns();
-        if !self.dispatch_cost.is_zero() {
+        let dispatch_cost = Duration::from_nanos(db.dispatch_cost_ns.load(AtOrd::Relaxed));
+        if !dispatch_cost.is_zero() {
             for _ in roots {
-                spin_for(self.dispatch_cost);
+                spin_for(dispatch_cost);
             }
         }
         let schemas = infer_schema(plan)?;
@@ -509,8 +852,8 @@ impl Database {
         let results = exec::run_many(self, plan, roots, &schemas, &mut local, &mut prof)?;
         let elapsed_ns = ferry_telemetry::now_ns().saturating_sub(start_ns);
         drop(dispatch);
-        if self.telemetry.counters_on() {
-            let m = &self.metrics;
+        if db.telemetry.counters_on() {
+            let m = &db.metrics;
             m.queries.add(roots.len() as u64);
             m.rows_out.add(results.iter().map(|r| r.len() as u64).sum());
             m.nodes_evaluated.add(local.nodes_evaluated);
@@ -521,7 +864,7 @@ impl Database {
             m.vec_nodes.add(local.vec_nodes);
             m.kernel_batches.add(local.kernel_batches);
             m.query_latency_ns.record(elapsed_ns);
-            self.profiles.lock().unwrap().push(QueryProfile {
+            db.profiles.lock().unwrap().push(QueryProfile {
                 query_id: qid,
                 trace_id,
                 roots: roots.len() as u32,
@@ -530,6 +873,136 @@ impl Database {
             });
         }
         Ok(results)
+    }
+}
+
+/// The working state of one open transaction: a private catalog version
+/// forked off the commit head, plus the WAL records that will log it.
+/// Handed to the closure of [`Database::transact`]; mutations validate
+/// against — and are immediately visible in — the working version
+/// (read-your-own-writes), but nothing escapes until commit.
+#[derive(Debug)]
+pub struct Tx {
+    work: Catalog,
+    recs: Vec<WalRecord>,
+    /// Building WAL records costs a clone of inserted rows; in-memory
+    /// databases skip it.
+    durable: bool,
+    dirty: bool,
+}
+
+impl Tx {
+    /// Create (or replace) a base table.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        keys: Vec<&str>,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        for k in &keys {
+            if !schema.contains(k) {
+                return Err(EngineError::TableMismatch {
+                    table: name,
+                    detail: format!("key column {k} not in schema {schema}"),
+                });
+            }
+        }
+        let keys: Vec<String> = keys.into_iter().map(String::from).collect();
+        if self.durable {
+            self.recs.push(WalRecord::CreateTable {
+                name: name.clone(),
+                schema: schema.clone(),
+                keys: keys.clone(),
+            });
+        }
+        self.work.tables.insert(
+            name,
+            BaseTable {
+                schema,
+                keys,
+                rows: Arc::new(RowBuf::default()),
+            },
+        );
+        self.work.schema_version += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Append rows to a base table (types are checked against the
+    /// transaction's working version, so a `create_table` earlier in the
+    /// same transaction is a valid target).
+    pub fn insert(&mut self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
+        let table = self
+            .work
+            .tables
+            .get(name)
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))?;
+        for row in &rows {
+            if row.len() != table.schema.len() {
+                return Err(EngineError::TableMismatch {
+                    table: name.to_string(),
+                    detail: format!(
+                        "row width {} != schema width {}",
+                        row.len(),
+                        table.schema.len()
+                    ),
+                });
+            }
+            for (v, (c, t)) in row.iter().zip(table.schema.cols()) {
+                if v.ty() != *t {
+                    return Err(EngineError::TableMismatch {
+                        table: name.to_string(),
+                        detail: format!("column {c}: value {v} is not {t}"),
+                    });
+                }
+            }
+        }
+        if self.durable {
+            self.recs.push(WalRecord::Insert {
+                table: name.to_string(),
+                rows: rows.clone(),
+            });
+        }
+        let table = self.work.tables.get_mut(name).expect("validated above");
+        // copy-on-write: the first insert into a table this transaction
+        // copies its shared buffer once; later inserts mutate in place.
+        // extend_rows also invalidates the buffer's columnar chunk cache.
+        Arc::make_mut(&mut table.rows).extend_rows(rows);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Install a table without validation (see
+    /// [`Database::install_table`]).
+    pub fn install_table(
+        &mut self,
+        name: impl Into<String>,
+        table: BaseTable,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if self.durable {
+            self.recs.push(WalRecord::InstallTable {
+                name: name.clone(),
+                schema: table.schema.clone(),
+                keys: table.keys.clone(),
+                rows: table.rows.rows().to_vec(),
+            });
+        }
+        self.work.tables.insert(name, table);
+        self.work.schema_version += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Read a table as this transaction sees it (own writes included).
+    pub fn table(&self, name: &str) -> Option<&BaseTable> {
+        self.work.tables.get(name)
+    }
+
+    /// The schema version as this transaction sees it.
+    pub fn schema_version(&self) -> u64 {
+        self.work.schema_version
     }
 }
 
@@ -548,7 +1021,7 @@ mod tests {
     use ferry_algebra::{Ty, Value};
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "t",
             Schema::of(&[("a", Ty::Int), ("b", Ty::Str)]),
@@ -577,7 +1050,7 @@ mod tests {
 
     #[test]
     fn insert_type_checked() {
-        let mut db = db();
+        let db = db();
         let bad = db.insert("t", vec![vec![Value::str("no"), Value::str("x")]]);
         assert!(matches!(bad, Err(EngineError::TableMismatch { .. })));
         let bad_width = db.insert("t", vec![vec![Value::Int(1)]]);
@@ -588,7 +1061,7 @@ mod tests {
 
     #[test]
     fn key_must_be_in_schema() {
-        let mut db = Database::new();
+        let db = Database::new();
         let r = db.create_table("t", Schema::of(&[("a", Ty::Int)]), vec!["zzz"]);
         assert!(r.is_err());
     }
@@ -605,5 +1078,66 @@ mod tests {
         assert_eq!(stats.rows_out, 2);
         db.reset_stats();
         assert_eq!(db.stats().queries, 0);
+    }
+
+    #[test]
+    fn snapshots_pin_a_version_and_commits_bump_the_epoch() {
+        let db = db();
+        let before = db.snapshot();
+        assert_eq!(before.epoch(), 2); // create + insert
+        db.insert("t", vec![vec![Value::Int(3), Value::str("z")]])
+            .unwrap();
+        // the pinned snapshot still sees the old version…
+        assert_eq!(before.table("t").unwrap().rows.len(), 2);
+        assert_eq!(before.epoch(), 2);
+        // …while a fresh pin sees the commit
+        let after = db.snapshot();
+        assert_eq!(after.table("t").unwrap().rows.len(), 3);
+        assert_eq!(after.epoch(), 3);
+        assert_eq!(db.epoch(), 3);
+        // inserts bump the epoch but not the schema version
+        assert_eq!(before.schema_version(), after.schema_version());
+    }
+
+    #[test]
+    fn transact_is_atomic_and_reads_its_own_writes() {
+        let db = db();
+        let epoch = db.epoch();
+        db.transact(|tx| {
+            tx.create_table("u", Schema::of(&[("k", Ty::Int)]), vec!["k"])?;
+            // read-your-own-writes: the table created above is insertable
+            tx.insert("u", vec![vec![Value::Int(1)]])?;
+            assert_eq!(tx.table("u").unwrap().rows.len(), 1);
+            tx.insert("t", vec![vec![Value::Int(9), Value::str("w")]])
+        })
+        .unwrap();
+        // the whole transaction landed as ONE version bump
+        assert_eq!(db.epoch(), epoch + 1);
+        assert_eq!(db.table("u").unwrap().rows.len(), 1);
+        assert_eq!(db.table("t").unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn failed_transact_commits_nothing() {
+        let db = db();
+        let epoch = db.epoch();
+        let err = db.transact(|tx| {
+            tx.insert("t", vec![vec![Value::Int(7), Value::str("q")]])?;
+            tx.insert("t", vec![vec![Value::str("wrong type")]])
+        });
+        assert!(err.is_err());
+        assert_eq!(db.epoch(), epoch, "no version installed");
+        assert_eq!(db.table("t").unwrap().rows.len(), 2, "insert rolled back");
+    }
+
+    #[test]
+    fn read_only_transact_installs_no_version() {
+        let db = db();
+        let epoch = db.epoch();
+        let n = db
+            .transact(|tx| Ok(tx.table("t").unwrap().rows.len()))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.epoch(), epoch);
     }
 }

@@ -21,7 +21,7 @@
 //! reorder wall-clock work, never results. `tests/differential.rs` checks
 //! serial and parallel runs cell-for-cell.
 
-use crate::catalog::Database;
+use crate::catalog::Snapshot;
 use crate::error::EngineError;
 use crate::eval::{bind, eval, Bound};
 use crate::par::{self, ParConfig};
@@ -40,14 +40,14 @@ use std::time::Instant;
 /// Evaluate the DAG under `root` and return its relation. `prof`
 /// receives one [`NodeProfile`] per evaluated node.
 pub fn run(
-    db: &Database,
+    snap: &Snapshot<'_>,
     plan: &Plan,
     root: NodeId,
     schemas: &[Schema],
     stats: &mut QueryStats,
     prof: &mut Vec<NodeProfile>,
 ) -> Result<Rel, EngineError> {
-    Ok(run_many(db, plan, &[root], schemas, stats, prof)?
+    Ok(run_many(snap, plan, &[root], schemas, stats, prof)?
         .pop()
         .expect("one root in, one relation out"))
 }
@@ -57,14 +57,14 @@ pub fn run(
 /// and independent nodes of each dependency wavefront run concurrently.
 /// Returns one relation per root, in root order.
 pub fn run_many(
-    db: &Database,
+    snap: &Snapshot<'_>,
     plan: &Plan,
     roots: &[NodeId],
     schemas: &[Schema],
     stats: &mut QueryStats,
     prof: &mut Vec<NodeProfile>,
 ) -> Result<Vec<Rel>, EngineError> {
-    let cfg = db.par_config();
+    let cfg = snap.par_config();
     // mark every node reachable from any root
     let mut needed = vec![false; plan.len()];
     let mut stack: Vec<NodeId> = roots.to_vec();
@@ -103,7 +103,7 @@ pub fn run_many(
         // worker pool, the trivial ones inline, then record in id order.
         let mut outcomes: Vec<Option<(Rel, NodeMetrics)>> = vec![None; wave.len()];
         let heavy: Vec<usize> = (0..wave.len())
-            .filter(|&k| est_input_rows(db, plan, wave[k], &results) >= cfg.min_rows.max(2))
+            .filter(|&k| est_input_rows(snap, plan, wave[k], &results) >= cfg.min_rows.max(2))
             .collect();
         if cfg.threads > 1 && heavy.len() >= 2 {
             stats.par_waves += 1;
@@ -124,7 +124,7 @@ pub fn run_many(
                             }
                             let id = wave[heavy[w]];
                             *slots[w].lock().unwrap() =
-                                Some(eval_timed(db, plan, id, schemas, results_ref, &cfg));
+                                Some(eval_timed(snap, plan, id, schemas, results_ref, &cfg));
                         }
                     });
                 }
@@ -139,7 +139,7 @@ pub fn run_many(
         }
         for (k, &id) in wave.iter().enumerate() {
             if outcomes[k].is_none() {
-                outcomes[k] = Some(eval_timed(db, plan, id, schemas, &results, &cfg)?);
+                outcomes[k] = Some(eval_timed(snap, plan, id, schemas, &results, &cfg)?);
             }
         }
         for (k, outcome) in outcomes.into_iter().enumerate() {
@@ -199,9 +199,9 @@ pub fn run_many(
 /// Rows the node will consume — child result sizes (already evaluated in
 /// earlier waves), or the base-table / literal size for leaves. Decides
 /// whether a node is worth a worker-pool slot.
-fn est_input_rows(db: &Database, plan: &Plan, id: NodeId, results: &[Option<Rel>]) -> usize {
+fn est_input_rows(snap: &Snapshot<'_>, plan: &Plan, id: NodeId, results: &[Option<Rel>]) -> usize {
     match plan.node(id) {
-        Node::TableRef { name, .. } => db.table(name).map(|t| t.rows.len()).unwrap_or(0),
+        Node::TableRef { name, .. } => snap.table(name).map(|t| t.rows.len()).unwrap_or(0),
         Node::Lit { rows, .. } => rows.len(),
         n => n
             .children()
@@ -236,7 +236,7 @@ impl NodeMetrics {
 type WaveSlot = Mutex<Option<Result<(Rel, NodeMetrics), EngineError>>>;
 
 fn eval_timed(
-    db: &Database,
+    snap: &Snapshot<'_>,
     plan: &Plan,
     id: NodeId,
     schemas: &[Schema],
@@ -248,7 +248,7 @@ fn eval_timed(
         ..NodeMetrics::default()
     };
     let start = Instant::now();
-    let rel = eval_node(db, plan, id, schemas, results, cfg, &mut m)?;
+    let rel = eval_node(snap, plan, id, schemas, results, cfg, &mut m)?;
     m.elapsed = start.elapsed();
     Ok((rel, m))
 }
@@ -409,7 +409,7 @@ fn join_codes(
 }
 
 fn eval_node(
-    db: &Database,
+    snap: &Snapshot<'_>,
     plan: &Plan,
     id: NodeId,
     schemas: &[Schema],
@@ -420,7 +420,7 @@ fn eval_node(
     let out_schema = schemas[id.index()].clone();
     match plan.node(id) {
         Node::TableRef { name, cols, .. } => {
-            let table = db
+            let table = snap
                 .table(name)
                 .ok_or_else(|| EngineError::NoSuchTable(name.clone()))?;
             if table.schema.len() != cols.len() {

@@ -55,7 +55,7 @@ pub mod par;
 pub mod stats;
 pub mod vec_eval;
 
-pub use catalog::{BaseTable, Database};
+pub use catalog::{BaseTable, Database, Snapshot, Tx};
 pub use error::EngineError;
 pub use ferry_storage::{DurabilityConfig, FsyncPolicy, RecoveryReport, StorageError};
 pub use ferry_telemetry::{Telemetry, TelemetryConfig};

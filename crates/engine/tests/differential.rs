@@ -152,7 +152,7 @@ fn operator_roots(plan: &mut Plan, l: NodeId, r: NodeId, quadratic: bool) -> Vec
 }
 
 fn db_with(par: ParConfig) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.set_par_config(par);
     db
 }

@@ -32,7 +32,7 @@ fn seed_rows() -> Vec<Row> {
     ]
 }
 
-fn create_people(db: &mut Database) {
+fn create_people(db: &Database) {
     db.create_table(
         "people",
         Schema::of(&[("id", Ty::Int), ("name", Ty::Str)]),
@@ -46,10 +46,10 @@ fn create_people(db: &mut Database) {
 fn durable_roundtrip_restores_tables_and_bumps_schema_version() {
     let vfs = Arc::new(FaultFs::new());
     {
-        let mut db = open(&vfs, config()).unwrap();
+        let db = open(&vfs, config()).unwrap();
         assert!(db.is_durable());
         assert_eq!(db.schema_version(), 0, "fresh store recovered nothing");
-        create_people(&mut db);
+        create_people(&db);
         db.create_table("empty", Schema::of(&[("x", Ty::Int)]), vec!["x"])
             .unwrap();
     }
@@ -68,8 +68,8 @@ fn durable_roundtrip_restores_tables_and_bumps_schema_version() {
 #[test]
 fn acked_mutations_survive_a_torn_write_crash() {
     let vfs = Arc::new(FaultFs::new());
-    let mut db = open(&vfs, config()).unwrap();
-    create_people(&mut db);
+    let db = open(&vfs, config()).unwrap();
+    create_people(&db);
     // tear the log mid-way through some future insert
     let at = vfs.written_len(WAL_FILE) + 40;
     vfs.inject(Fault::TornAppend {
@@ -104,8 +104,8 @@ fn acked_mutations_survive_a_torn_write_crash() {
 #[test]
 fn checkpoint_compacts_the_wal_and_recovery_uses_the_snapshot() {
     let vfs = Arc::new(FaultFs::new());
-    let mut db = open(&vfs, config()).unwrap();
-    create_people(&mut db);
+    let db = open(&vfs, config()).unwrap();
+    create_people(&db);
     let before = vfs.written_len(WAL_FILE);
     let covered_lsn = db.checkpoint().unwrap();
     assert_eq!(covered_lsn, 2, "create + insert were logged");
@@ -126,7 +126,7 @@ fn checkpoint_compacts_the_wal_and_recovery_uses_the_snapshot() {
 #[test]
 fn automatic_checkpoint_fires_on_the_configured_budget() {
     let vfs = Arc::new(FaultFs::new());
-    let mut db = open(
+    let db = open(
         &vfs,
         DurabilityConfig {
             fsync: FsyncPolicy::Always,
@@ -134,7 +134,7 @@ fn automatic_checkpoint_fires_on_the_configured_budget() {
         },
     )
     .unwrap();
-    create_people(&mut db); // 2 records: create + insert
+    create_people(&db); // 2 records: create + insert
     db.insert("people", vec![vec![v(4), s("dan")]]).unwrap(); // 3rd: budget spent
     assert_eq!(
         vfs.written_len(WAL_FILE),
@@ -150,7 +150,7 @@ fn automatic_checkpoint_fires_on_the_configured_budget() {
 #[test]
 fn auto_checkpoint_failure_does_not_fail_the_applied_mutation() {
     let vfs = Arc::new(FaultFs::new());
-    let mut db = open(
+    let db = open(
         &vfs,
         DurabilityConfig {
             fsync: FsyncPolicy::Always,
@@ -162,7 +162,7 @@ fn auto_checkpoint_failure_does_not_fail_the_applied_mutation() {
     // the auto-checkpoint — crash its snapshot write. The insert was
     // already WAL-durable and applied, so it must ack: surfacing the
     // compaction failure would invite a retry that double-applies rows.
-    create_people(&mut db);
+    create_people(&db);
     vfs.inject(Fault::TornAppend {
         path: "snapshot".into(),
         at: 0,
@@ -191,7 +191,7 @@ fn auto_checkpoint_failure_does_not_fail_the_applied_mutation() {
 fn install_table_is_logged_with_its_rows() {
     let vfs = Arc::new(FaultFs::new());
     {
-        let mut db = open(&vfs, config()).unwrap();
+        let db = open(&vfs, config()).unwrap();
         db.install_table(
             "imported",
             BaseTable {
@@ -211,10 +211,10 @@ fn install_table_is_logged_with_its_rows() {
 
 #[test]
 fn in_memory_database_is_unaffected_by_the_durability_layer() {
-    let mut db = Database::new();
+    let db = Database::new();
     assert!(!db.is_durable());
     assert!(db.recovery_report().is_none());
-    create_people(&mut db);
+    create_people(&db);
     assert_eq!(db.checkpoint().unwrap(), 0, "checkpoint is a no-op");
     db.sync().unwrap();
 }
@@ -224,11 +224,11 @@ fn std_fs_directory_roundtrip() {
     let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("engine_durability_rt");
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let mut db = Database::open(&dir, config()).unwrap();
-        create_people(&mut db);
+        let db = Database::open(&dir, config()).unwrap();
+        create_people(&db);
     }
     {
-        let mut db = Database::open(&dir, config()).unwrap();
+        let db = Database::open(&dir, config()).unwrap();
         assert_eq!(db.table("people").unwrap().rows.rows(), &seed_rows()[..]);
         db.checkpoint().unwrap();
         db.insert("people", vec![vec![v(4), s("dan")]]).unwrap();

@@ -1,0 +1,236 @@
+//! Group commit under concurrency and faults: N writers share fsyncs,
+//! acked ⇒ durable is preserved, a failed batch fsync nacks every waiter,
+//! and nothing nacked is ever published or recovered.
+//!
+//! The FaultFs simulates device latency (`set_sync_delay`), which opens
+//! the batching window a real disk provides: while the leader's fsync is
+//! in flight, concurrent committers append and enqueue, and the next
+//! leader covers them all with one fsync.
+
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_engine::{Database, DurabilityConfig, EngineError, FsyncPolicy};
+use ferry_storage::{Fault, FaultFs, Vfs, WAL_FILE};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const WRITERS: usize = 8;
+const COMMITS_PER_WRITER: usize = 25;
+
+fn open(vfs: &Arc<FaultFs>) -> Database {
+    Database::open_with_vfs(
+        vfs.clone() as Arc<dyn Vfs>,
+        DurabilityConfig::with_fsync(FsyncPolicy::Always),
+    )
+    .unwrap()
+}
+
+fn create_ledger(db: &Database) {
+    db.create_table(
+        "ledger",
+        Schema::of(&[("writer", Ty::Int), ("seq", Ty::Int)]),
+        vec!["writer", "seq"],
+    )
+    .unwrap();
+}
+
+/// The headline number: 8 concurrent writers under `FsyncPolicy::Always`
+/// must share fsyncs at least 4× (200 commits, ≤ 50 fsyncs) — and every
+/// acked commit must still survive a crash.
+#[test]
+fn concurrent_writers_share_fsyncs_at_least_4x_and_stay_durable() {
+    let vfs = Arc::new(FaultFs::new());
+    let db = Arc::new(open(&vfs));
+    create_ledger(&db);
+    // ~a consumer-SSD fsync: long enough that concurrent commits pile
+    // up behind the leader, short enough to keep the test fast
+    vfs.set_sync_delay(Duration::from_millis(1));
+    let base_syncs = vfs.syncs();
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for seq in 0..COMMITS_PER_WRITER {
+                    db.insert(
+                        "ledger",
+                        vec![vec![Value::Int(w as i64), Value::Int(seq as i64)]],
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    vfs.set_sync_delay(Duration::ZERO);
+
+    let commits = (WRITERS * COMMITS_PER_WRITER) as u64;
+    let syncs = vfs.syncs() - base_syncs;
+    assert!(syncs >= 1, "durable commits without any fsync");
+    assert!(
+        syncs * 4 <= commits,
+        "group commit shared too few fsyncs: {syncs} fsyncs for {commits} commits (< 4x batching)"
+    );
+    // every commit was acked durable: all rows survive a hard crash
+    assert_eq!(db.table("ledger").unwrap().rows.len(), commits as usize);
+    assert_eq!(db.epoch(), 1 + commits, "one version per transaction");
+    drop(db);
+    vfs.crash();
+    let db = open(&vfs);
+    let rows = db.table("ledger").unwrap().rows.rows().to_vec();
+    assert_eq!(rows.len(), commits as usize, "an acked commit was lost");
+    for w in 0..WRITERS {
+        for seq in 0..COMMITS_PER_WRITER {
+            let want = vec![Value::Int(w as i64), Value::Int(seq as i64)];
+            assert!(rows.contains(&want), "missing commit {w}/{seq}");
+        }
+    }
+    // the batch-size histogram saw the sharing (handle outlives the run)
+    let batches = db
+        .telemetry()
+        .registry()
+        .histogram("storage.commit_batch_records")
+        .unwrap();
+    drop(db); // recovery registers a fresh registry; reuse is fine
+    assert_eq!(batches.count(), 0, "fresh database starts at zero");
+}
+
+/// A failed batch fsync must fail **every** waiter it covered, poison
+/// the database, keep the nacked versions unpublished, and leave nothing
+/// nacked behind after crash recovery — the PR 5 contract, batched.
+#[test]
+fn failed_group_fsync_nacks_every_waiter_and_publishes_nothing() {
+    let vfs = Arc::new(FaultFs::new());
+    let db = Arc::new(open(&vfs));
+    create_ledger(&db);
+    let epoch_before = db.epoch();
+    vfs.set_sync_delay(Duration::from_micros(500));
+    vfs.inject(Fault::FailFsync {
+        path: WAL_FILE.into(),
+    });
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = db.clone();
+            thread::spawn(move || {
+                db.insert("ledger", vec![vec![Value::Int(w as i64), Value::Int(0)]])
+            })
+        })
+        .collect();
+    let results: Vec<Result<(), EngineError>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    vfs.set_sync_delay(Duration::ZERO);
+
+    // the one-shot fault fails the first leader's fsync; every commit in
+    // that batch is nacked, and later commits die on the poisoned WAL
+    assert!(
+        results.iter().all(Result::is_err),
+        "a commit was acked through a failed fsync: {results:?}"
+    );
+    // publish-before-ack: no nacked version ever became visible
+    assert_eq!(db.epoch(), epoch_before, "nacked version was published");
+    assert!(db.table("ledger").unwrap().rows.rows().is_empty());
+    // the database stays poisoned until reopened
+    let again = db.insert("ledger", vec![vec![Value::Int(9), Value::Int(9)]]);
+    assert!(again.is_err(), "poisoned database accepted a commit");
+
+    // recovery: the acked prefix (the empty table) and nothing more
+    drop(db);
+    vfs.crash();
+    let db = open(&vfs);
+    assert!(
+        db.table("ledger").unwrap().rows.rows().is_empty(),
+        "a nacked commit surfaced after recovery"
+    );
+    // the reopened database accepts commits again
+    db.insert("ledger", vec![vec![Value::Int(1), Value::Int(1)]])
+        .unwrap();
+}
+
+/// `checkpoint` and `sync` serialise with in-flight group fsyncs: run
+/// them concurrently with committers and verify the snapshot + tail
+/// recover the complete ledger.
+#[test]
+fn checkpoint_races_group_committers_without_losing_acked_commits() {
+    let vfs = Arc::new(FaultFs::new());
+    let db = Arc::new(open(&vfs));
+    create_ledger(&db);
+    vfs.set_sync_delay(Duration::from_micros(200));
+
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for seq in 0..10 {
+                    db.insert("ledger", vec![vec![Value::Int(w), Value::Int(seq)]])
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    let checkpointer = {
+        let db = db.clone();
+        thread::spawn(move || {
+            for _ in 0..5 {
+                db.checkpoint().unwrap();
+                thread::yield_now();
+            }
+        })
+    };
+    for h in writers {
+        h.join().unwrap();
+    }
+    checkpointer.join().unwrap();
+    vfs.set_sync_delay(Duration::ZERO);
+
+    assert_eq!(db.table("ledger").unwrap().rows.len(), 40);
+    drop(db);
+    vfs.crash();
+    let db = open(&vfs);
+    assert_eq!(
+        db.table("ledger").unwrap().rows.len(),
+        40,
+        "checkpoint raced a commit out of existence"
+    );
+}
+
+/// `FsyncPolicy::EveryN` keeps its ack-before-durable contract under the
+/// new commit path: commits install immediately, and at most the configured
+/// window of trailing records may be lost on a crash — never a torn batch.
+#[test]
+fn every_n_still_acks_before_durability_and_loses_at_most_the_window() {
+    let vfs = Arc::new(FaultFs::new());
+    let db = Database::open_with_vfs(
+        vfs.clone() as Arc<dyn Vfs>,
+        DurabilityConfig {
+            fsync: FsyncPolicy::EveryN(4),
+            ..DurabilityConfig::default()
+        },
+    )
+    .unwrap();
+    create_ledger(&db);
+    for seq in 0..10 {
+        db.insert("ledger", vec![vec![Value::Int(0), Value::Int(seq)]])
+            .unwrap();
+    }
+    assert_eq!(db.table("ledger").unwrap().rows.len(), 10);
+    drop(db);
+    vfs.crash();
+    let db = Database::open_with_vfs(
+        vfs.clone() as Arc<dyn Vfs>,
+        DurabilityConfig::with_fsync(FsyncPolicy::EveryN(4)),
+    )
+    .unwrap();
+    let recovered = db.table("ledger").unwrap().rows.len();
+    // 11 records (create + 10 inserts), synced every 4th: at least 8
+    // records are durable, and recovery replays a clean prefix
+    assert!(
+        recovered >= 5,
+        "EveryN(4) lost more than its window: {recovered} rows"
+    );
+    for (i, row) in db.table("ledger").unwrap().rows.rows().iter().enumerate() {
+        assert_eq!(row[1], Value::Int(i as i64), "non-prefix recovery");
+    }
+}

@@ -16,7 +16,7 @@ fn s(x: &str) -> Value {
 }
 
 fn db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "emp",
         Schema::of(&[("dept", Ty::Str), ("name", Ty::Str), ("sal", Ty::Int)]),
@@ -501,7 +501,7 @@ fn stats_track_rows() {
 
 #[test]
 fn dispatch_cost_is_charged_per_query() {
-    let mut db = db();
+    let db = db();
     db.set_dispatch_cost(std::time::Duration::from_micros(200));
     let mut p = Plan::new();
     let t = p.lit(Schema::of(&[("x", Ty::Int)]), vec![]);

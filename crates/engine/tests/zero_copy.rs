@@ -9,7 +9,7 @@ use ferry_engine::{Database, EngineError, QueryStats};
 use std::sync::Arc;
 
 fn db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "t",
         Schema::of(&[("a", Ty::Int), ("b", Ty::Str)]),
@@ -84,7 +84,7 @@ fn literal_executions_share_one_buffer() {
 
 #[test]
 fn insert_after_scan_leaves_snapshot_intact() {
-    let mut db = db();
+    let db = db();
     let mut plan = Plan::new();
     let t = scan(&mut plan);
     let before = db.execute(&plan, t).unwrap();
@@ -111,7 +111,7 @@ fn malformed_plans_report_no_such_column() {
     let bad = plan.serialize(t, vec![(cn("zzz"), Dir::Asc)], vec![cn("a")]);
     let schemas = vec![schema.clone(); plan.len()];
     let err = ferry_engine::exec::run(
-        &db,
+        &db.snapshot(),
         &plan,
         bad,
         &schemas,
@@ -130,7 +130,7 @@ fn malformed_plans_report_no_such_column() {
     let bad = plan.rownum(t, "rn", vec![cn("ghost")], vec![(cn("a"), Dir::Asc)]);
     let schemas = vec![schema.clone(); plan.len()];
     let err = ferry_engine::exec::run(
-        &db,
+        &db.snapshot(),
         &plan,
         bad,
         &schemas,
@@ -146,7 +146,7 @@ fn malformed_plans_report_no_such_column() {
     let bad = plan.project(t, vec![(cn("out"), cn("nope"))]);
     let schemas = vec![schema.clone(); plan.len()];
     let err = ferry_engine::exec::run(
-        &db,
+        &db.snapshot(),
         &plan,
         bad,
         &schemas,

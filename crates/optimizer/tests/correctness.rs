@@ -8,7 +8,7 @@ use ferry_engine::Database;
 use ferry_optimizer::{optimize_with_stats, reachable_size};
 
 fn database() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
         .unwrap();
     db.insert(

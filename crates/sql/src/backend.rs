@@ -14,7 +14,7 @@ use crate::{execute_sql, generate_sql, SqlError};
 use ferry::backend::Backend;
 use ferry::FerryError;
 use ferry_algebra::{NodeId, Plan, Rel};
-use ferry_engine::Database;
+use ferry_engine::Snapshot;
 
 fn to_ferry(e: SqlError) -> FerryError {
     FerryError::Engine(format!("sql backend: {e}"))
@@ -29,12 +29,22 @@ impl Backend for SqlBackend {
         "sql"
     }
 
-    fn execute_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<Rel, FerryError> {
+    fn execute_root(
+        &self,
+        db: &Snapshot<'_>,
+        plan: &Plan,
+        root: NodeId,
+    ) -> Result<Rel, FerryError> {
         let sql = generate_sql(db, plan, root).map_err(to_ferry)?;
         execute_sql(db, &sql.sql).map_err(to_ferry)
     }
 
-    fn render_root(&self, db: &Database, plan: &Plan, root: NodeId) -> Result<String, FerryError> {
+    fn render_root(
+        &self,
+        db: &Snapshot<'_>,
+        plan: &Plan,
+        root: NodeId,
+    ) -> Result<String, FerryError> {
         Ok(generate_sql(db, plan, root).map_err(to_ferry)?.sql)
     }
 }

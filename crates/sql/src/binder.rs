@@ -13,13 +13,13 @@ use ferry_algebra::{
     plan::Aggregate, AggFun, BinOp as ABinOp, ColName, Dir, Expr as AExpr, JoinCols, NodeId, Plan,
     Schema, Ty, UnOp, Value,
 };
-use ferry_engine::Database;
+use ferry_engine::Snapshot;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Bind a parsed statement against the database catalog. Returns the plan
-/// and its root.
-pub fn bind(db: &Database, stmt: &Statement) -> Result<(Plan, NodeId), SqlError> {
+/// Bind a parsed statement against one pinned catalog version. Returns
+/// the plan and its root.
+pub fn bind(db: &Snapshot<'_>, stmt: &Statement) -> Result<(Plan, NodeId), SqlError> {
     let mut b = Binder {
         db,
         plan: Plan::new(),
@@ -80,7 +80,7 @@ pub fn bind(db: &Database, stmt: &Statement) -> Result<(Plan, NodeId), SqlError>
 }
 
 struct Binder<'a> {
-    db: &'a Database,
+    db: &'a Snapshot<'a>,
     plan: Plan,
     ctes: HashMap<String, (NodeId, Schema)>,
     next: u32,

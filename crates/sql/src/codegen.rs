@@ -16,7 +16,7 @@ use crate::SqlError;
 use ferry_algebra::{
     infer_schema, AggFun, BinOp, ColName, Dir, Expr, Node, NodeId, Plan, Schema, Ty, UnOp, Value,
 };
-use ferry_engine::Database;
+use ferry_engine::Snapshot;
 use std::collections::HashMap;
 use std::fmt::Write;
 
@@ -26,9 +26,9 @@ pub struct SqlQuery {
     pub sql: String,
 }
 
-/// Generate the SQL statement for the query rooted at `root`. The database
-/// provides the catalog column names of referenced base tables.
-pub fn generate_sql(db: &Database, plan: &Plan, root: NodeId) -> Result<SqlQuery, SqlError> {
+/// Generate the SQL statement for the query rooted at `root`. The pinned
+/// snapshot provides the catalog column names of referenced base tables.
+pub fn generate_sql(db: &Snapshot<'_>, plan: &Plan, root: NodeId) -> Result<SqlQuery, SqlError> {
     let mut span = ferry_telemetry::span("codegen", "sql");
     let schemas = infer_schema(plan).map_err(|e| SqlError::Codegen(e.to_string()))?;
     let mut g = Gen {
@@ -64,7 +64,7 @@ pub fn generate_sql(db: &Database, plan: &Plan, root: NodeId) -> Result<SqlQuery
 /// Generate the full bundle (one statement per root) — the artefact of the
 /// paper's appendix.
 pub fn generate_bundle(
-    db: &Database,
+    db: &Snapshot<'_>,
     plan: &Plan,
     roots: &[NodeId],
 ) -> Result<Vec<SqlQuery>, SqlError> {
@@ -86,7 +86,7 @@ fn sql_col(name: &ColName, ty: Ty) -> String {
 }
 
 struct Gen<'a> {
-    db: &'a Database,
+    db: &'a Snapshot<'a>,
     plan: &'a Plan,
     schemas: &'a [Schema],
     ctes: Vec<String>,

@@ -2,11 +2,11 @@
 
 use crate::{binder, parser, SqlError};
 use ferry_algebra::Rel;
-use ferry_engine::Database;
+use ferry_engine::Snapshot;
 
-/// Execute one SQL statement against the database. Each call dispatches
-/// exactly one engine query — the unit Table 1 counts.
-pub fn execute_sql(db: &Database, sql: &str) -> Result<Rel, SqlError> {
+/// Execute one SQL statement against one pinned catalog version. Each
+/// call dispatches exactly one engine query — the unit Table 1 counts.
+pub fn execute_sql(db: &Snapshot<'_>, sql: &str) -> Result<Rel, SqlError> {
     let (plan, root) = {
         let _s = ferry_telemetry::span("parse_bind", "sql");
         let stmt = parser::parse(sql)?;
@@ -19,9 +19,10 @@ pub fn execute_sql(db: &Database, sql: &str) -> Result<Rel, SqlError> {
 mod tests {
     use super::*;
     use ferry_algebra::{Schema, Ty, Value};
+    use ferry_engine::Database;
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.create_table(
             "emp",
             Schema::of(&[("dept", Ty::Str), ("name", Ty::Str), ("sal", Ty::Int)]),
@@ -43,7 +44,7 @@ mod tests {
     #[test]
     fn select_where_order() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT e.name AS who, e.sal AS sal FROM emp AS e \
              WHERE e.sal >= 70 ORDER BY sal DESC;",
         )
@@ -56,7 +57,7 @@ mod tests {
     #[test]
     fn group_by_aggregate() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT e.dept AS d, COUNT (*) AS n, SUM (e.sal) AS total \
              FROM emp AS e GROUP BY e.dept ORDER BY d ASC;",
         )
@@ -74,7 +75,7 @@ mod tests {
     #[test]
     fn self_join_via_where() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT a.name AS x, b.name AS y FROM emp AS a, emp AS b \
              WHERE a.dept = b.dept AND a.name < b.name ORDER BY x ASC, y ASC;",
         )
@@ -86,7 +87,7 @@ mod tests {
     #[test]
     fn window_function() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT e.name AS who, \
              ROW_NUMBER () OVER (PARTITION BY e.dept ORDER BY e.sal DESC) AS rn_nat \
              FROM emp AS e ORDER BY who ASC;",
@@ -107,7 +108,7 @@ mod tests {
                    SELECT h.who AS who FROM hi AS h \
                    EXCEPT SELECT l.who AS who FROM lo AS l \
                    ORDER BY who ASC;";
-        let r = execute_sql(&db(), sql).unwrap();
+        let r = execute_sql(&db().snapshot(), sql).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows()[0][0], Value::str("ada"));
     }
@@ -115,7 +116,7 @@ mod tests {
     #[test]
     fn from_less_literals_and_union_all() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT 1 AS x UNION ALL SELECT 2 AS x ORDER BY x DESC;",
         )
         .unwrap();
@@ -126,7 +127,7 @@ mod tests {
     #[test]
     fn case_cast_arithmetic() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT e.name AS who, \
              CASE WHEN e.sal >= 70 THEN 'high' ELSE 'low' END AS band, \
              CAST(e.sal AS DOUBLE PRECISION) / 2.0 AS half \
@@ -141,7 +142,7 @@ mod tests {
     #[test]
     fn distinct_and_derived_tables() {
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT DISTINCT d.dept AS dept \
              FROM (SELECT e.dept AS dept FROM emp AS e) AS d ORDER BY dept ASC;",
         )
@@ -154,24 +155,24 @@ mod tests {
         // `1 AS iter_nat` must come out as a surrogate, comparable with
         // window outputs
         let r = execute_sql(
-            &db(),
+            &db().snapshot(),
             "SELECT 1 AS iter_nat, e.name AS who FROM emp AS e \
              WHERE ROW_NUMBER_FREE = ROW_NUMBER_FREE ORDER BY who ASC;",
         );
         // unknown column → clean bind error, not a panic
         assert!(matches!(r, Err(SqlError::Bind(_))));
-        let r = execute_sql(&db(), "SELECT 1 AS iter_nat FROM emp AS e;").unwrap();
+        let r = execute_sql(&db().snapshot(), "SELECT 1 AS iter_nat FROM emp AS e;").unwrap();
         assert_eq!(r.rows()[0][0], Value::Nat(1));
     }
 
     #[test]
     fn errors_are_reported_not_panicked() {
         assert!(matches!(
-            execute_sql(&db(), "SELEC"),
+            execute_sql(&db().snapshot(), "SELEC"),
             Err(SqlError::Parse(_))
         ));
         assert!(matches!(
-            execute_sql(&db(), "SELECT x.y AS z FROM ghost AS x"),
+            execute_sql(&db().snapshot(), "SELECT x.y AS z FROM ghost AS x"),
             Err(SqlError::Bind(_))
         ));
     }

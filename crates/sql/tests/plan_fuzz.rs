@@ -44,7 +44,7 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn database(rows: &[(i64, i64)]) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "base",
         Schema::of(&[("k", Ty::Int), ("v", Ty::Int)]),
@@ -190,8 +190,8 @@ proptest! {
         let (plan, root) = build(&steps);
         ferry_algebra::validate(&plan, root).expect("generated plan validates");
         let direct = db.execute(&plan, root).expect("direct execution");
-        let sql = generate_sql(&db, &plan, root).expect("codegen");
-        let via_sql = execute_sql(&db, &sql.sql)
+        let sql = generate_sql(&db.snapshot(), &plan, root).expect("codegen");
+        let via_sql = execute_sql(&db.snapshot(), &sql.sql)
             .unwrap_or_else(|e| panic!("round trip failed: {e}\n{}", sql.sql));
         prop_assert_eq!(&direct.rows(), &via_sql.rows(), "\nSQL:\n{}", sql.sql);
     }

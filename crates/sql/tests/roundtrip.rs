@@ -10,7 +10,7 @@ use ferry_engine::Database;
 use ferry_sql::{execute_sql, generate_sql};
 
 fn database() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
         .unwrap();
     db.insert(
@@ -56,8 +56,8 @@ fn check<T: QA + PartialEq + std::fmt::Debug>(q: &Q<T>) -> T {
         let bundle = conn.compile(q).expect("compile");
         // path 1: direct algebra
         let direct = conn.execute_bundle(&bundle).expect("direct execution");
-        // path 2: SQL text round trip
-        let db = conn.database();
+        // path 2: SQL text round trip, against one pinned snapshot
+        let db = conn.snapshot();
         let mut via_sql = Vec::new();
         for qd in &bundle.queries {
             let sql = generate_sql(&db, &bundle.plan, qd.root)
@@ -195,7 +195,7 @@ fn generated_sql_looks_like_the_appendix() {
     let conn = Connection::new(database());
     let q = group_with(|x: Q<i64>| x % toq(&2i64), nums());
     let bundle = conn.compile(&q).unwrap();
-    let sql = generate_sql(&conn.database(), &bundle.plan, bundle.queries[0].root).unwrap();
+    let sql = generate_sql(&conn.snapshot(), &bundle.plan, bundle.queries[0].root).unwrap();
     // the structural signatures of the appendix dialect
     assert!(sql.sql.contains("WITH"), "{}", sql.sql);
     assert!(sql.sql.contains("DENSE_RANK () OVER"), "{}", sql.sql);

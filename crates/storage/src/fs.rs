@@ -175,6 +175,8 @@ struct FaultState {
     halted: bool,
     syncs: u64,
     injected: u64,
+    /// Simulated device latency per `sync` (see [`FaultFs::set_sync_delay`]).
+    sync_delay: std::time::Duration,
 }
 
 /// In-memory VFS with crash semantics and fault injection (see the
@@ -204,6 +206,15 @@ impl FaultFs {
     /// Number of successful `sync` calls (the `storage.fsyncs` oracle).
     pub fn syncs(&self) -> u64 {
         self.state.lock().unwrap().syncs
+    }
+
+    /// Make every `sync` block for `delay` before taking effect — a
+    /// stand-in for real device latency, so group-commit tests get the
+    /// overlap window a physical fsync would give concurrent appenders.
+    /// The sleep happens *outside* the state lock: appends proceed during
+    /// the simulated fsync, exactly as page-cache writes do on a real OS.
+    pub fn set_sync_delay(&self, delay: std::time::Duration) {
+        self.state.lock().unwrap().sync_delay = delay;
     }
 
     /// Total bytes ever appended to `path` (durable or not).
@@ -288,6 +299,10 @@ impl Vfs for FaultFs {
     }
 
     fn sync(&self, path: &str) -> Result<(), StorageError> {
+        let delay = self.state.lock().unwrap().sync_delay;
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
         let mut st = self.state.lock().unwrap();
         if st.halted {
             return Err(StorageError::Injected("fsync after crash point".into()));

@@ -42,7 +42,8 @@ use ferry_algebra::{Row, Schema};
 use ferry_telemetry::{Counter, Registry};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Anything that can go wrong persisting or recovering the catalog.
@@ -210,14 +211,19 @@ impl StorageMetrics {
 
 /// The durability orchestrator one `Database` owns: WAL appender,
 /// checkpointer, and the recovery entry point.
+///
+/// All methods take `&self`: the WAL sits behind a mutex so concurrent
+/// committers can append, and [`Storage::group_sync`] deliberately
+/// releases that mutex around the fsync itself — the window in which
+/// other appenders enqueue is what group commit batches over.
 #[derive(Debug)]
 pub struct Storage {
     vfs: Arc<dyn Vfs>,
-    wal: Wal,
+    wal: Mutex<Wal>,
     config: DurabilityConfig,
-    /// Records in the WAL since the last checkpoint (drives
+    /// Operations in the WAL since the last checkpoint (drives
     /// `checkpoint_every`).
-    wal_records_since_checkpoint: u64,
+    wal_records_since_checkpoint: AtomicU64,
     metrics: StorageMetrics,
 }
 
@@ -263,8 +269,8 @@ impl Storage {
             }
             apply(&mut tables, rec)?;
             last_lsn = *lsn;
-            applied_records += 1;
-            report.wal_records_applied += 1;
+            applied_records += rec.op_count();
+            report.wal_records_applied += rec.op_count() as usize;
         }
 
         // 3. torn-tail repair + (re)create the log file
@@ -306,9 +312,9 @@ impl Storage {
         Ok(Recovered {
             storage: Storage {
                 vfs,
-                wal,
+                wal: Mutex::new(wal),
                 config,
-                wal_records_since_checkpoint: applied_records,
+                wal_records_since_checkpoint: AtomicU64::new(applied_records),
                 metrics,
             },
             tables: tables.into_values().collect(),
@@ -319,58 +325,117 @@ impl Storage {
     /// Append one mutation to the WAL; durable per the configured
     /// [`FsyncPolicy`] when this returns. The caller applies the mutation
     /// in memory only after this succeeds (log-before-ack).
-    pub fn log(&mut self, rec: &WalRecord) -> Result<u64, StorageError> {
-        let lsn = self.wal.append(rec)?;
-        self.metrics.wal_records.inc();
-        self.wal_records_since_checkpoint += 1;
+    pub fn log(&self, rec: &WalRecord) -> Result<u64, StorageError> {
+        let lsn = self.wal.lock().unwrap().append(rec)?;
+        self.note_logged(rec.op_count());
         Ok(lsn)
+    }
+
+    /// Append one transaction for group commit: a single operation is
+    /// logged as its bare record, several as one atomic
+    /// [`WalRecord::Batch`] frame. Under [`FsyncPolicy::Always`] *no*
+    /// fsync happens here — the caller must not ack until
+    /// [`Storage::group_sync`] (run by whichever committer becomes the
+    /// batch leader) reports the returned LSN durable.
+    pub fn log_batch(&self, mut recs: Vec<WalRecord>) -> Result<u64, StorageError> {
+        let rec = match recs.len() {
+            0 => return Err(StorageError::Codec("empty transaction batch".into())),
+            1 => recs.pop().expect("len checked"),
+            _ => WalRecord::Batch(recs),
+        };
+        let ops = rec.op_count();
+        let lsn = self.wal.lock().unwrap().append_deferred(&rec)?;
+        self.note_logged(ops);
+        Ok(lsn)
+    }
+
+    fn note_logged(&self, ops: u64) {
+        self.metrics.wal_records.add(ops);
+        self.wal_records_since_checkpoint
+            .fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// One fsync covering every record appended so far; returns the
+    /// highest LSN it made durable. The fsync itself runs *outside* the
+    /// WAL mutex so concurrent `log_batch` callers keep enqueuing into
+    /// the next batch — the overlap is the group-commit win. If the log
+    /// is already fully synced this is free (no fsync at all).
+    ///
+    /// Failure has exactly the PR-5 fsync-failure contract: the unsynced
+    /// tail (whose committers are being told "failed") is truncated back
+    /// to the synced prefix, the LSN allocator rolls back with it, and
+    /// the WAL is poisoned until reopen.
+    pub fn group_sync(&self) -> Result<u64, StorageError> {
+        let (lsn, bytes) = {
+            let wal = self.wal.lock().unwrap();
+            wal.check_poisoned()?;
+            let (lsn, bytes) = wal.sync_target();
+            if lsn <= wal.synced_lsn() {
+                return Ok(wal.synced_lsn());
+            }
+            (lsn, bytes)
+        };
+        match self.vfs.sync(WAL_FILE) {
+            Ok(()) => {
+                self.wal.lock().unwrap().mark_synced(lsn, bytes);
+                Ok(lsn)
+            }
+            Err(e) => {
+                self.wal.lock().unwrap().fail_sync();
+                Err(e)
+            }
+        }
     }
 
     /// Does the configured `checkpoint_every` call for a checkpoint now?
     pub fn checkpoint_due(&self) -> bool {
         self.config
             .checkpoint_every
-            .is_some_and(|n| self.wal_records_since_checkpoint >= n.max(1))
+            .is_some_and(|n| self.wal_records_since_checkpoint.load(Ordering::Relaxed) >= n.max(1))
     }
 
     /// Write a snapshot of `tables` at the current LSN and compact the
     /// WAL down to its header. Crash-ordering: the snapshot is installed
     /// atomically *first*; recovery skips WAL records at or below the
     /// snapshot LSN, so a crash between the two steps double-applies
-    /// nothing.
-    pub fn checkpoint(&mut self, tables: &[TableImage]) -> Result<u64, StorageError> {
+    /// nothing. The WAL mutex is held throughout: the caller must ensure
+    /// no commit is in flight (the engine holds its commit lock), so the
+    /// snapshot provably covers every logged record.
+    pub fn checkpoint(&self, tables: &[TableImage]) -> Result<u64, StorageError> {
         let mut span = ferry_telemetry::span("storage.checkpoint", "storage");
-        let lsn = self.wal.next_lsn() - 1;
+        let mut wal = self.wal.lock().unwrap();
+        let lsn = wal.next_lsn() - 1;
         // anything the policy left unsynced must be durable before the
         // snapshot claims to cover it
-        self.wal.sync()?;
+        wal.sync()?;
         let bytes = snapshot::write_snapshot(self.vfs.as_ref(), lsn, tables)?;
-        self.wal.truncate_to_header()?;
-        self.wal_records_since_checkpoint = 0;
+        wal.truncate_to_header()?;
+        self.wal_records_since_checkpoint
+            .store(0, Ordering::Relaxed);
         self.metrics.snapshots.inc();
         span.attr("lsn", lsn).attr("bytes", bytes);
         Ok(lsn)
     }
 
     /// Force-fsync the WAL regardless of policy (shutdown hook).
-    pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.wal.sync()
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.group_sync().map(|_| ())
     }
 
     /// The LSN the next mutation will be assigned.
     pub fn next_lsn(&self) -> u64 {
-        self.wal.next_lsn()
+        self.wal.lock().unwrap().next_lsn()
     }
 
     /// Highest LSN guaranteed durable under the configured policy.
     pub fn synced_lsn(&self) -> u64 {
-        self.wal.synced_lsn()
+        self.wal.lock().unwrap().synced_lsn()
     }
 
     /// Has the WAL refused further mutation I/O after an unrecoverable
     /// write/fsync failure? Reopening the database is the only cure.
     pub fn poisoned(&self) -> bool {
-        self.wal.poisoned()
+        self.wal.lock().unwrap().poisoned()
     }
 
     pub fn config(&self) -> DurabilityConfig {
@@ -414,6 +479,14 @@ fn apply(tables: &mut BTreeMap<String, TableImage>, rec: &WalRecord) -> Result<(
                     rows: rows.clone(),
                 },
             );
+        }
+        WalRecord::Batch(recs) => {
+            // one CRC frame ⇒ the whole batch decoded or none of it did;
+            // applying member-by-member here can therefore never expose
+            // a half-replayed transaction
+            for rec in recs {
+                apply(tables, rec)?;
+            }
         }
         WalRecord::Insert { table, rows } => {
             let t = tables.get_mut(table).ok_or_else(|| {
@@ -464,7 +537,7 @@ mod tests {
     #[test]
     fn open_log_reopen_roundtrip() {
         let vfs = Arc::new(FaultFs::new());
-        let mut r = open(&vfs, DurabilityConfig::default());
+        let r = open(&vfs, DurabilityConfig::default());
         assert!(r.tables.is_empty());
         assert_eq!(r.storage.log(&create_t()).unwrap(), 1);
         assert_eq!(r.storage.log(&insert_t(7)).unwrap(), 2);
@@ -486,15 +559,15 @@ mod tests {
         // two identical workloads: one checkpoints mid-way, one never
         let full = Arc::new(FaultFs::new());
         let compact = Arc::new(FaultFs::new());
-        let mut rf = open(&full, DurabilityConfig::default());
-        let mut rc = open(&compact, DurabilityConfig::default());
-        for s in [&mut rf.storage, &mut rc.storage] {
+        let rf = open(&full, DurabilityConfig::default());
+        let rc = open(&compact, DurabilityConfig::default());
+        for s in [&rf.storage, &rc.storage] {
             s.log(&create_t()).unwrap();
             s.log(&insert_t(1)).unwrap();
             s.log(&insert_t(2)).unwrap();
         }
         let images = open(&compact, DurabilityConfig::default()).tables;
-        let mut rc = open(&compact, DurabilityConfig::default());
+        let rc = open(&compact, DurabilityConfig::default());
         rc.storage.checkpoint(&images).unwrap();
         rc.storage.log(&insert_t(3)).unwrap();
         rf.storage.log(&insert_t(3)).unwrap();
@@ -518,7 +591,7 @@ mod tests {
     #[test]
     fn checkpoint_due_follows_config() {
         let vfs = Arc::new(FaultFs::new());
-        let mut r = open(
+        let r = open(
             &vfs,
             DurabilityConfig {
                 fsync: FsyncPolicy::Always,
@@ -542,7 +615,7 @@ mod tests {
     #[test]
     fn insert_into_unknown_table_is_corrupt() {
         let vfs = Arc::new(FaultFs::new());
-        let mut r = open(&vfs, DurabilityConfig::default());
+        let r = open(&vfs, DurabilityConfig::default());
         r.storage.log(&insert_t(1)).unwrap(); // storage does not validate
         let registry = Registry::default();
         let err = Storage::open(
@@ -558,7 +631,7 @@ mod tests {
     fn unsynced_tail_under_os_policy_is_lost_but_consistent() {
         let vfs = Arc::new(FaultFs::new());
         let cfg = DurabilityConfig::with_fsync(FsyncPolicy::Os);
-        let mut r = open(&vfs, cfg);
+        let r = open(&vfs, cfg);
         r.storage.log(&create_t()).unwrap();
         r.storage.sync().unwrap(); // explicit barrier
         r.storage.log(&insert_t(1)).unwrap();
@@ -572,10 +645,78 @@ mod tests {
     }
 
     #[test]
+    fn log_batch_is_atomic_across_recovery_and_defers_the_fsync() {
+        let vfs = Arc::new(FaultFs::new());
+        let r = open(&vfs, DurabilityConfig::default());
+        let before = vfs.syncs();
+        // a two-operation transaction: one frame, one LSN, no inline sync
+        let lsn = r.storage.log_batch(vec![create_t(), insert_t(1)]).unwrap();
+        assert_eq!(lsn, 1);
+        assert_eq!(vfs.syncs() - before, 0, "Always sync deferred to leader");
+        assert_eq!(r.storage.synced_lsn(), 0);
+        // the leader's single fsync covers it, and later stale leaders
+        // are free (already synced)
+        assert_eq!(r.storage.group_sync().unwrap(), 1);
+        assert_eq!(vfs.syncs() - before, 1);
+        assert_eq!(r.storage.group_sync().unwrap(), 1);
+        assert_eq!(vfs.syncs() - before, 1, "fully-synced log skips fsync");
+        // ops (not frames) drive checkpoint_every and wal_records
+        vfs.crash();
+        let r2 = open(&vfs, DurabilityConfig::default());
+        assert_eq!(r2.tables.len(), 1);
+        assert_eq!(r2.tables[0].rows, vec![vec![Value::Int(1)]]);
+        assert_eq!(r2.report.wal_records_applied, 2);
+        assert_eq!(r2.report.last_lsn, 1);
+    }
+
+    #[test]
+    fn single_op_batch_logs_the_bare_record_format() {
+        // byte-for-byte compatibility: autocommits look exactly like the
+        // pre-batch log format
+        let via_batch = Arc::new(FaultFs::new());
+        let via_log = Arc::new(FaultFs::new());
+        let rb = open(&via_batch, DurabilityConfig::default());
+        let rl = open(&via_log, DurabilityConfig::default());
+        rb.storage.log_batch(vec![create_t()]).unwrap();
+        rb.storage.group_sync().unwrap();
+        rl.storage.log(&create_t()).unwrap();
+        assert_eq!(
+            via_batch.read(WAL_FILE).unwrap().unwrap(),
+            via_log.read(WAL_FILE).unwrap().unwrap()
+        );
+    }
+
+    #[test]
+    fn failed_group_sync_nacks_the_whole_tail_and_poisons() {
+        let vfs = Arc::new(FaultFs::new());
+        let r = open(&vfs, DurabilityConfig::default());
+        r.storage.log(&create_t()).unwrap(); // lsn 1, synced inline
+        let acked_len = vfs.written_len(WAL_FILE);
+        r.storage.log_batch(vec![insert_t(1), insert_t(2)]).unwrap();
+        vfs.inject(Fault::FailFsync {
+            path: WAL_FILE.into(),
+        });
+        assert!(matches!(r.storage.group_sync(), Err(StorageError::Io(_))));
+        assert!(r.storage.poisoned());
+        // the nacked batch is gone from the file: nothing a later fsync
+        // could durably commit behind the committers' backs
+        assert_eq!(vfs.written_len(WAL_FILE), acked_len);
+        assert_eq!(r.storage.next_lsn(), 2);
+        assert!(matches!(
+            r.storage.log_batch(vec![insert_t(3)]),
+            Err(StorageError::Io(_))
+        ));
+        vfs.crash();
+        let r2 = open(&vfs, DurabilityConfig::default());
+        assert_eq!(r2.tables.len(), 1);
+        assert!(r2.tables[0].rows.is_empty(), "nacked batch not replayed");
+    }
+
+    #[test]
     fn storage_metrics_land_in_registry() {
         let vfs: Arc<dyn Vfs> = Arc::new(FaultFs::new());
         let registry = Registry::default();
-        let mut r = Storage::open(vfs, DurabilityConfig::default(), &registry).unwrap();
+        let r = Storage::open(vfs, DurabilityConfig::default(), &registry).unwrap();
         r.storage.log(&create_t()).unwrap();
         r.storage.log(&insert_t(1)).unwrap();
         let text = registry.render();

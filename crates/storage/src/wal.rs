@@ -46,6 +46,11 @@ pub enum WalRecord {
     },
     /// `Database::insert` (type-checked row append).
     Insert { table: String, rows: Vec<Row> },
+    /// One multi-operation transaction, logged as a single frame so the
+    /// CRC makes it all-or-nothing: a crash either replays the whole
+    /// batch or none of it. Single-operation transactions are logged as
+    /// their bare record (identical bytes to the pre-batch format).
+    Batch(Vec<WalRecord>),
 }
 
 impl WalRecord {
@@ -74,6 +79,13 @@ impl WalRecord {
                 e.str(table);
                 e.rows(rows);
             }
+            WalRecord::Batch(recs) => {
+                e.u8(4);
+                e.u64(recs.len() as u64);
+                for rec in recs {
+                    rec.encode(e);
+                }
+            }
         }
     }
 
@@ -94,6 +106,14 @@ impl WalRecord {
                 table: d.str()?.to_string(),
                 rows: d.rows()?,
             },
+            4 => {
+                let n = d.u64()?;
+                let mut recs = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    recs.push(WalRecord::decode(d)?);
+                }
+                WalRecord::Batch(recs)
+            }
             t => return Err(StorageError::Codec(format!("unknown WAL record tag {t}"))),
         })
     }
@@ -103,6 +123,16 @@ impl WalRecord {
         match self {
             WalRecord::CreateTable { .. } => 0,
             WalRecord::InstallTable { rows, .. } | WalRecord::Insert { rows, .. } => rows.len(),
+            WalRecord::Batch(recs) => recs.iter().map(WalRecord::row_count).sum(),
+        }
+    }
+
+    /// Operations carried by this record (1 for bare records, the batch
+    /// length for [`WalRecord::Batch`]) — the `storage.wal_records` unit.
+    pub fn op_count(&self) -> u64 {
+        match self {
+            WalRecord::Batch(recs) => recs.iter().map(WalRecord::op_count).sum(),
+            _ => 1,
         }
     }
 }
@@ -158,7 +188,7 @@ impl Wal {
         }
     }
 
-    fn check_poisoned(&self) -> Result<(), StorageError> {
+    pub(crate) fn check_poisoned(&self) -> Result<(), StorageError> {
         if self.poisoned {
             return Err(StorageError::Io(
                 "WAL poisoned by an earlier write/fsync failure; \
@@ -177,6 +207,34 @@ impl Wal {
     /// and if even that is impossible the handle is poisoned so no later
     /// append can flush the rejected bytes.
     pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StorageError> {
+        let lsn = self.append_nosync(rec)?;
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1) as u64,
+            FsyncPolicy::Os => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(lsn)
+    }
+
+    /// [`Wal::append`] for group commit: the `Always` sync is *deferred*
+    /// to the batch leader (which fsyncs once for every record enqueued
+    /// while it ran), so only the `EveryN` cadence is honoured inline.
+    /// The caller must not ack until the leader reports the LSN durable.
+    pub(crate) fn append_deferred(&mut self, rec: &WalRecord) -> Result<u64, StorageError> {
+        let lsn = self.append_nosync(rec)?;
+        if let FsyncPolicy::EveryN(n) = self.policy {
+            if self.unsynced >= n.max(1) as u64 {
+                self.sync()?;
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Write the frame without any fsync; returns its LSN.
+    fn append_nosync(&mut self, rec: &WalRecord) -> Result<u64, StorageError> {
         self.check_poisoned()?;
         let lsn = self.next_lsn;
         let mut span = ferry_telemetry::span("wal.append", "storage");
@@ -203,15 +261,38 @@ impl Wal {
         self.wal_bytes.add(framed.len() as u64);
         self.next_lsn += 1;
         self.unsynced += 1;
-        let due = match self.policy {
-            FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1) as u64,
-            FsyncPolicy::Os => false,
-        };
-        if due {
-            self.sync()?;
-        }
         Ok(lsn)
+    }
+
+    /// The `(lsn, bytes_len)` pair a group-commit leader's fsync will
+    /// cover. The leader captures this under the WAL lock, performs the
+    /// fsync *without* the lock (so concurrent appenders keep enqueuing —
+    /// that overlap is the whole batching win), then reports back via
+    /// [`Wal::mark_synced`] or [`Wal::fail_sync`].
+    pub(crate) fn sync_target(&self) -> (u64, u64) {
+        (self.next_lsn - 1, self.bytes_len)
+    }
+
+    /// A leader's unlocked fsync succeeded for the [`Wal::sync_target`]
+    /// captured as `(lsn, bytes)`. Monotone-max because a slow leader may
+    /// report after a faster one already advanced the watermark.
+    pub(crate) fn mark_synced(&mut self, lsn: u64, bytes: u64) {
+        self.fsyncs.inc();
+        self.synced_lsn = self.synced_lsn.max(lsn);
+        self.synced_bytes = self.synced_bytes.max(bytes);
+        self.unsynced = (self.next_lsn - 1).saturating_sub(self.synced_lsn);
+    }
+
+    /// A leader's unlocked fsync failed: same contract as the error arm
+    /// of [`Wal::sync`] — truncate the nacked tail back to the synced
+    /// prefix (rolling the LSN allocator with it) and poison the handle.
+    pub(crate) fn fail_sync(&mut self) {
+        if self.vfs.truncate(WAL_FILE, self.synced_bytes).is_ok() {
+            self.bytes_len = self.synced_bytes;
+            self.next_lsn = self.synced_lsn + 1;
+            self.unsynced = 0;
+        }
+        self.poisoned = true;
     }
 
     /// Force an fsync regardless of policy (checkpoints, shutdown).
@@ -503,6 +584,76 @@ mod tests {
         assert!(!wal.poisoned());
         assert_eq!(vfs.written_len(WAL_FILE), WAL_MAGIC.len() as u64);
         assert_eq!(wal.append(&sample_records()[0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn batch_record_is_one_frame_and_roundtrips() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        let batch = WalRecord::Batch(sample_records());
+        assert_eq!(batch.op_count(), 3);
+        assert_eq!(batch.row_count(), 3);
+        assert_eq!(wal.append(&batch).unwrap(), 1, "one LSN for the batch");
+        assert_eq!(wal.next_lsn(), 2);
+        let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
+        let replay = replay_wal(Some(&bytes)).unwrap();
+        assert_eq!(replay.records, vec![(1, batch)]);
+    }
+
+    #[test]
+    fn torn_batch_frame_replays_none_of_its_operations() {
+        // a batch is all-or-nothing: tearing any byte of its single frame
+        // drops the whole transaction at replay, never a prefix of it
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        wal.append(&sample_records()[0]).unwrap();
+        let intact = vfs.written_len(WAL_FILE);
+        wal.append(&WalRecord::Batch(sample_records()[1..].to_vec()))
+            .unwrap();
+        let torn = intact + (vfs.written_len(WAL_FILE) - intact) / 2;
+        vfs.truncate(WAL_FILE, torn).unwrap();
+        let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
+        let replay = replay_wal(Some(&bytes)).unwrap();
+        assert_eq!(replay.records.len(), 1, "only the pre-batch record");
+        assert!(matches!(replay.tail, Tail::Torn { .. }));
+        assert_eq!(replay.good_bytes, intact);
+    }
+
+    #[test]
+    fn deferred_append_skips_the_always_sync_until_marked() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        let before = vfs.syncs();
+        for r in sample_records() {
+            wal.append_deferred(&r).unwrap();
+        }
+        assert_eq!(vfs.syncs() - before, 0, "syncs are the leader's job");
+        assert_eq!(wal.synced_lsn(), 0);
+        let (lsn, bytes) = wal.sync_target();
+        assert_eq!(lsn, 3);
+        vfs.sync(WAL_FILE).unwrap();
+        wal.mark_synced(lsn, bytes);
+        assert_eq!(wal.synced_lsn(), 3);
+        // a stale leader reporting an older target must not move
+        // watermarks backwards
+        wal.mark_synced(1, 8);
+        assert_eq!(wal.synced_lsn(), 3);
+    }
+
+    #[test]
+    fn fail_sync_rolls_back_like_a_failed_inline_fsync() {
+        let vfs = Arc::new(FaultFs::new());
+        let mut wal = fresh_wal(vfs.clone(), FsyncPolicy::Always);
+        wal.append(&sample_records()[0]).unwrap();
+        let acked_len = vfs.written_len(WAL_FILE);
+        wal.append_deferred(&sample_records()[1]).unwrap();
+        wal.fail_sync();
+        assert!(wal.poisoned());
+        assert_eq!(vfs.written_len(WAL_FILE), acked_len);
+        assert_eq!(wal.next_lsn(), 2, "rejected LSN rolled back");
+        let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
+        let replay = replay_wal(Some(&bytes)).unwrap();
+        assert_eq!(replay.records.len(), 1);
     }
 
     #[test]

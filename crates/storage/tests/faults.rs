@@ -89,6 +89,11 @@ impl Model {
                     .rows
                     .extend(rows.iter().cloned());
             }
+            WalRecord::Batch(recs) => {
+                for rec in recs {
+                    self.apply(rec);
+                }
+            }
         }
     }
 
@@ -173,7 +178,7 @@ fn workload(rng: &mut TestRng, n: usize) -> Vec<WalRecord> {
 /// final WAL length — used to enumerate crash offsets.
 fn clean_log_len(recs: &[WalRecord]) -> u64 {
     let vfs = Arc::new(FaultFs::new());
-    let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+    let r = open(&vfs, FsyncPolicy::Always).unwrap();
     for rec in recs {
         r.storage.log(rec).unwrap();
     }
@@ -214,7 +219,7 @@ fn torn_append_at_any_byte_recovers_exactly_the_acked_prefix() {
             path: WAL_FILE.into(),
             at,
         });
-        let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+        let r = open(&vfs, FsyncPolicy::Always).unwrap();
         let mut acked = 0usize;
         let mut crashed = false;
         for rec in &recs {
@@ -249,7 +254,7 @@ fn bit_flips_recover_a_prefix_or_fail_typed_never_panic() {
     let total = clean_log_len(&recs) as usize;
     for offset in (0..total).step_by(stride()) {
         let vfs = Arc::new(FaultFs::new());
-        let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+        let r = open(&vfs, FsyncPolicy::Always).unwrap();
         for rec in &recs {
             r.storage.log(rec).unwrap();
         }
@@ -288,7 +293,7 @@ fn lying_fsync_still_yields_a_consistent_prefix() {
         let recs = workload(&mut rng, n);
         let states = prefix_states(&recs);
         let vfs = Arc::new(FaultFs::new());
-        let mut r = open(&vfs, FsyncPolicy::EveryN(2)).unwrap();
+        let r = open(&vfs, FsyncPolicy::EveryN(2)).unwrap();
         vfs.inject(Fault::ShortFsync {
             path: WAL_FILE.into(),
         });
@@ -308,7 +313,7 @@ fn failed_fsync_is_an_error_and_synced_prefix_survives() {
     let recs = workload(&mut TestRng::new(99), 8);
     let states = prefix_states(&recs);
     let vfs = Arc::new(FaultFs::new());
-    let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+    let r = open(&vfs, FsyncPolicy::Always).unwrap();
     let mut acked = 0usize;
     let mut io_failed = false;
     for (i, rec) in recs.iter().enumerate() {
@@ -347,7 +352,7 @@ fn failed_fsync_without_crash_never_commits_the_rejected_record() {
     let recs = workload(&mut TestRng::new(123), 8);
     let states = prefix_states(&recs);
     let vfs = Arc::new(FaultFs::new());
-    let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+    let r = open(&vfs, FsyncPolicy::Always).unwrap();
     let mut acked = 0usize;
     let mut refused = 0usize;
     for (i, rec) in recs.iter().enumerate() {
@@ -382,7 +387,7 @@ fn crash_between_snapshot_and_wal_truncate_double_applies_nothing() {
     let recs = workload(&mut TestRng::new(5), 8);
     let states = prefix_states(&recs);
     let vfs = Arc::new(FaultFs::new());
-    let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+    let r = open(&vfs, FsyncPolicy::Always).unwrap();
     for rec in &recs {
         r.storage.log(rec).unwrap();
     }
@@ -430,7 +435,7 @@ fn recovery_roundtrip_property() {
             path: WAL_FILE.into(),
             at,
         });
-        let mut r = open(&vfs, policy).unwrap();
+        let r = open(&vfs, policy).unwrap();
         let mut acked = 0usize;
         let mut synced = 0u64;
         for rec in &recs {
@@ -475,7 +480,7 @@ fn snapshot_plus_tail_equals_full_replay_at_every_cut() {
     let states = prefix_states(&recs);
     let full = Arc::new(FaultFs::new());
     {
-        let mut r = open(&full, FsyncPolicy::Always).unwrap();
+        let r = open(&full, FsyncPolicy::Always).unwrap();
         for rec in &recs {
             r.storage.log(rec).unwrap();
         }
@@ -483,7 +488,7 @@ fn snapshot_plus_tail_equals_full_replay_at_every_cut() {
     let full_state = open(&full, FsyncPolicy::Always).unwrap().tables;
     for cut in 0..=recs.len() {
         let vfs = Arc::new(FaultFs::new());
-        let mut r = open(&vfs, FsyncPolicy::Always).unwrap();
+        let r = open(&vfs, FsyncPolicy::Always).unwrap();
         for rec in &recs[..cut] {
             r.storage.log(rec).unwrap();
         }
@@ -504,5 +509,85 @@ fn snapshot_plus_tail_equals_full_replay_at_every_cut() {
             b.read(snapshot::SNAP_FILE).unwrap().unwrap(),
             "cut at {cut}: snapshots not byte-identical"
         );
+    }
+}
+
+/// Group commit under torn-write crashes. Transactions are logged as one
+/// frame each via `log_batch` (multi-op ⇒ an atomic `Batch` record) and
+/// acked only after `group_sync` reports their LSN durable — the engine's
+/// commit protocol. Crashing at (a sample of) every byte offset, recovery
+/// must restore exactly the acked transactions: group commit defers the
+/// fsync but must never weaken the acked ⇒ durable contract, and a torn
+/// batch must vanish whole, never replay a prefix of its operations.
+#[test]
+fn group_commit_torn_append_recovers_exactly_the_acked_transactions() {
+    // chunk a generated workload into transactions of 1–3 operations
+    let flat = workload(&mut TestRng::new(0xB417), 14);
+    let mut txs: Vec<Vec<WalRecord>> = Vec::new();
+    let mut rest = flat.as_slice();
+    let mut size = 1usize;
+    while !rest.is_empty() {
+        let take = size.min(rest.len());
+        txs.push(rest[..take].to_vec());
+        rest = &rest[take..];
+        size = size % 3 + 1;
+    }
+    // the tx-granular oracle: each batch applies atomically or not at all
+    let units: Vec<WalRecord> = txs
+        .iter()
+        .map(|t| {
+            if t.len() == 1 {
+                t[0].clone()
+            } else {
+                WalRecord::Batch(t.clone())
+            }
+        })
+        .collect();
+    let states = prefix_states(&units);
+    let total = {
+        let vfs = Arc::new(FaultFs::new());
+        let r = open(&vfs, FsyncPolicy::Always).unwrap();
+        for tx in &txs {
+            r.storage.log_batch(tx.clone()).unwrap();
+            r.storage.group_sync().unwrap();
+        }
+        vfs.written_len(WAL_FILE)
+    };
+
+    let mut at = 8;
+    while at < total {
+        let vfs = Arc::new(FaultFs::new());
+        vfs.inject(Fault::TornAppend {
+            path: WAL_FILE.into(),
+            at,
+        });
+        let r = open(&vfs, FsyncPolicy::Always).unwrap();
+        let mut acked = 0usize;
+        let mut crashed = false;
+        for tx in &txs {
+            let committed = r
+                .storage
+                .log_batch(tx.clone())
+                .and_then(|lsn| r.storage.group_sync().map(|synced| synced >= lsn));
+            match committed {
+                Ok(covered) => {
+                    assert!(covered, "group_sync returned a stale LSN");
+                    acked += 1;
+                }
+                Err(StorageError::Injected(_)) | Err(StorageError::Io(_)) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error at byte {at}: {e}"),
+            }
+        }
+        assert!(crashed, "fault at byte {at} never fired");
+        vfs.crash();
+        let recovered = assert_prefix_state(&vfs, &states, FsyncPolicy::Always);
+        assert_eq!(
+            recovered, states[acked],
+            "crash at byte {at}: recovered state differs from the {acked} acked transactions"
+        );
+        at += stride() as u64;
     }
 }

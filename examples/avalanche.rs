@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dsh_t = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
-        let (hdb, hdb_q) = run_haskelldb(&conn.database())?;
+        let (hdb, hdb_q) = run_haskelldb(conn.database())?;
         let hdb_t = t0.elapsed().as_secs_f64();
 
         assert_eq!(normalise(dsh), normalise(hdb), "the two must agree");

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("-- the appendix: the emitted SQL:1999 bundle ---------------");
     let bundle = conn.compile(&dsh_query())?;
     for (i, qd) in bundle.queries.iter().enumerate() {
-        let sql = generate_sql(&conn.database(), &bundle.plan, qd.root)?;
+        let sql = generate_sql(&conn.snapshot(), &bundle.plan, qd.root)?;
         println!("-- query Q{} --", i + 1);
         println!("{}", sql.sql);
         println!();

@@ -19,7 +19,7 @@ type Order = (i64, i64); // orders(cid, oid)
 type Item = (i64, i64, String); // items(oid, price, product)
 
 fn database() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "customers",
         Schema::of(&[("cid", Ty::Int), ("name", Ty::Str)]),

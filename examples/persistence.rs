@@ -25,24 +25,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if conn.database().table("products").is_none() {
-        let mut db = conn.database_mut();
-        db.create_table(
-            "products",
-            Schema::of(&[("name", Ty::Str), ("price", Ty::Int)]),
-            vec!["name"],
-        )?;
-        db.insert(
-            "products",
-            vec![
-                vec![Value::str("anvil"), Value::Int(120)],
-                vec![Value::str("banana"), Value::Int(2)],
-                vec![Value::str("compass"), Value::Int(30)],
-            ],
-        )?;
+        // one transaction: table + seed rows commit (and recover) together
+        conn.database().transact(|db| {
+            db.create_table(
+                "products",
+                Schema::of(&[("name", Ty::Str), ("price", Ty::Int)]),
+                vec!["name"],
+            )?;
+            db.insert(
+                "products",
+                vec![
+                    vec![Value::str("anvil"), Value::Int(120)],
+                    vec![Value::str("banana"), Value::Int(2)],
+                    vec![Value::str("compass"), Value::Int(30)],
+                ],
+            )
+        })?;
     } else {
         // each run appends one more row — surviving restarts is the point
         let n = conn.database().table("products").unwrap().rows.rows().len() as i64;
-        conn.database_mut().insert(
+        conn.database().insert(
             "products",
             vec![vec![Value::str(format!("gadget_{n}")), Value::Int(n)]],
         )?;

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== 3  SQL:1999 ==");
     for (i, qd) in t.bundle.queries.iter().enumerate() {
-        let sql = generate_sql(&conn.database(), &t.bundle.plan, qd.root)?;
+        let sql = generate_sql(&conn.snapshot(), &t.bundle.plan, qd.root)?;
         println!("-- query {} --\n{}\n", i + 1, sql.sql);
     }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::thread;
 
 fn database() -> Result<Database, Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "products",
         Schema::of(&[("name", Ty::Str), ("price", Ty::Int)]),
@@ -74,10 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== DDL invalidates, DML does not ==");
-    conn.database_mut()
+    conn.database()
         .insert("products", vec![vec![Value::str("fuse"), Value::Int(45)]])?;
     conn.prepare(&affordable(100))?; // still a hit: plans are data-independent
-    conn.database_mut()
+    conn.database()
         .create_table("reviews", Schema::of(&[("id", Ty::Int)]), vec!["id"])?;
     conn.prepare(&affordable(100))?; // schema changed: recompile
     let stats = conn.database().stats();

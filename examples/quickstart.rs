@@ -10,7 +10,7 @@ use ferry_engine::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. a database with one table: products(name, price)
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table(
         "products",
         Schema::of(&[("name", Ty::Str), ("price", Ty::Int)]),

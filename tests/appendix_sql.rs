@@ -23,7 +23,7 @@ fn bundle_of_two_sql_statements() {
         .queries
         .iter()
         .map(|qd| {
-            generate_sql(&conn.database(), &bundle.plan, qd.root)
+            generate_sql(&conn.snapshot(), &bundle.plan, qd.root)
                 .unwrap()
                 .sql
         })
@@ -60,8 +60,8 @@ fn the_sql_bundle_computes_the_section2_value() {
     let bundle = conn.compile(&dsh_query()).unwrap();
     let mut rels = Vec::new();
     for qd in &bundle.queries {
-        let sql = generate_sql(&conn.database(), &bundle.plan, qd.root).unwrap();
-        rels.push(execute_sql(&conn.database(), &sql.sql).unwrap());
+        let sql = generate_sql(&conn.snapshot(), &bundle.plan, qd.root).unwrap();
+        rels.push(execute_sql(&conn.snapshot(), &sql.sql).unwrap());
     }
     let val = stitch(&rels, &bundle.queries).unwrap();
     let result: Vec<(String, Vec<String>)> = ferry::QA::from_val(&val).unwrap();
@@ -77,7 +77,7 @@ fn unoptimized_bundle_also_roundtrips() {
     let conn = Connection::new(paper_dataset());
     let bundle = conn.compile(&dsh_query()).unwrap();
     for qd in &bundle.queries {
-        let sql = generate_sql(&conn.database(), &bundle.plan, qd.root).unwrap();
-        execute_sql(&conn.database(), &sql.sql).unwrap();
+        let sql = generate_sql(&conn.snapshot(), &bundle.plan, qd.root).unwrap();
+        execute_sql(&conn.snapshot(), &sql.sql).unwrap();
     }
 }

@@ -14,7 +14,7 @@ fn table1_query_counts_exactly() {
             Connection::new(scaled_dataset(cats, 2)).with_optimizer(ferry_optimizer::rewriter());
         let (dsh, dsh_q) = run_dsh(&conn).expect("dsh");
         assert_eq!(dsh_q, 2, "DSH: two queries at {cats} categories");
-        let (hdb, hdb_q) = run_haskelldb(&conn.database()).expect("haskelldb");
+        let (hdb, hdb_q) = run_haskelldb(conn.database()).expect("haskelldb");
         assert_eq!(
             hdb_q,
             cats as u64 + 1,
@@ -80,7 +80,7 @@ fn dispatch_cost_widens_the_gap() {
     // model the client/server round trip the paper's setup pays per query:
     // the avalanche is charged N+1 round trips, the bundle exactly 2
     use std::time::{Duration, Instant};
-    let mut db = scaled_dataset(50, 2);
+    let db = scaled_dataset(50, 2);
     db.set_dispatch_cost(Duration::from_millis(2));
     let conn = Connection::new(db).with_optimizer(ferry_optimizer::rewriter());
 
@@ -88,7 +88,7 @@ fn dispatch_cost_widens_the_gap() {
     let (_, q_dsh) = run_dsh(&conn).unwrap();
     let t_dsh = t0.elapsed();
     let t0 = Instant::now();
-    let (_, q_hdb) = run_haskelldb(&conn.database()).unwrap();
+    let (_, q_hdb) = run_haskelldb(conn.database()).unwrap();
     let t_hdb = t0.elapsed();
 
     assert_eq!(q_dsh, 2);

@@ -27,7 +27,7 @@ type Item = (i64, i64, String); // items(oid, price, product)
 /// The paper's facility tables plus a small customers→orders→items star,
 /// so both workloads run against one catalog.
 fn database() -> ferry_engine::Database {
-    let mut db = paper_dataset();
+    let db = paper_dataset();
     db.create_table(
         "customers",
         Schema::of(&[("cid", Ty::Int), ("name", Ty::Str)]),
@@ -161,9 +161,9 @@ fn n_threads_share_connection_and_prepared_handles() {
 /// A writer mutating the catalog races N query threads.
 ///
 /// The writer appends, per round, one order plus its two line items
-/// (prices summing to zero) inside a single `database_mut()` critical
-/// section, then creates a scratch table — a schema change that strands
-/// every cached plan. Readers continuously execute
+/// (prices summing to zero) inside a single `transact` (one atomic
+/// catalog version), then creates a scratch table — a schema change that
+/// strands every cached plan. Readers continuously execute
 ///
 /// * the 3-query orders report: every writer order must appear with
 ///   **both** of its items (a torn read across the bundle members would
@@ -177,7 +177,7 @@ fn writer_races_readers_without_torn_reads_and_with_cache_invalidation() {
     const READERS: usize = 4;
     const ROUNDS: i64 = 12;
     let conn = Connection::new(database()).with_optimizer(ferry_optimizer::rewriter());
-    conn.database_mut()
+    conn.database()
         .insert("customers", vec![vec![Value::Int(9), Value::str("Writer")]])
         .unwrap();
     let expect_dsh = conn.interpret(&dsh_query()).unwrap();
@@ -204,21 +204,22 @@ fn writer_races_readers_without_torn_reads_and_with_cache_invalidation() {
             let i = Value::Int;
             let s = Value::str;
             for r in 0..ROUNDS {
-                {
-                    // one critical section: the order and both its items
-                    let mut db = conn.database_mut();
-                    db.insert("orders", vec![vec![i(9), i(100 + r)]]).unwrap();
-                    db.insert(
-                        "items",
-                        vec![
-                            vec![i(100 + r), i(7 + r), s("debit")],
-                            vec![i(100 + r), i(-(7 + r)), s("credit")],
-                        ],
-                    )
+                // one transaction: the order and both its items commit
+                // as one catalog version — readers see all or nothing
+                conn.database()
+                    .transact(|tx| {
+                        tx.insert("orders", vec![vec![i(9), i(100 + r)]])?;
+                        tx.insert(
+                            "items",
+                            vec![
+                                vec![i(100 + r), i(7 + r), s("debit")],
+                                vec![i(100 + r), i(-(7 + r)), s("credit")],
+                            ],
+                        )
+                    })
                     .unwrap();
-                }
                 // DDL: bumps schema_version, stranding cached bundles
-                conn.database_mut()
+                conn.database()
                     .create_table(
                         format!("scratch_{r}"),
                         Schema::of(&[("x", Ty::Int)]),
@@ -323,4 +324,96 @@ fn concurrent_mixed_workload_matches_interpreter() {
     for t in threads {
         t.join().unwrap();
     }
+}
+
+/// N independent writers × M readers over one balanced ledger.
+///
+/// Every writer commits balanced item pairs into its own oid range via
+/// `transact` while readers continuously sum the whole ledger — under
+/// snapshot isolation the sum is exactly zero at every instant, however
+/// many writers' versions have been installed. This is the N×M
+/// generalisation of the single-writer race above.
+#[test]
+fn n_writers_m_readers_keep_the_ledger_balanced() {
+    const WRITERS: i64 = 3;
+    const READERS: usize = 3;
+    const ROUNDS: i64 = 8;
+    let conn = Connection::new(database()).with_optimizer(ferry_optimizer::rewriter());
+
+    fn ledger_query() -> Q<i64> {
+        sum(map(
+            |it: Q<Item>| it.proj3_1(),
+            filter(
+                |it: Q<Item>| it.proj3_0().ge(&toq(&1000i64)),
+                table::<Item>("items"),
+            ),
+        ))
+    }
+
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let writer_handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let conn = conn.clone();
+            let done = done.clone();
+            thread::spawn(move || {
+                let i = Value::Int;
+                let s = Value::str;
+                for r in 0..ROUNDS {
+                    let oid = 1000 + w * 100 + r; // disjoint per writer
+                    conn.database()
+                        .transact(|tx| {
+                            tx.insert("orders", vec![vec![i(9), i(oid)]])?;
+                            tx.insert(
+                                "items",
+                                vec![
+                                    vec![i(oid), i(5 + r), s("debit")],
+                                    vec![i(oid), i(-(5 + r)), s("credit")],
+                                ],
+                            )
+                        })
+                        .unwrap();
+                    thread::yield_now();
+                }
+                done.fetch_add(1, Ordering::Release);
+            })
+        })
+        .collect();
+
+    let reader_handles: Vec<_> = (0..READERS)
+        .map(|_| {
+            let conn = conn.clone();
+            let done = done.clone();
+            thread::spawn(move || {
+                let mut iters = 0u32;
+                while done.load(Ordering::Acquire) < WRITERS as usize || iters < 4 {
+                    assert_eq!(
+                        conn.from_q(&ledger_query()).unwrap(),
+                        0,
+                        "reader observed an unbalanced (torn) ledger"
+                    );
+                    iters += 1;
+                }
+                iters
+            })
+        })
+        .collect();
+
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    for h in reader_handles {
+        assert!(h.join().unwrap() >= 4);
+    }
+
+    // every writer's every round committed exactly once
+    let epoch_rows = conn
+        .database()
+        .table("items")
+        .unwrap()
+        .rows
+        .rows()
+        .iter()
+        .filter(|r| r[0] >= Value::Int(1000))
+        .count();
+    assert_eq!(epoch_rows, (WRITERS * ROUNDS * 2) as usize);
 }

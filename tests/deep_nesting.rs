@@ -7,7 +7,7 @@ use ferry_algebra::{Schema, Ty, Value};
 use ferry_engine::Database;
 
 fn conn() -> Connection {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
         .unwrap();
     db.insert("nums", (1..=4).map(|i| vec![Value::Int(i)]).collect())

@@ -18,7 +18,8 @@ fn affordable(limit: i64) -> Q<Vec<String>> {
 }
 
 fn seed(conn: &Connection) {
-    let mut db = conn.database_mut();
+    // two autocommitted transactions: two WAL records, LSN 1 and 2
+    let db = conn.database();
     db.create_table(
         "products",
         Schema::of(&[("name", Ty::Str), ("price", Ty::Int)]),
@@ -51,7 +52,7 @@ fn open_durable_roundtrip_with_checkpoint() {
         );
         let lsn = conn.checkpoint().unwrap();
         assert_eq!(lsn, 2, "create + insert were logged");
-        conn.database_mut()
+        conn.database()
             .insert(
                 "products",
                 vec![vec![Value::str("dynamite"), Value::Int(45)]],

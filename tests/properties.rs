@@ -106,7 +106,7 @@ fn apply_stage(q: Q<Vec<i64>>, s: &Stage) -> Q<Vec<i64>> {
 }
 
 fn database(rows: &[i64]) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec![])
         .unwrap();
     db.insert("nums", rows.iter().map(|&i| vec![Value::Int(i)]).collect())

@@ -22,7 +22,7 @@ fn traced_conn() -> Connection {
 }
 
 fn nums_db(rows: i64) -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.create_table("nums", Schema::of(&[("n", Ty::Int)]), vec!["n"])
         .unwrap();
     db.insert("nums", (1..=rows).map(|i| vec![Value::Int(i)]).collect())
@@ -258,7 +258,7 @@ fn trace_json_is_valid_chrome_trace_with_monotone_timestamps() {
 
 #[test]
 fn morsel_spans_propagate_across_worker_threads() {
-    let mut db = Database::new();
+    let db = Database::new();
     db.set_par_config(ParConfig {
         threads: 4,
         min_rows: 1,
