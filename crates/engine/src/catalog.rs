@@ -394,7 +394,21 @@ impl Database {
             if matches!(storage.config().fsync, FsyncPolicy::Always) {
                 // enqueue for the batch fsync while still ordered by the
                 // commit lock; publish happens when a leader covers us
-                self.gc.lock().unwrap().pending.push_back((lsn, version));
+                let mut gc = self.gc.lock().unwrap();
+                if let Some(msg) = gc.poisoned.clone() {
+                    // a leader's fsync failed between our log_batch and
+                    // this enqueue: our record sits in the truncated
+                    // tail and the pending queue was already cleared —
+                    // fail the commit rather than enqueue into a
+                    // poisoned database. Restore the head we forked
+                    // from (the poisoning leader re-anchors it on
+                    // `current` once we release the commit lock anyway)
+                    drop(gc);
+                    commit.head = head;
+                    return Err(EngineError::Storage(StorageError::Io(msg)));
+                }
+                gc.pending.push_back((lsn, version));
+                drop(gc);
                 drop(commit);
                 self.wait_durable(lsn)?;
             } else {
@@ -464,6 +478,14 @@ impl Database {
         let mut gc = self.gc.lock().unwrap();
         loop {
             if gc.durable_lsn >= lsn {
+                // A leader's fsync can cover our LSN before our entry
+                // reached the queue (transact enqueues after log_batch
+                // returns, and the leader holds neither the WAL nor the
+                // commit lock while syncing). That leader could not see
+                // our version, so drain everything the watermark covers
+                // here — publish-before-ack must hold on this path too.
+                let durable = gc.durable_lsn;
+                self.publish_durable(&mut gc, durable);
                 return Ok(());
             }
             if let Some(msg) = gc.poisoned.clone() {

@@ -97,6 +97,51 @@ fn concurrent_writers_share_fsyncs_at_least_4x_and_stay_durable() {
     assert_eq!(batches.count(), 0, "fresh database starts at zero");
 }
 
+/// Publish-before-ack under racing leaders: the moment `insert` returns,
+/// the committed row must be visible to a fresh snapshot. This targets
+/// the window where a leader's fsync covers a committer's LSN *before*
+/// that committer enqueued its version — the leader cannot publish what
+/// it never saw, so the committer must drain the queue itself instead of
+/// acking straight off the durable watermark.
+#[test]
+fn acked_commit_is_immediately_visible_to_readers() {
+    // no sync delay: leader cycles are fast enough to complete inside a
+    // committer's append→enqueue window (the racy schedule), and the
+    // in-memory fsyncs keep thousands of commits cheap
+    const COMMITS: usize = 400;
+    let vfs = Arc::new(FaultFs::new());
+    let db = Arc::new(open(&vfs));
+    create_ledger(&db);
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for seq in 0..COMMITS {
+                    let row = vec![Value::Int(w as i64), Value::Int(seq as i64)];
+                    db.insert("ledger", vec![row.clone()]).unwrap();
+                    assert!(
+                        db.table("ledger").unwrap().rows.rows().contains(&row),
+                        "acked commit {w}/{seq} is invisible to readers"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // nothing may be stuck in the pending queue once every ack returned
+    let commits = (WRITERS * COMMITS) as u64;
+    assert_eq!(
+        db.epoch(),
+        1 + commits,
+        "a committed version never published"
+    );
+    assert_eq!(db.table("ledger").unwrap().rows.len(), commits as usize);
+}
+
 /// A failed batch fsync must fail **every** waiter it covered, poison
 /// the database, keep the nacked versions unpublished, and leave nothing
 /// nacked behind after crash recovery — the PR 5 contract, batched.

@@ -90,6 +90,15 @@ impl WalRecord {
     }
 
     fn decode(d: &mut Dec<'_>) -> Result<WalRecord, StorageError> {
+        Self::decode_nested(d, false)
+    }
+
+    /// `decode`, tracking whether we are already inside a batch. The
+    /// engine never writes `Batch` inside `Batch`, so a nested tag-4
+    /// frame is corruption — rejecting it also bounds the recursion
+    /// depth (a crafted ~10-bytes-per-level log would otherwise
+    /// overflow the stack during recovery instead of erroring).
+    fn decode_nested(d: &mut Dec<'_>, in_batch: bool) -> Result<WalRecord, StorageError> {
         Ok(match d.u8()? {
             1 => WalRecord::CreateTable {
                 name: d.str()?.to_string(),
@@ -107,10 +116,13 @@ impl WalRecord {
                 rows: d.rows()?,
             },
             4 => {
+                if in_batch {
+                    return Err(StorageError::Codec("nested WAL batch record".to_string()));
+                }
                 let n = d.u64()?;
                 let mut recs = Vec::with_capacity(n.min(1 << 20) as usize);
                 for _ in 0..n {
-                    recs.push(WalRecord::decode(d)?);
+                    recs.push(WalRecord::decode_nested(d, true)?);
                 }
                 WalRecord::Batch(recs)
             }
@@ -493,6 +505,31 @@ mod tests {
                 .map(|(i, r)| ((i + 1) as u64, r))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn decode_roundtrips_flat_batch_but_rejects_nested() {
+        let flat = WalRecord::Batch(sample_records());
+        let mut e = Enc::new();
+        flat.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(WalRecord::decode(&mut d).unwrap(), flat);
+        d.finish().unwrap();
+
+        // the engine never writes Batch-inside-Batch, so a nested tag-4
+        // frame is corruption — and must fail as a codec error rather
+        // than recurse (a ~10-byte-per-level chain would otherwise
+        // overflow the stack during recovery)
+        let nested = WalRecord::Batch(vec![WalRecord::Batch(sample_records())]);
+        let mut e = Enc::new();
+        nested.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(
+            WalRecord::decode(&mut d),
+            Err(StorageError::Codec(_))
+        ));
     }
 
     #[test]
