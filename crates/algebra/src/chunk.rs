@@ -151,6 +151,25 @@ impl ColVec {
             _ => None,
         }
     }
+
+    /// A new chunk holding cells `idx` (in order), preserving the storage
+    /// variant. String columns keep the parent dictionary (codes stay
+    /// valid equality keys; unused dictionary entries are harmless), so a
+    /// gathered chunk can seed the cache of a buffer derived from this
+    /// one without re-encoding.
+    pub fn gather(&self, idx: &[u32]) -> ColVec {
+        match self {
+            ColVec::Int(v) => ColVec::Int(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColVec::Nat(v) => ColVec::Nat(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColVec::Dbl(v) => ColVec::Dbl(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColVec::Bool(v) => ColVec::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColVec::Str { codes, dict } => ColVec::Str {
+                codes: idx.iter().map(|&i| codes[i as usize]).collect(),
+                dict: dict.clone(),
+            },
+            ColVec::Other(v) => ColVec::Other(idx.iter().map(|&i| v[i as usize].clone()).collect()),
+        }
+    }
 }
 
 fn build_typed<T>(

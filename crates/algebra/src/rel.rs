@@ -91,6 +91,30 @@ impl RowBuf {
             .or_insert_with(|| Arc::new(ColVec::build(&self.rows, col)))
             .clone()
     }
+
+    /// The cached chunk for buffer column `col`, if one has already been
+    /// built or seeded — never triggers a transposition. Lets producers
+    /// decide cheaply whether a column is worth carrying forward.
+    pub fn cached_col(&self, col: usize) -> Option<Arc<ColVec>> {
+        self.chunks.lock().unwrap().get(&(col as u32)).cloned()
+    }
+
+    /// Seed the chunk cache for buffer column `col` with a chunk the
+    /// producer already holds in columnar form (fused pipelines carry
+    /// computed columns as typed registers; gathering a parent buffer's
+    /// cached chunk through a selection yields the child's). Ignored if a
+    /// chunk is already cached or the length does not match the buffer —
+    /// seeding is an optimization, never a source of truth.
+    pub fn seed_chunk(&self, col: usize, chunk: Arc<ColVec>) {
+        if chunk.len() != self.rows.len() {
+            return;
+        }
+        self.chunks
+            .lock()
+            .unwrap()
+            .entry(col as u32)
+            .or_insert(chunk);
+    }
 }
 
 impl Clone for RowBuf {
@@ -220,6 +244,18 @@ impl Rel {
     /// cells.
     pub fn typed_col(&self, raw: usize) -> Arc<ColVec> {
         self.buf.typed_col(raw)
+    }
+
+    /// The already-cached chunk for **buffer** column `raw`, if any — see
+    /// [`RowBuf::cached_col`].
+    pub fn cached_col(&self, raw: usize) -> Option<Arc<ColVec>> {
+        self.buf.cached_col(raw)
+    }
+
+    /// Seed the buffer's chunk cache for **buffer** column `raw` — see
+    /// [`RowBuf::seed_chunk`].
+    pub fn seed_chunk(&self, raw: usize, chunk: Arc<ColVec>) {
+        self.buf.seed_chunk(raw, chunk);
     }
 
     /// The selection vector, if any (visible row → buffer row).
@@ -566,6 +602,42 @@ mod tests {
         // a fresh buffer (to_dense copies) has its own cache
         let d = v.to_dense();
         assert_eq!(d.typed_col(1).as_int().unwrap(), &[10]);
+    }
+
+    #[test]
+    fn seeded_chunks_are_served_from_the_cache() {
+        let r = sample();
+        // seeding before first use: typed_col returns the seeded Arc
+        let seeded = Arc::new(ColVec::Int(vec![20, 10]));
+        r.seed_chunk(1, seeded.clone());
+        assert!(Arc::ptr_eq(&seeded, &r.typed_col(1)));
+        assert!(Arc::ptr_eq(&seeded, &r.cached_col(1).unwrap()));
+        // views over the same buffer see the seed too
+        let v = r.with_sel(vec![0]);
+        assert!(Arc::ptr_eq(&seeded, &v.typed_col(1)));
+        // a wrong-length seed is ignored, and an existing entry wins
+        r.seed_chunk(0, Arc::new(ColVec::Int(vec![1])));
+        assert!(r.cached_col(0).is_none());
+        let built = r.typed_col(0);
+        r.seed_chunk(0, Arc::new(ColVec::Nat(vec![9, 9])));
+        assert!(Arc::ptr_eq(&built, &r.typed_col(0)));
+    }
+
+    #[test]
+    fn gather_preserves_variant_and_values() {
+        let buf = vec![
+            vec![Value::str("b"), Value::Dbl(-0.0)],
+            vec![Value::str("a"), Value::Dbl(2.5)],
+            vec![Value::str("b"), Value::Dbl(0.0)],
+        ];
+        let s = ColVec::build(&buf, 0);
+        let g = s.gather(&[2, 0]);
+        assert!(matches!(g, ColVec::Str { .. }));
+        assert_eq!(g.value(0), Value::str("b"));
+        assert_eq!(g.value(1), Value::str("b"));
+        let d = ColVec::build(&buf, 1).gather(&[0, 2]);
+        // -0.0 and 0.0 stay distinct through a gather
+        assert_ne!(d.eq_code(0, false), d.eq_code(1, false));
     }
 
     #[test]

@@ -4,19 +4,21 @@
 //! paper artefact — a regression guard for the substrate that all
 //! measured experiments run on.
 //!
-//! Each operator runs three times: `scalar` (serial row-at-a-time
+//! Each operator runs four times: `scalar` (serial row-at-a-time
 //! oracle, `VecMode::Off`), `vec` (serial with the vectorized kernels
-//! engaged) and `par4` (4 worker threads, morsel threshold lowered so
+//! engaged but pipeline fusion off), `fused` (serial, kernels + pipeline
+//! fusion) and `par4` (4 worker threads, morsel threshold lowered so
 //! the 50k–100k inputs actually split). `scalar` vs `vec` isolates the
-//! typed-chunk kernel win on any host; the `par4` variants additionally
-//! measure the morsel scheduler on multi-core hosts (and its overhead on
-//! single-core ones).
+//! typed-chunk kernel win on any host; `vec` vs `fused` isolates the
+//! per-node materialization cost fusion removes; the `par4` variants
+//! additionally measure the morsel scheduler on multi-core hosts (and
+//! its overhead on single-core ones).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ferry_algebra::{
     plan::cn, plan::Aggregate, AggFun, BinOp, Dir, Expr, JoinCols, NodeId, Plan, Schema, Ty, Value,
 };
-use ferry_engine::{Database, ParConfig, VecMode};
+use ferry_engine::{Database, FuseMode, ParConfig, VecMode};
 
 fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
     (0..rows)
@@ -25,19 +27,28 @@ fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
 }
 
 /// The engines under comparison: serial scalar (the oracle path), serial
-/// vectorized, and 4 workers with the parallelism threshold low enough
-/// for every benched input.
+/// vectorized without fusion, serial fused pipelines, and 4 workers with
+/// the parallelism threshold low enough for every benched input.
 fn engines() -> Vec<(&'static str, Database)> {
     let scalar_db = Database::new();
     scalar_db.set_par_config(ParConfig {
         threads: 1,
         vec: VecMode::Off,
+        fuse: FuseMode::Off,
         ..ParConfig::default()
     });
     let vec_db = Database::new();
     vec_db.set_par_config(ParConfig {
         threads: 1,
         vec: VecMode::Auto,
+        fuse: FuseMode::Off,
+        ..ParConfig::default()
+    });
+    let fused_db = Database::new();
+    fused_db.set_par_config(ParConfig {
+        threads: 1,
+        vec: VecMode::Auto,
+        fuse: FuseMode::Auto,
         ..ParConfig::default()
     });
     let par_db = Database::new();
@@ -46,8 +57,14 @@ fn engines() -> Vec<(&'static str, Database)> {
         min_rows: 1024,
         morsel_rows: 0,
         vec: VecMode::Auto,
+        fuse: FuseMode::Auto,
     });
-    vec![("scalar", scalar_db), ("vec", vec_db), ("par4", par_db)]
+    vec![
+        ("scalar", scalar_db),
+        ("vec", vec_db),
+        ("fused", fused_db),
+        ("par4", par_db),
+    ]
 }
 
 fn bench_both(
@@ -190,6 +207,59 @@ fn bench_engine(c: &mut Criterion) {
         );
         let cch = plan.compute(l, "y", e);
         bench_both(&mut group, "compute_chain", M, &plan, cch);
+    }
+
+    // compute → filter-on-the-computed-column → row numbering at 100k
+    // rows: the pipeline-fusion showcase. Unfused, the compute node
+    // materialises all 100k rows before the filter throws 70% of them
+    // away; fused, batches stream through the kernel chain and only
+    // survivors are ever built
+    {
+        let mut plan = Plan::new();
+        let l = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(M, 10),
+        );
+        let y = plan.compute(
+            l,
+            "y",
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::col("a"), Expr::lit(3i64)),
+                Expr::col("k"),
+            ),
+        );
+        let f = plan.select(
+            y,
+            Expr::bin(
+                BinOp::Lt,
+                Expr::bin(BinOp::Mod, Expr::col("y"), Expr::lit(10i64)),
+                Expr::lit(3i64),
+            ),
+        );
+        let rn = plan.rownum(f, "pos", vec![cn("k")], vec![(cn("y"), Dir::Asc)]);
+        bench_both(&mut group, "filter_rownum", M, &plan, rn);
+    }
+
+    // scan → filter → join-probe: 100k probe rows filtered to 10k, joined
+    // against a 10k build side. Fusion streams filtered probe batches
+    // straight into the join's probe loop
+    {
+        let mut plan = Plan::new();
+        let probe = plan.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(M, 10),
+        );
+        let build = plan.lit(
+            Schema::of(&[("b", Ty::Int), ("j", Ty::Int)]),
+            int_table(10_000, 10),
+        );
+        let f = plan.select(
+            probe,
+            Expr::bin(BinOp::Lt, Expr::col("a"), Expr::lit(10_000i64)),
+        );
+        let j = plan.equi_join(f, build, JoinCols::single("a", "b"));
+        bench_both(&mut group, "scan_filter_join_probe", M, &plan, j);
     }
 
     // filter selectivity sweep at 100k rows: 1% / 50% / 99% of rows kept.

@@ -483,18 +483,25 @@ impl Connection {
                 let path = match p.path {
                     ferry_engine::ExecPath::Scalar => "scalar".to_string(),
                     ferry_engine::ExecPath::Vectorized => format!("vec({})", p.batches),
+                    ferry_engine::ExecPath::Fused => format!("fused({})", p.batches),
+                };
+                let label = if p.fused.is_empty() {
+                    p.label.to_string()
+                } else {
+                    format!("pipeline[{}]", p.fused.join("\u{2192}"))
                 };
                 let _ = writeln!(
                     out,
                     "node {:>3}  {:<12} {:<10} {:>9} rows  {:>3} morsels  {:?}",
-                    p.node, p.label, path, p.rows, p.morsels, p.elapsed
+                    p.node, label, path, p.rows, p.morsels, p.elapsed
                 );
             }
         }
         let _ = writeln!(
             out,
-            "parallel waves: {}  parallel nodes: {}  morsel tasks: {}  vec nodes: {}  kernel batches: {}",
-            stats.par_waves, stats.par_nodes, stats.morsel_tasks, stats.vec_nodes, stats.kernel_batches
+            "parallel waves: {}  parallel nodes: {}  morsel tasks: {}  vec nodes: {}  kernel batches: {}  fused pipelines: {}  fused nodes: {}",
+            stats.par_waves, stats.par_nodes, stats.morsel_tasks, stats.vec_nodes, stats.kernel_batches,
+            stats.fused_pipelines, stats.fused_nodes
         );
         let recorded = telemetry
             .traces()

@@ -193,6 +193,8 @@ struct EngineMetrics {
     par_waves: Arc<Counter>,
     vec_nodes: Arc<Counter>,
     kernel_batches: Arc<Counter>,
+    fused_pipelines: Arc<Counter>,
+    fused_nodes: Arc<Counter>,
     checkpoint_failures: Arc<Counter>,
     query_latency_ns: Arc<Histogram>,
     /// The published catalog epoch (gauge, monotone under one process).
@@ -220,6 +222,8 @@ impl EngineMetrics {
             par_waves: counter("engine.par_waves"),
             vec_nodes: counter("engine.vec_nodes"),
             kernel_batches: counter("engine.kernel_batches"),
+            fused_pipelines: counter("engine.fused_pipelines"),
+            fused_nodes: counter("engine.fused_nodes"),
             checkpoint_failures: counter("storage.checkpoint_failures"),
             query_latency_ns: registry
                 .histogram("engine.query_latency_ns")
@@ -763,6 +767,8 @@ impl Database {
             par_waves: m.par_waves.get(),
             vec_nodes: m.vec_nodes.get(),
             kernel_batches: m.kernel_batches.get(),
+            fused_pipelines: m.fused_pipelines.get(),
+            fused_nodes: m.fused_nodes.get(),
             profiles: self.profiles.lock().unwrap().clone(),
         }
     }
@@ -885,6 +891,8 @@ impl<'db> Snapshot<'db> {
             m.par_waves.add(local.par_waves);
             m.vec_nodes.add(local.vec_nodes);
             m.kernel_batches.add(local.kernel_batches);
+            m.fused_pipelines.add(local.fused_pipelines);
+            m.fused_nodes.add(local.fused_nodes);
             m.query_latency_ns.record(elapsed_ns);
             db.profiles.lock().unwrap().push(QueryProfile {
                 query_id: qid,

@@ -26,7 +26,7 @@ use crate::error::EngineError;
 use crate::eval::{bind, eval, Bound};
 use crate::par::{self, ParConfig};
 use crate::stats::{ExecPath, NodeProfile, QueryStats};
-use crate::vec_eval::{self, BATCH_ROWS};
+use crate::vec_eval::{self, ChainBuilder, ChainProg, Reg, StreamChunk, VirtSrc, BATCH_ROWS};
 use ferry_algebra::plan::Aggregate;
 use ferry_algebra::{
     AggFun, ColName, ColVec, Dir, Expr, Node, NodeId, Plan, Rel, Row, Schema, SortSpec, Value,
@@ -74,7 +74,26 @@ pub fn run_many(
         }
         stack.extend(plan.node(id).children());
     }
-    // dependency levels: children are always lower-indexed, one forward scan
+    let pipelines = form_pipelines(plan, roots, &needed);
+    let grouped = {
+        let mut g = vec![false; plan.len()];
+        for spec in pipelines.values() {
+            if let PipeInput::Scan(s) = spec.input {
+                g[s.index()] = true;
+            }
+            for &mid in &spec.mids {
+                g[mid.index()] = true;
+            }
+        }
+        // a chain-op tail is listed among its own mids but keeps its slot
+        for &tail in pipelines.keys() {
+            g[tail] = false;
+        }
+        g
+    };
+    // dependency levels: children are always lower-indexed, one forward
+    // scan. Pipeline-absorbed nodes still get levels (their parents need
+    // them) but no wave slot — the tail evaluates them.
     let mut level = vec![0u32; plan.len()];
     let mut waves: Vec<Vec<NodeId>> = Vec::new();
     for idx in 0..plan.len() {
@@ -90,6 +109,9 @@ pub fn run_many(
             .max()
             .unwrap_or(0);
         level[idx] = l;
+        if grouped[idx] {
+            continue;
+        }
         if waves.len() <= l as usize {
             waves.resize_with(l as usize + 1, Vec::new);
         }
@@ -103,7 +125,21 @@ pub fn run_many(
         // worker pool, the trivial ones inline, then record in id order.
         let mut outcomes: Vec<Option<(Rel, NodeMetrics)>> = vec![None; wave.len()];
         let heavy: Vec<usize> = (0..wave.len())
-            .filter(|&k| est_input_rows(snap, plan, wave[k], &results) >= cfg.min_rows.max(2))
+            .filter(|&k| {
+                let id = wave[k];
+                // a pipeline tail's work is sized by its chain input, not
+                // by its (never-materialised) direct children
+                let est = match pipelines.get(&id.index()) {
+                    Some(spec) => match spec.input {
+                        PipeInput::Scan(s) => est_input_rows(snap, plan, s, &results),
+                        PipeInput::Node(n) => {
+                            results[n.index()].as_ref().map(Rel::len).unwrap_or(0)
+                        }
+                    },
+                    None => est_input_rows(snap, plan, id, &results),
+                };
+                est >= cfg.min_rows.max(2)
+            })
             .collect();
         if cfg.threads > 1 && heavy.len() >= 2 {
             stats.par_waves += 1;
@@ -123,8 +159,15 @@ pub fn run_many(
                                 break;
                             }
                             let id = wave[heavy[w]];
-                            *slots[w].lock().unwrap() =
-                                Some(eval_timed(snap, plan, id, schemas, results_ref, &cfg));
+                            *slots[w].lock().unwrap() = Some(eval_timed(
+                                snap,
+                                plan,
+                                id,
+                                schemas,
+                                results_ref,
+                                &cfg,
+                                &pipelines,
+                            ));
                         }
                     });
                 }
@@ -139,13 +182,16 @@ pub fn run_many(
         }
         for (k, &id) in wave.iter().enumerate() {
             if outcomes[k].is_none() {
-                outcomes[k] = Some(eval_timed(snap, plan, id, schemas, &results, &cfg)?);
+                outcomes[k] = Some(eval_timed(
+                    snap, plan, id, schemas, &results, &cfg, &pipelines,
+                )?);
             }
         }
         for (k, outcome) in outcomes.into_iter().enumerate() {
             let (rel, m) = outcome.expect("wave fully evaluated");
             let id = wave[k];
-            stats.nodes_evaluated += 1;
+            // a pipeline tail accounts for every member it evaluated
+            stats.nodes_evaluated += m.fused_nodes.max(1) as u64;
             stats.rows_produced += rel.len() as u64;
             stats.morsel_tasks += m.morsels as u64;
             if m.morsels > 1 {
@@ -154,24 +200,50 @@ pub fn run_many(
             if m.path == ExecPath::Vectorized {
                 stats.vec_nodes += 1;
             }
+            if m.path == ExecPath::Fused {
+                stats.fused_pipelines += 1;
+                stats.fused_nodes += m.fused_nodes as u64;
+            }
             stats.kernel_batches += m.batches as u64;
             let label = plan.node(id).label();
+            // member labels in scan→sink order, for profiles and spans
+            let fused_labels: Vec<&'static str> = pipelines
+                .get(&id.index())
+                .map(|spec| {
+                    let mut v = Vec::new();
+                    if let PipeInput::Scan(s) = spec.input {
+                        v.push(plan.node(s).label());
+                    }
+                    v.extend(spec.mids.iter().map(|&mid| plan.node(mid).label()));
+                    if let Some(sink) = spec.sink {
+                        v.push(plan.node(sink).label());
+                    }
+                    v
+                })
+                .unwrap_or_default();
             if ferry_telemetry::tracing_active() {
                 // post-hoc span: the node was timed by eval_timed (maybe
                 // on a worker thread); record it here under the dispatch
                 // span so every plan node shows up in the query trace
+                let mut attrs: Vec<(&'static str, ferry_telemetry::AttrVal)> = vec![
+                    ("node", id.0.into()),
+                    ("rows", (rel.len() as u64).into()),
+                    ("morsels", m.morsels.into()),
+                    ("path", m.path.to_string().into()),
+                    ("batches", m.batches.into()),
+                ];
+                let (span_label, event) = if fused_labels.is_empty() {
+                    (label, "exec.node")
+                } else {
+                    attrs.push(("nodes", fused_labels.join("→").into()));
+                    ("pipeline", "exec.pipeline")
+                };
                 ferry_telemetry::record_span(
-                    label,
-                    "exec.node",
+                    span_label,
+                    event,
                     m.start_ns,
                     m.elapsed.as_nanos() as u64,
-                    vec![
-                        ("node", id.0.into()),
-                        ("rows", (rel.len() as u64).into()),
-                        ("morsels", m.morsels.into()),
-                        ("path", m.path.to_string().into()),
-                        ("batches", m.batches.into()),
-                    ],
+                    attrs,
                 );
             }
             prof.push(NodeProfile {
@@ -182,6 +254,7 @@ pub fn run_many(
                 morsels: m.morsels,
                 path: m.path,
                 batches: m.batches,
+                fused: fused_labels,
             });
             results[id.index()] = Some(rel);
         }
@@ -222,6 +295,9 @@ struct NodeMetrics {
     path: ExecPath,
     /// Kernel batches executed (vectorized path only).
     batches: u32,
+    /// Plan nodes this evaluation covered: `0` for ordinary nodes, the
+    /// group size for pipeline tails (fused or fallback).
+    fused_nodes: u32,
 }
 
 impl NodeMetrics {
@@ -235,6 +311,135 @@ impl NodeMetrics {
 /// Result slot a worker fills for one heavyweight wave member.
 type WaveSlot = Mutex<Option<Result<(Rel, NodeMetrics), EngineError>>>;
 
+/// Where a pipeline chain's input comes from.
+#[derive(Debug, Clone, Copy)]
+enum PipeInput {
+    /// A single-consumer `TableRef`/`Lit` absorbed into the group,
+    /// evaluated inline by the tail (zero-copy either way).
+    Scan(NodeId),
+    /// An ordinary node evaluated by an earlier wave.
+    Node(NodeId),
+}
+
+/// A maximal fusible chain, grouped structurally at dispatch time and
+/// evaluated by [`eval_pipeline`] under its tail's wave slot. Grouping is
+/// *advisory*: if any member's expression fails to lower to a kernel at
+/// evaluation time, the tail falls back to node-at-a-time execution of
+/// exactly the same members — results never depend on grouping.
+#[derive(Debug)]
+struct PipelineSpec {
+    input: PipeInput,
+    /// Chain operators (Select/Project/Compute/Attach) bottom-up; each is
+    /// the sole consumer of its predecessor. When the group's tail is
+    /// itself a chain op, it is the last entry here and `sink` is `None`.
+    mids: Vec<NodeId>,
+    /// A sink tail (window / join probe / group-by / serialize) consuming
+    /// the chain's output.
+    sink: Option<NodeId>,
+    /// Total plan nodes in the group (scan + mids + sink).
+    members: u32,
+}
+
+/// Is this node a fusible chain member?
+fn is_chain_op(n: &Node) -> bool {
+    matches!(
+        n,
+        Node::Select { .. } | Node::Project { .. } | Node::Compute { .. } | Node::Attach { .. }
+    )
+}
+
+/// The input a pipeline chain extends through: the lone input of chain
+/// ops and sinks, the probe (left) side of hash joins. `None` for
+/// operators that break pipelines (build sides, set ops, cross/theta
+/// joins, leaves).
+fn chain_child(n: &Node) -> Option<NodeId> {
+    match n {
+        Node::Select { input, .. }
+        | Node::Project { input, .. }
+        | Node::Compute { input, .. }
+        | Node::Attach { input, .. }
+        | Node::RowNum { input, .. }
+        | Node::RowRank { input, .. }
+        | Node::DenseRank { input, .. }
+        | Node::GroupBy { input, .. }
+        | Node::Serialize { input, .. } => Some(*input),
+        Node::EquiJoin { left, .. } | Node::SemiJoin { left, .. } | Node::AntiJoin { left, .. } => {
+            Some(*left)
+        }
+        _ => None,
+    }
+}
+
+/// Greedily group maximal fusible chains, keyed by tail node index.
+/// Walking tails top-down (descending index) gives each chain to its
+/// topmost consumer; a member must have exactly one consumer across all
+/// roots so absorbing it cannot recompute or starve a shared sub-plan.
+fn form_pipelines(plan: &Plan, roots: &[NodeId], needed: &[bool]) -> HashMap<usize, PipelineSpec> {
+    let mut consumers = vec![0u32; plan.len()];
+    for (idx, &need) in needed.iter().enumerate() {
+        if !need {
+            continue;
+        }
+        for c in plan.node(NodeId(idx as u32)).children() {
+            consumers[c.index()] += 1;
+        }
+    }
+    for r in roots {
+        consumers[r.index()] += 1;
+    }
+    let mut grouped = vec![false; plan.len()];
+    let mut pipelines: HashMap<usize, PipelineSpec> = HashMap::new();
+    for idx in (0..plan.len()).rev() {
+        if !needed[idx] || grouped[idx] {
+            continue;
+        }
+        let id = NodeId(idx as u32);
+        let node = plan.node(id);
+        let Some(mut cur) = chain_child(node) else {
+            continue;
+        };
+        let sink = (!is_chain_op(node)).then_some(id);
+        let mut mids: Vec<NodeId> = Vec::new();
+        if sink.is_none() {
+            mids.push(id);
+        }
+        while is_chain_op(plan.node(cur)) && consumers[cur.index()] == 1 && !grouped[cur.index()] {
+            mids.push(cur);
+            cur = chain_child(plan.node(cur)).expect("chain ops have an input");
+        }
+        let absorb_scan = matches!(plan.node(cur), Node::TableRef { .. } | Node::Lit { .. })
+            && consumers[cur.index()] == 1
+            && !grouped[cur.index()];
+        mids.reverse();
+        // a group must contain at least one chain op and two members —
+        // a lone sink over its input is just ordinary evaluation
+        let members = mids.len() as u32 + u32::from(sink.is_some()) + u32::from(absorb_scan);
+        if mids.is_empty() || members < 2 {
+            continue;
+        }
+        let input = if absorb_scan {
+            grouped[cur.index()] = true;
+            PipeInput::Scan(cur)
+        } else {
+            PipeInput::Node(cur)
+        };
+        for &mid in &mids {
+            grouped[mid.index()] = true;
+        }
+        grouped[idx] = false; // the tail keeps its own wave slot
+        pipelines.insert(
+            idx,
+            PipelineSpec {
+                input,
+                mids,
+                sink,
+                members,
+            },
+        );
+    }
+    pipelines
+}
+
 fn eval_timed(
     snap: &Snapshot<'_>,
     plan: &Plan,
@@ -242,15 +447,260 @@ fn eval_timed(
     schemas: &[Schema],
     results: &[Option<Rel>],
     cfg: &ParConfig,
+    pipelines: &HashMap<usize, PipelineSpec>,
 ) -> Result<(Rel, NodeMetrics), EngineError> {
     let mut m = NodeMetrics {
         start_ns: ferry_telemetry::now_ns(),
         ..NodeMetrics::default()
     };
     let start = Instant::now();
-    let rel = eval_node(snap, plan, id, schemas, results, cfg, &mut m)?;
+    let rel = match pipelines.get(&id.index()) {
+        Some(spec) => eval_pipeline(snap, plan, id, spec, schemas, results, cfg, &mut m),
+        None => eval_node(snap, plan, id, schemas, results, cfg, &mut m),
+    }?;
     m.elapsed = start.elapsed();
     Ok((rel, m))
+}
+
+/// Evaluate a pipeline group under its tail's slot: compile the chain ops
+/// into one batch program ([`ChainBuilder`]), stream the input through it
+/// morsel-by-morsel, and hand the chain's output straight to the sink.
+/// Any refusal along the way (fusion gated off, an expression that does
+/// not lower, a chunk variant surprise) falls back to evaluating the same
+/// members node-at-a-time — grouping never changes results.
+#[allow(clippy::too_many_arguments)]
+fn eval_pipeline(
+    snap: &Snapshot<'_>,
+    plan: &Plan,
+    tail: NodeId,
+    spec: &PipelineSpec,
+    schemas: &[Schema],
+    results: &[Option<Rel>],
+    cfg: &ParConfig,
+    m: &mut NodeMetrics,
+) -> Result<Rel, EngineError> {
+    m.fused_nodes = spec.members;
+    let input = match spec.input {
+        PipeInput::Scan(s) => eval_node(snap, plan, s, schemas, results, cfg, m)?,
+        PipeInput::Node(n) => child(results, n).clone(),
+    };
+    let fused_mid = if cfg.fuse_for(input.len()) {
+        match build_chain(plan, &input, &spec.mids, schemas) {
+            Some(prog) => stream_chain(&input, &prog, cfg, m)?,
+            None => None,
+        }
+    } else {
+        None
+    };
+    if let Some(mid_rel) = fused_mid {
+        let out = match spec.sink {
+            Some(sink_id) => {
+                // inject the fused chain output as the sink's child
+                let mut overlay: Vec<Option<Rel>> = results.to_vec();
+                let top = *spec.mids.last().expect("grouped chains have mids");
+                overlay[top.index()] = Some(mid_rel);
+                eval_node(snap, plan, sink_id, schemas, &overlay, cfg, m)?
+            }
+            None => mid_rel,
+        };
+        m.path = ExecPath::Fused;
+        return Ok(out);
+    }
+    // structural grouping was advisory — run the members one at a time
+    let mut overlay: Vec<Option<Rel>> = results.to_vec();
+    if let PipeInput::Scan(s) = spec.input {
+        overlay[s.index()] = Some(input);
+    }
+    for &mid in &spec.mids {
+        let rel = eval_node(snap, plan, mid, schemas, &overlay, cfg, m)?;
+        overlay[mid.index()] = Some(rel);
+    }
+    match spec.sink {
+        Some(sink_id) => eval_node(snap, plan, sink_id, schemas, &overlay, cfg, m),
+        None => Ok(overlay[tail.index()].clone().expect("tail evaluated")),
+    }
+}
+
+/// Compile the chain ops into one batch program, or `None` when any
+/// member refuses (expression doesn't lower, schema surprise).
+fn build_chain(plan: &Plan, input: &Rel, mids: &[NodeId], schemas: &[Schema]) -> Option<ChainProg> {
+    let mut b = ChainBuilder::new(&input.schema);
+    for &id in mids {
+        let out_schema = &schemas[id.index()];
+        let ok = match plan.node(id) {
+            Node::Select { pred, .. } => b.filter(pred),
+            Node::Compute { expr, .. } => b.compute(expr, out_schema),
+            Node::Project { cols, .. } => {
+                let idxs = cols
+                    .iter()
+                    .map(|(_, old)| b.schema().index_of(old))
+                    .collect::<Option<Vec<_>>>()?;
+                b.project(&idxs, out_schema);
+                true
+            }
+            Node::Attach { value, .. } => {
+                b.attach(value, out_schema);
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(b.finish())
+}
+
+/// Stream `input` through the chain program and materialise its output.
+/// `Ok(None)` when binding fails (a chunk variant contradicts the
+/// schema) — the caller falls back to node-at-a-time.
+fn stream_chain(
+    input: &Rel,
+    prog: &ChainProg,
+    cfg: &ParConfig,
+    m: &mut NodeMetrics,
+) -> Result<Option<Rel>, EngineError> {
+    let out_schema = prog.out_schema().clone();
+    // no kernels, pure-input output: the chain is just a column remap
+    if prog.stage_count() == 0 {
+        if let Some(cols) = prog.pure_input_out() {
+            let raw: Vec<u32> = cols
+                .iter()
+                .map(|&c| input.raw_col(c as usize) as u32)
+                .collect();
+            return Ok(Some(input.with_cols(out_schema, raw)));
+        }
+    }
+    let Some(bound) = prog.bind(input) else {
+        return Ok(None);
+    };
+    let (chunks, morsels) = par::map_morsels(cfg, input.len(), |range| {
+        bound.run_range(range).map(|c| vec![c])
+    })?;
+    m.morsels += morsels;
+    m.batches += chunks.iter().map(|c| c.batches).sum::<u32>();
+    // pure-input output: survivors become a selection vector + remap over
+    // the input's own buffer — no row materialises
+    if let Some(cols) = prog.pure_input_out() {
+        let mut sel: Vec<u32> = Vec::with_capacity(chunks.iter().map(|c| c.rows.len()).sum());
+        for c in &chunks {
+            sel.extend_from_slice(&c.rows);
+        }
+        let raw: Vec<u32> = cols
+            .iter()
+            .map(|&c| input.raw_col(c as usize) as u32)
+            .collect();
+        return Ok(Some(input.with_sel(sel).with_cols(out_schema, raw)));
+    }
+    // carries and constants create new cells: build the output rows
+    let total: usize = chunks.iter().map(|c| c.rows.len()).sum();
+    let width = out_schema.cols().len();
+    let buf = input.buffer();
+    let mut rows: Vec<Row> = Vec::with_capacity(total);
+    for chunk in &chunks {
+        for p in 0..chunk.rows.len() {
+            let raw = chunk.rows[p] as usize;
+            let mut row: Row = Vec::with_capacity(width);
+            for src in prog.out() {
+                row.push(match src {
+                    VirtSrc::Input(c) => buf[raw][input.raw_col(*c as usize)].clone(),
+                    VirtSrc::Carry(k) => chunk.carries[*k as usize].value(p),
+                    VirtSrc::Const(v) => v.clone(),
+                });
+            }
+            rows.push(row);
+        }
+    }
+    let out = Rel::new(out_schema, rows);
+    // seed the new buffer's chunk cache from what the chain already holds
+    // in columnar form, so a sink's typed path skips the transposition
+    let mut all_rows: Vec<u32> = Vec::with_capacity(total);
+    for c in &chunks {
+        all_rows.extend_from_slice(&c.rows);
+    }
+    for (j, src) in prog.out().iter().enumerate() {
+        match src {
+            VirtSrc::Input(c) => {
+                if let Some(chunk) = input.cached_col(input.raw_col(*c as usize)) {
+                    out.seed_chunk(j, std::sync::Arc::new(chunk.gather(&all_rows)));
+                }
+            }
+            VirtSrc::Carry(k) => {
+                if let Some(cv) = carries_to_colvec(&chunks, *k as usize) {
+                    out.seed_chunk(j, std::sync::Arc::new(cv));
+                }
+            }
+            VirtSrc::Const(_) => {}
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Concatenate carried column `k` of every morsel chunk into one typed
+/// [`ColVec`] (strings re-encode into a fresh dictionary). `None` for
+/// `Val` registers — `Other` chunks are cheap to rebuild and rarely hit.
+fn carries_to_colvec(chunks: &[StreamChunk], k: usize) -> Option<ColVec> {
+    match &chunks.first()?.carries[k] {
+        Reg::I64(_) => {
+            let mut out = Vec::new();
+            for c in chunks {
+                out.extend_from_slice(match &c.carries[k] {
+                    Reg::I64(v) => v,
+                    _ => return None,
+                });
+            }
+            Some(ColVec::Int(out))
+        }
+        Reg::U64(_) => {
+            let mut out = Vec::new();
+            for c in chunks {
+                out.extend_from_slice(match &c.carries[k] {
+                    Reg::U64(v) => v,
+                    _ => return None,
+                });
+            }
+            Some(ColVec::Nat(out))
+        }
+        Reg::F64(_) => {
+            let mut out = Vec::new();
+            for c in chunks {
+                out.extend_from_slice(match &c.carries[k] {
+                    Reg::F64(v) => v,
+                    _ => return None,
+                });
+            }
+            Some(ColVec::Dbl(out))
+        }
+        Reg::Bool(_) => {
+            let mut out = Vec::new();
+            for c in chunks {
+                out.extend_from_slice(match &c.carries[k] {
+                    Reg::Bool(v) => v,
+                    _ => return None,
+                });
+            }
+            Some(ColVec::Bool(out))
+        }
+        Reg::Str(_) => {
+            let mut codes = Vec::new();
+            let mut dict: Vec<std::sync::Arc<str>> = Vec::new();
+            let mut seen: HashMap<std::sync::Arc<str>, u32> = HashMap::new();
+            for c in chunks {
+                let Reg::Str(v) = &c.carries[k] else {
+                    return None;
+                };
+                for s in v {
+                    let code = *seen.entry(s.clone()).or_insert_with(|| {
+                        dict.push(s.clone());
+                        (dict.len() - 1) as u32
+                    });
+                    codes.push(code);
+                }
+            }
+            Some(ColVec::Str { codes, dict })
+        }
+        Reg::Val(_) => None,
+    }
 }
 
 fn child(results: &[Option<Rel>], id: NodeId) -> &Rel {
@@ -408,6 +858,111 @@ fn join_codes(
     Some((chunk_codes(l, &lch, true)?, chunk_codes(r, &rch, true)?))
 }
 
+/// Multiply-shift hasher for `u64` eq-code keys. The default SipHash is
+/// the measurable hot path of code-keyed joins, groupings and dedups;
+/// the keys here are machine-word equality codes already, so one
+/// Fibonacci multiply gives hashbrown enough spread. Not DoS-hardened —
+/// use only for code-keyed maps, never for `Value`/string keys.
+#[derive(Clone, Copy, Default)]
+struct CodeHash;
+
+impl std::hash::BuildHasher for CodeHash {
+    type Hasher = CodeHasher;
+    fn build_hasher(&self) -> CodeHasher {
+        CodeHasher(0)
+    }
+}
+
+struct CodeHasher(u64);
+
+impl std::hash::Hasher for CodeHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // generic fallback (length prefixes of composite keys)
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+    fn finish(&self) -> u64 {
+        // fold the multiply's well-mixed top bits into the bucket-index
+        // low bits
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// Order-preserving `u64` sort codes for a `(column, direction)` spec —
+/// one code column per sort key. Comparing codes column-by-column (then
+/// the row index) reproduces `cmp_vis` plus the index tiebreak *exactly*:
+/// `Value::cmp` orders doubles by `total_cmp`, whose order the sign-fold
+/// bit transform below preserves bit-for-bit, and strings by dictionary
+/// **rank** (chunk dictionaries are first-occurrence order, so they are
+/// remapped through a rank table sorted on the strings themselves).
+/// `Desc` keys are bitwise-complemented. `None` when the config keeps the
+/// node scalar or any column's storage does not admit codes.
+fn sort_codes(rel: &Rel, spec: &[(usize, Dir)], cfg: &ParConfig) -> Option<Vec<Vec<u64>>> {
+    if spec.is_empty() || !cfg.vectorize(rel.len()) {
+        return None;
+    }
+    let n = rel.len();
+    let mut out = Vec::with_capacity(spec.len());
+    for &(c, d) in spec {
+        let chunk = rel.typed_col(rel.raw_col(c));
+        let mut col: Vec<u64> = Vec::with_capacity(n);
+        match chunk.as_ref() {
+            ColVec::Int(v) => {
+                col.extend((0..n).map(|i| (v[rel.raw_row(i)] as u64) ^ (1 << 63)));
+            }
+            ColVec::Nat(v) => col.extend((0..n).map(|i| v[rel.raw_row(i)])),
+            ColVec::Bool(v) => col.extend((0..n).map(|i| v[rel.raw_row(i)] as u64)),
+            ColVec::Dbl(v) => col.extend((0..n).map(|i| {
+                let b = v[rel.raw_row(i)].to_bits();
+                // total_cmp order: negatives reversed below positives
+                if b >> 63 == 1 {
+                    !b
+                } else {
+                    b | (1 << 63)
+                }
+            })),
+            ColVec::Str { codes, dict } => {
+                let mut order: Vec<u32> = (0..dict.len() as u32).collect();
+                order.sort_unstable_by(|&a, &b| dict[a as usize].cmp(&dict[b as usize]));
+                let mut rank = vec![0u64; dict.len()];
+                for (r, &d) in order.iter().enumerate() {
+                    rank[d as usize] = r as u64;
+                }
+                col.extend((0..n).map(|i| rank[codes[rel.raw_row(i)] as usize]));
+            }
+            _ => return None,
+        }
+        if matches!(d, Dir::Desc) {
+            for c in col.iter_mut() {
+                *c = !*c;
+            }
+        }
+        out.push(col);
+    }
+    Some(out)
+}
+
+/// Sort visible row indices by pre-computed code columns, original index
+/// as the final tiebreak (the typed twin of the `cmp_vis` comparators).
+fn sort_by_codes(cfg: &ParConfig, n: usize, cols: &[Vec<u64>]) -> (Vec<u32>, u32) {
+    par::sort_indices(cfg, n, |a, b| {
+        for col in cols {
+            match col[a as usize].cmp(&col[b as usize]) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        a.cmp(&b)
+    })
+}
+
 fn eval_node(
     snap: &Snapshot<'_>,
     plan: &Plan,
@@ -552,7 +1107,8 @@ fn eval_node(
             if w == 1 && cfg.vectorize(rel.len()) {
                 // single column: flat u64 keys, no per-row allocation
                 if let Some(codes) = chunk_codes(rel, &rel.typed_col(rel.raw_col(0)), false) {
-                    let mut seen: HashSet<u64> = HashSet::with_capacity(rel.len());
+                    let mut seen: HashSet<u64, CodeHash> =
+                        HashSet::with_capacity_and_hasher(rel.len(), CodeHash);
                     let mut keep = Vec::new();
                     for (i, &code) in codes.iter().enumerate() {
                         if seen.insert(code) {
@@ -563,7 +1119,8 @@ fn eval_node(
                     return Ok(rel.with_sel(keep).with_schema(out_schema));
                 }
             } else if let Some(codes) = typed_codes(rel, &all, cfg, false) {
-                let mut seen: HashMap<Vec<u64>, ()> = HashMap::with_capacity(rel.len());
+                let mut seen: HashMap<Vec<u64>, (), CodeHash> =
+                    HashMap::with_capacity_and_hasher(rel.len(), CodeHash);
                 let mut keep = Vec::new();
                 for (i, key) in codes.into_iter().enumerate() {
                     if seen.insert(key, ()).is_none() {
@@ -643,20 +1200,29 @@ fn eval_node(
             // typed probe: single-column keys over cross-buffer u64 codes
             // hash and compare machine words instead of `Value` cells
             if let Some((lcodes, rcodes)) = join_codes(l, r, &li, &ri, cfg) {
-                let mut index: HashMap<u64, Vec<u32>> = HashMap::with_capacity(r.len());
-                for (j, &c) in rcodes.iter().enumerate() {
-                    index.entry(c).or_default().push(j as u32);
+                // flat-chain index: one map entry per distinct key plus a
+                // `next` link per build row — no per-key `Vec` allocations.
+                // Built in reverse so each chain links ascending build rows
+                // and the probe emits matches in the same order the nested
+                // `Vec<u32>` index would.
+                let mut head: HashMap<u64, u32, CodeHash> =
+                    HashMap::with_capacity_and_hasher(r.len(), CodeHash);
+                let mut next: Vec<u32> = vec![u32::MAX; r.len()];
+                for j in (0..rcodes.len()).rev() {
+                    let slot = head.entry(rcodes[j]).or_insert(u32::MAX);
+                    next[j] = *slot;
+                    *slot = j as u32;
                 }
                 let rw = r.width();
                 let (rows, morsels) = par::map_morsels(cfg, l.len(), |range| {
                     let mut out = Vec::new();
                     for i in range {
-                        if let Some(matches) = index.get(&lcodes[i]) {
-                            for &j in matches {
-                                let mut row = l.owned_row_with(i, rw);
-                                r.extend_row(j as usize, &mut row);
-                                out.push(row);
-                            }
+                        let mut j = head.get(&lcodes[i]).copied().unwrap_or(u32::MAX);
+                        while j != u32::MAX {
+                            let mut row = l.owned_row_with(i, rw);
+                            r.extend_row(j as usize, &mut row);
+                            out.push(row);
+                            j = next[j as usize];
                         }
                     }
                     Ok::<_, EngineError>(out)
@@ -695,7 +1261,7 @@ fn eval_node(
             let ri = resolve_cols(&r.schema, &on.right)?;
             // typed membership probe (see EquiJoin)
             if let Some((lcodes, rcodes)) = join_codes(l, r, &li, &ri, cfg) {
-                let keys: HashSet<u64> = rcodes.into_iter().collect();
+                let keys: HashSet<u64, CodeHash> = rcodes.into_iter().collect();
                 let (keep, morsels) = par::map_morsels(cfg, l.len(), |range| {
                     let mut keep = Vec::new();
                     for i in range {
@@ -812,9 +1378,17 @@ fn eval_node(
             // the input's own buffer cells
             let rel = child(results, *input);
             let spec = resolve_sort(&rel.schema, order)?;
-            let (idxs, morsels) = par::sort_indices(cfg, rel.len(), |a, b| {
-                cmp_vis(rel, a, b, &spec).then(a.cmp(&b))
-            });
+            // typed sort codes when the order columns admit them (see
+            // `sort_codes`); `Value` comparator otherwise
+            let (idxs, morsels) = match sort_codes(rel, &spec, cfg) {
+                Some(cols) => {
+                    m.vectorized(rel.len().div_ceil(BATCH_ROWS) as u32);
+                    sort_by_codes(cfg, rel.len(), &cols)
+                }
+                None => par::sort_indices(cfg, rel.len(), |a, b| {
+                    cmp_vis(rel, a, b, &spec).then(a.cmp(&b))
+                }),
+            };
             m.morsels += morsels;
             let sel: Vec<u32> = idxs
                 .into_iter()
@@ -858,6 +1432,54 @@ fn windowed(
         .map(|c| (c, Dir::Asc))
         .collect();
     let spec = resolve_sort(&rel.schema, order)?;
+    // typed fast path: order-preserving u64 sort codes for `(part, order)`
+    // replace per-pair `Value` comparisons, and the same codes drive the
+    // partition/order boundary tests of the numbering scan below (code
+    // equality coincides with `Value` equality by construction)
+    let full: Vec<(usize, Dir)> = pi.iter().chain(spec.iter()).copied().collect();
+    if let Some(cols) = sort_codes(rel, &full, cfg) {
+        let (idxs, morsels) = sort_by_codes(cfg, rel.len(), &cols);
+        m.morsels += morsels;
+        m.vectorized(rel.len().div_ceil(BATCH_ROWS) as u32);
+        let np = pi.len();
+        let mut rows: Vec<Row> = Vec::with_capacity(rel.len());
+        let mut prev: Option<usize> = None;
+        let mut row_number = 0u64;
+        let mut rank_value = 0u64;
+        for i in idxs {
+            let i = i as usize;
+            let same_part = prev.is_some_and(|p| cols[..np].iter().all(|c| c[i] == c[p]));
+            if !same_part {
+                row_number = 0;
+                rank_value = 0;
+            }
+            row_number += 1;
+            let fresh_order = !same_part
+                || cols[np..]
+                    .iter()
+                    .any(|c| c[i] != c[prev.expect("same part")]);
+            let n = match kind {
+                WindowKind::RowNum => row_number,
+                WindowKind::Rank => {
+                    if fresh_order {
+                        rank_value = row_number;
+                    }
+                    rank_value
+                }
+                WindowKind::DenseRank => {
+                    if fresh_order {
+                        rank_value += 1;
+                    }
+                    rank_value
+                }
+            };
+            let mut out = rel.owned_row_with(i, 1);
+            out.push(Value::Nat(n));
+            rows.push(out);
+            prev = Some(i);
+        }
+        return Ok(Rel::new(out_schema, rows));
+    }
     let (idxs, morsels) = par::sort_indices(cfg, rel.len(), |a, b| {
         cmp_vis(rel, a, b, &pi)
             .then_with(|| cmp_vis(rel, a, b, &spec))
@@ -1092,7 +1714,7 @@ fn group_by_typed(
         let Some(codes) = chunk_codes(rel, &rel.typed_col(rel.raw_col(ki[0])), false) else {
             return Ok(None);
         };
-        let mut groups: HashMap<u64, u32> = HashMap::new();
+        let mut groups: HashMap<u64, u32, CodeHash> = HashMap::with_hasher(CodeHash);
         for (i, &c) in codes.iter().enumerate() {
             let g = *groups.entry(c).or_insert_with(|| {
                 first_row.push(i as u32);
@@ -1104,7 +1726,7 @@ fn group_by_typed(
         let Some(keys) = typed_codes(rel, ki, cfg, false) else {
             return Ok(None);
         };
-        let mut groups: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut groups: HashMap<Vec<u64>, u32, CodeHash> = HashMap::with_hasher(CodeHash);
         for (i, key) in keys.into_iter().enumerate() {
             let g = *groups.entry(key).or_insert_with(|| {
                 first_row.push(i as u32);

@@ -59,5 +59,5 @@ pub use catalog::{BaseTable, Database, Snapshot, Tx};
 pub use error::EngineError;
 pub use ferry_storage::{DurabilityConfig, FsyncPolicy, RecoveryReport, StorageError};
 pub use ferry_telemetry::{Telemetry, TelemetryConfig};
-pub use par::{ParConfig, VecMode};
+pub use par::{FuseMode, ParConfig, VecMode};
 pub use stats::{ExecPath, NodeProfile, ProfileRing, QueryProfile, QueryStats, PROFILE_RING_CAP};

@@ -34,6 +34,21 @@ pub enum VecMode {
     Force,
 }
 
+/// Pipeline-fusion selection: whether maximal fusible operator chains
+/// collapse into one streaming batch program (see `crate::exec`'s
+/// pipeline compiler and DESIGN.md "Pipeline fusion").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FuseMode {
+    /// Fuse whenever the chain input clears the vectorization threshold.
+    #[default]
+    Auto,
+    /// Never fuse — every node materializes its `Rel` (node-at-a-time).
+    Off,
+    /// Fuse every eligible chain regardless of input size (differential
+    /// tests force this to cover tiny inputs).
+    Force,
+}
+
 /// Parallelism knobs carried by a `Database` (and settable through a
 /// `Connection`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +67,11 @@ pub struct ParConfig {
     /// Scalar vs vectorized path selection (orthogonal to threading:
     /// kernels run inside morsels, so the two compose).
     pub vec: VecMode,
+    /// Pipeline fusion on top of vectorization: fused chains stream
+    /// batches end to end instead of materializing a `Rel` per node.
+    /// Composes with `vec` (fusion requires the vectorized path) and
+    /// with morsels (a fused pipeline parallelizes like a single node).
+    pub fuse: FuseMode,
 }
 
 impl Default for ParConfig {
@@ -61,6 +81,7 @@ impl Default for ParConfig {
             min_rows: 4096,
             morsel_rows: 0,
             vec: VecMode::Auto,
+            fuse: FuseMode::Auto,
         }
     }
 }
@@ -95,6 +116,18 @@ impl ParConfig {
             VecMode::Off => false,
             VecMode::Force => n > 0,
             VecMode::Auto => n >= 64,
+        }
+    }
+
+    /// Should a fusible chain over `n` input rows run as one fused
+    /// pipeline? Fusion rides on the vectorized kernels, so `vec: Off`
+    /// disables it regardless of `fuse`; `Force` only overrides the
+    /// *size* threshold, not the vec gate.
+    pub fn fuse_for(&self, n: usize) -> bool {
+        match self.fuse {
+            FuseMode::Off => false,
+            FuseMode::Force => self.vec != VecMode::Off && n > 0,
+            FuseMode::Auto => self.vectorize(n),
         }
     }
 
@@ -335,5 +368,30 @@ mod tests {
         };
         assert!(force.vectorize(1));
         assert!(!force.vectorize(0));
+    }
+
+    #[test]
+    fn fuse_mode_gates() {
+        let auto = ParConfig::default();
+        assert!(auto.fuse_for(100_000));
+        assert!(!auto.fuse_for(8)); // below the vec Auto threshold
+        let off = ParConfig {
+            fuse: FuseMode::Off,
+            ..auto
+        };
+        assert!(!off.fuse_for(100_000));
+        let force = ParConfig {
+            fuse: FuseMode::Force,
+            ..auto
+        };
+        assert!(force.fuse_for(1));
+        assert!(!force.fuse_for(0));
+        // fusion never outruns the vec gate
+        let vec_off = ParConfig {
+            vec: VecMode::Off,
+            fuse: FuseMode::Force,
+            ..auto
+        };
+        assert!(!vec_off.fuse_for(100_000));
     }
 }

@@ -32,6 +32,9 @@ pub enum ExecPath {
     Scalar,
     /// Typed-chunk kernels (`vec_eval`) / columnar operator plans.
     Vectorized,
+    /// A fused pipeline: this node is the tail of a scan→…→sink chain
+    /// that streamed batches through all member operators in one loop.
+    Fused,
 }
 
 impl fmt::Display for ExecPath {
@@ -39,6 +42,7 @@ impl fmt::Display for ExecPath {
         match self {
             ExecPath::Scalar => write!(f, "scalar"),
             ExecPath::Vectorized => write!(f, "vec"),
+            ExecPath::Fused => write!(f, "fused"),
         }
     }
 }
@@ -62,6 +66,11 @@ pub struct NodeProfile {
     pub path: ExecPath,
     /// Kernel batches executed (`0` on the scalar path).
     pub batches: u32,
+    /// When this node is the tail of a pipeline group: the member
+    /// operators' labels in scan→sink order (empty for plain nodes).
+    /// Present whether the group actually fused or fell back — `path`
+    /// says which happened.
+    pub fused: Vec<&'static str>,
 }
 
 /// The per-node profile of **one** dispatch (`execute` / `execute_bundle`
@@ -189,6 +198,12 @@ pub struct QueryStats {
     pub vec_nodes: u64,
     /// Total kernel batches executed by vectorized nodes.
     pub kernel_batches: u64,
+    /// Pipeline groups that executed fused (one batch loop from scan to
+    /// sink, no intermediate relations).
+    pub fused_pipelines: u64,
+    /// Plan nodes absorbed into fused pipelines (members of every fused
+    /// group, tails included).
+    pub fused_nodes: u64,
     /// Per-node profiles of the most recent dispatches (ring of
     /// [`PROFILE_RING_CAP`], oldest first).
     pub profiles: ProfileRing,
@@ -219,6 +234,8 @@ impl QueryStats {
         self.par_waves += other.par_waves;
         self.vec_nodes += other.vec_nodes;
         self.kernel_batches += other.kernel_batches;
+        self.fused_pipelines += other.fused_pipelines;
+        self.fused_nodes += other.fused_nodes;
         self.profiles.merge(other.profiles);
     }
 }
@@ -236,6 +253,7 @@ mod tests {
             morsels: 1,
             path: ExecPath::Scalar,
             batches: 0,
+            fused: Vec::new(),
         }
     }
 
@@ -263,6 +281,8 @@ mod tests {
             par_waves: 1,
             vec_nodes: 3,
             kernel_batches: 9,
+            fused_pipelines: 1,
+            fused_nodes: 3,
             ..QueryStats::default()
         };
         s.profiles.push(profile(1));

@@ -63,7 +63,7 @@ pub enum Reg {
 }
 
 impl Reg {
-    fn new(ty: Ty) -> Reg {
+    pub(crate) fn new(ty: Ty) -> Reg {
         match ty {
             Ty::Int => Reg::I64(Vec::new()),
             Ty::Nat => Reg::U64(Vec::new()),
@@ -109,6 +109,70 @@ impl Reg {
             Reg::Val(v) => v.clear(),
         }
     }
+
+    /// Number of cells currently held.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Reg::I64(v) => v.len(),
+            Reg::U64(v) => v.len(),
+            Reg::F64(v) => v.len(),
+            Reg::Bool(v) => v.len(),
+            Reg::Str(v) => v.len(),
+            Reg::Val(v) => v.len(),
+        }
+    }
+
+    /// Keep only the cells whose mask bit is set (in-place compaction —
+    /// the fused filter applied to a carried column).
+    pub(crate) fn retain_mask(&mut self, mask: &[bool]) {
+        fn keep<T>(v: &mut Vec<T>, mask: &[bool]) {
+            let mut k = 0;
+            v.retain(|_| {
+                let m = mask[k];
+                k += 1;
+                m
+            });
+        }
+        match self {
+            Reg::I64(v) => keep(v, mask),
+            Reg::U64(v) => keep(v, mask),
+            Reg::F64(v) => keep(v, mask),
+            Reg::Bool(v) => keep(v, mask),
+            Reg::Str(v) => keep(v, mask),
+            Reg::Val(v) => keep(v, mask),
+        }
+    }
+
+    /// Move all cells of `src` (same variant) onto the end of `self`.
+    pub(crate) fn append(&mut self, src: &mut Reg) -> Result<(), EngineError> {
+        match (self, src) {
+            (Reg::I64(a), Reg::I64(b)) => a.append(b),
+            (Reg::U64(a), Reg::U64(b)) => a.append(b),
+            (Reg::F64(a), Reg::F64(b)) => a.append(b),
+            (Reg::Bool(a), Reg::Bool(b)) => a.append(b),
+            (Reg::Str(a), Reg::Str(b)) => a.append(b),
+            (Reg::Val(a), Reg::Val(b)) => a.append(b),
+            _ => return Err(confusion()),
+        }
+        Ok(())
+    }
+
+    /// Copy all cells of `src` (same variant) into `self`, replacing its
+    /// contents (carry loads).
+    fn copy_from(&mut self, src: &Reg) -> Result<(), EngineError> {
+        self.clear();
+        match (self, src) {
+            (Reg::I64(a), Reg::I64(b)) => a.extend_from_slice(b),
+            (Reg::U64(a), Reg::U64(b)) => a.extend_from_slice(b),
+            (Reg::F64(a), Reg::F64(b)) => a.extend_from_slice(b),
+            (Reg::Bool(a), Reg::Bool(b)) => a.extend_from_slice(b),
+            (Reg::Str(a), Reg::Str(b)) => a.extend_from_slice(b),
+            (Reg::Val(a), Reg::Val(b)) => a.extend_from_slice(b),
+            _ => return Err(confusion()),
+        }
+        Ok(())
+    }
 }
 
 /// One kernel instruction. Operands `a`/`b`/`cond`/… always index
@@ -120,6 +184,12 @@ enum Instr {
     /// Gather chunk `slot` at the batch's buffer rows into `dst`.
     Load {
         slot: u16,
+        dst: u16,
+    },
+    /// Copy carried column `carry` (batch-local, already compacted to the
+    /// batch's surviving rows) into `dst`. Chain programs only.
+    LoadCarry {
+        carry: u16,
         dst: u16,
     },
     /// Broadcast a constant across the batch.
@@ -246,15 +316,41 @@ pub struct Kernel {
     out: u16,
 }
 
+/// Where a chain-visible column really lives. Chain programs
+/// ([`compile_virtual`]) see the schema *after* upstream Project /
+/// Compute / Attach stages, but load from the chain *input*: a visible
+/// column is either an input column, a value carried from an earlier
+/// Compute stage, or an attached constant.
+#[derive(Debug, Clone)]
+pub(crate) enum VirtSrc {
+    /// Visible column `c` of the chain's input relation.
+    Input(u32),
+    /// Carried column `k` (result of the `k`-th Compute stage).
+    Carry(u16),
+    /// A constant attached mid-chain.
+    Const(Value),
+}
+
+/// Dedup key for column loads: buffer/input columns and carried columns
+/// live in different index spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LoadKey {
+    Buf(u32),
+    Carry(u16),
+}
+
 struct Compiler<'a> {
     schema: &'a Schema,
     col_map: Option<&'a [u32]>,
+    /// When set, column references resolve through virtual sources
+    /// instead of `col_map` (chain programs).
+    virt: Option<&'a [VirtSrc]>,
     instrs: Vec<Instr>,
     reg_tys: Vec<Ty>,
     cols: Vec<u32>,
     col_tys: Vec<Ty>,
-    /// raw buffer column → register already holding its load.
-    loaded: HashMap<u32, (u16, Ty)>,
+    /// load source → register already holding it.
+    loaded: HashMap<LoadKey, (u16, Ty)>,
 }
 
 impl Compiler<'_> {
@@ -266,25 +362,52 @@ impl Compiler<'_> {
         Some((self.reg_tys.len() - 1) as u16)
     }
 
+    /// Emit (or reuse) a load of input/buffer column `col` typed `ty`.
+    fn load_col(&mut self, col: u32, ty: Ty) -> Option<(u16, Ty)> {
+        if let Some(&hit) = self.loaded.get(&LoadKey::Buf(col)) {
+            return Some(hit);
+        }
+        let dst = self.reg(ty)?;
+        let slot = self.cols.len() as u16;
+        self.cols.push(col);
+        self.col_tys.push(ty);
+        self.instrs.push(Instr::Load { slot, dst });
+        self.loaded.insert(LoadKey::Buf(col), (dst, ty));
+        Some((dst, ty))
+    }
+
     fn compile(&mut self, e: &Expr) -> Option<(u16, Ty)> {
         match e {
             Expr::Col(name) => {
                 let idx = self.schema.index_of(name)?;
                 let ty = self.schema.cols()[idx].1;
+                if let Some(virt) = self.virt {
+                    return match virt[idx].clone() {
+                        VirtSrc::Input(c) => self.load_col(c, ty),
+                        VirtSrc::Carry(k) => {
+                            if let Some(&hit) = self.loaded.get(&LoadKey::Carry(k)) {
+                                return Some(hit);
+                            }
+                            let dst = self.reg(ty)?;
+                            self.instrs.push(Instr::LoadCarry { carry: k, dst });
+                            self.loaded.insert(LoadKey::Carry(k), (dst, ty));
+                            Some((dst, ty))
+                        }
+                        VirtSrc::Const(v) => {
+                            if v.ty() != ty {
+                                return None;
+                            }
+                            let dst = self.reg(ty)?;
+                            self.instrs.push(Instr::Splat { v, dst });
+                            Some((dst, ty))
+                        }
+                    };
+                }
                 let raw = match self.col_map {
                     Some(map) => map[idx],
                     None => idx as u32,
                 };
-                if let Some(&hit) = self.loaded.get(&raw) {
-                    return Some(hit);
-                }
-                let dst = self.reg(ty)?;
-                let slot = self.cols.len() as u16;
-                self.cols.push(raw);
-                self.col_tys.push(ty);
-                self.instrs.push(Instr::Load { slot, dst });
-                self.loaded.insert(raw, (dst, ty));
-                Some((dst, ty))
+                self.load_col(raw, ty)
             }
             Expr::Const(v) => {
                 let ty = v.ty();
@@ -451,9 +574,28 @@ fn infallible(e: &Expr, schema: &Schema) -> bool {
 /// the expression must stay on the scalar path — see the module docs for
 /// the exact bail-out conditions.
 pub fn compile(expr: &Expr, schema: &Schema, col_map: Option<&[u32]>) -> Option<Kernel> {
+    compile_inner(expr, schema, col_map, None)
+}
+
+/// Lower `expr` (typed against the *chain-visible* `schema`, whose columns
+/// resolve through `virt` to chain-input columns, carried stage results,
+/// or constants) to a kernel program for [`Kernel::run_chain`]. The
+/// `cols` of the result index the chain input's **visible** columns; the
+/// caller maps them to buffer columns when binding chunks.
+pub(crate) fn compile_virtual(expr: &Expr, schema: &Schema, virt: &[VirtSrc]) -> Option<Kernel> {
+    compile_inner(expr, schema, None, Some(virt))
+}
+
+fn compile_inner(
+    expr: &Expr,
+    schema: &Schema,
+    col_map: Option<&[u32]>,
+    virt: Option<&[VirtSrc]>,
+) -> Option<Kernel> {
     let mut c = Compiler {
         schema,
         col_map,
+        virt,
         instrs: Vec::new(),
         reg_tys: Vec::new(),
         cols: Vec::new(),
@@ -537,6 +679,11 @@ impl Kernel {
         self.out as usize
     }
 
+    /// Type of the result register.
+    pub fn out_ty(&self) -> Ty {
+        self.reg_tys[self.out as usize]
+    }
+
     /// Are these chunks (one per load slot) usable by this program?
     pub fn accepts(&self, chunks: &[Arc<ColVec>]) -> bool {
         chunks.len() == self.col_tys.len()
@@ -556,9 +703,26 @@ impl Kernel {
         rows: &[u32],
         regs: &mut [Reg],
     ) -> Result<(), EngineError> {
+        self.run_chain(chunks, &[], rows, regs)
+    }
+
+    /// [`Kernel::run`] with carried columns: `carries[k]` holds the
+    /// batch-local result of an earlier chain stage, already compacted to
+    /// exactly the rows of this batch. Programs compiled by
+    /// [`compile_virtual`] reference them through [`Instr::LoadCarry`].
+    pub(crate) fn run_chain(
+        &self,
+        chunks: &[Arc<ColVec>],
+        carries: &[Reg],
+        rows: &[u32],
+        regs: &mut [Reg],
+    ) -> Result<(), EngineError> {
         let n = rows.len();
         for instr in &self.instrs {
             match instr {
+                Instr::LoadCarry { carry, dst } => {
+                    regs[*dst as usize].copy_from(&carries[*carry as usize])?;
+                }
                 Instr::Load { slot, dst } => {
                     let chunk = chunks[*slot as usize].as_ref();
                     let reg = &mut regs[*dst as usize];
@@ -941,6 +1105,264 @@ impl Prepared {
     }
 }
 
+/// One fused pipeline stage: a filter kernel (drops rows) or a compute
+/// kernel (appends a carried column).
+#[derive(Debug)]
+pub(crate) enum Stage {
+    Filter(Kernel),
+    Compute(Kernel),
+}
+
+impl Stage {
+    fn kernel(&self) -> &Kernel {
+        match self {
+            Stage::Filter(k) | Stage::Compute(k) => k,
+        }
+    }
+}
+
+/// Incremental compiler for a fused Select/Project/Compute/Attach chain.
+/// Feed it the chain's operators bottom-up; each step returns `false`
+/// when that operator cannot join the chain (expression doesn't lower,
+/// type surprise, too many carries) — the caller then abandons fusion
+/// and falls back to node-at-a-time execution.
+#[derive(Debug)]
+pub(crate) struct ChainBuilder {
+    /// Schema visible after the stages accepted so far.
+    schema: Schema,
+    /// Source of each visible column.
+    virt: Vec<VirtSrc>,
+    stages: Vec<Stage>,
+    carry_tys: Vec<Ty>,
+}
+
+impl ChainBuilder {
+    pub(crate) fn new(input_schema: &Schema) -> ChainBuilder {
+        ChainBuilder {
+            schema: input_schema.clone(),
+            virt: (0..input_schema.cols().len())
+                .map(|c| VirtSrc::Input(c as u32))
+                .collect(),
+            stages: Vec::new(),
+            carry_tys: Vec::new(),
+        }
+    }
+
+    /// Schema visible after the stages accepted so far (what the next
+    /// operator's expressions resolve against).
+    pub(crate) fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add a Select stage. The predicate must lower to a boolean kernel.
+    pub(crate) fn filter(&mut self, pred: &Expr) -> bool {
+        let Some(kernel) = compile_virtual(pred, &self.schema, &self.virt) else {
+            return false;
+        };
+        if kernel.out_ty() != Ty::Bool {
+            return false;
+        }
+        self.stages.push(Stage::Filter(kernel));
+        true
+    }
+
+    /// Add a Compute stage: evaluate `expr` and expose it as the last
+    /// column of `out_schema` (the Compute node's output schema).
+    pub(crate) fn compute(&mut self, expr: &Expr, out_schema: &Schema) -> bool {
+        let Some(kernel) = compile_virtual(expr, &self.schema, &self.virt) else {
+            return false;
+        };
+        let Some(&(_, ty)) = out_schema.cols().last() else {
+            return false;
+        };
+        if kernel.out_ty() != ty || self.carry_tys.len() >= u16::MAX as usize {
+            return false;
+        }
+        let k = self.carry_tys.len() as u16;
+        self.carry_tys.push(ty);
+        self.stages.push(Stage::Compute(kernel));
+        self.virt.push(VirtSrc::Carry(k));
+        self.schema = out_schema.clone();
+        true
+    }
+
+    /// Add a Project stage: visible column `j` of `out_schema` is current
+    /// visible column `idxs[j]`. Pure bookkeeping — no kernel runs.
+    pub(crate) fn project(&mut self, idxs: &[usize], out_schema: &Schema) {
+        self.virt = idxs.iter().map(|&i| self.virt[i].clone()).collect();
+        self.schema = out_schema.clone();
+    }
+
+    /// Add an Attach stage: a constant column appended to the schema.
+    pub(crate) fn attach(&mut self, v: &Value, out_schema: &Schema) {
+        self.virt.push(VirtSrc::Const(v.clone()));
+        self.schema = out_schema.clone();
+    }
+
+    pub(crate) fn finish(self) -> ChainProg {
+        ChainProg {
+            stages: self.stages,
+            carry_tys: self.carry_tys,
+            out: self.virt,
+            out_schema: self.schema,
+        }
+    }
+}
+
+/// A compiled pipeline chain: the stage programs plus the mapping from
+/// output columns back to chain-input columns / carries / constants.
+#[derive(Debug)]
+pub(crate) struct ChainProg {
+    stages: Vec<Stage>,
+    carry_tys: Vec<Ty>,
+    out: Vec<VirtSrc>,
+    out_schema: Schema,
+}
+
+impl ChainProg {
+    /// Source of each output column.
+    pub(crate) fn out(&self) -> &[VirtSrc] {
+        &self.out
+    }
+
+    pub(crate) fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    pub(crate) fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Output columns that are all chain-input passthroughs (no carries,
+    /// no constants): the zero-copy case — a selection vector plus a
+    /// column remap over the input buffer reproduce the chain's output.
+    pub(crate) fn pure_input_out(&self) -> Option<Vec<u32>> {
+        self.out
+            .iter()
+            .map(|s| match s {
+                VirtSrc::Input(c) => Some(*c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Bind the stage kernels to `rel`'s cached column chunks, or `None`
+    /// when a chunk's storage variant contradicts the schema (the caller
+    /// falls back to scalar execution).
+    pub(crate) fn bind<'a>(&'a self, rel: &'a Rel) -> Option<BoundChain<'a>> {
+        let mut chunks = Vec::with_capacity(self.stages.len());
+        for stage in &self.stages {
+            let k = stage.kernel();
+            let cs: Vec<Arc<ColVec>> = k
+                .columns()
+                .iter()
+                .map(|&c| rel.typed_col(rel.raw_col(c as usize)))
+                .collect();
+            if !k.accepts(&cs) {
+                return None;
+            }
+            chunks.push(cs);
+        }
+        Some(BoundChain {
+            prog: self,
+            rel,
+            chunks,
+        })
+    }
+}
+
+/// The surviving rows and carried columns a chain produced for one
+/// morsel, in visible order. `rows` holds **buffer** row indices of the
+/// chain input; every carry register holds exactly `rows.len()` cells.
+#[derive(Debug)]
+pub(crate) struct StreamChunk {
+    pub(crate) rows: Vec<u32>,
+    pub(crate) carries: Vec<Reg>,
+    pub(crate) batches: u32,
+}
+
+/// A [`ChainProg`] bound to its input relation's chunks.
+pub(crate) struct BoundChain<'a> {
+    prog: &'a ChainProg,
+    rel: &'a Rel,
+    /// Per stage, the input chunks its kernel loads.
+    chunks: Vec<Vec<Arc<ColVec>>>,
+}
+
+impl BoundChain<'_> {
+    /// Stream visible rows `range` of the input through every stage in
+    /// [`BATCH_ROWS`]-sized batches: each batch is filtered and computed
+    /// on while cache-hot, and only survivors are accumulated. Errors
+    /// surface batch-major (lowest batch first), instruction-major within
+    /// a batch — the same freedom [`compile`] documents for one kernel,
+    /// extended across the chain's stages.
+    pub(crate) fn run_range(&self, range: Range<usize>) -> Result<StreamChunk, EngineError> {
+        let mut regs: Vec<Vec<Reg>> = self
+            .prog
+            .stages
+            .iter()
+            .map(|s| s.kernel().alloc_regs())
+            .collect();
+        let mut carries_b: Vec<Reg> = self.prog.carry_tys.iter().map(|&t| Reg::new(t)).collect();
+        let mut out = StreamChunk {
+            rows: Vec::new(),
+            carries: self.prog.carry_tys.iter().map(|&t| Reg::new(t)).collect(),
+            batches: 0,
+        };
+        let mut rows_b: Vec<u32> = Vec::with_capacity(BATCH_ROWS.min(range.len()));
+        let mut i = range.start;
+        while i < range.end {
+            let hi = (i + BATCH_ROWS).min(range.end);
+            rows_b.clear();
+            rows_b.extend((i..hi).map(|k| self.rel.raw_row(k) as u32));
+            i = hi;
+            out.batches += 1;
+            // carries produced so far this batch (all compacted to rows_b)
+            let mut live = 0usize;
+            for (si, stage) in self.prog.stages.iter().enumerate() {
+                if rows_b.is_empty() {
+                    break;
+                }
+                match stage {
+                    Stage::Filter(k) => {
+                        k.run_chain(&self.chunks[si], &carries_b[..live], &rows_b, &mut regs[si])?;
+                        let Reg::Bool(mask) = &regs[si][k.out_reg()] else {
+                            return Err(confusion());
+                        };
+                        let mut w = 0usize;
+                        for r in 0..rows_b.len() {
+                            if mask[r] {
+                                rows_b[w] = rows_b[r];
+                                w += 1;
+                            }
+                        }
+                        for c in carries_b[..live].iter_mut() {
+                            c.retain_mask(mask);
+                        }
+                        rows_b.truncate(w);
+                    }
+                    Stage::Compute(k) => {
+                        k.run_chain(&self.chunks[si], &carries_b[..live], &rows_b, &mut regs[si])?;
+                        let ty = self.prog.carry_tys[live];
+                        carries_b[live] =
+                            std::mem::replace(&mut regs[si][k.out_reg()], Reg::new(ty));
+                        live += 1;
+                    }
+                }
+            }
+            if rows_b.is_empty() {
+                continue; // nothing survived: carries_b[..live] hold stale
+                          // cells but are rebuilt from scratch next batch
+            }
+            out.rows.extend_from_slice(&rows_b);
+            for (k, c) in carries_b[..live].iter_mut().enumerate() {
+                out.carries[k].append(c)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1138,6 +1560,138 @@ mod tests {
             let want = eval(&bound, &view.owned_row(i)).unwrap();
             assert_eq!(*got, want, "row {i}");
         }
+    }
+
+    /// filter → compute → filter → project → attach as one chain program,
+    /// checked cell-for-cell against the scalar operators applied one at
+    /// a time.
+    #[test]
+    fn chain_streams_filter_compute_project_attach() {
+        let r = rel(3000); // several batches
+        let mut b = ChainBuilder::new(&r.schema);
+        // SELECT a < 2000
+        assert!(b.filter(&Expr::bin(BinOp::Lt, Expr::col("a"), Expr::lit(2000i64))));
+        // COMPUTE y = a * 2 + b
+        let y = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Mul, Expr::col("a"), Expr::lit(2i64)),
+            Expr::col("b"),
+        );
+        let mut s1 = r.schema.clone();
+        s1 = Schema::of(
+            &s1.cols()
+                .iter()
+                .map(|(n, t)| (&**n, *t))
+                .chain([("y", Ty::Int)])
+                .collect::<Vec<_>>(),
+        );
+        assert!(b.compute(&y, &s1));
+        // SELECT y % 2 = 1 (a*2+3 is always odd: keeps everything — then
+        // a tighter one) and SELECT y < 1003 (drops most rows)
+        assert!(b.filter(&Expr::eq(
+            Expr::bin(BinOp::Mod, Expr::col("y"), Expr::lit(2i64)),
+            Expr::lit(1i64)
+        )));
+        assert!(b.filter(&Expr::bin(BinOp::Lt, Expr::col("y"), Expr::lit(1003i64))));
+        // PROJECT (y, s) then ATTACH tag = "t"
+        let s2 = Schema::of(&[("y", Ty::Int), ("s", Ty::Str)]);
+        b.project(&[6, 4], &s2);
+        let s3 = Schema::of(&[("y", Ty::Int), ("s", Ty::Str), ("tag", Ty::Str)]);
+        b.attach(&Value::str("t"), &s3);
+        let prog = b.finish();
+        assert_eq!(prog.stage_count(), 4);
+        assert!(prog.pure_input_out().is_none()); // y is carried, tag is const
+        let bound = prog.bind(&r).unwrap();
+        let chunk = bound.run_range(0..r.len()).unwrap();
+        assert_eq!(chunk.batches, 3);
+        // oracle: rows 0..2000 with y = 2a+3, keep y < 1003 → a < 500
+        assert_eq!(chunk.rows.len(), 500);
+        assert_eq!(chunk.carries.len(), 1);
+        assert_eq!(chunk.carries[0].len(), 500);
+        for (p, &row) in chunk.rows.iter().enumerate() {
+            assert_eq!(row as usize, p);
+            assert_eq!(chunk.carries[0].value(p), Value::Int(2 * p as i64 + 3));
+        }
+        // output columns resolve: y → carry 0, s → input 4, tag → const
+        match prog.out() {
+            [VirtSrc::Carry(0), VirtSrc::Input(4), VirtSrc::Const(v)] => {
+                assert_eq!(*v, Value::str("t"));
+            }
+            other => panic!("unexpected out mapping {other:?}"),
+        }
+        assert_eq!(prog.out_schema().cols().len(), 3);
+    }
+
+    /// A chain over a narrowed view loads through the view's column remap.
+    #[test]
+    fn chain_binds_through_column_remaps() {
+        let r = rel(100);
+        let view = r.with_cols(Schema::of(&[("b", Ty::Int), ("d", Ty::Dbl)]), vec![1, 2]);
+        let mut b = ChainBuilder::new(&view.schema);
+        assert!(b.filter(&Expr::bin(BinOp::Gt, Expr::col("d"), Expr::lit(25.0f64))));
+        let prog = b.finish();
+        assert_eq!(prog.pure_input_out(), Some(vec![0, 1]));
+        let chunk = prog.bind(&view).unwrap().run_range(0..view.len()).unwrap();
+        // d = i/2 > 25 → i > 50
+        assert_eq!(chunk.rows, (51..100).collect::<Vec<u32>>());
+    }
+
+    /// Chain errors keep the oracle's message and honor earlier filters:
+    /// rows a filter dropped must never reach a later fallible compute.
+    #[test]
+    fn chain_error_semantics_respect_filters() {
+        let r = rel(100);
+        let wide = |sch: &Schema, extra: (&str, Ty)| {
+            Schema::of(
+                &sch.cols()
+                    .iter()
+                    .map(|(n, t)| (&**n, *t))
+                    .chain([extra])
+                    .collect::<Vec<_>>(),
+            )
+        };
+        // guarded: a != 0 filtered first, then 1/a computes cleanly
+        let mut b = ChainBuilder::new(&r.schema);
+        assert!(b.filter(&Expr::bin(BinOp::Gt, Expr::col("a"), Expr::lit(0i64))));
+        let inv = Expr::bin(BinOp::Div, Expr::lit(100i64), Expr::col("a"));
+        assert!(b.compute(&inv, &wide(&r.schema, ("inv", Ty::Int))));
+        let prog = b.finish();
+        let chunk = prog.bind(&r).unwrap().run_range(0..r.len()).unwrap();
+        assert_eq!(chunk.rows.len(), 99);
+        assert_eq!(chunk.carries[0].value(0), Value::Int(100));
+        // unguarded: the zero row reaches the divide and raises the
+        // scalar oracle's message
+        let mut b = ChainBuilder::new(&r.schema);
+        assert!(b.compute(&inv, &wide(&r.schema, ("inv", Ty::Int))));
+        let prog = b.finish();
+        let err = prog.bind(&r).unwrap().run_range(0..r.len()).unwrap_err();
+        assert_eq!(err, EngineError::Eval("division by zero".into()));
+    }
+
+    /// Compute stages that don't lower refuse fusion instead of lying.
+    #[test]
+    fn chain_builder_bails_on_unvectorizable_stages() {
+        let r = rel(10);
+        let mut b = ChainBuilder::new(&r.schema);
+        // OR with fallible RHS cannot batch-evaluate
+        let fallible = Expr::eq(
+            Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::col("a")),
+            Expr::lit(1i64),
+        );
+        assert!(!b.filter(&Expr::bin(BinOp::Or, Expr::col("p"), fallible.clone())));
+        // non-bool filter refuses
+        assert!(!b.filter(&Expr::col("a")));
+        // compute of a non-lowering expression (fallible CASE branch)
+        // refuses
+        let case = Expr::case(
+            Expr::col("p"),
+            Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::col("a")),
+            Expr::lit(1i64),
+        );
+        let s1 = Schema::of(&[("x", Ty::Int)]);
+        assert!(!b.compute(&case, &s1));
+        // the builder is still usable after refusals
+        assert!(b.filter(&Expr::col("p")));
     }
 
     #[test]

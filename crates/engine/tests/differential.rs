@@ -17,7 +17,7 @@ use ferry_algebra::{
     plan::{cn, Aggregate},
     AggFun, BinOp, Dir, Expr, JoinCols, Node, NodeId, Plan, Rel, Schema, Ty, Value,
 };
-use ferry_engine::{Database, ParConfig, VecMode};
+use ferry_engine::{Database, FuseMode, ParConfig, VecMode};
 use proptest::prelude::*;
 
 fn schema_abc(prefix: &str) -> Schema {
@@ -47,17 +47,23 @@ fn scalar_oracle() -> ParConfig {
     ParConfig {
         threads: 1,
         vec: VecMode::Off,
+        fuse: FuseMode::Off,
         ..ParConfig::default()
     }
 }
 
-/// The configurations under test: {scalar, vectorized-forced} ×
-/// {serial, 4 workers} × degenerate morsel splits. `min_rows: 1` forces
-/// the parallel path and `VecMode::Force` the vectorized path even on
-/// tiny proptest relations.
+/// The configurations under test: {scalar, vectorized-forced,
+/// fused-forced} × {serial, 4 workers} × degenerate morsel splits.
+/// `min_rows: 1` forces the parallel path and `VecMode::Force` /
+/// `FuseMode::Force` the vectorized and fused paths even on tiny
+/// proptest relations.
 fn par_configs() -> Vec<ParConfig> {
     let mut cfgs = Vec::new();
-    for vec in [VecMode::Off, VecMode::Force] {
+    for (vec, fuse) in [
+        (VecMode::Off, FuseMode::Off),
+        (VecMode::Force, FuseMode::Off),
+        (VecMode::Force, FuseMode::Force),
+    ] {
         for threads in [1usize, 4] {
             for morsel_rows in [1usize, 7, 1024] {
                 cfgs.push(ParConfig {
@@ -65,6 +71,7 @@ fn par_configs() -> Vec<ParConfig> {
                     min_rows: 1,
                     morsel_rows,
                     vec,
+                    fuse,
                 });
             }
         }
@@ -487,6 +494,161 @@ fn mixed_type_operators_agree_on_large_input() {
 }
 
 // ---------------------------------------------------------------------
+// Pipeline-shaped roots: multi-operator chains the pipeline compiler
+// groups into one fused batch program (scan → Select*/Compute/Project/
+// Attach → window / join-probe / serialize / group-by sink). Under
+// `FuseMode::Force` in the config matrix these run the fused streaming
+// loop; the oracle and the unfused configs evaluate the same nodes
+// one at a time — results must be cell-for-cell identical either way.
+// ---------------------------------------------------------------------
+
+/// Chains over the mixed schema, one per fusible sink family, each at
+/// least three operators deep so the chain compiler has real work.
+fn pipeline_roots(plan: &mut Plan, l: NodeId, r: NodeId) -> Vec<NodeId> {
+    let x = Expr::col("x");
+    let d = Expr::col("d");
+    let mut roots = Vec::new();
+
+    // select → compute → rownum: window sink over a computed order key
+    let s1 = plan.select(l, Expr::bin(BinOp::Ge, x.clone(), Expr::lit(-5i64)));
+    let c1 = plan.compute(
+        s1,
+        "y",
+        Expr::bin(
+            BinOp::Mul,
+            x.clone(),
+            Expr::bin(BinOp::Add, x.clone(), Expr::lit(3i64)),
+        ),
+    );
+    roots.push(plan.rownum(c1, "rn", vec![cn("s")], vec![(cn("y"), Dir::Asc)]));
+
+    // compute → select-on-computed → dense_rank ordered by a Dbl column
+    // (±0.0 keys stay distinct through the fused path)
+    let c2 = plan.compute(l, "v", Expr::bin(BinOp::Add, d.clone(), Expr::lit(0.0)));
+    let s2 = plan.select(c2, Expr::bin(BinOp::Lt, Expr::col("v"), Expr::lit(10.0)));
+    roots.push(plan.dense_rank(s2, "dr", vec![cn("p")], vec![(cn("d"), Dir::Desc)]));
+
+    // select → project → attach → serialize: dict-string sort keys
+    let s3 = plan.select(l, Expr::bin(BinOp::Gt, x.clone(), Expr::lit(-6i64)));
+    let p3 = plan.project_keep(s3, &[cn("s"), cn("d"), cn("x")]);
+    let a3 = plan.attach(p3, "tag", Value::str("t"));
+    roots.push(plan.serialize(
+        a3,
+        vec![(cn("s"), Dir::Asc), (cn("d"), Dir::Desc)],
+        vec![cn("tag"), cn("s"), cn("x")],
+    ));
+
+    // select → compute → equi-join probe (the chain is the build-free
+    // left input; the right side stays a pipeline breaker)
+    let s4 = plan.select(l, Expr::bin(BinOp::Le, x.clone(), Expr::lit(6i64)));
+    let c4 = plan.compute(s4, "xm", Expr::bin(BinOp::Mod, x.clone(), Expr::lit(5i64)));
+    roots.push(plan.equi_join(c4, r, JoinCols::single("x", "rx")));
+    roots.push(plan.semi_join(c4, r, JoinCols::single("x", "rx")));
+    roots.push(plan.anti_join(c4, r, JoinCols::single("x", "rx")));
+
+    // select → compute → group-by sink over string keys
+    let s5 = plan.select(l, Expr::not(Expr::col("p")));
+    let c5 = plan.compute(s5, "w", Expr::bin(BinOp::Mul, d.clone(), Expr::lit(2.0)));
+    roots.push(plan.group_by(
+        c5,
+        vec![cn("s")],
+        vec![
+            Aggregate {
+                fun: AggFun::CountAll,
+                input: None,
+                output: cn("n"),
+            },
+            Aggregate {
+                fun: AggFun::Sum,
+                input: Some(cn("w")),
+                output: cn("sum_w"),
+            },
+        ],
+    ));
+
+    // deep chain: select → compute → select → compute → rowrank
+    let s6 = plan.select(l, Expr::bin(BinOp::Gt, x.clone(), Expr::lit(-7i64)));
+    let c6 = plan.compute(s6, "a", Expr::bin(BinOp::Add, x.clone(), Expr::lit(1i64)));
+    let s7 = plan.select(
+        c6,
+        Expr::bin(
+            BinOp::Ne,
+            Expr::bin(BinOp::Mod, Expr::col("a"), Expr::lit(3i64)),
+            Expr::lit(0i64),
+        ),
+    );
+    let c7 = plan.compute(
+        s7,
+        "b",
+        Expr::bin(BinOp::Mul, Expr::col("a"), Expr::col("a")),
+    );
+    roots.push(plan.add(Node::RowRank {
+        input: c7,
+        col: cn("rr"),
+        order: vec![(cn("b"), Dir::Asc)],
+    }));
+
+    // chain into a *breaker*: distinct re-derives nothing, the chain
+    // below it still fuses and the breaker evaluates node-at-a-time
+    let s8 = plan.select(l, Expr::bin(BinOp::Ge, d.clone(), Expr::lit(-2.0)));
+    let c8 = plan.compute(
+        s8,
+        "t",
+        Expr::bin(BinOp::Concat, Expr::col("s"), Expr::lit(Value::str("#"))),
+    );
+    let p8 = plan.project_keep(c8, &[cn("t"), cn("p")]);
+    roots.push(plan.distinct(p8));
+
+    roots
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_chains_agree(
+        l in proptest::collection::vec(mixed_row_strategy(), 0..48),
+        r in proptest::collection::vec(mixed_row_strategy(), 0..12),
+    ) {
+        let mut plan = Plan::new();
+        let lx = plan.lit(schema_mixed(""), mixed_rows(&l));
+        let rx = plan.lit(schema_mixed("r"), mixed_rows(&r));
+        let roots = pipeline_roots(&mut plan, lx, rx);
+        assert_differential(&plan, &roots);
+    }
+}
+
+#[test]
+fn pipeline_chains_agree_on_large_input() {
+    let pool = dbl_pool();
+    let l: Vec<(i64, f64, bool, String)> = (0..4000i64)
+        .map(|i| {
+            (
+                (i * 29) % 15 - 7,
+                pool[(i % pool.len() as i64) as usize],
+                i % 4 == 0,
+                ["a", "b", "c", "d"][(i % 4) as usize].to_string(),
+            )
+        })
+        .collect();
+    let r: Vec<(i64, f64, bool, String)> = (0..60i64)
+        .map(|i| {
+            (
+                (i * 11) % 15 - 7,
+                pool[((i + 1) % pool.len() as i64) as usize],
+                i % 2 == 0,
+                ["b", "e"][(i % 2) as usize].to_string(),
+            )
+        })
+        .collect();
+    let mut plan = Plan::new();
+    let lx = plan.lit(schema_mixed(""), mixed_rows(&l));
+    let rx = plan.lit(schema_mixed("r"), mixed_rows(&r));
+    let roots = pipeline_roots(&mut plan, lx, rx);
+    assert_differential(&plan, &roots);
+}
+
+// ---------------------------------------------------------------------
 // Error parity: when an expression fails on some row, the scalar and
 // vectorized paths must agree on *whether* the query fails and on the
 // error message. (Each root below has a single possible error kind, so
@@ -523,8 +685,21 @@ fn runtime_errors_agree_across_paths() {
                 Expr::lit(0i64),
             ),
         );
+        // mid-pipeline error sites: the fallible expression sits inside a
+        // fused chain (select upstream, window/serialize sink downstream),
+        // so the fused streaming loop must surface the same message —
+        // division by zero is each root's only possible error, and
+        // lowest-error-row-wins makes the surviving message deterministic
+        let keep = plan.select(l, Expr::bin(BinOp::Gt, Expr::col("x"), Expr::lit(-2i64)));
+        let mid = plan.compute(
+            keep,
+            "q",
+            Expr::bin(BinOp::Div, Expr::lit(10i64), Expr::col("x")),
+        );
+        let piped_rn = plan.rownum(mid, "rn", vec![], vec![(cn("q"), Dir::Asc)]);
+        let piped_ser = plan.serialize(mid, vec![(cn("q"), Dir::Desc)], vec![cn("x"), cn("q")]);
         let oracle = db_with(scalar_oracle());
-        for root in [div, ovf, sel] {
+        for root in [div, ovf, sel, piped_rn, piped_ser] {
             let expect = oracle.execute(&plan, root).map_err(|e| e.to_string());
             for cfg in par_configs() {
                 let got = db_with(cfg).execute(&plan, root).map_err(|e| e.to_string());

@@ -71,11 +71,19 @@ fn full_trace_covers_compile_optimizer_and_every_node() {
     assert_eq!(profile.roots, 2, "the running example is a 2-root bundle");
     assert!(!profile.nodes.is_empty());
     for p in &profile.nodes {
+        // pipeline tails carry their fusion group as one exec.pipeline
+        // span; everything else gets a plain exec.node span
+        let (cat, name) = if p.fused.is_empty() {
+            ("exec.node", p.label)
+        } else {
+            ("exec.pipeline", "pipeline")
+        };
         assert!(
-            trace.spans.iter().any(|s| s.cat == "exec.node"
-                && s.name == p.label
+            trace.spans.iter().any(|s| s.cat == cat
+                && s.name == name
                 && s.attrs.contains(&("node", AttrVal::UInt(p.node as u64)))),
-            "missing exec.node span for node {} ({})",
+            "missing {} span for node {} ({})",
+            cat,
             p.node,
             p.label
         );
@@ -264,6 +272,7 @@ fn morsel_spans_propagate_across_worker_threads() {
         min_rows: 1,
         morsel_rows: 256,
         vec: VecMode::Auto,
+        ..ParConfig::default()
     });
     db.set_telemetry_config(TelemetryConfig::Full);
 
