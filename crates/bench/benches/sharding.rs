@@ -1,0 +1,241 @@
+//! Hash-partitioned shard benchmarks: what partition pruning buys a
+//! shard-key equality scan, what the shard-local path costs a group-by,
+//! and how fast four shard WALs replay next to one flat WAL. Not a
+//! paper artefact — the regression guard for the sharding layer.
+//!
+//! The `scan_pruned` / `scan_unsharded` pair is the acceptance check
+//! for the planner: both run the identical plan over the identical
+//! rows, serial, on one core — the only difference is that the sharded
+//! scan's selection vector covers one shard in four. The win is
+//! pruned *rows*, so it holds on any host regardless of core count.
+//! Recovery benches run over the in-memory `FaultFs` (codec + framing
+//! cost, not disk): on a single-core host parallel shard replay must
+//! not lose to single-WAL replay, and on multi-core hosts the four
+//! decoders run concurrently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferry_algebra::{
+    plan::cn, plan::Aggregate, AggFun, BinOp, Expr, NodeId, Plan, Schema, Ty, Value,
+};
+use ferry_engine::{Database, DurabilityConfig, FsyncPolicy, FuseMode, ParConfig, VecMode};
+use ferry_storage::{FaultFs, Vfs};
+use std::sync::Arc;
+
+/// Shard count under test everywhere in this file.
+const S: usize = 4;
+/// Rows in the scanned / grouped table.
+const N: usize = 200_000;
+/// Insert batches logged before the recovery benches (each batch is one
+/// committed WAL record; sharded databases split it across the shard
+/// WALs plus a commit marker). Bulk-load shaped — recovery time should
+/// be dominated by row payload decode, which both layouts share, not by
+/// per-frame framing, which the sharded layout pays 4× more often.
+const BATCHES: usize = 64;
+const BATCH_ROWS: usize = 256;
+
+fn schema() -> Schema {
+    Schema::of(&[("k", Ty::Int), ("v", Ty::Int)])
+}
+
+fn rows(n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| vec![Value::Int(i as i64 % 1000), Value::Int(i as i64)])
+        .collect()
+}
+
+fn serial() -> ParConfig {
+    ParConfig {
+        threads: 1,
+        vec: VecMode::Auto,
+        fuse: FuseMode::Auto,
+        ..ParConfig::default()
+    }
+}
+
+/// Config for the group-by pair: shard-local grouping only engages with
+/// worker threads (serially it is pure overhead and the planner skips
+/// it), so both sides run with four workers.
+fn par4() -> ParConfig {
+    ParConfig {
+        threads: 4,
+        min_rows: 1024,
+        vec: VecMode::Auto,
+        fuse: FuseMode::Auto,
+        ..ParConfig::default()
+    }
+}
+
+/// `orders(k, v)` loaded into either a sharded (on `k`) or flat engine.
+fn load(sharded: bool) -> Database {
+    let db = if sharded {
+        Database::new_sharded(S).expect("shard count")
+    } else {
+        Database::new()
+    };
+    db.set_par_config(serial());
+    if sharded {
+        db.create_table_sharded("orders", schema(), vec!["k"], "k")
+            .expect("create");
+    } else {
+        db.create_table("orders", schema(), vec!["k"])
+            .expect("create");
+    }
+    db.insert("orders", rows(N)).expect("insert");
+    db
+}
+
+fn scan_plan() -> (Plan, NodeId) {
+    let mut plan = Plan::new();
+    let t = plan.table(
+        "orders",
+        vec![(cn("k"), Ty::Int), (cn("v"), Ty::Int)],
+        vec![cn("k")],
+    );
+    let root = plan.select(t, Expr::bin(BinOp::Eq, Expr::col("k"), Expr::lit(37i64)));
+    (plan, root)
+}
+
+fn group_plan() -> (Plan, NodeId) {
+    let mut plan = Plan::new();
+    let t = plan.table(
+        "orders",
+        vec![(cn("k"), Ty::Int), (cn("v"), Ty::Int)],
+        vec![cn("k")],
+    );
+    let root = plan.group_by(
+        t,
+        vec![cn("k")],
+        vec![
+            Aggregate {
+                fun: AggFun::CountAll,
+                input: None,
+                output: cn("n"),
+            },
+            Aggregate {
+                fun: AggFun::Sum,
+                input: Some(cn("v")),
+                output: cn("s"),
+            },
+        ],
+    );
+    (plan, root)
+}
+
+/// Schema of the recovered table: a string column alongside the ints so
+/// replay decodes realistic (allocation-bearing) payloads.
+fn wide_schema() -> Schema {
+    Schema::of(&[("k", Ty::Int), ("v", Ty::Int), ("tag", Ty::Str)])
+}
+
+/// A durable database (sharded or flat) holding the full insert
+/// workload, returned as the VFS its WAL(s) live on.
+fn prebuilt(sharded: bool) -> Arc<FaultFs> {
+    let vfs = Arc::new(FaultFs::new());
+    let config = DurabilityConfig::with_fsync(FsyncPolicy::Os);
+    let db = if sharded {
+        Database::open_sharded_with_vfs(vfs.clone() as Arc<dyn Vfs>, S, config).expect("open")
+    } else {
+        Database::open_with_vfs(vfs.clone() as Arc<dyn Vfs>, config).expect("open")
+    };
+    if sharded {
+        db.create_table_sharded("orders", wide_schema(), vec!["k"], "k")
+            .expect("create");
+    } else {
+        db.create_table("orders", wide_schema(), vec!["k"])
+            .expect("create");
+    }
+    for b in 0..BATCHES {
+        let batch = (0..BATCH_ROWS)
+            .map(|j| {
+                let i = b * BATCH_ROWS + j;
+                vec![
+                    Value::Int(i as i64 % 1000),
+                    Value::Int(i as i64),
+                    Value::str(["alpha", "beta", "gamma"][i % 3]),
+                ]
+            })
+            .collect();
+        db.insert("orders", batch).expect("insert");
+    }
+    db.sync().expect("sync");
+    vfs
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard");
+
+    // shard-key equality scan: pruned (1 of 4 shards) vs flat full scan
+    {
+        let (plan, root) = scan_plan();
+        let sharded = load(true);
+        let flat = load(false);
+        let want = flat.execute(&plan, root).expect("flat scan");
+        assert_eq!(sharded.execute(&plan, root).expect("pruned scan"), want);
+        group.bench_with_input(BenchmarkId::new("scan_pruned", N), &N, |bch, _| {
+            bch.iter(|| sharded.execute(&plan, root).expect("pruned scan"))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_unsharded", N), &N, |bch, _| {
+            bch.iter(|| flat.execute(&plan, root).expect("flat scan"))
+        });
+    }
+
+    // group-by on the shard key: shard-local partitions vs global table,
+    // both under four workers (the path the shard-local planner targets)
+    {
+        let (plan, root) = group_plan();
+        let sharded = load(true);
+        let flat = load(false);
+        sharded.set_par_config(par4());
+        flat.set_par_config(par4());
+        assert_eq!(
+            sharded.execute(&plan, root).expect("sharded group"),
+            flat.execute(&plan, root).expect("flat group")
+        );
+        group.bench_with_input(BenchmarkId::new("group_by", N), &N, |bch, _| {
+            bch.iter(|| sharded.execute(&plan, root).expect("sharded group"))
+        });
+        group.bench_with_input(BenchmarkId::new("group_by_unsharded", N), &N, |bch, _| {
+            bch.iter(|| flat.execute(&plan, root).expect("flat group"))
+        });
+    }
+
+    // recovery: replaying four shard WALs vs one flat WAL of the same
+    // workload
+    {
+        let vfs = prebuilt(true);
+        let config = DurabilityConfig::with_fsync(FsyncPolicy::Os);
+        group.bench_with_input(
+            BenchmarkId::new("recover_parallel", BATCHES),
+            &BATCHES,
+            |bch, _| {
+                bch.iter(|| {
+                    let db =
+                        Database::open_sharded_with_vfs(vfs.clone() as Arc<dyn Vfs>, S, config)
+                            .expect("recover sharded");
+                    let t = db.table("orders").expect("orders");
+                    assert_eq!(t.rows.rows().len(), BATCHES * BATCH_ROWS);
+                    t.rows.rows().len()
+                })
+            },
+        );
+        let flat_vfs = prebuilt(false);
+        group.bench_with_input(
+            BenchmarkId::new("recover_single", BATCHES),
+            &BATCHES,
+            |bch, _| {
+                bch.iter(|| {
+                    let db = Database::open_with_vfs(flat_vfs.clone() as Arc<dyn Vfs>, config)
+                        .expect("recover flat");
+                    let t = db.table("orders").expect("orders");
+                    assert_eq!(t.rows.rows().len(), BATCHES * BATCH_ROWS);
+                    t.rows.rows().len()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharding);
+criterion_main!(benches);

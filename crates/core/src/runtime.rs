@@ -132,6 +132,21 @@ impl Connection {
         Ok(Connection::new(Database::open(path, config)?))
     }
 
+    /// [`open_durable`](Connection::open_durable) for a **hash-partitioned**
+    /// database: base tables created with a shard key spread across
+    /// `shards` shard-local WALs and snapshots, recovered in parallel.
+    /// `shards` is fixed at directory creation; reopening must pass the
+    /// same value.
+    pub fn open_sharded(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+        config: ferry_engine::DurabilityConfig,
+    ) -> Result<Connection, FerryError> {
+        Ok(Connection::new(Database::open_sharded(
+            path, shards, config,
+        )?))
+    }
+
     /// Snapshot the catalog and compact the write-ahead log. Returns the
     /// LSN the snapshot covers (0 for an in-memory database, where this
     /// is a no-op).
@@ -490,10 +505,15 @@ impl Connection {
                 } else {
                     format!("pipeline[{}]", p.fused.join("\u{2192}"))
                 };
+                let shards = if p.shards_total > 0 {
+                    format!("  shards: {}/{} scanned", p.shards_scanned, p.shards_total)
+                } else {
+                    String::new()
+                };
                 let _ = writeln!(
                     out,
-                    "node {:>3}  {:<12} {:<10} {:>9} rows  {:>3} morsels  {:?}",
-                    p.node, label, path, p.rows, p.morsels, p.elapsed
+                    "node {:>3}  {:<12} {:<10} {:>9} rows  {:>3} morsels  {:?}{}",
+                    p.node, label, path, p.rows, p.morsels, p.elapsed, shards
                 );
             }
         }
@@ -503,6 +523,13 @@ impl Connection {
             stats.par_waves, stats.par_nodes, stats.morsel_tasks, stats.vec_nodes, stats.kernel_batches,
             stats.fused_pipelines, stats.fused_nodes
         );
+        if stats.shard_rows + stats.shard_pruned > 0 {
+            let _ = writeln!(
+                out,
+                "shard rows: {}  shard pruned: {}",
+                stats.shard_rows, stats.shard_pruned
+            );
+        }
         let recorded = telemetry
             .traces()
             .into_iter()

@@ -32,11 +32,12 @@
 use crate::error::EngineError;
 use crate::exec;
 use crate::par::ParConfig;
+use crate::shard::{shard_of, table_home, MAX_SHARDS};
 use crate::stats::{ProfileRing, QueryProfile, QueryStats};
 use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema};
 use ferry_storage::{
-    DurabilityConfig, FsyncPolicy, RecoveryReport, StdFs, Storage, StorageError, TableImage, Vfs,
-    WalRecord,
+    DurabilityConfig, FsyncPolicy, RecoveryReport, ShardRecoveryReport, ShardTableDef,
+    ShardTableImage, ShardedStorage, StdFs, Storage, StorageError, TableImage, Vfs, WalRecord,
 };
 use ferry_telemetry::{Counter, Gauge, Histogram, Registry, Telemetry, TelemetryConfig};
 use std::collections::{HashMap, VecDeque};
@@ -60,6 +61,163 @@ pub struct BaseTable {
     /// over these columns.
     pub keys: Vec<String>,
     pub rows: Arc<RowBuf>,
+    /// Hash-partition state when this table lives in a **sharded**
+    /// database (`None` in unsharded databases). Kept row-aligned with
+    /// `rows` by every insert.
+    pub shard: Option<Arc<TableShards>>,
+}
+
+/// Where each row of one table lives across a sharded database's S
+/// shards. The planner prunes scans with `sels` and partitions
+/// shard-local aggregations with `shard_of`; the storage layer routes
+/// WAL appends and snapshot slices by the same assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableShards {
+    /// The declared partitioning column, `None` for tables created
+    /// without one — their rows all live on the `home` shard.
+    pub key: Option<String>,
+    /// Home shard of an unsharded table (stable hash of the table name).
+    pub home: u32,
+    /// Owning shard of each buffer row (aligned with `BaseTable::rows`).
+    pub shard_of: Vec<u32>,
+    /// Ascending buffer positions per shard — the pruned-scan selection
+    /// vectors. `sels.len()` is the database's shard count S.
+    pub sels: Vec<Vec<u32>>,
+    /// Lazily-built dense per-shard row buffers (the physical partitions).
+    /// A scan pruned to a *single* shard returns `dense[k]` instead of a
+    /// selection vector over the global buffer, so its chunk cache — and
+    /// everything vectorized downstream — works on contiguous data. Space
+    /// for time: populated shards duplicate their rows; any insert
+    /// invalidates ([`DenseCache`] resets on clone, `push` takes the
+    /// touched slot).
+    dense: DenseCache,
+}
+
+/// The per-shard dense-buffer cache of one [`TableShards`]. Interior
+/// mutability (`OnceLock`) lets concurrent readers race to build a
+/// partition; a manual `Clone` that yields *empty* slots keeps the
+/// copy-on-write insert path (`Arc::make_mut`) from inheriting buffers
+/// that no longer match `sels`.
+struct DenseCache(Vec<std::sync::OnceLock<Arc<RowBuf>>>);
+
+impl DenseCache {
+    fn new(shards: usize) -> DenseCache {
+        DenseCache((0..shards).map(|_| std::sync::OnceLock::new()).collect())
+    }
+}
+
+impl Clone for DenseCache {
+    fn clone(&self) -> DenseCache {
+        DenseCache::new(self.0.len())
+    }
+}
+
+impl PartialEq for DenseCache {
+    /// Caches never participate in equality — they are derived state.
+    fn eq(&self, _: &DenseCache) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for DenseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let built: Vec<usize> = (0..self.0.len())
+            .filter(|&k| self.0[k].get().is_some())
+            .collect();
+        write!(f, "DenseCache(built: {built:?})")
+    }
+}
+
+impl BaseTable {
+    /// This table with its shard assignment (re)built for an S-shard
+    /// database by hashing every row's shard-key cell — the recovery /
+    /// install normalisation path. Errors when the declared key column
+    /// is not in the schema.
+    fn resharded(
+        mut self,
+        name: &str,
+        shard_key: Option<&str>,
+        shards: usize,
+    ) -> Result<BaseTable, EngineError> {
+        let key_idx = match shard_key {
+            Some(k) => Some(
+                self.schema
+                    .index_of(k)
+                    .ok_or_else(|| EngineError::TableMismatch {
+                        table: name.to_string(),
+                        detail: format!("shard key column {k} not in schema {}", self.schema),
+                    })?,
+            ),
+            None => None,
+        };
+        let mut sh = TableShards::new(
+            shard_key.map(String::from),
+            table_home(name, shards),
+            shards,
+        );
+        for (pos, row) in self.rows.rows().iter().enumerate() {
+            sh.push(pos as u32, key_idx.map(|c| &row[c]));
+        }
+        self.shard = Some(Arc::new(sh));
+        Ok(self)
+    }
+}
+
+impl TableShards {
+    /// Empty shard state for a new table in an S-shard database.
+    fn new(key: Option<String>, home: u32, shards: usize) -> TableShards {
+        TableShards {
+            key,
+            home,
+            shard_of: Vec::new(),
+            sels: vec![Vec::new(); shards],
+            dense: DenseCache::new(shards),
+        }
+    }
+
+    /// Route one appended row (buffer position `pos`, shard-key cell
+    /// `cell` when the table is keyed) and record it.
+    fn push(&mut self, pos: u32, cell: Option<&ferry_algebra::Value>) -> u32 {
+        let k = match (&self.key, cell) {
+            (Some(_), Some(v)) => shard_of(v, self.sels.len()),
+            _ => self.home,
+        };
+        self.shard_of.push(k);
+        self.sels[k as usize].push(pos);
+        // the shard's dense buffer (if built on this unpublished clone)
+        // no longer covers the appended row
+        self.dense.0[k as usize].take();
+        k
+    }
+
+    /// Shard `k`'s rows of `buf` as a dense buffer, in buffer order
+    /// (within-shard order equals global insert order restricted to the
+    /// shard, so a scan of this equals the selection-vector view of the
+    /// same shard). Built on first use and cached; chunk caches are
+    /// seeded by gathering whatever columns `buf` has already transposed,
+    /// so a warm table stays transposed through partitioning. A shard
+    /// holding *every* row (unkeyed tables on their home shard) shares
+    /// `buf` itself rather than copying it.
+    pub fn dense(&self, k: usize, buf: &Arc<RowBuf>, ncols: usize) -> Arc<RowBuf> {
+        let sel = &self.sels[k];
+        if sel.len() == buf.rows().len() {
+            return buf.clone();
+        }
+        self.dense.0[k]
+            .get_or_init(|| {
+                let rows = buf.rows();
+                let part = Arc::new(RowBuf::new(
+                    sel.iter().map(|&i| rows[i as usize].clone()).collect(),
+                ));
+                for col in 0..ncols {
+                    if let Some(chunk) = buf.cached_col(col) {
+                        part.seed_chunk(col, Arc::new(chunk.gather(sel)));
+                    }
+                }
+                part
+            })
+            .clone()
+    }
 }
 
 /// One immutable version of the catalog. Published versions are never
@@ -94,6 +252,100 @@ impl Catalog {
             .collect();
         images.sort_by(|a, b| a.name.cmp(&b.name));
         images
+    }
+
+    /// Sharded-storage images of every table (sorted like [`Catalog::images`]):
+    /// rows in global insert order, each tagged with its owning shard.
+    fn shard_images(&self) -> Vec<ShardTableImage> {
+        let mut images: Vec<ShardTableImage> = self
+            .tables
+            .iter()
+            .map(|(name, t)| {
+                let sh = t.shard.as_ref().expect("sharded database table");
+                ShardTableImage {
+                    def: ShardTableDef {
+                        name: name.clone(),
+                        schema: t.schema.clone(),
+                        keys: t.keys.clone(),
+                        shard_key: sh.key.clone(),
+                    },
+                    rows: t.rows.rows().to_vec(),
+                    shard_of: sh.shard_of.clone(),
+                }
+            })
+            .collect();
+        images.sort_by(|a, b| a.def.name.cmp(&b.def.name));
+        images
+    }
+}
+
+/// The durability substrate behind a database: one WAL + snapshot
+/// ([`Storage`]), or S shard WALs + a commit log + per-shard snapshots
+/// ([`ShardedStorage`]). The group-commit machinery above is shared —
+/// a sharded GSN is the LSN-equivalent watermark.
+#[derive(Debug)]
+enum Store {
+    Single(Storage),
+    Sharded(ShardedStorage),
+}
+
+impl Store {
+    fn config(&self) -> DurabilityConfig {
+        match self {
+            Store::Single(s) => s.config(),
+            Store::Sharded(s) => s.config(),
+        }
+    }
+
+    /// Highest LSN/GSN known durable.
+    fn synced(&self) -> u64 {
+        match self {
+            Store::Single(s) => s.synced_lsn(),
+            Store::Sharded(s) => s.durable_gsn(),
+        }
+    }
+
+    fn group_sync(&self) -> Result<u64, StorageError> {
+        match self {
+            Store::Single(s) => s.group_sync(),
+            Store::Sharded(s) => s.group_sync(),
+        }
+    }
+
+    fn poisoned(&self) -> bool {
+        match self {
+            Store::Single(s) => s.poisoned(),
+            Store::Sharded(s) => s.poisoned(),
+        }
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        match self {
+            Store::Single(s) => s.checkpoint_due(),
+            Store::Sharded(s) => s.checkpoint_due(),
+        }
+    }
+
+    fn checkpoint(&self, head: &Catalog) -> Result<u64, StorageError> {
+        match self {
+            Store::Single(s) => s.checkpoint(&head.images()),
+            Store::Sharded(s) => s.checkpoint(&head.shard_images()),
+        }
+    }
+
+    /// Log one committed transaction's records; returns its LSN/GSN.
+    fn log(&self, tx: &mut Tx) -> Result<u64, StorageError> {
+        match self {
+            Store::Single(s) => s.log_batch(std::mem::take(&mut tx.recs)),
+            Store::Sharded(s) => {
+                let shard_rows: Vec<(usize, Vec<WalRecord>)> = std::mem::take(&mut tx.shard_recs)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, recs)| !recs.is_empty())
+                    .collect();
+                s.log_commit(std::mem::take(&mut tx.recs), shard_rows)
+            }
+        }
     }
 }
 
@@ -165,12 +417,18 @@ pub struct Database {
     /// Dispatch id allocator (`QueryProfile::query_id`; monotone, 1-based).
     next_query_id: AtomicU64,
     /// The durability substrate, when this database was opened with
-    /// [`Database::open`]. `None` = in-memory only (the default). Every
-    /// transaction is appended to its WAL **before** being applied
-    /// in memory (log-before-ack).
-    storage: Option<Storage>,
+    /// [`Database::open`] / [`Database::open_sharded`]. `None` =
+    /// in-memory only (the default). Every transaction is appended to
+    /// its WAL(s) **before** being applied in memory (log-before-ack).
+    storage: Option<Store>,
+    /// Shard count of a hash-partitioned database (`0` = unsharded).
+    /// Set by `new_sharded` / `open_sharded*`, immutable afterwards.
+    shards: u32,
     /// What recovery found and did, for databases opened durably.
     recovery: Option<RecoveryReport>,
+    /// The sharded sibling of `recovery` (databases opened with
+    /// [`Database::open_sharded`]).
+    shard_recovery: Option<ShardRecoveryReport>,
     /// The most recent *auto*-checkpoint failure. Mutations do not surface
     /// these (see [`Database::maybe_checkpoint`]); callers that care poll
     /// here or watch the `storage.checkpoint_failures` counter.
@@ -195,6 +453,8 @@ struct EngineMetrics {
     kernel_batches: Arc<Counter>,
     fused_pipelines: Arc<Counter>,
     fused_nodes: Arc<Counter>,
+    shard_rows: Arc<Counter>,
+    shard_pruned: Arc<Counter>,
     checkpoint_failures: Arc<Counter>,
     query_latency_ns: Arc<Histogram>,
     /// The published catalog epoch (gauge, monotone under one process).
@@ -224,6 +484,8 @@ impl EngineMetrics {
             kernel_batches: counter("engine.kernel_batches"),
             fused_pipelines: counter("engine.fused_pipelines"),
             fused_nodes: counter("engine.fused_nodes"),
+            shard_rows: counter("engine.shard.rows"),
+            shard_pruned: counter("engine.shard.pruned"),
             checkpoint_failures: counter("storage.checkpoint_failures"),
             query_latency_ns: registry
                 .histogram("engine.query_latency_ns")
@@ -265,9 +527,28 @@ impl Database {
             profiles: Mutex::new(ProfileRing::default()),
             next_query_id: AtomicU64::new(0),
             storage: None,
+            shards: 0,
             recovery: None,
+            shard_recovery: None,
             last_checkpoint_error: Mutex::new(None),
         }
+    }
+
+    /// An in-memory database whose base tables are hash-partitioned
+    /// across `shards` logical shards: every table routes its rows by
+    /// the stable [`crate::shard::shard_hash`], the planner prunes
+    /// shard-key equality scans and runs shard-local aggregations. Use
+    /// [`Database::open_sharded`] for the durable variant (one WAL +
+    /// snapshot per shard).
+    pub fn new_sharded(shards: usize) -> Result<Database, EngineError> {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(EngineError::Storage(StorageError::Corrupt(format!(
+                "shard count {shards} out of range (1..={MAX_SHARDS})"
+            ))));
+        }
+        let mut db = Database::new();
+        db.shards = shards as u32;
+        Ok(db)
     }
 
     /// Open (or create) a **durable** database rooted at `path`: recover
@@ -297,6 +578,7 @@ impl Database {
                     schema: img.schema,
                     keys: img.keys,
                     rows: Arc::new(RowBuf::new(img.rows)),
+                    shard: None,
                 },
             );
             cat.schema_version += 1;
@@ -310,9 +592,69 @@ impl Database {
             durable_lsn: recovered.storage.synced_lsn(),
             ..GroupCommit::default()
         });
-        db.storage = Some(recovered.storage);
+        db.storage = Some(Store::Single(recovered.storage));
         db.recovery = Some(recovered.report);
         Ok(db)
+    }
+
+    /// Open (or create) a durable **hash-partitioned** database rooted
+    /// at `path`: S shard WALs + per-shard snapshots + one commit log,
+    /// recovered in parallel to the epoch-consistent cut (see
+    /// `ferry_storage::ShardedStorage`). `shards` must match the
+    /// on-disk shard count of an existing directory.
+    pub fn open_sharded(
+        path: impl AsRef<Path>,
+        shards: usize,
+        config: DurabilityConfig,
+    ) -> Result<Database, EngineError> {
+        let vfs: Arc<dyn Vfs> = Arc::new(StdFs::new(path.as_ref())?);
+        Database::open_sharded_with_vfs(vfs, shards, config)
+    }
+
+    /// [`Database::open_sharded`] over an explicit VFS (fault-injection
+    /// entry point).
+    pub fn open_sharded_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        shards: usize,
+        config: DurabilityConfig,
+    ) -> Result<Database, EngineError> {
+        let mut db = Database::new_sharded(shards)?;
+        let recovered = ShardedStorage::open(vfs, shards, config, db.telemetry.registry())?;
+        let mut cat = Catalog::default();
+        for img in recovered.tables {
+            // the in-memory shard assignment is **re-derived** from the
+            // versioned hash rather than trusted from disk: ShardHash is
+            // stable across processes, so this reproduces the pre-crash
+            // assignment exactly (property-tested), and it also routes
+            // commit-log-resident rows (`NO_SHARD` from InstallTable
+            // payloads) onto real shards for the next checkpoint
+            let table = BaseTable {
+                schema: img.def.schema,
+                keys: img.def.keys,
+                rows: Arc::new(RowBuf::new(img.rows)),
+                shard: None,
+            }
+            .resharded(&img.def.name, img.def.shard_key.as_deref(), shards)?;
+            cat.tables.insert(img.def.name, table);
+            cat.schema_version += 1;
+            cat.epoch += 1;
+        }
+        db.metrics.epoch.set(cat.epoch as i64);
+        let cat = Arc::new(cat);
+        db.current = RwLock::new(cat.clone());
+        db.commit = Mutex::new(Committer { head: cat });
+        db.gc = Mutex::new(GroupCommit {
+            durable_lsn: recovered.storage.durable_gsn(),
+            ..GroupCommit::default()
+        });
+        db.storage = Some(Store::Sharded(recovered.storage));
+        db.shard_recovery = Some(recovered.report);
+        Ok(db)
+    }
+
+    /// Shard count of a hash-partitioned database (`0` = unsharded).
+    pub fn shards(&self) -> usize {
+        self.shards as usize
     }
 
     // ------------------------------------------------------------ reads
@@ -383,17 +725,19 @@ impl Database {
                 epoch: head.epoch + 1,
             },
             recs: Vec::new(),
+            shard_recs: vec![Vec::new(); self.shards as usize],
             durable: self.storage.is_some(),
+            shards: self.shards,
             dirty: false,
         };
         let out = f(&mut tx)?;
         if !tx.dirty {
             return Ok(out); // read-only: nothing to log or install
         }
-        let version = Arc::new(tx.work);
         if let Some(storage) = &self.storage {
             // log-before-ack: the WAL sees the transaction before memory
-            let lsn = storage.log_batch(std::mem::take(&mut tx.recs))?;
+            let lsn = storage.log(&mut tx)?;
+            let version = Arc::new(tx.work);
             commit.head = version.clone();
             if matches!(storage.config().fsync, FsyncPolicy::Always) {
                 // enqueue for the batch fsync while still ordered by the
@@ -421,12 +765,27 @@ impl Database {
                 drop(commit);
             }
         } else {
+            let version = Arc::new(tx.work);
             commit.head = version.clone();
             self.install(version);
             drop(commit);
         }
         self.maybe_checkpoint();
         Ok(out)
+    }
+
+    /// Create (or replace) a **hash-partitioned** base table whose rows
+    /// route to shards by the value of `shard_key` — a single-operation
+    /// [`Database::transact`]. Only valid on a sharded database.
+    pub fn create_table_sharded(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        keys: Vec<&str>,
+        shard_key: &str,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        self.transact(|tx| tx.create_table_sharded(name, schema, keys, shard_key))
     }
 
     /// Create (or replace) a base table — a single-operation
@@ -592,6 +951,12 @@ impl Database {
         self.recovery.as_ref()
     }
 
+    /// The recovery timeline of a durable **sharded** database: per-shard
+    /// snapshot loads, parallel WAL replay, the epoch-consistent cut.
+    pub fn shard_recovery_report(&self) -> Option<&ShardRecoveryReport> {
+        self.shard_recovery.as_ref()
+    }
+
     /// Write a snapshot of the current catalog and compact the WAL.
     /// No-op returning 0 for in-memory databases. Serialises with
     /// committers (commit lock) and with any in-flight group fsync
@@ -602,7 +967,7 @@ impl Database {
         };
         let mut commit = self.commit.lock().unwrap();
         self.begin_sync_slot()?;
-        let result = storage.checkpoint(&commit.head.images());
+        let result = storage.checkpoint(&commit.head);
         let mut gc = self.gc.lock().unwrap();
         gc.syncing = false;
         let out = match result {
@@ -622,7 +987,7 @@ impl Database {
                     // fsync succeeded, the snapshot write itself failed:
                     // everything synced is durable and publishable; the
                     // WAL just keeps growing until a later checkpoint
-                    self.publish_durable(&mut gc, storage.synced_lsn());
+                    self.publish_durable(&mut gc, storage.synced());
                 }
                 Err(EngineError::Storage(e))
             }
@@ -670,7 +1035,7 @@ impl Database {
     /// and invite a double-applying retry. The WAL keeps growing and the
     /// next mutation retries the compaction.
     fn maybe_checkpoint(&self) {
-        if self.storage.as_ref().is_some_and(Storage::checkpoint_due) {
+        if self.storage.as_ref().is_some_and(Store::checkpoint_due) {
             match self.checkpoint() {
                 Ok(_) => *self.last_checkpoint_error.lock().unwrap() = None,
                 Err(e) => {
@@ -769,6 +1134,8 @@ impl Database {
             kernel_batches: m.kernel_batches.get(),
             fused_pipelines: m.fused_pipelines.get(),
             fused_nodes: m.fused_nodes.get(),
+            shard_rows: m.shard_rows.get(),
+            shard_pruned: m.shard_pruned.get(),
             profiles: self.profiles.lock().unwrap().clone(),
         }
     }
@@ -893,6 +1260,8 @@ impl<'db> Snapshot<'db> {
             m.kernel_batches.add(local.kernel_batches);
             m.fused_pipelines.add(local.fused_pipelines);
             m.fused_nodes.add(local.fused_nodes);
+            m.shard_rows.add(local.shard_rows);
+            m.shard_pruned.add(local.shard_pruned);
             m.query_latency_ns.record(elapsed_ns);
             db.profiles.lock().unwrap().push(QueryProfile {
                 query_id: qid,
@@ -915,21 +1284,56 @@ impl<'db> Snapshot<'db> {
 pub struct Tx {
     work: Catalog,
     recs: Vec<WalRecord>,
+    /// Sharded databases: per-shard [`WalRecord::ShardRows`] appends of
+    /// this transaction (index = shard; empty for unsharded databases).
+    shard_recs: Vec<Vec<WalRecord>>,
     /// Building WAL records costs a clone of inserted rows; in-memory
     /// databases skip it.
     durable: bool,
+    /// The database's shard count (`0` = unsharded).
+    shards: u32,
     dirty: bool,
 }
 
 impl Tx {
-    /// Create (or replace) a base table.
+    /// Create (or replace) a base table. In a sharded database the table
+    /// is *unsharded*: all its rows live on one home shard.
     pub fn create_table(
         &mut self,
         name: impl Into<String>,
         schema: Schema,
         keys: Vec<&str>,
     ) -> Result<(), EngineError> {
+        self.create_table_impl(name.into(), schema, keys, None)
+    }
+
+    /// Create (or replace) a **hash-partitioned** base table: every row
+    /// routes to `shard_hash(row[shard_key]) mod S`. Errors on an
+    /// unsharded database or when `shard_key` is not in the schema.
+    pub fn create_table_sharded(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        keys: Vec<&str>,
+        shard_key: &str,
+    ) -> Result<(), EngineError> {
         let name = name.into();
+        if self.shards == 0 {
+            return Err(EngineError::TableMismatch {
+                table: name,
+                detail: "sharded table on an unsharded database".into(),
+            });
+        }
+        self.create_table_impl(name, schema, keys, Some(shard_key.to_string()))
+    }
+
+    fn create_table_impl(
+        &mut self,
+        name: String,
+        schema: Schema,
+        keys: Vec<&str>,
+        shard_key: Option<String>,
+    ) -> Result<(), EngineError> {
         for k in &keys {
             if !schema.contains(k) {
                 return Err(EngineError::TableMismatch {
@@ -938,20 +1342,44 @@ impl Tx {
                 });
             }
         }
+        if let Some(sk) = &shard_key {
+            if !schema.contains(sk) {
+                return Err(EngineError::TableMismatch {
+                    table: name,
+                    detail: format!("shard key column {sk} not in schema {schema}"),
+                });
+            }
+        }
         let keys: Vec<String> = keys.into_iter().map(String::from).collect();
         if self.durable {
-            self.recs.push(WalRecord::CreateTable {
-                name: name.clone(),
-                schema: schema.clone(),
-                keys: keys.clone(),
+            self.recs.push(match &shard_key {
+                Some(sk) => WalRecord::CreateTableSharded {
+                    name: name.clone(),
+                    schema: schema.clone(),
+                    keys: keys.clone(),
+                    shard_key: sk.clone(),
+                },
+                None => WalRecord::CreateTable {
+                    name: name.clone(),
+                    schema: schema.clone(),
+                    keys: keys.clone(),
+                },
             });
         }
+        let shard = (self.shards > 0).then(|| {
+            Arc::new(TableShards::new(
+                shard_key,
+                table_home(&name, self.shards as usize),
+                self.shards as usize,
+            ))
+        });
         self.work.tables.insert(
             name,
             BaseTable {
                 schema,
                 keys,
                 rows: Arc::new(RowBuf::default()),
+                shard,
             },
         );
         self.work.schema_version += 1;
@@ -988,6 +1416,9 @@ impl Tx {
                 }
             }
         }
+        if self.shards > 0 {
+            return self.insert_sharded(name, rows);
+        }
         if self.durable {
             self.recs.push(WalRecord::Insert {
                 table: name.to_string(),
@@ -1003,6 +1434,50 @@ impl Tx {
         Ok(())
     }
 
+    /// The sharded-database half of [`Tx::insert`]: route every row to
+    /// its shard (hash of the shard-key cell, or the table's home shard),
+    /// record the assignment in the working catalog, and stage one
+    /// positioned [`WalRecord::ShardRows`] per touched shard. Positions
+    /// are **absolute** in the table's global insert order, which is what
+    /// makes recovery's re-application idempotent over snapshot state.
+    fn insert_sharded(&mut self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
+        let table = self.work.tables.get_mut(name).expect("validated by insert");
+        let shard = table.shard.as_ref().expect("sharded database table");
+        let key_idx = shard
+            .key
+            .as_deref()
+            .map(|k| table.schema.index_of(k).expect("validated at create"));
+        let base = table.rows.len() as u64;
+        let sh = Arc::make_mut(table.shard.as_mut().expect("present above"));
+        // per-shard positioned slices of this insert, in shard order
+        let mut slices: HashMap<u32, (Vec<u64>, Vec<Row>)> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            let pos = base + i as u64;
+            let k = sh.push(pos as u32, key_idx.map(|c| &row[c]));
+            if self.durable {
+                let slot = slices.entry(k).or_default();
+                slot.0.push(pos);
+                slot.1.push(row.clone());
+            }
+        }
+        if self.durable {
+            let mut touched: Vec<u32> = slices.keys().copied().collect();
+            touched.sort_unstable();
+            for k in touched {
+                let (idx, rows) = slices.remove(&k).expect("key listed");
+                self.shard_recs[k as usize].push(WalRecord::ShardRows {
+                    gsn: 0, // assigned by log_commit
+                    table: name.to_string(),
+                    idx,
+                    rows,
+                });
+            }
+        }
+        Arc::make_mut(&mut table.rows).extend_rows(rows);
+        self.dirty = true;
+        Ok(())
+    }
+
     /// Install a table without validation (see
     /// [`Database::install_table`]).
     pub fn install_table(
@@ -1011,6 +1486,19 @@ impl Tx {
         table: BaseTable,
     ) -> Result<(), EngineError> {
         let name = name.into();
+        // sharded database: an installed table is always *unsharded*
+        // (home-routed) — its WAL record carries no shard key, so a
+        // recovered database would route future inserts differently if
+        // a declared key survived only in memory. Hash-partitioned
+        // tables must come from `create_table_sharded` + `insert`.
+        let table = if self.shards > 0 {
+            table.resharded(&name, None, self.shards as usize)?
+        } else {
+            BaseTable {
+                shard: None,
+                ..table
+            }
+        };
         if self.durable {
             self.recs.push(WalRecord::InstallTable {
                 name: name.clone(),

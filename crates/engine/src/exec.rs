@@ -21,10 +21,11 @@
 //! reorder wall-clock work, never results. `tests/differential.rs` checks
 //! serial and parallel runs cell-for-cell.
 
-use crate::catalog::Snapshot;
+use crate::catalog::{Snapshot, TableShards};
 use crate::error::EngineError;
 use crate::eval::{bind, eval, Bound};
 use crate::par::{self, ParConfig};
+use crate::shard::{all_shards_mask, shards_for_pred};
 use crate::stats::{ExecPath, NodeProfile, QueryStats};
 use crate::vec_eval::{self, ChainBuilder, ChainProg, Reg, StreamChunk, VirtSrc, BATCH_ROWS};
 use ferry_algebra::plan::Aggregate;
@@ -75,6 +76,7 @@ pub fn run_many(
         stack.extend(plan.node(id).children());
     }
     let pipelines = form_pipelines(plan, roots, &needed);
+    let shard_plan = plan_shards(snap, plan, roots, &needed, schemas);
     let grouped = {
         let mut g = vec![false; plan.len()];
         for spec in pipelines.values() {
@@ -167,6 +169,7 @@ pub fn run_many(
                                 results_ref,
                                 &cfg,
                                 &pipelines,
+                                &shard_plan,
                             ));
                         }
                     });
@@ -183,7 +186,14 @@ pub fn run_many(
         for (k, &id) in wave.iter().enumerate() {
             if outcomes[k].is_none() {
                 outcomes[k] = Some(eval_timed(
-                    snap, plan, id, schemas, &results, &cfg, &pipelines,
+                    snap,
+                    plan,
+                    id,
+                    schemas,
+                    &results,
+                    &cfg,
+                    &pipelines,
+                    &shard_plan,
                 )?);
             }
         }
@@ -205,6 +215,8 @@ pub fn run_many(
                 stats.fused_nodes += m.fused_nodes as u64;
             }
             stats.kernel_batches += m.batches as u64;
+            stats.shard_rows += m.shard_rows;
+            stats.shard_pruned += m.shard_pruned;
             let label = plan.node(id).label();
             // member labels in scan→sink order, for profiles and spans
             let fused_labels: Vec<&'static str> = pipelines
@@ -232,6 +244,10 @@ pub fn run_many(
                     ("path", m.path.to_string().into()),
                     ("batches", m.batches.into()),
                 ];
+                if m.shards_total > 0 {
+                    attrs.push(("shards_scanned", m.shards_scanned.into()));
+                    attrs.push(("shards_total", m.shards_total.into()));
+                }
                 let (span_label, event) = if fused_labels.is_empty() {
                     (label, "exec.node")
                 } else {
@@ -255,6 +271,8 @@ pub fn run_many(
                 path: m.path,
                 batches: m.batches,
                 fused: fused_labels,
+                shards_scanned: m.shards_scanned,
+                shards_total: m.shards_total,
             });
             results[id.index()] = Some(rel);
         }
@@ -298,6 +316,15 @@ struct NodeMetrics {
     /// Plan nodes this evaluation covered: `0` for ordinary nodes, the
     /// group size for pipeline tails (fused or fallback).
     fused_nodes: u32,
+    /// Shards this evaluation actually read (sharded base-table scans
+    /// only; `shards_total` stays `0` on unsharded tables).
+    shards_scanned: u32,
+    /// The table's shard count, when the scan hit a sharded table.
+    shards_total: u32,
+    /// Rows read from sharded base tables (post-pruning).
+    shard_rows: u64,
+    /// Rows partition pruning skipped without reading.
+    shard_pruned: u64,
 }
 
 impl NodeMetrics {
@@ -440,6 +467,202 @@ fn form_pipelines(plan: &Plan, roots: &[NodeId], needed: &[bool]) -> HashMap<usi
     pipelines
 }
 
+/// The shard-aware planner pass: which scans can skip shards and which
+/// group-bys can run shard-locally. Computed once per dispatch from the
+/// plan's *structure* (before anything evaluates); evaluation consults it
+/// by node index. Always empty on unsharded databases.
+#[derive(Debug, Default)]
+struct ShardPlan {
+    /// `TableRef` index → shard scan decision, one entry per scan of a
+    /// sharded table (pruned or not — `explain_analyze` renders both).
+    scans: HashMap<usize, ScanShards>,
+    /// `GroupBy` index → shard-local grouping decision.
+    groups: HashMap<usize, GroupLocal>,
+}
+
+/// Shard decision for one sharded base-table scan.
+#[derive(Debug)]
+struct ScanShards {
+    /// Buffer rows to scan (ascending), when pruning dropped at least one
+    /// shard; `None` scans the whole table.
+    sel: Option<Vec<u32>>,
+    /// The surviving shard when pruning pinned exactly one: the scan
+    /// returns the shard's cached dense partition
+    /// ([`TableShards::dense`]) instead of a selection vector, so the
+    /// batch drivers run over contiguous rows.
+    single: Option<u32>,
+    scanned: u32,
+    total: u32,
+    /// Rows the dropped shards hold (skipped without reading).
+    pruned_rows: u64,
+}
+
+/// A group-by whose keys include the table's shard key: groups are
+/// shard-disjoint, so each shard aggregates locally and the outputs
+/// concatenate without a cross-shard combine.
+#[derive(Debug)]
+struct GroupLocal {
+    shards: std::sync::Arc<TableShards>,
+}
+
+/// Build the [`ShardPlan`] for this dispatch.
+///
+/// **Pruning** (sound by `ShardHash` preserving `Value` equality): a
+/// `Select` whose predicate constrains the shard-key column to a shard
+/// subset ([`shards_for_pred`]) restricts its `TableRef`'s scan to those
+/// shards' rows — but only when the `Select` is the scan's *sole*
+/// consumer, so no other reader of the table sees a reduced relation.
+/// The `Select` still evaluates its predicate over the surviving rows;
+/// pruning only removes rows the predicate could never accept.
+///
+/// **Shard-local grouping**: a `GroupBy` runs per-shard when its key
+/// columns trace through `Select`/`Project` views (which share the
+/// table's buffer and never re-materialise rows) down to a sharded
+/// `TableRef` and include the shard-key position. Equal key tuples then
+/// agree on the shard key, hence live in one shard — groups never span
+/// shards.
+fn plan_shards(
+    snap: &Snapshot<'_>,
+    plan: &Plan,
+    roots: &[NodeId],
+    needed: &[bool],
+    schemas: &[Schema],
+) -> ShardPlan {
+    let mut sp = ShardPlan::default();
+    let mut consumers = vec![0u32; plan.len()];
+    for (idx, &need) in needed.iter().enumerate() {
+        if !need {
+            continue;
+        }
+        for c in plan.node(NodeId(idx as u32)).children() {
+            consumers[c.index()] += 1;
+        }
+    }
+    for r in roots {
+        consumers[r.index()] += 1;
+    }
+    for (idx, &need) in needed.iter().enumerate().take(plan.len()) {
+        if !need {
+            continue;
+        }
+        match plan.node(NodeId(idx as u32)) {
+            // record every sharded scan (unpruned entries feed explain)
+            Node::TableRef { name, .. } => {
+                let Some(ts) = snap.table(name).and_then(|t| t.shard.as_ref()) else {
+                    continue;
+                };
+                let total = ts.sels.len() as u32;
+                sp.scans.insert(
+                    idx,
+                    ScanShards {
+                        sel: None,
+                        single: None,
+                        scanned: total,
+                        total,
+                        pruned_rows: 0,
+                    },
+                );
+            }
+            Node::Select { input, pred } => {
+                if consumers[input.index()] != 1 {
+                    continue;
+                }
+                let Node::TableRef { name, .. } = plan.node(*input) else {
+                    continue;
+                };
+                let Some(table) = snap.table(name) else {
+                    continue;
+                };
+                let Some(ts) = &table.shard else { continue };
+                let Some(key) = &ts.key else { continue };
+                // the predicate names the *plan's* columns; TableRef maps
+                // them positionally onto the catalog schema
+                let Some(kpos) = table.schema.index_of(key) else {
+                    continue;
+                };
+                let (plan_key, _) = &schemas[input.index()].cols()[kpos];
+                let s = ts.sels.len();
+                let Some(mask) = shards_for_pred(pred, plan_key, s) else {
+                    continue;
+                };
+                let mask = mask & all_shards_mask(s);
+                let scanned = mask.count_ones();
+                if scanned as usize >= s {
+                    continue;
+                }
+                let (single, sel, surviving) = if scanned == 1 {
+                    // the dense fast path needs no selection vector
+                    let k = mask.trailing_zeros();
+                    (Some(k), None, ts.sels[k as usize].len())
+                } else {
+                    // multi-shard survivor set: re-sort the shards' buffer
+                    // positions so the scan keeps global insert order
+                    let mut v: Vec<u32> = (0..s)
+                        .filter(|&k| mask >> k & 1 == 1)
+                        .flat_map(|k| ts.sels[k].iter().copied())
+                        .collect();
+                    v.sort_unstable();
+                    let n = v.len();
+                    (None, Some(v), n)
+                };
+                let entry = sp.scans.get_mut(&input.index()).expect("scan recorded");
+                entry.pruned_rows = ts.shard_of.len() as u64 - surviving as u64;
+                entry.scanned = scanned;
+                entry.single = single;
+                entry.sel = sel;
+            }
+            Node::GroupBy { input, keys, .. } => {
+                if keys.is_empty() {
+                    continue;
+                }
+                let mut names: Vec<ColName> = keys.clone();
+                let mut cur = *input;
+                let ts = loop {
+                    match plan.node(cur) {
+                        Node::Select { input, .. } => cur = *input,
+                        Node::Project { input, cols } => {
+                            // rewrite each key through the rename pairs
+                            let mapped = names
+                                .iter()
+                                .map(|n| {
+                                    cols.iter()
+                                        .find(|(new, _)| new == n)
+                                        .map(|(_, old)| old.clone())
+                                })
+                                .collect::<Option<Vec<_>>>();
+                            match mapped {
+                                Some(m) => names = m,
+                                None => break None,
+                            }
+                            cur = *input;
+                        }
+                        Node::TableRef { name, .. } => {
+                            let Some(table) = snap.table(name) else {
+                                break None;
+                            };
+                            let Some(ts) = &table.shard else { break None };
+                            let Some(key) = &ts.key else { break None };
+                            let Some(kpos) = table.schema.index_of(key) else {
+                                break None;
+                            };
+                            let tschema = &schemas[cur.index()];
+                            let hit = names.iter().any(|n| tschema.index_of(n) == Some(kpos));
+                            break hit.then(|| ts.clone());
+                        }
+                        _ => break None,
+                    }
+                };
+                if let Some(ts) = ts {
+                    sp.groups.insert(idx, GroupLocal { shards: ts });
+                }
+            }
+            _ => {}
+        }
+    }
+    sp
+}
+
+#[allow(clippy::too_many_arguments)]
 fn eval_timed(
     snap: &Snapshot<'_>,
     plan: &Plan,
@@ -448,6 +671,7 @@ fn eval_timed(
     results: &[Option<Rel>],
     cfg: &ParConfig,
     pipelines: &HashMap<usize, PipelineSpec>,
+    shard: &ShardPlan,
 ) -> Result<(Rel, NodeMetrics), EngineError> {
     let mut m = NodeMetrics {
         start_ns: ferry_telemetry::now_ns(),
@@ -455,8 +679,8 @@ fn eval_timed(
     };
     let start = Instant::now();
     let rel = match pipelines.get(&id.index()) {
-        Some(spec) => eval_pipeline(snap, plan, id, spec, schemas, results, cfg, &mut m),
-        None => eval_node(snap, plan, id, schemas, results, cfg, &mut m),
+        Some(spec) => eval_pipeline(snap, plan, id, spec, schemas, results, cfg, shard, &mut m),
+        None => eval_node(snap, plan, id, schemas, results, cfg, shard, &mut m),
     }?;
     m.elapsed = start.elapsed();
     Ok((rel, m))
@@ -477,11 +701,12 @@ fn eval_pipeline(
     schemas: &[Schema],
     results: &[Option<Rel>],
     cfg: &ParConfig,
+    shard: &ShardPlan,
     m: &mut NodeMetrics,
 ) -> Result<Rel, EngineError> {
     m.fused_nodes = spec.members;
     let input = match spec.input {
-        PipeInput::Scan(s) => eval_node(snap, plan, s, schemas, results, cfg, m)?,
+        PipeInput::Scan(s) => eval_node(snap, plan, s, schemas, results, cfg, shard, m)?,
         PipeInput::Node(n) => child(results, n).clone(),
     };
     let fused_mid = if cfg.fuse_for(input.len()) {
@@ -499,7 +724,7 @@ fn eval_pipeline(
                 let mut overlay: Vec<Option<Rel>> = results.to_vec();
                 let top = *spec.mids.last().expect("grouped chains have mids");
                 overlay[top.index()] = Some(mid_rel);
-                eval_node(snap, plan, sink_id, schemas, &overlay, cfg, m)?
+                eval_node(snap, plan, sink_id, schemas, &overlay, cfg, shard, m)?
             }
             None => mid_rel,
         };
@@ -512,11 +737,11 @@ fn eval_pipeline(
         overlay[s.index()] = Some(input);
     }
     for &mid in &spec.mids {
-        let rel = eval_node(snap, plan, mid, schemas, &overlay, cfg, m)?;
+        let rel = eval_node(snap, plan, mid, schemas, &overlay, cfg, shard, m)?;
         overlay[mid.index()] = Some(rel);
     }
     match spec.sink {
-        Some(sink_id) => eval_node(snap, plan, sink_id, schemas, &overlay, cfg, m),
+        Some(sink_id) => eval_node(snap, plan, sink_id, schemas, &overlay, cfg, shard, m),
         None => Ok(overlay[tail.index()].clone().expect("tail evaluated")),
     }
 }
@@ -963,6 +1188,7 @@ fn sort_by_codes(cfg: &ParConfig, n: usize, cols: &[Vec<u64>]) -> (Vec<u32>, u32
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_node(
     snap: &Snapshot<'_>,
     plan: &Plan,
@@ -970,6 +1196,7 @@ fn eval_node(
     schemas: &[Schema],
     results: &[Option<Rel>],
     cfg: &ParConfig,
+    shard: &ShardPlan,
     m: &mut NodeMetrics,
 ) -> Result<Rel, EngineError> {
     let out_schema = schemas[id.index()].clone();
@@ -996,8 +1223,36 @@ fn eval_node(
                     });
                 }
             }
-            // zero-copy scan: the result shares the catalog's buffer
-            Ok(Rel::from_shared(out_schema, table.rows.clone()))
+            let Some(ss) = shard.scans.get(&id.index()) else {
+                // zero-copy scan: the result shares the catalog's buffer
+                return Ok(Rel::from_shared(out_schema, table.rows.clone()));
+            };
+            m.shards_scanned = ss.scanned;
+            m.shards_total = ss.total;
+            if let Some(k) = ss.single {
+                // pruned to one shard: scan its cached dense partition —
+                // contiguous rows, shared (and transposed) across queries
+                let ts = table.shard.as_ref().expect("sharded scan planned");
+                let part = ts.dense(k as usize, &table.rows, table.schema.len());
+                m.shard_rows += part.rows().len() as u64;
+                m.shard_pruned += ss.pruned_rows;
+                return Ok(Rel::from_shared(out_schema, part));
+            }
+            let out = Rel::from_shared(out_schema, table.rows.clone());
+            match &ss.sel {
+                // pruned scan: a selection vector over the table's own
+                // buffer listing only the surviving shards' rows — the
+                // dropped shards are never touched
+                Some(sel) => {
+                    m.shard_rows += sel.len() as u64;
+                    m.shard_pruned += ss.pruned_rows;
+                    Ok(out.with_sel(sel.clone()))
+                }
+                None => {
+                    m.shard_rows += out.len() as u64;
+                    Ok(out)
+                }
+            }
         }
         // zero-copy: every execution shares the plan's literal buffer
         Node::Lit { rows, .. } => Ok(Rel::from_shared(out_schema, rows.clone())),
@@ -1344,32 +1599,26 @@ fn eval_node(
                         .transpose()
                 })
                 .collect::<Result<_, _>>()?;
-            if let Some(out) = group_by_typed(rel, &ki, aggs, &ai, &out_schema, cfg)? {
+            // shard-local grouping: keys include the shard key, so groups
+            // never span shards — aggregate each shard independently.
+            // Worth it only when the parts actually run concurrently:
+            // serially, partitioning + per-part dispatch + the merge is
+            // pure overhead on top of the same aggregation work.
+            if cfg.threads > 1 {
+                if let Some(gl) = shard.groups.get(&id.index()) {
+                    if let Some(out) =
+                        group_by_sharded(rel, &ki, aggs, &ai, &out_schema, cfg, &gl.shards, m)
+                    {
+                        return Ok(out);
+                    }
+                }
+            }
+            if let Some((out, _firsts)) = group_by_typed(rel, &ki, aggs, &ai, &out_schema, cfg)? {
                 m.vectorized(rel.len().div_ceil(BATCH_ROWS) as u32);
                 return Ok(out);
             }
             // scalar: group rows by key, first-occurrence order
-            let mut order: Vec<Vec<Value>> = Vec::new();
-            let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-            for i in 0..rel.len() {
-                let key: Vec<Value> = ki.iter().map(|&c| rel.cell(i, c).clone()).collect();
-                let accs = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    aggs.iter().map(|a| Acc::new(a.fun)).collect()
-                });
-                for (acc, idx) in accs.iter_mut().zip(&ai) {
-                    acc.feed(idx.map(|c| rel.cell(i, c)))?;
-                }
-            }
-            let mut rows = Vec::with_capacity(order.len());
-            for key in order {
-                let accs = groups.remove(&key).expect("group present");
-                let mut row = key;
-                for acc in accs {
-                    row.push(acc.finish()?);
-                }
-                rows.push(row);
-            }
+            let (rows, _firsts) = group_by_scalar(rel, &ki, aggs, &ai)?;
             Ok(Rel::new(out_schema, rows))
         }
         Node::Serialize { input, order, cols } => {
@@ -1656,7 +1905,9 @@ enum VAgg {
 /// Typed group-by: key rows by `u64` eq-codes, then run each aggregate as
 /// a tight loop over its typed chunk. Returns `Ok(None)` when any part of
 /// the node falls outside the typed domains (the scalar path then owns
-/// it, including its error behaviours — e.g. `AVG` over `Nat`).
+/// it, including its error behaviours — e.g. `AVG` over `Nat`). On
+/// success also returns each group's first-occurrence **visible** row
+/// index ([`group_by_sharded`] merges per-shard outputs on it).
 fn group_by_typed(
     rel: &Rel,
     ki: &[usize],
@@ -1664,7 +1915,7 @@ fn group_by_typed(
     ai: &[Option<usize>],
     out_schema: &Schema,
     cfg: &ParConfig,
-) -> Result<Option<Rel>, EngineError> {
+) -> Result<Option<(Rel, Vec<u32>)>, EngineError> {
     let n = rel.len();
     if !cfg.vectorize(n) {
         return Ok(None);
@@ -1853,5 +2104,160 @@ fn group_by_typed(
         }
         rows.push(row);
     }
-    Ok(Some(Rel::new(out_schema.clone(), rows)))
+    Ok(Some((Rel::new(out_schema.clone(), rows), first_row)))
+}
+
+/// The scalar group-by loop shared by the stock path and the per-shard
+/// parts of [`group_by_sharded`]: rows in first-occurrence group order,
+/// plus each group's first **visible** row index.
+fn group_by_scalar(
+    rel: &Rel,
+    ki: &[usize],
+    aggs: &[Aggregate],
+    ai: &[Option<usize>],
+) -> Result<(Vec<Row>, Vec<u32>), EngineError> {
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut firsts: Vec<u32> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    for i in 0..rel.len() {
+        let key: Vec<Value> = ki.iter().map(|&c| rel.cell(i, c).clone()).collect();
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            firsts.push(i as u32);
+            aggs.iter().map(|a| Acc::new(a.fun)).collect()
+        });
+        for (acc, idx) in accs.iter_mut().zip(ai) {
+            acc.feed(idx.map(|c| rel.cell(i, c)))?;
+        }
+    }
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group present");
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish()?);
+        }
+        rows.push(row);
+    }
+    Ok((rows, firsts))
+}
+
+/// Shard-local group-by. The planner proved the keys include the shard
+/// key, so equal key tuples agree on it and hash to one shard: groups are
+/// shard-disjoint, each shard's visible rows aggregate independently (the
+/// per-part feed order is the global order restricted to the part, so
+/// order-sensitive accumulators are bit-identical), and the per-shard
+/// outputs merge by global first-occurrence index into *exactly* the
+/// stock path's row order.
+///
+/// Returns `None` when the fast path does not apply — the input is no
+/// longer a pure view over the table's own buffer (a fused chain
+/// materialised rows), or fewer than two shards hold rows — **or when any
+/// part fails**: the stock global path then reruns the node and owns the
+/// exact result or error.
+#[allow(clippy::too_many_arguments)]
+fn group_by_sharded(
+    rel: &Rel,
+    ki: &[usize],
+    aggs: &[Aggregate],
+    ai: &[Option<usize>],
+    out_schema: &Schema,
+    cfg: &ParConfig,
+    ts: &TableShards,
+    m: &mut NodeMetrics,
+) -> Option<Rel> {
+    if ki.is_empty() || rel.buffer().len() != ts.shard_of.len() {
+        return None;
+    }
+    let s = ts.sels.len();
+    // An unfiltered, unprojected scan partitions into the table's cached
+    // dense per-shard buffers ([`TableShards::dense`]): contiguous rows,
+    // chunk caches shared across queries, and `sels[k]` doubles as the
+    // visible-index map (visible == raw on a pure scan). Otherwise,
+    // partition the visible rows by shard, keeping both the buffer
+    // position (the part's selection vector) and the visible index (the
+    // merge key back into global first-occurrence order).
+    let pure = rel.sel_map().is_none() && rel.col_map().is_none();
+    let mut parts: Vec<Vec<u32>> = Vec::new();
+    let mut part_vis: Vec<Vec<u32>> = Vec::new();
+    if !pure {
+        parts = vec![Vec::new(); s];
+        part_vis = vec![Vec::new(); s];
+        for i in 0..rel.len() {
+            let raw = rel.raw_row(i);
+            let k = ts.shard_of[raw] as usize;
+            parts[k].push(raw as u32);
+            part_vis[k].push(i as u32);
+        }
+    }
+    let occupied = |k: usize| !if pure { &ts.sels[k] } else { &parts[k] }.is_empty();
+    let live: Vec<usize> = (0..s).filter(|&k| occupied(k)).collect();
+    if live.len() < 2 {
+        return None;
+    }
+    type PartOut = Result<(Vec<Row>, Vec<u32>, u32), EngineError>;
+    let run_part = |k: usize| -> PartOut {
+        let (part, vis): (Rel, &[u32]) = if pure {
+            let buf = ts.dense(k, rel.buffer(), rel.width());
+            (Rel::from_shared(rel.schema.clone(), buf), &ts.sels[k])
+        } else {
+            (rel.with_sel(parts[k].clone()), &part_vis[k])
+        };
+        let (rows, firsts, batches) = match group_by_typed(&part, ki, aggs, ai, out_schema, cfg)? {
+            Some((out, firsts)) => {
+                let rows = (0..out.len()).map(|g| out.owned_row(g)).collect();
+                (rows, firsts, part.len().div_ceil(BATCH_ROWS) as u32)
+            }
+            None => {
+                let (rows, firsts) = group_by_scalar(&part, ki, aggs, ai)?;
+                (rows, firsts, 0)
+            }
+        };
+        // part-local visible index → global visible index
+        let firsts = firsts.iter().map(|&f| vis[f as usize]).collect();
+        Ok((rows, firsts, batches))
+    };
+    let outs: Vec<PartOut> = if cfg.threads > 1 {
+        let slots: Vec<Mutex<Option<PartOut>>> = live.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let ctx = ferry_telemetry::current_ctx();
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.threads.min(live.len()) {
+                scope.spawn(|| {
+                    let _t = ferry_telemetry::enter_ctx(ctx);
+                    loop {
+                        let w = next.fetch_add(1, AtOrd::Relaxed);
+                        if w >= live.len() {
+                            break;
+                        }
+                        *slots[w].lock().unwrap() = Some(run_part(live[w]));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every part slot is claimed"))
+            .collect()
+    } else {
+        live.iter().map(|&k| run_part(k)).collect()
+    };
+    let mut merged: Vec<(u32, Row)> = Vec::new();
+    let mut batches = 0u32;
+    for out in outs {
+        let (rows, firsts, b) = out.ok()?;
+        batches += b;
+        merged.extend(firsts.into_iter().zip(rows));
+    }
+    // global first-occurrence order (first indices are distinct: each
+    // group has exactly one, in exactly one shard)
+    merged.sort_unstable_by_key(|&(f, _)| f);
+    m.morsels += live.len() as u32;
+    if batches > 0 {
+        m.vectorized(batches);
+    }
+    Some(Rel::new(
+        out_schema.clone(),
+        merged.into_iter().map(|(_, r)| r).collect(),
+    ))
 }

@@ -52,12 +52,19 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod par;
+pub mod shard;
 pub mod stats;
 pub mod vec_eval;
 
-pub use catalog::{BaseTable, Database, Snapshot, Tx};
+pub use catalog::{BaseTable, Database, Snapshot, TableShards, Tx};
 pub use error::EngineError;
-pub use ferry_storage::{DurabilityConfig, FsyncPolicy, RecoveryReport, StorageError};
+pub use ferry_storage::{
+    DurabilityConfig, FsyncPolicy, RecoveryReport, ShardRecoveryReport, StorageError,
+};
 pub use ferry_telemetry::{Telemetry, TelemetryConfig};
 pub use par::{FuseMode, ParConfig, VecMode};
+pub use shard::{
+    all_shards_mask, shard_hash, shard_of, shards_for_pred, table_home, MAX_SHARDS,
+    SHARD_HASH_VERSION,
+};
 pub use stats::{ExecPath, NodeProfile, ProfileRing, QueryProfile, QueryStats, PROFILE_RING_CAP};

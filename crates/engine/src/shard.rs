@@ -1,0 +1,178 @@
+//! Stable row→shard routing and predicate-driven shard pruning.
+//!
+//! [`shard_hash`] is the **versioned** hash behind hash partitioning:
+//! its output for a given `Value` is pinned forever (property-tested
+//! against golden vectors), so a row's shard assignment survives
+//! recovery, process restarts, and engine upgrades. The byte encoding
+//! deliberately mirrors `Value`'s `Eq`/`Hash` semantics — `Dbl` hashes
+//! its exact bit pattern (total order: `-0.0 ≠ 0.0`, NaNs compare by
+//! payload) — so two values the engine's `=` treats as equal always land
+//! in the same shard, which is what makes equality-predicate pruning
+//! sound.
+//!
+//! [`shards_for_pred`] folds a scan predicate into a shard bitmask:
+//! `key = c` pins one shard, `OR` unions (covering `IN`-style chains),
+//! `AND` intersects, anything else is "no constraint". The planner
+//! scans only the surviving shards.
+
+use ferry_algebra::{BinOp, Expr, Value};
+
+/// Version of the row→shard hash. Bump ONLY with a migration story:
+/// existing sharded directories route by the version they were written
+/// with.
+pub const SHARD_HASH_VERSION: u32 = 1;
+
+/// Hard shard-count ceiling (pruning masks and storage participant
+/// masks are a `u64`).
+pub const MAX_SHARDS: usize = ferry_storage::MAX_SHARDS;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The stable 64-bit hash of one shard-key value (FNV-1a over a
+/// version-prefixed canonical encoding: a type tag byte, then the
+/// payload little-endian — `Dbl` as its exact `to_bits`).
+pub fn shard_hash(v: &Value) -> u64 {
+    let h = fnv(FNV_OFFSET, &SHARD_HASH_VERSION.to_le_bytes());
+    match v {
+        Value::Unit => fnv(h, &[0]),
+        Value::Bool(b) => fnv(fnv(h, &[1]), &[*b as u8]),
+        Value::Int(i) => fnv(fnv(h, &[2]), &i.to_le_bytes()),
+        Value::Dbl(d) => fnv(fnv(h, &[3]), &d.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv(fnv(h, &[4]), s.as_bytes()),
+        Value::Nat(n) => fnv(fnv(h, &[5]), &n.to_le_bytes()),
+    }
+}
+
+/// The shard owning a row whose shard-key column holds `v`.
+pub fn shard_of(v: &Value, shards: usize) -> u32 {
+    debug_assert!((1..=MAX_SHARDS).contains(&shards));
+    (shard_hash(v) % shards.max(1) as u64) as u32
+}
+
+/// The home shard of an *unsharded* table: all its rows (and their WAL
+/// frames) live on one shard, picked stably from the table name.
+pub fn table_home(name: &str, shards: usize) -> u32 {
+    let h = fnv(FNV_OFFSET, &SHARD_HASH_VERSION.to_le_bytes());
+    (fnv(h, name.as_bytes()) % shards.max(1) as u64) as u32
+}
+
+/// A bitmask with the low `shards` bits set — "scan everything".
+pub fn all_shards_mask(shards: usize) -> u64 {
+    if shards >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << shards) - 1
+    }
+}
+
+/// Fold `pred` into the set of shards that can hold a satisfying row of
+/// a table sharded `shards` ways on column `key`. `None` = the
+/// predicate does not constrain the shard (scan them all).
+///
+/// Soundness: only *equality* on the shard-key column prunes (the hash
+/// preserves equality, nothing else); `AND` intersects because both
+/// conjuncts must hold; `OR` unions because either may. Everything
+/// else — ranges, inequalities, expressions over the key — is
+/// conservatively unconstrained.
+pub fn shards_for_pred(pred: &Expr, key: &str, shards: usize) -> Option<u64> {
+    match pred {
+        Expr::Bin(BinOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Col(c), Expr::Const(v)) | (Expr::Const(v), Expr::Col(c))
+                if c.as_ref() == key =>
+            {
+                Some(1u64 << shard_of(v, shards))
+            }
+            _ => None,
+        },
+        Expr::Bin(BinOp::And, l, r) => {
+            match (
+                shards_for_pred(l, key, shards),
+                shards_for_pred(r, key, shards),
+            ) {
+                (Some(a), Some(b)) => Some(a & b),
+                (Some(a), None) | (None, Some(a)) => Some(a),
+                (None, None) => None,
+            }
+        }
+        Expr::Bin(BinOp::Or, l, r) => {
+            let a = shards_for_pred(l, key, shards)?;
+            let b = shards_for_pred(r, key, shards)?;
+            Some(a | b)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_share_a_shard_and_total_order_is_respected() {
+        for s in [1usize, 2, 4, 7, 64] {
+            assert_eq!(
+                shard_of(&Value::Int(42), s),
+                shard_of(&Value::Int(42), s),
+                "S={s}"
+            );
+            assert!((shard_of(&Value::str("x"), s) as usize) < s);
+        }
+        // Dbl hashes exact bits: -0.0 and 0.0 are DIFFERENT keys under
+        // the engine's total order, and may shard differently
+        assert_ne!(
+            shard_hash(&Value::Dbl(-0.0)),
+            shard_hash(&Value::Dbl(0.0)),
+            "total order distinguishes signed zero"
+        );
+        // same-typed distinct payloads almost surely split somewhere
+        let spread: std::collections::HashSet<u32> =
+            (0..64).map(|i| shard_of(&Value::Int(i), 4)).collect();
+        assert!(spread.len() > 1, "hash must actually spread keys");
+    }
+
+    #[test]
+    fn cross_type_tags_keep_domains_apart() {
+        assert_ne!(shard_hash(&Value::Int(1)), shard_hash(&Value::Nat(1)));
+        assert_ne!(shard_hash(&Value::Unit), shard_hash(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn pruning_rules() {
+        let key = "k";
+        let s = 4usize;
+        let eq = |v: i64| Expr::eq(Expr::col("k"), Expr::lit(Value::Int(v)));
+        let m1 = shards_for_pred(&eq(1), key, s).unwrap();
+        assert_eq!(m1.count_ones(), 1);
+        assert_eq!(m1, 1u64 << shard_of(&Value::Int(1), s));
+        // flipped operands prune too
+        let flipped = Expr::eq(Expr::lit(Value::Int(1)), Expr::col("k"));
+        assert_eq!(shards_for_pred(&flipped, key, s), Some(m1));
+        // OR unions (IN-style), AND intersects, AND with opaque conjunct
+        // keeps the constraint
+        let m2 = shards_for_pred(&eq(2), key, s).unwrap();
+        let or = Expr::bin(BinOp::Or, eq(1), eq(2));
+        assert_eq!(shards_for_pred(&or, key, s), Some(m1 | m2));
+        let and = Expr::bin(BinOp::And, eq(1), eq(2));
+        assert_eq!(shards_for_pred(&and, key, s), Some(m1 & m2));
+        let opaque = Expr::bin(BinOp::Lt, Expr::col("v"), Expr::lit(Value::Int(10)));
+        let and_opaque = Expr::bin(BinOp::And, eq(1), opaque.clone());
+        assert_eq!(shards_for_pred(&and_opaque, key, s), Some(m1));
+        // OR with an opaque arm cannot prune; non-key equality cannot
+        // prune; ranges cannot prune
+        let or_opaque = Expr::bin(BinOp::Or, eq(1), opaque.clone());
+        assert_eq!(shards_for_pred(&or_opaque, key, s), None);
+        let other_col = Expr::eq(Expr::col("v"), Expr::lit(Value::Int(1)));
+        assert_eq!(shards_for_pred(&other_col, key, s), None);
+        assert_eq!(shards_for_pred(&opaque, key, s), None);
+    }
+}

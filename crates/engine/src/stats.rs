@@ -71,6 +71,11 @@ pub struct NodeProfile {
     /// Present whether the group actually fused or fell back — `path`
     /// says which happened.
     pub fused: Vec<&'static str>,
+    /// Shards the node's scan actually read (sharded base tables only;
+    /// `0/0` everywhere else — `shards_total > 0` flags a sharded scan).
+    pub shards_scanned: u32,
+    /// The scanned table's shard count (`0` off sharded tables).
+    pub shards_total: u32,
 }
 
 /// The per-node profile of **one** dispatch (`execute` / `execute_bundle`
@@ -204,6 +209,11 @@ pub struct QueryStats {
     /// Plan nodes absorbed into fused pipelines (members of every fused
     /// group, tails included).
     pub fused_nodes: u64,
+    /// Rows read from sharded base-table scans (post-pruning).
+    pub shard_rows: u64,
+    /// Rows partition pruning skipped without reading (their shards were
+    /// excluded by shard-key predicates).
+    pub shard_pruned: u64,
     /// Per-node profiles of the most recent dispatches (ring of
     /// [`PROFILE_RING_CAP`], oldest first).
     pub profiles: ProfileRing,
@@ -236,6 +246,8 @@ impl QueryStats {
         self.kernel_batches += other.kernel_batches;
         self.fused_pipelines += other.fused_pipelines;
         self.fused_nodes += other.fused_nodes;
+        self.shard_rows += other.shard_rows;
+        self.shard_pruned += other.shard_pruned;
         self.profiles.merge(other.profiles);
     }
 }
@@ -254,6 +266,8 @@ mod tests {
             path: ExecPath::Scalar,
             batches: 0,
             fused: Vec::new(),
+            shards_scanned: 0,
+            shards_total: 0,
         }
     }
 
@@ -283,6 +297,8 @@ mod tests {
             kernel_batches: 9,
             fused_pipelines: 1,
             fused_nodes: 3,
+            shard_rows: 8,
+            shard_pruned: 24,
             ..QueryStats::default()
         };
         s.profiles.push(profile(1));

@@ -1090,15 +1090,25 @@ impl Prepared {
     ) -> Result<u32, EngineError> {
         let mut regs = self.kernel.alloc_regs();
         let mut rows: Vec<u32> = Vec::with_capacity(BATCH_ROWS.min(range.len()));
+        let sel = rel.sel_map();
         let mut batches = 0u32;
         let mut i = range.start;
         while i < range.end {
             let hi = (i + BATCH_ROWS).min(range.end);
-            rows.clear();
-            rows.extend((i..hi).map(|k| rel.raw_row(k) as u32));
-            self.kernel.run(&self.chunks, &rows, &mut regs)?;
+            // a selection vector already *is* the buffer-row batch (the
+            // shard-pruned scan path lives here) — borrow it instead of
+            // copying element-wise
+            let batch: &[u32] = match sel {
+                Some(s) => &s[i..hi],
+                None => {
+                    rows.clear();
+                    rows.extend(i as u32..hi as u32);
+                    &rows
+                }
+            };
+            self.kernel.run(&self.chunks, batch, &mut regs)?;
             batches += 1;
-            sink(&rows, &regs[self.kernel.out_reg()])?;
+            sink(batch, &regs[self.kernel.out_reg()])?;
             i = hi;
         }
         Ok(batches)
@@ -1310,11 +1320,17 @@ impl BoundChain<'_> {
             batches: 0,
         };
         let mut rows_b: Vec<u32> = Vec::with_capacity(BATCH_ROWS.min(range.len()));
+        let sel = self.rel.sel_map();
         let mut i = range.start;
         while i < range.end {
             let hi = (i + BATCH_ROWS).min(range.end);
             rows_b.clear();
-            rows_b.extend((i..hi).map(|k| self.rel.raw_row(k) as u32));
+            // bulk-copy the selection slice (filters below compact
+            // `rows_b` in place, so it cannot stay borrowed)
+            match sel {
+                Some(s) => rows_b.extend_from_slice(&s[i..hi]),
+                None => rows_b.extend(i as u32..hi as u32),
+            }
             i = hi;
             out.batches += 1;
             // carries produced so far this batch (all compacted to rows_b)

@@ -198,6 +198,7 @@ fn install_table_is_logged_with_its_rows() {
                 schema: Schema::of(&[("n", Ty::Int)]),
                 keys: vec!["n".into()],
                 rows: Arc::new(RowBuf::new(vec![vec![v(7)], vec![v(8)]])),
+                shard: None,
             },
         )
         .unwrap();

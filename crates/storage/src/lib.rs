@@ -30,10 +30,15 @@
 pub mod codec;
 pub mod frame;
 pub mod fs;
+pub mod shard;
 pub mod snapshot;
 pub mod wal;
 
 pub use fs::{Fault, FaultFs, StdFs, Vfs};
+pub use shard::{
+    shard_wal_file, ShardRecovered, ShardRecoveryReport, ShardTableDef, ShardTableImage,
+    ShardedStorage, COMMIT_LOG, MAX_SHARDS, NO_SHARD,
+};
 pub use wal::{WalRecord, WAL_FILE};
 
 use crate::frame::Tail;
@@ -303,6 +308,7 @@ impl Storage {
         let wal_file_len = replay.good_bytes.max(WAL_MAGIC.len() as u64);
         let wal = Wal::resume(
             vfs.clone(),
+            WAL_FILE,
             config.fsync,
             last_lsn + 1,
             wal_file_len,
@@ -504,6 +510,15 @@ fn apply(tables: &mut BTreeMap<String, TableImage>, rec: &WalRecord) -> Result<(
                 }
             }
             t.rows.extend(rows.iter().cloned());
+        }
+        WalRecord::CreateTableSharded { .. }
+        | WalRecord::ShardRows { .. }
+        | WalRecord::ShardCommit { .. } => {
+            // sharded records never belong in the single-log format; a
+            // sharded directory is opened via `ShardedStorage::open`
+            return Err(StorageError::Corrupt(
+                "sharded WAL record in an unsharded log".into(),
+            ));
         }
     }
     Ok(())

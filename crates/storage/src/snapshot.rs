@@ -26,6 +26,17 @@ pub const SNAP_FILE: &str = "snapshot";
 /// Serialize `tables` as a snapshot at `lsn` and atomically install it.
 /// Returns the encoded size in bytes.
 pub fn write_snapshot(vfs: &dyn Vfs, lsn: u64, tables: &[TableImage]) -> Result<u64, StorageError> {
+    write_snapshot_at(vfs, SNAP_FILE, lsn, tables)
+}
+
+/// [`write_snapshot`] to an explicit VFS path (sharded storage keeps one
+/// snapshot file per shard).
+pub fn write_snapshot_at(
+    vfs: &dyn Vfs,
+    file: &str,
+    lsn: u64,
+    tables: &[TableImage],
+) -> Result<u64, StorageError> {
     let mut buf = Vec::new();
     buf.extend_from_slice(SNAP_MAGIC);
     let mut meta = Enc::new();
@@ -43,7 +54,7 @@ pub fn write_snapshot(vfs: &dyn Vfs, lsn: u64, tables: &[TableImage]) -> Result<
         write_frame(&mut buf, &e.into_bytes())?;
     }
     let bytes = buf.len() as u64;
-    vfs.replace(SNAP_FILE, &buf)?;
+    vfs.replace(file, &buf)?;
     Ok(bytes)
 }
 
@@ -59,7 +70,12 @@ pub struct Snapshot {
 /// [`StorageError::Corrupt`] (see the module docs for why there is no
 /// torn-tail tolerance here).
 pub fn read_snapshot(vfs: &dyn Vfs) -> Result<Option<Snapshot>, StorageError> {
-    let bytes = match vfs.read(SNAP_FILE)? {
+    read_snapshot_at(vfs, SNAP_FILE)
+}
+
+/// [`read_snapshot`] from an explicit VFS path.
+pub fn read_snapshot_at(vfs: &dyn Vfs, file: &str) -> Result<Option<Snapshot>, StorageError> {
+    let bytes = match vfs.read(file)? {
         None => return Ok(None),
         Some(b) => b,
     };

@@ -51,6 +51,34 @@ pub enum WalRecord {
     /// batch or none of it. Single-operation transactions are logged as
     /// their bare record (identical bytes to the pre-batch format).
     Batch(Vec<WalRecord>),
+    /// Sharded-mode `create_table` with a declared shard key: rides in
+    /// the commit log so recovery learns the partitioning column before
+    /// any shard rows are applied. `shard_key` names a column of
+    /// `schema`; the engine's versioned `ShardHash` (not storage) maps
+    /// rows to shards.
+    CreateTableSharded {
+        name: String,
+        schema: Schema,
+        keys: Vec<String>,
+        shard_key: String,
+    },
+    /// One shard's slice of a sharded transaction, appended to that
+    /// shard's WAL. `idx[i]` is the *absolute* position of `rows[i]` in
+    /// the table's global insert order, so parallel replay of all shard
+    /// logs reconstructs the exact unsharded row order; application is
+    /// positioned and therefore idempotent across checkpoint windows.
+    ShardRows {
+        gsn: u64,
+        table: String,
+        idx: Vec<u64>,
+        rows: Vec<Row>,
+    },
+    /// The commit-log marker that seals group-sequence-number `gsn`:
+    /// bit `k` of `mask` set means shard `k`'s WAL holds `ShardRows`
+    /// frames for this gsn. Recovery keeps a gsn only if every
+    /// participant shard's frames are present — the epoch-consistent
+    /// cut.
+    ShardCommit { gsn: u64, mask: u64 },
 }
 
 impl WalRecord {
@@ -85,6 +113,38 @@ impl WalRecord {
                 for rec in recs {
                     rec.encode(e);
                 }
+            }
+            WalRecord::CreateTableSharded {
+                name,
+                schema,
+                keys,
+                shard_key,
+            } => {
+                e.u8(5);
+                e.str(name);
+                e.schema(schema);
+                e.strings(keys);
+                e.str(shard_key);
+            }
+            WalRecord::ShardRows {
+                gsn,
+                table,
+                idx,
+                rows,
+            } => {
+                e.u8(6);
+                e.u64(*gsn);
+                e.str(table);
+                e.u64(idx.len() as u64);
+                for i in idx {
+                    e.u64(*i);
+                }
+                e.rows(rows);
+            }
+            WalRecord::ShardCommit { gsn, mask } => {
+                e.u8(7);
+                e.u64(*gsn);
+                e.u64(*mask);
             }
         }
     }
@@ -126,6 +186,39 @@ impl WalRecord {
                 }
                 WalRecord::Batch(recs)
             }
+            5 => WalRecord::CreateTableSharded {
+                name: d.str()?.to_string(),
+                schema: d.schema()?,
+                keys: d.strings()?,
+                shard_key: d.str()?.to_string(),
+            },
+            6 => {
+                let gsn = d.u64()?;
+                let table = d.str()?.to_string();
+                let n = d.u64()?;
+                let mut idx = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    idx.push(d.u64()?);
+                }
+                let rows = d.rows()?;
+                if idx.len() != rows.len() {
+                    return Err(StorageError::Codec(format!(
+                        "shard rows record carries {} positions for {} rows",
+                        idx.len(),
+                        rows.len()
+                    )));
+                }
+                WalRecord::ShardRows {
+                    gsn,
+                    table,
+                    idx,
+                    rows,
+                }
+            }
+            7 => WalRecord::ShardCommit {
+                gsn: d.u64()?,
+                mask: d.u64()?,
+            },
             t => return Err(StorageError::Codec(format!("unknown WAL record tag {t}"))),
         })
     }
@@ -133,8 +226,12 @@ impl WalRecord {
     /// Rows carried by this record (for span/report accounting).
     pub fn row_count(&self) -> usize {
         match self {
-            WalRecord::CreateTable { .. } => 0,
-            WalRecord::InstallTable { rows, .. } | WalRecord::Insert { rows, .. } => rows.len(),
+            WalRecord::CreateTable { .. }
+            | WalRecord::CreateTableSharded { .. }
+            | WalRecord::ShardCommit { .. } => 0,
+            WalRecord::InstallTable { rows, .. }
+            | WalRecord::Insert { rows, .. }
+            | WalRecord::ShardRows { rows, .. } => rows.len(),
             WalRecord::Batch(recs) => recs.iter().map(WalRecord::row_count).sum(),
         }
     }
@@ -154,6 +251,9 @@ impl WalRecord {
 #[derive(Debug)]
 pub struct Wal {
     vfs: Arc<dyn Vfs>,
+    /// VFS path of the log this handle appends to (`wal` for the single
+    /// log; `wal-{k}` / `commitlog` under sharded storage).
+    file: String,
     policy: FsyncPolicy,
     next_lsn: u64,
     /// Highest LSN known durable under the current policy (== last acked
@@ -180,6 +280,7 @@ impl Wal {
     /// be `file_len` bytes long, and be fully synced.
     pub(crate) fn resume(
         vfs: Arc<dyn Vfs>,
+        file: &str,
         policy: FsyncPolicy,
         next_lsn: u64,
         file_len: u64,
@@ -188,6 +289,7 @@ impl Wal {
     ) -> Wal {
         Wal {
             vfs,
+            file: file.to_string(),
             policy,
             next_lsn,
             synced_lsn: next_lsn - 1,
@@ -261,10 +363,10 @@ impl Wal {
         span.attr("lsn", lsn)
             .attr("bytes", framed.len())
             .attr("rows", rec.row_count());
-        if let Err(e) = self.vfs.append(WAL_FILE, &framed) {
+        if let Err(e) = self.vfs.append(&self.file, &framed) {
             // the write may have landed partially; cut back to the last
             // known-good length, else refuse all further I/O
-            if self.vfs.truncate(WAL_FILE, self.bytes_len).is_err() {
+            if self.vfs.truncate(&self.file, self.bytes_len).is_err() {
                 self.poisoned = true;
             }
             return Err(e);
@@ -299,7 +401,7 @@ impl Wal {
     /// of [`Wal::sync`] — truncate the nacked tail back to the synced
     /// prefix (rolling the LSN allocator with it) and poison the handle.
     pub(crate) fn fail_sync(&mut self) {
-        if self.vfs.truncate(WAL_FILE, self.synced_bytes).is_ok() {
+        if self.vfs.truncate(&self.file, self.synced_bytes).is_ok() {
             self.bytes_len = self.synced_bytes;
             self.next_lsn = self.synced_lsn + 1;
             self.unsynced = 0;
@@ -317,7 +419,7 @@ impl Wal {
     /// dirty pages, so only a reopen that re-reads the file is sound.
     pub fn sync(&mut self) -> Result<(), StorageError> {
         self.check_poisoned()?;
-        match self.vfs.sync(WAL_FILE) {
+        match self.vfs.sync(&self.file) {
             Ok(()) => {
                 self.fsyncs.inc();
                 self.unsynced = 0;
@@ -326,7 +428,7 @@ impl Wal {
                 Ok(())
             }
             Err(e) => {
-                if self.vfs.truncate(WAL_FILE, self.synced_bytes).is_ok() {
+                if self.vfs.truncate(&self.file, self.synced_bytes).is_ok() {
                     self.bytes_len = self.synced_bytes;
                     self.next_lsn = self.synced_lsn + 1;
                     self.unsynced = 0;
@@ -346,8 +448,8 @@ impl Wal {
         let header = WAL_MAGIC.len() as u64;
         if let Err(e) = self
             .vfs
-            .truncate(WAL_FILE, header)
-            .and_then(|()| self.vfs.sync(WAL_FILE))
+            .truncate(&self.file, header)
+            .and_then(|()| self.vfs.sync(&self.file))
         {
             self.poisoned = true;
             return Err(e);
@@ -383,6 +485,10 @@ impl Wal {
 pub struct WalReplay {
     /// The decoded records, in LSN order.
     pub records: Vec<(u64, WalRecord)>,
+    /// On-disk size of each record's frame (header included), aligned
+    /// with `records` — lets sharded recovery compute the byte offset of
+    /// any frame (for cut-point truncation) without re-encoding.
+    pub frame_lens: Vec<u64>,
     /// Tail classification from the frame scanner.
     pub tail: Tail,
     /// Byte length of the valid region (magic + good frames); a torn
@@ -400,6 +506,7 @@ pub fn replay_wal(bytes: Option<&[u8]>) -> Result<WalReplay, StorageError> {
         None => {
             return Ok(WalReplay {
                 records: Vec::new(),
+                frame_lens: Vec::new(),
                 tail: Tail::Clean,
                 good_bytes: 0,
             })
@@ -410,6 +517,7 @@ pub fn replay_wal(bytes: Option<&[u8]>) -> Result<WalReplay, StorageError> {
         // a crash can tear even the magic of a freshly created log
         return Ok(WalReplay {
             records: Vec::new(),
+            frame_lens: Vec::new(),
             tail: Tail::Torn { offset: 0 },
             good_bytes: 0,
         });
@@ -424,6 +532,7 @@ pub fn replay_wal(bytes: Option<&[u8]>) -> Result<WalReplay, StorageError> {
     let body = &bytes[WAL_MAGIC.len()..];
     let out = scan(body)?;
     let mut records = Vec::with_capacity(out.frames.len());
+    let mut frame_lens = Vec::with_capacity(out.frames.len());
     let mut last_lsn = 0u64;
     for payload in out.frames {
         let mut d = Dec::new(payload);
@@ -437,9 +546,11 @@ pub fn replay_wal(bytes: Option<&[u8]>) -> Result<WalReplay, StorageError> {
         }
         last_lsn = lsn;
         records.push((lsn, rec));
+        frame_lens.push(payload.len() as u64 + crate::frame::FRAME_HEADER as u64);
     }
     Ok(WalReplay {
         records,
+        frame_lens,
         tail: out.tail,
         good_bytes: WAL_MAGIC.len() as u64 + out.good_bytes,
     })
@@ -459,7 +570,7 @@ mod tests {
         vfs.append(WAL_FILE, WAL_MAGIC).unwrap();
         vfs.sync(WAL_FILE).unwrap();
         let (b, f) = counters();
-        Wal::resume(vfs, policy, 1, WAL_MAGIC.len() as u64, b, f)
+        Wal::resume(vfs, WAL_FILE, policy, 1, WAL_MAGIC.len() as u64, b, f)
     }
 
     fn sample_records() -> Vec<WalRecord> {
@@ -691,6 +802,62 @@ mod tests {
         let bytes = vfs.read(WAL_FILE).unwrap().unwrap();
         let replay = replay_wal(Some(&bytes)).unwrap();
         assert_eq!(replay.records.len(), 1);
+    }
+
+    #[test]
+    fn sharded_records_roundtrip() {
+        let schema = Schema::of(&[("k", Ty::Int), ("v", Ty::Str)]);
+        let recs = vec![
+            WalRecord::CreateTableSharded {
+                name: "t".into(),
+                schema,
+                keys: vec!["k".into()],
+                shard_key: "k".into(),
+            },
+            WalRecord::ShardRows {
+                gsn: 7,
+                table: "t".into(),
+                idx: vec![0, 3, 5],
+                rows: vec![
+                    vec![Value::Int(1), Value::str("a")],
+                    vec![Value::Int(2), Value::str("b")],
+                    vec![Value::Int(3), Value::str("c")],
+                ],
+            },
+            WalRecord::ShardCommit {
+                gsn: 7,
+                mask: 0b1010,
+            },
+        ];
+        assert_eq!(recs[1].row_count(), 3);
+        assert_eq!(recs[2].row_count(), 0);
+        for rec in &recs {
+            let mut e = Enc::new();
+            rec.encode(&mut e);
+            let bytes = e.into_bytes();
+            let mut d = Dec::new(&bytes);
+            assert_eq!(&WalRecord::decode(&mut d).unwrap(), rec);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn shard_rows_position_count_mismatch_is_codec_error() {
+        // hand-encode a tag-6 record whose idx list is shorter than its
+        // row payload — recovery must reject it, not misalign positions
+        let mut e = Enc::new();
+        e.u8(6);
+        e.u64(1); // gsn
+        e.str("t");
+        e.u64(1); // one position...
+        e.u64(0);
+        e.rows(&[vec![Value::Int(1)], vec![Value::Int(2)]]); // ...two rows
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(
+            WalRecord::decode(&mut d),
+            Err(StorageError::Codec(_))
+        ));
     }
 
     #[test]

@@ -94,6 +94,11 @@ impl Model {
                     self.apply(rec);
                 }
             }
+            WalRecord::CreateTableSharded { .. }
+            | WalRecord::ShardRows { .. }
+            | WalRecord::ShardCommit { .. } => {
+                unreachable!("this harness drives the unsharded log format only")
+            }
         }
     }
 
