@@ -12,8 +12,9 @@
 //! in `BENCH_engine.json`: disabled-mode telemetry must stay free.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ferry_algebra::{BinOp, Expr, NodeId, Plan, Schema, Ty, Value};
+use ferry_algebra::{BinOp, ColName, Expr, NodeId, Plan, Schema, Ty, Value};
 use ferry_engine::{Database, ParConfig, TelemetryConfig, VecMode};
+use std::sync::Arc;
 
 fn int_table(rows: usize, modulus: i64) -> Vec<Vec<Value>> {
     (0..rows)
@@ -114,6 +115,61 @@ fn bench_overhead(c: &mut Criterion) {
         );
         let cch = plan.compute(l, "y", e);
         bench_levels(&mut group, "compute_chain", M, &plan, cch);
+    }
+
+    // a full `ferry.metrics` + `ferry.queries` scan: the cost of the
+    // database describing itself — registry walk + profile-ring clone,
+    // materialised into throwaway tables and filtered. Pinned so the
+    // system-table layer cannot silently grow a per-scan cliff.
+    {
+        let cn = |s: &str| -> ColName { Arc::from(s) };
+        let db = db_at(TelemetryConfig::Counters);
+        // prime both sources: a few dispatches populate the engine
+        // counters and the profile ring
+        let mut prime = Plan::new();
+        let l = prime.lit(
+            Schema::of(&[("a", Ty::Int), ("k", Ty::Int)]),
+            int_table(64, 10),
+        );
+        let f = prime.select(l, Expr::bin(BinOp::Lt, Expr::col("k"), Expr::lit(5i64)));
+        for _ in 0..32 {
+            db.execute(&prime, f).expect("prime");
+        }
+        let mut plan = Plan::new();
+        let m = plan.table(
+            "ferry.metrics",
+            vec![
+                (cn("kind"), Ty::Str),
+                (cn("name"), Ty::Str),
+                (cn("value"), Ty::Int),
+            ],
+            vec![cn("name")],
+        );
+        let ms = plan.select(m, Expr::bin(BinOp::Ge, Expr::col("value"), Expr::lit(0i64)));
+        let q = plan.table(
+            "ferry.queries",
+            vec![
+                (cn("elapsed_us"), Ty::Int),
+                (cn("nodes"), Ty::Int),
+                (cn("plan_hash"), Ty::Int),
+                (cn("query_id"), Ty::Int),
+                (cn("roots"), Ty::Int),
+                (cn("trace_id"), Ty::Int),
+            ],
+            vec![cn("query_id")],
+        );
+        let qs = plan.select(
+            q,
+            Expr::bin(BinOp::Ge, Expr::col("elapsed_us"), Expr::lit(0i64)),
+        );
+        group.bench_with_input(BenchmarkId::new("system_scan", 2), &2, |bch, _| {
+            bch.iter(|| {
+                let snap = db.snapshot();
+                let a = snap.execute(&plan, ms).expect("ferry.metrics scan");
+                let b = snap.execute(&plan, qs).expect("ferry.queries scan");
+                (a, b)
+            })
+        });
     }
 
     group.finish();

@@ -106,6 +106,13 @@ impl Backend for AlgebraBackend {
         bundle: &CompiledBundle,
     ) -> Result<Vec<Rel>, FerryError> {
         let roots: Vec<NodeId> = bundle.queries.iter().map(|q| q.root).collect();
-        Ok(snap.execute_bundle(&bundle.plan, &roots)?)
+        // thread the bundle's provenance into the dispatch so the slow-
+        // query log and `ferry.queries` can attribute it to its source
+        // expression (and its `ferry.plan_cache` entry)
+        let ctx = ferry_engine::DispatchCtx {
+            plan_hash: bundle.exp_hash,
+            opt: bundle.opt.as_ref(),
+        };
+        Ok(snap.execute_bundle_ctx(&bundle.plan, &roots, ctx)?)
     }
 }

@@ -87,6 +87,50 @@ macro_rules! comp {
         )
     };
 
+    // generator, tuple-5 pattern
+    (($e:expr) for ($a:ident, $b:ident, $c:ident, $d:ident, $f:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b, $c, $d, $f) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
+    // generator, tuple-6 pattern (wide system/base tables)
+    (($e:expr) for ($a:ident, $b:ident, $c:ident, $d:ident, $f:ident, $g:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b, $c, $d, $f, $g) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
+    // generator, tuple-7 pattern
+    (($e:expr) for ($a:ident, $b:ident, $c:ident, $d:ident, $f:ident, $g:ident, $h:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b, $c, $d, $f, $g, $h) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
+    // generator, tuple-8 pattern
+    (($e:expr) for ($a:ident, $b:ident, $c:ident, $d:ident, $f:ident, $g:ident, $h:ident, $i:ident) in $xs:expr $(, $($rest:tt)+)?) => {
+        $crate::ops::concat_map(
+            move |__t| {
+                let ($a, $b, $c, $d, $f, $g, $h, $i) = __t.view();
+                $crate::comp!(($e) $(for_or_rest $($rest)+)?)
+            },
+            $xs,
+        )
+    };
+
     // generator, simple variable
     (($e:expr) for $x:ident in $xs:expr $(, $($rest:tt)+)?) => {
         $crate::ops::concat_map(

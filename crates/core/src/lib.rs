@@ -83,7 +83,7 @@ pub use ferry_telemetry::{
     chrome_trace_json, OptReport, PassStat, QueryTrace, Telemetry, TelemetryConfig,
 };
 pub use qa::{Q, QA, TA};
-pub use runtime::{Connection, PlanRewriter, Prepared};
+pub use runtime::{Connection, PlanRewriter, Prepared, TraceStatus};
 pub use types::{Ty, Val};
 
 /// Everything needed to write Ferry programs.
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::comp;
     pub use crate::ops::*;
     pub use crate::qa::{toq, Q, QA, TA};
-    pub use crate::runtime::{Connection, Prepared};
+    pub use crate::runtime::{Connection, Prepared, TraceStatus};
     pub use crate::FerryError;
     pub use ferry_engine::{DurabilityConfig, FsyncPolicy};
     pub use ferry_telemetry::TelemetryConfig;

@@ -452,6 +452,13 @@ impl_proj! {
     [A, B, C] => [0: proj3_0, 1: proj3_1, 2: proj3_2];
     [A, B, C, D] => [0: proj4_0, 1: proj4_1, 2: proj4_2, 3: proj4_3];
     [A, B, C, D, E] => [0: proj5_0, 1: proj5_1, 2: proj5_2, 3: proj5_3, 4: proj5_4];
+    [A, B, C, D, E, F] =>
+        [0: proj6_0, 1: proj6_1, 2: proj6_2, 3: proj6_3, 4: proj6_4, 5: proj6_5];
+    [A, B, C, D, E, F, G] =>
+        [0: proj7_0, 1: proj7_1, 2: proj7_2, 3: proj7_3, 4: proj7_4, 5: proj7_5, 6: proj7_6];
+    [A, B, C, D, E, F, G, H] =>
+        [0: proj8_0, 1: proj8_1, 2: proj8_2, 3: proj8_3, 4: proj8_4, 5: proj8_5, 6: proj8_6,
+         7: proj8_7];
 }
 
 #[cfg(test)]

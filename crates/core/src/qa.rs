@@ -200,6 +200,9 @@ impl_qa_tuple!(A: 0, B: 1);
 impl_qa_tuple!(A: 0, B: 1, C: 2);
 impl_qa_tuple!(A: 0, B: 1, C: 2, D: 3);
 impl_qa_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_qa_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_qa_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_qa_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 /// Marker for atomic (basic) types.
 pub trait BasicQA: QA {}
@@ -219,6 +222,9 @@ impl_ta_tuple!(A, B);
 impl_ta_tuple!(A, B, C);
 impl_ta_tuple!(A, B, C, D);
 impl_ta_tuple!(A, B, C, D, E);
+impl_ta_tuple!(A, B, C, D, E, F);
+impl_ta_tuple!(A, B, C, D, E, F, G);
+impl_ta_tuple!(A, B, C, D, E, F, G, H);
 
 #[cfg(test)]
 mod tests {

@@ -59,10 +59,64 @@ pub type PlanRewriter =
 /// Cache key: (alpha-invariant kernel-term hash, catalog schema version).
 type PlanKey = (u64, u64);
 
+/// One cached bundle plus its hit count (`ferry.plan_cache` surfaces
+/// both; a hot entry with many hits is compilation well amortised).
+struct CacheEntry {
+    bundle: Arc<CompiledBundle>,
+    hits: u64,
+}
+
 /// The content-addressed store of optimized bundles.
 #[derive(Default)]
 struct PlanCache {
-    entries: HashMap<PlanKey, Arc<CompiledBundle>>,
+    entries: HashMap<PlanKey, CacheEntry>,
+}
+
+impl PlanCache {
+    /// `ferry.plan_cache` rows: one per cached bundle, in key order
+    /// (exp_hash, schema_version). u64 hashes are exposed as their i64
+    /// bit patterns — the same cast `ferry.queries.plan_hash` uses, so
+    /// the two join.
+    fn rows(&self) -> Vec<ferry_algebra::Row> {
+        use ferry_algebra::Value;
+        let mut rows: Vec<ferry_algebra::Row> = self
+            .entries
+            .iter()
+            .map(|(&(hash, ver), e)| {
+                vec![
+                    Value::Int(hash as i64),
+                    Value::Int(e.hits as i64),
+                    Value::Int(e.bundle.plan_size() as i64),
+                    Value::Int(e.bundle.queries.len() as i64),
+                    Value::Int(ver as i64),
+                ]
+            })
+            .collect();
+        rows.sort_by_key(|r| match (&r[0], &r[4]) {
+            (Value::Int(h), Value::Int(v)) => (*h, *v),
+            _ => unreachable!("plan-cache rows are all-Int"),
+        });
+        rows
+    }
+}
+
+/// Where the trace of a given dispatch is — the typed answer to "why did
+/// [`Connection::trace_json_for`] return `None`?", which conflates three
+/// very different situations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceStatus {
+    /// The dispatch ran traced and its trace is still in the telemetry
+    /// ring: here is the Chrome trace-format JSON.
+    Captured(String),
+    /// The dispatch ran, but without tracing (telemetry level below
+    /// `Full` and not `explain_analyze`) — there never was a trace.
+    NotTraced,
+    /// The dispatch ran traced, but its trace has aged out of the
+    /// bounded trace ring.
+    Evicted,
+    /// No record of this query id anywhere — it never ran on this
+    /// database, or is old enough to have left every retention window.
+    UnknownQuery,
 }
 
 /// A compiled, optimized, executable-many-times query of result type `T`
@@ -113,11 +167,30 @@ impl Clone for Connection {
 
 impl Connection {
     pub fn new(db: Database) -> Connection {
+        let cache = Arc::new(Mutex::new(PlanCache::default()));
+        // The plan cache lives up here in the runtime, so `ferry.plan_cache`
+        // is an *extrinsic* system table: we hand the engine a provider
+        // that snapshots the cache at scan time. Columns alphabetical,
+        // like every table the `table` combinator exposes.
+        let for_scan = cache.clone();
+        db.register_system_table(
+            "ferry.plan_cache",
+            ferry_algebra::Schema::of(&[
+                ("exp_hash", ferry_algebra::Ty::Int),
+                ("hits", ferry_algebra::Ty::Int),
+                ("operators", ferry_algebra::Ty::Int),
+                ("queries", ferry_algebra::Ty::Int),
+                ("schema_version", ferry_algebra::Ty::Int),
+            ]),
+            vec!["exp_hash".into(), "schema_version".into()],
+            Arc::new(move || for_scan.lock().unwrap().rows()),
+        )
+        .expect("ferry.plan_cache registration is well-formed");
         Connection {
             db: Arc::new(db),
             rewriter: None,
             backend: Arc::new(AlgebraBackend),
-            cache: Arc::new(Mutex::new(PlanCache::default())),
+            cache,
         }
     }
 
@@ -226,7 +299,9 @@ impl Connection {
         // under another
         let snap = self.db.snapshot();
         let key: PlanKey = (q.exp().stable_hash(), snap.schema_version());
-        if let Some(bundle) = self.cache.lock().unwrap().entries.get(&key).cloned() {
+        if let Some(e) = self.cache.lock().unwrap().entries.get_mut(&key) {
+            e.hits += 1;
+            let bundle = e.bundle.clone();
             self.db.record_cache(true);
             span.attr("cache", "hit");
             return Ok(Prepared {
@@ -240,7 +315,12 @@ impl Connection {
         let mut cache = self.cache.lock().unwrap();
         // hygiene: a schema change strands entries under old versions
         cache.entries.retain(|(_, v), _| *v == key.1);
-        let bundle = cache.entries.entry(key).or_insert(bundle).clone();
+        let bundle = cache
+            .entries
+            .entry(key)
+            .or_insert(CacheEntry { bundle, hits: 0 })
+            .bundle
+            .clone();
         drop(cache);
         self.db.record_cache(false);
         span.attr("cache", "miss")
@@ -341,11 +421,90 @@ impl Connection {
 
     /// Chrome trace-format JSON for the (retained) trace of the given
     /// engine-assigned query id — see `Database::last_query_id`.
+    ///
+    /// `None` is **ambiguous** here: it means "no trace", without saying
+    /// whether the id is unknown, the dispatch ran untraced, or the
+    /// trace was captured and later evicted from the bounded ring. Use
+    /// [`Connection::trace_status_for`] when the distinction matters.
     pub fn trace_json_for(&self, query_id: u64) -> Option<String> {
         self.telemetry()
             .trace_for_query(query_id)
             .as_ref()
             .map(ferry_telemetry::chrome_trace_json)
+    }
+
+    /// The typed disposition of dispatch `query_id`'s trace — the
+    /// disambiguated [`Connection::trace_json_for`]. The retained
+    /// profile ring and slow-query log are consulted to tell "ran
+    /// untraced" ([`TraceStatus::NotTraced`]) from "trace aged out"
+    /// ([`TraceStatus::Evicted`]) from "never heard of it"
+    /// ([`TraceStatus::UnknownQuery`]).
+    pub fn trace_status_for(&self, query_id: u64) -> TraceStatus {
+        if let Some(t) = self.telemetry().trace_for_query(query_id) {
+            return TraceStatus::Captured(ferry_telemetry::chrome_trace_json(&t));
+        }
+        let trace_id = self
+            .db
+            .profiles()
+            .iter()
+            .rev()
+            .find(|p| p.query_id == query_id)
+            .map(|p| p.trace_id)
+            .or_else(|| self.db.slow_query(query_id).map(|r| r.trace_id));
+        match trace_id {
+            Some(0) => TraceStatus::NotTraced,
+            Some(_) => TraceStatus::Evicted,
+            None => TraceStatus::UnknownQuery,
+        }
+    }
+
+    /// Set (or with `None`, disable) the database's slow-query
+    /// threshold: any dispatch at least this slow is captured — plan
+    /// pretty-print, optimizer report, per-node profile — queryable as
+    /// `ferry.slow_queries` and renderable via
+    /// [`Connection::slow_query_report`]. Shorthand for
+    /// `self.database().set_slow_query_threshold(t)`.
+    pub fn set_slow_query_threshold(&self, t: Option<std::time::Duration>) {
+        self.db.set_slow_query_threshold(t);
+    }
+
+    /// Human-readable post-mortem of a captured slow dispatch: timing
+    /// against the threshold in force, the optimizer's report, every
+    /// root's plan, the per-node profile, and the trace disposition.
+    /// `None` when `query_id` is not (or no longer) in the slow-query
+    /// ring.
+    pub fn slow_query_report(&self, query_id: u64) -> Option<String> {
+        use std::fmt::Write;
+        let r = self.db.slow_query(query_id)?;
+        let telemetry = self.telemetry();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "slow query {}: {:?} (threshold {:?}), {} root{}",
+            r.query_id,
+            r.elapsed,
+            r.threshold,
+            r.roots,
+            if r.roots == 1 { "" } else { "s" }
+        );
+        if r.plan_hash != 0 {
+            let _ = writeln!(out, "plan hash: {} (joins ferry.plan_cache)", r.plan_hash);
+        }
+        if let Some(rep) = &r.opt_report {
+            let _ = write!(out, "{rep}");
+        }
+        let _ = writeln!(out, "-- plan --");
+        let _ = writeln!(out, "{}", r.plan.trim_end());
+        let _ = writeln!(out, "-- profile --");
+        for p in &r.profile.nodes {
+            let _ = writeln!(
+                out,
+                "node {:>3}  {:<12} {:>9} rows  {:>3} morsels  {:?}",
+                p.node, p.label, p.rows, p.morsels, p.elapsed
+            );
+        }
+        let _ = writeln!(out, "trace: {}", r.trace_status(&telemetry));
+        Some(out)
     }
 
     /// The id of the most recent dispatch on this connection's database.
@@ -596,15 +755,28 @@ fn render_timeline(out: &mut String, trace: &QueryTrace) {
 
 impl SchemaProvider for Connection {
     fn table_info(&self, name: &str) -> Option<TableInfo> {
-        let t = self.db.table(name)?;
+        // base tables shadow system tables, mirroring execution-time
+        // resolution (`Snapshot::system_table` is only consulted on a
+        // catalog miss)
+        if let Some(t) = self.db.table(name) {
+            return Some(TableInfo {
+                cols: t
+                    .schema
+                    .cols()
+                    .iter()
+                    .map(|(n, ty)| (n.to_string(), *ty))
+                    .collect(),
+                keys: t.keys.clone(),
+            });
+        }
+        let (schema, keys) = self.db.system_table_info(name)?;
         Some(TableInfo {
-            cols: t
-                .schema
+            cols: schema
                 .cols()
                 .iter()
                 .map(|(n, ty)| (n.to_string(), *ty))
                 .collect(),
-            keys: t.keys.clone(),
+            keys,
         })
     }
 }

@@ -56,6 +56,11 @@ pub struct CompiledBundle {
     pub ty: Ty,
     /// What the plan rewriter did, when one ran (`explain` renders it).
     pub opt: Option<ferry_telemetry::OptReport>,
+    /// Alpha-invariant [`Exp::stable_hash`] of the source kernel term —
+    /// the same value the plan cache keys on. Threaded into the engine
+    /// per dispatch so `ferry.queries`/`ferry.slow_queries` join against
+    /// `ferry.plan_cache`.
+    pub exp_hash: u64,
 }
 
 impl CompiledBundle {
@@ -120,6 +125,7 @@ pub fn compile_program(
         queries,
         ty,
         opt: None,
+        exp_hash: exp.stable_hash(),
     })
 }
 

@@ -34,12 +34,13 @@ use crate::exec;
 use crate::par::ParConfig;
 use crate::shard::{shard_of, table_home, MAX_SHARDS};
 use crate::stats::{ProfileRing, QueryProfile, QueryStats};
-use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema};
+use crate::sys::{self, DispatchCtx, SlowQueryRecord, SysTableDef, SLOW_RING_CAP};
+use ferry_algebra::{infer_schema, NodeId, Plan, Rel, Row, RowBuf, Schema, Value};
 use ferry_storage::{
     DurabilityConfig, FsyncPolicy, RecoveryReport, ShardRecoveryReport, ShardTableDef,
     ShardTableImage, ShardedStorage, StdFs, Storage, StorageError, TableImage, Vfs, WalRecord,
 };
-use ferry_telemetry::{Counter, Gauge, Histogram, Registry, Telemetry, TelemetryConfig};
+use ferry_telemetry::{names, Counter, Gauge, Histogram, Registry, Telemetry, TelemetryConfig};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering as AtOrd};
@@ -218,6 +219,27 @@ impl TableShards {
             })
             .clone()
     }
+
+    /// Is shard `k`'s dense partition currently built? (`ferry.shards`
+    /// residency column; purely observational, never builds.)
+    pub fn dense_resident(&self, k: usize) -> bool {
+        self.dense.0.get(k).is_some_and(|s| s.get().is_some())
+    }
+}
+
+/// Incrementally-maintained size statistics of one base table, versioned
+/// with the catalog (cloned per transaction like the table map — two
+/// `u64`s per table, so versioning them is free). `ferry.tables` reads
+/// these instead of walking row buffers per scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Approximate resident bytes of the table's rows
+    /// ([`sys::row_bytes`] heuristic, summed at insert time).
+    pub bytes: u64,
+    /// Approximate bytes this table has contributed to the WAL over its
+    /// lifetime (durable databases; 0 in-memory). `ferry.tables` reports
+    /// this minus the mark taken at the last successful checkpoint.
+    pub wal_bytes: u64,
 }
 
 /// One immutable version of the catalog. Published versions are never
@@ -226,6 +248,9 @@ impl TableShards {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, BaseTable>,
+    /// Per-table [`TableStats`], keyed like `tables` and maintained by
+    /// the same transactions.
+    stats: HashMap<String, TableStats>,
     /// Bumped by DDL only (create/install); row inserts leave it alone.
     /// Compiled plans are data-independent, so the runtime's plan cache
     /// keys on this to invalidate exactly when recompilation could
@@ -433,6 +458,15 @@ pub struct Database {
     /// these (see [`Database::maybe_checkpoint`]); callers that care poll
     /// here or watch the `storage.checkpoint_failures` counter.
     last_checkpoint_error: Mutex<Option<String>>,
+    /// Bounded ring of captured slow dispatches, oldest first (see
+    /// [`sys::SlowQueryRecord`]; scanned as `ferry.slow_queries`).
+    slow: Mutex<VecDeque<SlowQueryRecord>>,
+    /// Extrinsic system tables registered by upper layers (e.g. the
+    /// runtime's `ferry.plan_cache`), keyed by full `ferry.*` name.
+    sys_tables: Mutex<HashMap<String, SysTableDef>>,
+    /// Per-table `wal_bytes` marks taken at the last successful
+    /// checkpoint; `ferry.tables` reports WAL bytes *since* then.
+    ckpt_marks: Mutex<HashMap<String, u64>>,
 }
 
 /// The engine's named metrics, resolved once per database. Counter names
@@ -471,28 +505,28 @@ impl EngineMetrics {
         // (the numbers are lost, the engine keeps running)
         let counter = |name: &str| registry.counter(name).unwrap_or_default();
         EngineMetrics {
-            queries: counter("engine.queries"),
-            rows_out: counter("engine.rows_out"),
-            nodes_evaluated: counter("engine.nodes_evaluated"),
-            rows_produced: counter("engine.rows_produced"),
-            cache_hits: counter("runtime.cache_hits"),
-            cache_misses: counter("runtime.cache_misses"),
-            morsel_tasks: counter("engine.morsel_tasks"),
-            par_nodes: counter("engine.par_nodes"),
-            par_waves: counter("engine.par_waves"),
-            vec_nodes: counter("engine.vec_nodes"),
-            kernel_batches: counter("engine.kernel_batches"),
-            fused_pipelines: counter("engine.fused_pipelines"),
-            fused_nodes: counter("engine.fused_nodes"),
-            shard_rows: counter("engine.shard.rows"),
-            shard_pruned: counter("engine.shard.pruned"),
-            checkpoint_failures: counter("storage.checkpoint_failures"),
+            queries: counter(names::ENGINE_QUERIES),
+            rows_out: counter(names::ENGINE_ROWS_OUT),
+            nodes_evaluated: counter(names::ENGINE_NODES_EVALUATED),
+            rows_produced: counter(names::ENGINE_ROWS_PRODUCED),
+            cache_hits: counter(names::RUNTIME_CACHE_HITS),
+            cache_misses: counter(names::RUNTIME_CACHE_MISSES),
+            morsel_tasks: counter(names::ENGINE_MORSEL_TASKS),
+            par_nodes: counter(names::ENGINE_PAR_NODES),
+            par_waves: counter(names::ENGINE_PAR_WAVES),
+            vec_nodes: counter(names::ENGINE_VEC_NODES),
+            kernel_batches: counter(names::ENGINE_KERNEL_BATCHES),
+            fused_pipelines: counter(names::ENGINE_FUSED_PIPELINES),
+            fused_nodes: counter(names::ENGINE_FUSED_NODES),
+            shard_rows: counter(names::ENGINE_SHARD_ROWS),
+            shard_pruned: counter(names::ENGINE_SHARD_PRUNED),
+            checkpoint_failures: counter(names::STORAGE_CHECKPOINT_FAILURES),
             query_latency_ns: registry
-                .histogram("engine.query_latency_ns")
+                .histogram(names::ENGINE_QUERY_LATENCY_NS)
                 .unwrap_or_default(),
-            epoch: registry.gauge("engine.epoch").unwrap_or_default(),
+            epoch: registry.gauge(names::ENGINE_EPOCH).unwrap_or_default(),
             commit_batch: registry
-                .histogram("storage.commit_batch_records")
+                .histogram(names::STORAGE_COMMIT_BATCH_RECORDS)
                 .unwrap_or_default(),
         }
     }
@@ -531,6 +565,9 @@ impl Database {
             recovery: None,
             shard_recovery: None,
             last_checkpoint_error: Mutex::new(None),
+            slow: Mutex::new(VecDeque::new()),
+            sys_tables: Mutex::new(HashMap::new()),
+            ckpt_marks: Mutex::new(HashMap::new()),
         }
     }
 
@@ -572,6 +609,14 @@ impl Database {
         // any plan cache keyed on a fresh database misses as it must
         let mut cat = Catalog::default();
         for img in recovered.tables {
+            let bytes: u64 = img.rows.iter().map(sys::row_bytes).sum();
+            cat.stats.insert(
+                img.name.clone(),
+                TableStats {
+                    bytes,
+                    wal_bytes: 0,
+                },
+            );
             cat.tables.insert(
                 img.name,
                 BaseTable {
@@ -628,6 +673,14 @@ impl Database {
             // assignment exactly (property-tested), and it also routes
             // commit-log-resident rows (`NO_SHARD` from InstallTable
             // payloads) onto real shards for the next checkpoint
+            let bytes: u64 = img.rows.iter().map(sys::row_bytes).sum();
+            cat.stats.insert(
+                img.def.name.clone(),
+                TableStats {
+                    bytes,
+                    wal_bytes: 0,
+                },
+            );
             let table = BaseTable {
                 schema: img.def.schema,
                 keys: img.def.keys,
@@ -721,6 +774,7 @@ impl Database {
         let mut tx = Tx {
             work: Catalog {
                 tables: head.tables.clone(),
+                stats: head.stats.clone(),
                 schema_version: head.schema_version,
                 epoch: head.epoch + 1,
             },
@@ -973,6 +1027,14 @@ impl Database {
         let out = match result {
             Ok(lsn) => {
                 self.publish_durable(&mut gc, lsn);
+                // the snapshot covers every logged byte: re-mark each
+                // table's WAL contribution so `ferry.tables` reports
+                // bytes *since* this checkpoint
+                let mut marks = self.ckpt_marks.lock().unwrap();
+                for (name, st) in &commit.head.stats {
+                    marks.insert(name.clone(), st.wal_bytes);
+                }
+                drop(marks);
                 Ok(lsn)
             }
             Err(e) => {
@@ -1083,6 +1145,160 @@ impl Database {
             .find(|p| p.trace_id == trace_id)
             .map(|p| p.query_id);
         qid
+    }
+
+    /// Per-node profiles of the most recent dispatches, oldest first —
+    /// a clone of the profile ring (also the `ferry.queries` source).
+    pub fn profiles(&self) -> Vec<QueryProfile> {
+        self.profiles.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Set (or with `None`, disable) the slow-query threshold: dispatches
+    /// whose wall time meets it are captured — plan pretty-print,
+    /// optimizer report, per-node profile — into a bounded ring of
+    /// [`SlowQueryRecord`]s, queryable as `ferry.slow_queries`. Capture
+    /// is threshold-gated, not config-gated: it works under
+    /// [`TelemetryConfig::Off`] too (crossing the threshold is the
+    /// opt-in), though traces additionally need `Full`.
+    pub fn set_slow_query_threshold(&self, t: Option<Duration>) {
+        self.telemetry.set_slow_query_threshold(t);
+    }
+
+    /// The captured slow dispatches, oldest first (bounded ring of
+    /// [`SLOW_RING_CAP`]).
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.slow.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The captured record of dispatch `query_id`, if still retained.
+    pub fn slow_query(&self, query_id: u64) -> Option<SlowQueryRecord> {
+        self.slow
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .find(|r| r.query_id == query_id)
+            .cloned()
+    }
+
+    /// Drop every retained slow-query record.
+    pub fn clear_slow_queries(&self) {
+        self.slow.lock().unwrap().clear();
+    }
+
+    /// Register (or replace) an **extrinsic** system table: `name` must
+    /// live under the reserved `ferry.` namespace, `provider` snapshots
+    /// the live source into rows (typed per `schema`, key order) at every
+    /// scan. The runtime registers `ferry.plan_cache` this way; intrinsic
+    /// tables ([`sys::INTRINSIC`]) cannot be replaced.
+    pub fn register_system_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        keys: Vec<String>,
+        provider: Arc<dyn Fn() -> Vec<Row> + Send + Sync>,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        if !sys::is_system(&name) {
+            return Err(EngineError::TableMismatch {
+                table: name.clone(),
+                detail: format!("system tables must live under `{}`", sys::SYS_PREFIX),
+            });
+        }
+        if sys::schema_of(&name).is_some() {
+            return Err(EngineError::TableMismatch {
+                table: name.clone(),
+                detail: "intrinsic system table cannot be replaced".into(),
+            });
+        }
+        for k in &keys {
+            if !schema.contains(k) {
+                return Err(EngineError::TableMismatch {
+                    table: name.clone(),
+                    detail: format!("key column {k} not in schema {schema}"),
+                });
+            }
+        }
+        self.sys_tables.lock().unwrap().insert(
+            name,
+            SysTableDef {
+                schema,
+                keys,
+                provider,
+            },
+        );
+        Ok(())
+    }
+
+    /// Schema and key columns of system table `name` (intrinsic or
+    /// registered), for compile-time resolution. Base tables shadow
+    /// system tables — callers should consult the catalog first.
+    pub fn system_table_info(&self, name: &str) -> Option<(Schema, Vec<String>)> {
+        if let Some(info) = sys::schema_of(name) {
+            return Some(info);
+        }
+        self.sys_tables
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|d| (d.schema.clone(), d.keys.clone()))
+    }
+
+    /// `ferry.storage` property rows (`name`, `value`), sorted by name.
+    fn storage_props(&self, cat: &Catalog) -> Vec<Row> {
+        let gc = self.gc.lock().unwrap();
+        let (durable, synced, poisoned) = match &self.storage {
+            Some(s) => (1, s.synced() as i64, s.poisoned() as i64),
+            None => (0, 0, 0),
+        };
+        let pending = gc.pending.len() as i64;
+        drop(gc);
+        let props: [(&str, i64); 8] = [
+            ("durable", durable),
+            ("epoch", cat.epoch as i64),
+            ("pending_commits", pending),
+            ("poisoned", poisoned),
+            ("schema_version", cat.schema_version as i64),
+            ("shards", self.shards as i64),
+            ("synced_lsn", synced),
+            ("tables", cat.tables.len() as i64),
+        ];
+        props
+            .iter()
+            .map(|(n, v)| vec![Value::str(*n), Value::Int(*v)])
+            .collect()
+    }
+
+    /// Capture one over-threshold dispatch into the slow ring.
+    fn record_slow(
+        &self,
+        plan: &Plan,
+        roots: &[NodeId],
+        profile: &QueryProfile,
+        ctx: DispatchCtx<'_>,
+        threshold_ns: u64,
+    ) {
+        let plan_text = roots
+            .iter()
+            .map(|&r| ferry_algebra::pretty::render(plan, r))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let rec = SlowQueryRecord {
+            query_id: profile.query_id,
+            trace_id: profile.trace_id,
+            plan_hash: ctx.plan_hash,
+            roots: profile.roots,
+            elapsed: profile.elapsed,
+            threshold: Duration::from_nanos(threshold_ns),
+            plan: plan_text,
+            opt_report: ctx.opt.map(|r| r.render()),
+            profile: profile.clone(),
+        };
+        let mut ring = self.slow.lock().unwrap();
+        if ring.len() >= SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
     }
 
     /// Record a plan-cache outcome in this database's [`QueryStats`].
@@ -1198,6 +1414,99 @@ impl<'db> Snapshot<'db> {
         self.cat.tables.keys().map(|s| s.as_str())
     }
 
+    /// This version's [`TableStats`] for base table `name`.
+    pub fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.cat.stats.get(name).copied()
+    }
+
+    /// Materialise system table `name` — a live snapshot of its source
+    /// (metrics registry, profile ring, catalog, storage state, …) as a
+    /// throwaway [`BaseTable`], or `None` if `name` is no system table.
+    /// Catalog-resident state (`ferry.tables`, `ferry.shards`) reads
+    /// **this snapshot's** pinned version; telemetry-resident state reads
+    /// the live hub (not transactional — see [`crate::sys`] docs). The
+    /// executor calls this only after the pinned catalog missed, so base
+    /// tables shadow system tables.
+    pub fn system_table(&self, name: &str) -> Option<BaseTable> {
+        let db = self.db;
+        let rows = match name {
+            "ferry.metrics" => sys::metrics_rows(db.telemetry.registry()),
+            "ferry.histograms" => sys::histograms_rows(db.telemetry.registry()),
+            "ferry.queries" => {
+                let profiles = db.profiles.lock().unwrap();
+                sys::queries_rows(profiles.iter())
+            }
+            "ferry.slow_queries" => {
+                let mut slow = db.slow.lock().unwrap();
+                sys::slow_rows(slow.make_contiguous(), &db.telemetry)
+            }
+            "ferry.storage" => db.storage_props(&self.cat),
+            "ferry.tables" => {
+                let marks = db.ckpt_marks.lock().unwrap();
+                let mut names: Vec<&String> = self.cat.tables.keys().collect();
+                names.sort_unstable();
+                names
+                    .into_iter()
+                    .map(|n| {
+                        let t = &self.cat.tables[n];
+                        let st = self.cat.stats.get(n).copied().unwrap_or_default();
+                        let since_ckpt = st
+                            .wal_bytes
+                            .saturating_sub(marks.get(n).copied().unwrap_or(0));
+                        let (shard_key, shards) = match &t.shard {
+                            Some(sh) => (sh.key.clone().unwrap_or_default(), sh.sels.len() as i64),
+                            None => (String::new(), 0),
+                        };
+                        vec![
+                            Value::Int(st.bytes as i64),
+                            Value::str(n.clone()),
+                            Value::Int(t.rows.len() as i64),
+                            Value::str(shard_key),
+                            Value::Int(shards),
+                            Value::Int(since_ckpt as i64),
+                        ]
+                    })
+                    .collect()
+            }
+            "ferry.shards" => {
+                let mut names: Vec<&String> = self.cat.tables.keys().collect();
+                names.sort_unstable();
+                let mut rows = Vec::new();
+                for n in names {
+                    let Some(sh) = &self.cat.tables[n].shard else {
+                        continue;
+                    };
+                    for (k, sel) in sh.sels.iter().enumerate() {
+                        rows.push(vec![
+                            Value::Bool(sh.dense_resident(k)),
+                            Value::Int(sel.len() as i64),
+                            Value::Int(k as i64),
+                            Value::str(n.clone()),
+                        ]);
+                    }
+                }
+                rows
+            }
+            _ => {
+                let def = db.sys_tables.lock().unwrap().get(name).cloned()?;
+                let rows = (def.provider)();
+                return Some(BaseTable {
+                    schema: def.schema,
+                    keys: def.keys,
+                    rows: Arc::new(RowBuf::new(rows)),
+                    shard: None,
+                });
+            }
+        };
+        let (schema, keys) = sys::schema_of(name).expect("matched intrinsic name");
+        Some(BaseTable {
+            schema,
+            keys,
+            rows: Arc::new(RowBuf::new(rows)),
+            shard: None,
+        })
+    }
+
     /// The parallelism knobs dispatches through this snapshot use.
     pub fn par_config(&self) -> ParConfig {
         self.db.par_config()
@@ -1221,6 +1530,19 @@ impl<'db> Snapshot<'db> {
     /// still counts as one query and is charged `dispatch_cost`, so the
     /// Table 1 avalanche numbers measure the same client/server protocol.
     pub fn execute_bundle(&self, plan: &Plan, roots: &[NodeId]) -> Result<Vec<Rel>, EngineError> {
+        self.execute_bundle_ctx(plan, roots, DispatchCtx::default())
+    }
+
+    /// [`Snapshot::execute_bundle`] with dispatch context: the runtime
+    /// passes the compiled bundle's expression hash and optimizer report
+    /// so slow-query capture and `ferry.queries` can attribute the
+    /// dispatch to its source program.
+    pub fn execute_bundle_ctx(
+        &self,
+        plan: &Plan,
+        roots: &[NodeId],
+        ctx: DispatchCtx<'_>,
+    ) -> Result<Vec<Rel>, EngineError> {
         if roots.is_empty() {
             return Ok(Vec::new());
         }
@@ -1247,6 +1569,20 @@ impl<'db> Snapshot<'db> {
         let results = exec::run_many(self, plan, roots, &schemas, &mut local, &mut prof)?;
         let elapsed_ns = ferry_telemetry::now_ns().saturating_sub(start_ns);
         drop(dispatch);
+        let profile = QueryProfile {
+            query_id: qid,
+            trace_id,
+            plan_hash: ctx.plan_hash,
+            roots: roots.len() as u32,
+            elapsed: Duration::from_nanos(elapsed_ns),
+            nodes: prof,
+        };
+        // the slow-query log is threshold-gated, not config-gated: with
+        // the threshold unset (the idle default) this is one relaxed load
+        let threshold_ns = db.telemetry.slow_query_threshold_ns();
+        if threshold_ns != 0 && elapsed_ns >= threshold_ns {
+            db.record_slow(plan, roots, &profile, ctx, threshold_ns);
+        }
         if db.telemetry.counters_on() {
             let m = &db.metrics;
             m.queries.add(roots.len() as u64);
@@ -1263,13 +1599,7 @@ impl<'db> Snapshot<'db> {
             m.shard_rows.add(local.shard_rows);
             m.shard_pruned.add(local.shard_pruned);
             m.query_latency_ns.record(elapsed_ns);
-            db.profiles.lock().unwrap().push(QueryProfile {
-                query_id: qid,
-                trace_id,
-                roots: roots.len() as u32,
-                elapsed: Duration::from_nanos(elapsed_ns),
-                nodes: prof,
-            });
+            db.profiles.lock().unwrap().push(profile);
         }
         Ok(results)
     }
@@ -1373,6 +1703,8 @@ impl Tx {
                 self.shards as usize,
             ))
         });
+        // create-or-replace: size stats restart with the empty table
+        self.work.stats.insert(name.clone(), TableStats::default());
         self.work.tables.insert(
             name,
             BaseTable {
@@ -1419,6 +1751,7 @@ impl Tx {
         if self.shards > 0 {
             return self.insert_sharded(name, rows);
         }
+        self.bump_stats(name, rows.iter().map(sys::row_bytes).sum());
         if self.durable {
             self.recs.push(WalRecord::Insert {
                 table: name.to_string(),
@@ -1441,6 +1774,7 @@ impl Tx {
     /// are **absolute** in the table's global insert order, which is what
     /// makes recovery's re-application idempotent over snapshot state.
     fn insert_sharded(&mut self, name: &str, rows: Vec<Row>) -> Result<(), EngineError> {
+        self.bump_stats(name, rows.iter().map(sys::row_bytes).sum());
         let table = self.work.tables.get_mut(name).expect("validated by insert");
         let shard = table.shard.as_ref().expect("sharded database table");
         let key_idx = shard
@@ -1507,10 +1841,35 @@ impl Tx {
                 rows: table.rows.rows().to_vec(),
             });
         }
+        // install replaces wholesale: restart bytes at the new contents
+        // (the whole table just hit the WAL when durable)
+        let bytes: u64 = table.rows.rows().iter().map(sys::row_bytes).sum();
+        let prev_wal = self
+            .work
+            .stats
+            .get(&name)
+            .map_or(0, |s: &TableStats| s.wal_bytes);
+        self.work.stats.insert(
+            name.clone(),
+            TableStats {
+                bytes,
+                wal_bytes: prev_wal + if self.durable { bytes } else { 0 },
+            },
+        );
         self.work.tables.insert(name, table);
         self.work.schema_version += 1;
         self.dirty = true;
         Ok(())
+    }
+
+    /// Add `delta` bytes to `name`'s size stats (and its WAL share on a
+    /// durable database).
+    fn bump_stats(&mut self, name: &str, delta: u64) {
+        let entry = self.work.stats.entry(name.to_string()).or_default();
+        entry.bytes += delta;
+        if self.durable {
+            entry.wal_bytes += delta;
+        }
     }
 
     /// Read a table as this transaction sees it (own writes included).

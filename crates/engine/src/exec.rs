@@ -1202,9 +1202,20 @@ fn eval_node(
     let out_schema = schemas[id.index()].clone();
     match plan.node(id) {
         Node::TableRef { name, cols, .. } => {
-            let table = snap
-                .table(name)
-                .ok_or_else(|| EngineError::NoSuchTable(name.clone()))?;
+            // base tables resolve in the pinned catalog; a miss falls
+            // back to the system tables (`ferry.*` — a live snapshot of
+            // telemetry/catalog/storage state materialised per scan)
+            let sys_owned;
+            let table = match snap.table(name) {
+                Some(t) => t,
+                None => match snap.system_table(name) {
+                    Some(t) => {
+                        sys_owned = t;
+                        &sys_owned
+                    }
+                    None => return Err(EngineError::NoSuchTable(name.clone())),
+                },
+            };
             if table.schema.len() != cols.len() {
                 return Err(EngineError::TableMismatch {
                     table: name.clone(),

@@ -54,9 +54,10 @@ pub mod exec;
 pub mod par;
 pub mod shard;
 pub mod stats;
+pub mod sys;
 pub mod vec_eval;
 
-pub use catalog::{BaseTable, Database, Snapshot, TableShards, Tx};
+pub use catalog::{BaseTable, Database, Snapshot, TableShards, TableStats, Tx};
 pub use error::EngineError;
 pub use ferry_storage::{
     DurabilityConfig, FsyncPolicy, RecoveryReport, ShardRecoveryReport, StorageError,
@@ -68,3 +69,4 @@ pub use shard::{
     SHARD_HASH_VERSION,
 };
 pub use stats::{ExecPath, NodeProfile, ProfileRing, QueryProfile, QueryStats, PROFILE_RING_CAP};
+pub use sys::{DispatchCtx, SlowQueryRecord, SysTableDef, SLOW_RING_CAP, SYS_PREFIX};

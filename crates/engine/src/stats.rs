@@ -86,6 +86,10 @@ pub struct QueryProfile {
     pub query_id: u64,
     /// Telemetry trace id active during the dispatch (0 when untraced).
     pub trace_id: u64,
+    /// Stable hash of the source expression the runtime compiled this
+    /// dispatch from (0 below the runtime). Joins `ferry.queries`
+    /// against `ferry.plan_cache`.
+    pub plan_hash: u64,
     /// Bundle members executed in this dispatch (1 for plain `execute`).
     pub roots: u32,
     /// Wall-clock time of the whole dispatch.
@@ -275,6 +279,7 @@ mod tests {
         QueryProfile {
             query_id,
             trace_id: 0,
+            plan_hash: 0,
             roots: 1,
             elapsed: Duration::from_micros(9),
             nodes: vec![node(0)],

@@ -27,12 +27,15 @@
 
 pub mod export;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod span;
 pub mod trace;
 
 pub use export::chrome_trace_json;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricTypeConflict, Registry};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricTypeConflict, Registry,
+};
 pub use report::{OptReport, PassStat};
 pub use span::{
     current_ctx, enter_ctx, now_ns, record_span, span, tracing_active, AttrVal, CtxGuard, Span,

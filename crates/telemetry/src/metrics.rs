@@ -105,15 +105,24 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// A self-consistent point-in-time copy. `count` is **derived from
+    /// the bucket sums** rather than read from the `count` atomic: a
+    /// `record` (or `reset`) racing this snapshot could otherwise leave
+    /// `count ≠ Σ buckets`, which breaks every quantile walk over the
+    /// buckets. `sum` may still lag the buckets by in-flight samples, so
+    /// `mean()` is approximate under concurrency — but the structural
+    /// invariant `snapshot.count == snapshot.buckets.iter().sum()` always
+    /// holds.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count: buckets.iter().sum(),
             sum: self.sum.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
+            buckets,
         }
     }
 
@@ -325,6 +334,70 @@ impl Registry {
         }
         out
     }
+
+    /// Prometheus text-exposition rendering of every registered metric —
+    /// the body a future `/metrics` endpoint serves. Byte-stable for
+    /// identical registry state: the metric map is a `BTreeMap`, so names
+    /// come out sorted, and within a histogram buckets come out in
+    /// ascending `le` order.
+    ///
+    /// Conventions: dots in metric names become underscores
+    /// (`engine.queries` → `engine_queries`); counters and gauges render
+    /// as `# TYPE` plus one sample; histograms render cumulative
+    /// `_bucket{le="…"}` samples (only non-empty buckets, each labelled
+    /// with its inclusive upper bound, plus the mandatory `le="+Inf"`),
+    /// then `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in self.metrics() {
+            let pname = prometheus_name(&name);
+            match m {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {pname} counter");
+                    let _ = writeln!(out, "{pname} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge");
+                    let _ = writeln!(out, "{pname} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {pname} histogram");
+                    let mut cum = 0u64;
+                    for (i, &n) in s.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cum += n;
+                        let _ = writeln!(
+                            out,
+                            "{pname}_bucket{{le=\"{}\"}} {cum}",
+                            bucket_upper_bound(i)
+                        );
+                    }
+                    let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", s.count);
+                    let _ = writeln!(out, "{pname}_sum {}", s.sum);
+                    let _ = writeln!(out, "{pname}_count {}", s.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A registry name as a legal Prometheus metric name: every character
+/// outside `[a-zA-Z0-9_:]` (notably the `.` separators this workspace
+/// uses) becomes `_`.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -436,5 +509,95 @@ mod tests {
         assert!(text.contains("a.count 2"));
         assert!(text.contains("b.latency_ns count=1"));
         assert!(text.contains("p95<="));
+    }
+
+    /// Golden test for the Prometheus text exposition: exact bytes for a
+    /// fixed registry state, and byte-stability across repeated renders.
+    #[test]
+    fn prometheus_rendering_is_golden_and_stable() {
+        let r = Registry::default();
+        r.counter("engine.queries").unwrap().add(7);
+        r.gauge("engine.epoch").unwrap().set(-3);
+        let h = r.histogram("engine.query_latency_ns").unwrap();
+        h.record(0); // bucket 0, ub 0
+        h.record(5); // bucket 3, ub 7
+        h.record(5);
+        h.record(1000); // bucket 10, ub 1023
+        let expected = "\
+# TYPE engine_epoch gauge
+engine_epoch -3
+# TYPE engine_queries counter
+engine_queries 7
+# TYPE engine_query_latency_ns histogram
+engine_query_latency_ns_bucket{le=\"0\"} 1
+engine_query_latency_ns_bucket{le=\"7\"} 3
+engine_query_latency_ns_bucket{le=\"1023\"} 4
+engine_query_latency_ns_bucket{le=\"+Inf\"} 4
+engine_query_latency_ns_sum 1010
+engine_query_latency_ns_count 4
+";
+        assert_eq!(r.render_prometheus(), expected);
+        // identical state renders identical bytes
+        assert_eq!(r.render_prometheus(), r.render_prometheus());
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_and_sorted() {
+        let r = Registry::default();
+        r.counter("z.last").unwrap().inc();
+        r.counter("a.first-metric").unwrap().inc();
+        let text = r.render_prometheus();
+        let a = text.find("a_first_metric").expect("sanitized name present");
+        let z = text.find("z_last").expect("sanitized name present");
+        assert!(a < z, "names must render in sorted order:\n{text}");
+    }
+
+    /// Satellite fix: a snapshot taken while `record` / `reset` race must
+    /// stay internally consistent — `count` equals the summed buckets, so
+    /// quantile walks can never run past the recorded mass.
+    #[test]
+    fn concurrent_record_snapshot_reset_keeps_snapshots_consistent() {
+        use std::sync::atomic::AtomicBool;
+        let h = Arc::new(Histogram::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|t| {
+                let h = h.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut v: u64 = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(v % 4096);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                })
+            })
+            .collect();
+        let resetter = {
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    h.reset();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for _ in 0..2000 {
+            let s = h.snapshot();
+            assert_eq!(
+                s.count,
+                s.buckets.iter().sum::<u64>(),
+                "snapshot count must equal summed buckets"
+            );
+            // quantiles stay in range whatever the interleaving
+            let _ = s.p50();
+            let _ = s.p99();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        resetter.join().unwrap();
     }
 }

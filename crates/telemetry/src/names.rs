@@ -1,0 +1,142 @@
+//! The metric-names contract: every counter, gauge and histogram name
+//! the workspace registers, as `const`s in one place.
+//!
+//! PR 8 declared the names a public contract (DESIGN.md lists them and
+//! external scrapers key on them); this module enforces it. Crates
+//! register handles through these constants instead of scattered string
+//! literals, and [`ALL`] pins the full list in a golden test — adding,
+//! renaming or retiring a metric is a deliberate, reviewed edit here,
+//! never an accident in a call site.
+
+/// Queries dispatched (one per `execute` / `execute_bundle` member).
+pub const ENGINE_QUERIES: &str = "engine.queries";
+/// Rows returned to the client across all queries.
+pub const ENGINE_ROWS_OUT: &str = "engine.rows_out";
+/// Operator (plan-node) evaluations.
+pub const ENGINE_NODES_EVALUATED: &str = "engine.nodes_evaluated";
+/// Rows produced by intermediate operators (a rough work metric).
+pub const ENGINE_ROWS_PRODUCED: &str = "engine.rows_produced";
+/// Morsel tasks executed by bulk operators.
+pub const ENGINE_MORSEL_TASKS: &str = "engine.morsel_tasks";
+/// Nodes whose bulk work split across more than one morsel.
+pub const ENGINE_PAR_NODES: &str = "engine.par_nodes";
+/// DAG wavefronts that evaluated two or more nodes concurrently.
+pub const ENGINE_PAR_WAVES: &str = "engine.par_waves";
+/// Node evaluations that took the vectorized path.
+pub const ENGINE_VEC_NODES: &str = "engine.vec_nodes";
+/// Kernel batches executed by vectorized nodes.
+pub const ENGINE_KERNEL_BATCHES: &str = "engine.kernel_batches";
+/// Pipeline groups that executed fused (one batch loop scan→sink).
+pub const ENGINE_FUSED_PIPELINES: &str = "engine.fused_pipelines";
+/// Plan nodes absorbed into fused pipelines.
+pub const ENGINE_FUSED_NODES: &str = "engine.fused_nodes";
+/// Rows read from sharded base-table scans (post-pruning).
+pub const ENGINE_SHARD_ROWS: &str = "engine.shard.rows";
+/// Rows partition pruning skipped without reading.
+pub const ENGINE_SHARD_PRUNED: &str = "engine.shard.pruned";
+/// Per-dispatch wall time (histogram, log₂ buckets).
+pub const ENGINE_QUERY_LATENCY_NS: &str = "engine.query_latency_ns";
+/// The published catalog epoch (gauge, monotone under one process).
+pub const ENGINE_EPOCH: &str = "engine.epoch";
+
+/// Plan-cache hits recorded by the runtime (`Connection::prepare`).
+pub const RUNTIME_CACHE_HITS: &str = "runtime.cache_hits";
+/// Plan-cache misses (full compilations).
+pub const RUNTIME_CACHE_MISSES: &str = "runtime.cache_misses";
+
+/// Bytes appended to the write-ahead log.
+pub const STORAGE_WAL_BYTES: &str = "storage.wal_bytes";
+/// WAL fsync calls issued.
+pub const STORAGE_FSYNCS: &str = "storage.fsyncs";
+/// WAL records appended.
+pub const STORAGE_WAL_RECORDS: &str = "storage.wal_records";
+/// Snapshots (checkpoints) written.
+pub const STORAGE_SNAPSHOTS: &str = "storage.snapshots";
+/// Recovery runs performed at open.
+pub const STORAGE_RECOVERIES: &str = "storage.recoveries";
+/// Auto-checkpoint failures recorded by the engine.
+pub const STORAGE_CHECKPOINT_FAILURES: &str = "storage.checkpoint_failures";
+/// Transactions made durable per group-commit fsync (histogram).
+pub const STORAGE_COMMIT_BATCH_RECORDS: &str = "storage.commit_batch_records";
+/// Bytes appended across all shard-local WALs of a sharded database.
+pub const STORAGE_SHARD_WAL_BYTES: &str = "storage.shard.wal_bytes";
+
+/// Every metric name the workspace registers, sorted. The golden test
+/// below pins this list; `Registry::render_prometheus` output for a
+/// fully-registered database is stable because registration goes through
+/// these constants only.
+pub const ALL: &[&str] = &[
+    ENGINE_EPOCH,
+    ENGINE_FUSED_NODES,
+    ENGINE_FUSED_PIPELINES,
+    ENGINE_KERNEL_BATCHES,
+    ENGINE_MORSEL_TASKS,
+    ENGINE_NODES_EVALUATED,
+    ENGINE_PAR_NODES,
+    ENGINE_PAR_WAVES,
+    ENGINE_QUERIES,
+    ENGINE_QUERY_LATENCY_NS,
+    ENGINE_ROWS_OUT,
+    ENGINE_ROWS_PRODUCED,
+    ENGINE_SHARD_PRUNED,
+    ENGINE_SHARD_ROWS,
+    ENGINE_VEC_NODES,
+    RUNTIME_CACHE_HITS,
+    RUNTIME_CACHE_MISSES,
+    STORAGE_CHECKPOINT_FAILURES,
+    STORAGE_COMMIT_BATCH_RECORDS,
+    STORAGE_FSYNCS,
+    STORAGE_RECOVERIES,
+    STORAGE_SHARD_WAL_BYTES,
+    STORAGE_SNAPSHOTS,
+    STORAGE_WAL_BYTES,
+    STORAGE_WAL_RECORDS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The golden list: the full names contract, alphabetical. A failure
+    /// here means a metric was added, renamed or removed — update BOTH
+    /// this test and `ALL` (and DESIGN.md §7) deliberately.
+    #[test]
+    fn golden_metric_names() {
+        let expected = [
+            "engine.epoch",
+            "engine.fused_nodes",
+            "engine.fused_pipelines",
+            "engine.kernel_batches",
+            "engine.morsel_tasks",
+            "engine.nodes_evaluated",
+            "engine.par_nodes",
+            "engine.par_waves",
+            "engine.queries",
+            "engine.query_latency_ns",
+            "engine.rows_out",
+            "engine.rows_produced",
+            "engine.shard.pruned",
+            "engine.shard.rows",
+            "engine.vec_nodes",
+            "runtime.cache_hits",
+            "runtime.cache_misses",
+            "storage.checkpoint_failures",
+            "storage.commit_batch_records",
+            "storage.fsyncs",
+            "storage.recoveries",
+            "storage.shard.wal_bytes",
+            "storage.snapshots",
+            "storage.wal_bytes",
+            "storage.wal_records",
+        ];
+        assert_eq!(ALL, &expected, "metric names contract changed");
+    }
+
+    #[test]
+    fn all_is_sorted_and_unique() {
+        let mut sorted = ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ALL, &sorted[..], "ALL must be sorted and duplicate-free");
+    }
+}

@@ -6,8 +6,9 @@
 //! connections never see each other's traces.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::span::{
     drain_trace, next_trace_id, now_ns, set_ctx, thread_id, tracing_active, SpanRecord, TraceCtx,
@@ -37,6 +38,10 @@ pub struct Telemetry {
     config: AtomicU8,
     registry: Registry,
     traces: Mutex<VecDeque<QueryTrace>>,
+    /// Slow-query threshold in nanoseconds; 0 disables the slow-query log.
+    /// Lives here (not in [`TelemetryConfig`]) so it can be flipped at
+    /// runtime with the same relaxed-atomic cost as the config level.
+    slow_ns: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -45,6 +50,7 @@ impl Default for Telemetry {
             config: AtomicU8::new(TelemetryConfig::default().as_u8()),
             registry: Registry::default(),
             traces: Mutex::new(VecDeque::new()),
+            slow_ns: AtomicU64::new(0),
         }
     }
 }
@@ -71,6 +77,28 @@ impl Telemetry {
 
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The slow-query threshold in nanoseconds; 0 means the slow-query
+    /// log is disabled (the idle default).
+    pub fn slow_query_threshold_ns(&self) -> u64 {
+        self.slow_ns.load(Ordering::Relaxed)
+    }
+
+    /// The slow-query threshold as a `Duration`, if enabled.
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        match self.slow_query_threshold_ns() {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Set (or with `None` / zero, disable) the slow-query threshold.
+    /// Dispatches whose wall time meets the threshold get captured into
+    /// the engine's slow-query ring regardless of the config level.
+    pub fn set_slow_query_threshold(&self, t: Option<Duration>) {
+        let ns = t.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self.slow_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Begin a trace for query `query_id` on the calling thread, if the
@@ -278,6 +306,19 @@ mod tests {
             assert!(g.is_active());
         }
         assert_eq!(t.latest_trace().unwrap().query_id, 9);
+    }
+
+    #[test]
+    fn slow_query_threshold_roundtrips_and_disables() {
+        let t = Telemetry::default();
+        assert_eq!(t.slow_query_threshold(), None);
+        t.set_slow_query_threshold(Some(Duration::from_millis(5)));
+        assert_eq!(t.slow_query_threshold_ns(), 5_000_000);
+        assert_eq!(t.slow_query_threshold(), Some(Duration::from_millis(5)));
+        t.set_slow_query_threshold(None);
+        assert_eq!(t.slow_query_threshold_ns(), 0);
+        t.set_slow_query_threshold(Some(Duration::ZERO));
+        assert_eq!(t.slow_query_threshold(), None, "zero means disabled");
     }
 
     #[test]
