@@ -292,26 +292,43 @@ impl Connection {
     pub fn prepare<T: QA>(&self, q: &Q<T>) -> Result<Prepared<T>, FerryError> {
         let telemetry = self.telemetry();
         let _trace = telemetry.begin_query(0);
+        let bundle = self.prepare_raw(q.exp().stable_hash(), |conn| conn.compile_exp(q.exp()))?;
+        Ok(Prepared {
+            bundle,
+            _t: PhantomData,
+        })
+    }
+
+    /// Compile-or-fetch by **content hash**: the cache machinery behind
+    /// [`Connection::prepare`], exposed for frontends that compile to a
+    /// [`CompiledBundle`] from something other than a `Q<T>` term — the
+    /// SQL layer and `ferry-server` key on a hash of the statement text.
+    /// The entry shares `ferry.plan_cache` rows and hit/miss accounting
+    /// with DSL-prepared bundles; `build` runs only on a miss (outside
+    /// the cache lock), and a catalog schema change invalidates as usual
+    /// because the key is `(content_hash, schema_version)`.
+    pub fn prepare_raw(
+        &self,
+        content_hash: u64,
+        build: impl FnOnce(&Connection) -> Result<CompiledBundle, FerryError>,
+    ) -> Result<Arc<CompiledBundle>, FerryError> {
         let mut span = ferry_telemetry::span("prepare", "runtime");
         // one pinned snapshot supplies the cache key's schema version
         // AND the hit/miss accounting: a DDL commit between the two can
         // no longer record a hit against one version and key the entry
         // under another
         let snap = self.db.snapshot();
-        let key: PlanKey = (q.exp().stable_hash(), snap.schema_version());
+        let key: PlanKey = (content_hash, snap.schema_version());
         if let Some(e) = self.cache.lock().unwrap().entries.get_mut(&key) {
             e.hits += 1;
             let bundle = e.bundle.clone();
             self.db.record_cache(true);
             span.attr("cache", "hit");
-            return Ok(Prepared {
-                bundle,
-                _t: PhantomData,
-            });
+            return Ok(bundle);
         }
         // compile outside the cache lock: compilation can be slow and
         // other threads may be serving hits meanwhile
-        let bundle = Arc::new(self.compile_exp(q.exp())?);
+        let bundle = Arc::new(build(self)?);
         let mut cache = self.cache.lock().unwrap();
         // hygiene: a schema change strands entries under old versions
         cache.entries.retain(|(_, v), _| *v == key.1);
@@ -325,10 +342,14 @@ impl Connection {
         self.db.record_cache(false);
         span.attr("cache", "miss")
             .attr("queries", bundle.queries.len());
-        Ok(Prepared {
-            bundle,
-            _t: PhantomData,
-        })
+        Ok(bundle)
+    }
+
+    /// The installed plan rewriter, if any — external frontends (e.g. the
+    /// server's SQL path) apply it to their own plans so every statement
+    /// gets the same optimisation treatment as a DSL query.
+    pub fn plan_rewriter(&self) -> Option<&PlanRewriter> {
+        self.rewriter.as_ref()
     }
 
     /// Number of bundles currently cached.

@@ -1,0 +1,185 @@
+//! A small blocking client for the wire protocol — enough to embed in
+//! tests, benches and examples, and the reference implementation for
+//! anyone writing a client in another language.
+//!
+//! The client is strictly request/response: one request frame out, read
+//! response frames until the request is answered. Server-side refusals
+//! arrive as typed [`ClientError::Server`] values carrying the
+//! [`ErrorCode`], so callers can dispatch on `Busy` vs `QueueFull` vs
+//! `Sql` without parsing message strings.
+
+use crate::frame::{self, FrameError};
+use crate::proto::{self, ErrorCode, Request, Response};
+use ferry_algebra::{Row, Schema, Value};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// How a client call can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport-level failure (socket error, framing damage).
+    Io(String),
+    /// The server answered with something the protocol does not allow
+    /// at this point in the exchange.
+    Protocol(String),
+    /// A typed refusal from the server.
+    Server { code: ErrorCode, message: String },
+    /// The server closed the connection.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(d) => write!(f, "io error: {d}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::Closed => write!(f, "connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        match e {
+            FrameError::Closed => ClientError::Closed,
+            other => ClientError::Io(other.to_string()),
+        }
+    }
+}
+
+/// A complete query result: the schema and every row, batches already
+/// reassembled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+/// One connection to a ferry server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect. The socket stays fully blocking — the server answers
+    /// every request, including refusals, so reads terminate.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        frame::write_wire_frame(&mut self.stream, &proto::encode_request(req))
+            .map_err(ClientError::from)
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = frame::read_wire_frame_blocking(&mut self.stream)?;
+        proto::decode_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Read one non-streaming response, converting server `Error`
+    /// frames into [`ClientError::Server`].
+    fn recv_ok(&mut self) -> Result<Response, ClientError> {
+        match self.recv()? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Read a full result stream: `ResultHeader`, any number of
+    /// `RowBatch` frames, `ResultDone`.
+    fn read_result(&mut self) -> Result<ResultSet, ClientError> {
+        let schema = match self.recv_ok()? {
+            Response::ResultHeader { schema } => schema,
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected a result header, got {other:?}"
+                )))
+            }
+        };
+        let mut rows = Vec::new();
+        loop {
+            match self.recv_ok()? {
+                Response::RowBatch { rows: batch } => rows.extend(batch),
+                Response::ResultDone { rows: total } => {
+                    if total != rows.len() as u64 {
+                        return Err(ClientError::Protocol(format!(
+                            "result stream announced {total} rows but carried {}",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(ResultSet { schema, rows });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected a row batch or end-of-result, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Prepare a statement; returns its id and (for parameterless
+    /// statements) its result schema.
+    pub fn prepare(&mut self, sql: &str) -> Result<(u32, Schema), ClientError> {
+        self.send(&Request::Prepare {
+            sql: sql.to_string(),
+        })?;
+        match self.recv_ok()? {
+            Response::PrepareOk { stmt, schema } => Ok((stmt, schema)),
+            other => Err(ClientError::Protocol(format!(
+                "expected prepare-ok, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a prepared statement with positional parameters.
+    pub fn execute(&mut self, stmt: u32, params: &[Value]) -> Result<ResultSet, ClientError> {
+        self.send(&Request::Execute {
+            stmt,
+            params: params.to_vec(),
+        })?;
+        self.read_result()
+    }
+
+    /// One-shot query without parameters.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, ClientError> {
+        self.query_params(sql, &[])
+    }
+
+    /// One-shot query with positional `$n` parameters.
+    pub fn query_params(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet, ClientError> {
+        self.send(&Request::Query {
+            sql: sql.to_string(),
+            params: params.to_vec(),
+        })?;
+        self.read_result()
+    }
+
+    /// Fetch the server's Prometheus metrics exposition over the wire.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.recv_ok()? {
+            Response::MetricsText { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics text, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Orderly goodbye; waits for the server's ack.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Close)?;
+        match self.recv_ok()? {
+            Response::CloseAck => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected close-ack, got {other:?}"
+            ))),
+        }
+    }
+}

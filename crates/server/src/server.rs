@@ -1,0 +1,520 @@
+//! The server: accept loop, session threads, admission control, and
+//! drain-then-close shutdown.
+//!
+//! Threading model — one thread per live connection doing framing and
+//! bookkeeping, a fixed [`Pool`] doing all statement work (parse, bind,
+//! compile, execute). A session submits one job at a time and waits for
+//! it, so responses stay ordered per connection while the pool bounds
+//! total concurrent query work regardless of connection count.
+//!
+//! Admission control is two gates with typed refusals:
+//!
+//! 1. **connection limit** — accepts beyond `max_connections` get one
+//!    `Busy` error frame and are closed;
+//! 2. **work queue** — statement requests beyond `queue_depth` pending
+//!    jobs get a `QueueFull` error frame (the connection survives).
+//!
+//! Shutdown drains: the stop flag refuses new accepts and new requests
+//! (`ShuttingDown`), in-flight requests finish and their responses are
+//! written, session threads are joined, then the pool drains its queue
+//! and stops. Embedders handle SIGTERM by calling
+//! [`ServerHandle::shutdown`] (no signal-handling crate in this
+//! offline workspace); dropping the handle does the same.
+
+use crate::frame::{self, FrameError, Poll};
+use crate::pool::Pool;
+use crate::proto::{self, ErrorCode, ProtoError, Request, Response};
+use crate::session::{
+    prepare_statement, run_statement, Reject, SessionInfo, SessionRegistry, Statements,
+};
+use ferry::Connection;
+use ferry_algebra::{Row, Schema};
+use ferry_telemetry::{names, Counter, Gauge, Histogram};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables. The defaults suit tests and small deployments; production
+/// embedders size `workers` to cores and the queue to tolerable wait.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Live-connection ceiling; accepts beyond it are refused `Busy`.
+    pub max_connections: usize,
+    /// Worker threads executing statements.
+    pub workers: usize,
+    /// Pending-job ceiling; submissions beyond it are refused
+    /// `QueueFull`.
+    pub queue_depth: usize,
+    /// Rows per `RowBatch` frame.
+    pub chunk_rows: usize,
+    /// Socket read poll interval — the latency with which idle
+    /// sessions and the accept loop observe shutdown.
+    pub poll_interval: Duration,
+    /// How long a mid-frame read may keep draining after shutdown
+    /// begins before the connection is cut.
+    pub drain_grace: Duration,
+    /// Per-write socket timeout, so a stalled client cannot wedge a
+    /// session thread (and thereby shutdown) forever.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_connections: 64,
+            workers: 4,
+            queue_depth: 16,
+            chunk_rows: 1024,
+            poll_interval: Duration::from_millis(25),
+            drain_grace: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Metrics {
+    accepts: Arc<Counter>,
+    rejects: Arc<Counter>,
+    connections: Arc<Gauge>,
+    requests: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+struct Shared {
+    conn: Connection,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    registry: Arc<SessionRegistry>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+    pool: Pool,
+    m: Metrics,
+}
+
+/// Namespace for [`Server::bind`].
+pub struct Server;
+
+impl Server {
+    /// Bind `addr`, register `ferry.connections` and the `server.*`
+    /// metrics on the connection's database, and start accepting.
+    pub fn bind(
+        conn: Connection,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let conflict = |e: ferry_telemetry::MetricTypeConflict| io::Error::other(e.to_string());
+        let telemetry = conn.telemetry();
+        let reg = telemetry.registry();
+        let m = Metrics {
+            accepts: reg.counter(names::SERVER_ACCEPTS).map_err(conflict)?,
+            rejects: reg.counter(names::SERVER_REJECTS).map_err(conflict)?,
+            connections: reg.gauge(names::SERVER_CONNECTIONS).map_err(conflict)?,
+            requests: reg.counter(names::SERVER_REQUESTS).map_err(conflict)?,
+            latency: reg
+                .histogram(names::SERVER_REQUEST_LATENCY_NS)
+                .map_err(conflict)?,
+        };
+        let depth = reg.gauge(names::SERVER_QUEUE_DEPTH).map_err(conflict)?;
+        let wait = reg
+            .histogram(names::SERVER_QUEUE_WAIT_NS)
+            .map_err(conflict)?;
+
+        let registry = Arc::new(SessionRegistry::new());
+        let provider = registry.clone();
+        let (schema, keys) = SessionRegistry::table_schema();
+        conn.database()
+            .register_system_table(
+                "ferry.connections",
+                schema,
+                keys,
+                Arc::new(move || provider.rows()),
+            )
+            .map_err(|e| io::Error::other(e.to_string()))?;
+
+        let pool = Pool::new(cfg.workers, cfg.queue_depth, depth, wait);
+        let shared = Arc::new(Shared {
+            conn,
+            cfg,
+            stop: AtomicBool::new(false),
+            registry,
+            sessions: Mutex::new(Vec::new()),
+            pool,
+            m,
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ferry-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running server. Dropping it performs a full graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live sessions right now.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.registry.len()
+    }
+
+    /// Drain-then-close: refuse new accepts and new requests, let
+    /// in-flight requests finish and flush, join every session thread,
+    /// then drain and stop the worker pool.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = accept.join(); // nonblocking loop: observes stop within poll_interval
+        let sessions: Vec<_> = self.shared.sessions.lock().unwrap().drain(..).collect();
+        for h in sessions {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(x) => x,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(shared.cfg.poll_interval);
+                continue;
+            }
+        };
+        // accepted sockets may inherit the listener's nonblocking mode;
+        // sessions drive their own timeouts
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        // a response is several small frames (header, batches, done);
+        // Nagle + delayed ACK would serialise them at ~40ms each
+        let _ = stream.set_nodelay(true);
+        if shared.stop.load(Ordering::SeqCst) {
+            shared.m.rejects.inc();
+            refuse_connection(&stream, ErrorCode::ShuttingDown, "server is draining");
+            continue;
+        }
+        if shared.registry.len() >= shared.cfg.max_connections {
+            shared.m.rejects.inc();
+            refuse_connection(&stream, ErrorCode::Busy, "connection limit reached");
+            continue;
+        }
+        shared.m.accepts.inc();
+        shared.m.connections.add(1);
+        let info = shared.registry.register(peer.to_string());
+        let id = info.id;
+        let session_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("ferry-session-{id}"))
+            .spawn(move || run_session(&session_shared, &stream, &info));
+        match spawned {
+            Ok(h) => shared.sessions.lock().unwrap().push(h),
+            Err(_) => {
+                // undo the registration; the guard never ran
+                shared.registry.remove(id);
+                shared.m.connections.add(-1);
+            }
+        }
+    }
+}
+
+/// One typed error frame on a connection we are not keeping, with a
+/// short write timeout so a non-reading peer cannot stall the accept
+/// loop.
+fn refuse_connection(stream: &TcpStream, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut w = stream;
+    let _ = write_response(
+        &mut w,
+        &Response::Error {
+            code,
+            message: message.to_string(),
+        },
+    );
+}
+
+fn write_response(w: &mut impl Write, resp: &Response) -> Result<(), FrameError> {
+    frame::write_wire_frame(w, &proto::encode_response(resp))
+}
+
+/// Removes the session from the registry and the gauge when the thread
+/// exits, however it exits.
+struct SessionGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.registry.remove(self.id);
+        self.shared.m.connections.add(-1);
+    }
+}
+
+fn run_session(shared: &Shared, stream: &TcpStream, info: &Arc<SessionInfo>) {
+    let _guard = SessionGuard {
+        shared,
+        id: info.id,
+    };
+    if stream
+        .set_read_timeout(Some(shared.cfg.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let mut stmts = Statements::default();
+    let mut stop_seen: Option<Instant> = None;
+    let mut poll = |mid_frame: bool| {
+        if !shared.stop.load(Ordering::SeqCst) {
+            return Poll::Continue;
+        }
+        let seen = *stop_seen.get_or_insert_with(Instant::now);
+        if mid_frame && seen.elapsed() <= shared.cfg.drain_grace {
+            Poll::Continue
+        } else {
+            Poll::Stop
+        }
+    };
+    let mut r = stream;
+    loop {
+        let payload = match frame::read_wire_frame(&mut r, &mut poll) {
+            Ok(Some(p)) => p,
+            // shutdown drain finished, or the peer said goodbye
+            Ok(None) | Err(FrameError::Closed) => return,
+            Err(FrameError::Malformed(detail)) => {
+                // the stream cannot resync — one typed goodbye, then close
+                let mut w = stream;
+                let _ = write_response(
+                    &mut w,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: detail,
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let started = Instant::now();
+        let req = match proto::decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // the frame itself was intact, so the session survives a
+                // bad message — answer typed and keep reading
+                let code = match e {
+                    ProtoError::Version(_) => ErrorCode::Unsupported,
+                    ProtoError::UnknownTag(_) | ProtoError::Codec(_) => ErrorCode::Malformed,
+                };
+                let mut w = stream;
+                let ok = write_response(
+                    &mut w,
+                    &Response::Error {
+                        code,
+                        message: e.to_string(),
+                    },
+                )
+                .is_ok();
+                finish_request(shared, info, started);
+                if ok {
+                    continue;
+                }
+                return;
+            }
+        };
+        if !handle_request(shared, stream, info, &mut stmts, req, started) {
+            return;
+        }
+    }
+}
+
+fn finish_request(shared: &Shared, info: &SessionInfo, started: Instant) {
+    shared.m.requests.inc();
+    shared.m.latency.record(started.elapsed().as_nanos() as u64);
+    info.queries.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Ship a job to the worker pool and wait for its result, turning a
+/// full queue into the typed `QueueFull` refusal. Ordering: a session
+/// has at most one job in flight, so responses arrive in request order.
+fn offload<T: Send + 'static>(
+    shared: &Shared,
+    info: &SessionInfo,
+    job: impl FnOnce() -> Result<T, Reject> + Send + 'static,
+) -> Result<T, Reject> {
+    let (tx, rx) = mpsc::channel();
+    let boxed = Box::new(move |waited: Duration| {
+        let _ = tx.send((waited, job()));
+    });
+    shared.pool.submit(boxed).map_err(|_| {
+        shared.m.rejects.inc();
+        Reject::new(ErrorCode::QueueFull, "work queue is full")
+    })?;
+    match rx.recv() {
+        Ok((waited, result)) => {
+            info.queue_wait_us
+                .fetch_add(waited.as_micros() as i64, Ordering::Relaxed);
+            result
+        }
+        Err(_) => Err(Reject::new(ErrorCode::Internal, "worker pool terminated")),
+    }
+}
+
+/// Stream a result as `ResultHeader`, bounded `RowBatch` chunks, and
+/// `ResultDone`.
+fn stream_result(
+    stream: &TcpStream,
+    schema: Schema,
+    rows: Vec<Row>,
+    chunk_rows: usize,
+) -> Result<(), FrameError> {
+    let mut w = stream;
+    write_response(&mut w, &Response::ResultHeader { schema })?;
+    let total = rows.len() as u64;
+    for chunk in rows.chunks(chunk_rows.max(1)) {
+        write_response(
+            &mut w,
+            &Response::RowBatch {
+                rows: chunk.to_vec(),
+            },
+        )?;
+    }
+    write_response(&mut w, &Response::ResultDone { rows: total })
+}
+
+/// Handle one decoded request; returns whether the session survives.
+fn handle_request(
+    shared: &Shared,
+    stream: &TcpStream,
+    info: &Arc<SessionInfo>,
+    stmts: &mut Statements,
+    req: Request,
+    started: Instant,
+) -> bool {
+    let mut w = stream;
+    match req {
+        Request::Close => {
+            let _ = write_response(&mut w, &Response::CloseAck);
+            finish_request(shared, info, started);
+            false
+        }
+        Request::Metrics => {
+            let text = shared.conn.telemetry().registry().render_prometheus();
+            let ok = write_response(&mut w, &Response::MetricsText { text }).is_ok();
+            finish_request(shared, info, started);
+            ok
+        }
+        Request::Prepare { sql } => {
+            let result = statement_gate(shared).and_then(|()| {
+                let conn = shared.conn.clone();
+                let text = sql.clone();
+                offload(shared, info, move || prepare_statement(&conn, &text))
+            });
+            let resp = match result {
+                Ok((nparams, schema)) => {
+                    let stmt = stmts.insert(Arc::from(sql.as_str()), nparams);
+                    info.statements.store(stmts.len() as i64, Ordering::Relaxed);
+                    Response::PrepareOk { stmt, schema }
+                }
+                Err(rej) => rej.response(),
+            };
+            let ok = write_response(&mut w, &resp).is_ok();
+            finish_request(shared, info, started);
+            ok
+        }
+        Request::Execute { stmt, params } => {
+            let result = statement_gate(shared)
+                .and_then(|()| stmts.get(stmt))
+                .and_then(|prepared| {
+                    let conn = shared.conn.clone();
+                    offload(shared, info, move || {
+                        run_statement(&conn, &prepared.sql, prepared.params, &params)
+                    })
+                });
+            let ok = respond_result(stream, shared, result);
+            finish_request(shared, info, started);
+            ok
+        }
+        Request::Query { sql, params } => {
+            let result = statement_gate(shared).and_then(|()| {
+                let conn = shared.conn.clone();
+                offload(shared, info, move || {
+                    let nparams = crate::session::placeholder_count(&sql)?;
+                    run_statement(&conn, &sql, nparams, &params)
+                })
+            });
+            let ok = respond_result(stream, shared, result);
+            finish_request(shared, info, started);
+            ok
+        }
+    }
+}
+
+/// New statement work is refused once shutdown has begun; requests
+/// already offloaded before the flag flipped drain normally.
+fn statement_gate(shared: &Shared) -> Result<(), Reject> {
+    if shared.stop.load(Ordering::SeqCst) {
+        shared.m.rejects.inc();
+        Err(Reject::new(
+            ErrorCode::ShuttingDown,
+            "server is draining; no new statements",
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn respond_result(
+    stream: &TcpStream,
+    shared: &Shared,
+    result: Result<(Schema, Vec<Row>), Reject>,
+) -> bool {
+    match result {
+        Ok((schema, rows)) => stream_result(stream, schema, rows, shared.cfg.chunk_rows).is_ok(),
+        Err(rej) => {
+            let mut w = stream;
+            write_response(&mut w, &rej.response()).is_ok()
+        }
+    }
+}

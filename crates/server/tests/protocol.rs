@@ -1,0 +1,243 @@
+//! Protocol robustness over real sockets: every frame type byte-flipped
+//! and truncated at every position, version/tag abuse, oversized frames
+//! — the server must answer with typed error frames or close cleanly,
+//! never panic, and keep serving afterwards.
+
+use ferry::Connection;
+use ferry_algebra::{Schema, Ty, Value};
+use ferry_engine::Database;
+use ferry_server::proto::{decode_response, encode_request, ErrorCode, Request, Response};
+use ferry_server::{frame, Client, Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+fn start_server() -> ServerHandle {
+    let db = Database::new();
+    db.create_table(
+        "emp",
+        Schema::of(&[("dept", Ty::Str), ("name", Ty::Str), ("sal", Ty::Int)]),
+        vec!["name"],
+    )
+    .unwrap();
+    db.insert(
+        "emp",
+        vec![
+            vec![Value::str("eng"), Value::str("ada"), Value::Int(90)],
+            vec![Value::str("eng"), Value::str("bob"), Value::Int(70)],
+            vec![Value::str("ops"), Value::str("cy"), Value::Int(50)],
+        ],
+    )
+    .unwrap();
+    Server::bind(Connection::new(db), "127.0.0.1:0", ServerConfig::default()).unwrap()
+}
+
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Prepare {
+            sql: "SELECT 1 AS x".into(),
+        },
+        Request::Execute {
+            stmt: 1,
+            params: vec![Value::Int(7), Value::str("a")],
+        },
+        Request::Query {
+            sql: "SELECT 1 AS x".into(),
+            params: vec![],
+        },
+        Request::Metrics,
+        Request::Close,
+    ]
+}
+
+/// Send raw bytes, half-close the write side, and drain whatever the
+/// server answers until it closes. A bounded read timeout turns a hung
+/// server into a test failure rather than a stuck suite.
+fn send_raw_and_drain(handle: &ServerHandle, bytes: &[u8]) -> Vec<u8> {
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    (&stream).write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    let mut r = &stream;
+    let mut buf = [0u8; 4096];
+    loop {
+        match r.read(&mut buf) {
+            Ok(0) => return out,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            // a flipped length field can leave our bytes unread in the
+            // server's receive buffer; its close then arrives as RST,
+            // which is still a clean typed disconnect
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => return out,
+            Err(e) => panic!("server stopped answering: {e}"),
+        }
+    }
+}
+
+/// Every complete frame the server sent must decode as a response. (An
+/// RST close may clip the tail of the stream, so a damaged *final*
+/// fragment is tolerated — but nothing after it.)
+fn assert_only_wellformed_responses(bytes: &[u8]) {
+    let mut cursor = std::io::Cursor::new(bytes.to_vec());
+    loop {
+        match frame::read_wire_frame_blocking(&mut cursor) {
+            Ok(payload) => {
+                decode_response(&payload).expect("server frames always decode");
+            }
+            Err(frame::FrameError::Closed) => return,
+            Err(frame::FrameError::Malformed(_)) => return, // clipped tail
+            Err(e) => panic!("unreadable server stream: {e}"),
+        }
+    }
+}
+
+#[test]
+fn corrupt_frame_matrix_never_kills_the_server() {
+    let handle = start_server();
+    for req in all_requests() {
+        let mut framed = Vec::new();
+        frame::write_wire_frame(&mut framed, &encode_request(&req)).unwrap();
+        // every single-byte corruption
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            let answer = send_raw_and_drain(&handle, &bad);
+            assert_only_wellformed_responses(&answer);
+        }
+        // every truncation
+        for cut in 1..framed.len() {
+            let answer = send_raw_and_drain(&handle, &framed[..cut]);
+            assert_only_wellformed_responses(&answer);
+        }
+    }
+    // after the whole matrix the server still serves real queries
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let rs = c
+        .query("SELECT e.name AS who FROM emp AS e ORDER BY who ASC")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    c.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn bad_version_and_unknown_tag_get_typed_errors_and_the_session_survives() {
+    let handle = start_server();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut w = &stream;
+    let mut r = &stream;
+
+    // protocol version 9 in an otherwise intact frame
+    let mut payload = encode_request(&Request::Metrics);
+    payload[0] = 9;
+    frame::write_wire_frame(&mut w, &payload).unwrap();
+    let resp = decode_response(&frame::read_wire_frame_blocking(&mut r).unwrap()).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Unsupported,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+
+    // unknown message tag, same connection
+    let mut payload = encode_request(&Request::Metrics);
+    payload[1] = 42;
+    frame::write_wire_frame(&mut w, &payload).unwrap();
+    let resp = decode_response(&frame::read_wire_frame_blocking(&mut r).unwrap()).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+
+    // the session survived both: a valid request still answers
+    frame::write_wire_frame(&mut w, &encode_request(&Request::Metrics)).unwrap();
+    let resp = decode_response(&frame::read_wire_frame_blocking(&mut r).unwrap()).unwrap();
+    assert!(matches!(resp, Response::MetricsText { .. }), "{resp:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_a_typed_goodbye() {
+    let handle = start_server();
+    // a header announcing a payload beyond the wire ceiling
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    let answer = send_raw_and_drain(&handle, &bytes);
+    let mut cursor = std::io::Cursor::new(answer);
+    let payload = frame::read_wire_frame_blocking(&mut cursor).unwrap();
+    let resp = decode_response(&payload).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ),
+        "{resp:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sql_errors_are_typed_not_fatal() {
+    let handle = start_server();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // parse error
+    let err = c.query("SELEC").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ferry_server::ClientError::Server {
+                code: ErrorCode::Sql,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // bind error
+    let err = c.query("SELECT g.x AS x FROM ghost AS g").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ferry_server::ClientError::Server {
+                code: ErrorCode::Sql,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // unknown statement id
+    let err = c.execute(99, &[]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ferry_server::ClientError::Server {
+                code: ErrorCode::UnknownStatement,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // the session shrugged all three off
+    let rs = c.query("SELECT 1 AS x").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    c.close().unwrap();
+    handle.shutdown();
+}

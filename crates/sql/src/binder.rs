@@ -155,6 +155,14 @@ impl<'a> Binder<'a> {
                     let keys: Vec<ColName> = t.keys.iter().map(|k| Arc::from(k.as_str())).collect();
                     let node = self.plan.table(name.clone(), cols.clone(), keys);
                     (alias.clone(), node, Schema::new(cols))
+                } else if let Some((schema, keys)) = self.db.database().system_table_info(name) {
+                    // system tables (`ferry.*`) bind like base tables; the
+                    // executor resolves them with the same catalog-first
+                    // shadowing this arm order encodes
+                    let cols: Vec<(ColName, Ty)> = schema.cols().to_vec();
+                    let keys: Vec<ColName> = keys.iter().map(|k| Arc::from(k.as_str())).collect();
+                    let node = self.plan.table(name.clone(), cols.clone(), keys);
+                    (alias.clone(), node, Schema::new(cols))
                 } else {
                     return Err(SqlError::Bind(format!("unknown table {name}")));
                 }

@@ -166,6 +166,26 @@ mod tests {
     }
 
     #[test]
+    fn system_tables_bind_by_dotted_name() {
+        // `ferry.tables` resolves through the system-table catalog and
+        // reads like any base table, base tables shadowing system ones
+        let r = execute_sql(
+            &db().snapshot(),
+            "SELECT t.name AS name, t.rows AS n FROM ferry.tables AS t \
+             WHERE t.name = 'emp';",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Value::str("emp"));
+        assert_eq!(r.rows()[0][1], Value::Int(3));
+        // unknown dotted names still fail the bind, typed
+        assert!(matches!(
+            execute_sql(&db().snapshot(), "SELECT g.x AS x FROM ferry.ghost AS g"),
+            Err(SqlError::Bind(_))
+        ));
+    }
+
+    #[test]
     fn errors_are_reported_not_panicked() {
         assert!(matches!(
             execute_sql(&db().snapshot(), "SELEC"),

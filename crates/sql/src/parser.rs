@@ -237,7 +237,13 @@ impl Parser {
                 alias,
             });
         }
-        let name = self.ident()?;
+        let mut name = self.ident()?;
+        // dotted table names (`ferry.connections`): the dot is part of
+        // the catalog name, not a scope qualifier
+        while matches!(self.peek(), Some(Tok::Dot)) {
+            self.pos += 1;
+            name = format!("{name}.{}", self.ident()?);
+        }
         // `AS alias`, a bare implicit alias, or none at all
         let has_implicit_alias = matches!(self.peek(), Some(Tok::Ident(s))
             if !is_clause_keyword(s));

@@ -513,6 +513,9 @@ mod tests {
 
     /// Golden test for the Prometheus text exposition: exact bytes for a
     /// fixed registry state, and byte-stability across repeated renders.
+    /// The fixture covers one family from each layer the exposition
+    /// serves — engine counters/gauges/histograms and the `server.*`
+    /// families `ferry-server`'s `Metrics` request returns over the wire.
     #[test]
     fn prometheus_rendering_is_golden_and_stable() {
         let r = Registry::default();
@@ -523,6 +526,12 @@ mod tests {
         h.record(5); // bucket 3, ub 7
         h.record(5);
         h.record(1000); // bucket 10, ub 1023
+        r.counter(crate::names::SERVER_ACCEPTS).unwrap().add(4);
+        r.counter(crate::names::SERVER_REJECTS).unwrap().add(2);
+        r.gauge(crate::names::SERVER_QUEUE_DEPTH).unwrap().set(1);
+        let w = r.histogram(crate::names::SERVER_QUEUE_WAIT_NS).unwrap();
+        w.record(3); // bucket 2, ub 3
+        w.record(900); // bucket 10, ub 1023
         let expected = "\
 # TYPE engine_epoch gauge
 engine_epoch -3
@@ -535,6 +544,18 @@ engine_query_latency_ns_bucket{le=\"1023\"} 4
 engine_query_latency_ns_bucket{le=\"+Inf\"} 4
 engine_query_latency_ns_sum 1010
 engine_query_latency_ns_count 4
+# TYPE server_accepts counter
+server_accepts 4
+# TYPE server_queue_depth gauge
+server_queue_depth 1
+# TYPE server_queue_wait_ns histogram
+server_queue_wait_ns_bucket{le=\"3\"} 1
+server_queue_wait_ns_bucket{le=\"1023\"} 2
+server_queue_wait_ns_bucket{le=\"+Inf\"} 2
+server_queue_wait_ns_sum 903
+server_queue_wait_ns_count 2
+# TYPE server_rejects counter
+server_rejects 2
 ";
         assert_eq!(r.render_prometheus(), expected);
         // identical state renders identical bytes

@@ -44,6 +44,23 @@ pub const RUNTIME_CACHE_HITS: &str = "runtime.cache_hits";
 /// Plan-cache misses (full compilations).
 pub const RUNTIME_CACHE_MISSES: &str = "runtime.cache_misses";
 
+/// Connections the server accepted into a session.
+pub const SERVER_ACCEPTS: &str = "server.accepts";
+/// Live server sessions right now (gauge).
+pub const SERVER_CONNECTIONS: &str = "server.connections";
+/// Work items queued for the worker pool right now (gauge).
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue_depth";
+/// Time a request spent queued before a worker picked it up (histogram).
+pub const SERVER_QUEUE_WAIT_NS: &str = "server.queue_wait_ns";
+/// Admission-control refusals: connection limit (`Busy`), work-queue
+/// limit (`QueueFull`) and shutdown-window (`ShuttingDown`) rejections.
+pub const SERVER_REJECTS: &str = "server.rejects";
+/// Wall time from request frame decoded to response frames written
+/// (histogram).
+pub const SERVER_REQUEST_LATENCY_NS: &str = "server.request_latency_ns";
+/// Requests the server finished processing (any type, any outcome).
+pub const SERVER_REQUESTS: &str = "server.requests";
+
 /// Bytes appended to the write-ahead log.
 pub const STORAGE_WAL_BYTES: &str = "storage.wal_bytes";
 /// WAL fsync calls issued.
@@ -83,6 +100,13 @@ pub const ALL: &[&str] = &[
     ENGINE_VEC_NODES,
     RUNTIME_CACHE_HITS,
     RUNTIME_CACHE_MISSES,
+    SERVER_ACCEPTS,
+    SERVER_CONNECTIONS,
+    SERVER_QUEUE_DEPTH,
+    SERVER_QUEUE_WAIT_NS,
+    SERVER_REJECTS,
+    SERVER_REQUEST_LATENCY_NS,
+    SERVER_REQUESTS,
     STORAGE_CHECKPOINT_FAILURES,
     STORAGE_COMMIT_BATCH_RECORDS,
     STORAGE_FSYNCS,
@@ -120,6 +144,13 @@ mod tests {
             "engine.vec_nodes",
             "runtime.cache_hits",
             "runtime.cache_misses",
+            "server.accepts",
+            "server.connections",
+            "server.queue_depth",
+            "server.queue_wait_ns",
+            "server.rejects",
+            "server.request_latency_ns",
+            "server.requests",
             "storage.checkpoint_failures",
             "storage.commit_batch_records",
             "storage.fsyncs",

@@ -13,4 +13,5 @@ pub use ferry_algebra as algebra;
 pub use ferry_baseline as baseline;
 pub use ferry_engine as engine;
 pub use ferry_optimizer as optimizer;
+pub use ferry_server as server;
 pub use ferry_sql as sql;
