@@ -17,8 +17,12 @@
 //! Behind `prepare` sits a content-addressed plan cache keyed by the
 //! [alpha-invariant hash](crate::exp::Exp::stable_hash) of the kernel
 //! term and the catalog's schema version, so even plain `from_q` calls
-//! amortise compilation across repeated queries. Hit/miss counts are
-//! surfaced through [`ferry_engine::QueryStats`].
+//! amortise compilation across repeated queries. The cache is
+//! capacity-bounded with least-recently-used eviction (default 1024
+//! bundles, [`Connection::set_plan_cache_capacity`]) so workloads that
+//! keep compiling distinct statements hold memory steady instead of
+//! growing it without bound. Hit/miss counts are surfaced through
+//! [`ferry_engine::QueryStats`].
 //!
 //! ## Concurrency
 //!
@@ -64,15 +68,58 @@ type PlanKey = (u64, u64);
 struct CacheEntry {
     bundle: Arc<CompiledBundle>,
     hits: u64,
+    /// The source text the content hash was computed from, when the
+    /// frontend has one (the SQL path does, the DSL path keys on the
+    /// alpha-invariant `Exp` hash and passes `None`). Verified on every
+    /// hit so a 64-bit hash collision — accidental or crafted by a
+    /// hostile client — can never hand back the wrong plan.
+    source: Option<Arc<str>>,
+    /// LRU clock value of the last hit or insert.
+    last_used: u64,
 }
 
+/// Default ceiling on cached bundles; see [`PlanCache::capacity`].
+const PLAN_CACHE_DEFAULT_CAPACITY: usize = 1024;
+
 /// The content-addressed store of optimized bundles.
-#[derive(Default)]
 struct PlanCache {
     entries: HashMap<PlanKey, CacheEntry>,
+    /// Entry ceiling: inserting beyond it evicts the least recently
+    /// used bundle, so hostile or merely varied workloads (one plan per
+    /// parameter set) bound memory instead of growing it forever.
+    capacity: usize,
+    /// Monotonic LRU clock, bumped on every hit and insert.
+    tick: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: PLAN_CACHE_DEFAULT_CAPACITY,
+            tick: 0,
+        }
+    }
 }
 
 impl PlanCache {
+    /// Evict least-recently-used entries until at most `target` remain.
+    /// O(n) per eviction — fine at cache sizes where n is the capacity
+    /// bound.
+    fn evict_to(&mut self, target: usize) {
+        while self.entries.len() > target {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            else {
+                return;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+
     /// `ferry.plan_cache` rows: one per cached bundle, in key order
     /// (exp_hash, schema_version). u64 hashes are exposed as their i64
     /// bit patterns — the same cast `ferry.queries.plan_hash` uses, so
@@ -292,7 +339,9 @@ impl Connection {
     pub fn prepare<T: QA>(&self, q: &Q<T>) -> Result<Prepared<T>, FerryError> {
         let telemetry = self.telemetry();
         let _trace = telemetry.begin_query(0);
-        let bundle = self.prepare_raw(q.exp().stable_hash(), |conn| conn.compile_exp(q.exp()))?;
+        let bundle = self.prepare_raw(q.exp().stable_hash(), None, |conn| {
+            conn.compile_exp(q.exp())
+        })?;
         Ok(Prepared {
             bundle,
             _t: PhantomData,
@@ -302,14 +351,24 @@ impl Connection {
     /// Compile-or-fetch by **content hash**: the cache machinery behind
     /// [`Connection::prepare`], exposed for frontends that compile to a
     /// [`CompiledBundle`] from something other than a `Q<T>` term — the
-    /// SQL layer and `ferry-server` key on a hash of the statement text.
-    /// The entry shares `ferry.plan_cache` rows and hit/miss accounting
-    /// with DSL-prepared bundles; `build` runs only on a miss (outside
-    /// the cache lock), and a catalog schema change invalidates as usual
-    /// because the key is `(content_hash, schema_version)`.
+    /// SQL layer and `ferry-server` key on a hash of the statement text
+    /// and pass that text as `source`. The entry shares
+    /// `ferry.plan_cache` rows and hit/miss accounting with DSL-prepared
+    /// bundles; `build` runs only on a miss (outside the cache lock),
+    /// and a catalog schema change invalidates as usual because the key
+    /// is `(content_hash, schema_version)`.
+    ///
+    /// `source` is the collision guard: a hit is only served when the
+    /// stored source matches the caller's, so two statements whose texts
+    /// collide under the 64-bit content hash (crafting such pairs
+    /// offline is feasible for non-cryptographic hashes) each compile
+    /// and run their own plan — the second never sees the first's. The
+    /// colliding latecomer executes correctly but uncached; it does not
+    /// evict the resident entry.
     pub fn prepare_raw(
         &self,
         content_hash: u64,
+        source: Option<&str>,
         build: impl FnOnce(&Connection) -> Result<CompiledBundle, FerryError>,
     ) -> Result<Arc<CompiledBundle>, FerryError> {
         let mut span = ferry_telemetry::span("prepare", "runtime");
@@ -319,12 +378,25 @@ impl Connection {
         // under another
         let snap = self.db.snapshot();
         let key: PlanKey = (content_hash, snap.schema_version());
-        if let Some(e) = self.cache.lock().unwrap().entries.get_mut(&key) {
-            e.hits += 1;
-            let bundle = e.bundle.clone();
-            self.db.record_cache(true);
-            span.attr("cache", "hit");
-            return Ok(bundle);
+        let mut collided = false;
+        {
+            let mut cache = self.cache.lock().unwrap();
+            let tick = {
+                cache.tick += 1;
+                cache.tick
+            };
+            if let Some(e) = cache.entries.get_mut(&key) {
+                if e.source.as_deref() == source {
+                    e.hits += 1;
+                    e.last_used = tick;
+                    let bundle = e.bundle.clone();
+                    drop(cache);
+                    self.db.record_cache(true);
+                    span.attr("cache", "hit");
+                    return Ok(bundle);
+                }
+                collided = true;
+            }
         }
         // compile outside the cache lock: compilation can be slow and
         // other threads may be serving hits meanwhile
@@ -332,17 +404,48 @@ impl Connection {
         let mut cache = self.cache.lock().unwrap();
         // hygiene: a schema change strands entries under old versions
         cache.entries.retain(|(_, v), _| *v == key.1);
-        let bundle = cache
-            .entries
-            .entry(key)
-            .or_insert(CacheEntry { bundle, hits: 0 })
-            .bundle
-            .clone();
+        let bundle = if collided {
+            // hash collision: serve the fresh bundle without touching
+            // the resident entry
+            bundle
+        } else {
+            let tick = {
+                cache.tick += 1;
+                cache.tick
+            };
+            if !cache.entries.contains_key(&key) {
+                let room = cache.capacity.max(1) - 1;
+                cache.evict_to(room);
+            }
+            cache
+                .entries
+                .entry(key)
+                .or_insert(CacheEntry {
+                    bundle,
+                    hits: 0,
+                    source: source.map(Arc::from),
+                    last_used: tick,
+                })
+                .bundle
+                .clone()
+        };
         drop(cache);
         self.db.record_cache(false);
         span.attr("cache", "miss")
             .attr("queries", bundle.queries.len());
         Ok(bundle)
+    }
+
+    /// Cap the plan cache at `capacity` bundles (least-recently-used
+    /// eviction; minimum 1). The default is 1024 — bounded so workloads
+    /// that compile many distinct statements (e.g. wire statements whose
+    /// parameters are substituted into the text) cannot grow server
+    /// memory without limit.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.cache.lock().unwrap();
+        cache.capacity = capacity.max(1);
+        let cap = cache.capacity;
+        cache.evict_to(cap);
     }
 
     /// The installed plan rewriter, if any — external frontends (e.g. the

@@ -181,6 +181,48 @@ fn alpha_equivalent_constructions_share_one_bundle() {
 }
 
 #[test]
+fn the_cache_is_bounded_with_lru_eviction() {
+    let conn = Connection::new(database());
+    conn.set_plan_cache_capacity(4);
+    // 16 distinct statements through a capacity-4 cache: memory must
+    // not grow past the bound (each nums_query constant is its own key)
+    for t in 0..16i64 {
+        conn.prepare(&nums_query(t, 0)).unwrap();
+    }
+    assert!(
+        conn.plan_cache_len() <= 4,
+        "bounded cache grew to {}",
+        conn.plan_cache_len()
+    );
+    assert_eq!(conn.database().stats().cache_misses, 16);
+
+    // the most recent entry survived the churn…
+    conn.prepare(&nums_query(15, 0)).unwrap();
+    assert_eq!(conn.database().stats().cache_hits, 1);
+    // …and an early, evicted one recompiles
+    conn.prepare(&nums_query(0, 0)).unwrap();
+    assert_eq!(conn.database().stats().cache_misses, 17);
+
+    // shrinking the capacity evicts down to the new bound
+    conn.set_plan_cache_capacity(1);
+    assert_eq!(conn.plan_cache_len(), 1);
+}
+
+#[test]
+fn lru_eviction_keeps_recently_used_entries() {
+    let conn = Connection::new(database());
+    conn.set_plan_cache_capacity(2);
+    conn.prepare(&nums_query(1, 0)).unwrap(); // A
+    conn.prepare(&nums_query(2, 0)).unwrap(); // B
+    conn.prepare(&nums_query(1, 0)).unwrap(); // hit A: now newer than B
+    conn.prepare(&nums_query(3, 0)).unwrap(); // C evicts B, not A
+    let hits = conn.database().stats().cache_hits;
+    conn.prepare(&nums_query(1, 0)).unwrap(); // A still resident
+    assert_eq!(conn.database().stats().cache_hits, hits + 1);
+    assert_eq!(conn.plan_cache_len(), 2);
+}
+
+#[test]
 fn clones_share_the_cache() {
     let conn = Connection::new(database());
     let clone = conn.clone();

@@ -7,7 +7,10 @@
 //! never grows, never blocks the submitting session thread, and never
 //! drops an accepted job. Each job learns how long it waited so queue
 //! time is attributable per session and in the
-//! `server.queue_wait_ns` histogram.
+//! `server.queue_wait_ns` histogram. Jobs run under `catch_unwind`: a
+//! panicking statement answers its session with a typed `Internal`
+//! error (its response channel drops on unwind) and the worker
+//! survives to serve the next job.
 
 use ferry_telemetry::{Gauge, Histogram};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
@@ -61,7 +64,17 @@ impl Pool {
                         depth.add(-1);
                         let waited = job.queued.elapsed();
                         wait.record(waited.as_nanos() as u64);
-                        (job.run)(waited);
+                        // a panicking job must not take the worker with
+                        // it — capacity would silently shrink panic by
+                        // panic until every submit answered QueueFull.
+                        // The job's response channel drops on unwind, so
+                        // the waiting session observes a typed Internal
+                        // error and the worker lives to serve the next
+                        // job.
+                        let run = job.run;
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            run(waited)
+                        }));
                     })
                     .expect("spawn worker thread")
             })
@@ -179,6 +192,23 @@ mod tests {
         }
         assert!(refused, "a bounded queue must refuse, not grow");
         block_tx.send(()).unwrap();
+        p.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let p = pool(1, 4);
+        // the only worker runs a panicking job…
+        p.submit(Box::new(|_| panic!("statement exploded")))
+            .unwrap();
+        // …and must survive to run the next one
+        let (tx, rx) = channel();
+        p.submit(Box::new(move |_| {
+            let _ = tx.send(());
+        }))
+        .unwrap();
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("worker died with the panicking job");
         p.shutdown();
     }
 

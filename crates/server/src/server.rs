@@ -179,6 +179,15 @@ impl ServerHandle {
         self.shared.registry.len()
     }
 
+    /// Session threads whose `JoinHandle`s are still tracked: live
+    /// sessions plus any finished-but-not-yet-reaped. The accept loop
+    /// reaps finished handles on every accept, so this stays bounded
+    /// under connection churn instead of growing by one per connection
+    /// ever served. Exposed for tests and diagnostics.
+    pub fn session_backlog(&self) -> usize {
+        self.shared.sessions.lock().unwrap().len()
+    }
+
     /// Drain-then-close: refuse new accepts and new requests, let
     /// in-flight requests finish and flush, join every session thread,
     /// then drain and stop the worker pool.
@@ -203,6 +212,24 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.do_shutdown();
+    }
+}
+
+/// Join (and drop) session threads that have already exited. Called
+/// from the accept loop so connection churn does not accumulate one
+/// `JoinHandle` per connection ever accepted — the vector stays
+/// bounded by the number of live sessions. Joining a finished thread
+/// returns immediately.
+fn reap_finished_sessions(sessions: &Mutex<Vec<JoinHandle<()>>>) {
+    let mut guard = sessions.lock().unwrap();
+    let mut i = 0;
+    while i < guard.len() {
+        if guard[i].is_finished() {
+            let h = guard.swap_remove(i);
+            let _ = h.join();
+        } else {
+            i += 1;
+        }
     }
 }
 
@@ -240,6 +267,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             refuse_connection(&stream, ErrorCode::Busy, "connection limit reached");
             continue;
         }
+        reap_finished_sessions(&shared.sessions);
         shared.m.accepts.inc();
         shared.m.connections.add(1);
         let info = shared.registry.register(peer.to_string());
@@ -397,7 +425,13 @@ fn offload<T: Send + 'static>(
                 .fetch_add(waited.as_micros() as i64, Ordering::Relaxed);
             result
         }
-        Err(_) => Err(Reject::new(ErrorCode::Internal, "worker pool terminated")),
+        // the sender dropped without answering: the job panicked
+        // mid-statement (the worker survives; see pool.rs) or the pool
+        // shut down underneath us
+        Err(_) => Err(Reject::new(
+            ErrorCode::Internal,
+            "statement execution aborted (worker panic or pool shutdown)",
+        )),
     }
 }
 

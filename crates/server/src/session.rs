@@ -13,7 +13,10 @@
 //! Parameters are positional `$1..$n` placeholders, substituted into
 //! the statement text as SQL literals *before* the cache lookup:
 //! repeating an execution with identical parameters is a cache hit,
-//! different parameters compile (and cache) their own plan. String
+//! different parameters compile (and cache) their own plan. The plan
+//! cache is capacity-bounded with LRU eviction, so a workload (or a
+//! hostile client) cycling through distinct parameter values recycles
+//! cache slots instead of growing server memory without bound. String
 //! parameters are escaped by quote doubling; the supported dialect is
 //! ASCII, so non-ASCII strings are refused with a typed error rather
 //! than silently mangled.
@@ -189,8 +192,11 @@ fn compile_sql(conn: &Connection, sql: &str, hash: u64) -> Result<CompiledBundle
 /// bundle and its statically inferred result schema.
 pub(crate) fn prepare_sql(conn: &Connection, sql: &str) -> SResult<(Arc<CompiledBundle>, Schema)> {
     let hash = sql_hash(sql);
+    // the statement text rides along as the collision guard: a cache
+    // hit is only served when the stored text matches, so a crafted
+    // FNV collision can never execute another session's plan
     let bundle = conn
-        .prepare_raw(hash, |c| compile_sql(c, sql, hash))
+        .prepare_raw(hash, Some(sql), |c| compile_sql(c, sql, hash))
         .map_err(sql_reject)?;
     let root = bundle.queries[0].root;
     let schema = validate(&bundle.plan, root).map_err(sql_reject)?;
@@ -215,6 +221,38 @@ pub(crate) fn run_sql(conn: &Connection, sql: &str) -> SResult<(Schema, Vec<Row>
 }
 
 // ------------------------------------------------------------ parameters
+
+/// Largest placeholder number a statement may reference. The cap keeps
+/// digit accumulation overflow-free (a hostile `$9…9` with enough
+/// digits would otherwise wrap in release builds and panic in debug)
+/// and bounds per-statement parameter bookkeeping.
+pub(crate) const MAX_PLACEHOLDER: usize = 10_000;
+
+/// Read the digits of a `$n` placeholder whose `$` has just been
+/// consumed. Typed `Sql` rejections for a missing/zero number and for
+/// numbers beyond [`MAX_PLACEHOLDER`] — never a wrap or a panic.
+fn read_placeholder(chars: &mut std::iter::Peekable<std::str::Chars>) -> SResult<usize> {
+    let mut n = 0usize;
+    let mut digits = 0;
+    while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+        chars.next();
+        n = n * 10 + d as usize; // cap below keeps this far from overflow
+        digits += 1;
+        if n > MAX_PLACEHOLDER {
+            return Err(Reject::new(
+                ErrorCode::Sql,
+                format!("placeholder number exceeds the ${MAX_PLACEHOLDER} limit"),
+            ));
+        }
+    }
+    if digits == 0 || n == 0 {
+        return Err(Reject::new(
+            ErrorCode::Sql,
+            "`$` must be followed by a positional parameter number (1-based)",
+        ));
+    }
+    Ok(n)
+}
 
 /// Highest `$n` placeholder referenced in `sql` (0 = parameterless).
 /// String literals are skipped; a `$` not followed by a digit is a
@@ -243,20 +281,7 @@ pub(crate) fn placeholder_count(sql: &str) -> SResult<usize> {
                 }
             }
             '$' => {
-                let mut n = 0usize;
-                let mut digits = 0;
-                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
-                    chars.next();
-                    n = n * 10 + d as usize;
-                    digits += 1;
-                }
-                if digits == 0 || n == 0 {
-                    return Err(Reject::new(
-                        ErrorCode::Sql,
-                        "`$` must be followed by a positional parameter number (1-based)",
-                    ));
-                }
-                max = max.max(n);
+                max = max.max(read_placeholder(&mut chars)?);
             }
             _ => {}
         }
@@ -325,14 +350,8 @@ pub(crate) fn substitute(sql: &str, params: &[Value]) -> SResult<String> {
                 }
             }
             '$' => {
-                let mut n = 0usize;
-                let mut digits = 0;
-                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
-                    chars.next();
-                    n = n * 10 + d as usize;
-                    digits += 1;
-                }
-                if digits == 0 || n == 0 || n > params.len() {
+                let n = read_placeholder(&mut chars)?;
+                if n > params.len() {
                     return Err(Reject::new(
                         ErrorCode::Sql,
                         format!(
@@ -447,6 +466,28 @@ mod tests {
         assert!(placeholder_count("SELECT $ AS x").is_err());
         assert!(placeholder_count("SELECT $0 AS x").is_err());
         assert!(placeholder_count("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn huge_placeholder_numbers_are_typed_rejections_not_overflows() {
+        // enough digits to overflow u64 accumulation if unchecked
+        let sql = "SELECT $99999999999999999999999 AS x";
+        let r = placeholder_count(sql);
+        assert!(
+            matches!(r, Err(ref rej) if rej.code == ErrorCode::Sql),
+            "{r:?}"
+        );
+        let r = substitute(sql, &[Value::Int(1)]);
+        assert!(
+            matches!(r, Err(ref rej) if rej.code == ErrorCode::Sql),
+            "{r:?}"
+        );
+        // the cap itself is inclusive
+        assert_eq!(
+            placeholder_count(&format!("SELECT ${MAX_PLACEHOLDER} AS x")).unwrap(),
+            MAX_PLACEHOLDER
+        );
+        assert!(placeholder_count(&format!("SELECT ${} AS x", MAX_PLACEHOLDER + 1)).is_err());
     }
 
     #[test]

@@ -281,6 +281,114 @@ fn overload_never_hangs_and_refusals_are_typed() {
 }
 
 #[test]
+fn varying_parameters_cannot_grow_the_plan_cache_without_bound() {
+    let (conn, handle) = start(ServerConfig::default());
+    conn.set_plan_cache_capacity(8);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let (stmt, _) = c
+        .prepare("SELECT e.name AS who FROM emp AS e WHERE e.sal >= $1 ORDER BY who ASC;")
+        .unwrap();
+    // every distinct parameter value substitutes its own statement text
+    // (its own cache key); the LRU bound must hold regardless
+    for i in 0..50 {
+        let rs = c.execute(stmt, &[Value::Int(i)]).unwrap();
+        assert!(rs.rows.len() <= 3);
+    }
+    assert!(
+        conn.plan_cache_len() <= 8,
+        "plan cache must stay bounded under varying parameters, len = {}",
+        conn.plan_cache_len()
+    );
+    c.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn colliding_content_hashes_never_serve_the_wrong_plan() {
+    use ferry::shred::{CompiledBundle, QueryDesc, VLayout};
+    // the compile path wire statements take, minus the hashing — so the
+    // test can force two different texts under one content hash
+    fn compile(conn: &Connection, sql: &str, hash: u64) -> CompiledBundle {
+        let snap = conn.snapshot();
+        let stmt = ferry_sql::parser::parse(sql).unwrap();
+        let (plan, root) = ferry_sql::binder::bind(&snap, &stmt).unwrap();
+        CompiledBundle {
+            plan,
+            queries: vec![QueryDesc {
+                root,
+                is_list: false,
+                layout: VLayout::Atom(0),
+            }],
+            ty: ferry::Ty::Unit,
+            opt: None,
+            exp_hash: hash,
+        }
+    }
+    let conn = seeded_connection();
+    const H: u64 = 0xDEAD_BEEF;
+    let one = "SELECT 1 AS x;";
+    let two = "SELECT 2 AS x;";
+    let a = conn
+        .prepare_raw(H, Some(one), |c| Ok(compile(c, one, H)))
+        .unwrap();
+    // same hash, different text — a crafted FNV collision. The cache
+    // must notice the text mismatch and compile fresh, never reuse a's
+    // plan.
+    let b = conn
+        .prepare_raw(H, Some(two), |c| Ok(compile(c, two, H)))
+        .unwrap();
+    assert_eq!(
+        conn.execute_bundle(&a).unwrap()[0].rows()[0],
+        vec![Value::Int(1)]
+    );
+    assert_eq!(
+        conn.execute_bundle(&b).unwrap()[0].rows()[0],
+        vec![Value::Int(2)]
+    );
+    // the resident entry is untouched: the original text still gets its
+    // own (correct) plan on the next lookup
+    let a2 = conn
+        .prepare_raw(H, Some(one), |c| Ok(compile(c, one, H)))
+        .unwrap();
+    assert_eq!(
+        conn.execute_bundle(&a2).unwrap()[0].rows()[0],
+        vec![Value::Int(1)]
+    );
+}
+
+#[test]
+fn finished_sessions_are_reaped_under_connection_churn() {
+    let (_conn, handle) = start(ServerConfig::default());
+    // churn: 50 sequential connect/query/close cycles. Each accept
+    // reaps already-finished session threads, so the tracked-handle
+    // backlog must stay near the live count instead of growing by one
+    // per connection ever served.
+    for _ in 0..50 {
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.query("SELECT 1 AS x").unwrap();
+        c.close().unwrap();
+    }
+    // give the last session threads a moment to exit, then trigger one
+    // final reap with a fresh accept
+    let mut backlog = usize::MAX;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(10));
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.query("SELECT 1 AS x").unwrap();
+        backlog = handle.session_backlog();
+        c.close().unwrap();
+        if backlog <= 5 {
+            break;
+        }
+    }
+    assert!(
+        backlog <= 5,
+        "finished session handles were never reaped: backlog = {backlog}"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_and_refuses_late_arrivals() {
     let cfg = ServerConfig {
         workers: 1,
